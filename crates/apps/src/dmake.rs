@@ -1,0 +1,255 @@
+//! Distributed make (Table 2, utilities class).
+//!
+//! A master-worker build scheduler: a synthetic dependency DAG of
+//! compilation tasks is executed by list scheduling — the master hands a
+//! ready task to the first idle worker, workers "compile" (charge work)
+//! and report completion. Exercises dynamic master-worker communication,
+//! unlike the static SPMD workloads.
+
+use crate::util::hash64;
+use crate::workload::Workload;
+use bytes::Bytes;
+use pdceval_mpt::message::{MsgReader, MsgWriter};
+use pdceval_mpt::node::Node;
+use pdceval_simnet::work::Work;
+
+const TAG_TASK: u32 = 260;
+const TAG_DONE: u32 = 261;
+const TAG_SHUTDOWN: u32 = 262;
+const TAG_RESULT: u32 = 263;
+
+/// Distributed-make workload: a layered synthetic build DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistributedMake {
+    /// Number of tasks (compilation units).
+    pub tasks: usize,
+    /// DAG layers (tasks in layer `k` depend on 1-2 tasks of layer `k-1`).
+    pub layers: usize,
+    /// Seed for task durations and dependencies.
+    pub seed: u64,
+}
+
+impl DistributedMake {
+    /// A representative workload size.
+    pub fn paper() -> DistributedMake {
+        DistributedMake {
+            tasks: 400,
+            layers: 8,
+            seed: 131,
+        }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn small() -> DistributedMake {
+        DistributedMake {
+            tasks: 40,
+            layers: 4,
+            seed: 131,
+        }
+    }
+
+    /// `(duration_mflop, deps)` per task, topologically ordered.
+    pub fn dag(&self) -> Vec<(u64, Vec<usize>)> {
+        let per_layer = (self.tasks / self.layers).max(1);
+        (0..self.tasks)
+            .map(|t| {
+                let layer = (t / per_layer).min(self.layers - 1);
+                let dur = 1 + hash64(self.seed.wrapping_add(t as u64)) % 8;
+                let mut deps = Vec::new();
+                if layer > 0 {
+                    let prev_start = (layer - 1) * per_layer;
+                    let prev_len = per_layer.min(self.tasks - prev_start);
+                    let d1 = prev_start
+                        + (hash64(self.seed ^ (t as u64) << 1) % prev_len as u64) as usize;
+                    deps.push(d1);
+                    if hash64(self.seed ^ (t as u64) << 2) % 2 == 0 {
+                        let d2 = prev_start
+                            + (hash64(self.seed ^ (t as u64) << 3) % prev_len as u64) as usize;
+                        if d2 != d1 {
+                            deps.push(d2);
+                        }
+                    }
+                }
+                (dur, deps)
+            })
+            .collect()
+    }
+}
+
+/// Output: tasks built and a schedule-independent checksum of total work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MakeOutput {
+    /// Tasks completed.
+    pub built: u64,
+    /// Sum of task durations (verifies every task ran exactly once).
+    pub total_mflop: u64,
+}
+
+impl Workload for DistributedMake {
+    type Output = MakeOutput;
+
+    fn name(&self) -> &'static str {
+        "Distributed Make"
+    }
+
+    fn sequential(&self) -> MakeOutput {
+        let dag = self.dag();
+        MakeOutput {
+            built: dag.len() as u64,
+            total_mflop: dag.iter().map(|(d, _)| *d).sum(),
+        }
+    }
+
+    fn run(&self, node: &mut Node<'_>) -> MakeOutput {
+        node.advise_direct_route();
+        let p = node.nprocs();
+        let me = node.rank();
+        let dag = self.dag();
+
+        if p == 1 {
+            // Degenerate single node: build everything locally.
+            for (dur, _) in &dag {
+                node.compute(Work::flops(dur * 1_000_000));
+            }
+            return self.sequential();
+        }
+
+        if me == 0 {
+            // Master: list scheduling over ready tasks.
+            let n = dag.len();
+            let mut remaining_deps: Vec<usize> = dag.iter().map(|(_, d)| d.len()).collect();
+            let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+            for (t, (_, deps)) in dag.iter().enumerate() {
+                for &d in deps {
+                    dependents[d].push(t);
+                }
+            }
+            let mut ready: Vec<usize> = (0..n).filter(|&t| remaining_deps[t] == 0).collect();
+            ready.reverse(); // pop from the front of the topological order
+            let mut idle: Vec<usize> = (1..p).collect();
+            let mut outstanding = 0usize;
+            let mut done_count = 0u64;
+            let mut total = 0u64;
+
+            while done_count < n as u64 {
+                // Assign while we can.
+                while let (Some(&t), true) = (ready.last(), !idle.is_empty()) {
+                    ready.pop();
+                    let worker = idle.pop().expect("idle nonempty");
+                    let mut w = MsgWriter::new();
+                    w.put_u32(t as u32);
+                    w.put_u64(dag[t].0);
+                    node.send(worker, TAG_TASK, w.freeze()).expect("task send");
+                    outstanding += 1;
+                }
+                if outstanding == 0 {
+                    assert!(!ready.is_empty(), "scheduler stalled with work pending");
+                    continue;
+                }
+                // Wait for a completion.
+                let msg = node.recv(None, Some(TAG_DONE)).expect("done recv");
+                let mut r = MsgReader::new(msg.data);
+                let t = r.get_u32().expect("task id") as usize;
+                total += r.get_u64().expect("dur");
+                outstanding -= 1;
+                done_count += 1;
+                idle.push(msg.src);
+                for &dep in &dependents[t] {
+                    remaining_deps[dep] -= 1;
+                    if remaining_deps[dep] == 0 {
+                        ready.push(dep);
+                    }
+                }
+            }
+            // Shut workers down and collect their build counts.
+            let mut built = 0u64;
+            for wkr in 1..p {
+                node.send(wkr, TAG_SHUTDOWN, Bytes::new()).expect("shutdown");
+            }
+            for _ in 1..p {
+                let msg = node.recv(None, Some(TAG_RESULT)).expect("result recv");
+                built += MsgReader::new(msg.data).get_u64().expect("built");
+            }
+            MakeOutput {
+                built,
+                total_mflop: total,
+            }
+        } else {
+            // Worker: build until shutdown.
+            let mut built = 0u64;
+            loop {
+                let msg = node.recv(Some(0), None).expect("worker recv");
+                match msg.tag {
+                    TAG_SHUTDOWN => break,
+                    TAG_TASK => {
+                        let mut r = MsgReader::new(msg.data);
+                        let t = r.get_u32().expect("task id");
+                        let dur = r.get_u64().expect("dur");
+                        node.compute(Work::flops(dur * 1_000_000));
+                        built += 1;
+                        let mut w = MsgWriter::new();
+                        w.put_u32(t);
+                        w.put_u64(dur);
+                        node.send(0, TAG_DONE, w.freeze()).expect("done send");
+                    }
+                    other => panic!("unexpected tag {other} at worker"),
+                }
+            }
+            let mut w = MsgWriter::new();
+            w.put_u64(built);
+            node.send(0, TAG_RESULT, w.freeze()).expect("result send");
+            MakeOutput {
+                built: 0,
+                total_mflop: 0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_workload;
+    use pdceval_mpt::runtime::SpmdConfig;
+    use pdceval_mpt::ToolKind;
+    use pdceval_simnet::platform::Platform;
+
+    #[test]
+    fn dag_is_topologically_ordered() {
+        let w = DistributedMake::small();
+        for (t, (_, deps)) in w.dag().iter().enumerate() {
+            for &d in deps {
+                assert!(d < t, "task {t} depends on later task {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_task_builds_exactly_once() {
+        let w = DistributedMake::small();
+        let expect = w.sequential();
+        for procs in [1, 2, 4] {
+            let out = run_workload(
+                &w,
+                &SpmdConfig::new(Platform::AlphaFddi, ToolKind::P4, procs),
+            )
+            .unwrap();
+            assert_eq!(out.results[0], expect, "x{procs}");
+        }
+    }
+
+    #[test]
+    fn more_workers_build_faster() {
+        let w = DistributedMake::paper();
+        let t2 = run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, ToolKind::P4, 2))
+            .unwrap()
+            .elapsed;
+        let t8 = run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, ToolKind::P4, 8))
+            .unwrap()
+            .elapsed;
+        assert!(
+            t8.as_secs_f64() < t2.as_secs_f64(),
+            "t2={t2} t8={t8}"
+        );
+    }
+}

@@ -1,0 +1,389 @@
+//! Two-dimensional Fast Fourier Transform (paper §3.3 application 2).
+//!
+//! A real complex radix-2 FFT over a synthetic matrix: every node
+//! transforms its block of rows, the matrix is transposed through an
+//! all-to-all block exchange, the (former) columns are transformed, and a
+//! second transpose restores the layout. The transposes "involve transfer
+//! of large amounts of data between processors", which is why the paper
+//! uses 2D-FFT to stress communication primitives.
+//!
+//! The transpose sub-blocks are non-contiguous in row-major storage, so
+//! the exchange uses [`Node::send_strided`]: PVM packs strides natively,
+//! p4/Express applications pay a gather pass — though at FFT's small
+//! message sizes the fixed per-message costs dominate and p4 still wins,
+//! matching Figure 5.
+
+use crate::util::{fnv1a_f64, hash64, unit_f64};
+use crate::workload::{block_range, Workload};
+use pdceval_mpt::message::{MsgReader, MsgWriter};
+use pdceval_mpt::node::Node;
+use pdceval_simnet::work::Work;
+
+const TAG_TRANSPOSE_A: u32 = 110;
+const TAG_TRANSPOSE_B: u32 = 111;
+const TAG_GATHER: u32 = 112;
+
+/// A complex number as a `(re, im)` pair.
+pub type Complex = (f64, f64);
+
+/// 2D FFT workload configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fft2d {
+    /// Matrix side length (power of two).
+    pub n: usize,
+    /// Seed for the synthetic input matrix.
+    pub seed: u64,
+}
+
+impl Fft2d {
+    /// The paper-scale workload: a 64 x 64 "screen of video data"
+    /// (millisecond-scale times, matching Figure 5's FFT pane).
+    pub fn paper() -> Fft2d {
+        Fft2d { n: 64, seed: 5 }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn small() -> Fft2d {
+        Fft2d { n: 16, seed: 5 }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.n.is_power_of_two() && self.n >= 2,
+            "FFT size must be a power of two >= 2"
+        );
+    }
+
+    /// The deterministic synthetic input matrix, row-major.
+    pub fn generate_matrix(&self) -> Vec<Complex> {
+        self.validate();
+        (0..self.n * self.n)
+            .map(|i| {
+                let h = hash64(self.seed.wrapping_mul(0x9E37).wrapping_add(i as u64));
+                (unit_f64(h) * 2.0 - 1.0, 0.0)
+            })
+            .collect()
+    }
+}
+
+/// In-place iterative radix-2 Cooley-Tukey FFT of a power-of-two slice.
+/// `inverse` selects the inverse transform (unscaled; callers divide by n).
+pub fn fft_inplace(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ar, ai) = data[start + k];
+                let (br, bi) = data[start + k + len / 2];
+                let (tr, ti) = (br * cr - bi * ci, br * ci + bi * cr);
+                data[start + k] = (ar + tr, ai + ti);
+                data[start + k + len / 2] = (ar - tr, ai - ti);
+                let (ncr, nci) = (cr * wr - ci * wi, cr * wi + ci * wr);
+                cr = ncr;
+                ci = nci;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Analytic work of one length-`n` FFT (the classic `5 n log2 n` flops).
+fn fft_work(n: usize) -> Work {
+    let logn = n.trailing_zeros() as u64;
+    Work::flops(5 * n as u64 * logn)
+}
+
+/// Sequential 2D FFT: all rows, transpose, all rows again, transpose.
+pub fn fft2d_sequential(matrix: &mut [Complex], n: usize) {
+    for r in 0..n {
+        fft_inplace(&mut matrix[r * n..(r + 1) * n], false);
+    }
+    transpose(matrix, n);
+    for r in 0..n {
+        fft_inplace(&mut matrix[r * n..(r + 1) * n], false);
+    }
+    transpose(matrix, n);
+}
+
+fn transpose(m: &mut [Complex], n: usize) {
+    for r in 0..n {
+        for c in r + 1..n {
+            m.swap(r * n + c, c * n + r);
+        }
+    }
+}
+
+/// Output of the FFT workload: a checksum of the full spectrum (identical
+/// across tools and processor counts — the arithmetic is independent of
+/// the partitioning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FftOutput {
+    /// FNV-1a over the spectrum's bit patterns.
+    pub checksum: u64,
+}
+
+fn encode_block(rows: &[Vec<Complex>]) -> bytes::Bytes {
+    let count: usize = rows.iter().map(Vec::len).sum();
+    let mut w = MsgWriter::with_capacity(8 + count * 16);
+    w.put_u32(rows.len() as u32);
+    for row in rows {
+        let flat: Vec<f64> = row.iter().flat_map(|&(re, im)| [re, im]).collect();
+        w.put_f64_slice(&flat);
+    }
+    w.freeze()
+}
+
+fn decode_block(data: bytes::Bytes) -> Vec<Vec<Complex>> {
+    let mut r = MsgReader::new(data);
+    let nrows = r.get_u32().expect("block header") as usize;
+    (0..nrows)
+        .map(|_| {
+            let flat = r.get_f64_slice().expect("block row");
+            flat.chunks_exact(2).map(|c| (c[0], c[1])).collect()
+        })
+        .collect()
+}
+
+/// Distributed transpose: every node exchanges sub-blocks with every
+/// other node, then locally transposes. `my_rows` is this rank's row
+/// block (row-major, full width `n`); returns the rank's rows of the
+/// transposed matrix.
+fn distributed_transpose(
+    node: &mut Node<'_>,
+    my_rows: Vec<Vec<Complex>>,
+    n: usize,
+    tag: u32,
+) -> Vec<Vec<Complex>> {
+    let p = node.nprocs();
+    let me = node.rank();
+    let my_range = block_range(n, p, me);
+
+    // Send to every peer the sub-block of my rows that lands in their
+    // row range after the transpose (my columns in their range).
+    for r in 0..p {
+        if r == me {
+            continue;
+        }
+        let their = block_range(n, p, r);
+        let sub: Vec<Vec<Complex>> = my_rows
+            .iter()
+            .map(|row| row[their.clone()].to_vec())
+            .collect();
+        // Sub-block columns are strided in row-major storage.
+        node.send_strided(r, tag, encode_block(&sub), 16)
+            .expect("transpose send failed");
+    }
+
+    // Assemble my transposed rows: columns `my_range` of the full matrix.
+    let mut out: Vec<Vec<Complex>> = vec![vec![(0.0, 0.0); n]; my_range.len()];
+    // Local contribution.
+    for (i, row) in my_rows.iter().enumerate() {
+        let global_row = my_range.start + i;
+        for (j, &v) in row[my_range.clone()].iter().enumerate() {
+            out[j][global_row] = v;
+        }
+    }
+    // Remote contributions, received in a fixed peer order (the sources
+    // are statically known, so directed receives avoid p4's wildcard
+    // polling cost; the mailbox buffers out-of-order arrivals).
+    for r in (0..p).filter(|&r| r != me) {
+        let msg = node
+            .recv(Some(r), Some(tag))
+            .expect("transpose recv failed");
+        let src_range = block_range(n, p, msg.src);
+        let block = decode_block(msg.data);
+        for (i, brow) in block.iter().enumerate() {
+            let global_row = src_range.start + i;
+            for (j, &v) in brow.iter().enumerate() {
+                out[j][global_row] = v;
+            }
+        }
+    }
+    // Local transpose bookkeeping.
+    node.compute(Work {
+        flops: 0,
+        int_ops: (n * my_range.len()) as u64,
+        bytes_moved: (n * my_range.len() * 16) as u64,
+    });
+    out
+}
+
+impl Workload for Fft2d {
+    type Output = FftOutput;
+
+    fn name(&self) -> &'static str {
+        "2D-FFT"
+    }
+
+    fn sequential(&self) -> FftOutput {
+        let mut m = self.generate_matrix();
+        fft2d_sequential(&mut m, self.n);
+        let flat: Vec<f64> = m.iter().flat_map(|&(re, im)| [re, im]).collect();
+        FftOutput {
+            checksum: fnv1a_f64(&flat),
+        }
+    }
+
+    fn run(&self, node: &mut Node<'_>) -> FftOutput {
+        self.validate();
+        node.advise_direct_route();
+        let n = self.n;
+        let p = node.nprocs();
+        let me = node.rank();
+        let my_range = block_range(n, p, me);
+
+        // Each node generates its own rows (deterministic by index).
+        let full = self.generate_matrix();
+        let mut my_rows: Vec<Vec<Complex>> = my_range
+            .clone()
+            .map(|r| full[r * n..(r + 1) * n].to_vec())
+            .collect();
+
+        // Pass 1: FFT my rows.
+        for row in &mut my_rows {
+            fft_inplace(row, false);
+        }
+        node.compute(fft_work(n).times(my_rows.len() as u64));
+
+        // Transpose, FFT the former columns, transpose back.
+        let mut cols = distributed_transpose(node, my_rows, n, TAG_TRANSPOSE_A);
+        for row in &mut cols {
+            fft_inplace(row, false);
+        }
+        node.compute(fft_work(n).times(cols.len() as u64));
+        let my_rows = distributed_transpose(node, cols, n, TAG_TRANSPOSE_B);
+
+        // Collect the spectrum at rank 0 and checksum the full matrix in
+        // row order — identical to the sequential reference regardless of
+        // the partitioning — then broadcast the checksum.
+        if me == 0 {
+            let mut full_out: Vec<Vec<Complex>> = vec![Vec::new(); n];
+            for (i, row) in my_rows.into_iter().enumerate() {
+                full_out[my_range.start + i] = row;
+            }
+            for r in 1..p {
+                let msg = node
+                    .recv(Some(r), Some(TAG_GATHER))
+                    .expect("spectrum gather");
+                let src_range = block_range(n, p, msg.src);
+                for (i, row) in decode_block(msg.data).into_iter().enumerate() {
+                    full_out[src_range.start + i] = row;
+                }
+            }
+            let flat: Vec<f64> = full_out
+                .iter()
+                .flatten()
+                .flat_map(|&(re, im)| [re, im])
+                .collect();
+            let h = fnv1a_f64(&flat);
+            let mut wb = MsgWriter::new();
+            wb.put_u64(h);
+            node.broadcast(0, wb.freeze()).expect("checksum bcast");
+            FftOutput { checksum: h }
+        } else {
+            node.send(0, TAG_GATHER, encode_block(&my_rows))
+                .expect("spectrum send");
+            let data = node.broadcast(0, bytes::Bytes::new()).expect("checksum bcast");
+            FftOutput {
+                checksum: MsgReader::new(data).get_u64().expect("checksum decode"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_workload;
+    use pdceval_mpt::runtime::SpmdConfig;
+    use pdceval_mpt::ToolKind;
+    use pdceval_simnet::platform::Platform;
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let n = 8;
+        let input: Vec<Complex> = (0..n).map(|i| (i as f64, -(i as f64) / 2.0)).collect();
+        let mut fast = input.clone();
+        fft_inplace(&mut fast, false);
+        for k in 0..n {
+            let (mut re, mut im) = (0.0, 0.0);
+            for (j, &(xr, xi)) in input.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                re += xr * ang.cos() - xi * ang.sin();
+                im += xr * ang.sin() + xi * ang.cos();
+            }
+            assert!((fast[k].0 - re).abs() < 1e-9, "re[{k}]");
+            assert!((fast[k].1 - im).abs() < 1e-9, "im[{k}]");
+        }
+    }
+
+    #[test]
+    fn fft_inverse_property() {
+        let mut data: Vec<Complex> = (0..32).map(|i| ((i % 7) as f64, (i % 3) as f64)).collect();
+        let original = data.clone();
+        fft_inplace(&mut data, false);
+        fft_inplace(&mut data, true);
+        for ((ar, ai), (br, bi)) in original.iter().zip(
+            data.iter()
+                .map(|&(re, im)| (re / 32.0, im / 32.0))
+                .collect::<Vec<_>>()
+                .iter(),
+        ) {
+            assert!((ar - br).abs() < 1e-9 && (ai - bi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn distributed_matches_sequential_for_all_tools() {
+        let w = Fft2d::small();
+        let expect = w.sequential();
+        for tool in ToolKind::all() {
+            for procs in [1, 2, 4] {
+                let cfg = SpmdConfig::new(Platform::AlphaFddi, tool, procs);
+                let out = run_workload(&w, &cfg).unwrap();
+                assert_eq!(out.results[0], expect, "{tool} x{procs}");
+                // Every rank agrees on the checksum.
+                for r in &out.results {
+                    assert_eq!(r, &expect, "{tool} x{procs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn communication_dominates_at_small_sizes() {
+        // The paper's FFT curves flatten or rise with P on slow networks
+        // (Figure 8): the problem is too small to amortize messaging.
+        let w = Fft2d::paper();
+        let t1 = run_workload(&w, &SpmdConfig::new(Platform::SunEthernet, ToolKind::P4, 1))
+            .unwrap()
+            .elapsed;
+        let t8 = run_workload(&w, &SpmdConfig::new(Platform::SunEthernet, ToolKind::P4, 8))
+            .unwrap()
+            .elapsed;
+        assert!(
+            t8.as_secs_f64() > t1.as_secs_f64(),
+            "expected comm-bound rise on Ethernet: t1={t1} t8={t8}"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Hough transform (Table 2, signal/image class).
+//!
+//! Line detection by (ρ, θ) voting: each node accumulates votes over its
+//! strip of edge pixels, accumulators are summed globally, and the
+//! strongest line wins. The accumulator reduction is a large integer
+//! vector sum — `p4_global_op`/`excombine` where available, hand-rolled
+//! for PVM.
+
+use crate::util::{hash64, portable_sum_i32};
+use crate::workload::{block_range, Workload};
+use pdceval_mpt::node::Node;
+use pdceval_simnet::work::Work;
+
+const TAG_VOTES: u32 = 200;
+const THETA_BINS: usize = 180;
+const RHO_BINS: usize = 128;
+
+/// Hough transform workload on a synthetic edge image containing a known
+/// line plus noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HoughTransform {
+    /// Image side length.
+    pub size: usize,
+    /// Noise points added per 64 pixels of the line.
+    pub noise: usize,
+    /// Seed for noise placement.
+    pub seed: u64,
+}
+
+impl HoughTransform {
+    /// A representative workload size.
+    pub fn paper() -> HoughTransform {
+        HoughTransform {
+            size: 512,
+            noise: 2_000,
+            seed: 81,
+        }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn small() -> HoughTransform {
+        HoughTransform {
+            size: 64,
+            noise: 60,
+            seed: 81,
+        }
+    }
+
+    /// Edge points: a diagonal line plus seeded noise.
+    pub fn edge_points(&self) -> Vec<(usize, usize)> {
+        let mut pts: Vec<(usize, usize)> = (0..self.size).map(|i| (i, i)).collect();
+        for k in 0..self.noise {
+            let h = hash64(self.seed.wrapping_add(k as u64));
+            pts.push((
+                (h % self.size as u64) as usize,
+                ((h >> 32) % self.size as u64) as usize,
+            ));
+        }
+        pts
+    }
+
+    fn vote(&self, pts: &[(usize, usize)], acc: &mut [i32]) {
+        let max_rho = (self.size as f64) * std::f64::consts::SQRT_2;
+        for &(x, y) in pts {
+            for t in 0..THETA_BINS {
+                let theta = t as f64 * std::f64::consts::PI / THETA_BINS as f64;
+                let rho = x as f64 * theta.cos() + y as f64 * theta.sin();
+                let bin = ((rho + max_rho) / (2.0 * max_rho) * (RHO_BINS - 1) as f64)
+                    .round() as usize;
+                acc[t * RHO_BINS + bin.min(RHO_BINS - 1)] += 1;
+            }
+        }
+    }
+}
+
+/// Output: the winning accumulator cell and its vote count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HoughOutput {
+    /// Index of the strongest (θ, ρ) cell.
+    pub peak_cell: u32,
+    /// Votes in that cell.
+    pub peak_votes: i32,
+}
+
+impl Workload for HoughTransform {
+    type Output = HoughOutput;
+
+    fn name(&self) -> &'static str {
+        "Hough Transform"
+    }
+
+    fn sequential(&self) -> HoughOutput {
+        let pts = self.edge_points();
+        let mut acc = vec![0i32; THETA_BINS * RHO_BINS];
+        self.vote(&pts, &mut acc);
+        peak(&acc)
+    }
+
+    fn run(&self, node: &mut Node<'_>) -> HoughOutput {
+        node.advise_direct_route();
+        let p = node.nprocs();
+        let me = node.rank();
+        let pts = self.edge_points();
+        let range = block_range(pts.len(), p, me);
+
+        let mut acc = vec![0i32; THETA_BINS * RHO_BINS];
+        self.vote(&pts[range.clone()], &mut acc);
+        node.compute(Work {
+            flops: (range.len() * THETA_BINS * 4) as u64,
+            int_ops: (range.len() * THETA_BINS * 2) as u64,
+            bytes_moved: (THETA_BINS * RHO_BINS * 4) as u64,
+        });
+
+        let total = portable_sum_i32(node, &acc, TAG_VOTES);
+        node.compute(Work::int_ops(total.len() as u64));
+        peak_result(&total)
+    }
+}
+
+fn peak(acc: &[i32]) -> HoughOutput {
+    peak_result(acc)
+}
+
+fn peak_result(acc: &[i32]) -> HoughOutput {
+    let (cell, votes) = acc
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &v)| (v, std::cmp::Reverse(i)))
+        .expect("nonempty accumulator");
+    HoughOutput {
+        peak_cell: cell as u32,
+        peak_votes: *votes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_workload;
+    use pdceval_mpt::runtime::SpmdConfig;
+    use pdceval_mpt::ToolKind;
+    use pdceval_simnet::platform::Platform;
+
+    #[test]
+    fn detects_the_diagonal_line() {
+        let w = HoughTransform::small();
+        let out = w.sequential();
+        // The diagonal contributes `size` collinear votes; noise cells
+        // hold far fewer.
+        assert!(
+            out.peak_votes >= w.size as i32,
+            "peak votes {} below line length",
+            out.peak_votes
+        );
+        // θ = 135° for the x = y line (1°-wide bins).
+        let theta_bin = out.peak_cell as usize / RHO_BINS;
+        assert!(
+            (130..=140).contains(&theta_bin),
+            "unexpected θ bin {theta_bin}"
+        );
+    }
+
+    #[test]
+    fn distributed_matches_sequential_for_all_tools() {
+        let w = HoughTransform::small();
+        let expect = w.sequential();
+        for tool in ToolKind::all() {
+            for procs in [1, 2, 4] {
+                let out =
+                    run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, tool, procs)).unwrap();
+                for r in &out.results {
+                    assert_eq!(r, &expect, "{tool} x{procs}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! JPEG compression (paper §3.3 application 1).
+//!
+//! A real DCT-based compression pipeline on a synthetic grayscale image:
+//! level shift, 8x8 two-dimensional DCT, quantization, zigzag scan and
+//! run-length encoding. Parallelized in the paper's host-node style: the
+//! host (rank 0) distributes block-aligned row strips, every node —
+//! including the host — compresses its strip, and the host collects the
+//! compressed streams. Distribution and collection move large volumes of
+//! data with no communication during the compute phase, which is why the
+//! paper calls JPEG communication-heavy and why p4 (least communication
+//! overhead) wins it.
+
+use crate::util::{fnv1a, splitmix64};
+use crate::workload::{block_range, Workload};
+use bytes::Bytes;
+use pdceval_mpt::node::Node;
+use pdceval_simnet::work::Work;
+
+const TAG_STRIP: u32 = 100;
+const TAG_RESULT: u32 = 101;
+
+/// Analytic work of compressing one 8x8 block on a 1995 CPU: a
+/// row-column DCT without fast-DCT symmetries (~2 x 8 naive 8-point
+/// transforms), quantization, zigzag and RLE.
+const FLOPS_PER_BLOCK: u64 = 5_000;
+const INT_OPS_PER_BLOCK: u64 = 900;
+const BYTES_MOVED_PER_BLOCK: u64 = 256;
+
+/// The standard JPEG luminance quantization table.
+#[rustfmt::skip]
+const QTABLE: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Zigzag scan order for an 8x8 block.
+#[rustfmt::skip]
+const ZIGZAG: [usize; 64] = [
+     0,  1,  8, 16,  9,  2,  3, 10,
+    17, 24, 32, 25, 18, 11,  4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34,
+    27, 20, 13,  6,  7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36,
+    29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46,
+    53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// JPEG compression workload configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JpegCompression {
+    /// Image width in pixels (multiple of 8).
+    pub width: usize,
+    /// Image height in pixels (multiple of 8).
+    pub height: usize,
+    /// Seed for the synthetic image.
+    pub seed: u64,
+}
+
+impl JpegCompression {
+    /// The paper-scale workload: a 1024 x 1024 image (the paper motivates
+    /// JPEG with the "vast amount of data" of digital imaging).
+    pub fn paper() -> JpegCompression {
+        JpegCompression {
+            width: 1024,
+            height: 1024,
+            seed: 9,
+        }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn small() -> JpegCompression {
+        JpegCompression {
+            width: 64,
+            height: 64,
+            seed: 9,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.width % 8 == 0 && self.height % 8 == 0 && self.width > 0 && self.height > 0,
+            "image dimensions must be positive multiples of 8"
+        );
+    }
+
+    /// Deterministic synthetic grayscale image: smooth gradients plus
+    /// seeded noise (compresses realistically — neither all-runs nor
+    /// incompressible).
+    pub fn generate_image(&self) -> Vec<u8> {
+        self.validate();
+        let mut img = Vec::with_capacity(self.width * self.height);
+        let mut state = self.seed;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let wave = 96.0
+                    + 60.0 * ((x as f64 / 37.0).sin() + (y as f64 / 23.0).cos())
+                    + 16.0 * (((x + y) as f64 / 101.0).sin());
+                let noise = (splitmix64(&mut state) % 17) as f64 - 8.0;
+                img.push((wave + noise).clamp(0.0, 255.0) as u8);
+            }
+        }
+        img
+    }
+
+    fn rows_of_blocks(&self) -> usize {
+        self.height / 8
+    }
+}
+
+/// Forward 8-point DCT-II on one row of 8 samples (naive form, as 1995
+/// codes commonly used).
+fn dct8(input: &[f64; 8]) -> [f64; 8] {
+    let mut out = [0.0f64; 8];
+    for (k, o) in out.iter_mut().enumerate() {
+        let ck = if k == 0 { (0.5f64).sqrt() } else { 1.0 };
+        let mut acc = 0.0;
+        for (n, &v) in input.iter().enumerate() {
+            acc += v * ((std::f64::consts::PI / 8.0) * (n as f64 + 0.5) * k as f64).cos();
+        }
+        *o = 0.5 * ck * acc;
+    }
+    out
+}
+
+/// Inverse 8-point DCT (used by tests to verify round-trip quality).
+fn idct8(input: &[f64; 8]) -> [f64; 8] {
+    let mut out = [0.0f64; 8];
+    for (n, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (k, &v) in input.iter().enumerate() {
+            let ck = if k == 0 { (0.5f64).sqrt() } else { 1.0 };
+            acc += ck * v * ((std::f64::consts::PI / 8.0) * (n as f64 + 0.5) * k as f64).cos();
+        }
+        *o = 0.5 * acc;
+    }
+    out
+}
+
+fn dct2d(block: &mut [f64; 64]) {
+    for r in 0..8 {
+        let mut row = [0.0; 8];
+        row.copy_from_slice(&block[r * 8..r * 8 + 8]);
+        let t = dct8(&row);
+        block[r * 8..r * 8 + 8].copy_from_slice(&t);
+    }
+    for c in 0..8 {
+        let mut col = [0.0; 8];
+        for r in 0..8 {
+            col[r] = block[r * 8 + c];
+        }
+        let t = dct8(&col);
+        for r in 0..8 {
+            block[r * 8 + c] = t[r];
+        }
+    }
+}
+
+fn idct2d(block: &mut [f64; 64]) {
+    for c in 0..8 {
+        let mut col = [0.0; 8];
+        for r in 0..8 {
+            col[r] = block[r * 8 + c];
+        }
+        let t = idct8(&col);
+        for r in 0..8 {
+            block[r * 8 + c] = t[r];
+        }
+    }
+    for r in 0..8 {
+        let mut row = [0.0; 8];
+        row.copy_from_slice(&block[r * 8..r * 8 + 8]);
+        let t = idct8(&row);
+        block[r * 8..r * 8 + 8].copy_from_slice(&t);
+    }
+}
+
+/// Compresses a block-aligned strip of `rows` x `width` pixels. Returns
+/// the encoded byte stream (quantized, zigzagged, run-length coded).
+pub fn compress_strip(pixels: &[u8], width: usize, rows: usize) -> Vec<u8> {
+    assert_eq!(pixels.len(), width * rows, "strip shape mismatch");
+    assert!(width % 8 == 0 && rows % 8 == 0, "strip must be block aligned");
+    let mut out = Vec::with_capacity(pixels.len() / 4);
+    for by in 0..rows / 8 {
+        for bx in 0..width / 8 {
+            let mut block = [0.0f64; 64];
+            for y in 0..8 {
+                for x in 0..8 {
+                    block[y * 8 + x] =
+                        pixels[(by * 8 + y) * width + bx * 8 + x] as f64 - 128.0;
+                }
+            }
+            dct2d(&mut block);
+            // Quantize + zigzag.
+            let mut coeffs = [0i16; 64];
+            for (i, &zz) in ZIGZAG.iter().enumerate() {
+                coeffs[i] = (block[zz] / QTABLE[zz] as f64).round() as i16;
+            }
+            // RLE: (zero-run length, value) pairs; 0xFF run marks end of block.
+            let mut run = 0u8;
+            for &c in &coeffs {
+                if c == 0 {
+                    run += 1;
+                    if run == 0xFE {
+                        out.push(run);
+                        out.extend_from_slice(&0i16.to_le_bytes());
+                        run = 0;
+                    }
+                } else {
+                    out.push(run);
+                    out.extend_from_slice(&c.to_le_bytes());
+                    run = 0;
+                }
+            }
+            out.push(0xFF);
+        }
+    }
+    out
+}
+
+/// Decompresses a stream produced by [`compress_strip`] (tests only —
+/// verifies the codec round-trips with bounded error).
+pub fn decompress_strip(stream: &[u8], width: usize, rows: usize) -> Vec<u8> {
+    let mut pixels = vec![0u8; width * rows];
+    let mut pos = 0;
+    for by in 0..rows / 8 {
+        for bx in 0..width / 8 {
+            let mut coeffs = [0i16; 64];
+            let mut idx = 0;
+            loop {
+                let run = stream[pos];
+                pos += 1;
+                if run == 0xFF {
+                    break;
+                }
+                idx += run as usize;
+                let v = i16::from_le_bytes([stream[pos], stream[pos + 1]]);
+                pos += 2;
+                if v != 0 {
+                    coeffs[idx] = v;
+                    idx += 1;
+                }
+            }
+            let mut block = [0.0f64; 64];
+            for (i, &zz) in ZIGZAG.iter().enumerate() {
+                block[zz] = coeffs[i] as f64 * QTABLE[zz] as f64;
+            }
+            idct2d(&mut block);
+            for y in 0..8 {
+                for x in 0..8 {
+                    pixels[(by * 8 + y) * width + bx * 8 + x] =
+                        (block[y * 8 + x] + 128.0).clamp(0.0, 255.0) as u8;
+                }
+            }
+        }
+    }
+    pixels
+}
+
+/// Output of the JPEG workload: compressed size and stream checksum
+/// (identical across tools and processor counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JpegOutput {
+    /// Total compressed bytes.
+    pub compressed_len: u64,
+    /// FNV-1a checksum of the compressed stream.
+    pub checksum: u64,
+}
+
+impl JpegCompression {
+    /// Charges the analytic compression work for `blocks` 8x8 blocks.
+    fn charge_compress(&self, node: &mut Node<'_>, blocks: u64) {
+        node.compute(Work {
+            flops: FLOPS_PER_BLOCK * blocks,
+            int_ops: INT_OPS_PER_BLOCK * blocks,
+            bytes_moved: BYTES_MOVED_PER_BLOCK * blocks,
+        });
+    }
+}
+
+impl Workload for JpegCompression {
+    type Output = JpegOutput;
+
+    fn name(&self) -> &'static str {
+        "JPEG Compression"
+    }
+
+    fn sequential(&self) -> JpegOutput {
+        let img = self.generate_image();
+        let stream = compress_strip(&img, self.width, self.height);
+        JpegOutput {
+            compressed_len: stream.len() as u64,
+            checksum: fnv1a(&stream),
+        }
+    }
+
+    fn run(&self, node: &mut Node<'_>) -> JpegOutput {
+        self.validate();
+        node.advise_direct_route();
+        let p = node.nprocs();
+        let me = node.rank();
+        let block_rows = self.rows_of_blocks();
+
+        // --- distribution phase (host-node model) ---
+        let my_strip: Vec<u8> = if me == 0 {
+            // The host generates the image and ships each worker its
+            // block-aligned strip.
+            let img = self.generate_image();
+            node.compute(Work {
+                // Image synthesis: a few flops per pixel.
+                flops: (self.width * self.height) as u64 * 6,
+                int_ops: (self.width * self.height) as u64,
+                bytes_moved: (self.width * self.height) as u64,
+            });
+            for r in 1..p {
+                let rows = block_range(block_rows, p, r);
+                let strip =
+                    &img[rows.start * 8 * self.width..rows.end * 8 * self.width];
+                node.send(r, TAG_STRIP, Bytes::copy_from_slice(strip))
+                    .expect("strip send failed");
+            }
+            let rows = block_range(block_rows, p, 0);
+            img[rows.start * 8 * self.width..rows.end * 8 * self.width].to_vec()
+        } else {
+            let msg = node.recv(Some(0), Some(TAG_STRIP)).expect("strip recv failed");
+            msg.data.to_vec()
+        };
+
+        // --- computation phase (no communication, as the paper notes) ---
+        let my_rows = my_strip.len() / self.width;
+        let stream = compress_strip(&my_strip, self.width, my_rows);
+        self.charge_compress(node, (my_rows as u64 / 8) * (self.width as u64 / 8));
+
+        // --- collection phase ---
+        if me == 0 {
+            let mut total = stream;
+            // The host knows exactly which worker holds which strip, so it
+            // posts directed receives in strip order (cheaper than
+            // wildcard receives under p4's socket-per-peer model).
+            for r in 1..p {
+                let msg = node.recv(Some(r), Some(TAG_RESULT)).expect("collect failed");
+                total.extend_from_slice(&msg.data);
+            }
+            JpegOutput {
+                compressed_len: total.len() as u64,
+                checksum: fnv1a(&total),
+            }
+        } else {
+            node.send(0, TAG_RESULT, Bytes::from(stream))
+                .expect("result send failed");
+            JpegOutput {
+                compressed_len: 0,
+                checksum: 0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_workload;
+    use pdceval_mpt::runtime::SpmdConfig;
+    use pdceval_mpt::ToolKind;
+    use pdceval_simnet::platform::Platform;
+
+    #[test]
+    fn dct_idct_round_trip() {
+        let input = [1.0, -3.0, 5.5, 0.0, 2.25, -7.0, 8.0, 4.0];
+        let back = idct8(&dct8(&input));
+        for (a, b) in input.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn compression_reduces_size() {
+        let cfg = JpegCompression::small();
+        let img = cfg.generate_image();
+        let stream = compress_strip(&img, cfg.width, cfg.height);
+        assert!(
+            stream.len() < img.len(),
+            "no compression: {} >= {}",
+            stream.len(),
+            img.len()
+        );
+    }
+
+    #[test]
+    fn codec_round_trip_error_is_bounded() {
+        let cfg = JpegCompression::small();
+        let img = cfg.generate_image();
+        let stream = compress_strip(&img, cfg.width, cfg.height);
+        let back = decompress_strip(&stream, cfg.width, cfg.height);
+        assert_eq!(back.len(), img.len());
+        let mse: f64 = img
+            .iter()
+            .zip(&back)
+            .map(|(&a, &b)| {
+                let d = a as f64 - b as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / img.len() as f64;
+        // Lossy, but JPEG-quality lossy (PSNR well above 25 dB).
+        assert!(mse < 120.0, "mse too high: {mse}");
+    }
+
+    #[test]
+    fn distributed_matches_sequential_for_all_tools() {
+        let w = JpegCompression::small();
+        let expect = w.sequential();
+        for tool in ToolKind::all() {
+            for procs in [1, 2, 4] {
+                let cfg = SpmdConfig::new(Platform::SunAtmLan, tool, procs);
+                let out = run_workload(&w, &cfg).unwrap();
+                assert_eq!(out.results[0], expect, "{tool} x{procs}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_processors_are_faster_at_paper_scale() {
+        // Compute dominates at 1024^2, so the strong-scaling curve must
+        // descend (paper Figure 5, JPEG pane).
+        let w = JpegCompression {
+            width: 512,
+            height: 512,
+            seed: 1,
+        };
+        let t1 = run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, ToolKind::P4, 1))
+            .unwrap()
+            .elapsed;
+        let t4 = run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, ToolKind::P4, 4))
+            .unwrap()
+            .elapsed;
+        assert!(
+            t4.as_secs_f64() < t1.as_secs_f64() * 0.6,
+            "t1={t1} t4={t4}"
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Branch and bound (Table 2, simulation/optimization class).
+//!
+//! 0/1 knapsack solved exactly by depth-first branch-and-bound with a
+//! fractional upper bound. The first `log2`-ish levels of the decision
+//! tree are statically partitioned across nodes; a max-combine yields the
+//! optimum.
+
+use crate::util::hash64;
+use crate::workload::{block_range, Workload};
+use pdceval_mpt::message::{MsgReader, MsgWriter};
+use pdceval_mpt::node::Node;
+use pdceval_simnet::work::Work;
+
+const TAG_BEST: u32 = 190;
+
+/// Branch-and-bound knapsack workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Knapsack {
+    /// Number of items.
+    pub items: usize,
+    /// Levels of the decision tree partitioned across nodes.
+    pub split_levels: usize,
+    /// Seed for weights/values.
+    pub seed: u64,
+}
+
+impl Knapsack {
+    /// A representative workload size.
+    pub fn paper() -> Knapsack {
+        Knapsack {
+            items: 30,
+            split_levels: 5,
+            seed: 71,
+        }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn small() -> Knapsack {
+        Knapsack {
+            items: 16,
+            split_levels: 3,
+            seed: 71,
+        }
+    }
+
+    /// `(weights, values, capacity)`, items sorted by value density
+    /// (required by the fractional bound).
+    pub fn instance(&self) -> (Vec<u32>, Vec<u32>, u64) {
+        let mut items: Vec<(u32, u32)> = (0..self.items)
+            .map(|i| {
+                let w = 1 + (hash64(self.seed.wrapping_add(i as u64 * 2)) % 100) as u32;
+                let v = 1 + (hash64(self.seed.wrapping_add(i as u64 * 2 + 1)) % 100) as u32;
+                (w, v)
+            })
+            .collect();
+        items.sort_by(|a, b| {
+            (b.1 as u64 * a.0 as u64).cmp(&(a.1 as u64 * b.0 as u64)).then(a.0.cmp(&b.0))
+        });
+        let total_w: u64 = items.iter().map(|&(w, _)| w as u64).sum();
+        let weights = items.iter().map(|&(w, _)| w).collect();
+        let values = items.iter().map(|&(_, v)| v).collect();
+        (weights, values, total_w / 2)
+    }
+}
+
+/// Fractional (LP) upper bound from item `idx` with `cap` remaining.
+fn upper_bound(weights: &[u32], values: &[u32], idx: usize, cap: u64, value: u64) -> f64 {
+    let mut bound = value as f64;
+    let mut cap = cap;
+    for i in idx..weights.len() {
+        if weights[i] as u64 <= cap {
+            cap -= weights[i] as u64;
+            bound += values[i] as f64;
+        } else {
+            bound += values[i] as f64 * cap as f64 / weights[i] as f64;
+            break;
+        }
+    }
+    bound
+}
+
+fn dfs(
+    weights: &[u32],
+    values: &[u32],
+    idx: usize,
+    cap: u64,
+    value: u64,
+    best: &mut u64,
+    expanded: &mut u64,
+) {
+    *expanded += 1;
+    if value > *best {
+        *best = value;
+    }
+    if idx == weights.len() || upper_bound(weights, values, idx, cap, value) <= *best as f64 {
+        return;
+    }
+    if weights[idx] as u64 <= cap {
+        dfs(weights, values, idx + 1, cap - weights[idx] as u64, value + values[idx] as u64, best, expanded);
+    }
+    dfs(weights, values, idx + 1, cap, value, best, expanded);
+}
+
+/// Output: the optimal value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnapsackOutput {
+    /// Maximum attainable value.
+    pub best: u64,
+}
+
+/// Exact dynamic-programming reference (for tests).
+pub fn dp_reference(weights: &[u32], values: &[u32], cap: u64) -> u64 {
+    let mut table = vec![0u64; cap as usize + 1];
+    for i in 0..weights.len() {
+        let w = weights[i] as usize;
+        for c in (w..=cap as usize).rev() {
+            table[c] = table[c].max(table[c - w] + values[i] as u64);
+        }
+    }
+    table[cap as usize]
+}
+
+impl Workload for Knapsack {
+    type Output = KnapsackOutput;
+
+    fn name(&self) -> &'static str {
+        "Branch and Bound"
+    }
+
+    fn sequential(&self) -> KnapsackOutput {
+        let (w, v, cap) = self.instance();
+        let mut best = 0;
+        let mut expanded = 0;
+        dfs(&w, &v, 0, cap, 0, &mut best, &mut expanded);
+        KnapsackOutput { best }
+    }
+
+    fn run(&self, node: &mut Node<'_>) -> KnapsackOutput {
+        node.advise_direct_route();
+        let p = node.nprocs();
+        let me = node.rank();
+        let (weights, values, cap) = self.instance();
+        let levels = self.split_levels.min(self.items);
+        let subtrees = 1usize << levels;
+        let range = block_range(subtrees, p, me);
+
+        let mut best = 0u64;
+        let mut expanded = 0u64;
+        for mask in range {
+            // Fix the first `levels` take/skip decisions by the mask bits.
+            let mut capacity = cap;
+            let mut value = 0u64;
+            let mut feasible = true;
+            for bit in 0..levels {
+                if mask >> bit & 1 == 1 {
+                    let w = weights[bit] as u64;
+                    if w > capacity {
+                        feasible = false;
+                        break;
+                    }
+                    capacity -= w;
+                    value += values[bit] as u64;
+                }
+            }
+            if feasible {
+                dfs(&weights, &values, levels, capacity, value, &mut best, &mut expanded);
+            }
+        }
+        node.compute(Work {
+            flops: expanded * 4,
+            int_ops: expanded * 10,
+            bytes_moved: 0,
+        });
+
+        // Max-combine.
+        if me == 0 {
+            let mut global = best;
+            for _ in 1..p {
+                let msg = node.recv(None, Some(TAG_BEST)).expect("best gather");
+                global = global.max(MsgReader::new(msg.data).get_u64().expect("best"));
+            }
+            let mut w = MsgWriter::new();
+            w.put_u64(global);
+            node.broadcast(0, w.freeze()).expect("best bcast");
+            KnapsackOutput { best: global }
+        } else {
+            let mut w = MsgWriter::new();
+            w.put_u64(best);
+            node.send(0, TAG_BEST, w.freeze()).expect("best send");
+            let data = node.broadcast(0, bytes::Bytes::new()).expect("best bcast");
+            KnapsackOutput {
+                best: MsgReader::new(data).get_u64().expect("best"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_workload;
+    use pdceval_mpt::runtime::SpmdConfig;
+    use pdceval_mpt::ToolKind;
+    use pdceval_simnet::platform::Platform;
+
+    #[test]
+    fn branch_and_bound_matches_dp() {
+        let w = Knapsack::small();
+        let (ws, vs, cap) = w.instance();
+        assert_eq!(w.sequential().best, dp_reference(&ws, &vs, cap));
+    }
+
+    #[test]
+    fn distributed_matches_sequential() {
+        let w = Knapsack::small();
+        let expect = w.sequential();
+        for procs in [1, 2, 4] {
+            let out = run_workload(
+                &w,
+                &SpmdConfig::new(Platform::SunEthernet, ToolKind::Express, procs),
+            )
+            .unwrap();
+            assert_eq!(out.results[0], expect, "x{procs}");
+        }
+    }
+}

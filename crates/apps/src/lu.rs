@@ -1,0 +1,215 @@
+//! LU decomposition (Table 2, numerical class).
+//!
+//! Gaussian elimination without pivoting on a diagonally-dominant matrix,
+//! rows distributed cyclically; at each step the owner broadcasts the
+//! pivot row. A classic fine-grained-broadcast workload.
+
+use crate::util::{fnv1a_f64, hash64, unit_f64};
+use crate::workload::Workload;
+use pdceval_mpt::message::{MsgReader, MsgWriter};
+use pdceval_mpt::node::Node;
+use pdceval_simnet::work::Work;
+
+const TAG_GATHER: u32 = 150;
+
+/// LU decomposition workload: an `n x n` diagonally dominant matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LuDecomposition {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Seed for the synthetic matrix.
+    pub seed: u64,
+}
+
+impl LuDecomposition {
+    /// A representative workload size.
+    pub fn paper() -> LuDecomposition {
+        LuDecomposition { n: 128, seed: 33 }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn small() -> LuDecomposition {
+        LuDecomposition { n: 16, seed: 33 }
+    }
+
+    /// Generates the matrix (diagonally dominant so elimination without
+    /// pivoting is numerically safe).
+    pub fn generate(&self) -> Vec<f64> {
+        let n = self.n;
+        let mut m: Vec<f64> = (0..n * n)
+            .map(|i| unit_f64(hash64(self.seed.wrapping_add(i as u64))) - 0.5)
+            .collect();
+        for i in 0..n {
+            m[i * n + i] = n as f64 + unit_f64(hash64(self.seed ^ i as u64));
+        }
+        m
+    }
+}
+
+/// Sequential in-place LU (Doolittle, L below diagonal, U on/above).
+pub fn lu_sequential(m: &mut [f64], n: usize) {
+    for k in 0..n {
+        let pivot = m[k * n + k];
+        for i in k + 1..n {
+            let factor = m[i * n + k] / pivot;
+            m[i * n + k] = factor;
+            for j in k + 1..n {
+                m[i * n + j] -= factor * m[k * n + j];
+            }
+        }
+    }
+}
+
+/// Output: checksum of the packed LU factors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LuOutput {
+    /// FNV-1a over the factored matrix.
+    pub checksum: u64,
+}
+
+impl Workload for LuDecomposition {
+    type Output = LuOutput;
+
+    fn name(&self) -> &'static str {
+        "LU Decomposition"
+    }
+
+    fn sequential(&self) -> LuOutput {
+        let mut m = self.generate();
+        lu_sequential(&mut m, self.n);
+        LuOutput {
+            checksum: fnv1a_f64(&m),
+        }
+    }
+
+    fn run(&self, node: &mut Node<'_>) -> LuOutput {
+        node.advise_direct_route();
+        let n = self.n;
+        let p = node.nprocs();
+        let me = node.rank();
+
+        // Cyclic row distribution: row i belongs to rank i % p.
+        let full = self.generate();
+        let mut my_rows: Vec<(usize, Vec<f64>)> = (0..n)
+            .filter(|i| i % p == me)
+            .map(|i| (i, full[i * n..(i + 1) * n].to_vec()))
+            .collect();
+
+        for k in 0..n {
+            let owner = k % p;
+            // Owner broadcasts the pivot row's trailing part.
+            let pivot_row: Vec<f64> = if owner == me {
+                let row = &my_rows.iter().find(|(i, _)| *i == k).expect("own row").1;
+                let mut w = MsgWriter::with_capacity(4 + (n - k) * 8);
+                w.put_f64_slice(&row[k..]);
+                let data = node.broadcast(owner, w.freeze()).expect("pivot bcast");
+                MsgReader::new(data).get_f64_slice().expect("pivot decode")
+            } else {
+                let data = node
+                    .broadcast(owner, bytes::Bytes::new())
+                    .expect("pivot bcast");
+                MsgReader::new(data).get_f64_slice().expect("pivot decode")
+            };
+            let pivot = pivot_row[0];
+            // Eliminate in my rows below k.
+            let mut updates = 0u64;
+            for (i, row) in my_rows.iter_mut() {
+                if *i > k {
+                    let factor = row[k] / pivot;
+                    row[k] = factor;
+                    for (j, pv) in (k + 1..n).zip(&pivot_row[1..]) {
+                        row[j] -= factor * pv;
+                    }
+                    updates += (n - k) as u64;
+                }
+            }
+            node.compute(Work::flops(2 * updates + 8));
+        }
+
+        // Gather the factored rows at rank 0 and broadcast the checksum.
+        if me == 0 {
+            let mut m = vec![0.0f64; n * n];
+            for (i, row) in &my_rows {
+                m[i * n..(i + 1) * n].copy_from_slice(row);
+            }
+            for _ in 1..p {
+                let msg = node.recv(None, Some(TAG_GATHER)).expect("LU gather");
+                let mut r = MsgReader::new(msg.data);
+                let count = r.get_u32().expect("count") as usize;
+                for _ in 0..count {
+                    let i = r.get_u32().expect("row idx") as usize;
+                    let row = r.get_f64_slice().expect("row");
+                    m[i * n..(i + 1) * n].copy_from_slice(&row);
+                }
+            }
+            let h = fnv1a_f64(&m);
+            let mut w = MsgWriter::new();
+            w.put_u64(h);
+            node.broadcast(0, w.freeze()).expect("sum bcast");
+            LuOutput { checksum: h }
+        } else {
+            let mut w = MsgWriter::new();
+            w.put_u32(my_rows.len() as u32);
+            for (i, row) in &my_rows {
+                w.put_u32(*i as u32);
+                w.put_f64_slice(row);
+            }
+            node.send(0, TAG_GATHER, w.freeze()).expect("LU send");
+            let data = node.broadcast(0, bytes::Bytes::new()).expect("sum bcast");
+            LuOutput {
+                checksum: MsgReader::new(data).get_u64().expect("sum decode"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_workload;
+    use pdceval_mpt::runtime::SpmdConfig;
+    use pdceval_mpt::ToolKind;
+    use pdceval_simnet::platform::Platform;
+
+    #[test]
+    fn lu_factors_reconstruct_matrix() {
+        let w = LuDecomposition::small();
+        let original = w.generate();
+        let mut m = original.clone();
+        lu_sequential(&mut m, w.n);
+        let n = w.n;
+        // Verify A = L * U at a few positions.
+        for &(r, c) in &[(0, 0), (3, 7), (9, 2), (15, 15)] {
+            let mut acc = 0.0;
+            for k in 0..n {
+                let l = if k < r {
+                    m[r * n + k]
+                } else if k == r {
+                    1.0
+                } else {
+                    0.0
+                };
+                let u = if k <= c { m[k * n + c] } else { 0.0 };
+                acc += l * u;
+            }
+            assert!(
+                (acc - original[r * n + c]).abs() < 1e-9,
+                "A[{r}][{c}]: {acc} vs {}",
+                original[r * n + c]
+            );
+        }
+    }
+
+    #[test]
+    fn distributed_matches_sequential() {
+        let w = LuDecomposition::small();
+        let expect = w.sequential();
+        for tool in [ToolKind::P4, ToolKind::Express] {
+            for procs in [1, 2, 4] {
+                let out =
+                    run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, tool, procs)).unwrap();
+                assert_eq!(out.results[0], expect, "{tool} x{procs}");
+            }
+        }
+    }
+}

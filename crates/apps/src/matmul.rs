@@ -1,0 +1,175 @@
+//! Matrix multiplication (Table 2, numerical class).
+//!
+//! `C = A x B` with `A` distributed by row blocks and `B` broadcast to
+//! all nodes — the standard 1995 workstation-cluster formulation. Real
+//! `f64` arithmetic; results are bitwise identical across tools and
+//! processor counts.
+
+use crate::util::{fnv1a_f64, hash64, unit_f64};
+use crate::workload::{block_range, Workload};
+use pdceval_mpt::message::{MsgReader, MsgWriter};
+use pdceval_mpt::node::Node;
+use pdceval_simnet::work::Work;
+
+const TAG_GATHER: u32 = 140;
+
+/// Matrix multiplication workload: `n x n` dense `f64` matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatMul {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Seed for the synthetic matrices.
+    pub seed: u64,
+}
+
+impl MatMul {
+    /// A representative workload size.
+    pub fn paper() -> MatMul {
+        MatMul { n: 192, seed: 21 }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn small() -> MatMul {
+        MatMul { n: 24, seed: 21 }
+    }
+
+    fn gen(&self, which: u64, i: usize) -> f64 {
+        unit_f64(hash64(
+            self.seed
+                .wrapping_mul(0xC13F)
+                .wrapping_add(which << 32)
+                .wrapping_add(i as u64),
+        )) * 2.0
+            - 1.0
+    }
+
+    /// Generates matrix A (row-major).
+    pub fn matrix_a(&self) -> Vec<f64> {
+        (0..self.n * self.n).map(|i| self.gen(1, i)).collect()
+    }
+
+    /// Generates matrix B (row-major).
+    pub fn matrix_b(&self) -> Vec<f64> {
+        (0..self.n * self.n).map(|i| self.gen(2, i)).collect()
+    }
+}
+
+fn multiply_rows(a_rows: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    let rows = a_rows.len() / n;
+    let mut c = vec![0.0f64; rows * n];
+    for r in 0..rows {
+        for k in 0..n {
+            let aik = a_rows[r * n + k];
+            for j in 0..n {
+                c[r * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+    c
+}
+
+/// Output: checksum over C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatMulOutput {
+    /// FNV-1a over C's bit patterns.
+    pub checksum: u64,
+}
+
+impl Workload for MatMul {
+    type Output = MatMulOutput;
+
+    fn name(&self) -> &'static str {
+        "Matrix Multiplication"
+    }
+
+    fn sequential(&self) -> MatMulOutput {
+        let c = multiply_rows(&self.matrix_a(), &self.matrix_b(), self.n);
+        MatMulOutput {
+            checksum: fnv1a_f64(&c),
+        }
+    }
+
+    fn run(&self, node: &mut Node<'_>) -> MatMulOutput {
+        node.advise_direct_route();
+        let n = self.n;
+        let p = node.nprocs();
+        let me = node.rank();
+        let range = block_range(n, p, me);
+
+        // B is broadcast from rank 0 (generated there, like input I/O).
+        let b: Vec<f64> = if me == 0 {
+            let b = self.matrix_b();
+            let mut w = MsgWriter::with_capacity(4 + b.len() * 8);
+            w.put_f64_slice(&b);
+            node.broadcast(0, w.freeze()).expect("B bcast");
+            b
+        } else {
+            let data = node.broadcast(0, bytes::Bytes::new()).expect("B bcast");
+            MsgReader::new(data).get_f64_slice().expect("B decode")
+        };
+
+        // My rows of A, generated deterministically in place.
+        let a_full = self.matrix_a();
+        let a_rows = &a_full[range.start * n..range.end * n];
+        let c_rows = multiply_rows(a_rows, &b, n);
+        node.compute(Work::flops(2 * (range.len() * n * n) as u64));
+
+        // Gather C at rank 0 and broadcast the checksum.
+        if me == 0 {
+            let mut c = vec![0.0f64; n * n];
+            c[range.start * n..range.end * n].copy_from_slice(&c_rows);
+            for _ in 1..p {
+                let msg = node.recv(None, Some(TAG_GATHER)).expect("C gather");
+                let rows = MsgReader::new(msg.data).get_f64_slice().expect("C decode");
+                let rr = block_range(n, p, msg.src);
+                c[rr.start * n..rr.end * n].copy_from_slice(&rows);
+            }
+            let h = fnv1a_f64(&c);
+            let mut w = MsgWriter::new();
+            w.put_u64(h);
+            node.broadcast(0, w.freeze()).expect("sum bcast");
+            MatMulOutput { checksum: h }
+        } else {
+            let mut w = MsgWriter::with_capacity(4 + c_rows.len() * 8);
+            w.put_f64_slice(&c_rows);
+            node.send(0, TAG_GATHER, w.freeze()).expect("C send");
+            let data = node.broadcast(0, bytes::Bytes::new()).expect("sum bcast");
+            MatMulOutput {
+                checksum: MsgReader::new(data).get_u64().expect("sum decode"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_workload;
+    use pdceval_mpt::runtime::SpmdConfig;
+    use pdceval_mpt::ToolKind;
+    use pdceval_simnet::platform::Platform;
+
+    #[test]
+    fn multiply_identity_preserves() {
+        let n = 4;
+        let a: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let mut eye = vec![0.0; 16];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        assert_eq!(multiply_rows(&a, &eye, n), a);
+    }
+
+    #[test]
+    fn distributed_matches_sequential() {
+        let w = MatMul::small();
+        let expect = w.sequential();
+        for tool in [ToolKind::P4, ToolKind::Pvm] {
+            for procs in [1, 3] {
+                let out =
+                    run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, tool, procs)).unwrap();
+                assert_eq!(out.results[0], expect, "{tool} x{procs}");
+            }
+        }
+    }
+}

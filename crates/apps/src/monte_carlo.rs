@@ -1,0 +1,183 @@
+//! Monte Carlo integration (paper §3.3 application 3).
+//!
+//! Estimates a definite integral by averaging the integrand at random
+//! sample points. Compute-intensive with only a tiny final combine —
+//! exactly the latency-bound application class the paper uses it to
+//! represent ("this can benchmark the computing capacity of platforms and
+//! latency impact of different tool implementations").
+//!
+//! Samples are indexed globally and hashed statelessly, so every
+//! partitioning evaluates the identical sample set: estimates agree
+//! across tools and processor counts up to floating-point summation
+//! order.
+
+use crate::util::{hash64, portable_sum_f64, unit_f64};
+use crate::workload::{block_range, Workload};
+use pdceval_mpt::node::Node;
+use pdceval_simnet::work::Work;
+
+const TAG_COMBINE: u32 = 120;
+
+/// Analytic work per sample: stateless RNG hash plus integrand
+/// evaluation on a 1995 FPU.
+const FLOPS_PER_SAMPLE: u64 = 38;
+
+/// Monte Carlo integration workload: estimates
+/// `∫₀¹ 4 / (1 + x²) dx = π`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonteCarlo {
+    /// Total number of samples across all ranks.
+    pub samples: u64,
+    /// Seed mixed into every sample hash.
+    pub seed: u64,
+}
+
+impl MonteCarlo {
+    /// The paper-scale workload: one million samples.
+    pub fn paper() -> MonteCarlo {
+        MonteCarlo {
+            samples: 1_000_000,
+            seed: 77,
+        }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn small() -> MonteCarlo {
+        MonteCarlo {
+            samples: 20_000,
+            seed: 77,
+        }
+    }
+
+    /// The integrand.
+    fn f(x: f64) -> f64 {
+        4.0 / (1.0 + x * x)
+    }
+
+    /// Evaluates the sample with global index `i`.
+    fn sample(&self, i: u64) -> f64 {
+        let x = unit_f64(hash64(self.seed.wrapping_mul(0x5851_F42D).wrapping_add(i)));
+        Self::f(x)
+    }
+}
+
+/// Output of the Monte Carlo workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloOutput {
+    /// The integral estimate.
+    pub estimate: f64,
+    /// Number of samples actually evaluated.
+    pub samples: u64,
+}
+
+impl Workload for MonteCarlo {
+    type Output = MonteCarloOutput;
+
+    fn name(&self) -> &'static str {
+        "Monte Carlo Integration"
+    }
+
+    fn sequential(&self) -> MonteCarloOutput {
+        let sum: f64 = (0..self.samples).map(|i| self.sample(i)).sum();
+        MonteCarloOutput {
+            estimate: sum / self.samples as f64,
+            samples: self.samples,
+        }
+    }
+
+    fn run(&self, node: &mut Node<'_>) -> MonteCarloOutput {
+        node.advise_direct_route();
+        let p = node.nprocs();
+        let me = node.rank();
+        let range = block_range(self.samples as usize, p, me);
+
+        let local_sum: f64 = range.clone().map(|i| self.sample(i as u64)).sum();
+        node.compute(Work::flops(FLOPS_PER_SAMPLE * range.len() as u64));
+
+        // Tiny combine: the tools' global operation where it exists,
+        // PVM's hand-rolled gather otherwise.
+        let totals = portable_sum_f64(node, &[local_sum, range.len() as f64], TAG_COMBINE);
+        MonteCarloOutput {
+            estimate: totals[0] / totals[1],
+            samples: totals[1] as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_workload;
+    use pdceval_mpt::runtime::SpmdConfig;
+    use pdceval_mpt::ToolKind;
+    use pdceval_simnet::platform::Platform;
+
+    #[test]
+    fn sequential_estimate_approximates_pi() {
+        let w = MonteCarlo {
+            samples: 200_000,
+            seed: 3,
+        };
+        let out = w.sequential();
+        assert!(
+            (out.estimate - std::f64::consts::PI).abs() < 0.02,
+            "estimate {} too far from pi",
+            out.estimate
+        );
+    }
+
+    #[test]
+    fn distributed_matches_sequential_for_all_tools() {
+        let w = MonteCarlo::small();
+        let expect = w.sequential();
+        for tool in ToolKind::all() {
+            for procs in [1, 3, 4] {
+                let cfg = SpmdConfig::new(Platform::AlphaFddi, tool, procs);
+                let out = run_workload(&w, &cfg).unwrap();
+                for r in &out.results {
+                    assert_eq!(r.samples, expect.samples, "{tool} x{procs}");
+                    // Summation order differs across partitions; the
+                    // estimate must agree to fp-reassociation tolerance.
+                    assert!(
+                        (r.estimate - expect.estimate).abs() < 1e-9,
+                        "{tool} x{procs}: {} vs {}",
+                        r.estimate,
+                        expect.estimate
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_is_nearly_linear_on_fast_networks() {
+        // Compute-bound: Figure 5's Monte Carlo pane descends ~1/P.
+        let w = MonteCarlo::paper();
+        let t1 = run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, ToolKind::Express, 1))
+            .unwrap()
+            .elapsed;
+        let t8 = run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, ToolKind::Express, 8))
+            .unwrap()
+            .elapsed;
+        let speedup = t1.as_secs_f64() / t8.as_secs_f64();
+        assert!(speedup > 5.0, "speedup only {speedup:.2}");
+    }
+
+    #[test]
+    fn express_wins_the_tiny_combine() {
+        // Figure 5: Express is best at Monte Carlo — its excombine fast
+        // path makes the (tiny) final reduction cheapest.
+        let w = MonteCarlo::paper();
+        let t = |tool| {
+            run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, tool, 8))
+                .unwrap()
+                .elapsed
+                .as_secs_f64()
+        };
+        let ex = t(ToolKind::Express);
+        let p4 = t(ToolKind::P4);
+        let pvm = t(ToolKind::Pvm);
+        assert!(ex < p4, "express {ex} !< p4 {p4}");
+        assert!(ex < pvm, "express {ex} !< pvm {pvm}");
+    }
+}

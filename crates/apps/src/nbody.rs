@@ -1,0 +1,240 @@
+//! N-body simulation (Table 2, simulation class).
+//!
+//! All-pairs gravitational accelerations computed with the classic
+//! systolic ring: particle blocks circulate for `P - 1` steps so every
+//! node sees every block, then positions advance one leapfrog step.
+
+use crate::util::{fnv1a_f64, hash64, unit_f64};
+use crate::workload::{block_range, Workload};
+use pdceval_mpt::message::{MsgReader, MsgWriter};
+use pdceval_mpt::node::Node;
+use pdceval_simnet::work::Work;
+
+const SOFTENING: f64 = 1e-3;
+const DT: f64 = 1e-2;
+
+/// N-body workload: `n` particles, `steps` leapfrog steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NBody {
+    /// Number of particles.
+    pub n: usize,
+    /// Time steps.
+    pub steps: usize,
+    /// Seed for initial conditions.
+    pub seed: u64,
+}
+
+impl NBody {
+    /// A representative workload size.
+    pub fn paper() -> NBody {
+        NBody {
+            n: 1024,
+            steps: 4,
+            seed: 55,
+        }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn small() -> NBody {
+        NBody {
+            n: 48,
+            steps: 2,
+            seed: 55,
+        }
+    }
+
+    /// Initial `(x, y, mass)` of particle `i`.
+    fn particle(&self, i: usize) -> (f64, f64, f64) {
+        let h1 = hash64(self.seed.wrapping_add(i as u64 * 3));
+        let h2 = hash64(self.seed.wrapping_add(i as u64 * 3 + 1));
+        let h3 = hash64(self.seed.wrapping_add(i as u64 * 3 + 2));
+        (
+            unit_f64(h1) * 2.0 - 1.0,
+            unit_f64(h2) * 2.0 - 1.0,
+            unit_f64(h3) * 0.9 + 0.1,
+        )
+    }
+}
+
+/// Acceleration on each particle of `mine` due to all particles of
+/// `others` (skipping self-interaction by index identity).
+fn accumulate(
+    mine: &[(f64, f64, f64)],
+    my_ids: &[usize],
+    others: &[(f64, f64, f64)],
+    other_ids: &[usize],
+    acc: &mut [(f64, f64)],
+) {
+    for (k, &(x, y, _m)) in mine.iter().enumerate() {
+        let (mut ax, mut ay) = acc[k];
+        for (j, &(ox, oy, om)) in others.iter().enumerate() {
+            if my_ids[k] == other_ids[j] {
+                continue;
+            }
+            let dx = ox - x;
+            let dy = oy - y;
+            let d2 = dx * dx + dy * dy + SOFTENING;
+            let inv = om / (d2 * d2.sqrt());
+            ax += dx * inv;
+            ay += dy * inv;
+        }
+        acc[k] = (ax, ay);
+    }
+}
+
+/// Output: checksum over final positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NBodyOutput {
+    /// FNV-1a over the final `(x, y)` coordinates in particle order.
+    pub checksum: u64,
+}
+
+impl Workload for NBody {
+    type Output = NBodyOutput;
+
+    fn name(&self) -> &'static str {
+        "N-body Simulation"
+    }
+
+    fn sequential(&self) -> NBodyOutput {
+        let mut parts: Vec<(f64, f64, f64)> = (0..self.n).map(|i| self.particle(i)).collect();
+        let mut vel = vec![(0.0f64, 0.0f64); self.n];
+        let ids: Vec<usize> = (0..self.n).collect();
+        for _ in 0..self.steps {
+            let mut acc = vec![(0.0f64, 0.0f64); self.n];
+            accumulate(&parts, &ids, &parts, &ids, &mut acc);
+            for i in 0..self.n {
+                vel[i].0 += acc[i].0 * DT;
+                vel[i].1 += acc[i].1 * DT;
+                parts[i].0 += vel[i].0 * DT;
+                parts[i].1 += vel[i].1 * DT;
+            }
+        }
+        let flat: Vec<f64> = parts.iter().flat_map(|&(x, y, _)| [x, y]).collect();
+        NBodyOutput {
+            checksum: fnv1a_f64(&flat),
+        }
+    }
+
+    fn run(&self, node: &mut Node<'_>) -> NBodyOutput {
+        node.advise_direct_route();
+        let p = node.nprocs();
+        let me = node.rank();
+        let range = block_range(self.n, p, me);
+        let mut mine: Vec<(f64, f64, f64)> = range.clone().map(|i| self.particle(i)).collect();
+        let mut vel = vec![(0.0f64, 0.0f64); mine.len()];
+        let my_ids: Vec<usize> = range.clone().collect();
+
+        for _ in 0..self.steps {
+            // Systolic ring: circulate (ids, particles) blocks until every
+            // node holds the full particle set, then accumulate in global
+            // particle order — bitwise identical to the sequential pass
+            // for any processor count.
+            let mut full = vec![(0.0f64, 0.0f64, 0.0f64); self.n];
+            for (k, &part) in mine.iter().enumerate() {
+                full[range.start + k] = part;
+            }
+            let mut ring_block = mine.clone();
+            let mut ring_ids = my_ids.clone();
+            for _ in 1..p {
+                let mut w = MsgWriter::new();
+                w.put_u32_slice(&ring_ids.iter().map(|&i| i as u32).collect::<Vec<_>>());
+                let flat: Vec<f64> =
+                    ring_block.iter().flat_map(|&(x, y, m)| [x, y, m]).collect();
+                w.put_f64_slice(&flat);
+                let data = node.ring_shift(w.freeze()).expect("ring shift");
+                let mut r = MsgReader::new(data);
+                ring_ids = r
+                    .get_u32_slice()
+                    .expect("ids")
+                    .into_iter()
+                    .map(|i| i as usize)
+                    .collect();
+                ring_block = r
+                    .get_f64_slice()
+                    .expect("parts")
+                    .chunks_exact(3)
+                    .map(|c| (c[0], c[1], c[2]))
+                    .collect();
+                for (k, &part) in ring_block.iter().enumerate() {
+                    full[ring_ids[k]] = part;
+                }
+            }
+            let all_ids: Vec<usize> = (0..self.n).collect();
+            let mut acc = vec![(0.0f64, 0.0f64); mine.len()];
+            accumulate(&mine, &my_ids, &full, &all_ids, &mut acc);
+            node.compute(Work::flops(12 * (mine.len() * self.n) as u64));
+            for i in 0..mine.len() {
+                vel[i].0 += acc[i].0 * DT;
+                vel[i].1 += acc[i].1 * DT;
+                mine[i].0 += vel[i].0 * DT;
+                mine[i].1 += vel[i].1 * DT;
+            }
+            node.compute(Work::flops(8 * mine.len() as u64));
+        }
+
+        // Gather final positions at rank 0, broadcast the checksum.
+        if me == 0 {
+            let mut all = vec![(0.0f64, 0.0f64); self.n];
+            for (k, &(x, y, _)) in mine.iter().enumerate() {
+                all[range.start + k] = (x, y);
+            }
+            for _ in 1..p {
+                let msg = node.recv(None, Some(170)).expect("pos gather");
+                let rr = block_range(self.n, p, msg.src);
+                let flat = MsgReader::new(msg.data).get_f64_slice().expect("pos");
+                for (k, c) in flat.chunks_exact(2).enumerate() {
+                    all[rr.start + k] = (c[0], c[1]);
+                }
+            }
+            let flat: Vec<f64> = all.iter().flat_map(|&(x, y)| [x, y]).collect();
+            let h = fnv1a_f64(&flat);
+            let mut w = MsgWriter::new();
+            w.put_u64(h);
+            node.broadcast(0, w.freeze()).expect("sum bcast");
+            NBodyOutput { checksum: h }
+        } else {
+            let flat: Vec<f64> = mine.iter().flat_map(|&(x, y, _)| [x, y]).collect();
+            let mut w = MsgWriter::new();
+            w.put_f64_slice(&flat);
+            node.send(0, 170, w.freeze()).expect("pos send");
+            let data = node.broadcast(0, bytes::Bytes::new()).expect("sum bcast");
+            NBodyOutput {
+                checksum: MsgReader::new(data).get_u64().expect("sum"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_workload;
+    use pdceval_mpt::runtime::SpmdConfig;
+    use pdceval_mpt::ToolKind;
+    use pdceval_simnet::platform::Platform;
+
+    #[test]
+    fn two_bodies_attract() {
+        let mine = vec![(0.0, 0.0, 1.0)];
+        let others = vec![(1.0, 0.0, 1.0)];
+        let mut acc = vec![(0.0, 0.0)];
+        accumulate(&mine, &[0], &others, &[1], &mut acc);
+        assert!(acc[0].0 > 0.0, "attraction must pull right");
+        assert!(acc[0].1.abs() < 1e-12);
+    }
+
+    #[test]
+    fn distributed_matches_sequential() {
+        let w = NBody::small();
+        let expect = w.sequential();
+        for procs in [1, 2, 4] {
+            let out = run_workload(
+                &w,
+                &SpmdConfig::new(Platform::AlphaFddi, ToolKind::Pvm, procs),
+            )
+            .unwrap();
+            assert_eq!(out.results[0], expect, "x{procs}");
+        }
+    }
+}

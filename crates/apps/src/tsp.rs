@@ -1,0 +1,217 @@
+//! Traveling Salesman (Table 2, simulation/optimization class).
+//!
+//! Exact branch-and-bound: first-city prefixes are statically partitioned
+//! across nodes, each node searches its subtrees depth-first with
+//! bound pruning, and the global optimum is combined at the end. Static
+//! partitioning keeps the result and the work deterministic.
+
+use crate::util::{hash64, unit_f64};
+use crate::workload::{block_range, Workload};
+use pdceval_mpt::message::{MsgReader, MsgWriter};
+use pdceval_mpt::node::Node;
+use pdceval_simnet::work::Work;
+
+const TAG_BEST: u32 = 180;
+
+/// TSP workload: `cities` on a seeded random plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tsp {
+    /// Number of cities (exact search; keep modest).
+    pub cities: usize,
+    /// Seed for city coordinates.
+    pub seed: u64,
+}
+
+impl Tsp {
+    /// A representative workload size.
+    pub fn paper() -> Tsp {
+        Tsp { cities: 11, seed: 67 }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn small() -> Tsp {
+        Tsp { cities: 8, seed: 67 }
+    }
+
+    /// City coordinates.
+    pub fn coords(&self) -> Vec<(f64, f64)> {
+        (0..self.cities)
+            .map(|i| {
+                (
+                    unit_f64(hash64(self.seed.wrapping_add(i as u64 * 2))),
+                    unit_f64(hash64(self.seed.wrapping_add(i as u64 * 2 + 1))),
+                )
+            })
+            .collect()
+    }
+
+    fn dist_matrix(&self) -> Vec<Vec<f64>> {
+        let c = self.coords();
+        (0..self.cities)
+            .map(|i| {
+                (0..self.cities)
+                    .map(|j| {
+                        let dx = c[i].0 - c[j].0;
+                        let dy = c[i].1 - c[j].1;
+                        (dx * dx + dy * dy).sqrt()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Depth-first branch-and-bound from a fixed prefix. Returns the best
+/// complete tour cost found and the number of nodes expanded.
+fn search(
+    d: &[Vec<f64>],
+    path: &mut Vec<usize>,
+    visited: &mut Vec<bool>,
+    cost_so_far: f64,
+    best: &mut f64,
+    expanded: &mut u64,
+) {
+    let n = d.len();
+    *expanded += 1;
+    if cost_so_far >= *best {
+        return; // bound
+    }
+    if path.len() == n {
+        let total = cost_so_far + d[*path.last().expect("tour")][path[0]];
+        if total < *best {
+            *best = total;
+        }
+        return;
+    }
+    let last = *path.last().expect("nonempty path");
+    for next in 1..n {
+        if !visited[next] {
+            visited[next] = true;
+            path.push(next);
+            search(d, path, visited, cost_so_far + d[last][next], best, expanded);
+            path.pop();
+            visited[next] = false;
+        }
+    }
+}
+
+/// Output: optimal tour cost (microdegree-rounded for stable comparison)
+/// and nodes expanded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TspOutput {
+    /// Optimal tour length scaled by 1e9 and rounded — exact comparisons
+    /// across runs without fp-equality pitfalls.
+    pub best_nano: u64,
+}
+
+fn run_prefixes(tsp: &Tsp, prefixes: std::ops::Range<usize>, best_in: f64) -> (f64, u64) {
+    let d = tsp.dist_matrix();
+    let mut best = best_in;
+    let mut expanded = 0u64;
+    for second in prefixes {
+        let second = second + 1; // cities 1..n as the tour's second stop
+        let mut path = vec![0, second];
+        let mut visited = vec![false; tsp.cities];
+        visited[0] = true;
+        visited[second] = true;
+        search(&d, &mut path, &mut visited, d[0][second], &mut best, &mut expanded);
+    }
+    (best, expanded)
+}
+
+impl Workload for Tsp {
+    type Output = TspOutput;
+
+    fn name(&self) -> &'static str {
+        "Traveling Salesman"
+    }
+
+    fn sequential(&self) -> TspOutput {
+        let (best, _) = run_prefixes(self, 0..self.cities - 1, f64::INFINITY);
+        TspOutput {
+            best_nano: (best * 1e9).round() as u64,
+        }
+    }
+
+    fn run(&self, node: &mut Node<'_>) -> TspOutput {
+        node.advise_direct_route();
+        let p = node.nprocs();
+        let me = node.rank();
+        // Partition the second-city choices.
+        let range = block_range(self.cities - 1, p, me);
+        let (best, expanded) = run_prefixes(self, range, f64::INFINITY);
+        node.compute(Work {
+            flops: expanded * 6,
+            int_ops: expanded * 12,
+            bytes_moved: 0,
+        });
+
+        // Min-combine at rank 0, then broadcast.
+        if me == 0 {
+            let mut global = best;
+            for _ in 1..p {
+                let msg = node.recv(None, Some(TAG_BEST)).expect("best gather");
+                let b = MsgReader::new(msg.data).get_f64().expect("best");
+                global = global.min(b);
+            }
+            let mut w = MsgWriter::new();
+            w.put_f64(global);
+            node.broadcast(0, w.freeze()).expect("best bcast");
+            TspOutput {
+                best_nano: (global * 1e9).round() as u64,
+            }
+        } else {
+            let mut w = MsgWriter::new();
+            w.put_f64(best);
+            node.send(0, TAG_BEST, w.freeze()).expect("best send");
+            let data = node.broadcast(0, bytes::Bytes::new()).expect("best bcast");
+            TspOutput {
+                best_nano: (MsgReader::new(data).get_f64().expect("best") * 1e9).round() as u64,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_workload;
+    use pdceval_mpt::runtime::SpmdConfig;
+    use pdceval_mpt::ToolKind;
+    use pdceval_simnet::platform::Platform;
+
+    #[test]
+    fn square_tour_is_perimeter() {
+        // 4 cities on a unit square: optimal tour = 4.
+        let d = vec![
+            vec![0.0, 1.0, 2f64.sqrt(), 1.0],
+            vec![1.0, 0.0, 1.0, 2f64.sqrt()],
+            vec![2f64.sqrt(), 1.0, 0.0, 1.0],
+            vec![1.0, 2f64.sqrt(), 1.0, 0.0],
+        ];
+        let mut best = f64::INFINITY;
+        let mut expanded = 0;
+        for second in 1..4 {
+            let mut path = vec![0, second];
+            let mut visited = vec![false; 4];
+            visited[0] = true;
+            visited[second] = true;
+            search(&d, &mut path, &mut visited, d[0][second], &mut best, &mut expanded);
+        }
+        assert!((best - 4.0).abs() < 1e-12, "best {best}");
+    }
+
+    #[test]
+    fn distributed_matches_sequential() {
+        let w = Tsp::small();
+        let expect = w.sequential();
+        for procs in [1, 2, 4] {
+            let out = run_workload(
+                &w,
+                &SpmdConfig::new(Platform::Sp1Switch, ToolKind::P4, procs),
+            )
+            .unwrap();
+            assert_eq!(out.results[0], expect, "x{procs}");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Shared helpers for the application suite: deterministic RNG, checksums,
+//! and tool-portable reductions.
+//!
+//! The reductions matter for fidelity: p4 and Express applications use the
+//! tools' built-in global operations, but PVM has none (paper Table 1), so
+//! real PVM applications hand-rolled gathers — and so do ours.
+
+use bytes::Bytes;
+use pdceval_mpt::message::{MsgReader, MsgWriter};
+use pdceval_mpt::node::Node;
+use pdceval_simnet::ids::Tag;
+use pdceval_simnet::work::Work;
+
+/// SplitMix64 step: deterministic, high-quality 64-bit mixing.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stateless hash of an index — lets every rank generate the same global
+/// sample stream without communication (deterministic across partitions).
+pub fn hash64(x: u64) -> u64 {
+    let mut s = x;
+    splitmix64(&mut s)
+}
+
+/// Maps a 64-bit hash to a float in `[0, 1)`.
+pub fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// FNV-1a checksum of a byte slice (stable across platforms).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a over the little-endian bit patterns of `f64`s.
+pub fn fnv1a_f64(xs: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for x in xs {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Tool-portable global `f64` vector sum: uses the tool's reduction where
+/// it exists (p4 `p4_global_op`, Express `excombine`); for PVM, hand-rolls
+/// a gather-to-rank-0 plus `pvm_mcast` of the result, exactly as 1995 PVM
+/// applications had to.
+pub fn portable_sum_f64(node: &mut Node<'_>, xs: &[f64], tag: Tag) -> Vec<f64> {
+    match node.global_sum_f64(xs) {
+        Ok(v) => v,
+        Err(_) => hand_rolled_sum_f64(node, xs, tag),
+    }
+}
+
+fn hand_rolled_sum_f64(node: &mut Node<'_>, xs: &[f64], tag: Tag) -> Vec<f64> {
+    let p = node.nprocs();
+    let me = node.rank();
+    if p == 1 {
+        return xs.to_vec();
+    }
+    if me == 0 {
+        let mut acc = xs.to_vec();
+        for _ in 1..p {
+            let msg = node.recv(None, Some(tag)).expect("gather recv failed");
+            let v = MsgReader::new(msg.data)
+                .get_f64_slice()
+                .expect("gather decode failed");
+            node.compute(Work::flops(acc.len() as u64));
+            for (a, x) in acc.iter_mut().zip(&v) {
+                *a += *x;
+            }
+        }
+        let mut w = MsgWriter::with_capacity(4 + acc.len() * 8);
+        w.put_f64_slice(&acc);
+        node.broadcast(0, w.freeze()).expect("result mcast failed");
+        acc
+    } else {
+        let mut w = MsgWriter::with_capacity(4 + xs.len() * 8);
+        w.put_f64_slice(xs);
+        node.send(0, tag, w.freeze()).expect("gather send failed");
+        let data = node.broadcast(0, Bytes::new()).expect("result mcast failed");
+        MsgReader::new(data)
+            .get_f64_slice()
+            .expect("result decode failed")
+    }
+}
+
+/// Tool-portable global `i32` vector sum; see [`portable_sum_f64`].
+pub fn portable_sum_i32(node: &mut Node<'_>, xs: &[i32], tag: Tag) -> Vec<i32> {
+    match node.global_sum_i32(xs) {
+        Ok(v) => v,
+        Err(_) => {
+            let p = node.nprocs();
+            let me = node.rank();
+            if p == 1 {
+                return xs.to_vec();
+            }
+            if me == 0 {
+                let mut acc = xs.to_vec();
+                for _ in 1..p {
+                    let msg = node.recv(None, Some(tag)).expect("gather recv failed");
+                    let v = MsgReader::new(msg.data)
+                        .get_i32_slice()
+                        .expect("gather decode failed");
+                    node.compute(Work::int_ops(acc.len() as u64));
+                    for (a, x) in acc.iter_mut().zip(&v) {
+                        *a = a.wrapping_add(*x);
+                    }
+                }
+                let mut w = MsgWriter::with_capacity(4 + acc.len() * 4);
+                w.put_i32_slice(&acc);
+                node.broadcast(0, w.freeze()).expect("result mcast failed");
+                acc
+            } else {
+                let mut w = MsgWriter::with_capacity(4 + xs.len() * 4);
+                w.put_i32_slice(xs);
+                node.send(0, tag, w.freeze()).expect("gather send failed");
+                let data = node.broadcast(0, Bytes::new()).expect("result mcast failed");
+                MsgReader::new(data)
+                    .get_i32_slice()
+                    .expect("result decode failed")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        assert_eq!(splitmix64(&mut a), splitmix64(&mut b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hash64_differs_by_index() {
+        assert_ne!(hash64(0), hash64(1));
+        assert_ne!(hash64(1), hash64(2));
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        for i in 0..1000 {
+            let u = unit_f64(hash64(i));
+            assert!((0.0..1.0).contains(&u), "out of range: {u}");
+        }
+    }
+
+    #[test]
+    fn fnv_known_value() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    #[test]
+    fn fnv_f64_sensitive_to_bits() {
+        assert_ne!(fnv1a_f64(&[1.0]), fnv1a_f64(&[-1.0]));
+        assert_eq!(fnv1a_f64(&[1.0, 2.0]), fnv1a_f64(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn portable_sums_agree_across_tools() {
+        use pdceval_mpt::runtime::{run_spmd, SpmdConfig};
+        use pdceval_mpt::ToolKind;
+        use pdceval_simnet::platform::Platform;
+
+        let mut expected: Option<Vec<f64>> = None;
+        for tool in ToolKind::all() {
+            let cfg = SpmdConfig::new(Platform::SunAtmLan, tool, 4);
+            let out = run_spmd(&cfg, |node| {
+                let mine = vec![node.rank() as f64 + 1.0, 10.0];
+                portable_sum_f64(node, &mine, 77)
+            })
+            .unwrap();
+            for r in &out.results {
+                assert_eq!(r, &vec![10.0, 40.0], "{tool}");
+            }
+            match &expected {
+                None => expected = Some(out.results[0].clone()),
+                Some(e) => assert_eq!(e, &out.results[0]),
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! The workload abstraction: applications written once, runnable under
+//! every tool and platform, with a sequential reference for correctness.
+
+use pdceval_mpt::error::RunError;
+use pdceval_mpt::node::Node;
+use pdceval_mpt::runtime::{run_spmd, SpmdConfig};
+use pdceval_simnet::time::SimDuration;
+
+/// A distributed application from the SU PDABS suite.
+///
+/// Implementations perform *real* computation (real DCTs, FFT butterflies,
+/// comparisons) and charge analytic [`pdceval_simnet::work::Work`] so the
+/// simulated clock advances deterministically.
+pub trait Workload: Clone + Send + Sync + 'static {
+    /// The value each rank produces (host-node workloads return the
+    /// interesting value from rank 0).
+    type Output: Send + std::fmt::Debug + 'static;
+
+    /// Display name, matching the paper's Table 2 terminology.
+    fn name(&self) -> &'static str;
+
+    /// The distributed implementation, executed by every rank.
+    fn run(&self, node: &mut Node<'_>) -> Self::Output;
+
+    /// A sequential reference implementation used to verify correctness.
+    fn sequential(&self) -> Self::Output;
+}
+
+/// Results of one workload execution.
+#[derive(Debug, Clone)]
+pub struct WorkloadOutcome<T> {
+    /// Simulated wall time from start to the last rank's completion —
+    /// the "execution time" of the paper's Figures 5-8.
+    pub elapsed: SimDuration,
+    /// Per-rank outputs, indexed by rank.
+    pub results: Vec<T>,
+}
+
+/// Runs a workload on a simulated cluster.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the tool/platform combination is unsupported
+/// or the simulation fails (deadlock, rank panic).
+pub fn run_workload<W: Workload>(
+    w: &W,
+    cfg: &SpmdConfig,
+) -> Result<WorkloadOutcome<W::Output>, RunError> {
+    let w = w.clone();
+    let out = run_spmd(cfg, move |node| w.run(node))?;
+    Ok(WorkloadOutcome {
+        elapsed: out.elapsed,
+        results: out.results,
+    })
+}
+
+/// The contiguous block of `n` items owned by rank `r` of `p`
+/// (balanced partition: the first `n % p` ranks get one extra item).
+pub fn block_range(n: usize, p: usize, r: usize) -> std::ops::Range<usize> {
+    assert!(p > 0 && r < p, "invalid partition request: n={n} p={p} r={r}");
+    let base = n / p;
+    let rem = n % p;
+    let start = r * base + r.min(rem);
+    let len = base + usize::from(r < rem);
+    start..start + len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_ranges_cover_exactly() {
+        for n in [0usize, 1, 7, 64, 100] {
+            for p in 1..=8 {
+                let mut total = 0;
+                let mut next = 0;
+                for r in 0..p {
+                    let range = block_range(n, p, r);
+                    assert_eq!(range.start, next, "gap at rank {r}");
+                    next = range.end;
+                    total += range.len();
+                }
+                assert_eq!(total, n);
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn block_ranges_are_balanced() {
+        for r in 0..3 {
+            let len = block_range(10, 3, r).len();
+            assert!(len == 3 || len == 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid partition")]
+    fn zero_parts_rejected() {
+        let _ = block_range(10, 0, 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **PVM routing**: daemon route (the TPL default) versus the tuned
+//!   direct route used by the application suite — quantifies how much of
+//!   PVM's TPL disadvantage is the daemon.
+//! * **Broadcast algorithms**: the three tools' algorithms (binomial
+//!   tree, sequential fan-out, sequential+ack) at increasing node counts
+//!   on a switched fabric, isolating algorithmic scaling.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdceval_core::tpl::{broadcast_sweep, BroadcastConfig};
+use pdceval_mpt::runtime::{run_spmd, SpmdConfig};
+use pdceval_mpt::ToolKind;
+use pdceval_simnet::platform::Platform;
+
+/// Echo time with and without `pvm_advise(PvmRouteDirect)`.
+fn pvm_routing_ablation() -> (f64, f64) {
+    let time = |direct: bool| {
+        let cfg = SpmdConfig::new(Platform::SunAtmLan, ToolKind::Pvm, 2);
+        let out = run_spmd(&cfg, move |node| {
+            if direct {
+                node.advise_direct_route();
+            }
+            let payload = Bytes::from(vec![0u8; 16 * 1024]);
+            if node.rank() == 0 {
+                node.send(1, 1, payload).unwrap();
+                let _ = node.recv(Some(1), Some(2)).unwrap();
+            } else {
+                let _ = node.recv(Some(0), Some(1)).unwrap();
+                node.send(0, 2, payload).unwrap();
+            }
+            node.now().as_millis_f64()
+        })
+        .expect("run failed");
+        out.results[0] / 2.0
+    };
+    (time(false), time(true))
+}
+
+fn bench(c: &mut Criterion) {
+    let (daemon, direct) = pvm_routing_ablation();
+    eprintln!(
+        "ablation/pvm_routing @16KB ATM LAN: daemon {daemon:.2} ms vs direct {direct:.2} ms \
+         ({:.1}x)",
+        daemon / direct
+    );
+    assert!(direct < daemon, "direct route must beat the daemon route");
+
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("pvm_routing", |b| b.iter(pvm_routing_ablation));
+
+    for nprocs in [2usize, 4, 8] {
+        for tool in ToolKind::all() {
+            let cfg = BroadcastConfig {
+                platform: Platform::SunAtmLan,
+                tool,
+                nprocs,
+                sizes_kb: vec![16],
+            };
+            let t = broadcast_sweep(&cfg).expect("sweep failed")[0].millis;
+            eprintln!("ablation/bcast_algo/{tool}/P{nprocs} @16KB: {t:.2} ms");
+            g.bench_function(format!("bcast_algo/{tool}/P{nprocs}"), |b| {
+                b.iter(|| broadcast_sweep(&cfg).expect("sweep failed"))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

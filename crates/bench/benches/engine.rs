@@ -1,0 +1,59 @@
+//! Microbenchmarks of the discrete-event engine itself: event throughput
+//! for message delivery, resource contention and process switching.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdceval_simnet::engine::Simulation;
+use pdceval_simnet::envelope::{Envelope, Matcher};
+use pdceval_simnet::flight::{Stage, TransmitPlan};
+use pdceval_simnet::host::HostSpec;
+use pdceval_simnet::ids::ProcId;
+use pdceval_simnet::time::SimDuration;
+
+fn ping_pong(rounds: u32) {
+    let mut sim = Simulation::new();
+    sim.spawn("a", HostSpec::sun_ipx(), move |ctx| {
+        for i in 0..rounds {
+            let env = Envelope::new(ctx.pid(), ProcId(1), i, Bytes::new());
+            ctx.transmit(
+                env,
+                TransmitPlan::single(vec![Stage::Latency(SimDuration::from_micros(10))]),
+            );
+            let _ = ctx.recv(Matcher::tagged(i));
+        }
+    });
+    sim.spawn("b", HostSpec::sun_ipx(), move |ctx| {
+        for i in 0..rounds {
+            let msg = ctx.recv(Matcher::tagged(i));
+            let env = Envelope::new(ctx.pid(), msg.src, i, Bytes::new());
+            ctx.transmit(
+                env,
+                TransmitPlan::single(vec![Stage::Latency(SimDuration::from_micros(10))]),
+            );
+        }
+    });
+    sim.run().expect("simulation failed");
+}
+
+fn contended_resource(nprocs: u32, per_proc: u32) {
+    let mut sim = Simulation::new();
+    let wire = sim.add_resource("wire");
+    for i in 0..nprocs {
+        sim.spawn(&format!("p{i}"), HostSpec::sun_ipx(), move |ctx| {
+            for _ in 0..per_proc {
+                ctx.serve(wire, SimDuration::from_micros(5));
+            }
+        });
+    }
+    sim.run().expect("simulation failed");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("ping_pong_1000", |b| b.iter(|| ping_pong(1000)));
+    g.bench_function("contention_8x500", |b| b.iter(|| contended_resource(8, 500)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

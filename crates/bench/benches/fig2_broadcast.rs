@@ -1,0 +1,33 @@
+//! Regenerates Figure 2 (broadcast among 4 SUNs over Ethernet and the
+//! NYNET ATM WAN).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdceval_core::tpl::{broadcast_sweep, BroadcastConfig};
+use pdceval_mpt::ToolKind;
+use pdceval_simnet::platform::Platform;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_broadcast");
+    g.sample_size(10);
+    for (pname, platform) in [
+        ("ethernet", Platform::SunEthernet),
+        ("atm_wan", Platform::SunAtmWan),
+    ] {
+        for tool in ToolKind::all() {
+            if !tool.supports_platform(platform) {
+                continue;
+            }
+            let cfg = BroadcastConfig::figure2(platform, tool);
+            let pts = broadcast_sweep(&cfg).expect("sweep failed");
+            let row: Vec<String> = pts.iter().map(|p| format!("{:.1}", p.millis)).collect();
+            eprintln!("fig2/{pname}/{tool}: {} ms", row.join(" "));
+            g.bench_function(format!("{pname}/{tool}"), |b| {
+                b.iter(|| broadcast_sweep(&cfg).expect("sweep failed"))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

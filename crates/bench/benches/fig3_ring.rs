@@ -1,0 +1,32 @@
+//! Regenerates Figure 3 (simultaneous ring shift among 4 SUNs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdceval_core::tpl::{ring_sweep, RingConfig};
+use pdceval_mpt::ToolKind;
+use pdceval_simnet::platform::Platform;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_ring");
+    g.sample_size(10);
+    for (pname, platform) in [
+        ("ethernet", Platform::SunEthernet),
+        ("atm_wan", Platform::SunAtmWan),
+    ] {
+        for tool in ToolKind::all() {
+            if !tool.supports_platform(platform) {
+                continue;
+            }
+            let cfg = RingConfig::figure3(platform, tool);
+            let pts = ring_sweep(&cfg).expect("sweep failed");
+            let row: Vec<String> = pts.iter().map(|p| format!("{:.1}", p.millis)).collect();
+            eprintln!("fig3/{pname}/{tool}: {} ms", row.join(" "));
+            g.bench_function(format!("{pname}/{tool}"), |b| {
+                b.iter(|| ring_sweep(&cfg).expect("sweep failed"))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerates Figure 4 (global vector summation among 4 SUNs; PVM is
+//! absent — it has no global operation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdceval_core::tpl::{global_sum_sweep, GlobalSumConfig, GlobalSumResult};
+use pdceval_mpt::ToolKind;
+use pdceval_simnet::platform::Platform;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_globalsum");
+    g.sample_size(10);
+    for (label, platform, tool) in [
+        ("ethernet/p4", Platform::SunEthernet, ToolKind::P4),
+        ("ethernet/express", Platform::SunEthernet, ToolKind::Express),
+        ("nynet/p4", Platform::SunAtmWan, ToolKind::P4),
+    ] {
+        let cfg = GlobalSumConfig::figure4(platform, tool);
+        match global_sum_sweep(&cfg).expect("sweep failed") {
+            GlobalSumResult::Timed(pts) => {
+                let row: Vec<String> = pts.iter().map(|p| format!("{:.0}", p.millis)).collect();
+                eprintln!("fig4/{label}: {} ms", row.join(" "));
+            }
+            GlobalSumResult::Unsupported(e) => panic!("unexpected: {e}"),
+        }
+        g.bench_function(label, |b| {
+            b.iter(|| global_sum_sweep(&cfg).expect("sweep failed"))
+        });
+    }
+    // PVM's "Not Available" row is part of the artifact too.
+    let pvm = global_sum_sweep(&GlobalSumConfig::figure4(Platform::SunEthernet, ToolKind::Pvm))
+        .expect("sweep failed");
+    assert!(matches!(pvm, GlobalSumResult::Unsupported(_)));
+    eprintln!("fig4/ethernet/PVM: Not Available");
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

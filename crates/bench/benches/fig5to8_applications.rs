@@ -1,0 +1,46 @@
+//! Regenerates Figures 5-8 (application performance on the four
+//! platforms). Benchmarked at reduced workload scale so Criterion's
+//! repetitions stay tractable; the `repro` binary runs paper scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdceval_core::apl::{app_sweep, figure_procs, AplApp, AplConfig, Scale};
+use pdceval_mpt::ToolKind;
+use pdceval_simnet::platform::Platform;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5to8_applications");
+    g.sample_size(10);
+    for (fig, platform, tools) in [
+        ("fig5_alpha_fddi", Platform::AlphaFddi, ToolKind::all().to_vec()),
+        ("fig6_sp1", Platform::Sp1Switch, ToolKind::all().to_vec()),
+        (
+            "fig7_atm_wan",
+            Platform::SunAtmWan,
+            vec![ToolKind::P4, ToolKind::Pvm],
+        ),
+        ("fig8_ethernet", Platform::SunEthernet, ToolKind::all().to_vec()),
+    ] {
+        for app in AplApp::all() {
+            for &tool in &tools {
+                let cfg = AplConfig {
+                    app,
+                    platform,
+                    tool,
+                    procs: figure_procs(platform),
+                    scale: Scale::Quick,
+                };
+                let pts = app_sweep(&cfg).expect("sweep failed");
+                let row: Vec<String> =
+                    pts.iter().map(|p| format!("{:.4}", p.seconds)).collect();
+                eprintln!("{fig}/{app}/{tool}: {} s", row.join(" "));
+                g.bench_function(format!("{fig}/{app}/{tool}"), |b| {
+                    b.iter(|| app_sweep(&cfg).expect("sweep failed"))
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerates Table 3 (snd/rcv timings on SUN workstations): one bench
+//! per (platform, tool) column of the table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdceval_core::tpl::{send_recv_sweep, SendRecvConfig};
+use pdceval_mpt::ToolKind;
+use pdceval_simnet::platform::Platform;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_sndrecv");
+    g.sample_size(10);
+    for (pname, platform) in [
+        ("ethernet", Platform::SunEthernet),
+        ("atm_lan", Platform::SunAtmLan),
+        ("atm_wan", Platform::SunAtmWan),
+    ] {
+        for tool in ToolKind::all() {
+            if !tool.supports_platform(platform) {
+                continue;
+            }
+            let cfg = SendRecvConfig::table3(platform, tool);
+            // Print the row once, as the paper's table reports it.
+            let pts = send_recv_sweep(&cfg).expect("sweep failed");
+            let row: Vec<String> = pts.iter().map(|p| format!("{:.2}", p.millis)).collect();
+            eprintln!("table3/{pname}/{tool}: {} ms", row.join(" "));
+            g.bench_function(format!("{pname}/{tool}"), |b| {
+                b.iter(|| send_recv_sweep(&cfg).expect("sweep failed"))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Regenerates the usability table (paper §3.3.1) and benchmarks the
+//! weighted multi-level scoring machinery (Tables 1 and 5 are static
+//! data; the interesting cost is evaluation with many measurements).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdceval_core::adl::Criterion as AdlCriterion;
+use pdceval_core::experiments::{table1, table5};
+use pdceval_core::score::{Evaluator, LevelWeights, Measurement};
+use pdceval_mpt::ToolKind;
+
+fn bench(c: &mut Criterion) {
+    eprintln!("{}", table1().body);
+    eprintln!("{}", table5().body);
+
+    let mut g = c.benchmark_group("usability_scoring");
+    g.bench_function("render_tables", |b| {
+        b.iter(|| (table1().body.len(), table5().body.len()))
+    });
+    g.bench_function("evaluate_100_measurements", |b| {
+        b.iter(|| {
+            let mut e = Evaluator::new();
+            e.level_weights(LevelWeights::developer());
+            e.criterion_weight(AdlCriterion::DebuggingSupport, 3.0);
+            for i in 0..100 {
+                e.tpl_measurement(Measurement::new(
+                    format!("m{i}"),
+                    vec![
+                        (ToolKind::Express, Some(2.0 + i as f64)),
+                        (ToolKind::P4, Some(1.0 + i as f64)),
+                        (ToolKind::Pvm, Some(1.5 + i as f64)),
+                    ],
+                ));
+            }
+            e.evaluate()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

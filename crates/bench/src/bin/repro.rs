@@ -1,0 +1,56 @@
+//! Regenerates every table and figure of the paper's evaluation section
+//! and writes them to `target/repro/`.
+//!
+//! Usage:
+//!
+//! ```bash
+//! cargo run --release -p pdceval-bench --bin repro            # paper scale
+//! cargo run --release -p pdceval-bench --bin repro -- quick   # reduced scale
+//! ```
+
+use pdceval_bench::{regenerate, write_artifacts};
+use pdceval_core::apl::Scale;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    let scale = match arg.as_str() {
+        "" | "paper" => Scale::Paper,
+        "quick" => Scale::Quick,
+        other => {
+            eprintln!("unknown scale '{other}' (expected 'paper' or 'quick')");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!("regenerating all tables and figures at {scale:?} scale...");
+    let started = std::time::Instant::now();
+    let artifacts = match regenerate(scale) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("reproduction failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for a in &artifacts {
+        println!("==================================================================");
+        println!("{}", a.title);
+        println!("==================================================================");
+        println!("{}", a.body);
+    }
+
+    let dir = PathBuf::from("target/repro");
+    if let Err(e) = write_artifacts(&artifacts, &dir) {
+        eprintln!("failed to write artifacts: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "wrote {} artifacts to {} in {:.1}s",
+        artifacts.len(),
+        dir.display(),
+        started.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}

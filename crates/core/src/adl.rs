@@ -1,0 +1,220 @@
+//! Application Development Level (ADL) — the paper's §2.3 usability
+//! criteria and its §3.3.1 assessments.
+//!
+//! The ADL characterizes tools by what they offer the developer rather
+//! than by measured performance: supported programming models, language
+//! interfaces, the development interface (ease of programming, debugging,
+//! customization, error handling), the run-time interface, integration
+//! with other software, and portability. Each criterion is rated
+//! WS (well supported), PS (partially supported) or NS (not supported),
+//! exactly as the paper's final table does.
+
+use pdceval_mpt::ToolKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A usability rating (the paper's WS/PS/NS scale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Support {
+    /// NS — not supported.
+    NotSupported,
+    /// PS — partially supported.
+    Partial,
+    /// WS — well supported.
+    Well,
+}
+
+impl Support {
+    /// The paper's two-letter code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Support::Well => "WS",
+            Support::Partial => "PS",
+            Support::NotSupported => "NS",
+        }
+    }
+
+    /// Numeric value for weighted scoring (WS=2, PS=1, NS=0).
+    pub fn value(&self) -> f64 {
+        match self {
+            Support::Well => 2.0,
+            Support::Partial => 1.0,
+            Support::NotSupported => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for Support {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// The usability criteria of §2.3 / the §3.3.1 assessment table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Criterion {
+    /// Programming models supported (host-node, SPMD/Cubix, ...).
+    ProgrammingModels,
+    /// Language interface (C, FORTRAN, multiple languages).
+    LanguageInterface,
+    /// Ease of programming (learning curve, re-engineering effort).
+    EaseOfProgramming,
+    /// Debugging support (tracing, breakpoints, data inspection).
+    DebuggingSupport,
+    /// Customization (macros, reconfiguration, I/O formats).
+    Customization,
+    /// Error handling (graceful exit, informative messages).
+    ErrorHandling,
+    /// Run-time interface (parallel I/O, data redistribution, dynamic
+    /// load balancing).
+    RunTimeInterface,
+    /// Integration with other software systems (visualization, profiling).
+    Integration,
+    /// Portability (architecture-independent interface).
+    Portability,
+}
+
+impl Criterion {
+    /// All criteria in the paper's table order.
+    pub fn all() -> [Criterion; 9] {
+        [
+            Criterion::ProgrammingModels,
+            Criterion::LanguageInterface,
+            Criterion::EaseOfProgramming,
+            Criterion::DebuggingSupport,
+            Criterion::Customization,
+            Criterion::ErrorHandling,
+            Criterion::RunTimeInterface,
+            Criterion::Integration,
+            Criterion::Portability,
+        ]
+    }
+
+    /// Display name matching the paper's table rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Criterion::ProgrammingModels => "Programming Models Supported",
+            Criterion::LanguageInterface => "Language Interface",
+            Criterion::EaseOfProgramming => "Ease of Programming",
+            Criterion::DebuggingSupport => "Debugging Support",
+            Criterion::Customization => "Customization",
+            Criterion::ErrorHandling => "Error Handling",
+            Criterion::RunTimeInterface => "Run-Time Interface",
+            Criterion::Integration => "Integration with other Software Systems",
+            Criterion::Portability => "Portability",
+        }
+    }
+
+    /// Whether the paper groups this criterion under "Development
+    /// Interface".
+    pub fn is_development_interface(&self) -> bool {
+        matches!(
+            self,
+            Criterion::EaseOfProgramming
+                | Criterion::DebuggingSupport
+                | Criterion::Customization
+                | Criterion::ErrorHandling
+        )
+    }
+}
+
+impl fmt::Display for Criterion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The paper's §3.3.1 assessment of one tool.
+pub fn assessment(tool: ToolKind) -> Vec<(Criterion, Support)> {
+    use Criterion::*;
+    use Support::*;
+    let ratings: [Support; 9] = match tool {
+        // Paper table, column "P4".
+        ToolKind::P4 => [Well, Well, Partial, Partial, Partial, Partial, Partial, Partial, Well],
+        // Column "PVM".
+        ToolKind::Pvm => [Well, Well, Well, Partial, NotSupported, Partial, Well, Well, Well],
+        // Column "Express".
+        ToolKind::Express => [Well, Well, Partial, Well, Partial, Partial, Well, NotSupported, Well],
+    };
+    [
+        ProgrammingModels,
+        LanguageInterface,
+        EaseOfProgramming,
+        DebuggingSupport,
+        Customization,
+        ErrorHandling,
+        RunTimeInterface,
+        Integration,
+        Portability,
+    ]
+    .into_iter()
+    .zip(ratings)
+    .collect()
+}
+
+/// The programming models of §2.3 that a tool supports.
+pub fn programming_models(tool: ToolKind) -> Vec<&'static str> {
+    match tool {
+        // All three support host-node; Express additionally promotes the
+        // SPMD "Cubix" model.
+        ToolKind::Express => vec!["Host-Node", "SPMD (Cubix)"],
+        ToolKind::P4 => vec!["Host-Node", "SPMD"],
+        ToolKind::Pvm => vec!["Host-Node", "SPMD"],
+    }
+}
+
+/// The language bindings the paper notes (all three: C and FORTRAN).
+pub fn language_interfaces(_tool: ToolKind) -> Vec<&'static str> {
+    vec!["C", "FORTRAN"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assessments_match_the_paper_table() {
+        // Spot-check the distinctive cells of the §3.3.1 table.
+        let pvm: Vec<Support> = assessment(ToolKind::Pvm).into_iter().map(|(_, s)| s).collect();
+        assert_eq!(pvm[2], Support::Well, "PVM ease of programming is WS");
+        assert_eq!(pvm[4], Support::NotSupported, "PVM customization is NS");
+        let ex: Vec<Support> = assessment(ToolKind::Express)
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(ex[3], Support::Well, "Express debugging is WS");
+        assert_eq!(ex[7], Support::NotSupported, "Express integration is NS");
+        let p4: Vec<Support> = assessment(ToolKind::P4).into_iter().map(|(_, s)| s).collect();
+        assert!(
+            p4[2..8].iter().all(|s| *s == Support::Partial),
+            "p4 development-interface rows are PS"
+        );
+    }
+
+    #[test]
+    fn every_tool_rates_every_criterion() {
+        for tool in ToolKind::all() {
+            let a = assessment(tool);
+            assert_eq!(a.len(), Criterion::all().len());
+            let crits: Vec<Criterion> = a.iter().map(|(c, _)| *c).collect();
+            assert_eq!(crits, Criterion::all().to_vec());
+        }
+    }
+
+    #[test]
+    fn support_values_are_ordered() {
+        assert!(Support::Well.value() > Support::Partial.value());
+        assert!(Support::Partial.value() > Support::NotSupported.value());
+        assert_eq!(Support::Well.code(), "WS");
+    }
+
+    #[test]
+    fn all_tools_are_portable_with_c_and_fortran() {
+        for tool in ToolKind::all() {
+            let a = assessment(tool);
+            assert_eq!(a.last().expect("portability").1, Support::Well);
+            assert_eq!(language_interfaces(tool), vec!["C", "FORTRAN"]);
+            assert!(programming_models(tool).contains(&"Host-Node"));
+        }
+    }
+}

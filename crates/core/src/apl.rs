@@ -1,0 +1,200 @@
+//! Application Performance Level (APL) benchmarks — the paper's §2.2 /
+//! §3.3.
+//!
+//! Runs the four benchmarked SU PDABS applications (JPEG compression,
+//! 2D-FFT, Monte Carlo integration, PSRS sorting) across processor counts
+//! on each platform, producing the execution-time-vs-processors series of
+//! Figures 5-8.
+
+use pdceval_apps::fft::Fft2d;
+use pdceval_apps::jpeg::JpegCompression;
+use pdceval_apps::monte_carlo::MonteCarlo;
+use pdceval_apps::psrs::PsrsSort;
+use pdceval_apps::workload::run_workload;
+use pdceval_mpt::error::RunError;
+use pdceval_mpt::runtime::SpmdConfig;
+use pdceval_mpt::ToolKind;
+use pdceval_simnet::platform::Platform;
+use std::fmt;
+
+/// The four applications of the paper's §3.3, in figure order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AplApp {
+    /// 2D Fast Fourier Transform.
+    Fft,
+    /// JPEG compression ("JPEG Simulation" in the figures).
+    Jpeg,
+    /// Monte Carlo integration.
+    MonteCarlo,
+    /// Parallel Sorting by Regular Sampling.
+    Sorting,
+}
+
+impl AplApp {
+    /// All four, in the order the paper's figure panes appear.
+    pub fn all() -> [AplApp; 4] {
+        [AplApp::Fft, AplApp::Jpeg, AplApp::MonteCarlo, AplApp::Sorting]
+    }
+
+    /// Pane title as used in the paper's figures.
+    pub fn title(&self) -> &'static str {
+        match self {
+            AplApp::Fft => "2D-FFT",
+            AplApp::Jpeg => "JPEG Simulation",
+            AplApp::MonteCarlo => "Monte Carlo Integration",
+            AplApp::Sorting => "Sorting by Sampling",
+        }
+    }
+}
+
+impl fmt::Display for AplApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.title())
+    }
+}
+
+/// Workload scale: the paper's sizes, or reduced sizes for fast tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// The calibrated paper-scale workloads.
+    Paper,
+    /// Small workloads for quick runs and tests (same shapes, less time).
+    Quick,
+}
+
+/// Configuration of one APL sweep (one pane of one figure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AplConfig {
+    /// The application.
+    pub app: AplApp,
+    /// The testbed.
+    pub platform: Platform,
+    /// The tool.
+    pub tool: ToolKind,
+    /// Processor counts to sweep.
+    pub procs: Vec<usize>,
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+/// One measured point: processor count and execution time in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AplPoint {
+    /// Number of processors.
+    pub procs: usize,
+    /// Simulated execution time in seconds.
+    pub seconds: f64,
+}
+
+/// The processor counts of the paper's figures for a platform
+/// (1..=8 generally, 1..=4 on the NYNET WAN).
+pub fn figure_procs(platform: Platform) -> Vec<usize> {
+    let max = platform.max_nodes().min(8);
+    (1..=max).collect()
+}
+
+/// Runs one application sweep.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the tool/platform combination is unsupported
+/// or any run fails.
+pub fn app_sweep(cfg: &AplConfig) -> Result<Vec<AplPoint>, RunError> {
+    let mut points = Vec::with_capacity(cfg.procs.len());
+    for &procs in &cfg.procs {
+        let run_cfg = SpmdConfig::new(cfg.platform, cfg.tool, procs);
+        let seconds = run_app(cfg.app, cfg.scale, &run_cfg)?;
+        points.push(AplPoint { procs, seconds });
+    }
+    Ok(points)
+}
+
+fn run_app(app: AplApp, scale: Scale, cfg: &SpmdConfig) -> Result<f64, RunError> {
+    let elapsed = match (app, scale) {
+        (AplApp::Jpeg, Scale::Paper) => run_workload(&JpegCompression::paper(), cfg)?.elapsed,
+        (AplApp::Jpeg, Scale::Quick) => {
+            run_workload(
+                &JpegCompression {
+                    width: 128,
+                    height: 128,
+                    seed: 9,
+                },
+                cfg,
+            )?
+            .elapsed
+        }
+        (AplApp::Fft, Scale::Paper) => run_workload(&Fft2d::paper(), cfg)?.elapsed,
+        (AplApp::Fft, Scale::Quick) => run_workload(&Fft2d { n: 32, seed: 5 }, cfg)?.elapsed,
+        (AplApp::MonteCarlo, Scale::Paper) => run_workload(&MonteCarlo::paper(), cfg)?.elapsed,
+        (AplApp::MonteCarlo, Scale::Quick) => {
+            run_workload(
+                &MonteCarlo {
+                    samples: 50_000,
+                    seed: 77,
+                },
+                cfg,
+            )?
+            .elapsed
+        }
+        (AplApp::Sorting, Scale::Paper) => run_workload(&PsrsSort::paper(), cfg)?.elapsed,
+        (AplApp::Sorting, Scale::Quick) => {
+            run_workload(
+                &PsrsSort {
+                    keys: 20_000,
+                    seed: 11,
+                },
+                cfg,
+            )?
+            .elapsed
+        }
+    };
+    Ok(elapsed.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_procs_respect_platform_limits() {
+        assert_eq!(figure_procs(Platform::AlphaFddi), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(figure_procs(Platform::SunAtmWan), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn jpeg_scales_down_with_processors() {
+        let cfg = AplConfig {
+            app: AplApp::Jpeg,
+            platform: Platform::AlphaFddi,
+            tool: ToolKind::P4,
+            procs: vec![1, 4],
+            scale: Scale::Paper,
+        };
+        let pts = app_sweep(&cfg).unwrap();
+        assert!(pts[1].seconds < pts[0].seconds * 0.5, "{pts:?}");
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let cfg = AplConfig {
+            app: AplApp::MonteCarlo,
+            platform: Platform::Sp1Switch,
+            tool: ToolKind::Express,
+            procs: vec![2],
+            scale: Scale::Quick,
+        };
+        assert_eq!(app_sweep(&cfg).unwrap(), app_sweep(&cfg).unwrap());
+    }
+
+    #[test]
+    fn express_sweep_fails_on_wan() {
+        let cfg = AplConfig {
+            app: AplApp::Fft,
+            platform: Platform::SunAtmWan,
+            tool: ToolKind::Express,
+            procs: vec![1],
+            scale: Scale::Quick,
+        };
+        assert!(app_sweep(&cfg).is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! The paper's figures as regenerable artifacts (ASCII plots + CSV).
+
+use super::Artifact;
+use crate::apl::{app_sweep, figure_procs, AplApp, AplConfig, Scale};
+use crate::report::{ascii_plot, to_csv, Series};
+use crate::tpl::{
+    broadcast_sweep, global_sum_sweep, ring_sweep, BroadcastConfig, GlobalSumConfig,
+    GlobalSumResult, RingConfig,
+};
+use pdceval_mpt::error::RunError;
+use pdceval_mpt::ToolKind;
+use pdceval_simnet::platform::Platform;
+use std::fmt::Write as _;
+
+fn kb(points: &[crate::tpl::TimingPoint]) -> Vec<(f64, f64)> {
+    points
+        .iter()
+        .map(|p| (p.size as f64 / 1024.0, p.millis))
+        .collect()
+}
+
+/// Figure 2: broadcast timing among 4 SUNs, Ethernet and ATM WAN panes.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if any sweep fails.
+pub fn figure2() -> Result<Artifact, RunError> {
+    let mut body = String::new();
+    let mut all_series = Vec::new();
+    for (pane, platform, tools) in [
+        (
+            "Broadcast Timing on Ethernet using 4 SUNs",
+            Platform::SunEthernet,
+            vec![ToolKind::Pvm, ToolKind::P4, ToolKind::Express],
+        ),
+        (
+            "Broadcast Timing on ATM WAN using 4 SUNs",
+            Platform::SunAtmWan,
+            vec![ToolKind::Pvm, ToolKind::P4],
+        ),
+    ] {
+        let mut series = Vec::new();
+        for tool in tools {
+            let pts = broadcast_sweep(&BroadcastConfig::figure2(platform, tool))?;
+            series.push(Series::new(
+                format!("{tool} ({})", platform.name()),
+                kb(&pts),
+            ));
+        }
+        body.push_str(&ascii_plot(pane, &series, 64, 16));
+        body.push('\n');
+        all_series.extend(series);
+    }
+    Ok(Artifact::new(
+        "fig2",
+        "Figure 2: Broadcast on SUN SPARCstations over Ethernet and ATM WAN (ms vs KB)",
+        body,
+    )
+    .with_csv(to_csv(&all_series)))
+}
+
+/// Figure 3: ring ("all nodes send and receive") timing among 4 SUNs.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if any sweep fails.
+pub fn figure3() -> Result<Artifact, RunError> {
+    let mut body = String::new();
+    let mut all_series = Vec::new();
+    for (pane, platform, tools) in [
+        (
+            "Ring(Loop) Timing on Ethernet using 4 SUNs",
+            Platform::SunEthernet,
+            vec![ToolKind::Pvm, ToolKind::P4, ToolKind::Express],
+        ),
+        (
+            "Ring(Loop) Timing on ATM WAN using 4 SUNs",
+            Platform::SunAtmWan,
+            vec![ToolKind::Pvm, ToolKind::P4],
+        ),
+    ] {
+        let mut series = Vec::new();
+        for tool in tools {
+            let pts = ring_sweep(&RingConfig::figure3(platform, tool))?;
+            series.push(Series::new(
+                format!("{tool} ({})", platform.name()),
+                kb(&pts),
+            ));
+        }
+        body.push_str(&ascii_plot(pane, &series, 64, 16));
+        body.push('\n');
+        all_series.extend(series);
+    }
+    Ok(Artifact::new(
+        "fig3",
+        "Figure 3: Ring communication on SUN SPARCstations over Ethernet and ATM WAN (ms vs KB)",
+        body,
+    )
+    .with_csv(to_csv(&all_series)))
+}
+
+/// Figure 4: global vector summation among 4 SUNs — p4 and Express on
+/// Ethernet plus p4 across NYNET; PVM is absent (no global operation).
+///
+/// # Errors
+///
+/// Returns [`RunError`] if any sweep fails.
+pub fn figure4() -> Result<Artifact, RunError> {
+    let mut series = Vec::new();
+    for (label, platform, tool) in [
+        ("p4", Platform::SunEthernet, ToolKind::P4),
+        ("express", Platform::SunEthernet, ToolKind::Express),
+        ("p4-NYNET", Platform::SunAtmWan, ToolKind::P4),
+    ] {
+        match global_sum_sweep(&GlobalSumConfig::figure4(platform, tool))? {
+            GlobalSumResult::Timed(pts) => {
+                series.push(Series::new(
+                    label,
+                    pts.iter().map(|p| (p.size as f64, p.millis)).collect(),
+                ));
+            }
+            GlobalSumResult::Unsupported(e) => {
+                panic!("unexpectedly unsupported: {e}");
+            }
+        }
+    }
+    let mut body = ascii_plot("Vector Sum Timing 4 SUNs (ms vs #integers)", &series, 64, 16);
+    let _ = writeln!(
+        body,
+        "\nPVM: Not Available (no global operation; paper Table 1)."
+    );
+    Ok(
+        Artifact::new("fig4", "Figure 4: Global summation on SUN SPARCstations", body)
+            .with_csv(to_csv(&series)),
+    )
+}
+
+fn app_figure(
+    id: &'static str,
+    title: &str,
+    platform: Platform,
+    tools: &[ToolKind],
+    scale: Scale,
+) -> Result<Artifact, RunError> {
+    let procs = figure_procs(platform);
+    let mut body = String::new();
+    let mut all_series = Vec::new();
+    for app in AplApp::all() {
+        let mut series = Vec::new();
+        for &tool in tools {
+            let pts = app_sweep(&AplConfig {
+                app,
+                platform,
+                tool,
+                procs: procs.clone(),
+                scale,
+            })?;
+            series.push(Series::new(
+                format!("{tool}/{}", app.title()),
+                pts.iter().map(|p| (p.procs as f64, p.seconds)).collect(),
+            ));
+        }
+        body.push_str(&ascii_plot(
+            &format!("{} on {} (seconds vs processors)", app.title(), platform.name()),
+            &series,
+            56,
+            12,
+        ));
+        body.push('\n');
+        all_series.extend(series);
+    }
+    Ok(Artifact::new(id, title.to_string(), body).with_csv(to_csv(&all_series)))
+}
+
+/// Figure 5: application performance on ALPHA/FDDI (all three tools,
+/// P = 1..8).
+///
+/// # Errors
+///
+/// Returns [`RunError`] if any run fails.
+pub fn figure5(scale: Scale) -> Result<Artifact, RunError> {
+    app_figure(
+        "fig5",
+        "Figure 5: Application Performances on ALPHA/FDDI",
+        Platform::AlphaFddi,
+        &ToolKind::all(),
+        scale,
+    )
+}
+
+/// Figure 6: application performance on the IBM-SP1 crossbar switch.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if any run fails.
+pub fn figure6(scale: Scale) -> Result<Artifact, RunError> {
+    app_figure(
+        "fig6",
+        "Figure 6: Application Performances on IBM-SP1 with crossbar switch",
+        Platform::Sp1Switch,
+        &ToolKind::all(),
+        scale,
+    )
+}
+
+/// Figure 7: application performance across the NYNET ATM WAN (p4 and
+/// PVM only — Express had no NYNET port — and P = 1..4).
+///
+/// # Errors
+///
+/// Returns [`RunError`] if any run fails.
+pub fn figure7(scale: Scale) -> Result<Artifact, RunError> {
+    app_figure(
+        "fig7",
+        "Figure 7: Application Performances on SUN/ATM-WAN (NYNET)",
+        Platform::SunAtmWan,
+        &[ToolKind::P4, ToolKind::Pvm],
+        scale,
+    )
+}
+
+/// Figure 8: application performance on SUN/Ethernet.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if any run fails.
+pub fn figure8(scale: Scale) -> Result<Artifact, RunError> {
+    app_figure(
+        "fig8",
+        "Figure 8: Application Performances on SUN/Ethernet",
+        Platform::SunEthernet,
+        &ToolKind::all(),
+        scale,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_plots_three_series_without_pvm() {
+        let a = figure4().unwrap();
+        assert!(a.body.contains("p4-NYNET"));
+        assert!(a.body.contains("Not Available"));
+        let csv = a.csv.expect("figure csv");
+        assert!(csv.starts_with("x,p4,express,p4-NYNET"));
+    }
+
+    #[test]
+    fn figure7_runs_quick_without_express() {
+        let a = figure7(Scale::Quick).unwrap();
+        assert!(!a.body.contains("Express"), "Express must be absent on NYNET");
+        assert!(a.body.contains("p4"));
+        assert!(a.csv.is_some());
+    }
+
+    #[test]
+    fn figure5_quick_has_all_four_panes() {
+        let a = figure5(Scale::Quick).unwrap();
+        for pane in [
+            "2D-FFT",
+            "JPEG Simulation",
+            "Monte Carlo Integration",
+            "Sorting by Sampling",
+        ] {
+            assert!(a.body.contains(pane), "missing {pane}");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! The paper's evaluation section as regenerable experiments.
+//!
+//! Every table and figure of the paper (Tables 1-4, the §3.3.1 usability
+//! table, Figures 2-8) has a function here that runs the corresponding
+//! workloads on the simulated testbed and renders the artifact, with the
+//! paper's published values embedded for side-by-side comparison.
+//!
+//! | Id | Artifact |
+//! |----|----------|
+//! | `table1` | Communication primitives per tool |
+//! | `table2` | SU PDABS application catalog |
+//! | `table3` | snd/rcv timings, SUN workstations |
+//! | `fig2` | Broadcast timing, 4 SUNs |
+//! | `fig3` | Ring timing, 4 SUNs |
+//! | `fig4` | Global vector sum, 4 SUNs |
+//! | `table4` | Tool-performance ranking summary |
+//! | `fig5`..`fig8` | Application performance on the four platforms |
+//! | `table5` | Usability (ADL) assessment |
+
+pub mod paper_data;
+
+mod figures;
+mod tables;
+
+pub use figures::{figure2, figure3, figure4, figure5, figure6, figure7, figure8};
+pub use tables::{table1, table2, table3, table4, table5};
+
+use crate::apl::Scale;
+use pdceval_mpt::error::RunError;
+
+/// A rendered experiment artifact.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Stable identifier (`"table3"`, `"fig5"`, ...).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: String,
+    /// Rendered text body (tables, plots, paper-vs-measured notes).
+    pub body: String,
+    /// Machine-readable data series, if the artifact is a figure.
+    pub csv: Option<String>,
+}
+
+impl Artifact {
+    pub(crate) fn new(id: &'static str, title: impl Into<String>, body: String) -> Artifact {
+        Artifact {
+            id,
+            title: title.into(),
+            body,
+            csv: None,
+        }
+    }
+
+    pub(crate) fn with_csv(mut self, csv: String) -> Artifact {
+        self.csv = Some(csv);
+        self
+    }
+}
+
+/// Runs every experiment, in the paper's presentation order.
+///
+/// # Errors
+///
+/// Returns the first [`RunError`] encountered.
+pub fn run_all(scale: Scale) -> Result<Vec<Artifact>, RunError> {
+    Ok(vec![
+        table1(),
+        table2(),
+        table3()?,
+        figure2()?,
+        figure3()?,
+        figure4()?,
+        table4()?,
+        figure5(scale)?,
+        figure6(scale)?,
+        figure7(scale)?,
+        figure8(scale)?,
+        table5(),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_ids_are_unique() {
+        // Static artifacts only (performance ones are covered in their
+        // own modules and the integration suite).
+        let ids = [table1().id, table2().id, table5().id];
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+    }
+}

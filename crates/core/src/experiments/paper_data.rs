@@ -1,0 +1,159 @@
+//! The paper's published numbers, embedded for side-by-side comparison.
+//!
+//! Table 3 values are transcribed exactly. Figure values are approximate
+//! endpoint readings off the published charts (the paper prints no
+//! numeric tables for its figures) and are used only for order-of-
+//! magnitude and shape comparisons in `EXPERIMENTS.md`.
+
+use pdceval_mpt::ToolKind;
+
+/// Message sizes of Table 3, in kilobytes.
+pub const TABLE3_SIZES_KB: [u64; 8] = [0, 1, 2, 4, 8, 16, 32, 64];
+
+/// Table 3, SUN/Ethernet (milliseconds): `(tool, timings)`.
+pub fn table3_ethernet() -> Vec<(ToolKind, [f64; 8])> {
+    vec![
+        (
+            ToolKind::Pvm,
+            [9.655, 11.693, 14.306, 25.537, 44.392, 61.096, 109.844, 189.120],
+        ),
+        (
+            ToolKind::P4,
+            [3.199, 3.599, 4.399, 9.332, 24.165, 44.164, 98.996, 173.158],
+        ),
+        (
+            ToolKind::Express,
+            [4.807, 10.375, 18.362, 32.669, 59.166, 111.411, 189.760, 311.700],
+        ),
+    ]
+}
+
+/// Table 3, SUN/ATM LAN (milliseconds).
+pub fn table3_atm_lan() -> Vec<(ToolKind, [f64; 8])> {
+    vec![
+        (
+            ToolKind::Pvm,
+            [7.991, 8.678, 9.896, 13.673, 18.574, 27.365, 48.028, 88.176],
+        ),
+        (
+            ToolKind::P4,
+            [2.966, 3.393, 3.748, 4.404, 6.482, 11.191, 19.104, 35.899],
+        ),
+        (
+            ToolKind::Express,
+            [4.152, 7.240, 11.061, 16.990, 27.047, 46.003, 82.566, 153.970],
+        ),
+    ]
+}
+
+/// Table 3, SUN/ATM WAN (milliseconds); Express had no NYNET port.
+pub fn table3_atm_wan() -> Vec<(ToolKind, [f64; 8])> {
+    vec![
+        (
+            ToolKind::Pvm,
+            [7.764, 8.878, 10.105, 14.665, 19.526, 28.679, 53.320, 91.353],
+        ),
+        (
+            ToolKind::P4,
+            [3.636, 4.168, 4.822, 5.069, 7.459, 13.573, 22.254, 41.725],
+        ),
+    ]
+}
+
+/// Table 4: the paper's per-primitive tool orderings (best first).
+pub struct Table4Paper {
+    /// Column label.
+    pub column: &'static str,
+    /// Ordering, best first.
+    pub order: Vec<ToolKind>,
+}
+
+/// The paper's Table 4, SUN/Ethernet block.
+pub fn table4_ethernet() -> Vec<Table4Paper> {
+    vec![
+        Table4Paper {
+            column: "snd/rcv",
+            order: vec![ToolKind::P4, ToolKind::Pvm, ToolKind::Express],
+        },
+        Table4Paper {
+            column: "broadcast",
+            order: vec![ToolKind::P4, ToolKind::Pvm, ToolKind::Express],
+        },
+        Table4Paper {
+            column: "ring",
+            order: vec![ToolKind::P4, ToolKind::Express, ToolKind::Pvm],
+        },
+        Table4Paper {
+            column: "global sum",
+            order: vec![ToolKind::P4, ToolKind::Express],
+        },
+    ]
+}
+
+/// The paper's Table 4, SUN/ATM block.
+pub fn table4_atm() -> Vec<Table4Paper> {
+    vec![
+        Table4Paper {
+            column: "snd/rcv",
+            order: vec![ToolKind::P4, ToolKind::Pvm, ToolKind::Express],
+        },
+        Table4Paper {
+            column: "broadcast",
+            order: vec![ToolKind::P4, ToolKind::Pvm],
+        },
+        Table4Paper {
+            column: "ring",
+            order: vec![ToolKind::P4, ToolKind::Pvm],
+        },
+    ]
+}
+
+/// Approximate chart endpoint readings for the figures (milliseconds for
+/// Figures 2-4, seconds for Figures 5-8): `(series, at_max_x)`.
+pub fn figure_endpoints() -> Vec<(&'static str, f64)> {
+    vec![
+        // Figure 2, Ethernet broadcast at 64 KB (4 SUNs).
+        ("fig2/ethernet/PVM@64KB (ms)", 450.0),
+        ("fig2/ethernet/Express@64KB (ms)", 560.0),
+        // Figure 3, Ethernet ring at 64 KB.
+        ("fig3/ethernet/PVM@64KB (ms)", 700.0),
+        // Figure 4, Ethernet global sum at 100k integers.
+        ("fig4/ethernet/p4@100k (ms)", 6000.0),
+        ("fig4/ethernet/express@100k (ms)", 11000.0),
+        // Figure 5, ALPHA/FDDI at P=1.
+        ("fig5/jpeg/P1 (s)", 4.2),
+        ("fig5/montecarlo/P1 (s)", 1.8),
+        ("fig5/sorting/P1 (s)", 0.55),
+        // Figure 6, SP-1 at P=1.
+        ("fig6/jpeg/P1 (s)", 9.5),
+        // Figure 7, NYNET at P=1.
+        ("fig7/jpeg/P1 (s)", 21.0),
+        // Figure 8, Ethernet at P=1.
+        ("fig8/jpeg/P1 (s)", 38.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_rows_are_monotonic_in_size() {
+        for (_, row) in table3_ethernet()
+            .into_iter()
+            .chain(table3_atm_lan())
+            .chain(table3_atm_wan())
+        {
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "{row:?}");
+        }
+    }
+
+    #[test]
+    fn paper_orderings_start_with_p4() {
+        for block in [table4_ethernet(), table4_atm()] {
+            for col in block {
+                assert_eq!(col.order[0], ToolKind::P4, "{}", col.column);
+            }
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! The paper's tables as regenerable artifacts.
+
+use super::paper_data;
+use super::Artifact;
+use crate::adl::{assessment, Criterion};
+use crate::report::TextTable;
+use crate::tpl::{
+    broadcast_sweep, global_sum_sweep, ring_sweep, send_recv_sweep, BroadcastConfig,
+    GlobalSumConfig, GlobalSumResult, RingConfig, SendRecvConfig,
+};
+use pdceval_apps::registry;
+use pdceval_mpt::error::RunError;
+use pdceval_mpt::{Primitive, ToolKind};
+use pdceval_simnet::platform::Platform;
+use std::fmt::Write as _;
+
+/// Table 1: the communication primitives used to evaluate tools at the
+/// TPL, with each tool's native names (PVM's global sum is
+/// "Not Available").
+pub fn table1() -> Artifact {
+    let mut t = TextTable::new(vec!["Primitive", "Express", "p4", "PVM"]);
+    for p in [
+        Primitive::Send,
+        Primitive::Receive,
+        Primitive::Broadcast,
+        Primitive::GlobalSum,
+    ] {
+        let cell = |tool: ToolKind| {
+            tool.primitive_name(p)
+                .unwrap_or("Not Available")
+                .to_string()
+        };
+        t.row(vec![
+            p.name().to_string(),
+            cell(ToolKind::Express),
+            cell(ToolKind::P4),
+            cell(ToolKind::Pvm),
+        ]);
+    }
+    Artifact::new(
+        "table1",
+        "Table 1: Communication primitives for evaluating tools at TPL",
+        t.render(),
+    )
+}
+
+/// Table 2: the SU PDABS application suite catalog.
+pub fn table2() -> Artifact {
+    let mut t = TextTable::new(vec!["Class", "Application", "Benchmarked", "Module"]);
+    for e in registry::catalog() {
+        t.row(vec![
+            e.class.name().to_string(),
+            e.name.to_string(),
+            if e.benchmarked { "yes" } else { "" }.to_string(),
+            e.module.unwrap_or("(not implemented)").to_string(),
+        ]);
+    }
+    Artifact::new("table2", "Table 2: SU PDABS", t.render())
+}
+
+/// Table 3: snd/rcv timings on SUN workstations over Ethernet, ATM LAN
+/// and ATM WAN, printed as `simulated/paper` milliseconds.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if any sweep fails.
+pub fn table3() -> Result<Artifact, RunError> {
+    let blocks: [(&str, Platform, Vec<(ToolKind, [f64; 8])>); 3] = [
+        (
+            "SUN/Ethernet",
+            Platform::SunEthernet,
+            paper_data::table3_ethernet(),
+        ),
+        (
+            "SUN/ATM LAN",
+            Platform::SunAtmLan,
+            paper_data::table3_atm_lan(),
+        ),
+        (
+            "SUN/ATM WAN (NYNET)",
+            Platform::SunAtmWan,
+            paper_data::table3_atm_wan(),
+        ),
+    ];
+    let mut body = String::new();
+    for (name, platform, paper) in blocks {
+        let _ = writeln!(body, "== {name} (ms, simulated/paper) ==");
+        let mut headers = vec!["Mesg (KB)".to_string()];
+        headers.extend(paper.iter().map(|(tool, _)| tool.to_string()));
+        let mut t = TextTable::new(headers);
+        let mut columns = Vec::new();
+        for (tool, expected) in &paper {
+            let cfg = SendRecvConfig::table3(platform, *tool);
+            let pts = send_recv_sweep(&cfg)?;
+            columns.push((pts, expected));
+        }
+        for (i, kb) in paper_data::TABLE3_SIZES_KB.iter().enumerate() {
+            let mut row = vec![kb.to_string()];
+            for (pts, expected) in &columns {
+                row.push(format!("{:.2}/{:.2}", pts[i].millis, expected[i]));
+            }
+            t.row(row);
+        }
+        body.push_str(&t.render());
+        body.push('\n');
+    }
+    Ok(Artifact::new(
+        "table3",
+        "Table 3: snd/recv timing for SUN SPARCstations (in milliseconds)",
+        body,
+    ))
+}
+
+/// Computes the measured tool ordering (best first) for one primitive on
+/// one platform at a 64 KB payload.
+fn ordering(
+    platform: Platform,
+    primitive: Primitive,
+    tools: &[ToolKind],
+) -> Result<Vec<(ToolKind, Option<f64>)>, RunError> {
+    let mut times: Vec<(ToolKind, Option<f64>)> = Vec::new();
+    for &tool in tools {
+        let millis = match primitive {
+            Primitive::Send | Primitive::Receive => Some(
+                send_recv_sweep(&SendRecvConfig {
+                    platform,
+                    tool,
+                    sizes_kb: vec![64],
+                    iters: 1,
+                })?[0]
+                    .millis,
+            ),
+            Primitive::Broadcast => Some(
+                broadcast_sweep(&BroadcastConfig {
+                    platform,
+                    tool,
+                    nprocs: 4,
+                    sizes_kb: vec![64],
+                })?[0]
+                    .millis,
+            ),
+            Primitive::Barrier => None,
+            Primitive::GlobalSum => {
+                match global_sum_sweep(&GlobalSumConfig {
+                    platform,
+                    tool,
+                    nprocs: 4,
+                    vector_sizes: vec![50_000],
+                })? {
+                    GlobalSumResult::Timed(pts) => Some(pts[0].millis),
+                    GlobalSumResult::Unsupported(_) => None,
+                }
+            }
+        };
+        times.push((tool, millis));
+    }
+    let mut sorted = times;
+    sorted.sort_by(|a, b| match (a.1, b.1) {
+        (Some(x), Some(y)) => x.partial_cmp(&y).expect("finite times"),
+        (Some(_), None) => std::cmp::Ordering::Less,
+        (None, Some(_)) => std::cmp::Ordering::Greater,
+        (None, None) => std::cmp::Ordering::Equal,
+    });
+    Ok(sorted)
+}
+
+fn ring_ordering(
+    platform: Platform,
+    tools: &[ToolKind],
+) -> Result<Vec<(ToolKind, Option<f64>)>, RunError> {
+    let mut times: Vec<(ToolKind, Option<f64>)> = Vec::new();
+    for &tool in tools {
+        let pts = ring_sweep(&RingConfig {
+            platform,
+            tool,
+            nprocs: 4,
+            sizes_kb: vec![64],
+            shifts: 1,
+        })?;
+        times.push((tool, Some(pts[0].millis)));
+    }
+    times.sort_by(|a, b| {
+        a.1.expect("timed")
+            .partial_cmp(&b.1.expect("timed"))
+            .expect("finite")
+    });
+    Ok(times)
+}
+
+/// Table 4: the per-primitive, per-platform tool ranking summary, derived
+/// from fresh TPL runs, with the paper's orderings alongside.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if any sweep fails.
+pub fn table4() -> Result<Artifact, RunError> {
+    let all = ToolKind::all();
+    let wan_tools = [ToolKind::P4, ToolKind::Pvm];
+
+    let fmt_order = |xs: &[(ToolKind, Option<f64>)]| {
+        xs.iter()
+            .map(|(t, time)| match time {
+                Some(_) => t.to_string(),
+                None => format!("{t} (n/a)"),
+            })
+            .collect::<Vec<_>>()
+            .join(" > ")
+    };
+    let fmt_paper = |xs: &[ToolKind]| {
+        xs.iter()
+            .map(ToolKind::to_string)
+            .collect::<Vec<_>>()
+            .join(" > ")
+    };
+
+    let mut t = TextTable::new(vec!["Platform", "Primitive", "Simulated (best first)", "Paper"]);
+    let eth = Platform::SunEthernet;
+    let paper_eth = paper_data::table4_ethernet();
+    t.row(vec![
+        "SUN/Ethernet".to_string(),
+        "snd/rcv".to_string(),
+        fmt_order(&ordering(eth, Primitive::Send, &all)?),
+        fmt_paper(&paper_eth[0].order),
+    ]);
+    t.row(vec![
+        "SUN/Ethernet".to_string(),
+        "broadcast".to_string(),
+        fmt_order(&ordering(eth, Primitive::Broadcast, &all)?),
+        fmt_paper(&paper_eth[1].order),
+    ]);
+    t.row(vec![
+        "SUN/Ethernet".to_string(),
+        "ring".to_string(),
+        fmt_order(&ring_ordering(eth, &all)?),
+        fmt_paper(&paper_eth[2].order),
+    ]);
+    t.row(vec![
+        "SUN/Ethernet".to_string(),
+        "global sum".to_string(),
+        fmt_order(&ordering(eth, Primitive::GlobalSum, &all)?),
+        fmt_paper(&paper_eth[3].order),
+    ]);
+
+    let paper_atm = paper_data::table4_atm();
+    t.row(vec![
+        "SUN/ATM".to_string(),
+        "snd/rcv".to_string(),
+        fmt_order(&ordering(Platform::SunAtmLan, Primitive::Send, &all)?),
+        fmt_paper(&paper_atm[0].order),
+    ]);
+    t.row(vec![
+        "SUN/ATM".to_string(),
+        "broadcast".to_string(),
+        fmt_order(&ordering(Platform::SunAtmWan, Primitive::Broadcast, &wan_tools)?),
+        fmt_paper(&paper_atm[1].order),
+    ]);
+    t.row(vec![
+        "SUN/ATM".to_string(),
+        "ring".to_string(),
+        fmt_order(&ring_ordering(Platform::SunAtmWan, &wan_tools)?),
+        fmt_paper(&paper_atm[2].order),
+    ]);
+
+    let mut body = t.render();
+    body.push_str(
+        "\nNote: the single known deviation is the Ethernet ring, where the\n\
+         shared wire is the bottleneck in our model and masks PVM's daemon\n\
+         serialization (the paper reports p4 > Express > PVM there; the\n\
+         inversion is reproduced on switched fabrics). See EXPERIMENTS.md.\n",
+    );
+    Ok(Artifact::new(
+        "table4",
+        "Table 4: Summary of Tool Performance on different Platforms",
+        body,
+    ))
+}
+
+/// The §3.3.1 usability table (WS/PS/NS per criterion per tool).
+pub fn table5() -> Artifact {
+    let mut t = TextTable::new(vec!["Criterion", "P4", "PVM", "Express"]);
+    let p4 = assessment(ToolKind::P4);
+    let pvm = assessment(ToolKind::Pvm);
+    let ex = assessment(ToolKind::Express);
+    for (i, c) in Criterion::all().into_iter().enumerate() {
+        t.row(vec![
+            c.name().to_string(),
+            p4[i].1.code().to_string(),
+            pvm[i].1.code().to_string(),
+            ex[i].1.code().to_string(),
+        ]);
+    }
+    Artifact::new(
+        "table5",
+        "Usability assessment (paper §3.3.1): WS = well / PS = partially / NS = not supported",
+        t.render(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_marks_pvm_global_sum_unavailable() {
+        let a = table1();
+        assert!(a.body.contains("Not Available"));
+        assert!(a.body.contains("excombine"));
+        assert!(a.body.contains("p4_global_op"));
+    }
+
+    #[test]
+    fn table2_lists_all_four_classes() {
+        let a = table2();
+        for class in ["Numerical", "Signal/Image", "Simulation", "Utilities"] {
+            assert!(a.body.contains(class), "missing {class}");
+        }
+    }
+
+    #[test]
+    fn table5_matches_paper_cells() {
+        let a = table5();
+        assert!(a.body.contains("Customization"));
+        // PVM's NS cell for customization and Express's NS for integration.
+        let lines: Vec<&str> = a.body.lines().collect();
+        let custom = lines.iter().find(|l| l.contains("Customization")).unwrap();
+        assert!(custom.contains("NS"));
+    }
+
+    #[test]
+    fn table3_runs_and_embeds_paper_values() {
+        let a = table3().unwrap();
+        assert!(a.body.contains("SUN/Ethernet"));
+        assert!(a.body.contains("/189.12")); // paper PVM Ethernet 64KB
+        assert!(a.body.contains("/35.90")); // paper p4 ATM LAN 64KB
+    }
+
+    #[test]
+    fn table4_orderings_match_paper_except_ethernet_ring() {
+        let all = ToolKind::all();
+        // snd/rcv on both platforms: p4 > PVM > Express.
+        for platform in [Platform::SunEthernet, Platform::SunAtmLan] {
+            let o = ordering(platform, Primitive::Send, &all).unwrap();
+            let tools: Vec<ToolKind> = o.iter().map(|(t, _)| *t).collect();
+            assert_eq!(
+                tools,
+                vec![ToolKind::P4, ToolKind::Pvm, ToolKind::Express],
+                "{platform}"
+            );
+        }
+        // Broadcast Ethernet: p4 > PVM > Express.
+        let o = ordering(Platform::SunEthernet, Primitive::Broadcast, &all).unwrap();
+        let tools: Vec<ToolKind> = o.iter().map(|(t, _)| *t).collect();
+        assert_eq!(tools, vec![ToolKind::P4, ToolKind::Pvm, ToolKind::Express]);
+        // Global sum: p4 best, PVM not available (sorted last).
+        let o = ordering(Platform::SunEthernet, Primitive::GlobalSum, &all).unwrap();
+        assert_eq!(o[0].0, ToolKind::P4);
+        assert_eq!(o[2], (ToolKind::Pvm, None));
+        // WAN ring: p4 > PVM (paper's ATM column).
+        let o = ring_ordering(Platform::SunAtmWan, &[ToolKind::P4, ToolKind::Pvm]).unwrap();
+        assert_eq!(o[0].0, ToolKind::P4);
+    }
+}

@@ -1,0 +1,49 @@
+//! # pdceval-core
+//!
+//! The paper's contribution: a **multi-level evaluation methodology** for
+//! parallel/distributed computing tools (*"Software Tool Evaluation
+//! Methodology"*, Hariri et al., NPAC/Syracuse University, 1995),
+//! reproduced in full:
+//!
+//! * [`tpl`] — Tool Performance Level: communication-primitive
+//!   microbenchmarks (send/receive, broadcast, ring, global sum);
+//! * [`apl`] — Application Performance Level: end-to-end application
+//!   benchmarks over processor counts and platforms;
+//! * [`adl`] — Application Development Level: the usability criteria
+//!   taxonomy and the paper's WS/PS/NS assessments;
+//! * [`score`] — the weighted multi-level scoring the paper proposes for
+//!   tailoring an overall evaluation to a user's priorities;
+//! * [`report`] — table/series rendering, ASCII plots and CSV;
+//! * [`experiments`] — every table and figure of the paper's evaluation
+//!   section as a regenerable experiment with the published values
+//!   embedded for comparison.
+//!
+//! # Example: a tailored tool selection
+//!
+//! ```
+//! use pdceval_core::score::{Evaluator, LevelWeights, Measurement};
+//! use pdceval_mpt::ToolKind;
+//!
+//! let mut eval = Evaluator::new();
+//! eval.level_weights(LevelWeights::performance_user());
+//! eval.tpl_measurement(Measurement::new(
+//!     "snd/rcv 64KB @ Ethernet (s)",
+//!     vec![
+//!         (ToolKind::Express, Some(0.311)),
+//!         (ToolKind::P4, Some(0.173)),
+//!         (ToolKind::Pvm, Some(0.189)),
+//!     ],
+//! ));
+//! let ranked = eval.evaluate();
+//! assert_eq!(ranked[0].tool, ToolKind::P4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adl;
+pub mod apl;
+pub mod experiments;
+pub mod report;
+pub mod score;
+pub mod tpl;

@@ -1,0 +1,226 @@
+//! Rendering: text tables in the paper's layout, data series, CSV
+//! emission, and ASCII line plots for the figures.
+
+use std::fmt::Write as _;
+
+/// A simple left-padded text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> TextTable {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut TextTable {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns and a separator rule.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>width$}", width = widths[i]);
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+/// A named data series for a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Emits series as CSV: header `x,label1,label2,...`, one row per x.
+/// Series may have different x grids; missing cells are empty.
+pub fn to_csv(series: &[Series]) -> String {
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+    xs.dedup();
+    let mut out = String::from("x");
+    for s in series {
+        let _ = write!(out, ",{}", s.label.replace(',', ";"));
+    }
+    out.push('\n');
+    for x in xs {
+        let _ = write!(out, "{x}");
+        for s in series {
+            match s.points.iter().find(|&&(px, _)| px == x) {
+                Some(&(_, y)) => {
+                    let _ = write!(out, ",{y}");
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders series as an ASCII line plot (markers only), with the y axis
+/// scaled to the data.
+pub fn ascii_plot(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let markers = ['*', '+', 'o', 'x', '#', '@'];
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.clone()).collect();
+    if all.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (0.0f64, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    if (xmax - xmin).abs() < f64::EPSILON {
+        xmax = xmin + 1.0;
+    }
+    if (ymax - ymin).abs() < f64::EPSILON {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let mark = markers[si % markers.len()];
+        for &(x, y) in &s.points {
+            let col = ((x - xmin) / (xmax - xmin) * (width - 1) as f64).round() as usize;
+            let row = ((y - ymin) / (ymax - ymin) * (height - 1) as f64).round() as usize;
+            let r = height - 1 - row.min(height - 1);
+            grid[r][col.min(width - 1)] = mark;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "y: {ymin:.3} .. {ymax:.3}");
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    let _ = writeln!(out, " x: {xmin:.1} .. {xmax:.1}");
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "  {} {}", markers[si % markers.len()], s.label);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["Size", "p4", "PVM"]);
+        t.row(vec!["0", "3.199", "9.655"]);
+        t.row(vec!["64", "173.158", "189.120"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("p4"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[3].contains("173.158"));
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn csv_merges_x_grids() {
+        let s1 = Series::new("a", vec![(1.0, 10.0), (2.0, 20.0)]);
+        let s2 = Series::new("b", vec![(2.0, 200.0), (3.0, 300.0)]);
+        let csv = to_csv(&[s1, s2]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines[1], "1,10,");
+        assert_eq!(lines[2], "2,20,200");
+        assert_eq!(lines[3], "3,,300");
+    }
+
+    #[test]
+    fn plot_contains_markers_and_legend() {
+        let s = Series::new("PVM", vec![(0.0, 1.0), (10.0, 5.0)]);
+        let plot = ascii_plot("Broadcast", &[s], 40, 10);
+        assert!(plot.contains('*'));
+        assert!(plot.contains("PVM"));
+        assert!(plot.contains("Broadcast"));
+    }
+
+    #[test]
+    fn empty_plot_is_graceful() {
+        let plot = ascii_plot("empty", &[], 40, 10);
+        assert!(plot.contains("no data"));
+    }
+}

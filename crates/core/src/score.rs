@@ -1,0 +1,364 @@
+//! Weighted multi-level scoring — the paper's mechanism for tailoring an
+//! overall evaluation to a particular user ("by using weight factors, an
+//! overall tool evaluation can be tailored to take into account the most
+//! relevant factors associated with certain types of users", §2).
+//!
+//! Performance levels (TPL, APL) are scored by *relative speed*: a tool's
+//! score on one measurement is `best_time / its_time`, so the fastest
+//! tool gets 1.0 and a tool twice as slow gets 0.5. Missing capabilities
+//! (PVM's global sum, Express's WAN port) score 0 on that measurement —
+//! absence is the worst possible performance. ADL criteria use the
+//! WS/PS/NS values normalized to `[0, 1]`.
+
+use crate::adl::{assessment, Criterion, Support};
+use pdceval_mpt::ToolKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Relative weights of the three evaluation levels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevelWeights {
+    /// Weight of the Tool Performance Level.
+    pub tpl: f64,
+    /// Weight of the Application Performance Level.
+    pub apl: f64,
+    /// Weight of the Application Development Level.
+    pub adl: f64,
+}
+
+impl Default for LevelWeights {
+    fn default() -> Self {
+        LevelWeights {
+            tpl: 1.0,
+            apl: 1.0,
+            adl: 1.0,
+        }
+    }
+}
+
+impl LevelWeights {
+    /// Weights for a performance-obsessed user (the paper's "user"
+    /// perspective: response time above all).
+    pub fn performance_user() -> LevelWeights {
+        LevelWeights {
+            tpl: 1.0,
+            apl: 2.0,
+            adl: 0.5,
+        }
+    }
+
+    /// Weights for a developer prioritizing usability.
+    pub fn developer() -> LevelWeights {
+        LevelWeights {
+            tpl: 0.5,
+            apl: 1.0,
+            adl: 2.0,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.tpl >= 0.0 && self.apl >= 0.0 && self.adl >= 0.0,
+            "weights must be non-negative"
+        );
+        assert!(
+            self.tpl + self.apl + self.adl > 0.0,
+            "at least one level must carry weight"
+        );
+    }
+}
+
+/// One timed measurement entering a performance level's score: a label
+/// and each tool's time (`None` = the tool cannot perform it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Human-readable label, e.g. `"snd/rcv 64KB @ SUN/Ethernet"`.
+    pub label: String,
+    /// `(tool, seconds)` pairs; `None` marks a missing capability.
+    pub times: Vec<(ToolKind, Option<f64>)>,
+}
+
+impl Measurement {
+    /// Creates a measurement.
+    pub fn new(label: impl Into<String>, times: Vec<(ToolKind, Option<f64>)>) -> Measurement {
+        Measurement {
+            label: label.into(),
+            times,
+        }
+    }
+
+    /// Relative score of `tool` on this measurement: `best / own`, 0 for
+    /// missing capability or missing entry.
+    pub fn relative_score(&self, tool: ToolKind) -> f64 {
+        let best = self
+            .times
+            .iter()
+            .filter_map(|(_, t)| *t)
+            .fold(f64::INFINITY, f64::min);
+        if !best.is_finite() {
+            return 0.0;
+        }
+        match self.times.iter().find(|(k, _)| *k == tool) {
+            Some((_, Some(t))) if *t > 0.0 => best / t,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Per-criterion ADL weights (defaults to 1.0 each).
+pub type CriterionWeights = BTreeMap<Criterion, f64>;
+
+/// The complete scorecard of one tool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolScore {
+    /// The tool.
+    pub tool: ToolKind,
+    /// Mean relative TPL score in `[0, 1]`.
+    pub tpl: f64,
+    /// Mean relative APL score in `[0, 1]`.
+    pub apl: f64,
+    /// Weighted, normalized ADL score in `[0, 1]`.
+    pub adl: f64,
+    /// The weighted overall score in `[0, 1]`.
+    pub overall: f64,
+}
+
+impl fmt::Display for ToolScore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: overall {:.3} (TPL {:.3}, APL {:.3}, ADL {:.3})",
+            self.tool, self.overall, self.tpl, self.apl, self.adl
+        )
+    }
+}
+
+/// The multi-level evaluator.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    weights: LevelWeights,
+    criterion_weights: CriterionWeights,
+    tpl: Vec<Measurement>,
+    apl: Vec<Measurement>,
+}
+
+impl Default for Evaluator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Evaluator {
+    /// Creates an evaluator with uniform weights.
+    pub fn new() -> Evaluator {
+        Evaluator {
+            weights: LevelWeights::default(),
+            criterion_weights: CriterionWeights::new(),
+            tpl: Vec::new(),
+            apl: Vec::new(),
+        }
+    }
+
+    /// Sets the level weights.
+    pub fn level_weights(&mut self, w: LevelWeights) -> &mut Evaluator {
+        w.validate();
+        self.weights = w;
+        self
+    }
+
+    /// Overrides the weight of one ADL criterion (default 1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative.
+    pub fn criterion_weight(&mut self, c: Criterion, weight: f64) -> &mut Evaluator {
+        assert!(weight >= 0.0, "criterion weight must be non-negative");
+        self.criterion_weights.insert(c, weight);
+        self
+    }
+
+    /// Adds a TPL measurement.
+    pub fn tpl_measurement(&mut self, m: Measurement) -> &mut Evaluator {
+        self.tpl.push(m);
+        self
+    }
+
+    /// Adds an APL measurement.
+    pub fn apl_measurement(&mut self, m: Measurement) -> &mut Evaluator {
+        self.apl.push(m);
+        self
+    }
+
+    fn level_score(ms: &[Measurement], tool: ToolKind) -> f64 {
+        if ms.is_empty() {
+            return 0.0;
+        }
+        ms.iter().map(|m| m.relative_score(tool)).sum::<f64>() / ms.len() as f64
+    }
+
+    fn adl_score(&self, tool: ToolKind) -> f64 {
+        let a = assessment(tool);
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (c, s) in a {
+            let w = self.criterion_weights.get(&c).copied().unwrap_or(1.0);
+            num += w * s.value();
+            den += w * Support::Well.value();
+        }
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+
+    /// Produces the ranked scorecards, best overall first (ties broken by
+    /// tool order for determinism).
+    pub fn evaluate(&self) -> Vec<ToolScore> {
+        let lw = self.weights;
+        let total = lw.tpl + lw.apl + lw.adl;
+        let mut scores: Vec<ToolScore> = ToolKind::all()
+            .into_iter()
+            .map(|tool| {
+                let tpl = Self::level_score(&self.tpl, tool);
+                let apl = Self::level_score(&self.apl, tool);
+                let adl = self.adl_score(tool);
+                let overall = (lw.tpl * tpl + lw.apl * apl + lw.adl * adl) / total;
+                ToolScore {
+                    tool,
+                    tpl,
+                    apl,
+                    adl,
+                    overall,
+                }
+            })
+            .collect();
+        scores.sort_by(|a, b| {
+            b.overall
+                .partial_cmp(&a.overall)
+                .expect("scores are finite")
+                .then(a.tool.cmp(&b.tool))
+        });
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(label: &str, ex: Option<f64>, p4: Option<f64>, pvm: Option<f64>) -> Measurement {
+        Measurement::new(
+            label,
+            vec![
+                (ToolKind::Express, ex),
+                (ToolKind::P4, p4),
+                (ToolKind::Pvm, pvm),
+            ],
+        )
+    }
+
+    #[test]
+    fn fastest_tool_scores_one() {
+        let meas = m("x", Some(2.0), Some(1.0), Some(4.0));
+        assert_eq!(meas.relative_score(ToolKind::P4), 1.0);
+        assert_eq!(meas.relative_score(ToolKind::Express), 0.5);
+        assert_eq!(meas.relative_score(ToolKind::Pvm), 0.25);
+    }
+
+    #[test]
+    fn missing_capability_scores_zero() {
+        let meas = m("global sum", Some(2.0), Some(1.0), None);
+        assert_eq!(meas.relative_score(ToolKind::Pvm), 0.0);
+    }
+
+    #[test]
+    fn dominant_tool_ranks_first() {
+        let mut e = Evaluator::new();
+        e.tpl_measurement(m("a", Some(2.0), Some(1.0), Some(3.0)));
+        e.apl_measurement(m("b", Some(2.0), Some(1.0), Some(3.0)));
+        let ranked = e.evaluate();
+        assert_eq!(ranked[0].tool, ToolKind::P4);
+        assert!(ranked[0].overall > ranked[1].overall);
+    }
+
+    #[test]
+    fn weight_scaling_does_not_change_ranking() {
+        let build = |scale: f64| {
+            let mut e = Evaluator::new();
+            e.level_weights(LevelWeights {
+                tpl: 1.0 * scale,
+                apl: 2.0 * scale,
+                adl: 0.5 * scale,
+            });
+            e.tpl_measurement(m("a", Some(2.0), Some(1.0), Some(1.5)));
+            e.apl_measurement(m("b", Some(1.0), Some(1.2), Some(1.1)));
+            e.evaluate()
+        };
+        let a = build(1.0);
+        let b = build(100.0);
+        let order_a: Vec<_> = a.iter().map(|s| s.tool).collect();
+        let order_b: Vec<_> = b.iter().map(|s| s.tool).collect();
+        assert_eq!(order_a, order_b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.overall - y.overall).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn adl_only_evaluation_prefers_pvm() {
+        // PVM has the strongest usability column in the paper's table
+        // (one NS but four WS in the development rows).
+        let mut e = Evaluator::new();
+        e.level_weights(LevelWeights {
+            tpl: 0.0,
+            apl: 0.0,
+            adl: 1.0,
+        });
+        let ranked = e.evaluate();
+        assert_eq!(ranked[0].tool, ToolKind::Pvm, "{ranked:?}");
+    }
+
+    #[test]
+    fn criterion_weight_shifts_adl() {
+        // Weighting debugging heavily favours Express (its only WS among
+        // the development-interface rows).
+        let mut e = Evaluator::new();
+        e.level_weights(LevelWeights {
+            tpl: 0.0,
+            apl: 0.0,
+            adl: 1.0,
+        });
+        e.criterion_weight(Criterion::DebuggingSupport, 50.0);
+        let ranked = e.evaluate();
+        assert_eq!(ranked[0].tool, ToolKind::Express, "{ranked:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        Evaluator::new().criterion_weight(Criterion::Portability, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_weights_rejected() {
+        Evaluator::new().level_weights(LevelWeights {
+            tpl: 0.0,
+            apl: 0.0,
+            adl: 0.0,
+        });
+    }
+
+    #[test]
+    fn scores_are_bounded() {
+        let mut e = Evaluator::new();
+        e.tpl_measurement(m("a", Some(5.0), Some(1.0), None));
+        for s in e.evaluate() {
+            for v in [s.tpl, s.apl, s.adl, s.overall] {
+                assert!((0.0..=1.0).contains(&v), "{s}");
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Broadcast benchmark (paper §3.2.2, Figure 2).
+//!
+//! Rank 0 broadcasts a message of each size among 4 nodes; the reported
+//! time is from the start of the operation until the *last* node holds
+//! the payload — what the paper's "execution time for broadcasting"
+//! measures.
+
+use super::TimingPoint;
+use pdceval_mpt::error::RunError;
+use pdceval_mpt::runtime::{run_spmd, SpmdConfig};
+use pdceval_mpt::ToolKind;
+use pdceval_simnet::platform::Platform;
+
+/// Configuration of a broadcast sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastConfig {
+    /// The testbed.
+    pub platform: Platform,
+    /// The tool under test.
+    pub tool: ToolKind,
+    /// Number of participating nodes (the paper uses 4 SUNs).
+    pub nprocs: usize,
+    /// Message sizes in kilobytes.
+    pub sizes_kb: Vec<u64>,
+}
+
+impl BroadcastConfig {
+    /// The paper's Figure 2 configuration: 4 nodes, Table 3 sizes.
+    pub fn figure2(platform: Platform, tool: ToolKind) -> BroadcastConfig {
+        BroadcastConfig {
+            platform,
+            tool,
+            nprocs: 4,
+            sizes_kb: super::table3_sizes_kb(),
+        }
+    }
+}
+
+/// Runs the sweep, returning broadcast completion times per message size.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the tool/platform combination is unsupported
+/// or the simulation fails.
+pub fn broadcast_sweep(cfg: &BroadcastConfig) -> Result<Vec<TimingPoint>, RunError> {
+    let mut points = Vec::with_capacity(cfg.sizes_kb.len());
+    for &kb in &cfg.sizes_kb {
+        let bytes = (kb * 1024) as usize;
+        let run_cfg = SpmdConfig::new(cfg.platform, cfg.tool, cfg.nprocs);
+        let out = run_spmd(&run_cfg, move |node| {
+            let data = if node.rank() == 0 {
+                bytes::Bytes::from(vec![0u8; bytes])
+            } else {
+                bytes::Bytes::new()
+            };
+            let got = node.broadcast(0, data).expect("broadcast failed");
+            assert_eq!(got.len(), bytes, "broadcast payload corrupted");
+            node.now().as_millis_f64()
+        })?;
+        // Completion = the last node to hold the payload.
+        let done = out.results.iter().cloned().fold(0.0, f64::max);
+        points.push(TimingPoint::new(kb * 1024, done));
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpl::is_monotonic;
+
+    #[test]
+    fn p4_tree_beats_pvm_sequential_on_atm() {
+        let sizes = vec![16, 64];
+        let p4 = broadcast_sweep(&BroadcastConfig {
+            platform: Platform::SunAtmLan,
+            tool: ToolKind::P4,
+            nprocs: 4,
+            sizes_kb: sizes.clone(),
+        })
+        .unwrap();
+        let pvm = broadcast_sweep(&BroadcastConfig {
+            platform: Platform::SunAtmLan,
+            tool: ToolKind::Pvm,
+            nprocs: 4,
+            sizes_kb: sizes,
+        })
+        .unwrap();
+        for (a, b) in p4.iter().zip(&pvm) {
+            assert!(a.millis < b.millis, "p4 {} !< pvm {}", a.millis, b.millis);
+        }
+    }
+
+    #[test]
+    fn express_ack_broadcast_is_worst_on_ethernet() {
+        let mk = |tool| {
+            broadcast_sweep(&BroadcastConfig {
+                platform: Platform::SunEthernet,
+                tool,
+                nprocs: 4,
+                sizes_kb: vec![32],
+            })
+            .unwrap()[0]
+                .millis
+        };
+        let p4 = mk(ToolKind::P4);
+        let pvm = mk(ToolKind::Pvm);
+        let ex = mk(ToolKind::Express);
+        assert!(p4 < pvm, "p4 {p4} !< pvm {pvm}");
+        assert!(pvm < ex, "pvm {pvm} !< express {ex}");
+    }
+
+    #[test]
+    fn broadcast_time_grows_with_size() {
+        let pts = broadcast_sweep(&BroadcastConfig {
+            platform: Platform::SunAtmLan,
+            tool: ToolKind::P4,
+            nprocs: 4,
+            sizes_kb: vec![0, 4, 16, 64],
+        })
+        .unwrap();
+        assert!(is_monotonic(&pts));
+    }
+}

@@ -1,0 +1,132 @@
+//! Global summation benchmark (paper §3.2.4, Figure 4).
+//!
+//! Four nodes sum integer vectors of increasing length. p4's
+//! `p4_global_op` reduces along a tree; Express's `excombine` accumulates
+//! around a sequential ring; PVM has no global operation and is therefore
+//! absent from the paper's Figure 4 (and reported as unsupported here).
+
+use super::TimingPoint;
+use pdceval_mpt::error::{RunError, ToolError};
+use pdceval_mpt::runtime::{run_spmd, SpmdConfig};
+use pdceval_mpt::ToolKind;
+use pdceval_simnet::platform::Platform;
+
+/// Configuration of a global-sum sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalSumConfig {
+    /// The testbed.
+    pub platform: Platform,
+    /// The tool under test.
+    pub tool: ToolKind,
+    /// Number of participating nodes (the paper uses 4 SUNs).
+    pub nprocs: usize,
+    /// Vector lengths in number of `i32` elements.
+    pub vector_sizes: Vec<u64>,
+}
+
+impl GlobalSumConfig {
+    /// The paper's Figure 4 configuration: 4 nodes, vectors up to 100 000
+    /// integers.
+    pub fn figure4(platform: Platform, tool: ToolKind) -> GlobalSumConfig {
+        GlobalSumConfig {
+            platform,
+            tool,
+            nprocs: 4,
+            vector_sizes: vec![1_000, 10_000, 25_000, 50_000, 75_000, 100_000],
+        }
+    }
+}
+
+/// Outcome of a global-sum sweep: either timings, or the tool's lack of
+/// the primitive (PVM — "Not Available" in the paper's Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalSumResult {
+    /// The tool supports global summation; per-size timings follow.
+    Timed(Vec<TimingPoint>),
+    /// The tool has no global-summation primitive.
+    Unsupported(ToolError),
+}
+
+/// Runs the sweep.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the platform rejects the tool or the
+/// simulation fails; a missing primitive is reported in the result, not
+/// as an error.
+pub fn global_sum_sweep(cfg: &GlobalSumConfig) -> Result<GlobalSumResult, RunError> {
+    if !cfg.tool.supports_global_ops() {
+        return Ok(GlobalSumResult::Unsupported(ToolError::Unsupported {
+            tool: cfg.tool,
+            op: "global sum",
+        }));
+    }
+    let mut points = Vec::with_capacity(cfg.vector_sizes.len());
+    for &n in &cfg.vector_sizes {
+        let run_cfg = SpmdConfig::new(cfg.platform, cfg.tool, cfg.nprocs);
+        let nprocs = cfg.nprocs as i32;
+        let out = run_spmd(&run_cfg, move |node| {
+            let mine: Vec<i32> = (0..n as i32).map(|i| i + node.rank() as i32).collect();
+            let sum = node.global_sum_i32(&mine).expect("global sum failed");
+            // Element 0 must be the sum of all ranks' first elements.
+            let expect: i32 = (0..nprocs).sum();
+            assert_eq!(sum[0], expect, "global sum incorrect");
+            node.now().as_millis_f64()
+        })?;
+        let done = out.results.iter().cloned().fold(0.0, f64::max);
+        points.push(TimingPoint::new(n, done));
+    }
+    Ok(GlobalSumResult::Timed(points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timed(tool: ToolKind, platform: Platform, n: u64) -> f64 {
+        match global_sum_sweep(&GlobalSumConfig {
+            platform,
+            tool,
+            nprocs: 4,
+            vector_sizes: vec![n],
+        })
+        .unwrap()
+        {
+            GlobalSumResult::Timed(pts) => pts[0].millis,
+            GlobalSumResult::Unsupported(_) => panic!("expected timings"),
+        }
+    }
+
+    #[test]
+    fn p4_tree_beats_express_ring() {
+        // Paper Figure 4: p4's implementation is better than Express's.
+        let p4 = timed(ToolKind::P4, Platform::SunEthernet, 50_000);
+        let ex = timed(ToolKind::Express, Platform::SunEthernet, 50_000);
+        assert!(p4 < ex, "p4 {p4} !< express {ex}");
+    }
+
+    #[test]
+    fn pvm_reports_not_available() {
+        let r = global_sum_sweep(&GlobalSumConfig::figure4(
+            Platform::SunEthernet,
+            ToolKind::Pvm,
+        ))
+        .unwrap();
+        assert!(matches!(r, GlobalSumResult::Unsupported(_)));
+    }
+
+    #[test]
+    fn wan_slower_than_lan_for_large_vectors() {
+        // Figure 4 also plots p4 on NYNET: similar shape, higher times.
+        let lan = timed(ToolKind::P4, Platform::SunAtmLan, 100_000);
+        let wan = timed(ToolKind::P4, Platform::SunAtmWan, 100_000);
+        assert!(wan > lan, "wan {wan} !> lan {lan}");
+    }
+
+    #[test]
+    fn time_grows_with_vector_size() {
+        let small = timed(ToolKind::P4, Platform::SunEthernet, 1_000);
+        let large = timed(ToolKind::P4, Platform::SunEthernet, 100_000);
+        assert!(large > 10.0 * small, "small {small}, large {large}");
+    }
+}

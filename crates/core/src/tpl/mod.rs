@@ -1,0 +1,68 @@
+//! Tool Performance Level (TPL) benchmarks — the paper's §2.1 / §3.2.
+//!
+//! The TPL evaluates the tools' communication primitives directly:
+//!
+//! * [`sendrecv`] — point-to-point echo (Table 3);
+//! * [`broadcast`] — one-to-many broadcast among 4 nodes (Figure 2);
+//! * [`ring`] — simultaneous ring shift, "all nodes send and receive"
+//!   (Figure 3);
+//! * [`globalsum`] — global vector summation (Figure 4).
+//!
+//! All benchmarks return [`TimingPoint`] series of simulated execution
+//! time versus message/vector size.
+
+pub mod broadcast;
+pub mod globalsum;
+pub mod ring;
+pub mod sendrecv;
+
+pub use broadcast::{broadcast_sweep, BroadcastConfig};
+pub use globalsum::{global_sum_sweep, GlobalSumConfig, GlobalSumResult};
+pub use ring::{ring_sweep, RingConfig};
+pub use sendrecv::{send_recv_sweep, SendRecvConfig};
+
+/// One measured point of a TPL sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingPoint {
+    /// Message size in bytes (or vector length in elements, for the
+    /// global-sum benchmark).
+    pub size: u64,
+    /// Simulated execution time in milliseconds.
+    pub millis: f64,
+}
+
+impl TimingPoint {
+    /// Creates a timing point.
+    pub fn new(size: u64, millis: f64) -> TimingPoint {
+        TimingPoint { size, millis }
+    }
+}
+
+/// The message sizes of the paper's Table 3, in kilobytes:
+/// 0, 1, 2, 4, 8, 16, 32, 64.
+pub fn table3_sizes_kb() -> Vec<u64> {
+    vec![0, 1, 2, 4, 8, 16, 32, 64]
+}
+
+/// Asserts a size series is strictly increasing in time — used by tests.
+pub fn is_monotonic(points: &[TimingPoint]) -> bool {
+    points.windows(2).all(|w| w[0].millis <= w[1].millis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_sizes_match_paper() {
+        assert_eq!(table3_sizes_kb(), vec![0, 1, 2, 4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn monotonicity_helper() {
+        let up = vec![TimingPoint::new(0, 1.0), TimingPoint::new(1, 2.0)];
+        let down = vec![TimingPoint::new(0, 2.0), TimingPoint::new(1, 1.0)];
+        assert!(is_monotonic(&up));
+        assert!(!is_monotonic(&down));
+    }
+}

@@ -1,0 +1,150 @@
+//! Ring communication benchmark (paper §3.2.3, Figure 3).
+//!
+//! All nodes *simultaneously* send to their successor and receive from
+//! their predecessor ("all nodes send and receive"). This full-duplex
+//! pattern is where PVM's single-threaded daemon hurts: each node's send
+//! and receive processing serialize through one resource, so Express —
+//! despite losing the half-duplex echo test — beats PVM here on switched
+//! networks, the inversion the paper reports ("Express is better suited
+//! for continuous flow of incoming and outgoing data").
+//!
+//! On the shared-medium Ethernet the wire itself is the bottleneck and
+//! masks most software differences; see `EXPERIMENTS.md` for the
+//! paper-vs-measured discussion.
+
+use super::TimingPoint;
+use pdceval_mpt::error::RunError;
+use pdceval_mpt::runtime::{run_spmd, SpmdConfig};
+use pdceval_mpt::ToolKind;
+use pdceval_simnet::platform::Platform;
+
+/// Configuration of a ring sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingConfig {
+    /// The testbed.
+    pub platform: Platform,
+    /// The tool under test.
+    pub tool: ToolKind,
+    /// Number of nodes in the ring (the paper uses 4 SUNs).
+    pub nprocs: usize,
+    /// Message sizes in kilobytes.
+    pub sizes_kb: Vec<u64>,
+    /// Number of simultaneous shifts to perform (time is reported per
+    /// shift).
+    pub shifts: u32,
+}
+
+impl RingConfig {
+    /// The paper's Figure 3 configuration: 4 nodes, one simultaneous shift.
+    pub fn figure3(platform: Platform, tool: ToolKind) -> RingConfig {
+        RingConfig {
+            platform,
+            tool,
+            nprocs: 4,
+            sizes_kb: super::table3_sizes_kb(),
+            shifts: 1,
+        }
+    }
+}
+
+/// Runs the sweep, returning the per-shift completion time (the instant
+/// the last node has both sent and received).
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the tool/platform combination is unsupported
+/// or the simulation fails.
+pub fn ring_sweep(cfg: &RingConfig) -> Result<Vec<TimingPoint>, RunError> {
+    let shifts = cfg.shifts.max(1);
+    let nprocs = cfg.nprocs;
+    let mut points = Vec::with_capacity(cfg.sizes_kb.len());
+    for &kb in &cfg.sizes_kb {
+        let bytes = (kb * 1024) as usize;
+        let run_cfg = SpmdConfig::new(cfg.platform, cfg.tool, nprocs);
+        let out = run_spmd(&run_cfg, move |node| {
+            let mut data = bytes::Bytes::from(vec![node.rank() as u8; bytes]);
+            for _ in 0..shifts {
+                data = node.ring_shift(data).expect("ring shift failed");
+            }
+            // After `shifts` shifts the payload originated `shifts` ranks
+            // upstream.
+            if bytes > 0 {
+                let origin =
+                    (node.rank() + nprocs - (shifts as usize % nprocs)) % nprocs;
+                assert_eq!(data[0] as usize, origin, "ring payload misrouted");
+            }
+            node.now().as_millis_f64()
+        })?;
+        let done = out.results.iter().cloned().fold(0.0, f64::max);
+        points.push(TimingPoint::new(kb * 1024, done / shifts as f64));
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpl::is_monotonic;
+
+    fn time_at(tool: ToolKind, platform: Platform, kb: u64) -> f64 {
+        ring_sweep(&RingConfig {
+            platform,
+            tool,
+            nprocs: 4,
+            sizes_kb: vec![kb],
+            shifts: 1,
+        })
+        .unwrap()[0]
+            .millis
+    }
+
+    #[test]
+    fn p4_wins_the_ring_everywhere() {
+        for platform in [Platform::SunEthernet, Platform::SunAtmLan] {
+            let p4 = time_at(ToolKind::P4, platform, 16);
+            let pvm = time_at(ToolKind::Pvm, platform, 16);
+            let ex = time_at(ToolKind::Express, platform, 16);
+            assert!(p4 < pvm && p4 < ex, "{platform:?}: p4={p4} pvm={pvm} ex={ex}");
+        }
+    }
+
+    #[test]
+    fn express_beats_pvm_in_full_duplex_flow_on_switched_networks() {
+        // The paper's Figure 3 inversion: Express < PVM on the ring even
+        // though PVM < Express on the echo test at the same sizes. The
+        // mechanism (PVM's daemon serializes send and receive processing)
+        // is visible on switched fabrics where the wire is not the
+        // bottleneck.
+        for kb in [16, 64] {
+            let ex = time_at(ToolKind::Express, Platform::SunAtmLan, kb);
+            let pvm = time_at(ToolKind::Pvm, Platform::SunAtmLan, kb);
+            assert!(ex < pvm, "{kb}KB: express {ex} !< pvm {pvm}");
+        }
+    }
+
+    #[test]
+    fn ring_time_grows_with_size() {
+        let pts = ring_sweep(&RingConfig {
+            platform: Platform::SunAtmLan,
+            tool: ToolKind::Express,
+            nprocs: 4,
+            sizes_kb: vec![0, 8, 64],
+            shifts: 1,
+        })
+        .unwrap();
+        assert!(is_monotonic(&pts));
+    }
+
+    #[test]
+    fn single_node_ring_is_instant() {
+        let pts = ring_sweep(&RingConfig {
+            platform: Platform::SunAtmLan,
+            tool: ToolKind::P4,
+            nprocs: 1,
+            sizes_kb: vec![64],
+            shifts: 1,
+        })
+        .unwrap();
+        assert_eq!(pts[0].millis, 0.0);
+    }
+}

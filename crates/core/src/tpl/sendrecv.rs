@@ -1,0 +1,110 @@
+//! Point-to-point send/receive benchmark (paper §3.2.1, Table 3).
+//!
+//! Two nodes ping-pong a message of each size; the reported time is the
+//! average one-way latency (round trip halved), matching the paper's
+//! "snd/rcv timing" presentation.
+
+use super::TimingPoint;
+use pdceval_mpt::error::RunError;
+use pdceval_mpt::runtime::{run_spmd, SpmdConfig};
+use pdceval_mpt::ToolKind;
+use pdceval_simnet::platform::Platform;
+
+/// Configuration of a send/receive sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendRecvConfig {
+    /// The testbed.
+    pub platform: Platform,
+    /// The tool under test.
+    pub tool: ToolKind,
+    /// Message sizes in kilobytes (1 KB = 1024 bytes).
+    pub sizes_kb: Vec<u64>,
+    /// Ping-pong iterations per size (the simulation is deterministic, so
+    /// one iteration is exact; more simply average identical values).
+    pub iters: u32,
+}
+
+impl SendRecvConfig {
+    /// A Table 3 sweep for one tool and platform.
+    pub fn table3(platform: Platform, tool: ToolKind) -> SendRecvConfig {
+        SendRecvConfig {
+            platform,
+            tool,
+            sizes_kb: super::table3_sizes_kb(),
+            iters: 2,
+        }
+    }
+}
+
+/// Runs the sweep, returning one-way times per message size.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the tool/platform combination is unsupported
+/// or the simulation fails.
+pub fn send_recv_sweep(cfg: &SendRecvConfig) -> Result<Vec<TimingPoint>, RunError> {
+    let iters = cfg.iters.max(1);
+    let mut points = Vec::with_capacity(cfg.sizes_kb.len());
+    for &kb in &cfg.sizes_kb {
+        let bytes = (kb * 1024) as usize;
+        let run_cfg = SpmdConfig::new(cfg.platform, cfg.tool, 2);
+        let out = run_spmd(&run_cfg, move |node| {
+            let payload = bytes::Bytes::from(vec![0u8; bytes]);
+            let start = node.now();
+            for i in 0..iters {
+                let tag = i; // distinct per iteration for clarity
+                if node.rank() == 0 {
+                    node.send(1, tag, payload.clone()).expect("send failed");
+                    let _ = node.recv(Some(1), Some(tag)).expect("recv failed");
+                } else {
+                    let _ = node.recv(Some(0), Some(tag)).expect("recv failed");
+                    node.send(0, tag, payload.clone()).expect("send failed");
+                }
+            }
+            (node.now() - start).as_millis_f64()
+        })?;
+        // Rank 0's elapsed time covers the full round trips.
+        let one_way = out.results[0] / (2.0 * iters as f64);
+        points.push(TimingPoint::new(kb * 1024, one_way));
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p4_ethernet_matches_table3_shape() {
+        let cfg = SendRecvConfig {
+            platform: Platform::SunEthernet,
+            tool: ToolKind::P4,
+            sizes_kb: vec![0, 16, 64],
+            iters: 1,
+        };
+        let pts = send_recv_sweep(&cfg).unwrap();
+        assert!(super::super::is_monotonic(&pts));
+        // Paper Table 3 (p4, Ethernet): 3.2 ms at 0 KB, 173 ms at 64 KB.
+        assert!(pts[0].millis > 1.0 && pts[0].millis < 6.0, "0KB: {}", pts[0].millis);
+        assert!(pts[2].millis > 120.0 && pts[2].millis < 230.0, "64KB: {}", pts[2].millis);
+    }
+
+    #[test]
+    fn express_wan_is_unsupported() {
+        let cfg = SendRecvConfig::table3(Platform::SunAtmWan, ToolKind::Express);
+        assert!(send_recv_sweep(&cfg).is_err());
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let cfg = SendRecvConfig {
+            platform: Platform::SunAtmLan,
+            tool: ToolKind::Pvm,
+            sizes_kb: vec![4],
+            iters: 3,
+        };
+        let a = send_recv_sweep(&cfg).unwrap();
+        let b = send_recv_sweep(&cfg).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,47 @@
+//! Calibration regression test: the simulated Table 3 must stay within
+//! shape-preserving bounds of the paper's published values.
+//!
+//! Run with `--nocapture` to see the full simulated/paper table.
+
+use pdceval_core::experiments::paper_data;
+use pdceval_core::tpl::{send_recv_sweep, SendRecvConfig};
+use pdceval_simnet::platform::Platform;
+
+#[test]
+fn calibration_table3() {
+    let blocks = [
+        (Platform::SunEthernet, paper_data::table3_ethernet()),
+        (Platform::SunAtmLan, paper_data::table3_atm_lan()),
+        (Platform::SunAtmWan, paper_data::table3_atm_wan()),
+    ];
+    for (platform, paper) in blocks {
+        println!("== {platform} ==");
+        for (tool, expected) in paper {
+            let cfg = SendRecvConfig::table3(platform, tool);
+            let pts = send_recv_sweep(&cfg).unwrap();
+            print!("{tool:>8}: ");
+            for (p, e) in pts.iter().zip(&expected) {
+                print!("{:7.2}/{:<7.2} ", p.millis, e);
+            }
+            println!();
+            // Endpoints (0 KB and 64 KB) must be within 25% of the paper.
+            for idx in [0usize, 7] {
+                let ratio = pts[idx].millis / expected[idx];
+                assert!(
+                    (0.75..=1.3).contains(&ratio),
+                    "{platform} {tool} size index {idx}: sim {} vs paper {} (ratio {ratio:.2})",
+                    pts[idx].millis,
+                    expected[idx]
+                );
+            }
+            // Mid-range points must stay within a factor of 2.5.
+            for idx in 1..7 {
+                let ratio = pts[idx].millis / expected[idx];
+                assert!(
+                    (0.4..=2.5).contains(&ratio),
+                    "{platform} {tool} size index {idx}: ratio {ratio:.2}"
+                );
+            }
+        }
+    }
+}

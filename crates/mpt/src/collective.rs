@@ -1,0 +1,359 @@
+//! Collective-communication algorithms.
+//!
+//! Each tool implements collectives differently, and those differences
+//! drive the paper's Figure 2 (broadcast), Figure 4 (global sum) and the
+//! barrier behaviour:
+//!
+//! * p4 broadcasts along a **binomial tree** and reduces with a
+//!   tree-gather + tree-release — `O(log P)` rounds;
+//! * PVM's `pvm_mcast` is a **sequential fan-out** from the root;
+//! * Express's `exbroadcast` is a sequential fan-out where the root waits
+//!   for an **acknowledgement** after every child (fully serialized), and
+//!   its `excombine` is a **sequential ring** accumulate-and-circulate.
+//!
+//! All algorithms are real message protocols built from the node's
+//! point-to-point primitives, so software overheads, wire contention and
+//! pipelining all apply.
+
+use crate::error::ToolError;
+use crate::message::{MsgReader, MsgWriter};
+use crate::node::{
+    coll_tag, Node, OP_ACK, OP_BARRIER_DOWN, OP_BARRIER_UP, OP_BCAST, OP_REDUCE, OP_REDUCE_DOWN,
+};
+use crate::profile::{BcastAlgo, ReduceAlgo};
+use crate::tool::ToolKind;
+use bytes::Bytes;
+use pdceval_simnet::ids::Tag;
+use pdceval_simnet::work::Work;
+
+/// Payloads at or below this size take the tools' optimized small-combine
+/// path in reductions (Express's `excombine` fast path).
+const SMALL_COMBINE_BYTES: usize = 64;
+
+/// Binomial-tree broadcast (MPICH pattern), used by p4 and by the barrier
+/// release phase. `light_alpha` selects the tools' optimized small-payload
+/// transfer path (used by tiny reductions).
+fn bcast_binomial_with(
+    node: &mut Node<'_>,
+    root: usize,
+    data: Bytes,
+    tag: Tag,
+    light_alpha: Option<f64>,
+) -> Result<Bytes, ToolError> {
+    let p = node.nprocs();
+    let me = node.rank();
+    let relative = (me + p - root) % p;
+    let mut payload = data;
+    let mut mask = 1usize;
+    while mask < p {
+        if relative & mask != 0 {
+            let src = (relative - mask + root) % p;
+            payload = match light_alpha {
+                Some(a) => node.recv_light(src, tag, a)?.data,
+                None => node.recv_internal(Some(src), Some(tag))?.data,
+            };
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    while mask > 0 {
+        if relative + mask < p {
+            let dst = (relative + mask + root) % p;
+            match light_alpha {
+                Some(a) => node.send_light(dst, tag, payload.clone(), a)?,
+                None => node.send_internal(dst, tag, payload.clone())?,
+            }
+        }
+        mask >>= 1;
+    }
+    Ok(payload)
+}
+
+fn bcast_binomial(node: &mut Node<'_>, root: usize, data: Bytes, tag: Tag) -> Result<Bytes, ToolError> {
+    bcast_binomial_with(node, root, data, tag, None)
+}
+
+/// Sequential fan-out from the root (PVM `pvm_mcast`), optionally waiting
+/// for a per-child acknowledgement (Express `exbroadcast`).
+fn bcast_sequential(
+    node: &mut Node<'_>,
+    root: usize,
+    data: Bytes,
+    tag: Tag,
+    ack_tag: Option<Tag>,
+) -> Result<Bytes, ToolError> {
+    let p = node.nprocs();
+    let me = node.rank();
+    if me == root {
+        for dst in 0..p {
+            if dst == root {
+                continue;
+            }
+            node.send_internal(dst, tag, data.clone())?;
+            if let Some(at) = ack_tag {
+                let _ = node.recv_internal(Some(dst), Some(at))?;
+            }
+        }
+        Ok(data)
+    } else {
+        let msg = node.recv_internal(Some(root), Some(tag))?;
+        if let Some(at) = ack_tag {
+            node.send_internal(root, at, Bytes::new())?;
+        }
+        Ok(msg.data)
+    }
+}
+
+/// Dispatches a broadcast according to the tool's algorithm.
+pub(crate) fn broadcast(node: &mut Node<'_>, root: usize, data: Bytes) -> Result<Bytes, ToolError> {
+    let seq = node.next_coll_seq();
+    let tag = coll_tag(OP_BCAST, seq);
+    match node.profile().bcast {
+        BcastAlgo::BinomialTree => bcast_binomial(node, root, data, tag),
+        BcastAlgo::SequentialRoot => bcast_sequential(node, root, data, tag, None),
+        BcastAlgo::SequentialAck => {
+            let ack = coll_tag(OP_ACK, seq);
+            bcast_sequential(node, root, data, tag, Some(ack))
+        }
+    }
+}
+
+/// Barrier: binomial gather of empty messages to rank 0, then binomial
+/// release. Message costs differ per tool through the send path.
+pub(crate) fn barrier(node: &mut Node<'_>) -> Result<(), ToolError> {
+    let p = node.nprocs();
+    if p == 1 {
+        return Ok(());
+    }
+    let seq = node.next_coll_seq();
+    let up = coll_tag(OP_BARRIER_UP, seq);
+    let down = coll_tag(OP_BARRIER_DOWN, seq);
+    let me = node.rank();
+
+    // Gather phase: each node waits for all children, then reports to parent.
+    let mut mask = 1usize;
+    while mask < p {
+        if me & mask != 0 {
+            node.send_internal(me - mask, up, Bytes::new())?;
+            break;
+        }
+        let child = me + mask;
+        if child < p {
+            let _ = node.recv_internal(Some(child), Some(up))?;
+        }
+        mask <<= 1;
+    }
+
+    // Release phase: binomial broadcast of an empty payload from rank 0.
+    bcast_binomial(node, 0, Bytes::new(), down)?;
+    Ok(())
+}
+
+/// Element types that tool reductions can sum.
+trait SumElem: Copy {
+    const BYTES: usize;
+    fn encode(xs: &[Self]) -> Bytes;
+    fn decode(data: Bytes) -> Result<Vec<Self>, ToolError>;
+    fn add_into(acc: &mut [Self], xs: &[Self]);
+    /// Work of one element-wise addition pass of length `n`.
+    fn add_work(n: usize) -> Work;
+}
+
+impl SumElem for f64 {
+    const BYTES: usize = 8;
+    fn encode(xs: &[Self]) -> Bytes {
+        let mut w = MsgWriter::with_capacity(4 + xs.len() * 8);
+        w.put_f64_slice(xs);
+        w.freeze()
+    }
+    fn decode(data: Bytes) -> Result<Vec<Self>, ToolError> {
+        Ok(MsgReader::new(data).get_f64_slice()?)
+    }
+    fn add_into(acc: &mut [Self], xs: &[Self]) {
+        for (a, x) in acc.iter_mut().zip(xs) {
+            *a += *x;
+        }
+    }
+    fn add_work(n: usize) -> Work {
+        Work::flops(n as u64)
+    }
+}
+
+impl SumElem for i32 {
+    const BYTES: usize = 4;
+    fn encode(xs: &[Self]) -> Bytes {
+        let mut w = MsgWriter::with_capacity(4 + xs.len() * 4);
+        w.put_i32_slice(xs);
+        w.freeze()
+    }
+    fn decode(data: Bytes) -> Result<Vec<Self>, ToolError> {
+        Ok(MsgReader::new(data).get_i32_slice()?)
+    }
+    fn add_into(acc: &mut [Self], xs: &[Self]) {
+        for (a, x) in acc.iter_mut().zip(xs) {
+            *a = a.wrapping_add(*x);
+        }
+    }
+    fn add_work(n: usize) -> Work {
+        Work::int_ops(n as u64)
+    }
+}
+
+/// Sends a reduction payload: small payloads use the tool's optimized
+/// combine path, large ones the normal send path.
+fn reduce_send(node: &mut Node<'_>, dst: usize, tag: Tag, data: Bytes) -> Result<(), ToolError> {
+    let small = data.len() <= SMALL_COMBINE_BYTES;
+    let alpha = node.profile().small_combine_alpha_us;
+    if small && alpha.is_finite() {
+        node.send_light(dst, tag, data, alpha)
+    } else {
+        node.send_internal(dst, tag, data)
+    }
+}
+
+fn reduce_recv(node: &mut Node<'_>, src: usize, tag: Tag, small: bool) -> Result<Bytes, ToolError> {
+    let alpha = node.profile().small_combine_alpha_us;
+    if small && alpha.is_finite() {
+        Ok(node.recv_light(src, tag, alpha)?.data)
+    } else {
+        Ok(node.recv_internal(Some(src), Some(tag))?.data)
+    }
+}
+
+fn global_sum_impl<T: SumElem>(node: &mut Node<'_>, xs: &[T]) -> Result<Vec<T>, ToolError> {
+    let algo = match node.profile().reduce {
+        Some(a) => a,
+        None => {
+            return Err(ToolError::Unsupported {
+                tool: node.tool(),
+                op: "global sum",
+            })
+        }
+    };
+    let p = node.nprocs();
+    let me = node.rank();
+    let seq = node.next_coll_seq();
+    let up = coll_tag(OP_REDUCE, seq);
+    let down = coll_tag(OP_REDUCE_DOWN, seq);
+    let small = xs.len() * T::BYTES + 4 <= SMALL_COMBINE_BYTES;
+    let mut acc: Vec<T> = xs.to_vec();
+
+    if p == 1 {
+        return Ok(acc);
+    }
+
+    match algo {
+        ReduceAlgo::Tree => {
+            // Binomial gather with accumulation, then tree broadcast.
+            let mut mask = 1usize;
+            while mask < p {
+                if me & mask != 0 {
+                    reduce_send(node, me - mask, up, T::encode(&acc))?;
+                    break;
+                }
+                let child = me + mask;
+                if child < p {
+                    let data = reduce_recv(node, child, up, small)?;
+                    let v = T::decode(data)?;
+                    node.compute(T::add_work(acc.len()));
+                    T::add_into(&mut acc, &v);
+                }
+                mask <<= 1;
+            }
+            let alpha = node.profile().small_combine_alpha_us;
+            let light = if small && alpha.is_finite() {
+                Some(alpha)
+            } else {
+                None
+            };
+            let result = bcast_binomial_with(
+                node,
+                0,
+                if me == 0 { T::encode(&acc) } else { Bytes::new() },
+                down,
+                light,
+            )?;
+            T::decode(result)
+        }
+        ReduceAlgo::Ring => {
+            // Sequential accumulate 0 -> 1 -> ... -> P-1, then circulate
+            // the total P-1 -> 0 -> 1 -> ... -> P-2.
+            if me == 0 {
+                reduce_send(node, 1, up, T::encode(&acc))?;
+            } else {
+                let data = reduce_recv(node, me - 1, up, small)?;
+                let v = T::decode(data)?;
+                node.compute(T::add_work(acc.len()));
+                T::add_into(&mut acc, &v);
+                if me + 1 < p {
+                    reduce_send(node, me + 1, up, T::encode(&acc))?;
+                }
+            }
+            if me == p - 1 {
+                reduce_send(node, 0, down, T::encode(&acc))?;
+                Ok(acc)
+            } else {
+                let prev = (me + p - 1) % p;
+                let data = reduce_recv(node, prev, down, small)?;
+                let total = T::decode(data)?;
+                if me + 1 < p - 1 {
+                    reduce_send(node, me + 1, down, T::encode(&total))?;
+                }
+                Ok(total)
+            }
+        }
+    }
+}
+
+/// Global `f64` vector sum; see [`Node::global_sum_f64`].
+pub(crate) fn global_sum_f64(node: &mut Node<'_>, xs: &[f64]) -> Result<Vec<f64>, ToolError> {
+    global_sum_impl(node, xs)
+}
+
+/// Global `i32` vector sum; see [`Node::global_sum_i32`].
+pub(crate) fn global_sum_i32(node: &mut Node<'_>, xs: &[i32]) -> Result<Vec<i32>, ToolError> {
+    global_sum_impl(node, xs)
+}
+
+/// True if the tool/algorithm combination exists (used by evaluation code
+/// to mirror the paper's "Not Available" entries).
+pub fn tool_has_reduce(tool: ToolKind) -> bool {
+    tool.supports_global_ops()
+}
+
+#[cfg(test)]
+mod tests {
+    // The collective algorithms are exercised end-to-end in the runtime
+    // tests (they need a running simulation); here we only test the pure
+    // helpers.
+    use super::*;
+
+    #[test]
+    fn sum_elem_f64_round_trip() {
+        let xs = [1.5f64, -2.0, 3.25];
+        let enc = <f64 as SumElem>::encode(&xs);
+        let dec = <f64 as SumElem>::decode(enc).unwrap();
+        assert_eq!(dec, xs);
+    }
+
+    #[test]
+    fn sum_elem_i32_add() {
+        let mut acc = [1i32, 2, 3];
+        <i32 as SumElem>::add_into(&mut acc, &[10, 20, 30]);
+        assert_eq!(acc, [11, 22, 33]);
+    }
+
+    #[test]
+    fn add_work_units_match_type() {
+        assert_eq!(<f64 as SumElem>::add_work(5), Work::flops(5));
+        assert_eq!(<i32 as SumElem>::add_work(5), Work::int_ops(5));
+    }
+
+    #[test]
+    fn reduce_support_mirrors_table1() {
+        assert!(tool_has_reduce(ToolKind::P4));
+        assert!(tool_has_reduce(ToolKind::Express));
+        assert!(!tool_has_reduce(ToolKind::Pvm));
+    }
+}

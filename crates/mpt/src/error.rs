@@ -1,0 +1,189 @@
+//! Error types for the tool layer.
+
+use crate::tool::ToolKind;
+use pdceval_simnet::error::SimError;
+use pdceval_simnet::platform::Platform;
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by individual tool primitives.
+///
+/// The paper's §2.3 "Error Handling" criterion observes that none of the
+/// 1995 tools handled errors gracefully; this reproduction does better —
+/// every misuse surfaces as a typed error rather than a hang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToolError {
+    /// The tool does not implement the requested primitive (e.g. PVM has
+    /// no global-sum operation — paper Table 1, "Not Available").
+    Unsupported {
+        /// The tool lacking the primitive.
+        tool: ToolKind,
+        /// The primitive's name.
+        op: &'static str,
+    },
+    /// A rank argument was outside `0..nprocs`.
+    InvalidRank {
+        /// The offending rank.
+        rank: usize,
+        /// Number of processes in the run.
+        nprocs: usize,
+    },
+    /// A user message tag collided with the reserved internal tag space.
+    ReservedTag {
+        /// The offending tag.
+        tag: u32,
+    },
+    /// A typed payload failed to decode.
+    Codec(CodecError),
+}
+
+impl fmt::Display for ToolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToolError::Unsupported { tool, op } => {
+                write!(f, "{tool} does not support the {op} primitive")
+            }
+            ToolError::InvalidRank { rank, nprocs } => {
+                write!(f, "rank {rank} is out of range for {nprocs} process(es)")
+            }
+            ToolError::ReservedTag { tag } => {
+                write!(f, "tag {tag:#x} lies in the reserved internal tag space")
+            }
+            ToolError::Codec(e) => write!(f, "payload decode failed: {e}"),
+        }
+    }
+}
+
+impl Error for ToolError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ToolError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for ToolError {
+    fn from(e: CodecError) -> Self {
+        ToolError::Codec(e)
+    }
+}
+
+/// Errors decoding a typed message payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The reader ran past the end of the payload.
+    UnexpectedEnd {
+        /// Bytes requested.
+        wanted: usize,
+        /// Bytes remaining.
+        available: usize,
+    },
+    /// A length prefix was implausibly large.
+    BadLength {
+        /// The decoded length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd { wanted, available } => {
+                write!(f, "unexpected end of payload: wanted {wanted} bytes, {available} available")
+            }
+            CodecError::BadLength { len } => write!(f, "implausible length prefix {len}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// Errors aborting an entire SPMD run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The underlying simulation failed (deadlock or process panic).
+    Sim(SimError),
+    /// The tool has no port for this platform (e.g. Express was not
+    /// available across the NYNET ATM WAN in the paper's experiments).
+    PlatformUnsupported {
+        /// The tool requested.
+        tool: ToolKind,
+        /// The unsupported platform.
+        platform: Platform,
+    },
+    /// More nodes were requested than the platform offers.
+    TooManyNodes {
+        /// Nodes requested.
+        requested: usize,
+        /// Nodes available.
+        max: usize,
+    },
+    /// Zero nodes were requested.
+    ZeroNodes,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Sim(e) => write!(f, "simulation failed: {e}"),
+            RunError::PlatformUnsupported { tool, platform } => {
+                write!(f, "{tool} has no port for the {platform} platform")
+            }
+            RunError::TooManyNodes { requested, max } => {
+                write!(f, "requested {requested} nodes but the platform has {max}")
+            }
+            RunError::ZeroNodes => write!(f, "an SPMD run needs at least one node"),
+        }
+    }
+}
+
+impl Error for RunError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RunError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let e = ToolError::Unsupported {
+            tool: ToolKind::Pvm,
+            op: "global sum",
+        };
+        assert!(e.to_string().contains("PVM"));
+        assert!(e.to_string().contains("global sum"));
+
+        let e = ToolError::InvalidRank { rank: 9, nprocs: 4 };
+        assert!(e.to_string().contains('9'));
+
+        let e = RunError::PlatformUnsupported {
+            tool: ToolKind::Express,
+            platform: Platform::SunAtmWan,
+        };
+        assert!(e.to_string().contains("Express"));
+        assert!(e.to_string().contains("NYNET"));
+    }
+
+    #[test]
+    fn codec_error_converts() {
+        let c = CodecError::UnexpectedEnd {
+            wanted: 8,
+            available: 3,
+        };
+        let t: ToolError = c.into();
+        assert_eq!(t, ToolError::Codec(c));
+    }
+}

@@ -1,0 +1,59 @@
+//! # pdceval-mpt
+//!
+//! The three message-passing tools evaluated by *"Software Tool Evaluation
+//! Methodology"* (Hariri et al., 1995) — **Express**, **p4** and **PVM** —
+//! implemented as runtimes over the [`pdceval_simnet`] testbed simulator.
+//!
+//! Applications are written once against the [`node::Node`] API and run
+//! under any tool; each tool's measured behaviour (fixed overheads,
+//! per-byte costs, daemon routing, broadcast/reduction algorithms,
+//! capability gaps) is reproduced by its [`profile::ToolProfile`] and the
+//! protocol implementations in [`collective`].
+//!
+//! # Example
+//!
+//! ```
+//! use bytes::Bytes;
+//! use pdceval_mpt::prelude::*;
+//!
+//! let cfg = SpmdConfig::new(Platform::SunAtmLan, ToolKind::Pvm, 4);
+//! let out = run_spmd(&cfg, |node| {
+//!     // A rank-0-rooted broadcast, PVM style (sequential pvm_mcast).
+//!     let data = if node.rank() == 0 {
+//!         Bytes::from(vec![42u8; 1024])
+//!     } else {
+//!         Bytes::new()
+//!     };
+//!     node.broadcast(0, data).unwrap().len()
+//! })?;
+//! assert!(out.results.iter().all(|&n| n == 1024));
+//! # Ok::<(), pdceval_mpt::error::RunError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod collective;
+pub mod error;
+pub mod message;
+pub mod node;
+pub mod profile;
+pub mod runtime;
+pub mod tool;
+
+pub use node::{Node, RecvMsg};
+pub use runtime::{run_spmd, SpmdConfig, SpmdOutcome};
+pub use tool::{Primitive, ToolKind};
+
+/// Convenient glob-import of the crate's primary types.
+pub mod prelude {
+    pub use crate::error::{RunError, ToolError};
+    pub use crate::message::{MsgReader, MsgWriter};
+    pub use crate::node::{Node, RecvMsg};
+    pub use crate::profile::ToolProfile;
+    pub use crate::runtime::{run_spmd, SpmdConfig, SpmdOutcome};
+    pub use crate::tool::{Primitive, ToolKind};
+    pub use pdceval_simnet::platform::Platform;
+    pub use pdceval_simnet::time::{SimDuration, SimTime};
+    pub use pdceval_simnet::work::Work;
+}

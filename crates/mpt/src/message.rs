@@ -1,0 +1,322 @@
+//! Typed message encoding.
+//!
+//! The 1995 tools exchanged raw byte buffers (p4, Express) or typed packed
+//! buffers (PVM's `pvm_pkint` family). This module provides the portable
+//! equivalent: a little-endian writer/reader pair used by the application
+//! suite to move typed data through the simulator's opaque payloads.
+//!
+//! # Examples
+//!
+//! ```
+//! use pdceval_mpt::message::{MsgReader, MsgWriter};
+//!
+//! let mut w = MsgWriter::new();
+//! w.put_u32(7);
+//! w.put_f64_slice(&[1.0, 2.5]);
+//! let bytes = w.freeze();
+//!
+//! let mut r = MsgReader::new(bytes);
+//! assert_eq!(r.get_u32()?, 7);
+//! assert_eq!(r.get_f64_slice()?, vec![1.0, 2.5]);
+//! # Ok::<(), pdceval_mpt::error::CodecError>(())
+//! ```
+
+use crate::error::CodecError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum plausible element count in a length-prefixed slice (guards
+/// against decoding garbage as a huge allocation).
+const MAX_SLICE_LEN: usize = 1 << 28;
+
+/// Builds a typed message payload.
+#[derive(Debug, Default)]
+pub struct MsgWriter {
+    buf: BytesMut,
+}
+
+impl MsgWriter {
+    /// Creates an empty writer.
+    pub fn new() -> MsgWriter {
+        MsgWriter::default()
+    }
+
+    /// Creates a writer with a capacity hint.
+    pub fn with_capacity(cap: usize) -> MsgWriter {
+        MsgWriter {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a `u32` (little-endian).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Appends an `i32` (little-endian).
+    pub fn put_i32(&mut self, v: i32) {
+        self.buf.put_i32_le(v);
+    }
+
+    /// Appends a `u64` (little-endian).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends an `f64` (little-endian bit pattern).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Appends a length-prefixed `i32` slice.
+    pub fn put_i32_slice(&mut self, xs: &[i32]) {
+        self.buf.put_u32_le(xs.len() as u32);
+        for &x in xs {
+            self.buf.put_i32_le(x);
+        }
+    }
+
+    /// Appends a length-prefixed `u32` slice.
+    pub fn put_u32_slice(&mut self, xs: &[u32]) {
+        self.buf.put_u32_le(xs.len() as u32);
+        for &x in xs {
+            self.buf.put_u32_le(x);
+        }
+    }
+
+    /// Appends a length-prefixed `f64` slice.
+    pub fn put_f64_slice(&mut self, xs: &[f64]) {
+        self.buf.put_u32_le(xs.len() as u32);
+        for &x in xs {
+            self.buf.put_f64_le(x);
+        }
+    }
+
+    /// Appends length-prefixed raw bytes.
+    pub fn put_bytes(&mut self, bs: &[u8]) {
+        self.buf.put_u32_le(bs.len() as u32);
+        self.buf.put_slice(bs);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finishes the message, yielding the payload.
+    pub fn freeze(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Reads a typed message payload.
+#[derive(Debug)]
+pub struct MsgReader {
+    buf: Bytes,
+}
+
+impl MsgReader {
+    /// Wraps a payload for reading.
+    pub fn new(buf: Bytes) -> MsgReader {
+        MsgReader { buf }
+    }
+
+    fn need(&self, n: usize) -> Result<(), CodecError> {
+        if self.buf.remaining() < n {
+            Err(CodecError::UnexpectedEnd {
+                wanted: n,
+                available: self.buf.remaining(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEnd`] if the payload is exhausted.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEnd`] if the payload is exhausted.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Reads an `i32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEnd`] if the payload is exhausted.
+    pub fn get_i32(&mut self) -> Result<i32, CodecError> {
+        self.need(4)?;
+        Ok(self.buf.get_i32_le())
+    }
+
+    /// Reads a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEnd`] if the payload is exhausted.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Reads an `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEnd`] if the payload is exhausted.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    fn get_len(&mut self) -> Result<usize, CodecError> {
+        let len = self.get_u32()? as usize;
+        if len > MAX_SLICE_LEN {
+            return Err(CodecError::BadLength { len });
+        }
+        Ok(len)
+    }
+
+    /// Reads a length-prefixed `i32` slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncation or an implausible length.
+    pub fn get_i32_slice(&mut self) -> Result<Vec<i32>, CodecError> {
+        let len = self.get_len()?;
+        self.need(len * 4)?;
+        Ok((0..len).map(|_| self.buf.get_i32_le()).collect())
+    }
+
+    /// Reads a length-prefixed `u32` slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncation or an implausible length.
+    pub fn get_u32_slice(&mut self) -> Result<Vec<u32>, CodecError> {
+        let len = self.get_len()?;
+        self.need(len * 4)?;
+        Ok((0..len).map(|_| self.buf.get_u32_le()).collect())
+    }
+
+    /// Reads a length-prefixed `f64` slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncation or an implausible length.
+    pub fn get_f64_slice(&mut self) -> Result<Vec<f64>, CodecError> {
+        let len = self.get_len()?;
+        self.need(len * 8)?;
+        Ok((0..len).map(|_| self.buf.get_f64_le()).collect())
+    }
+
+    /// Reads length-prefixed raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncation or an implausible length.
+    pub fn get_bytes(&mut self) -> Result<Bytes, CodecError> {
+        let len = self.get_len()?;
+        self.need(len)?;
+        Ok(self.buf.copy_to_bytes(len))
+    }
+
+    /// Bytes left unread.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut w = MsgWriter::new();
+        w.put_u8(9);
+        w.put_u32(123_456);
+        w.put_i32(-77);
+        w.put_u64(1 << 40);
+        w.put_f64(-2.75);
+        let mut r = MsgReader::new(w.freeze());
+        assert_eq!(r.get_u8().unwrap(), 9);
+        assert_eq!(r.get_u32().unwrap(), 123_456);
+        assert_eq!(r.get_i32().unwrap(), -77);
+        assert_eq!(r.get_u64().unwrap(), 1 << 40);
+        assert_eq!(r.get_f64().unwrap(), -2.75);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let mut w = MsgWriter::new();
+        w.put_i32_slice(&[1, -2, 3]);
+        w.put_f64_slice(&[0.5]);
+        w.put_bytes(b"abc");
+        w.put_u32_slice(&[7, 8]);
+        let mut r = MsgReader::new(w.freeze());
+        assert_eq!(r.get_i32_slice().unwrap(), vec![1, -2, 3]);
+        assert_eq!(r.get_f64_slice().unwrap(), vec![0.5]);
+        assert_eq!(&r.get_bytes().unwrap()[..], b"abc");
+        assert_eq!(r.get_u32_slice().unwrap(), vec![7, 8]);
+    }
+
+    #[test]
+    fn truncated_read_errors() {
+        let mut w = MsgWriter::new();
+        w.put_u32(1);
+        let mut r = MsgReader::new(w.freeze());
+        let _ = r.get_u32().unwrap();
+        assert!(matches!(
+            r.get_f64(),
+            Err(CodecError::UnexpectedEnd { wanted: 8, available: 0 })
+        ));
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        let mut w = MsgWriter::new();
+        w.put_u32(u32::MAX);
+        let mut r = MsgReader::new(w.freeze());
+        assert!(matches!(r.get_i32_slice(), Err(CodecError::BadLength { .. })));
+    }
+
+    #[test]
+    fn empty_slice_round_trip() {
+        let mut w = MsgWriter::new();
+        w.put_i32_slice(&[]);
+        let mut r = MsgReader::new(w.freeze());
+        assert_eq!(r.get_i32_slice().unwrap(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn writer_len_tracks() {
+        let mut w = MsgWriter::with_capacity(16);
+        assert!(w.is_empty());
+        w.put_u32(1);
+        assert_eq!(w.len(), 4);
+    }
+}

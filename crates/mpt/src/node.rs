@@ -1,0 +1,591 @@
+//! The per-process tool API.
+//!
+//! A [`Node`] is what an application written against one of the 1995 tools
+//! sees: its rank, the process count, and the tool's primitives
+//! (send/receive, broadcast, barrier, global sum). The node prices every
+//! operation through the tool's [`ToolProfile`] and the platform's fabric,
+//! so identical application code exhibits each tool's measured behaviour.
+
+use crate::error::ToolError;
+use crate::profile::ToolProfile;
+use crate::tool::ToolKind;
+use bytes::Bytes;
+use pdceval_simnet::engine::Ctx;
+use pdceval_simnet::fabric::Fabric;
+use pdceval_simnet::flight::{Stage, TransmitPlan};
+use pdceval_simnet::host::HostSpec;
+use pdceval_simnet::ids::{ProcId, ResourceId, Tag};
+use pdceval_simnet::platform::Platform;
+use pdceval_simnet::time::{SimDuration, SimTime};
+use pdceval_simnet::work::Work;
+use pdceval_simnet::envelope::{Envelope, Matcher};
+use std::sync::Arc;
+
+/// User message tags must be below this value; the range above is
+/// reserved for the tool layer's internal collective protocols.
+pub const RESERVED_TAG_BASE: Tag = 0xFFFF_0000;
+
+pub(crate) const OP_BCAST: u32 = 1;
+pub(crate) const OP_REDUCE: u32 = 2;
+pub(crate) const OP_BARRIER_UP: u32 = 3;
+pub(crate) const OP_BARRIER_DOWN: u32 = 4;
+pub(crate) const OP_ACK: u32 = 5;
+pub(crate) const OP_RING: u32 = 6;
+pub(crate) const OP_REDUCE_DOWN: u32 = 7;
+
+pub(crate) fn coll_tag(op: u32, seq: u32) -> Tag {
+    RESERVED_TAG_BASE | (op << 12) | (seq & 0x0FFF)
+}
+
+/// Immutable per-run state shared by all nodes.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub platform: Platform,
+    pub tool: ToolKind,
+    pub fabric: Fabric,
+    pub hosts: Vec<HostSpec>,
+    /// Per-host protocol-stack transmit resource (p4, Express, PVM-direct).
+    pub stack_tx: Vec<ResourceId>,
+    /// Per-host protocol-stack receive resource.
+    pub stack_rx: Vec<ResourceId>,
+    /// Per-host single-threaded PVM daemon (serializes both directions).
+    pub daemon: Vec<ResourceId>,
+    pub nprocs: usize,
+}
+
+/// A received message.
+#[derive(Debug, Clone)]
+pub struct RecvMsg {
+    /// Rank of the sender.
+    pub src: usize,
+    /// The message tag.
+    pub tag: Tag,
+    /// The payload.
+    pub data: Bytes,
+}
+
+/// Per-node message statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Messages sent by this node (including internal collective traffic).
+    pub messages_sent: u64,
+    /// Payload bytes sent by this node.
+    pub bytes_sent: u64,
+}
+
+/// Cost parameters of one send, derived from the profile (or overridden
+/// for the tools' optimized tiny-message collective paths).
+pub(crate) struct SendCosts {
+    pub alpha_send_us: f64,
+    pub beta_send_us_per_byte: f64,
+    pub beta_recv_us_per_byte: f64,
+    pub copy_before_us_per_byte: f64,
+}
+
+impl SendCosts {
+    fn from_profile(p: &ToolProfile) -> SendCosts {
+        SendCosts {
+            alpha_send_us: p.send_alpha_us,
+            beta_send_us_per_byte: p.send_beta_us_per_byte,
+            beta_recv_us_per_byte: p.recv_beta_us_per_byte,
+            copy_before_us_per_byte: p.copy_before_send_us_per_byte,
+        }
+    }
+
+    /// A "light" transfer with a single fixed cost split across the two
+    /// sides (the receive half is charged by `recv_light`) and no per-byte
+    /// software cost — the tools' optimized small combine paths.
+    fn light(alpha_us: f64) -> SendCosts {
+        SendCosts {
+            alpha_send_us: alpha_us / 2.0,
+            beta_send_us_per_byte: 0.0,
+            beta_recv_us_per_byte: 0.0,
+            copy_before_us_per_byte: 0.0,
+        }
+    }
+}
+
+/// A process's view of the message-passing tool (see module docs).
+pub struct Node<'a> {
+    ctx: &'a Ctx,
+    rank: usize,
+    shared: Arc<Shared>,
+    profile: ToolProfile,
+    coll_seq: u32,
+    stats: NodeStats,
+}
+
+impl<'a> Node<'a> {
+    pub(crate) fn new(ctx: &'a Ctx, rank: usize, shared: Arc<Shared>) -> Node<'a> {
+        let profile = ToolProfile::for_tool(shared.tool);
+        Node {
+            ctx,
+            rank,
+            shared,
+            profile,
+            coll_seq: 0,
+            stats: NodeStats::default(),
+        }
+    }
+
+    // -- identity & environment (the paper's "system management" group) ----
+
+    /// This node's rank in `0..nprocs`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of processes in the run.
+    pub fn nprocs(&self) -> usize {
+        self.shared.nprocs
+    }
+
+    /// The tool this run uses.
+    pub fn tool(&self) -> ToolKind {
+        self.shared.tool
+    }
+
+    /// The platform this run executes on.
+    pub fn platform(&self) -> Platform {
+        self.shared.platform
+    }
+
+    /// The host this node runs on.
+    pub fn host(&self) -> &HostSpec {
+        &self.shared.hosts[self.rank]
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    /// Message statistics for this node so far.
+    pub fn stats(&self) -> NodeStats {
+        self.stats
+    }
+
+    /// Switches PVM to direct task-to-task routing
+    /// (`pvm_advise(PvmRouteDirect)`), as tuned applications did.
+    /// A no-op for the other tools.
+    pub fn advise_direct_route(&mut self) {
+        self.profile = ToolProfile::direct_route(self.shared.tool);
+    }
+
+    /// Performs computational work, advancing virtual time by its cost on
+    /// this node's host.
+    pub fn compute(&mut self, w: Work) {
+        self.ctx.work(w);
+    }
+
+    /// Aborts the whole run with a message (models the tools' abort
+    /// primitives); surfaces as a `ProcPanic` simulation error.
+    pub fn abort(&mut self, msg: &str) -> ! {
+        panic!("tool abort at rank {}: {msg}", self.rank);
+    }
+
+    // -- internal cost plumbing --------------------------------------------
+
+    fn sw(&self, us: f64, host: usize) -> SimDuration {
+        SimDuration::from_micros_f64(us * self.shared.hosts[host].sw_scale)
+    }
+
+    fn send_resource(&self, host: usize) -> ResourceId {
+        if self.profile.daemon_routed {
+            self.shared.daemon[host]
+        } else {
+            self.shared.stack_tx[host]
+        }
+    }
+
+    fn recv_resource(&self, host: usize) -> ResourceId {
+        if self.profile.daemon_routed {
+            self.shared.daemon[host]
+        } else {
+            self.shared.stack_rx[host]
+        }
+    }
+
+    /// Splits a wire payload at the effective fragmentation granularity:
+    /// the smaller of the network MTU and the tool's own fragment size.
+    fn fragment_sizes(&self, wire_bytes: u64) -> Vec<u64> {
+        let net_mtu = self.shared.fabric.params().mtu;
+        let eff = match self.profile.max_fragment_bytes {
+            Some(tool_frag) => net_mtu.min(tool_frag),
+            None => net_mtu,
+        } as u64;
+        if wire_bytes == 0 {
+            return vec![0];
+        }
+        let full = wire_bytes / eff;
+        let rem = wire_bytes % eff;
+        let mut sizes = vec![eff; full as usize];
+        if rem > 0 {
+            sizes.push(rem);
+        }
+        sizes
+    }
+
+    fn check_rank(&self, rank: usize) -> Result<(), ToolError> {
+        if rank >= self.shared.nprocs {
+            Err(ToolError::InvalidRank {
+                rank,
+                nprocs: self.shared.nprocs,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    pub(crate) fn next_coll_seq(&mut self) -> u32 {
+        let s = self.coll_seq;
+        self.coll_seq = self.coll_seq.wrapping_add(1);
+        s
+    }
+
+    pub(crate) fn send_with_costs(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        data: Bytes,
+        costs: &SendCosts,
+    ) -> Result<(), ToolError> {
+        self.check_rank(dst)?;
+        let src_host = self.rank;
+        let dst_host = dst;
+        let len = data.len() as u64;
+        let wire_bytes = len + self.profile.header_bytes;
+        let frags = self.fragment_sizes(wire_bytes);
+
+        // Synchronous pre-send costs (Express buffer copy + segmentation,
+        // PVM pack), paid on the send resource together with the fixed cost.
+        let pre_us = costs.alpha_send_us
+            + costs.copy_before_us_per_byte * len as f64
+            + self.profile.seg_us_per_extra_fragment * (frags.len().saturating_sub(1)) as f64;
+        self.ctx
+            .serve(self.send_resource(src_host), self.sw(pre_us, src_host));
+        let env = Envelope::new(
+            ProcId(self.rank as u32),
+            ProcId(dst as u32),
+            tag,
+            data,
+        )
+        .with_wire_bytes(wire_bytes);
+
+        let plan = if dst == self.rank {
+            // Self-send: local memory move, no fabric involvement.
+            TransmitPlan::instant()
+        } else {
+            let send_res = self.send_resource(src_host);
+            let recv_res = self.recv_resource(dst_host);
+            let mut plan_frags = Vec::with_capacity(frags.len());
+            for frag in frags {
+                let mut stages = Vec::with_capacity(5);
+                if costs.beta_send_us_per_byte > 0.0 {
+                    stages.push(Stage::Serve {
+                        resource: send_res,
+                        service: self
+                            .sw(costs.beta_send_us_per_byte * frag as f64, src_host),
+                    });
+                }
+                stages.extend(self.shared.fabric.fragment_stages(src_host, dst_host, frag));
+                if costs.beta_recv_us_per_byte > 0.0 {
+                    stages.push(Stage::Serve {
+                        resource: recv_res,
+                        service: self
+                            .sw(costs.beta_recv_us_per_byte * frag as f64, dst_host),
+                    });
+                }
+                plan_frags.push(stages);
+            }
+            TransmitPlan::fragments(plan_frags)
+        };
+
+        self.ctx.transmit(env, plan);
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += len;
+        Ok(())
+    }
+
+    fn recv_with_costs(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+        alpha_recv_us: f64,
+    ) -> Result<RecvMsg, ToolError> {
+        if let Some(s) = src {
+            self.check_rank(s)?;
+        }
+        let m = Matcher {
+            src: src.map(|s| ProcId(s as u32)),
+            tag,
+        };
+        let env = self.ctx.recv(m);
+        let me = self.rank;
+        let wildcard = if src.is_none() {
+            self.profile.wildcard_recv_extra_us
+        } else {
+            0.0
+        };
+        self.ctx
+            .serve(self.recv_resource(me), self.sw(alpha_recv_us + wildcard, me));
+        Ok(RecvMsg {
+            src: env.src.index(),
+            tag: env.tag,
+            data: env.payload,
+        })
+    }
+
+    pub(crate) fn send_internal(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        data: Bytes,
+    ) -> Result<(), ToolError> {
+        let costs = SendCosts::from_profile(&self.profile);
+        self.send_with_costs(dst, tag, data, &costs)
+    }
+
+    pub(crate) fn recv_internal(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Result<RecvMsg, ToolError> {
+        let alpha = self.profile.recv_alpha_us;
+        self.recv_with_costs(src, tag, alpha)
+    }
+
+    pub(crate) fn send_light(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        data: Bytes,
+        alpha_us: f64,
+    ) -> Result<(), ToolError> {
+        let costs = SendCosts::light(alpha_us);
+        self.send_with_costs(dst, tag, data, &costs)
+    }
+
+    pub(crate) fn recv_light(
+        &mut self,
+        src: usize,
+        tag: Tag,
+        alpha_us: f64,
+    ) -> Result<RecvMsg, ToolError> {
+        self.recv_with_costs(Some(src), Some(tag), alpha_us / 2.0)
+    }
+
+    pub(crate) fn profile(&self) -> &ToolProfile {
+        &self.profile
+    }
+
+    fn check_user_tag(tag: Tag) -> Result<(), ToolError> {
+        if tag >= RESERVED_TAG_BASE {
+            Err(ToolError::ReservedTag { tag })
+        } else {
+            Ok(())
+        }
+    }
+
+    // -- point-to-point (paper §2.1 group 1a) ------------------------------
+
+    /// Sends `data` to `dst` with `tag` (contiguous buffer —
+    /// `p4_send` / `exsend` / `pvm_pk* + pvm_send`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::InvalidRank`] for an out-of-range destination
+    /// and [`ToolError::ReservedTag`] for tags at or above
+    /// [`RESERVED_TAG_BASE`].
+    pub fn send(&mut self, dst: usize, tag: Tag, data: Bytes) -> Result<(), ToolError> {
+        Self::check_user_tag(tag)?;
+        self.send_internal(dst, tag, data)
+    }
+
+    /// Sends logically strided (non-contiguous) data of `elem_bytes`-sized
+    /// elements. PVM's typed packing handles strides natively; p4 and
+    /// Express applications must first gather into a contiguous buffer,
+    /// which this method prices as an extra per-element pass.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Node::send`].
+    pub fn send_strided(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        data: Bytes,
+        elem_bytes: usize,
+    ) -> Result<(), ToolError> {
+        Self::check_user_tag(tag)?;
+        assert!(elem_bytes > 0, "element size must be positive");
+        if self.profile.strided_native {
+            // Native typed packing (pvm_pkint with stride): one memory
+            // pass through the pack machinery.
+            let pack = self.profile.strided_pack_us_per_byte;
+            if pack > 0.0 {
+                let host = self.rank;
+                self.ctx
+                    .serve(self.send_resource(host), self.sw(pack * data.len() as f64, host));
+            }
+        } else {
+            // Gather into a contiguous staging buffer: a strided read pass
+            // plus a sequential write pass, with per-element index math.
+            let elems = (data.len() / elem_bytes) as u64;
+            self.compute(Work {
+                flops: 0,
+                int_ops: elems * 8,
+                bytes_moved: 2 * data.len() as u64,
+            });
+        }
+        self.send_internal(dst, tag, data)
+    }
+
+    /// Receives a message. `src` and `tag` are optional filters (PVM-style
+    /// wildcards); messages are matched in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::InvalidRank`] if `src` is out of range.
+    pub fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> Result<RecvMsg, ToolError> {
+        self.recv_internal(src, tag)
+    }
+
+    /// Non-blocking probe-and-receive (models `pvm_probe` + receive): if a
+    /// matching message has arrived, receives it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::InvalidRank`] if `src` is out of range.
+    pub fn try_recv(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Result<Option<RecvMsg>, ToolError> {
+        if let Some(s) = src {
+            self.check_rank(s)?;
+        }
+        let m = Matcher {
+            src: src.map(|s| ProcId(s as u32)),
+            tag,
+        };
+        match self.ctx.try_recv(m) {
+            None => Ok(None),
+            Some(env) => {
+                let me = self.rank;
+                let mut alpha = self.profile.recv_alpha_us;
+                if src.is_none() {
+                    alpha += self.profile.wildcard_recv_extra_us;
+                }
+                self.ctx.serve(self.recv_resource(me), self.sw(alpha, me));
+                Ok(Some(RecvMsg {
+                    src: env.src.index(),
+                    tag: env.tag,
+                    data: env.payload,
+                }))
+            }
+        }
+    }
+
+    // -- collectives (paper §2.1 groups 1b & 2) ----------------------------
+
+    /// Global synchronization (`exsync` / `p4_barrier` / `pvm_barrier`):
+    /// returns once every rank has entered the barrier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates point-to-point errors from the underlying protocol.
+    pub fn barrier(&mut self) -> Result<(), ToolError> {
+        crate::collective::barrier(self)
+    }
+
+    /// One-to-many broadcast (`p4_broadcast` / `pvm_mcast` /
+    /// `exbroadcast`). All ranks must call it with the same `root`; the
+    /// root's `data` is returned on every rank (non-root arguments are
+    /// ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::InvalidRank`] if `root` is out of range.
+    pub fn broadcast(&mut self, root: usize, data: Bytes) -> Result<Bytes, ToolError> {
+        self.check_rank(root)?;
+        crate::collective::broadcast(self, root, data)
+    }
+
+    /// Global vector summation over `f64` (`p4_global_op` / `excombine`).
+    /// Every rank contributes a slice of identical length and receives the
+    /// element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::Unsupported`] for PVM, which has no global
+    /// operation (paper Table 1) — PVM applications hand-roll reductions
+    /// from point-to-point messages instead.
+    pub fn global_sum_f64(&mut self, xs: &[f64]) -> Result<Vec<f64>, ToolError> {
+        crate::collective::global_sum_f64(self, xs)
+    }
+
+    /// Global vector summation over `i32`; see [`Node::global_sum_f64`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::Unsupported`] for PVM.
+    pub fn global_sum_i32(&mut self, xs: &[i32]) -> Result<Vec<i32>, ToolError> {
+        crate::collective::global_sum_i32(self, xs)
+    }
+
+    /// Simultaneous ring shift ("all nodes send and receive", the paper's
+    /// third TPL benchmark): sends `data` to rank `(rank + 1) % nprocs`
+    /// and returns the payload received from `(rank - 1) % nprocs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates point-to-point errors from the underlying protocol.
+    pub fn ring_shift(&mut self, data: Bytes) -> Result<Bytes, ToolError> {
+        let p = self.shared.nprocs;
+        if p == 1 {
+            return Ok(data);
+        }
+        let seq = self.next_coll_seq();
+        let tag = coll_tag(OP_RING, seq);
+        let next = (self.rank + 1) % p;
+        let prev = (self.rank + p - 1) % p;
+        self.send_internal(next, tag, data)?;
+        let msg = self.recv_internal(Some(prev), Some(tag))?;
+        Ok(msg.data)
+    }
+}
+
+impl std::fmt::Debug for Node<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("rank", &self.rank)
+            .field("nprocs", &self.shared.nprocs)
+            .field("tool", &self.shared.tool)
+            .field("platform", &self.shared.platform)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coll_tags_are_reserved_and_distinct() {
+        let t1 = coll_tag(OP_BCAST, 0);
+        let t2 = coll_tag(OP_BCAST, 1);
+        let t3 = coll_tag(OP_REDUCE, 0);
+        assert!(t1 >= RESERVED_TAG_BASE);
+        assert_ne!(t1, t2);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn coll_seq_wraps_within_tag_mask() {
+        // Sequences 0 and 4096 map to the same tag; blocking collectives
+        // can never have 4096 outstanding, so this is safe.
+        assert_eq!(coll_tag(OP_BCAST, 0), coll_tag(OP_BCAST, 4096));
+        assert_ne!(coll_tag(OP_BCAST, 1), coll_tag(OP_BCAST, 4095));
+    }
+}

@@ -1,0 +1,390 @@
+//! The SPMD run harness: builds a simulated cluster, spawns one node
+//! process per host, runs an application function on every rank, and
+//! collects per-rank results plus timing.
+//!
+//! # Examples
+//!
+//! ```
+//! use pdceval_mpt::runtime::{run_spmd, SpmdConfig};
+//! use pdceval_mpt::ToolKind;
+//! use pdceval_simnet::platform::Platform;
+//!
+//! let cfg = SpmdConfig::new(Platform::SunEthernet, ToolKind::P4, 4);
+//! let out = run_spmd(&cfg, |node| {
+//!     // Everyone contributes its rank; the barrier synchronizes.
+//!     node.barrier().unwrap();
+//!     node.rank() * 10
+//! })?;
+//! assert_eq!(out.results, vec![0, 10, 20, 30]);
+//! assert!(out.elapsed.as_millis_f64() > 0.0);
+//! # Ok::<(), pdceval_mpt::error::RunError>(())
+//! ```
+
+use crate::error::RunError;
+use crate::node::{Node, Shared};
+use crate::tool::ToolKind;
+use pdceval_simnet::engine::{SimOutcome, Simulation};
+use pdceval_simnet::fabric::Fabric;
+use pdceval_simnet::platform::Platform;
+use pdceval_simnet::time::{SimDuration, SimTime};
+use std::sync::{Arc, Mutex};
+
+/// Configuration of one SPMD run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpmdConfig {
+    /// The testbed to run on.
+    pub platform: Platform,
+    /// The message-passing tool to use.
+    pub tool: ToolKind,
+    /// Number of node processes (one per host).
+    pub nprocs: usize,
+}
+
+impl SpmdConfig {
+    /// Creates a run configuration.
+    pub fn new(platform: Platform, tool: ToolKind, nprocs: usize) -> SpmdConfig {
+        SpmdConfig {
+            platform,
+            tool,
+            nprocs,
+        }
+    }
+
+    fn validate(&self) -> Result<(), RunError> {
+        if self.nprocs == 0 {
+            return Err(RunError::ZeroNodes);
+        }
+        let max = self.platform.max_nodes();
+        if self.nprocs > max {
+            return Err(RunError::TooManyNodes {
+                requested: self.nprocs,
+                max,
+            });
+        }
+        if !self.tool.supports_platform(self.platform) {
+            return Err(RunError::PlatformUnsupported {
+                tool: self.tool,
+                platform: self.platform,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Results of a completed SPMD run.
+#[derive(Debug, Clone)]
+pub struct SpmdOutcome<T> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<T>,
+    /// Virtual time from start to the last rank's completion — the
+    /// "execution time" every table and figure of the paper reports.
+    pub elapsed: SimDuration,
+    /// Per-rank completion times.
+    pub rank_finish: Vec<SimDuration>,
+    /// Raw simulation statistics (resource utilization, message counts).
+    pub sim: SimOutcome,
+}
+
+/// Runs `f` on every rank of a simulated SPMD job.
+///
+/// The function receives each rank's [`Node`] handle; its return values
+/// are collected by rank. The run is deterministic: identical
+/// configurations produce identical outcomes.
+///
+/// # Errors
+///
+/// * [`RunError::ZeroNodes`] / [`RunError::TooManyNodes`] for bad sizes;
+/// * [`RunError::PlatformUnsupported`] if the tool has no port for the
+///   platform (Express on the ATM WAN);
+/// * [`RunError::Sim`] if the application deadlocks or panics.
+pub fn run_spmd<T, F>(cfg: &SpmdConfig, f: F) -> Result<SpmdOutcome<T>, RunError>
+where
+    T: Send + 'static,
+    F: Fn(&mut Node<'_>) -> T + Send + Sync + 'static,
+{
+    cfg.validate()?;
+    let nprocs = cfg.nprocs;
+    let mut sim = Simulation::new();
+    let fabric = Fabric::build(&mut sim, cfg.platform.network(), nprocs);
+
+    let hosts: Vec<_> = (0..nprocs).map(|_| cfg.platform.host()).collect();
+    let stack_tx = (0..nprocs)
+        .map(|i| sim.add_resource(&format!("stack-tx{i}")))
+        .collect();
+    let stack_rx = (0..nprocs)
+        .map(|i| sim.add_resource(&format!("stack-rx{i}")))
+        .collect();
+    let daemon = (0..nprocs)
+        .map(|i| sim.add_resource(&format!("daemon{i}")))
+        .collect();
+
+    let shared = Arc::new(Shared {
+        platform: cfg.platform,
+        tool: cfg.tool,
+        fabric,
+        hosts: hosts.clone(),
+        stack_tx,
+        stack_rx,
+        daemon,
+        nprocs,
+    });
+
+    let results: Arc<Mutex<Vec<Option<T>>>> =
+        Arc::new(Mutex::new((0..nprocs).map(|_| None).collect()));
+    let f = Arc::new(f);
+
+    for rank in 0..nprocs {
+        let shared = Arc::clone(&shared);
+        let results = Arc::clone(&results);
+        let f = Arc::clone(&f);
+        sim.spawn(&format!("rank{rank}"), hosts[rank].clone(), move |ctx| {
+            let mut node = Node::new(ctx, rank, shared);
+            let r = f(&mut node);
+            results
+                .lock()
+                .expect("results mutex poisoned")
+                .get_mut(rank)
+                .map(|slot| *slot = Some(r));
+        });
+    }
+
+    let sim_outcome = sim.run()?;
+
+    let rank_finish: Vec<SimDuration> = sim_outcome
+        .proc_finish
+        .iter()
+        .map(|(_, t)| *t - SimTime::ZERO)
+        .collect();
+    let elapsed = rank_finish
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(SimDuration::ZERO);
+
+    let results = Arc::try_unwrap(results)
+        .map_err(|_| ())
+        .expect("result references leaked")
+        .into_inner()
+        .expect("results mutex poisoned");
+    let results: Vec<T> = results
+        .into_iter()
+        .map(|r| r.expect("rank produced no result"))
+        .collect();
+
+    Ok(SpmdOutcome {
+        results,
+        elapsed,
+        rank_finish,
+        sim: sim_outcome,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ToolError;
+    use bytes::Bytes;
+    use pdceval_simnet::error::SimError;
+
+    fn cfg(tool: ToolKind, n: usize) -> SpmdConfig {
+        SpmdConfig::new(Platform::SunEthernet, tool, n)
+    }
+
+    #[test]
+    fn results_collected_by_rank() {
+        let out = run_spmd(&cfg(ToolKind::P4, 4), |node| node.rank()).unwrap();
+        assert_eq!(out.results, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_nodes_rejected() {
+        assert_eq!(
+            run_spmd(&cfg(ToolKind::P4, 0), |_| ()).unwrap_err(),
+            RunError::ZeroNodes
+        );
+    }
+
+    #[test]
+    fn too_many_nodes_rejected() {
+        let err = run_spmd(&cfg(ToolKind::P4, 99), |_| ()).unwrap_err();
+        assert!(matches!(err, RunError::TooManyNodes { requested: 99, .. }));
+    }
+
+    #[test]
+    fn express_rejected_on_wan() {
+        let c = SpmdConfig::new(Platform::SunAtmWan, ToolKind::Express, 2);
+        assert!(matches!(
+            run_spmd(&c, |_| ()).unwrap_err(),
+            RunError::PlatformUnsupported { .. }
+        ));
+    }
+
+    #[test]
+    fn point_to_point_round_trip() {
+        let out = run_spmd(&cfg(ToolKind::P4, 2), |node| {
+            if node.rank() == 0 {
+                node.send(1, 7, Bytes::from_static(b"hello")).unwrap();
+                let reply = node.recv(Some(1), Some(8)).unwrap();
+                assert_eq!(&reply.data[..], b"world");
+                node.now().as_millis_f64()
+            } else {
+                let msg = node.recv(Some(0), Some(7)).unwrap();
+                assert_eq!(&msg.data[..], b"hello");
+                node.send(0, 8, Bytes::from_static(b"world")).unwrap();
+                0.0
+            }
+        })
+        .unwrap();
+        // A 5-byte round trip on SUN/Ethernet should take single-digit
+        // milliseconds (paper Table 3: ~3.2 ms each way for p4).
+        assert!(out.results[0] > 2.0 && out.results[0] < 20.0, "rtt = {}", out.results[0]);
+    }
+
+    #[test]
+    fn barrier_synchronizes_ranks() {
+        let out = run_spmd(&cfg(ToolKind::P4, 4), |node| {
+            // Rank 2 works before the barrier; everyone leaves after it.
+            if node.rank() == 2 {
+                node.compute(pdceval_simnet::work::Work::flops(3_600_000)); // ~1 s on ELC
+            }
+            node.barrier().unwrap();
+            node.now().as_secs_f64()
+        })
+        .unwrap();
+        for t in &out.results {
+            assert!(*t >= 1.0, "a rank left the barrier before the slowest entered: {t}");
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_to_all_tools() {
+        for tool in ToolKind::all() {
+            let out = run_spmd(&cfg(tool, 4), |node| {
+                let data = if node.rank() == 1 {
+                    Bytes::from_static(b"payload")
+                } else {
+                    Bytes::new()
+                };
+                let got = node.broadcast(1, data).unwrap();
+                got.len()
+            })
+            .unwrap();
+            assert_eq!(out.results, vec![7, 7, 7, 7], "{tool} broadcast failed");
+        }
+    }
+
+    #[test]
+    fn global_sum_correct_for_p4_and_express() {
+        for tool in [ToolKind::P4, ToolKind::Express] {
+            let out = run_spmd(&cfg(tool, 4), |node| {
+                let mine = vec![node.rank() as f64, 1.0];
+                node.global_sum_f64(&mine).unwrap()
+            })
+            .unwrap();
+            for r in &out.results {
+                assert_eq!(r, &vec![0.0 + 1.0 + 2.0 + 3.0, 4.0], "{tool} sum wrong");
+            }
+        }
+    }
+
+    #[test]
+    fn global_sum_unsupported_for_pvm() {
+        let out = run_spmd(&cfg(ToolKind::Pvm, 2), |node| {
+            node.global_sum_f64(&[1.0]).unwrap_err()
+        })
+        .unwrap();
+        assert!(matches!(
+            out.results[0],
+            ToolError::Unsupported { tool: ToolKind::Pvm, .. }
+        ));
+    }
+
+    #[test]
+    fn ring_shift_rotates_payloads() {
+        let out = run_spmd(&cfg(ToolKind::Express, 4), |node| {
+            let mine = Bytes::from(vec![node.rank() as u8]);
+            let got = node.ring_shift(mine).unwrap();
+            got[0]
+        })
+        .unwrap();
+        assert_eq!(out.results, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn mismatched_collectives_deadlock_cleanly() {
+        let err = run_spmd(&cfg(ToolKind::P4, 2), |node| {
+            if node.rank() == 0 {
+                node.barrier().unwrap();
+            } else {
+                // Rank 1 never enters the barrier.
+                let _ = node.recv(Some(0), Some(12345));
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, RunError::Sim(SimError::Deadlock { .. })));
+    }
+
+    #[test]
+    fn invalid_rank_errors() {
+        let out = run_spmd(&cfg(ToolKind::P4, 2), |node| {
+            node.send(5, 0, Bytes::new()).unwrap_err()
+        })
+        .unwrap();
+        assert!(matches!(out.results[0], ToolError::InvalidRank { rank: 5, nprocs: 2 }));
+    }
+
+    #[test]
+    fn reserved_tags_rejected() {
+        let out = run_spmd(&cfg(ToolKind::P4, 2), |node| {
+            node.send(1, 0xFFFF_0001, Bytes::new()).unwrap_err()
+        })
+        .unwrap();
+        assert!(matches!(out.results[0], ToolError::ReservedTag { .. }));
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            run_spmd(&cfg(ToolKind::Pvm, 4), |node| {
+                let data = Bytes::from(vec![0u8; 4096]);
+                let got = node.ring_shift(data).unwrap();
+                node.barrier().unwrap();
+                (got.len(), node.now().as_nanos())
+            })
+            .unwrap()
+            .results
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn self_send_delivers_locally() {
+        let out = run_spmd(&cfg(ToolKind::P4, 2), |node| {
+            if node.rank() == 0 {
+                node.send(0, 3, Bytes::from_static(b"me")).unwrap();
+                let msg = node.recv(Some(0), Some(3)).unwrap();
+                msg.data.len()
+            } else {
+                0
+            }
+        })
+        .unwrap();
+        assert_eq!(out.results[0], 2);
+    }
+
+    #[test]
+    fn wildcard_recv_matches_any_source() {
+        let out = run_spmd(&cfg(ToolKind::Pvm, 3), |node| {
+            if node.rank() == 0 {
+                let a = node.recv(None, Some(9)).unwrap();
+                let b = node.recv(None, Some(9)).unwrap();
+                a.src + b.src
+            } else {
+                node.send(0, 9, Bytes::new()).unwrap();
+                0
+            }
+        })
+        .unwrap();
+        assert_eq!(out.results[0], 3); // ranks 1 + 2 in either order
+    }
+}

@@ -1,0 +1,164 @@
+//! The three message-passing tools the paper evaluates.
+
+use pdceval_simnet::platform::Platform;
+use std::fmt;
+
+/// One of the parallel/distributed computing tools under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ToolKind {
+    /// Express 3.0 (ParaSoft Inc.): a commercial toolkit with its own
+    /// buffered transport (`exsend` / `exreceive` / `exbroadcast` /
+    /// `excombine` / `exsync`).
+    Express,
+    /// p4 (Argonne National Laboratory): a thin, efficient layer over the
+    /// transport (`p4_send` / `p4_recv` / `p4_broadcast` / `p4_global_op`).
+    P4,
+    /// PVM 3 (Oak Ridge National Laboratory): daemon-routed messaging with
+    /// typed packing (`pvm_send` / `pvm_recv` / `pvm_mcast` /
+    /// `pvm_barrier`); no built-in global reduction.
+    Pvm,
+}
+
+impl ToolKind {
+    /// All tools in the paper's presentation order (Express, p4, PVM).
+    pub fn all() -> [ToolKind; 3] {
+        [ToolKind::Express, ToolKind::P4, ToolKind::Pvm]
+    }
+
+    /// Display name as used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ToolKind::Express => "Express",
+            ToolKind::P4 => "p4",
+            ToolKind::Pvm => "PVM",
+        }
+    }
+
+    /// The tool's native name for a communication primitive, as listed in
+    /// the paper's Table 1. Returns `None` where the paper lists
+    /// "Not Available".
+    pub fn primitive_name(&self, p: Primitive) -> Option<&'static str> {
+        match (self, p) {
+            (ToolKind::Express, Primitive::Send) => Some("exsend"),
+            (ToolKind::Express, Primitive::Receive) => Some("exreceive"),
+            (ToolKind::Express, Primitive::Broadcast) => Some("exbroadcast"),
+            (ToolKind::Express, Primitive::GlobalSum) => Some("excombine"),
+            (ToolKind::Express, Primitive::Barrier) => Some("exsync"),
+            (ToolKind::P4, Primitive::Send) => Some("p4_send"),
+            (ToolKind::P4, Primitive::Receive) => Some("p4_recv"),
+            (ToolKind::P4, Primitive::Broadcast) => Some("p4_broadcast"),
+            (ToolKind::P4, Primitive::GlobalSum) => Some("p4_global_op"),
+            (ToolKind::P4, Primitive::Barrier) => Some("p4_barrier"),
+            (ToolKind::Pvm, Primitive::Send) => Some("pvm_send"),
+            (ToolKind::Pvm, Primitive::Receive) => Some("pvm_recv"),
+            (ToolKind::Pvm, Primitive::Broadcast) => Some("pvm_mcast"),
+            (ToolKind::Pvm, Primitive::GlobalSum) => None,
+            (ToolKind::Pvm, Primitive::Barrier) => Some("pvm_barrier"),
+        }
+    }
+
+    /// Whether the tool implements a built-in global reduction.
+    /// PVM does not (paper Table 1: "Not Available").
+    pub fn supports_global_ops(&self) -> bool {
+        !matches!(self, ToolKind::Pvm)
+    }
+
+    /// Whether the tool had a port for the given platform in the paper's
+    /// experiments. Express was not available across the NYNET ATM WAN
+    /// (Table 3 has no Express/WAN column; Figure 7 plots only p4 and PVM).
+    pub fn supports_platform(&self, platform: Platform) -> bool {
+        !(matches!(self, ToolKind::Express) && platform.is_wan())
+    }
+}
+
+impl fmt::Display for ToolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The communication-primitive classes benchmarked at the paper's Tool
+/// Performance Level (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Primitive {
+    /// Point-to-point send.
+    Send,
+    /// Point-to-point receive.
+    Receive,
+    /// One-to-many broadcast / multicast.
+    Broadcast,
+    /// Global summation (reduction).
+    GlobalSum,
+    /// Global synchronization.
+    Barrier,
+}
+
+impl Primitive {
+    /// All primitives, in the paper's Table 1 order.
+    pub fn all() -> [Primitive; 5] {
+        [
+            Primitive::Send,
+            Primitive::Receive,
+            Primitive::Broadcast,
+            Primitive::GlobalSum,
+            Primitive::Barrier,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Primitive::Send => "Send",
+            Primitive::Receive => "Receive",
+            Primitive::Broadcast => "Broadcast/Multicast",
+            Primitive::GlobalSum => "Global Sum",
+            Primitive::Barrier => "Barrier",
+        }
+    }
+}
+
+impl fmt::Display for Primitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_primitive_names() {
+        assert_eq!(
+            ToolKind::Express.primitive_name(Primitive::Send),
+            Some("exsend")
+        );
+        assert_eq!(
+            ToolKind::P4.primitive_name(Primitive::GlobalSum),
+            Some("p4_global_op")
+        );
+        // Paper Table 1: PVM global sum is "Not Available".
+        assert_eq!(ToolKind::Pvm.primitive_name(Primitive::GlobalSum), None);
+    }
+
+    #[test]
+    fn pvm_lacks_global_ops() {
+        assert!(!ToolKind::Pvm.supports_global_ops());
+        assert!(ToolKind::P4.supports_global_ops());
+        assert!(ToolKind::Express.supports_global_ops());
+    }
+
+    #[test]
+    fn express_has_no_wan_port() {
+        assert!(!ToolKind::Express.supports_platform(Platform::SunAtmWan));
+        assert!(ToolKind::Express.supports_platform(Platform::SunEthernet));
+        assert!(ToolKind::P4.supports_platform(Platform::SunAtmWan));
+        assert!(ToolKind::Pvm.supports_platform(Platform::SunAtmWan));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ToolKind::P4.to_string(), "p4");
+        assert_eq!(Primitive::Broadcast.to_string(), "Broadcast/Multicast");
+    }
+}

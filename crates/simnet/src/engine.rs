@@ -1,0 +1,942 @@
+//! The discrete-event engine and the blocking process API.
+//!
+//! # Execution model
+//!
+//! Each simulated process is a closure running on its own OS thread, written
+//! in natural blocking style (`ctx.recv(..)`, `ctx.hold(..)`). The engine
+//! runs **exactly one process at a time**: a process executes until it
+//! issues a simulator call, at which point control returns to the engine,
+//! which advances virtual time by processing events in `(time, sequence)`
+//! order. Ties are broken by insertion sequence, so runs are fully
+//! deterministic regardless of OS scheduling.
+//!
+//! # Examples
+//!
+//! ```
+//! use pdceval_simnet::engine::Simulation;
+//! use pdceval_simnet::envelope::{Envelope, Matcher};
+//! use pdceval_simnet::flight::{Stage, TransmitPlan};
+//! use pdceval_simnet::host::HostSpec;
+//! use pdceval_simnet::ids::ProcId;
+//! use pdceval_simnet::time::SimDuration;
+//!
+//! let mut sim = Simulation::new();
+//! let sender = sim.spawn("sender", HostSpec::sun_ipx(), |ctx| {
+//!     let env = Envelope::new(ctx.pid(), ProcId(1), 7, bytes::Bytes::from_static(b"hi"));
+//!     ctx.transmit(env, TransmitPlan::single(vec![Stage::Latency(
+//!         SimDuration::from_micros(100),
+//!     )]));
+//! });
+//! assert_eq!(sender, ProcId(0));
+//! sim.spawn("receiver", HostSpec::sun_ipx(), |ctx| {
+//!     let msg = ctx.recv(Matcher::tagged(7));
+//!     assert_eq!(&msg.payload[..], b"hi");
+//! });
+//! let outcome = sim.run().expect("no deadlock");
+//! assert_eq!(outcome.end_time.as_micros_f64(), 100.0);
+//! ```
+
+use crate::envelope::{Envelope, Matcher};
+use crate::error::SimError;
+use crate::flight::{Flight, Stage, TransmitPlan};
+use crate::host::HostSpec;
+use crate::ids::{ProcId, ResourceId};
+use crate::resource::{Resource, ResourceStats, Waiter};
+use crate::time::{SimDuration, SimTime};
+use crate::work::Work;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::cell::Cell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::JoinHandle;
+
+// ---------------------------------------------------------------------------
+// Engine <-> process protocol
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Request {
+    Hold(SimDuration),
+    Serve {
+        resource: ResourceId,
+        service: SimDuration,
+    },
+    Transmit {
+        env: Envelope,
+        plan: TransmitPlan,
+    },
+    Recv(Matcher),
+    TryRecv(Matcher),
+    Finish,
+    Panicked(String),
+}
+
+#[derive(Debug)]
+struct Resume {
+    time: SimTime,
+    kind: ResumeKind,
+}
+
+#[derive(Debug)]
+enum ResumeKind {
+    Ok,
+    Msg(Envelope),
+    TryMsg(Option<Envelope>),
+}
+
+/// Panic payload used to unwind process threads when the simulation is torn
+/// down while they are still blocked (deadlock or early exit).
+struct SimAborted;
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Wake(ProcId),
+    ServiceDone(ResourceId),
+    FlightStage(usize),
+}
+
+// ---------------------------------------------------------------------------
+// Process-side context
+// ---------------------------------------------------------------------------
+
+/// Handle through which a simulated process interacts with the simulation.
+///
+/// A `Ctx` is passed to the process closure at spawn time and must not be
+/// sent to other threads (it is intentionally neither `Clone` nor usable
+/// after the closure returns).
+pub struct Ctx {
+    pid: ProcId,
+    host: HostSpec,
+    req_tx: Sender<(ProcId, Request)>,
+    resume_rx: Receiver<Resume>,
+    now: Cell<SimTime>,
+}
+
+impl Ctx {
+    fn call(&self, req: Request) -> ResumeKind {
+        if self.req_tx.send((self.pid, req)).is_err() {
+            std::panic::panic_any(SimAborted);
+        }
+        match self.resume_rx.recv() {
+            Ok(resume) => {
+                self.now.set(resume.time);
+                resume.kind
+            }
+            Err(_) => std::panic::panic_any(SimAborted),
+        }
+    }
+
+    /// This process's id.
+    pub fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    /// The host this process runs on.
+    pub fn host(&self) -> &HostSpec {
+        &self.host
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now.get()
+    }
+
+    /// Advances virtual time by `d` (models local activity that does not
+    /// contend with other processes).
+    pub fn hold(&self, d: SimDuration) {
+        match self.call(Request::Hold(d)) {
+            ResumeKind::Ok => {}
+            other => unreachable!("hold resumed with {other:?}"),
+        }
+    }
+
+    /// Performs computational work: advances virtual time by the cost of
+    /// `w` on this process's host.
+    pub fn work(&self, w: Work) {
+        let d = w.cost_on(&self.host);
+        if !d.is_zero() {
+            self.hold(d);
+        }
+    }
+
+    /// Queues at a FIFO resource and holds it for `service` time. Blocks
+    /// (in virtual time) until service completes.
+    pub fn serve(&self, resource: ResourceId, service: SimDuration) {
+        match self.call(Request::Serve { resource, service }) {
+            ResumeKind::Ok => {}
+            other => unreachable!("serve resumed with {other:?}"),
+        }
+    }
+
+    /// Launches a message transmission and returns immediately (virtual
+    /// time does not advance). The envelope is delivered to the destination
+    /// mailbox when the plan's last fragment completes.
+    pub fn transmit(&self, env: Envelope, plan: TransmitPlan) {
+        match self.call(Request::Transmit { env, plan }) {
+            ResumeKind::Ok => {}
+            other => unreachable!("transmit resumed with {other:?}"),
+        }
+    }
+
+    /// Blocks until a message matching `m` is available, then removes and
+    /// returns it. Messages are matched in arrival order.
+    pub fn recv(&self, m: Matcher) -> Envelope {
+        match self.call(Request::Recv(m)) {
+            ResumeKind::Msg(env) => env,
+            other => unreachable!("recv resumed with {other:?}"),
+        }
+    }
+
+    /// Non-blocking probe: removes and returns a matching message if one
+    /// has already arrived.
+    pub fn try_recv(&self, m: Matcher) -> Option<Envelope> {
+        match self.call(Request::TryRecv(m)) {
+            ResumeKind::TryMsg(env) => env,
+            other => unreachable!("try_recv resumed with {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulation
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    Ready,
+    Blocked,
+    Finished,
+}
+
+struct ProcSlot {
+    name: String,
+    resume_tx: Sender<Resume>,
+    handle: Option<JoinHandle<()>>,
+    state: ProcState,
+    finished_at: SimTime,
+}
+
+#[derive(Debug, Default)]
+struct Mailbox {
+    queue: VecDeque<Envelope>,
+    waiting: Option<Matcher>,
+}
+
+impl Mailbox {
+    fn take_match(&mut self, m: &Matcher) -> Option<Envelope> {
+        let idx = self.queue.iter().position(|env| m.matches(env))?;
+        self.queue.remove(idx)
+    }
+}
+
+#[derive(Debug)]
+struct Pending {
+    remaining: usize,
+    env: Option<Envelope>,
+}
+
+/// A configured simulation: resources plus spawned processes, ready to run.
+///
+/// See the [module documentation](self) for the execution model and an
+/// example.
+pub struct Simulation {
+    resources: Vec<Resource>,
+    procs: Vec<ProcSlot>,
+    mailboxes: Vec<Mailbox>,
+    req_tx: Sender<(ProcId, Request)>,
+    req_rx: Receiver<(ProcId, Request)>,
+    flights: Vec<Option<Flight>>,
+    free_flights: Vec<usize>,
+    pendings: Vec<Option<Pending>>,
+    free_pendings: Vec<usize>,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    clock: SimTime,
+    runnable: VecDeque<(ProcId, ResumeKind)>,
+    messages_delivered: u64,
+    wire_bytes_delivered: u64,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation.
+    pub fn new() -> Simulation {
+        let (req_tx, req_rx) = unbounded();
+        Simulation {
+            resources: Vec::new(),
+            procs: Vec::new(),
+            mailboxes: Vec::new(),
+            req_tx,
+            req_rx,
+            flights: Vec::new(),
+            free_flights: Vec::new(),
+            pendings: Vec::new(),
+            free_pendings: Vec::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            clock: SimTime::ZERO,
+            runnable: VecDeque::new(),
+            messages_delivered: 0,
+            wire_bytes_delivered: 0,
+        }
+    }
+
+    /// Registers a FIFO resource and returns its id.
+    pub fn add_resource(&mut self, name: &str) -> ResourceId {
+        let id = ResourceId(self.resources.len() as u32);
+        self.resources.push(Resource::new(name.to_string()));
+        id
+    }
+
+    /// Number of processes spawned so far (the next spawn gets this id).
+    pub fn proc_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Spawns a simulated process. Ids are assigned densely in spawn order,
+    /// so the *n*-th spawn receives `ProcId(n)`.
+    pub fn spawn<F>(&mut self, name: &str, host: HostSpec, f: F) -> ProcId
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        let pid = ProcId(self.procs.len() as u32);
+        let (resume_tx, resume_rx) = unbounded();
+        let req_tx = self.req_tx.clone();
+        let ctx = Ctx {
+            pid,
+            host,
+            req_tx: req_tx.clone(),
+            resume_rx,
+            now: Cell::new(SimTime::ZERO),
+        };
+        let thread_name = format!("sim-{name}");
+        let handle = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                // Wait for the engine's start signal before running user code.
+                match ctx.resume_rx.recv() {
+                    Ok(resume) => ctx.now.set(resume.time),
+                    Err(_) => return,
+                }
+                let result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                match result {
+                    Ok(()) => {
+                        let _ = req_tx.send((pid, Request::Finish));
+                    }
+                    Err(payload) => {
+                        if payload.downcast_ref::<SimAborted>().is_some() {
+                            // Quiet teardown: the engine already gave up on us.
+                        } else {
+                            let msg = panic_message(payload.as_ref());
+                            let _ = req_tx.send((pid, Request::Panicked(msg)));
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn simulation thread");
+        self.procs.push(ProcSlot {
+            name: name.to_string(),
+            resume_tx,
+            handle: Some(handle),
+            state: ProcState::Ready,
+            finished_at: SimTime::ZERO,
+        });
+        self.mailboxes.push(Mailbox::default());
+        pid
+    }
+
+    fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        debug_assert!(at >= self.clock, "event scheduled in the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Event {
+            time: at,
+            seq,
+            kind,
+        }));
+    }
+
+    fn alloc_flight(&mut self, flight: Flight) -> usize {
+        if let Some(idx) = self.free_flights.pop() {
+            self.flights[idx] = Some(flight);
+            idx
+        } else {
+            self.flights.push(Some(flight));
+            self.flights.len() - 1
+        }
+    }
+
+    fn alloc_pending(&mut self, p: Pending) -> usize {
+        if let Some(idx) = self.free_pendings.pop() {
+            self.pendings[idx] = Some(p);
+            idx
+        } else {
+            self.pendings.push(Some(p));
+            self.pendings.len() - 1
+        }
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if unfinished processes remain but no
+    /// event can make progress, and [`SimError::ProcPanic`] if a simulated
+    /// process panics.
+    pub fn run(mut self) -> Result<SimOutcome, SimError> {
+        // All processes start ready at t = 0, in spawn order.
+        for i in 0..self.procs.len() {
+            self.runnable.push_back((ProcId(i as u32), ResumeKind::Ok));
+        }
+
+        let result = self.event_loop();
+
+        // Tear down: wake any still-blocked threads so they can exit, then join.
+        for slot in &mut self.procs {
+            // Dropping the sender disconnects blocked receivers.
+            let (dead_tx, _) = unbounded();
+            slot.resume_tx = dead_tx;
+        }
+        for slot in &mut self.procs {
+            if let Some(h) = slot.handle.take() {
+                let _ = h.join();
+            }
+        }
+
+        result.map(|end_time| SimOutcome {
+            end_time,
+            proc_finish: self
+                .procs
+                .iter()
+                .map(|p| (p.name.clone(), p.finished_at))
+                .collect(),
+            resources: self
+                .resources
+                .iter()
+                .enumerate()
+                .map(|(i, r)| r.stats(ResourceId(i as u32), end_time))
+                .collect(),
+            messages_delivered: self.messages_delivered,
+            wire_bytes_delivered: self.wire_bytes_delivered,
+        })
+    }
+
+    fn event_loop(&mut self) -> Result<SimTime, SimError> {
+        loop {
+            while let Some((pid, resume)) = self.runnable.pop_front() {
+                self.run_proc(pid, resume)?;
+            }
+            if self.all_finished() {
+                let end = self
+                    .procs
+                    .iter()
+                    .map(|p| p.finished_at)
+                    .max()
+                    .unwrap_or(self.clock);
+                return Ok(end);
+            }
+            match self.heap.pop() {
+                Some(Reverse(ev)) => {
+                    debug_assert!(ev.time >= self.clock);
+                    self.clock = ev.time;
+                    self.dispatch(ev.kind);
+                }
+                None => {
+                    let blocked = self
+                        .procs
+                        .iter()
+                        .filter(|p| p.state == ProcState::Blocked)
+                        .map(|p| p.name.clone())
+                        .collect();
+                    return Err(SimError::Deadlock {
+                        time: self.clock,
+                        blocked,
+                    });
+                }
+            }
+        }
+    }
+
+    fn all_finished(&self) -> bool {
+        self.procs.iter().all(|p| p.state == ProcState::Finished)
+    }
+
+    /// Resumes process `pid` and services its requests until it blocks,
+    /// finishes, or panics.
+    fn run_proc(&mut self, pid: ProcId, mut resume: ResumeKind) -> Result<(), SimError> {
+        loop {
+            let slot = &mut self.procs[pid.index()];
+            slot.state = ProcState::Ready;
+            slot.resume_tx
+                .send(Resume {
+                    time: self.clock,
+                    kind: resume,
+                })
+                .expect("process thread hung up unexpectedly");
+            let (rpid, req) = self
+                .req_rx
+                .recv()
+                .expect("all process threads disconnected");
+            debug_assert_eq!(rpid, pid, "request from a process that is not running");
+            match req {
+                Request::Hold(d) => {
+                    self.schedule(self.clock + d, EventKind::Wake(pid));
+                    self.procs[pid.index()].state = ProcState::Blocked;
+                    return Ok(());
+                }
+                Request::Serve { resource, service } => {
+                    let started =
+                        self.resources[resource.index()].enqueue(Waiter::Proc(pid), service);
+                    if let Some(d) = started {
+                        self.schedule(self.clock + d, EventKind::ServiceDone(resource));
+                    }
+                    self.procs[pid.index()].state = ProcState::Blocked;
+                    return Ok(());
+                }
+                Request::Transmit { mut env, plan } => {
+                    env.sent_at = self.clock;
+                    self.start_transmit(env, plan);
+                    resume = ResumeKind::Ok;
+                }
+                Request::Recv(m) => {
+                    if let Some(env) = self.mailboxes[pid.index()].take_match(&m) {
+                        resume = ResumeKind::Msg(env);
+                    } else {
+                        self.mailboxes[pid.index()].waiting = Some(m);
+                        self.procs[pid.index()].state = ProcState::Blocked;
+                        return Ok(());
+                    }
+                }
+                Request::TryRecv(m) => {
+                    let env = self.mailboxes[pid.index()].take_match(&m);
+                    resume = ResumeKind::TryMsg(env);
+                }
+                Request::Finish => {
+                    let slot = &mut self.procs[pid.index()];
+                    slot.state = ProcState::Finished;
+                    slot.finished_at = self.clock;
+                    return Ok(());
+                }
+                Request::Panicked(message) => {
+                    return Err(SimError::ProcPanic {
+                        name: self.procs[pid.index()].name.clone(),
+                        message,
+                    });
+                }
+            }
+        }
+    }
+
+    fn start_transmit(&mut self, env: Envelope, plan: TransmitPlan) {
+        let fragments = plan.into_fragments();
+        if fragments.is_empty() {
+            // Instant delivery.
+            let pending = self.alloc_pending(Pending {
+                remaining: 1,
+                env: Some(env),
+            });
+            self.complete_pending(pending);
+            return;
+        }
+        let pending = self.alloc_pending(Pending {
+            remaining: fragments.len(),
+            env: Some(env),
+        });
+        for stages in fragments {
+            let flight = Flight {
+                stages: stages.into(),
+                pending,
+            };
+            let idx = self.alloc_flight(flight);
+            self.advance_flight(idx);
+        }
+    }
+
+    fn advance_flight(&mut self, idx: usize) {
+        loop {
+            let flight = self.flights[idx]
+                .as_mut()
+                .expect("advancing a retired flight");
+            match flight.stages.pop_front() {
+                None => {
+                    let pending = flight.pending;
+                    self.flights[idx] = None;
+                    self.free_flights.push(idx);
+                    self.complete_pending(pending);
+                    return;
+                }
+                Some(Stage::Latency(d)) => {
+                    if d.is_zero() {
+                        continue;
+                    }
+                    self.schedule(self.clock + d, EventKind::FlightStage(idx));
+                    return;
+                }
+                Some(Stage::Serve { resource, service }) => {
+                    let started =
+                        self.resources[resource.index()].enqueue(Waiter::Flight(idx), service);
+                    if let Some(d) = started {
+                        self.schedule(self.clock + d, EventKind::ServiceDone(resource));
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn complete_pending(&mut self, idx: usize) {
+        let done = {
+            let p = self.pendings[idx].as_mut().expect("retired pending");
+            p.remaining -= 1;
+            p.remaining == 0
+        };
+        if done {
+            let mut p = self.pendings[idx].take().expect("retired pending");
+            self.free_pendings.push(idx);
+            let mut env = p.env.take().expect("pending without envelope");
+            env.delivered_at = self.clock;
+            self.deliver(env);
+        }
+    }
+
+    fn deliver(&mut self, env: Envelope) {
+        self.messages_delivered += 1;
+        self.wire_bytes_delivered += env.wire_bytes;
+        let dst = env.dst;
+        let mbox = &mut self.mailboxes[dst.index()];
+        mbox.queue.push_back(env);
+        if let Some(m) = mbox.waiting {
+            if let Some(matched) = mbox.take_match(&m) {
+                mbox.waiting = None;
+                self.runnable.push_back((dst, ResumeKind::Msg(matched)));
+            }
+        }
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Wake(pid) => {
+                self.runnable.push_back((pid, ResumeKind::Ok));
+            }
+            EventKind::ServiceDone(rid) => {
+                let (done, next) = self.resources[rid.index()].complete();
+                if let Some(d) = next {
+                    self.schedule(self.clock + d, EventKind::ServiceDone(rid));
+                }
+                match done {
+                    Waiter::Proc(pid) => {
+                        self.runnable.push_back((pid, ResumeKind::Ok));
+                    }
+                    Waiter::Flight(idx) => {
+                        self.advance_flight(idx);
+                    }
+                }
+            }
+            EventKind::FlightStage(idx) => {
+                self.advance_flight(idx);
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Results of a completed simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Virtual time at which the last process finished.
+    pub end_time: SimTime,
+    /// `(name, finish_time)` for every process, in spawn order.
+    pub proc_finish: Vec<(String, SimTime)>,
+    /// Usage statistics for every resource, in registration order.
+    pub resources: Vec<ResourceStats>,
+    /// Total messages delivered to mailboxes.
+    pub messages_delivered: u64,
+    /// Total wire bytes across all delivered messages.
+    pub wire_bytes_delivered: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn empty_simulation_completes_at_zero() {
+        let sim = Simulation::new();
+        let out = sim.run().unwrap();
+        assert_eq!(out.end_time, SimTime::ZERO);
+        assert_eq!(out.messages_delivered, 0);
+    }
+
+    #[test]
+    fn hold_advances_time() {
+        let mut sim = Simulation::new();
+        sim.spawn("p", HostSpec::sun_ipx(), |ctx| {
+            assert_eq!(ctx.now(), SimTime::ZERO);
+            ctx.hold(us(500));
+            assert_eq!(ctx.now(), SimTime::ZERO + us(500));
+        });
+        let out = sim.run().unwrap();
+        assert_eq!(out.end_time, SimTime::ZERO + us(500));
+    }
+
+    #[test]
+    fn work_advances_time_by_host_rate() {
+        let mut sim = Simulation::new();
+        sim.spawn("p", HostSpec::sun_ipx(), |ctx| {
+            // 4.5 MFLOP on a 4.5 MFLOP/s host = 1 second.
+            ctx.work(Work::flops(4_500_000));
+            assert_eq!(ctx.now().as_secs_f64(), 1.0);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn send_and_receive_through_latency() {
+        let mut sim = Simulation::new();
+        sim.spawn("tx", HostSpec::sun_ipx(), |ctx| {
+            let env = Envelope::new(ctx.pid(), ProcId(1), 42, Bytes::from_static(b"payload"));
+            ctx.transmit(env, TransmitPlan::single(vec![Stage::Latency(us(250))]));
+        });
+        sim.spawn("rx", HostSpec::sun_ipx(), |ctx| {
+            let env = ctx.recv(Matcher::tagged(42));
+            assert_eq!(env.delivered_at, SimTime::ZERO + us(250));
+            assert_eq!(&env.payload[..], b"payload");
+            assert_eq!(env.src, ProcId(0));
+        });
+        let out = sim.run().unwrap();
+        assert_eq!(out.messages_delivered, 1);
+    }
+
+    #[test]
+    fn shared_resource_serializes_transmissions() {
+        // Two senders contend for one wire; the second message must wait.
+        let mut sim = Simulation::new();
+        let wire = sim.add_resource("wire");
+        for i in 0..2 {
+            sim.spawn(&format!("tx{i}"), HostSpec::sun_ipx(), move |ctx| {
+                let env = Envelope::new(ctx.pid(), ProcId(2), i, Bytes::new());
+                ctx.transmit(
+                    env,
+                    TransmitPlan::single(vec![Stage::Serve {
+                        resource: wire,
+                        service: us(100),
+                    }]),
+                );
+            });
+        }
+        sim.spawn("rx", HostSpec::sun_ipx(), |ctx| {
+            let a = ctx.recv(Matcher::any());
+            let b = ctx.recv(Matcher::any());
+            assert_eq!(a.delivered_at, SimTime::ZERO + us(100));
+            assert_eq!(b.delivered_at, SimTime::ZERO + us(200));
+        });
+        let out = sim.run().unwrap();
+        let wire_stats = &out.resources[0];
+        assert_eq!(wire_stats.served, 2);
+        assert_eq!(wire_stats.busy_time, us(200));
+    }
+
+    #[test]
+    fn fragments_pipeline_through_stages() {
+        // 4 fragments through two sequential resources of equal service s:
+        // pipelined completion = (n + 1) * s, not 2 n s.
+        let mut sim = Simulation::new();
+        let a = sim.add_resource("stage-a");
+        let b = sim.add_resource("stage-b");
+        sim.spawn("tx", HostSpec::sun_ipx(), move |ctx| {
+            let frags = (0..4)
+                .map(|_| {
+                    vec![
+                        Stage::Serve {
+                            resource: a,
+                            service: us(10),
+                        },
+                        Stage::Serve {
+                            resource: b,
+                            service: us(10),
+                        },
+                    ]
+                })
+                .collect();
+            let env = Envelope::new(ctx.pid(), ProcId(1), 0, Bytes::new());
+            ctx.transmit(env, TransmitPlan::fragments(frags));
+        });
+        sim.spawn("rx", HostSpec::sun_ipx(), |ctx| {
+            let env = ctx.recv(Matcher::any());
+            assert_eq!(env.delivered_at, SimTime::ZERO + us(50));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn recv_blocks_until_message_arrives() {
+        let mut sim = Simulation::new();
+        sim.spawn("tx", HostSpec::sun_ipx(), |ctx| {
+            ctx.hold(us(1_000));
+            let env = Envelope::new(ctx.pid(), ProcId(1), 0, Bytes::new());
+            ctx.transmit(env, TransmitPlan::instant());
+        });
+        sim.spawn("rx", HostSpec::sun_ipx(), |ctx| {
+            let env = ctx.recv(Matcher::any());
+            assert_eq!(ctx.now(), SimTime::ZERO + us(1_000));
+            assert_eq!(env.transit_time(), Some(SimDuration::ZERO));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn try_recv_probes_without_blocking() {
+        let mut sim = Simulation::new();
+        sim.spawn("rx", HostSpec::sun_ipx(), |ctx| {
+            assert!(ctx.try_recv(Matcher::any()).is_none());
+            ctx.hold(us(10));
+            assert!(ctx.try_recv(Matcher::any()).is_none());
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn selective_recv_skips_non_matching() {
+        let mut sim = Simulation::new();
+        sim.spawn("tx", HostSpec::sun_ipx(), |ctx| {
+            for tag in [1u32, 2, 3] {
+                let env = Envelope::new(ctx.pid(), ProcId(1), tag, Bytes::new());
+                ctx.transmit(env, TransmitPlan::instant());
+            }
+        });
+        sim.spawn("rx", HostSpec::sun_ipx(), |ctx| {
+            let b = ctx.recv(Matcher::tagged(2));
+            assert_eq!(b.tag, 2);
+            let a = ctx.recv(Matcher::any());
+            assert_eq!(a.tag, 1, "matching must preserve arrival order");
+            let c = ctx.recv(Matcher::any());
+            assert_eq!(c.tag, 3);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let mut sim = Simulation::new();
+        sim.spawn("stuck", HostSpec::sun_ipx(), |ctx| {
+            let _ = ctx.recv(Matcher::any());
+        });
+        match sim.run() {
+            Err(SimError::Deadlock { blocked, .. }) => {
+                assert_eq!(blocked, vec!["stuck".to_string()]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn process_panic_is_reported() {
+        let mut sim = Simulation::new();
+        sim.spawn("bad", HostSpec::sun_ipx(), |_ctx| {
+            panic!("boom");
+        });
+        match sim.run() {
+            Err(SimError::ProcPanic { name, message }) => {
+                assert_eq!(name, "bad");
+                assert!(message.contains("boom"));
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Many processes wake at the same instant; completion order must be
+        // identical across runs.
+        fn run_once() -> Vec<(String, SimTime)> {
+            let mut sim = Simulation::new();
+            for i in 0..8 {
+                sim.spawn(&format!("p{i}"), HostSpec::sun_ipx(), move |ctx| {
+                    ctx.hold(us(100));
+                    ctx.hold(us(100 + i));
+                });
+            }
+            sim.run().unwrap().proc_finish
+        }
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn proc_ids_follow_spawn_order() {
+        let mut sim = Simulation::new();
+        let a = sim.spawn("a", HostSpec::sun_ipx(), |_| {});
+        let b = sim.spawn("b", HostSpec::sun_ipx(), |_| {});
+        assert_eq!(a, ProcId(0));
+        assert_eq!(b, ProcId(1));
+        assert_eq!(sim.proc_count(), 2);
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn ping_pong_round_trip_time() {
+        let mut sim = Simulation::new();
+        let one_way = us(300);
+        sim.spawn("a", HostSpec::sun_ipx(), move |ctx| {
+            let env = Envelope::new(ctx.pid(), ProcId(1), 0, Bytes::new());
+            ctx.transmit(env, TransmitPlan::single(vec![Stage::Latency(one_way)]));
+            let _ = ctx.recv(Matcher::any());
+            assert_eq!(ctx.now(), SimTime::ZERO + us(600));
+        });
+        sim.spawn("b", HostSpec::sun_ipx(), move |ctx| {
+            let _ = ctx.recv(Matcher::any());
+            let env = Envelope::new(ctx.pid(), ProcId(0), 0, Bytes::new());
+            ctx.transmit(env, TransmitPlan::single(vec![Stage::Latency(one_way)]));
+        });
+        sim.run().unwrap();
+    }
+}

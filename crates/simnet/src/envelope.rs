@@ -1,0 +1,158 @@
+//! Message envelopes and receive matching.
+//!
+//! The simulator moves opaque [`Envelope`]s between process mailboxes. The
+//! tool layer (crate `pdceval-mpt`) encodes typed data into the payload and
+//! uses [`Matcher`] to express selective receives (`pvm_recv(src, tag)`
+//! style wildcards).
+
+use crate::ids::{ProcId, Tag};
+use crate::time::SimTime;
+use bytes::Bytes;
+
+/// A message in flight or queued at a mailbox.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sending process.
+    pub src: ProcId,
+    /// Destination process.
+    pub dst: ProcId,
+    /// Tool-defined tag used for receive matching.
+    pub tag: Tag,
+    /// Opaque payload bytes.
+    pub payload: Bytes,
+    /// Bytes the message occupies on the wire (payload + tool headers);
+    /// this is what cost models price, not `payload.len()`.
+    pub wire_bytes: u64,
+    /// Virtual time at which the send was initiated.
+    pub sent_at: SimTime,
+    /// Virtual time at which the message reached the destination mailbox.
+    /// Set by the engine on delivery; [`SimTime::ZERO`] before that.
+    pub delivered_at: SimTime,
+}
+
+impl Envelope {
+    /// Creates a new envelope. `wire_bytes` defaults to the payload length;
+    /// tool layers add their header overhead via [`Envelope::with_wire_bytes`].
+    pub fn new(src: ProcId, dst: ProcId, tag: Tag, payload: Bytes) -> Envelope {
+        let wire = payload.len() as u64;
+        Envelope {
+            src,
+            dst,
+            tag,
+            payload,
+            wire_bytes: wire,
+            sent_at: SimTime::ZERO,
+            delivered_at: SimTime::ZERO,
+        }
+    }
+
+    /// Overrides the wire size (payload plus protocol headers).
+    pub fn with_wire_bytes(mut self, wire_bytes: u64) -> Envelope {
+        self.wire_bytes = wire_bytes;
+        self
+    }
+
+    /// Latency experienced by this message, if it has been delivered.
+    pub fn transit_time(&self) -> Option<crate::time::SimDuration> {
+        if self.delivered_at >= self.sent_at && self.delivered_at != SimTime::ZERO {
+            Some(self.delivered_at - self.sent_at)
+        } else {
+            None
+        }
+    }
+}
+
+/// A receive-matching predicate: `None` fields are wildcards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Matcher {
+    /// Match only messages from this process (wildcard if `None`).
+    pub src: Option<ProcId>,
+    /// Match only messages with this tag (wildcard if `None`).
+    pub tag: Option<Tag>,
+}
+
+impl Matcher {
+    /// Matches any message.
+    pub fn any() -> Matcher {
+        Matcher::default()
+    }
+
+    /// Matches messages from a specific source, any tag.
+    pub fn from(src: ProcId) -> Matcher {
+        Matcher {
+            src: Some(src),
+            tag: None,
+        }
+    }
+
+    /// Matches messages with a specific tag, any source.
+    pub fn tagged(tag: Tag) -> Matcher {
+        Matcher {
+            src: None,
+            tag: Some(tag),
+        }
+    }
+
+    /// Matches messages from a specific source with a specific tag.
+    pub fn from_tagged(src: ProcId, tag: Tag) -> Matcher {
+        Matcher {
+            src: Some(src),
+            tag: Some(tag),
+        }
+    }
+
+    /// Tests whether an envelope satisfies this matcher.
+    pub fn matches(&self, env: &Envelope) -> bool {
+        self.src.map_or(true, |s| s == env.src) && self.tag.map_or(true, |t| t == env.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(src: u32, tag: Tag) -> Envelope {
+        Envelope::new(ProcId(src), ProcId(9), tag, Bytes::from_static(b"x"))
+    }
+
+    #[test]
+    fn wildcard_matches_everything() {
+        assert!(Matcher::any().matches(&env(0, 1)));
+        assert!(Matcher::any().matches(&env(5, 42)));
+    }
+
+    #[test]
+    fn src_only_matcher() {
+        let m = Matcher::from(ProcId(5));
+        assert!(m.matches(&env(5, 1)));
+        assert!(!m.matches(&env(4, 1)));
+    }
+
+    #[test]
+    fn tag_only_matcher() {
+        let m = Matcher::tagged(7);
+        assert!(m.matches(&env(0, 7)));
+        assert!(!m.matches(&env(0, 8)));
+    }
+
+    #[test]
+    fn src_and_tag_matcher() {
+        let m = Matcher::from_tagged(ProcId(2), 3);
+        assert!(m.matches(&env(2, 3)));
+        assert!(!m.matches(&env(2, 4)));
+        assert!(!m.matches(&env(1, 3)));
+    }
+
+    #[test]
+    fn wire_bytes_defaults_to_payload_len() {
+        let e = env(0, 0);
+        assert_eq!(e.wire_bytes, 1);
+        let e = e.with_wire_bytes(100);
+        assert_eq!(e.wire_bytes, 100);
+    }
+
+    #[test]
+    fn transit_time_unset_before_delivery() {
+        assert_eq!(env(0, 0).transit_time(), None);
+    }
+}

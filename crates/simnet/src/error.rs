@@ -1,0 +1,72 @@
+//! Simulation error types.
+
+use crate::time::SimTime;
+use std::error::Error;
+use std::fmt;
+
+/// Errors terminating a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// No process is runnable, no event is pending, but some processes have
+    /// not finished — the classic distributed deadlock (e.g. two processes
+    /// each blocked in a receive that the other never sends).
+    Deadlock {
+        /// Virtual time at which progress stopped.
+        time: SimTime,
+        /// Names of the processes still blocked.
+        blocked: Vec<String>,
+    },
+    /// A simulated process panicked.
+    ProcPanic {
+        /// Name of the panicking process.
+        name: String,
+        /// The panic payload, rendered as text.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { time, blocked } => {
+                write!(
+                    f,
+                    "simulation deadlocked at {time}: {} process(es) blocked ({})",
+                    blocked.len(),
+                    blocked.join(", ")
+                )
+            }
+            SimError::ProcPanic { name, message } => {
+                write!(f, "simulated process '{name}' panicked: {message}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_deadlock() {
+        let e = SimError::Deadlock {
+            time: SimTime::from_nanos(5_000_000),
+            blocked: vec!["node0".into(), "node1".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("deadlocked"));
+        assert!(s.contains("node0"));
+        assert!(s.contains("node1"));
+    }
+
+    #[test]
+    fn display_panic() {
+        let e = SimError::ProcPanic {
+            name: "master".into(),
+            message: "index out of bounds".into(),
+        };
+        assert!(e.to_string().contains("master"));
+    }
+}

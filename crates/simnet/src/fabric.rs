@@ -1,0 +1,184 @@
+//! The fabric: network resources instantiated inside a simulation.
+//!
+//! A [`Fabric`] registers the resources that model one interconnect for a
+//! set of hosts — a single shared wire for Ethernet, or per-host
+//! transmit/receive ports for switched networks — and produces the
+//! *network portion* of per-fragment transmission stage lists. The tool
+//! layer wraps these stages with per-tool software costs.
+
+use crate::engine::Simulation;
+use crate::flight::Stage;
+use crate::ids::ResourceId;
+use crate::net::{LinkParams, NetworkKind};
+
+/// Network resources for `n_hosts` hosts on one interconnect.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    kind: NetworkKind,
+    params: LinkParams,
+    /// The single shared medium (Ethernet), if any.
+    wire: Option<ResourceId>,
+    /// Per-host transmit port (switched networks).
+    tx: Vec<ResourceId>,
+    /// Per-host receive port (switched networks).
+    rx: Vec<ResourceId>,
+    n_hosts: usize,
+}
+
+impl Fabric {
+    /// Registers the fabric's resources in `sim` for `n_hosts` hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_hosts` is zero.
+    pub fn build(sim: &mut Simulation, kind: NetworkKind, n_hosts: usize) -> Fabric {
+        assert!(n_hosts > 0, "a fabric needs at least one host");
+        let params = kind.params();
+        let (wire, tx, rx) = if params.shared_medium {
+            (Some(sim.add_resource(&format!("{}-wire", params.name))), Vec::new(), Vec::new())
+        } else {
+            let tx = (0..n_hosts)
+                .map(|i| sim.add_resource(&format!("{}-tx{i}", params.name)))
+                .collect();
+            let rx = (0..n_hosts)
+                .map(|i| sim.add_resource(&format!("{}-rx{i}", params.name)))
+                .collect();
+            (None, tx, rx)
+        };
+        Fabric {
+            kind,
+            params,
+            wire,
+            tx,
+            rx,
+            n_hosts,
+        }
+    }
+
+    /// The interconnect kind this fabric models.
+    pub fn kind(&self) -> NetworkKind {
+        self.kind
+    }
+
+    /// The link parameters in effect.
+    pub fn params(&self) -> &LinkParams {
+        &self.params
+    }
+
+    /// Number of hosts attached.
+    pub fn host_count(&self) -> usize {
+        self.n_hosts
+    }
+
+    /// Splits `bytes` into fragment payload sizes (network MTU granularity).
+    pub fn fragment_sizes(&self, bytes: u64) -> Vec<u64> {
+        self.params.fragment_sizes(bytes)
+    }
+
+    /// The network stages one fragment of `frag_bytes` traverses from
+    /// `src_host` to `dst_host`.
+    ///
+    /// Shared medium: occupy the wire, then propagate.
+    /// Switched: occupy the source port, propagate, occupy the destination
+    /// port (ejection); many-to-one traffic thus contends at the receiver,
+    /// which is how switched-network incast behaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a host index is out of range, or if `src_host == dst_host`
+    /// (processes on the same host exchange through memory, which is the
+    /// tool layer's job to price).
+    pub fn fragment_stages(&self, src_host: usize, dst_host: usize, frag_bytes: u64) -> Vec<Stage> {
+        assert!(src_host < self.n_hosts, "src host {src_host} out of range");
+        assert!(dst_host < self.n_hosts, "dst host {dst_host} out of range");
+        assert_ne!(
+            src_host, dst_host,
+            "fabric does not route host-local messages"
+        );
+        let wire_time = self.params.wire_time(frag_bytes);
+        match self.wire {
+            Some(wire) => vec![
+                Stage::Serve {
+                    resource: wire,
+                    service: wire_time,
+                },
+                Stage::Latency(self.params.latency),
+            ],
+            None => vec![
+                Stage::Serve {
+                    resource: self.tx[src_host],
+                    service: wire_time,
+                },
+                Stage::Latency(self.params.latency),
+                Stage::Serve {
+                    resource: self.rx[dst_host],
+                    service: wire_time,
+                },
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulation;
+
+    #[test]
+    fn ethernet_builds_one_wire() {
+        let mut sim = Simulation::new();
+        let f = Fabric::build(&mut sim, NetworkKind::Ethernet, 4);
+        assert!(f.wire.is_some());
+        assert!(f.tx.is_empty());
+        let stages = f.fragment_stages(0, 1, 1000);
+        assert_eq!(stages.len(), 2);
+    }
+
+    #[test]
+    fn switched_builds_ports_per_host() {
+        let mut sim = Simulation::new();
+        let f = Fabric::build(&mut sim, NetworkKind::AtmLan, 4);
+        assert!(f.wire.is_none());
+        assert_eq!(f.tx.len(), 4);
+        assert_eq!(f.rx.len(), 4);
+        let stages = f.fragment_stages(2, 3, 1000);
+        assert_eq!(stages.len(), 3);
+    }
+
+    #[test]
+    fn distinct_hosts_use_distinct_ports() {
+        let mut sim = Simulation::new();
+        let f = Fabric::build(&mut sim, NetworkKind::Fddi, 3);
+        let s01 = f.fragment_stages(0, 1, 100);
+        let s21 = f.fragment_stages(2, 1, 100);
+        // Different tx ports, same rx port.
+        match (&s01[0], &s21[0]) {
+            (Stage::Serve { resource: a, .. }, Stage::Serve { resource: b, .. }) => {
+                assert_ne!(a, b)
+            }
+            _ => panic!("expected serve stages"),
+        }
+        match (&s01[2], &s21[2]) {
+            (Stage::Serve { resource: a, .. }, Stage::Serve { resource: b, .. }) => {
+                assert_eq!(a, b)
+            }
+            _ => panic!("expected serve stages"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "host-local")]
+    fn local_routing_is_rejected() {
+        let mut sim = Simulation::new();
+        let f = Fabric::build(&mut sim, NetworkKind::Fddi, 2);
+        let _ = f.fragment_stages(1, 1, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_host_is_rejected() {
+        let mut sim = Simulation::new();
+        let f = Fabric::build(&mut sim, NetworkKind::Fddi, 2);
+        let _ = f.fragment_stages(0, 5, 100);
+    }
+}

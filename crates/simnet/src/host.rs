@@ -1,0 +1,148 @@
+//! Host (compute node) models for the 1995 NPAC testbed.
+//!
+//! Each [`HostSpec`] captures the performance characteristics that matter
+//! for reproducing the paper's measurements: floating-point rate, integer
+//! rate, memory-copy bandwidth, and a *software overhead scale* used to
+//! price message-passing library overheads (protocol stacks ran on the host
+//! CPU in 1995, so a 150 MHz Alpha executed the same PVM code ~3x faster
+//! than a 40 MHz SPARCstation IPX).
+//!
+//! Rates are calibrated to the paper's observed application times (Figures
+//! 5-8), not to marketing MIPS; see `DESIGN.md` and `EXPERIMENTS.md`.
+
+use std::fmt;
+
+/// Performance model of a single compute node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostSpec {
+    /// Human-readable model name, e.g. `"SUN SPARCstation IPX"`.
+    pub name: &'static str,
+    /// Sustained floating-point rate in MFLOP/s.
+    pub mflops: f64,
+    /// Sustained integer-operation rate in M ops/s.
+    pub mips: f64,
+    /// Memory copy bandwidth in MB/s.
+    pub mem_bw_mbs: f64,
+    /// Multiplier applied to message-passing software overheads
+    /// (1.0 = SUN SPARCstation IPX baseline; smaller is faster).
+    pub sw_scale: f64,
+}
+
+impl HostSpec {
+    /// SUN SPARCstation IPX: 40 MHz SPARC. The baseline host of the paper's
+    /// ATM experiments (`sw_scale` = 1.0 by definition).
+    pub fn sun_ipx() -> HostSpec {
+        HostSpec {
+            name: "SUN SPARCstation IPX",
+            mflops: 4.5,
+            mips: 28.0,
+            mem_bw_mbs: 25.0,
+            sw_scale: 1.0,
+        }
+    }
+
+    /// SUN SPARCstation ELC: 33 MHz SPARC, used on the Ethernet testbed.
+    pub fn sun_elc() -> HostSpec {
+        HostSpec {
+            name: "SUN SPARCstation ELC",
+            mflops: 3.6,
+            mips: 21.0,
+            mem_bw_mbs: 20.0,
+            sw_scale: 1.2,
+        }
+    }
+
+    /// DEC Alpha AXP workstation: 150 MHz, the fastest node in the testbed.
+    pub fn alpha_axp() -> HostSpec {
+        HostSpec {
+            name: "DEC Alpha AXP 150MHz",
+            mflops: 21.0,
+            mips: 120.0,
+            mem_bw_mbs: 80.0,
+            sw_scale: 0.35,
+        }
+    }
+
+    /// IBM RS/6000 370 node of the SP-1: 62.5 MHz POWER.
+    ///
+    /// The paper notes the SP-1 nodes are slower than the Alpha cluster
+    /// (Figure 6 vs Figure 5), which these rates reproduce.
+    pub fn rs6000_370() -> HostSpec {
+        HostSpec {
+            name: "IBM RS/6000 370 (SP-1 node)",
+            mflops: 9.0,
+            mips: 55.0,
+            mem_bw_mbs: 45.0,
+            sw_scale: 0.6,
+        }
+    }
+
+    /// A custom host model, for extensions beyond the paper's testbed.
+    pub fn custom(
+        name: &'static str,
+        mflops: f64,
+        mips: f64,
+        mem_bw_mbs: f64,
+        sw_scale: f64,
+    ) -> HostSpec {
+        assert!(
+            mflops > 0.0 && mips > 0.0 && mem_bw_mbs > 0.0 && sw_scale > 0.0,
+            "host rates must be positive"
+        );
+        HostSpec {
+            name,
+            mflops,
+            mips,
+            mem_bw_mbs,
+            sw_scale,
+        }
+    }
+}
+
+impl fmt::Display for HostSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} MFLOP/s, {} MIPS, {} MB/s copy)",
+            self.name, self.mflops, self.mips, self.mem_bw_mbs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_speed_ordering_matches_paper() {
+        // Alpha > RS/6000 > IPX > ELC in compute rate.
+        let alpha = HostSpec::alpha_axp();
+        let rs = HostSpec::rs6000_370();
+        let ipx = HostSpec::sun_ipx();
+        let elc = HostSpec::sun_elc();
+        assert!(alpha.mflops > rs.mflops);
+        assert!(rs.mflops > ipx.mflops);
+        assert!(ipx.mflops > elc.mflops);
+        // Software overhead scale is inverted: faster host, lower scale.
+        assert!(alpha.sw_scale < rs.sw_scale);
+        assert!(rs.sw_scale < ipx.sw_scale);
+        assert!(ipx.sw_scale < elc.sw_scale);
+    }
+
+    #[test]
+    fn ipx_is_the_software_baseline() {
+        assert_eq!(HostSpec::sun_ipx().sw_scale, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn custom_rejects_nonpositive_rates() {
+        let _ = HostSpec::custom("bad", 0.0, 1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        let s = HostSpec::alpha_axp().to_string();
+        assert!(s.contains("Alpha"));
+    }
+}

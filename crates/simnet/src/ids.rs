@@ -1,0 +1,63 @@
+//! Identifier newtypes used throughout the simulator.
+
+use std::fmt;
+
+/// Identifies a simulated process within one [`crate::engine::Simulation`].
+///
+/// Process ids are dense indices assigned in spawn order, starting at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// Returns the id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc#{}", self.0)
+    }
+}
+
+/// Identifies a FIFO service resource (a wire, a NIC, a daemon, a CPU)
+/// within one [`crate::engine::Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(pub(crate) u32);
+
+impl ResourceId {
+    /// Returns the id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "res#{}", self.0)
+    }
+}
+
+/// A message tag. Interpretation is up to the tool layer; the simulator
+/// only uses tags for receive matching.
+pub type Tag = u32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_and_index() {
+        assert_eq!(ProcId(3).to_string(), "proc#3");
+        assert_eq!(ProcId(3).index(), 3);
+        assert_eq!(ResourceId(7).to_string(), "res#7");
+        assert_eq!(ResourceId(7).index(), 7);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(ProcId(1) < ProcId(2));
+        assert!(ResourceId(0) < ResourceId(1));
+    }
+}

@@ -1,0 +1,85 @@
+//! # pdceval-simnet
+//!
+//! A deterministic discrete-event simulator of 1995-era multicomputer
+//! testbeds, built as the experimental substrate for reproducing
+//! *"Software Tool Evaluation Methodology"* (Hariri et al., NPAC/Syracuse
+//! University, 1995).
+//!
+//! The paper benchmarks message-passing tools (Express, p4, PVM) on SUN,
+//! Alpha and IBM SP-1 clusters over Ethernet, FDDI and ATM networks. That
+//! hardware no longer exists, so this crate recreates it as a simulation:
+//!
+//! * [`engine`] — a deterministic discrete-event engine whose simulated
+//!   processes are ordinary Rust closures written in blocking style;
+//! * [`resource`] — FIFO service resources from which contention (shared
+//!   Ethernet, single-threaded PVM daemons) emerges;
+//! * [`flight`] — pipelined multi-fragment message transmission plans;
+//! * [`host`] / [`work`] — calibrated CPU models pricing real computation;
+//! * [`net`] / [`fabric`] — calibrated link models for the five testbed
+//!   interconnects;
+//! * [`platform`] — the paper's §3.1 testbed configurations.
+//!
+//! Determinism: events are ordered by `(virtual time, sequence number)`,
+//! exactly one simulated process runs at a time, and application work is
+//! priced analytically — repeated runs of the same configuration produce
+//! bit-identical results.
+//!
+//! # Quick example
+//!
+//! ```
+//! use bytes::Bytes;
+//! use pdceval_simnet::prelude::*;
+//!
+//! let mut sim = Simulation::new();
+//! let pong = ProcId(1);
+//! sim.spawn("ping", HostSpec::sun_ipx(), move |ctx| {
+//!     let env = Envelope::new(ctx.pid(), pong, 0, Bytes::from_static(b"ping"));
+//!     ctx.transmit(env, TransmitPlan::single(vec![Stage::Latency(
+//!         SimDuration::from_micros(50),
+//!     )]));
+//!     let reply = ctx.recv(Matcher::any());
+//!     assert_eq!(&reply.payload[..], b"pong");
+//! });
+//! sim.spawn("pong", HostSpec::sun_ipx(), |ctx| {
+//!     let msg = ctx.recv(Matcher::any());
+//!     let env = Envelope::new(ctx.pid(), msg.src, 0, Bytes::from_static(b"pong"));
+//!     ctx.transmit(env, TransmitPlan::single(vec![Stage::Latency(
+//!         SimDuration::from_micros(50),
+//!     )]));
+//! });
+//! let outcome = sim.run()?;
+//! assert_eq!(outcome.end_time.as_micros_f64(), 100.0);
+//! # Ok::<(), pdceval_simnet::error::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod envelope;
+pub mod error;
+pub mod fabric;
+pub mod flight;
+pub mod host;
+pub mod ids;
+pub mod net;
+pub mod platform;
+pub mod resource;
+pub mod time;
+pub mod work;
+
+/// Convenient glob-import of the crate's primary types.
+pub mod prelude {
+    pub use crate::engine::{Ctx, SimOutcome, Simulation};
+    pub use crate::envelope::{Envelope, Matcher};
+    pub use crate::error::SimError;
+    pub use crate::fabric::Fabric;
+    pub use crate::flight::{Stage, TransmitPlan};
+    pub use crate::host::HostSpec;
+    pub use crate::ids::{ProcId, ResourceId, Tag};
+    pub use crate::net::{LinkParams, NetworkKind};
+    pub use crate::platform::Platform;
+    pub use crate::resource::ResourceStats;
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::work::Work;
+}

@@ -1,0 +1,131 @@
+//! The five experimentation platforms of the paper's §3.1.
+//!
+//! A [`Platform`] pairs a host model with an interconnect and a maximum
+//! node count, matching the NPAC testbed configurations on which the paper
+//! evaluated Express, p4 and PVM.
+
+use crate::host::HostSpec;
+use crate::net::NetworkKind;
+use std::fmt;
+
+/// One of the paper's testbed configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// SUN SPARCstation ELCs on a shared 10 Mb/s Ethernet LAN.
+    SunEthernet,
+    /// SUN SPARCstation IPXs on an ATM LAN (FORE switch, TAXI interfaces).
+    SunAtmLan,
+    /// SUN SPARCstation IPXs across the NYNET ATM WAN
+    /// (Syracuse University to Rome Laboratory).
+    SunAtmWan,
+    /// DEC Alpha workstations on switched FDDI segments.
+    AlphaFddi,
+    /// IBM SP-1, RS/6000 370 nodes on the Allnode crossbar switch.
+    Sp1Switch,
+    /// IBM SP-1 nodes on the machine's dedicated Ethernet.
+    Sp1Ethernet,
+}
+
+impl Platform {
+    /// All platforms, in the paper's presentation order.
+    pub fn all() -> [Platform; 6] {
+        [
+            Platform::SunEthernet,
+            Platform::SunAtmLan,
+            Platform::SunAtmWan,
+            Platform::AlphaFddi,
+            Platform::Sp1Switch,
+            Platform::Sp1Ethernet,
+        ]
+    }
+
+    /// Display name matching the paper's terminology.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Platform::SunEthernet => "SUN/Ethernet",
+            Platform::SunAtmLan => "SUN/ATM LAN",
+            Platform::SunAtmWan => "SUN/ATM WAN (NYNET)",
+            Platform::AlphaFddi => "ALPHA/FDDI",
+            Platform::Sp1Switch => "IBM-SP1 (Switch)",
+            Platform::Sp1Ethernet => "IBM-SP1 (Ethernet)",
+        }
+    }
+
+    /// The interconnect of this platform.
+    pub fn network(&self) -> NetworkKind {
+        match self {
+            Platform::SunEthernet => NetworkKind::Ethernet,
+            Platform::SunAtmLan => NetworkKind::AtmLan,
+            Platform::SunAtmWan => NetworkKind::AtmWan,
+            Platform::AlphaFddi => NetworkKind::Fddi,
+            Platform::Sp1Switch => NetworkKind::Allnode,
+            Platform::Sp1Ethernet => NetworkKind::DedicatedEthernet,
+        }
+    }
+
+    /// The host model populating this platform (homogeneous clusters).
+    pub fn host(&self) -> HostSpec {
+        match self {
+            Platform::SunEthernet => HostSpec::sun_elc(),
+            Platform::SunAtmLan | Platform::SunAtmWan => HostSpec::sun_ipx(),
+            Platform::AlphaFddi => HostSpec::alpha_axp(),
+            Platform::Sp1Switch | Platform::Sp1Ethernet => HostSpec::rs6000_370(),
+        }
+    }
+
+    /// Maximum number of nodes available in the paper's experiments.
+    pub fn max_nodes(&self) -> usize {
+        match self {
+            Platform::SunEthernet => 8,
+            Platform::SunAtmLan => 8,
+            // The NYNET experiments used at most 4 workstations (Figure 7).
+            Platform::SunAtmWan => 4,
+            Platform::AlphaFddi => 8,
+            Platform::Sp1Switch | Platform::Sp1Ethernet => 16,
+        }
+    }
+
+    /// Whether the platform crosses a wide-area network.
+    pub fn is_wan(&self) -> bool {
+        matches!(self, Platform::SunAtmWan)
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_platform_is_consistent() {
+        for p in Platform::all() {
+            assert!(p.max_nodes() >= 4, "{p} too small for the benchmarks");
+            assert!(!p.name().is_empty());
+            let _ = p.network().params();
+            let _ = p.host();
+        }
+    }
+
+    #[test]
+    fn wan_flag() {
+        assert!(Platform::SunAtmWan.is_wan());
+        assert!(!Platform::SunEthernet.is_wan());
+    }
+
+    #[test]
+    fn alpha_cluster_uses_alphas_on_fddi() {
+        let p = Platform::AlphaFddi;
+        assert_eq!(p.network(), NetworkKind::Fddi);
+        assert!(p.host().name.contains("Alpha"));
+    }
+
+    #[test]
+    fn nynet_limited_to_four_nodes() {
+        assert_eq!(Platform::SunAtmWan.max_nodes(), 4);
+    }
+}

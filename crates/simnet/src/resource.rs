@@ -1,0 +1,187 @@
+//! FIFO service resources.
+//!
+//! A [`ResourceId`] names a single-server FIFO queue inside the simulation:
+//! a shared Ethernet wire, a host NIC, a PVM daemon, a CPU protocol stack.
+//! Work is submitted as (waiter, service-time) pairs; the server serves one
+//! request at a time in arrival order. Contention — the defining behaviour
+//! of the paper's shared-medium Ethernet and of PVM's single-threaded
+//! daemon — emerges from queueing at these resources.
+
+use crate::ids::{ProcId, ResourceId};
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Who is waiting for a resource: a blocked process or an in-flight
+/// message fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Waiter {
+    /// A simulated process blocked in `Ctx::serve`.
+    Proc(ProcId),
+    /// A message-fragment flight (index into the engine's flight table).
+    Flight(usize),
+}
+
+/// Internal state of one FIFO resource.
+#[derive(Debug)]
+pub(crate) struct Resource {
+    pub(crate) name: String,
+    queue: VecDeque<(Waiter, SimDuration)>,
+    in_service: Option<Waiter>,
+    busy_time: SimDuration,
+    served: u64,
+    max_queue: usize,
+}
+
+impl Resource {
+    pub(crate) fn new(name: String) -> Resource {
+        Resource {
+            name,
+            queue: VecDeque::new(),
+            in_service: None,
+            busy_time: SimDuration::ZERO,
+            served: 0,
+            max_queue: 0,
+        }
+    }
+
+    /// Adds a waiter to the queue. Returns the service duration to schedule
+    /// if the server was idle and this waiter starts service immediately.
+    pub(crate) fn enqueue(&mut self, w: Waiter, service: SimDuration) -> Option<SimDuration> {
+        self.queue.push_back((w, service));
+        let depth = self.queue.len() + usize::from(self.in_service.is_some());
+        self.max_queue = self.max_queue.max(depth);
+        if self.in_service.is_none() {
+            self.start_next()
+        } else {
+            None
+        }
+    }
+
+    /// Completes the current service. Returns the finished waiter and, if
+    /// another waiter starts service, its service duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server was idle (an engine logic error).
+    pub(crate) fn complete(&mut self) -> (Waiter, Option<SimDuration>) {
+        let done = self
+            .in_service
+            .take()
+            .expect("resource completion with idle server");
+        self.served += 1;
+        let next = self.start_next();
+        (done, next)
+    }
+
+    fn start_next(&mut self) -> Option<SimDuration> {
+        debug_assert!(self.in_service.is_none());
+        if let Some((w, service)) = self.queue.pop_front() {
+            self.in_service = Some(w);
+            self.busy_time += service;
+            Some(service)
+        } else {
+            None
+        }
+    }
+
+    pub(crate) fn stats(&self, id: ResourceId, end: SimTime) -> ResourceStats {
+        ResourceStats {
+            id,
+            name: self.name.clone(),
+            busy_time: self.busy_time,
+            served: self.served,
+            max_queue: self.max_queue,
+            utilization: if end == SimTime::ZERO {
+                0.0
+            } else {
+                self.busy_time.as_secs_f64() / (end - SimTime::ZERO).as_secs_f64()
+            },
+        }
+    }
+}
+
+/// Usage statistics for one resource over a completed run.
+///
+/// The paper's §2 observes that a *system manager* evaluates tools by
+/// utilization/throughput while a *user* evaluates by response time; these
+/// statistics expose the system-manager perspective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceStats {
+    /// The resource's id.
+    pub id: ResourceId,
+    /// The resource's name as given to `Simulation::add_resource`.
+    pub name: String,
+    /// Total time the server spent serving.
+    pub busy_time: SimDuration,
+    /// Number of completed services.
+    pub served: u64,
+    /// Largest queue length observed (including the arriving request).
+    pub max_queue: usize,
+    /// `busy_time` divided by the run's end time.
+    pub utilization: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut r = Resource::new("wire".into());
+        let started = r.enqueue(Waiter::Proc(ProcId(0)), us(10));
+        assert_eq!(started, Some(us(10)));
+    }
+
+    #[test]
+    fn busy_server_queues() {
+        let mut r = Resource::new("wire".into());
+        assert!(r.enqueue(Waiter::Proc(ProcId(0)), us(10)).is_some());
+        assert!(r.enqueue(Waiter::Proc(ProcId(1)), us(20)).is_none());
+        let (done, next) = r.complete();
+        assert_eq!(done, Waiter::Proc(ProcId(0)));
+        assert_eq!(next, Some(us(20)));
+        let (done, next) = r.complete();
+        assert_eq!(done, Waiter::Proc(ProcId(1)));
+        assert_eq!(next, None);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut r = Resource::new("q".into());
+        r.enqueue(Waiter::Flight(0), us(1));
+        r.enqueue(Waiter::Flight(1), us(1));
+        r.enqueue(Waiter::Flight(2), us(1));
+        let (a, _) = r.complete();
+        let (b, _) = r.complete();
+        let (c, next) = r.complete();
+        assert_eq!(a, Waiter::Flight(0));
+        assert_eq!(b, Waiter::Flight(1));
+        assert_eq!(c, Waiter::Flight(2));
+        assert_eq!(next, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle server")]
+    fn completing_idle_server_panics() {
+        let mut r = Resource::new("q".into());
+        let _ = r.complete();
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut r = Resource::new("q".into());
+        r.enqueue(Waiter::Flight(0), us(10));
+        r.enqueue(Waiter::Flight(1), us(30));
+        r.complete();
+        r.complete();
+        let s = r.stats(ResourceId(0), SimTime::from_nanos(80_000));
+        assert_eq!(s.served, 2);
+        assert_eq!(s.busy_time, us(40));
+        assert_eq!(s.max_queue, 2);
+        assert!((s.utilization - 0.5).abs() < 1e-9);
+    }
+}

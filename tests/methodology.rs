@@ -1,0 +1,186 @@
+//! Cross-crate integration tests: the full methodology running end to
+//! end, and the paper's headline claims holding on the simulated testbed.
+
+use pdc_tool_eval::core::apl::{app_sweep, AplApp, AplConfig, Scale};
+use pdc_tool_eval::core::experiments;
+use pdc_tool_eval::core::score::{Evaluator, LevelWeights, Measurement};
+use pdc_tool_eval::core::tpl::{send_recv_sweep, SendRecvConfig};
+use pdc_tool_eval::mpt::ToolKind;
+use pdc_tool_eval::simnet::platform::Platform;
+
+/// The paper's Table 3 shape: p4 fastest everywhere; PVM beats Express
+/// at large messages; Express beats PVM at small messages on ATM.
+#[test]
+fn table3_orderings_hold() {
+    for platform in [Platform::SunEthernet, Platform::SunAtmLan] {
+        let t = |tool, kb| {
+            send_recv_sweep(&SendRecvConfig {
+                platform,
+                tool,
+                sizes_kb: vec![kb],
+                iters: 1,
+            })
+            .unwrap()[0]
+                .millis
+        };
+        for kb in [0, 16, 64] {
+            let p4 = t(ToolKind::P4, kb);
+            let pvm = t(ToolKind::Pvm, kb);
+            let ex = t(ToolKind::Express, kb);
+            assert!(p4 < pvm && p4 < ex, "{platform} {kb}KB: p4={p4} pvm={pvm} ex={ex}");
+        }
+        // Large messages: PVM < Express.
+        assert!(t(ToolKind::Pvm, 64) < t(ToolKind::Express, 64), "{platform}");
+        // Small messages: Express < PVM (the paper's crossover).
+        assert!(t(ToolKind::Express, 0) < t(ToolKind::Pvm, 0), "{platform}");
+    }
+}
+
+/// The paper's WAN claim: NYNET performance is close to ATM LAN
+/// (within ~25% at 64 KB) and far better than shared Ethernet.
+#[test]
+fn wan_is_comparable_to_lan() {
+    let t = |platform| {
+        send_recv_sweep(&SendRecvConfig {
+            platform,
+            tool: ToolKind::P4,
+            sizes_kb: vec![64],
+            iters: 1,
+        })
+        .unwrap()[0]
+            .millis
+    };
+    let lan = t(Platform::SunAtmLan);
+    let wan = t(Platform::SunAtmWan);
+    let eth = t(Platform::SunEthernet);
+    assert!(wan > lan, "propagation must cost something");
+    assert!(wan < lan * 1.25, "wan {wan} too far from lan {lan}");
+    assert!(wan < eth / 3.0, "ATM WAN should crush shared Ethernet");
+}
+
+/// Figure 5's winners: p4 takes JPEG and FFT, PVM takes sorting, Express
+/// takes Monte Carlo (on Alpha/FDDI at 8 processors, paper scale).
+#[test]
+fn figure5_winners_match_paper() {
+    let time = |app, tool| {
+        app_sweep(&AplConfig {
+            app,
+            platform: Platform::AlphaFddi,
+            tool,
+            procs: vec![8],
+            scale: Scale::Paper,
+        })
+        .unwrap()[0]
+            .seconds
+    };
+    for (app, winner) in [
+        (AplApp::Jpeg, ToolKind::P4),
+        (AplApp::Fft, ToolKind::P4),
+        (AplApp::Sorting, ToolKind::Pvm),
+        (AplApp::MonteCarlo, ToolKind::Express),
+    ] {
+        let times: Vec<(ToolKind, f64)> = ToolKind::all()
+            .into_iter()
+            .map(|t| (t, time(app, t)))
+            .collect();
+        let best = times
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, winner, "{app:?}: {times:?}");
+    }
+}
+
+/// SP-1 nodes are slower than Alphas (Figure 6 vs Figure 5).
+#[test]
+fn sp1_is_slower_than_alpha_cluster() {
+    let time = |platform| {
+        app_sweep(&AplConfig {
+            app: AplApp::Jpeg,
+            platform,
+            tool: ToolKind::P4,
+            procs: vec![4],
+            scale: Scale::Quick,
+        })
+        .unwrap()[0]
+            .seconds
+    };
+    assert!(time(Platform::Sp1Switch) > 1.5 * time(Platform::AlphaFddi));
+}
+
+/// Express cannot run the NYNET experiments (Table 3 / Figure 7).
+#[test]
+fn express_absent_from_wan_experiments() {
+    let cfg = AplConfig {
+        app: AplApp::Jpeg,
+        platform: Platform::SunAtmWan,
+        tool: ToolKind::Express,
+        procs: vec![2],
+        scale: Scale::Quick,
+    };
+    assert!(app_sweep(&cfg).is_err());
+}
+
+/// The full experiment registry regenerates every artifact at quick
+/// scale, and the figures carry CSV series.
+#[test]
+fn all_experiments_regenerate() {
+    let artifacts = experiments::run_all(Scale::Quick).expect("regeneration failed");
+    assert_eq!(artifacts.len(), 12);
+    for a in &artifacts {
+        assert!(!a.body.is_empty(), "{} empty", a.id);
+        if a.id.starts_with("fig") {
+            let csv = a.csv.as_ref().expect("figure csv");
+            assert!(csv.lines().count() > 2, "{} csv too short", a.id);
+        }
+    }
+}
+
+/// A full weighted evaluation built from live measurements ranks p4
+/// first for a performance user (the paper's overall conclusion).
+#[test]
+fn performance_user_evaluation_prefers_p4() {
+    let mut eval = Evaluator::new();
+    eval.level_weights(LevelWeights::performance_user());
+    for kb in [1u64, 64] {
+        let mut times = Vec::new();
+        for tool in ToolKind::all() {
+            let pts = send_recv_sweep(&SendRecvConfig {
+                platform: Platform::SunAtmLan,
+                tool,
+                sizes_kb: vec![kb],
+                iters: 1,
+            })
+            .unwrap();
+            times.push((tool, Some(pts[0].millis)));
+        }
+        eval.tpl_measurement(Measurement::new(format!("snd/rcv {kb}KB"), times));
+    }
+    for app in [AplApp::Jpeg, AplApp::Fft] {
+        let mut times = Vec::new();
+        for tool in ToolKind::all() {
+            let pts = app_sweep(&AplConfig {
+                app,
+                platform: Platform::AlphaFddi,
+                tool,
+                procs: vec![4],
+                scale: Scale::Quick,
+            })
+            .unwrap();
+            times.push((tool, Some(pts[0].seconds)));
+        }
+        eval.apl_measurement(Measurement::new(format!("{app} x4"), times));
+    }
+    let ranked = eval.evaluate();
+    assert_eq!(ranked[0].tool, ToolKind::P4, "{ranked:?}");
+}
+
+/// Determinism across the whole stack: regenerating Table 3 twice gives
+/// byte-identical artifacts.
+#[test]
+fn table3_artifact_is_deterministic() {
+    let a = experiments::table3().unwrap();
+    let b = experiments::table3().unwrap();
+    assert_eq!(a.body, b.body);
+}

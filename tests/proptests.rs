@@ -1,0 +1,154 @@
+//! Property-based tests on the reproduction's core invariants.
+
+use bytes::Bytes;
+use pdc_tool_eval::apps::fft::{fft_inplace, Complex};
+use pdc_tool_eval::apps::jpeg::{compress_strip, decompress_strip};
+use pdc_tool_eval::apps::psrs::PsrsSort;
+use pdc_tool_eval::apps::workload::{block_range, run_workload, Workload};
+use pdc_tool_eval::core::score::Measurement;
+use pdc_tool_eval::mpt::message::{MsgReader, MsgWriter};
+use pdc_tool_eval::mpt::runtime::{run_spmd, SpmdConfig};
+use pdc_tool_eval::mpt::ToolKind;
+use pdc_tool_eval::simnet::platform::Platform;
+use pdc_tool_eval::simnet::time::SimDuration;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Typed payloads round-trip for arbitrary content.
+    #[test]
+    fn codec_round_trips(
+        a in proptest::collection::vec(any::<i32>(), 0..200),
+        b in proptest::collection::vec(any::<f64>().prop_filter("finite", |x| x.is_finite()), 0..100),
+        c in proptest::collection::vec(any::<u8>(), 0..300),
+        x in any::<u32>(),
+        y in any::<u64>(),
+    ) {
+        let mut w = MsgWriter::new();
+        w.put_u32(x);
+        w.put_i32_slice(&a);
+        w.put_u64(y);
+        w.put_f64_slice(&b);
+        w.put_bytes(&c);
+        let mut r = MsgReader::new(w.freeze());
+        prop_assert_eq!(r.get_u32().unwrap(), x);
+        prop_assert_eq!(r.get_i32_slice().unwrap(), a);
+        prop_assert_eq!(r.get_u64().unwrap(), y);
+        prop_assert_eq!(r.get_f64_slice().unwrap(), b);
+        prop_assert_eq!(&r.get_bytes().unwrap()[..], &c[..]);
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    /// Block partitions cover 0..n exactly, without gaps or overlap.
+    #[test]
+    fn block_ranges_partition(n in 0usize..10_000, p in 1usize..16) {
+        let mut next = 0;
+        for r in 0..p {
+            let range = block_range(n, p, r);
+            prop_assert_eq!(range.start, next);
+            next = range.end;
+        }
+        prop_assert_eq!(next, n);
+    }
+
+    /// FFT followed by inverse FFT recovers the input (scaled by n).
+    #[test]
+    fn fft_inverse_recovers_input(
+        raw in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..5)
+    ) {
+        // Pad to a power of two length >= 2.
+        let n = raw.len().next_power_of_two().max(2);
+        let mut data: Vec<Complex> = raw.clone();
+        data.resize(n, (0.0, 0.0));
+        let original = data.clone();
+        fft_inplace(&mut data, false);
+        fft_inplace(&mut data, true);
+        for (o, d) in original.iter().zip(&data) {
+            prop_assert!((o.0 - d.0 / n as f64).abs() < 1e-6);
+            prop_assert!((o.1 - d.1 / n as f64).abs() < 1e-6);
+        }
+    }
+
+    /// JPEG codec: decompressing a compressed strip preserves shape and
+    /// keeps per-pixel error within JPEG-like bounds for smooth content.
+    #[test]
+    fn jpeg_codec_bounded_error(seed in any::<u64>()) {
+        let w = pdc_tool_eval::apps::jpeg::JpegCompression { width: 16, height: 16, seed };
+        let img = w.generate_image();
+        let enc = compress_strip(&img, 16, 16);
+        let dec = decompress_strip(&enc, 16, 16);
+        prop_assert_eq!(dec.len(), img.len());
+        let mse: f64 = img.iter().zip(&dec)
+            .map(|(&a, &b)| { let d = a as f64 - b as f64; d * d })
+            .sum::<f64>() / img.len() as f64;
+        prop_assert!(mse < 200.0, "mse {}", mse);
+    }
+
+    /// Relative scores are in [0, 1] and the fastest tool always gets 1.
+    #[test]
+    fn measurement_scores_are_normalized(
+        t1 in 0.001f64..1000.0,
+        t2 in 0.001f64..1000.0,
+        t3 in 0.001f64..1000.0,
+    ) {
+        let m = Measurement::new("m", vec![
+            (ToolKind::Express, Some(t1)),
+            (ToolKind::P4, Some(t2)),
+            (ToolKind::Pvm, Some(t3)),
+        ]);
+        let scores: Vec<f64> = ToolKind::all().iter().map(|&t| m.relative_score(t)).collect();
+        for s in &scores {
+            prop_assert!((0.0..=1.0).contains(s));
+        }
+        prop_assert!(scores.iter().any(|&s| (s - 1.0).abs() < 1e-12));
+    }
+
+    /// Simulated time arithmetic is consistent: chained holds sum exactly.
+    #[test]
+    fn sim_durations_sum(us in proptest::collection::vec(1u64..10_000, 1..20)) {
+        let total: u64 = us.iter().sum();
+        let summed: SimDuration = us.iter().map(|&u| SimDuration::from_micros(u)).sum();
+        prop_assert_eq!(summed, SimDuration::from_micros(total));
+    }
+}
+
+proptest! {
+    // Simulation-backed properties are more expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// PSRS produces the sorted permutation of its input for arbitrary
+    /// seeds and any tool/processor combination.
+    #[test]
+    fn psrs_sorts_arbitrary_inputs(
+        seed in any::<u64>(),
+        procs in 1usize..5,
+        tool_idx in 0usize..3,
+    ) {
+        let w = PsrsSort { keys: 600, seed };
+        let expect = w.sequential();
+        let tool = ToolKind::all()[tool_idx];
+        let out = run_workload(&w, &SpmdConfig::new(Platform::SunAtmLan, tool, procs)).unwrap();
+        prop_assert_eq!(out.results[0], expect);
+    }
+
+    /// Arbitrary payload bytes survive a round trip through any tool.
+    #[test]
+    fn payloads_survive_transit(
+        payload in proptest::collection::vec(any::<u8>(), 0..2000),
+        tool_idx in 0usize..3,
+    ) {
+        let tool = ToolKind::all()[tool_idx];
+        let sent = Bytes::from(payload.clone());
+        let expect = payload;
+        let out = run_spmd(&SpmdConfig::new(Platform::SunEthernet, tool, 2), move |node| {
+            if node.rank() == 0 {
+                node.send(1, 5, sent.clone()).unwrap();
+                Vec::new()
+            } else {
+                node.recv(Some(0), Some(5)).unwrap().data.to_vec()
+            }
+        }).unwrap();
+        prop_assert_eq!(&out.results[1], &expect);
+    }
+}

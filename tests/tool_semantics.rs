@@ -1,0 +1,210 @@
+//! Semantic contracts of the tool layer, exercised across all three
+//! tools: ordering guarantees, collective correctness at awkward sizes,
+//! capability gaps, and failure injection.
+
+use bytes::Bytes;
+use pdc_tool_eval::mpt::error::{RunError, ToolError};
+use pdc_tool_eval::mpt::message::MsgWriter;
+use pdc_tool_eval::mpt::runtime::{run_spmd, SpmdConfig};
+use pdc_tool_eval::mpt::ToolKind;
+use pdc_tool_eval::simnet::error::SimError;
+use pdc_tool_eval::simnet::platform::Platform;
+
+fn cfg(tool: ToolKind, n: usize) -> SpmdConfig {
+    SpmdConfig::new(Platform::SunAtmLan, tool, n)
+}
+
+/// Messages between one (src, dst) pair are delivered in send order for
+/// every tool (FIFO channel semantics, which the collectives rely on).
+#[test]
+fn pairwise_fifo_ordering() {
+    for tool in ToolKind::all() {
+        let out = run_spmd(&cfg(tool, 2), |node| {
+            if node.rank() == 0 {
+                for i in 0..20u32 {
+                    let mut w = MsgWriter::new();
+                    w.put_u32(i);
+                    node.send(1, 7, w.freeze()).unwrap();
+                }
+                Vec::new()
+            } else {
+                let mut seen = Vec::new();
+                for _ in 0..20 {
+                    let msg = node.recv(Some(0), Some(7)).unwrap();
+                    let mut r = pdc_tool_eval::mpt::message::MsgReader::new(msg.data);
+                    seen.push(r.get_u32().unwrap());
+                }
+                seen
+            }
+        })
+        .unwrap();
+        assert_eq!(out.results[1], (0..20).collect::<Vec<u32>>(), "{tool}");
+    }
+}
+
+/// Broadcast works from every root, not just rank 0.
+#[test]
+fn broadcast_from_every_root() {
+    for tool in ToolKind::all() {
+        for root in 0..4 {
+            let out = run_spmd(&cfg(tool, 4), move |node| {
+                let data = if node.rank() == root {
+                    Bytes::from(vec![root as u8; 100])
+                } else {
+                    Bytes::new()
+                };
+                let got = node.broadcast(root, data).unwrap();
+                (got.len(), got[0])
+            })
+            .unwrap();
+            for r in &out.results {
+                assert_eq!(*r, (100, root as u8), "{tool} root {root}");
+            }
+        }
+    }
+}
+
+/// Global sums agree for vector lengths that do not divide the node
+/// count evenly, for both supporting tools and odd process counts.
+#[test]
+fn global_sum_awkward_shapes() {
+    for tool in [ToolKind::P4, ToolKind::Express] {
+        for nprocs in [2usize, 3, 5] {
+            let out = run_spmd(&cfg(tool, nprocs), move |node| {
+                let mine: Vec<i32> = (0..7).map(|i| (node.rank() * 10 + i) as i32).collect();
+                node.global_sum_i32(&mine).unwrap()
+            })
+            .unwrap();
+            let expect: Vec<i32> = (0..7)
+                .map(|i| (0..nprocs).map(|r| (r * 10 + i) as i32).sum())
+                .collect();
+            for r in &out.results {
+                assert_eq!(r, &expect, "{tool} x{nprocs}");
+            }
+        }
+    }
+}
+
+/// Back-to-back collectives of different kinds do not interfere (the
+/// internal tag space keeps them apart).
+#[test]
+fn interleaved_collectives() {
+    for tool in ToolKind::all() {
+        let out = run_spmd(&cfg(tool, 4), |node| {
+            let mut acc = 0u64;
+            for round in 0..5u32 {
+                node.barrier().unwrap();
+                let data = if node.rank() == (round as usize) % 4 {
+                    Bytes::from(round.to_le_bytes().to_vec())
+                } else {
+                    Bytes::new()
+                };
+                let got = node.broadcast((round as usize) % 4, data).unwrap();
+                acc += u32::from_le_bytes(got[..4].try_into().unwrap()) as u64;
+                let shifted = node.ring_shift(Bytes::from(vec![round as u8])).unwrap();
+                acc += shifted[0] as u64;
+            }
+            acc
+        })
+        .unwrap();
+        let expect = out.results[0];
+        assert!(out.results.iter().all(|r| *r == expect), "{tool}");
+    }
+}
+
+/// A rank that panics mid-protocol surfaces as a `ProcPanic`, never as a
+/// hang or a corrupted result.
+#[test]
+fn mid_protocol_panic_is_reported() {
+    let err = run_spmd(&cfg(ToolKind::P4, 3), |node| {
+        if node.rank() == 1 {
+            panic!("injected failure");
+        }
+        node.barrier().unwrap();
+    })
+    .unwrap_err();
+    match err {
+        RunError::Sim(SimError::ProcPanic { name, message }) => {
+            assert_eq!(name, "rank1");
+            assert!(message.contains("injected failure"));
+        }
+        other => panic!("expected ProcPanic, got {other:?}"),
+    }
+}
+
+/// Sending to a dead rank index fails fast with a typed error on every
+/// tool (the paper's error-handling criterion, done right).
+#[test]
+fn typed_errors_for_bad_arguments() {
+    for tool in ToolKind::all() {
+        let out = run_spmd(&cfg(tool, 2), |node| {
+            let bad_rank = node.send(9, 1, Bytes::new()).unwrap_err();
+            let bad_src = node.recv(Some(9), None).unwrap_err();
+            (bad_rank, bad_src)
+        })
+        .unwrap();
+        for (a, b) in &out.results {
+            assert!(matches!(a, ToolError::InvalidRank { rank: 9, .. }), "{tool}");
+            assert!(matches!(b, ToolError::InvalidRank { rank: 9, .. }), "{tool}");
+        }
+    }
+}
+
+/// Virtual time never runs backwards across any sequence of operations,
+/// and all ranks finish at a consistent global time.
+#[test]
+fn time_is_monotone_per_rank() {
+    for tool in ToolKind::all() {
+        let out = run_spmd(&cfg(tool, 4), |node| {
+            let mut last = node.now();
+            let mut stamps = Vec::new();
+            for i in 0..4u32 {
+                node.barrier().unwrap();
+                let data = if node.rank() == 0 {
+                    Bytes::from(vec![0u8; 2048])
+                } else {
+                    Bytes::new()
+                };
+                node.broadcast(0, data).unwrap();
+                let now = node.now();
+                assert!(now >= last, "clock went backwards at round {i}");
+                last = now;
+                stamps.push(now.as_nanos());
+            }
+            stamps
+        })
+        .unwrap();
+        // All ranks saw strictly increasing stamps.
+        for stamps in &out.results {
+            assert!(stamps.windows(2).all(|w| w[0] <= w[1]), "{tool}");
+        }
+    }
+}
+
+/// Payload integrity survives fragmentation boundaries: sizes straddling
+/// every MTU in the system (PVM's 4 KB, Ethernet 1460, ATM 9180).
+#[test]
+fn fragmentation_boundary_sizes() {
+    for tool in ToolKind::all() {
+        for platform in [Platform::SunEthernet, Platform::SunAtmLan] {
+            for size in [1459usize, 1460, 1461, 4095, 4096, 4097, 9179, 9180, 9181] {
+                let payload: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+                let expect = payload.clone();
+                let out = run_spmd(
+                    &SpmdConfig::new(platform, tool, 2),
+                    move |node| {
+                        if node.rank() == 0 {
+                            node.send(1, 3, Bytes::from(payload.clone())).unwrap();
+                            true
+                        } else {
+                            let msg = node.recv(Some(0), Some(3)).unwrap();
+                            msg.data.to_vec() == expect
+                        }
+                    },
+                )
+                .unwrap();
+                assert!(out.results[1], "{tool} {platform} size {size}");
+            }
+        }
+    }
+}
