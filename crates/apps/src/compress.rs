@@ -80,7 +80,7 @@ pub fn rle_encode(data: &[u8]) -> Vec<u8> {
 pub fn rle_decode(data: &[u8]) -> Vec<u8> {
     let mut out = Vec::new();
     for pair in data.chunks_exact(2) {
-        out.extend(std::iter::repeat(pair[1]).take(pair[0] as usize));
+        out.extend(std::iter::repeat_n(pair[1], pair[0] as usize));
     }
     out
 }
@@ -161,7 +161,8 @@ impl Workload for RleCompression {
                 checksum: fnv1a(&total),
             }
         } else {
-            node.send(0, TAG_ENCODED, Bytes::from(encoded)).expect("enc send");
+            node.send(0, TAG_ENCODED, Bytes::from(encoded))
+                .expect("enc send");
             CompressOutput {
                 encoded_len: 0,
                 checksum: 0,
@@ -197,8 +198,8 @@ mod tests {
     fn single_node_matches_sequential() {
         let w = RleCompression::small();
         let expect = w.sequential();
-        let out = run_workload(&w, &SpmdConfig::new(Platform::SunEthernet, ToolKind::P4, 1))
-            .unwrap();
+        let out =
+            run_workload(&w, &SpmdConfig::new(Platform::SunEthernet, ToolKind::P4, 1)).unwrap();
         assert_eq!(out.results[0], expect);
     }
 

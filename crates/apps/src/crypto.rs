@@ -48,8 +48,8 @@ impl KeySearch {
         let mut l = (block >> 12) & 0xFFF;
         let mut r = block & 0xFFF;
         for round in 0..4u32 {
-            let f = (hash64(((key as u64) << 16) | ((r as u64) << 3) | round as u64) & 0xFFF)
-                as u32;
+            let f =
+                (hash64(((key as u64) << 16) | ((r as u64) << 3) | round as u64) & 0xFFF) as u32;
             let nl = r;
             r = l ^ f;
             l = nl;

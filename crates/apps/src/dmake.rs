@@ -62,7 +62,7 @@ impl DistributedMake {
                     let d1 = prev_start
                         + (hash64(self.seed ^ (t as u64) << 1) % prev_len as u64) as usize;
                     deps.push(d1);
-                    if hash64(self.seed ^ (t as u64) << 2) % 2 == 0 {
+                    if hash64(self.seed ^ (t as u64) << 2).is_multiple_of(2) {
                         let d2 = prev_start
                             + (hash64(self.seed ^ (t as u64) << 3) % prev_len as u64) as usize;
                         if d2 != d1 {
@@ -164,7 +164,8 @@ impl Workload for DistributedMake {
             // Shut workers down and collect their build counts.
             let mut built = 0u64;
             for wkr in 1..p {
-                node.send(wkr, TAG_SHUTDOWN, Bytes::new()).expect("shutdown");
+                node.send(wkr, TAG_SHUTDOWN, Bytes::new())
+                    .expect("shutdown");
             }
             for _ in 1..p {
                 let msg = node.recv(None, Some(TAG_RESULT)).expect("result recv");
@@ -247,9 +248,6 @@ mod tests {
         let t8 = run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, ToolKind::P4, 8))
             .unwrap()
             .elapsed;
-        assert!(
-            t8.as_secs_f64() < t2.as_secs_f64(),
-            "t2={t2} t8={t8}"
-        );
+        assert!(t8.as_secs_f64() < t2.as_secs_f64(), "t2={t2} t8={t8}");
     }
 }

@@ -303,7 +303,9 @@ impl Workload for Fft2d {
         } else {
             node.send(0, TAG_GATHER, encode_block(&my_rows))
                 .expect("spectrum send");
-            let data = node.broadcast(0, bytes::Bytes::new()).expect("checksum bcast");
+            let data = node
+                .broadcast(0, bytes::Bytes::new())
+                .expect("checksum bcast");
             FftOutput {
                 checksum: MsgReader::new(data).get_u64().expect("checksum decode"),
             }
@@ -325,15 +327,15 @@ mod tests {
         let input: Vec<Complex> = (0..n).map(|i| (i as f64, -(i as f64) / 2.0)).collect();
         let mut fast = input.clone();
         fft_inplace(&mut fast, false);
-        for k in 0..n {
+        for (k, bin) in fast.iter().enumerate() {
             let (mut re, mut im) = (0.0, 0.0);
             for (j, &(xr, xi)) in input.iter().enumerate() {
                 let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
                 re += xr * ang.cos() - xi * ang.sin();
                 im += xr * ang.sin() + xi * ang.cos();
             }
-            assert!((fast[k].0 - re).abs() < 1e-9, "re[{k}]");
-            assert!((fast[k].1 - im).abs() < 1e-9, "im[{k}]");
+            assert!((bin.0 - re).abs() < 1e-9, "re[{k}]");
+            assert!((bin.1 - im).abs() < 1e-9, "im[{k}]");
         }
     }
 

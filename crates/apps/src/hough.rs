@@ -65,8 +65,8 @@ impl HoughTransform {
             for t in 0..THETA_BINS {
                 let theta = t as f64 * std::f64::consts::PI / THETA_BINS as f64;
                 let rho = x as f64 * theta.cos() + y as f64 * theta.sin();
-                let bin = ((rho + max_rho) / (2.0 * max_rho) * (RHO_BINS - 1) as f64)
-                    .round() as usize;
+                let bin =
+                    ((rho + max_rho) / (2.0 * max_rho) * (RHO_BINS - 1) as f64).round() as usize;
                 acc[t * RHO_BINS + bin.min(RHO_BINS - 1)] += 1;
             }
         }

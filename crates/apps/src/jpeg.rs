@@ -85,7 +85,10 @@ impl JpegCompression {
 
     fn validate(&self) {
         assert!(
-            self.width % 8 == 0 && self.height % 8 == 0 && self.width > 0 && self.height > 0,
+            self.width.is_multiple_of(8)
+                && self.height.is_multiple_of(8)
+                && self.width > 0
+                && self.height > 0,
             "image dimensions must be positive multiples of 8"
         );
     }
@@ -185,15 +188,17 @@ fn idct2d(block: &mut [f64; 64]) {
 /// the encoded byte stream (quantized, zigzagged, run-length coded).
 pub fn compress_strip(pixels: &[u8], width: usize, rows: usize) -> Vec<u8> {
     assert_eq!(pixels.len(), width * rows, "strip shape mismatch");
-    assert!(width % 8 == 0 && rows % 8 == 0, "strip must be block aligned");
+    assert!(
+        width.is_multiple_of(8) && rows.is_multiple_of(8),
+        "strip must be block aligned"
+    );
     let mut out = Vec::with_capacity(pixels.len() / 4);
     for by in 0..rows / 8 {
         for bx in 0..width / 8 {
             let mut block = [0.0f64; 64];
             for y in 0..8 {
                 for x in 0..8 {
-                    block[y * 8 + x] =
-                        pixels[(by * 8 + y) * width + bx * 8 + x] as f64 - 128.0;
+                    block[y * 8 + x] = pixels[(by * 8 + y) * width + bx * 8 + x] as f64 - 128.0;
                 }
             }
             dct2d(&mut block);
@@ -320,15 +325,16 @@ impl Workload for JpegCompression {
             });
             for r in 1..p {
                 let rows = block_range(block_rows, p, r);
-                let strip =
-                    &img[rows.start * 8 * self.width..rows.end * 8 * self.width];
+                let strip = &img[rows.start * 8 * self.width..rows.end * 8 * self.width];
                 node.send(r, TAG_STRIP, Bytes::copy_from_slice(strip))
                     .expect("strip send failed");
             }
             let rows = block_range(block_rows, p, 0);
             img[rows.start * 8 * self.width..rows.end * 8 * self.width].to_vec()
         } else {
-            let msg = node.recv(Some(0), Some(TAG_STRIP)).expect("strip recv failed");
+            let msg = node
+                .recv(Some(0), Some(TAG_STRIP))
+                .expect("strip recv failed");
             msg.data.to_vec()
         };
 
@@ -344,7 +350,9 @@ impl Workload for JpegCompression {
             // posts directed receives in strip order (cheaper than
             // wildcard receives under p4's socket-per-peer model).
             for r in 1..p {
-                let msg = node.recv(Some(r), Some(TAG_RESULT)).expect("collect failed");
+                let msg = node
+                    .recv(Some(r), Some(TAG_RESULT))
+                    .expect("collect failed");
                 total.extend_from_slice(&msg.data);
             }
             JpegOutput {
@@ -440,9 +448,6 @@ mod tests {
         let t4 = run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, ToolKind::P4, 4))
             .unwrap()
             .elapsed;
-        assert!(
-            t4.as_secs_f64() < t1.as_secs_f64() * 0.6,
-            "t1={t1} t4={t4}"
-        );
+        assert!(t4.as_secs_f64() < t1.as_secs_f64() * 0.6, "t1={t1} t4={t4}");
     }
 }

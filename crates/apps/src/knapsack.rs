@@ -54,7 +54,9 @@ impl Knapsack {
             })
             .collect();
         items.sort_by(|a, b| {
-            (b.1 as u64 * a.0 as u64).cmp(&(a.1 as u64 * b.0 as u64)).then(a.0.cmp(&b.0))
+            (b.1 as u64 * a.0 as u64)
+                .cmp(&(a.1 as u64 * b.0 as u64))
+                .then(a.0.cmp(&b.0))
         });
         let total_w: u64 = items.iter().map(|&(w, _)| w as u64).sum();
         let weights = items.iter().map(|&(w, _)| w).collect();
@@ -96,7 +98,15 @@ fn dfs(
         return;
     }
     if weights[idx] as u64 <= cap {
-        dfs(weights, values, idx + 1, cap - weights[idx] as u64, value + values[idx] as u64, best, expanded);
+        dfs(
+            weights,
+            values,
+            idx + 1,
+            cap - weights[idx] as u64,
+            value + values[idx] as u64,
+            best,
+            expanded,
+        );
     }
     dfs(weights, values, idx + 1, cap, value, best, expanded);
 }
@@ -163,7 +173,15 @@ impl Workload for Knapsack {
                 }
             }
             if feasible {
-                dfs(&weights, &values, levels, capacity, value, &mut best, &mut expanded);
+                dfs(
+                    &weights,
+                    &values,
+                    levels,
+                    capacity,
+                    value,
+                    &mut best,
+                    &mut expanded,
+                );
             }
         }
         node.compute(Work {

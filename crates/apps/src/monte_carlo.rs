@@ -153,12 +153,18 @@ mod tests {
     fn scaling_is_nearly_linear_on_fast_networks() {
         // Compute-bound: Figure 5's Monte Carlo pane descends ~1/P.
         let w = MonteCarlo::paper();
-        let t1 = run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, ToolKind::Express, 1))
-            .unwrap()
-            .elapsed;
-        let t8 = run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, ToolKind::Express, 8))
-            .unwrap()
-            .elapsed;
+        let t1 = run_workload(
+            &w,
+            &SpmdConfig::new(Platform::AlphaFddi, ToolKind::Express, 1),
+        )
+        .unwrap()
+        .elapsed;
+        let t8 = run_workload(
+            &w,
+            &SpmdConfig::new(Platform::AlphaFddi, ToolKind::Express, 8),
+        )
+        .unwrap()
+        .elapsed;
         let speedup = t1.as_secs_f64() / t8.as_secs_f64();
         assert!(speedup > 5.0, "speedup only {speedup:.2}");
     }

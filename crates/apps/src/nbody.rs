@@ -139,8 +139,7 @@ impl Workload for NBody {
             for _ in 1..p {
                 let mut w = MsgWriter::new();
                 w.put_u32_slice(&ring_ids.iter().map(|&i| i as u32).collect::<Vec<_>>());
-                let flat: Vec<f64> =
-                    ring_block.iter().flat_map(|&(x, y, m)| [x, y, m]).collect();
+                let flat: Vec<f64> = ring_block.iter().flat_map(|&(x, y, m)| [x, y, m]).collect();
                 w.put_f64_slice(&flat);
                 let data = node.ring_shift(w.freeze()).expect("ring shift");
                 let mut r = MsgReader::new(data);

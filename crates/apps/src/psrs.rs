@@ -200,7 +200,7 @@ impl Workload for PsrsSort {
             for (ri, run) in received.iter().enumerate() {
                 if cursors[ri] < run.len() {
                     let v = run[cursors[ri]];
-                    if best.map_or(true, |(_, bv)| v < bv) {
+                    if best.is_none_or(|(_, bv)| v < bv) {
                         best = Some((ri, v));
                     }
                 }
@@ -246,7 +246,9 @@ impl Workload for PsrsSort {
             let mut w = MsgWriter::with_capacity(4 + merged.len() * 4);
             w.put_i32_slice(&merged);
             node.send(0, TAG_SAMPLES, w.freeze()).expect("collect send");
-            let data = node.broadcast(0, bytes::Bytes::new()).expect("result bcast");
+            let data = node
+                .broadcast(0, bytes::Bytes::new())
+                .expect("result bcast");
             let mut r = MsgReader::new(data);
             SortOutput {
                 checksum: r.get_u64().expect("checksum"),

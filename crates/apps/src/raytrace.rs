@@ -109,7 +109,7 @@ fn nearest_hit(
         let disc = b * b - c;
         if disc > 0.0 {
             let t = -b - disc.sqrt();
-            if t > 1e-9 && best.map_or(true, |(bt, _)| t < bt) {
+            if t > 1e-9 && best.is_none_or(|(bt, _)| t < bt) {
                 best = Some((t, i));
             }
         }
@@ -205,10 +205,7 @@ mod tests {
 
     #[test]
     fn direct_hit_returns_nearest_sphere() {
-        let scene = vec![
-            (0.0, 0.0, 5.0, 1.0, 0.5),
-            (0.0, 0.0, 10.0, 1.0, 0.5),
-        ];
+        let scene = vec![(0.0, 0.0, 5.0, 1.0, 0.5), (0.0, 0.0, 10.0, 1.0, 0.5)];
         let hit = nearest_hit(&scene, (0.0, 0.0, 0.0), (0.0, 0.0, 1.0)).expect("hit");
         assert_eq!(hit.1, 0);
         assert!((hit.0 - 4.0).abs() < 1e-9);

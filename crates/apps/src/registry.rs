@@ -81,15 +81,30 @@ pub fn catalog() -> Vec<AppEntry> {
         e("Ray Tracing", SignalImage, false, Some("raytrace")),
         e("Data Compression", SignalImage, false, Some("compress")),
         // Simulation / optimization.
-        e("N-body Simulation", SimulationOptimization, false, Some("nbody")),
+        e(
+            "N-body Simulation",
+            SimulationOptimization,
+            false,
+            Some("nbody"),
+        ),
         e(
             "Monte Carlo Integration",
             SimulationOptimization,
             true,
             Some("monte_carlo"),
         ),
-        e("Traveling Salesman", SimulationOptimization, false, Some("tsp")),
-        e("Branch and Bound", SimulationOptimization, false, Some("knapsack")),
+        e(
+            "Traveling Salesman",
+            SimulationOptimization,
+            false,
+            Some("tsp"),
+        ),
+        e(
+            "Branch and Bound",
+            SimulationOptimization,
+            false,
+            Some("knapsack"),
+        ),
         // Utilities.
         e("ADA Compiler", Utilities, false, None),
         e("Parallel Sorting", Utilities, true, Some("psrs")),

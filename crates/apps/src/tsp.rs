@@ -25,12 +25,18 @@ pub struct Tsp {
 impl Tsp {
     /// A representative workload size.
     pub fn paper() -> Tsp {
-        Tsp { cities: 11, seed: 67 }
+        Tsp {
+            cities: 11,
+            seed: 67,
+        }
     }
 
     /// A small configuration for fast tests.
     pub fn small() -> Tsp {
-        Tsp { cities: 8, seed: 67 }
+        Tsp {
+            cities: 8,
+            seed: 67,
+        }
     }
 
     /// City coordinates.
@@ -88,7 +94,14 @@ fn search(
         if !visited[next] {
             visited[next] = true;
             path.push(next);
-            search(d, path, visited, cost_so_far + d[last][next], best, expanded);
+            search(
+                d,
+                path,
+                visited,
+                cost_so_far + d[last][next],
+                best,
+                expanded,
+            );
             path.pop();
             visited[next] = false;
         }
@@ -114,7 +127,14 @@ fn run_prefixes(tsp: &Tsp, prefixes: std::ops::Range<usize>, best_in: f64) -> (f
         let mut visited = vec![false; tsp.cities];
         visited[0] = true;
         visited[second] = true;
-        search(&d, &mut path, &mut visited, d[0][second], &mut best, &mut expanded);
+        search(
+            &d,
+            &mut path,
+            &mut visited,
+            d[0][second],
+            &mut best,
+            &mut expanded,
+        );
     }
     (best, expanded)
 }
@@ -196,7 +216,14 @@ mod tests {
             let mut visited = vec![false; 4];
             visited[0] = true;
             visited[second] = true;
-            search(&d, &mut path, &mut visited, d[0][second], &mut best, &mut expanded);
+            search(
+                &d,
+                &mut path,
+                &mut visited,
+                d[0][second],
+                &mut best,
+                &mut expanded,
+            );
         }
         assert!((best - 4.0).abs() < 1e-12, "best {best}");
     }

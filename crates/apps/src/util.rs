@@ -91,7 +91,9 @@ fn hand_rolled_sum_f64(node: &mut Node<'_>, xs: &[f64], tag: Tag) -> Vec<f64> {
         let mut w = MsgWriter::with_capacity(4 + xs.len() * 8);
         w.put_f64_slice(xs);
         node.send(0, tag, w.freeze()).expect("gather send failed");
-        let data = node.broadcast(0, Bytes::new()).expect("result mcast failed");
+        let data = node
+            .broadcast(0, Bytes::new())
+            .expect("result mcast failed");
         MsgReader::new(data)
             .get_f64_slice()
             .expect("result decode failed")
@@ -128,7 +130,9 @@ pub fn portable_sum_i32(node: &mut Node<'_>, xs: &[i32], tag: Tag) -> Vec<i32> {
                 let mut w = MsgWriter::with_capacity(4 + xs.len() * 4);
                 w.put_i32_slice(xs);
                 node.send(0, tag, w.freeze()).expect("gather send failed");
-                let data = node.broadcast(0, Bytes::new()).expect("result mcast failed");
+                let data = node
+                    .broadcast(0, Bytes::new())
+                    .expect("result mcast failed");
                 MsgReader::new(data)
                     .get_i32_slice()
                     .expect("result decode failed")

@@ -57,7 +57,10 @@ pub fn run_workload<W: Workload>(
 /// The contiguous block of `n` items owned by rank `r` of `p`
 /// (balanced partition: the first `n % p` ranks get one extra item).
 pub fn block_range(n: usize, p: usize, r: usize) -> std::ops::Range<usize> {
-    assert!(p > 0 && r < p, "invalid partition request: n={n} p={p} r={r}");
+    assert!(
+        p > 0 && r < p,
+        "invalid partition request: n={n} p={p} r={r}"
+    );
     let base = n / p;
     let rem = n % p;
     let start = r * base + r.min(rem);

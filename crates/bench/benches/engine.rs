@@ -48,10 +48,67 @@ fn contended_resource(nprocs: u32, per_proc: u32) {
     sim.run().expect("simulation failed");
 }
 
+/// 64-proc ring: every proc forwards to its successor each round — the
+/// headline microbench for the pooled direct-handoff scheduler.
+fn ring(nprocs: usize, rounds: u32) {
+    let mut sim = Simulation::new();
+    for r in 0..nprocs {
+        let next = ProcId(((r + 1) % nprocs) as u32);
+        sim.spawn_indexed("ring", r, HostSpec::sun_ipx(), move |ctx| {
+            for round in 0..rounds {
+                let env = Envelope::new(ctx.pid(), next, round, Bytes::new());
+                ctx.transmit(
+                    env,
+                    TransmitPlan::single(vec![Stage::Latency(SimDuration::from_micros(10))]),
+                );
+                let _ = ctx.recv(Matcher::tagged(round));
+            }
+        });
+    }
+    sim.run().expect("simulation failed");
+}
+
+/// Root sends to all 63 peers, everyone acks: stresses the waiting-receiver
+/// fast path and the tag-indexed mailbox of the fan-in at the root.
+fn broadcast_ack(nprocs: usize, rounds: u32) {
+    let mut sim = Simulation::new();
+    sim.spawn_indexed("bc", 0, HostSpec::sun_ipx(), move |ctx| {
+        for round in 0..rounds {
+            for dst in 1..nprocs {
+                let env = Envelope::new(ctx.pid(), ProcId(dst as u32), round, Bytes::new());
+                ctx.transmit(
+                    env,
+                    TransmitPlan::single(vec![Stage::Latency(SimDuration::from_micros(10))]),
+                );
+            }
+            for _ in 1..nprocs {
+                let _ = ctx.recv(Matcher::tagged(round));
+            }
+        }
+    });
+    for r in 1..nprocs {
+        sim.spawn_indexed("bc", r, HostSpec::sun_ipx(), move |ctx| {
+            for round in 0..rounds {
+                let msg = ctx.recv(Matcher::tagged(round));
+                let env = Envelope::new(ctx.pid(), msg.src, round, Bytes::new());
+                ctx.transmit(
+                    env,
+                    TransmitPlan::single(vec![Stage::Latency(SimDuration::from_micros(10))]),
+                );
+            }
+        });
+    }
+    sim.run().expect("simulation failed");
+}
+
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
     g.bench_function("ping_pong_1000", |b| b.iter(|| ping_pong(1000)));
-    g.bench_function("contention_8x500", |b| b.iter(|| contended_resource(8, 500)));
+    g.bench_function("contention_8x500", |b| {
+        b.iter(|| contended_resource(8, 500))
+    });
+    g.bench_function("ring_64x100", |b| b.iter(|| ring(64, 100)));
+    g.bench_function("broadcast_64x50", |b| b.iter(|| broadcast_ack(64, 50)));
     g.finish();
 }
 

@@ -27,8 +27,11 @@ fn bench(c: &mut Criterion) {
         });
     }
     // PVM's "Not Available" row is part of the artifact too.
-    let pvm = global_sum_sweep(&GlobalSumConfig::figure4(Platform::SunEthernet, ToolKind::Pvm))
-        .expect("sweep failed");
+    let pvm = global_sum_sweep(&GlobalSumConfig::figure4(
+        Platform::SunEthernet,
+        ToolKind::Pvm,
+    ))
+    .expect("sweep failed");
     assert!(matches!(pvm, GlobalSumResult::Unsupported(_)));
     eprintln!("fig4/ethernet/PVM: Not Available");
     g.finish();

@@ -11,14 +11,22 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5to8_applications");
     g.sample_size(10);
     for (fig, platform, tools) in [
-        ("fig5_alpha_fddi", Platform::AlphaFddi, ToolKind::all().to_vec()),
+        (
+            "fig5_alpha_fddi",
+            Platform::AlphaFddi,
+            ToolKind::all().to_vec(),
+        ),
         ("fig6_sp1", Platform::Sp1Switch, ToolKind::all().to_vec()),
         (
             "fig7_atm_wan",
             Platform::SunAtmWan,
             vec![ToolKind::P4, ToolKind::Pvm],
         ),
-        ("fig8_ethernet", Platform::SunEthernet, ToolKind::all().to_vec()),
+        (
+            "fig8_ethernet",
+            Platform::SunEthernet,
+            ToolKind::all().to_vec(),
+        ),
     ] {
         for app in AplApp::all() {
             for &tool in &tools {
@@ -30,8 +38,7 @@ fn bench(c: &mut Criterion) {
                     scale: Scale::Quick,
                 };
                 let pts = app_sweep(&cfg).expect("sweep failed");
-                let row: Vec<String> =
-                    pts.iter().map(|p| format!("{:.4}", p.seconds)).collect();
+                let row: Vec<String> = pts.iter().map(|p| format!("{:.4}", p.seconds)).collect();
                 eprintln!("{fig}/{app}/{tool}: {} s", row.join(" "));
                 g.bench_function(format!("{fig}/{app}/{tool}"), |b| {
                     b.iter(|| app_sweep(&cfg).expect("sweep failed"))

@@ -1,0 +1,218 @@
+//! Engine-throughput microbenchmarks: events/sec on broadcast, ring and
+//! global-sum message patterns over the raw [`Simulation`] API.
+//!
+//! These isolate the discrete-event engine's scheduling + mailbox cost
+//! (pure latency stages, no contention resources), so their events/sec is
+//! a direct measure of the per-simulator-call overhead the pooled
+//! direct-handoff scheduler optimizes.
+//!
+//! Usage:
+//!
+//! ```bash
+//! cargo run --release -p pdceval-bench --bin bench_engine -- --out BENCH_engine.json
+//! ```
+//!
+//! The emitted JSON records events/sec per microbench plus the speedup
+//! against the recorded seed-engine baseline (thread-per-process +
+//! crossbeam-channel ping-pong, commit 3f7268b), measured on the same
+//! class of machine by `scripts/bench_engine.sh` before the scheduler
+//! rework landed.
+
+use bytes::Bytes;
+use pdceval_simnet::engine::Simulation;
+use pdceval_simnet::envelope::{Envelope, Matcher};
+use pdceval_simnet::flight::{Stage, TransmitPlan};
+use pdceval_simnet::host::HostSpec;
+use pdceval_simnet::ids::ProcId;
+use pdceval_simnet::time::SimDuration;
+use std::time::Instant;
+
+const NPROCS: usize = 64;
+const ROUNDS: u32 = 400;
+
+/// Seed-engine events/sec recorded before the pooled-scheduler rework
+/// (commit 3f7268b engine: OS thread per process, two crossbeam-channel
+/// hops per simulator call, O(n) mailbox scans). Used to report speedups.
+const BASELINE: [(&str, f64); 3] = [
+    ("broadcast64", 146_005.0),
+    ("ring64", 139_214.0),
+    ("globalsum64", 142_489.0),
+];
+
+fn us(n: u64) -> SimDuration {
+    SimDuration::from_micros(n)
+}
+
+fn lat() -> TransmitPlan {
+    TransmitPlan::single(vec![Stage::Latency(us(10))])
+}
+
+/// 64-proc ring: every proc forwards to its successor each round.
+/// Messages delivered: NPROCS * ROUNDS.
+fn ring(nprocs: usize, rounds: u32) -> u64 {
+    let mut sim = Simulation::new();
+    for r in 0..nprocs {
+        let next = ProcId(((r + 1) % nprocs) as u32);
+        sim.spawn_indexed("ring", r, HostSpec::sun_ipx(), move |ctx| {
+            for round in 0..rounds {
+                let env = Envelope::new(ctx.pid(), next, round, Bytes::new());
+                ctx.transmit(env, lat());
+                let _ = ctx.recv(Matcher::tagged(round));
+            }
+        });
+    }
+    sim.run().expect("ring sim failed").messages_delivered
+}
+
+/// 64-proc broadcast + ack: the root sends to all, everyone acks.
+/// Messages delivered: 2 * (NPROCS - 1) * ROUNDS.
+fn broadcast(nprocs: usize, rounds: u32) -> u64 {
+    let mut sim = Simulation::new();
+    sim.spawn_indexed("bcast", 0, HostSpec::sun_ipx(), move |ctx| {
+        for round in 0..rounds {
+            for dst in 1..nprocs {
+                let env = Envelope::new(ctx.pid(), ProcId(dst as u32), round, Bytes::new());
+                ctx.transmit(env, lat());
+            }
+            for _ in 1..nprocs {
+                let _ = ctx.recv(Matcher::tagged(round));
+            }
+        }
+    });
+    for r in 1..nprocs {
+        sim.spawn_indexed("bcast", r, HostSpec::sun_ipx(), move |ctx| {
+            for round in 0..rounds {
+                let msg = ctx.recv(Matcher::tagged(round));
+                let env = Envelope::new(ctx.pid(), msg.src, round, Bytes::new());
+                ctx.transmit(env, lat());
+            }
+        });
+    }
+    sim.run().expect("broadcast sim failed").messages_delivered
+}
+
+/// 64-proc binary-tree global sum: reduce up the tree, broadcast down.
+/// Messages delivered: 2 * (NPROCS - 1) * ROUNDS.
+fn global_sum(nprocs: usize, rounds: u32) -> u64 {
+    let mut sim = Simulation::new();
+    for r in 0..nprocs {
+        sim.spawn_indexed("gsum", r, HostSpec::sun_ipx(), move |ctx| {
+            let left = 2 * r + 1;
+            let right = 2 * r + 2;
+            for round in 0..rounds {
+                let up_tag = round * 2;
+                let down_tag = round * 2 + 1;
+                // Combine children's partial sums.
+                if left < nprocs {
+                    let _ = ctx.recv(Matcher::from_tagged(ProcId(left as u32), up_tag));
+                }
+                if right < nprocs {
+                    let _ = ctx.recv(Matcher::from_tagged(ProcId(right as u32), up_tag));
+                }
+                if r > 0 {
+                    let parent = ProcId(((r - 1) / 2) as u32);
+                    let env = Envelope::new(ctx.pid(), parent, up_tag, Bytes::new());
+                    ctx.transmit(env, lat());
+                    let _ = ctx.recv(Matcher::tagged(down_tag));
+                }
+                // Fan the result back out.
+                for child in [left, right] {
+                    if child < nprocs {
+                        let env =
+                            Envelope::new(ctx.pid(), ProcId(child as u32), down_tag, Bytes::new());
+                        ctx.transmit(env, lat());
+                    }
+                }
+            }
+        });
+    }
+    sim.run().expect("global_sum sim failed").messages_delivered
+}
+
+struct Measurement {
+    name: &'static str,
+    events: u64,
+    seconds: f64,
+    events_per_sec: f64,
+}
+
+fn measure(name: &'static str, f: impl Fn() -> u64) -> Measurement {
+    // Warm-up run (also populates the worker pool).
+    let events = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let e = f();
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(e, events, "non-deterministic event count in {name}");
+        best = best.min(dt);
+    }
+    let m = Measurement {
+        name,
+        events,
+        seconds: best,
+        events_per_sec: events as f64 / best,
+    };
+    println!(
+        "{:<14} {:>9} events  {:>9.4} s  {:>12.0} events/sec",
+        m.name, m.events, m.seconds, m.events_per_sec
+    );
+    m
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let results = [
+        measure("broadcast64", || broadcast(NPROCS, ROUNDS)),
+        measure("ring64", || ring(NPROCS, ROUNDS)),
+        measure("globalsum64", || global_sum(NPROCS, ROUNDS)),
+    ];
+
+    let mut json = String::from("{\n  \"bench\": \"engine\",\n");
+    json.push_str(&format!(
+        "  \"nprocs\": {NPROCS},\n  \"rounds\": {ROUNDS},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let baseline = BASELINE
+            .iter()
+            .find(|(n, _)| *n == m.name)
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN);
+        let speedup = m.events_per_sec / baseline;
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"events\": {}, \"seconds\": {:.6}, \"events_per_sec\": {:.0}, \
+             \"baseline_events_per_sec\": {}, \"speedup_vs_baseline\": {}}}{}\n",
+            m.name,
+            m.events,
+            m.seconds,
+            m.events_per_sec,
+            if baseline.is_nan() {
+                "null".to_string()
+            } else {
+                format!("{baseline:.0}")
+            },
+            if speedup.is_nan() {
+                "null".to_string()
+            } else {
+                format!("{speedup:.2}")
+            },
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("failed to write bench JSON");
+            println!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

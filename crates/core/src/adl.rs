@@ -10,11 +10,10 @@
 //! exactly as the paper's final table does.
 
 use pdceval_mpt::ToolKind;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A usability rating (the paper's WS/PS/NS scale).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Support {
     /// NS — not supported.
     NotSupported,
@@ -51,7 +50,7 @@ impl fmt::Display for Support {
 }
 
 /// The usability criteria of §2.3 / the §3.3.1 assessment table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Criterion {
     /// Programming models supported (host-node, SPMD/Cubix, ...).
     ProgrammingModels,
@@ -130,11 +129,33 @@ pub fn assessment(tool: ToolKind) -> Vec<(Criterion, Support)> {
     use Support::*;
     let ratings: [Support; 9] = match tool {
         // Paper table, column "P4".
-        ToolKind::P4 => [Well, Well, Partial, Partial, Partial, Partial, Partial, Partial, Well],
+        ToolKind::P4 => [
+            Well, Well, Partial, Partial, Partial, Partial, Partial, Partial, Well,
+        ],
         // Column "PVM".
-        ToolKind::Pvm => [Well, Well, Well, Partial, NotSupported, Partial, Well, Well, Well],
+        ToolKind::Pvm => [
+            Well,
+            Well,
+            Well,
+            Partial,
+            NotSupported,
+            Partial,
+            Well,
+            Well,
+            Well,
+        ],
         // Column "Express".
-        ToolKind::Express => [Well, Well, Partial, Well, Partial, Partial, Well, NotSupported, Well],
+        ToolKind::Express => [
+            Well,
+            Well,
+            Partial,
+            Well,
+            Partial,
+            Partial,
+            Well,
+            NotSupported,
+            Well,
+        ],
     };
     [
         ProgrammingModels,
@@ -175,7 +196,10 @@ mod tests {
     #[test]
     fn assessments_match_the_paper_table() {
         // Spot-check the distinctive cells of the §3.3.1 table.
-        let pvm: Vec<Support> = assessment(ToolKind::Pvm).into_iter().map(|(_, s)| s).collect();
+        let pvm: Vec<Support> = assessment(ToolKind::Pvm)
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect();
         assert_eq!(pvm[2], Support::Well, "PVM ease of programming is WS");
         assert_eq!(pvm[4], Support::NotSupported, "PVM customization is NS");
         let ex: Vec<Support> = assessment(ToolKind::Express)
@@ -184,7 +208,10 @@ mod tests {
             .collect();
         assert_eq!(ex[3], Support::Well, "Express debugging is WS");
         assert_eq!(ex[7], Support::NotSupported, "Express integration is NS");
-        let p4: Vec<Support> = assessment(ToolKind::P4).into_iter().map(|(_, s)| s).collect();
+        let p4: Vec<Support> = assessment(ToolKind::P4)
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect();
         assert!(
             p4[2..8].iter().all(|s| *s == Support::Partial),
             "p4 development-interface rows are PS"

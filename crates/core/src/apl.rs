@@ -33,7 +33,12 @@ pub enum AplApp {
 impl AplApp {
     /// All four, in the order the paper's figure panes appear.
     pub fn all() -> [AplApp; 4] {
-        [AplApp::Fft, AplApp::Jpeg, AplApp::MonteCarlo, AplApp::Sorting]
+        [
+            AplApp::Fft,
+            AplApp::Jpeg,
+            AplApp::MonteCarlo,
+            AplApp::Sorting,
+        ]
     }
 
     /// Pane title as used in the paper's figures.
@@ -157,7 +162,10 @@ mod tests {
 
     #[test]
     fn figure_procs_respect_platform_limits() {
-        assert_eq!(figure_procs(Platform::AlphaFddi), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(
+            figure_procs(Platform::AlphaFddi),
+            vec![1, 2, 3, 4, 5, 6, 7, 8]
+        );
         assert_eq!(figure_procs(Platform::SunAtmWan), vec![1, 2, 3, 4]);
     }
 

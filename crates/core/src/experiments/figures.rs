@@ -124,15 +124,22 @@ pub fn figure4() -> Result<Artifact, RunError> {
             }
         }
     }
-    let mut body = ascii_plot("Vector Sum Timing 4 SUNs (ms vs #integers)", &series, 64, 16);
+    let mut body = ascii_plot(
+        "Vector Sum Timing 4 SUNs (ms vs #integers)",
+        &series,
+        64,
+        16,
+    );
     let _ = writeln!(
         body,
         "\nPVM: Not Available (no global operation; paper Table 1)."
     );
-    Ok(
-        Artifact::new("fig4", "Figure 4: Global summation on SUN SPARCstations", body)
-            .with_csv(to_csv(&series)),
+    Ok(Artifact::new(
+        "fig4",
+        "Figure 4: Global summation on SUN SPARCstations",
+        body,
     )
+    .with_csv(to_csv(&series)))
 }
 
 fn app_figure(
@@ -161,7 +168,11 @@ fn app_figure(
             ));
         }
         body.push_str(&ascii_plot(
-            &format!("{} on {} (seconds vs processors)", app.title(), platform.name()),
+            &format!(
+                "{} on {} (seconds vs processors)",
+                app.title(),
+                platform.name()
+            ),
             &series,
             56,
             12,
@@ -250,7 +261,10 @@ mod tests {
     #[test]
     fn figure7_runs_quick_without_express() {
         let a = figure7(Scale::Quick).unwrap();
-        assert!(!a.body.contains("Express"), "Express must be absent on NYNET");
+        assert!(
+            !a.body.contains("Express"),
+            "Express must be absent on NYNET"
+        );
         assert!(a.body.contains("p4"));
         assert!(a.csv.is_some());
     }

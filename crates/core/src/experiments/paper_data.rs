@@ -15,7 +15,9 @@ pub fn table3_ethernet() -> Vec<(ToolKind, [f64; 8])> {
     vec![
         (
             ToolKind::Pvm,
-            [9.655, 11.693, 14.306, 25.537, 44.392, 61.096, 109.844, 189.120],
+            [
+                9.655, 11.693, 14.306, 25.537, 44.392, 61.096, 109.844, 189.120,
+            ],
         ),
         (
             ToolKind::P4,
@@ -23,7 +25,9 @@ pub fn table3_ethernet() -> Vec<(ToolKind, [f64; 8])> {
         ),
         (
             ToolKind::Express,
-            [4.807, 10.375, 18.362, 32.669, 59.166, 111.411, 189.760, 311.700],
+            [
+                4.807, 10.375, 18.362, 32.669, 59.166, 111.411, 189.760, 311.700,
+            ],
         ),
     ]
 }
@@ -41,7 +45,9 @@ pub fn table3_atm_lan() -> Vec<(ToolKind, [f64; 8])> {
         ),
         (
             ToolKind::Express,
-            [4.152, 7.240, 11.061, 16.990, 27.047, 46.003, 82.566, 153.970],
+            [
+                4.152, 7.240, 11.061, 16.990, 27.047, 46.003, 82.566, 153.970,
+            ],
         ),
     ]
 }

@@ -65,7 +65,8 @@ pub fn table2() -> Artifact {
 ///
 /// Returns [`RunError`] if any sweep fails.
 pub fn table3() -> Result<Artifact, RunError> {
-    let blocks: [(&str, Platform, Vec<(ToolKind, [f64; 8])>); 3] = [
+    type Block = (&'static str, Platform, Vec<(ToolKind, [f64; 8])>);
+    let blocks: [Block; 3] = [
         (
             "SUN/Ethernet",
             Platform::SunEthernet,
@@ -213,7 +214,12 @@ pub fn table4() -> Result<Artifact, RunError> {
             .join(" > ")
     };
 
-    let mut t = TextTable::new(vec!["Platform", "Primitive", "Simulated (best first)", "Paper"]);
+    let mut t = TextTable::new(vec![
+        "Platform",
+        "Primitive",
+        "Simulated (best first)",
+        "Paper",
+    ]);
     let eth = Platform::SunEthernet;
     let paper_eth = paper_data::table4_ethernet();
     t.row(vec![
@@ -251,7 +257,11 @@ pub fn table4() -> Result<Artifact, RunError> {
     t.row(vec![
         "SUN/ATM".to_string(),
         "broadcast".to_string(),
-        fmt_order(&ordering(Platform::SunAtmWan, Primitive::Broadcast, &wan_tools)?),
+        fmt_order(&ordering(
+            Platform::SunAtmWan,
+            Primitive::Broadcast,
+            &wan_tools,
+        )?),
         fmt_paper(&paper_atm[1].order),
     ]);
     t.row(vec![

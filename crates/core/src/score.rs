@@ -12,12 +12,11 @@
 
 use crate::adl::{assessment, Criterion, Support};
 use pdceval_mpt::ToolKind;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Relative weights of the three evaluation levels.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LevelWeights {
     /// Weight of the Tool Performance Level.
     pub tpl: f64,

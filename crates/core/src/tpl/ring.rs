@@ -69,8 +69,7 @@ pub fn ring_sweep(cfg: &RingConfig) -> Result<Vec<TimingPoint>, RunError> {
             // After `shifts` shifts the payload originated `shifts` ranks
             // upstream.
             if bytes > 0 {
-                let origin =
-                    (node.rank() + nprocs - (shifts as usize % nprocs)) % nprocs;
+                let origin = (node.rank() + nprocs - (shifts as usize % nprocs)) % nprocs;
                 assert_eq!(data[0] as usize, origin, "ring payload misrouted");
             }
             node.now().as_millis_f64()
@@ -104,7 +103,10 @@ mod tests {
             let p4 = time_at(ToolKind::P4, platform, 16);
             let pvm = time_at(ToolKind::Pvm, platform, 16);
             let ex = time_at(ToolKind::Express, platform, 16);
-            assert!(p4 < pvm && p4 < ex, "{platform:?}: p4={p4} pvm={pvm} ex={ex}");
+            assert!(
+                p4 < pvm && p4 < ex,
+                "{platform:?}: p4={p4} pvm={pvm} ex={ex}"
+            );
         }
     }
 

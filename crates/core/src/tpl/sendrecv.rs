@@ -85,8 +85,16 @@ mod tests {
         let pts = send_recv_sweep(&cfg).unwrap();
         assert!(super::super::is_monotonic(&pts));
         // Paper Table 3 (p4, Ethernet): 3.2 ms at 0 KB, 173 ms at 64 KB.
-        assert!(pts[0].millis > 1.0 && pts[0].millis < 6.0, "0KB: {}", pts[0].millis);
-        assert!(pts[2].millis > 120.0 && pts[2].millis < 230.0, "64KB: {}", pts[2].millis);
+        assert!(
+            pts[0].millis > 1.0 && pts[0].millis < 6.0,
+            "0KB: {}",
+            pts[0].millis
+        );
+        assert!(
+            pts[2].millis > 120.0 && pts[2].millis < 230.0,
+            "64KB: {}",
+            pts[2].millis
+        );
     }
 
     #[test]

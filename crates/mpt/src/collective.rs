@@ -70,7 +70,12 @@ fn bcast_binomial_with(
     Ok(payload)
 }
 
-fn bcast_binomial(node: &mut Node<'_>, root: usize, data: Bytes, tag: Tag) -> Result<Bytes, ToolError> {
+fn bcast_binomial(
+    node: &mut Node<'_>,
+    root: usize,
+    data: Bytes,
+    tag: Tag,
+) -> Result<Bytes, ToolError> {
     bcast_binomial_with(node, root, data, tag, None)
 }
 
@@ -270,7 +275,11 @@ fn global_sum_impl<T: SumElem>(node: &mut Node<'_>, xs: &[T]) -> Result<Vec<T>, 
             let result = bcast_binomial_with(
                 node,
                 0,
-                if me == 0 { T::encode(&acc) } else { Bytes::new() },
+                if me == 0 {
+                    T::encode(&acc)
+                } else {
+                    Bytes::new()
+                },
                 down,
                 light,
             )?;

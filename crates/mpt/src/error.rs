@@ -90,7 +90,10 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::UnexpectedEnd { wanted, available } => {
-                write!(f, "unexpected end of payload: wanted {wanted} bytes, {available} available")
+                write!(
+                    f,
+                    "unexpected end of payload: wanted {wanted} bytes, {available} available"
+                )
             }
             CodecError::BadLength { len } => write!(f, "implausible length prefix {len}"),
         }

@@ -292,7 +292,10 @@ mod tests {
         let _ = r.get_u32().unwrap();
         assert!(matches!(
             r.get_f64(),
-            Err(CodecError::UnexpectedEnd { wanted: 8, available: 0 })
+            Err(CodecError::UnexpectedEnd {
+                wanted: 8,
+                available: 0
+            })
         ));
     }
 
@@ -301,7 +304,10 @@ mod tests {
         let mut w = MsgWriter::new();
         w.put_u32(u32::MAX);
         let mut r = MsgReader::new(w.freeze());
-        assert!(matches!(r.get_i32_slice(), Err(CodecError::BadLength { .. })));
+        assert!(matches!(
+            r.get_i32_slice(),
+            Err(CodecError::BadLength { .. })
+        ));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::profile::ToolProfile;
 use crate::tool::ToolKind;
 use bytes::Bytes;
 use pdceval_simnet::engine::Ctx;
+use pdceval_simnet::envelope::{Envelope, Matcher};
 use pdceval_simnet::fabric::Fabric;
 use pdceval_simnet::flight::{Stage, TransmitPlan};
 use pdceval_simnet::host::HostSpec;
@@ -18,7 +19,6 @@ use pdceval_simnet::ids::{ProcId, ResourceId, Tag};
 use pdceval_simnet::platform::Platform;
 use pdceval_simnet::time::{SimDuration, SimTime};
 use pdceval_simnet::work::Work;
-use pdceval_simnet::envelope::{Envelope, Matcher};
 use std::sync::Arc;
 
 /// User message tags must be below this value; the range above is
@@ -264,13 +264,8 @@ impl<'a> Node<'a> {
             + self.profile.seg_us_per_extra_fragment * (frags.len().saturating_sub(1)) as f64;
         self.ctx
             .serve(self.send_resource(src_host), self.sw(pre_us, src_host));
-        let env = Envelope::new(
-            ProcId(self.rank as u32),
-            ProcId(dst as u32),
-            tag,
-            data,
-        )
-        .with_wire_bytes(wire_bytes);
+        let env = Envelope::new(ProcId(self.rank as u32), ProcId(dst as u32), tag, data)
+            .with_wire_bytes(wire_bytes);
 
         let plan = if dst == self.rank {
             // Self-send: local memory move, no fabric involvement.
@@ -284,16 +279,14 @@ impl<'a> Node<'a> {
                 if costs.beta_send_us_per_byte > 0.0 {
                     stages.push(Stage::Serve {
                         resource: send_res,
-                        service: self
-                            .sw(costs.beta_send_us_per_byte * frag as f64, src_host),
+                        service: self.sw(costs.beta_send_us_per_byte * frag as f64, src_host),
                     });
                 }
                 stages.extend(self.shared.fabric.fragment_stages(src_host, dst_host, frag));
                 if costs.beta_recv_us_per_byte > 0.0 {
                     stages.push(Stage::Serve {
                         resource: recv_res,
-                        service: self
-                            .sw(costs.beta_recv_us_per_byte * frag as f64, dst_host),
+                        service: self.sw(costs.beta_recv_us_per_byte * frag as f64, dst_host),
                     });
                 }
                 plan_frags.push(stages);
@@ -327,8 +320,10 @@ impl<'a> Node<'a> {
         } else {
             0.0
         };
-        self.ctx
-            .serve(self.recv_resource(me), self.sw(alpha_recv_us + wildcard, me));
+        self.ctx.serve(
+            self.recv_resource(me),
+            self.sw(alpha_recv_us + wildcard, me),
+        );
         Ok(RecvMsg {
             src: env.src.index(),
             tag: env.tag,
@@ -425,8 +420,10 @@ impl<'a> Node<'a> {
             let pack = self.profile.strided_pack_us_per_byte;
             if pack > 0.0 {
                 let host = self.rank;
-                self.ctx
-                    .serve(self.send_resource(host), self.sw(pack * data.len() as f64, host));
+                self.ctx.serve(
+                    self.send_resource(host),
+                    self.sw(pack * data.len() as f64, host),
+                );
             }
         } else {
             // Gather into a contiguous staging buffer: a strided read pass

@@ -109,13 +109,13 @@ where
 
     let hosts: Vec<_> = (0..nprocs).map(|_| cfg.platform.host()).collect();
     let stack_tx = (0..nprocs)
-        .map(|i| sim.add_resource(&format!("stack-tx{i}")))
+        .map(|i| sim.add_resource_indexed("stack-tx", i))
         .collect();
     let stack_rx = (0..nprocs)
-        .map(|i| sim.add_resource(&format!("stack-rx{i}")))
+        .map(|i| sim.add_resource_indexed("stack-rx", i))
         .collect();
     let daemon = (0..nprocs)
-        .map(|i| sim.add_resource(&format!("daemon{i}")))
+        .map(|i| sim.add_resource_indexed("daemon", i))
         .collect();
 
     let shared = Arc::new(Shared {
@@ -133,18 +133,16 @@ where
         Arc::new(Mutex::new((0..nprocs).map(|_| None).collect()));
     let f = Arc::new(f);
 
-    for rank in 0..nprocs {
+    for (rank, host) in hosts.iter().enumerate() {
         let shared = Arc::clone(&shared);
         let results = Arc::clone(&results);
         let f = Arc::clone(&f);
-        sim.spawn(&format!("rank{rank}"), hosts[rank].clone(), move |ctx| {
+        sim.spawn_indexed("rank", rank, host.clone(), move |ctx| {
             let mut node = Node::new(ctx, rank, shared);
             let r = f(&mut node);
-            results
-                .lock()
-                .expect("results mutex poisoned")
-                .get_mut(rank)
-                .map(|slot| *slot = Some(r));
+            // Indexed write: an out-of-bounds rank is an engine bug and
+            // must panic loudly, not silently drop the result.
+            results.lock().expect("results mutex poisoned")[rank] = Some(r);
         });
     }
 
@@ -237,7 +235,11 @@ mod tests {
         .unwrap();
         // A 5-byte round trip on SUN/Ethernet should take single-digit
         // milliseconds (paper Table 3: ~3.2 ms each way for p4).
-        assert!(out.results[0] > 2.0 && out.results[0] < 20.0, "rtt = {}", out.results[0]);
+        assert!(
+            out.results[0] > 2.0 && out.results[0] < 20.0,
+            "rtt = {}",
+            out.results[0]
+        );
     }
 
     #[test]
@@ -252,7 +254,10 @@ mod tests {
         })
         .unwrap();
         for t in &out.results {
-            assert!(*t >= 1.0, "a rank left the barrier before the slowest entered: {t}");
+            assert!(
+                *t >= 1.0,
+                "a rank left the barrier before the slowest entered: {t}"
+            );
         }
     }
 
@@ -295,7 +300,10 @@ mod tests {
         .unwrap();
         assert!(matches!(
             out.results[0],
-            ToolError::Unsupported { tool: ToolKind::Pvm, .. }
+            ToolError::Unsupported {
+                tool: ToolKind::Pvm,
+                ..
+            }
         ));
     }
 
@@ -330,7 +338,10 @@ mod tests {
             node.send(5, 0, Bytes::new()).unwrap_err()
         })
         .unwrap();
-        assert!(matches!(out.results[0], ToolError::InvalidRank { rank: 5, nprocs: 2 }));
+        assert!(matches!(
+            out.results[0],
+            ToolError::InvalidRank { rank: 5, nprocs: 2 }
+        ));
     }
 
     #[test]

@@ -2,13 +2,34 @@
 //!
 //! # Execution model
 //!
-//! Each simulated process is a closure running on its own OS thread, written
-//! in natural blocking style (`ctx.recv(..)`, `ctx.hold(..)`). The engine
-//! runs **exactly one process at a time**: a process executes until it
-//! issues a simulator call, at which point control returns to the engine,
-//! which advances virtual time by processing events in `(time, sequence)`
-//! order. Ties are broken by insertion sequence, so runs are fully
-//! deterministic regardless of OS scheduling.
+//! Each simulated process is a closure written in natural blocking style
+//! (`ctx.recv(..)`, `ctx.hold(..)`), hosted on a worker thread leased from
+//! a global pool (threads are reused across processes and across
+//! [`Simulation::run`] calls, so sweeps stop paying thread-creation cost
+//! after warm-up). The engine runs **exactly one process at a time** and
+//! schedules by *direct handoff*: exclusive ownership of the whole engine
+//! state (the "baton") travels together with control.
+//!
+//! * Non-blocking simulator calls (`transmit`, `try_recv`, a `recv` whose
+//!   message has already arrived) are serviced **inline** on the calling
+//!   process's thread — no hop to an engine thread, no context switch.
+//! * A blocking call (`hold`, `serve`, a `recv` that must wait) runs the
+//!   event loop inline until the caller becomes runnable again (zero
+//!   switches) or another process must run first, in which case the
+//!   resume is written into that process's per-process resume slot and
+//!   its thread is unparked directly — a single park/unpark handoff,
+//!   with no channels and no allocation.
+//!
+//! Virtual time advances by processing events in `(time, sequence)`
+//! order; ties are broken by insertion sequence. Because only the baton
+//! holder ever touches engine state, runs are fully deterministic
+//! regardless of OS scheduling, and scheduling decisions are identical to
+//! a single-threaded event loop's.
+//!
+//! Receive matching uses tag-indexed mailboxes
+//! ([`crate::mailbox`]): wildcard, tag-only and src-only matches are O(1)
+//! amortized, and a message arriving for an already-waiting receiver is
+//! handed over without touching the mailbox indexes at all.
 //!
 //! # Examples
 //!
@@ -40,38 +61,24 @@ use crate::envelope::{Envelope, Matcher};
 use crate::error::SimError;
 use crate::flight::{Flight, Stage, TransmitPlan};
 use crate::host::HostSpec;
-use crate::ids::{ProcId, ResourceId};
+use crate::ids::{LazyName, ProcId, ResourceId};
+use crate::mailbox::Mailbox;
 use crate::resource::{Resource, ResourceStats, Waiter};
+use crate::sched::{spawn_job, HandoffSlot, ParkCell};
 use crate::time::{SimDuration, SimTime};
 use crate::work::Work;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::cell::Cell;
+use std::cell::{Cell, UnsafeCell};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::thread::JoinHandle;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 // ---------------------------------------------------------------------------
-// Engine <-> process protocol
+// Engine <-> process handoff protocol
 // ---------------------------------------------------------------------------
 
-#[derive(Debug)]
-enum Request {
-    Hold(SimDuration),
-    Serve {
-        resource: ResourceId,
-        service: SimDuration,
-    },
-    Transmit {
-        env: Envelope,
-        plan: TransmitPlan,
-    },
-    Recv(Matcher),
-    TryRecv(Matcher),
-    Finish,
-    Panicked(String),
-}
-
+/// Handed to a process through its resume slot together with the baton.
 #[derive(Debug)]
 struct Resume {
     time: SimTime,
@@ -80,9 +87,12 @@ struct Resume {
 
 #[derive(Debug)]
 enum ResumeKind {
+    /// Plain continuation (hold elapsed, service completed, start signal).
     Ok,
+    /// A matched message for a blocked `recv`.
     Msg(Envelope),
-    TryMsg(Option<Envelope>),
+    /// The simulation is being torn down; unwind quietly.
+    Abort,
 }
 
 /// Panic payload used to unwind process threads when the simulation is torn
@@ -125,110 +135,76 @@ enum EventKind {
 }
 
 // ---------------------------------------------------------------------------
-// Process-side context
+// Shared state & the baton discipline
 // ---------------------------------------------------------------------------
 
-/// Handle through which a simulated process interacts with the simulation.
+/// Per-process handoff endpoint: the slot through which the baton holder
+/// hands this process its next resume.
+#[derive(Debug, Default)]
+struct ProcHandoff {
+    resume: HandoffSlot<Resume>,
+}
+
+/// State shared between the `Simulation` handle, its worker jobs and the
+/// thread inside `run()`.
 ///
-/// A `Ctx` is passed to the process closure at spawn time and must not be
-/// sent to other threads (it is intentionally neither `Clone` nor usable
-/// after the closure returns).
-pub struct Ctx {
-    pid: ProcId,
-    host: HostSpec,
-    req_tx: Sender<(ProcId, Request)>,
-    resume_rx: Receiver<Resume>,
-    now: Cell<SimTime>,
+/// `core` is NOT protected by a lock: the scheduling protocol guarantees
+/// exactly one thread (the *baton holder*) accesses it at a time, and
+/// every baton transfer goes through a release/acquire park-unpark pair,
+/// so mutations are visible to the next holder. Before `run()` only the
+/// configuring thread touches it; after `run()` returns, only the caller.
+struct SimShared {
+    core: UnsafeCell<Core>,
+    /// Set once by `run()`; the latch tearing-down workers wake.
+    main_park: OnceLock<Arc<ParkCell>>,
+    /// Set (release) by the thread that ends the run, before waking main.
+    done: AtomicBool,
+    /// Process jobs not yet fully unwound (guards captured-state drops).
+    live: AtomicUsize,
 }
 
-impl Ctx {
-    fn call(&self, req: Request) -> ResumeKind {
-        if self.req_tx.send((self.pid, req)).is_err() {
-            std::panic::panic_any(SimAborted);
+// SAFETY: see the struct docs — `core` access is serialized by the baton
+// protocol, everything else is atomics/once-cells.
+unsafe impl Send for SimShared {}
+unsafe impl Sync for SimShared {}
+
+impl SimShared {
+    /// Grants access to the engine core. Callers must hold the baton (be
+    /// the configuring thread pre-run, the running process, or the main
+    /// thread after the done signal).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn core_mut(&self) -> &mut Core {
+        &mut *self.core.get()
+    }
+
+    /// Ends the run with `result`, waking `run()`. Must hold the baton;
+    /// conceptually passes it to the main thread.
+    fn finish_run(&self, core: &mut Core, result: Result<SimTime, SimError>) {
+        core.end = Some(result);
+        self.done.store(true, Ordering::Release);
+        if let Some(p) = self.main_park.get() {
+            p.unpark();
         }
-        match self.resume_rx.recv() {
-            Ok(resume) => {
-                self.now.set(resume.time);
-                resume.kind
+    }
+
+    /// Marks one process job fully unwound (its captures dropped).
+    fn retire(&self) {
+        if self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if let Some(p) = self.main_park.get() {
+                p.unpark();
             }
-            Err(_) => std::panic::panic_any(SimAborted),
-        }
-    }
-
-    /// This process's id.
-    pub fn pid(&self) -> ProcId {
-        self.pid
-    }
-
-    /// The host this process runs on.
-    pub fn host(&self) -> &HostSpec {
-        &self.host
-    }
-
-    /// Current virtual time.
-    pub fn now(&self) -> SimTime {
-        self.now.get()
-    }
-
-    /// Advances virtual time by `d` (models local activity that does not
-    /// contend with other processes).
-    pub fn hold(&self, d: SimDuration) {
-        match self.call(Request::Hold(d)) {
-            ResumeKind::Ok => {}
-            other => unreachable!("hold resumed with {other:?}"),
-        }
-    }
-
-    /// Performs computational work: advances virtual time by the cost of
-    /// `w` on this process's host.
-    pub fn work(&self, w: Work) {
-        let d = w.cost_on(&self.host);
-        if !d.is_zero() {
-            self.hold(d);
-        }
-    }
-
-    /// Queues at a FIFO resource and holds it for `service` time. Blocks
-    /// (in virtual time) until service completes.
-    pub fn serve(&self, resource: ResourceId, service: SimDuration) {
-        match self.call(Request::Serve { resource, service }) {
-            ResumeKind::Ok => {}
-            other => unreachable!("serve resumed with {other:?}"),
-        }
-    }
-
-    /// Launches a message transmission and returns immediately (virtual
-    /// time does not advance). The envelope is delivered to the destination
-    /// mailbox when the plan's last fragment completes.
-    pub fn transmit(&self, env: Envelope, plan: TransmitPlan) {
-        match self.call(Request::Transmit { env, plan }) {
-            ResumeKind::Ok => {}
-            other => unreachable!("transmit resumed with {other:?}"),
-        }
-    }
-
-    /// Blocks until a message matching `m` is available, then removes and
-    /// returns it. Messages are matched in arrival order.
-    pub fn recv(&self, m: Matcher) -> Envelope {
-        match self.call(Request::Recv(m)) {
-            ResumeKind::Msg(env) => env,
-            other => unreachable!("recv resumed with {other:?}"),
-        }
-    }
-
-    /// Non-blocking probe: removes and returns a matching message if one
-    /// has already arrived.
-    pub fn try_recv(&self, m: Matcher) -> Option<Envelope> {
-        match self.call(Request::TryRecv(m)) {
-            ResumeKind::TryMsg(env) => env,
-            other => unreachable!("try_recv resumed with {other:?}"),
         }
     }
 }
 
-// ---------------------------------------------------------------------------
-// Simulation
-// ---------------------------------------------------------------------------
+struct ProcSlot {
+    name: LazyName,
+    handoff: Arc<ProcHandoff>,
+    /// The worker thread's wake latch.
+    worker: Arc<ParkCell>,
+    state: ProcState,
+    finished_at: SimTime,
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ProcState {
@@ -237,43 +213,11 @@ enum ProcState {
     Finished,
 }
 
-struct ProcSlot {
-    name: String,
-    resume_tx: Sender<Resume>,
-    handle: Option<JoinHandle<()>>,
-    state: ProcState,
-    finished_at: SimTime,
-}
-
-#[derive(Debug, Default)]
-struct Mailbox {
-    queue: VecDeque<Envelope>,
-    waiting: Option<Matcher>,
-}
-
-impl Mailbox {
-    fn take_match(&mut self, m: &Matcher) -> Option<Envelope> {
-        let idx = self.queue.iter().position(|env| m.matches(env))?;
-        self.queue.remove(idx)
-    }
-}
-
-#[derive(Debug)]
-struct Pending {
-    remaining: usize,
-    env: Option<Envelope>,
-}
-
-/// A configured simulation: resources plus spawned processes, ready to run.
-///
-/// See the [module documentation](self) for the execution model and an
-/// example.
-pub struct Simulation {
+/// All mutable engine state; owned by whichever thread holds the baton.
+struct Core {
     resources: Vec<Resource>,
     procs: Vec<ProcSlot>,
     mailboxes: Vec<Mailbox>,
-    req_tx: Sender<(ProcId, Request)>,
-    req_rx: Receiver<(ProcId, Request)>,
     flights: Vec<Option<Flight>>,
     free_flights: Vec<usize>,
     pendings: Vec<Option<Pending>>,
@@ -284,101 +228,17 @@ pub struct Simulation {
     runnable: VecDeque<(ProcId, ResumeKind)>,
     messages_delivered: u64,
     wire_bytes_delivered: u64,
+    /// Result recorded by whichever thread ends the run.
+    end: Option<Result<SimTime, SimError>>,
 }
 
-impl Default for Simulation {
-    fn default() -> Self {
-        Self::new()
-    }
+#[derive(Debug)]
+struct Pending {
+    remaining: usize,
+    env: Option<Envelope>,
 }
 
-impl Simulation {
-    /// Creates an empty simulation.
-    pub fn new() -> Simulation {
-        let (req_tx, req_rx) = unbounded();
-        Simulation {
-            resources: Vec::new(),
-            procs: Vec::new(),
-            mailboxes: Vec::new(),
-            req_tx,
-            req_rx,
-            flights: Vec::new(),
-            free_flights: Vec::new(),
-            pendings: Vec::new(),
-            free_pendings: Vec::new(),
-            heap: BinaryHeap::new(),
-            seq: 0,
-            clock: SimTime::ZERO,
-            runnable: VecDeque::new(),
-            messages_delivered: 0,
-            wire_bytes_delivered: 0,
-        }
-    }
-
-    /// Registers a FIFO resource and returns its id.
-    pub fn add_resource(&mut self, name: &str) -> ResourceId {
-        let id = ResourceId(self.resources.len() as u32);
-        self.resources.push(Resource::new(name.to_string()));
-        id
-    }
-
-    /// Number of processes spawned so far (the next spawn gets this id).
-    pub fn proc_count(&self) -> usize {
-        self.procs.len()
-    }
-
-    /// Spawns a simulated process. Ids are assigned densely in spawn order,
-    /// so the *n*-th spawn receives `ProcId(n)`.
-    pub fn spawn<F>(&mut self, name: &str, host: HostSpec, f: F) -> ProcId
-    where
-        F: FnOnce(&Ctx) + Send + 'static,
-    {
-        let pid = ProcId(self.procs.len() as u32);
-        let (resume_tx, resume_rx) = unbounded();
-        let req_tx = self.req_tx.clone();
-        let ctx = Ctx {
-            pid,
-            host,
-            req_tx: req_tx.clone(),
-            resume_rx,
-            now: Cell::new(SimTime::ZERO),
-        };
-        let thread_name = format!("sim-{name}");
-        let handle = std::thread::Builder::new()
-            .name(thread_name)
-            .spawn(move || {
-                // Wait for the engine's start signal before running user code.
-                match ctx.resume_rx.recv() {
-                    Ok(resume) => ctx.now.set(resume.time),
-                    Err(_) => return,
-                }
-                let result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
-                match result {
-                    Ok(()) => {
-                        let _ = req_tx.send((pid, Request::Finish));
-                    }
-                    Err(payload) => {
-                        if payload.downcast_ref::<SimAborted>().is_some() {
-                            // Quiet teardown: the engine already gave up on us.
-                        } else {
-                            let msg = panic_message(payload.as_ref());
-                            let _ = req_tx.send((pid, Request::Panicked(msg)));
-                        }
-                    }
-                }
-            })
-            .expect("failed to spawn simulation thread");
-        self.procs.push(ProcSlot {
-            name: name.to_string(),
-            resume_tx,
-            handle: Some(handle),
-            state: ProcState::Ready,
-            finished_at: SimTime::ZERO,
-        });
-        self.mailboxes.push(Mailbox::default());
-        pid
-    }
-
+impl Core {
     fn schedule(&mut self, at: SimTime, kind: EventKind) {
         debug_assert!(at >= self.clock, "event scheduled in the past");
         let seq = self.seq;
@@ -410,155 +270,8 @@ impl Simulation {
         }
     }
 
-    /// Runs the simulation to completion.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::Deadlock`] if unfinished processes remain but no
-    /// event can make progress, and [`SimError::ProcPanic`] if a simulated
-    /// process panics.
-    pub fn run(mut self) -> Result<SimOutcome, SimError> {
-        // All processes start ready at t = 0, in spawn order.
-        for i in 0..self.procs.len() {
-            self.runnable.push_back((ProcId(i as u32), ResumeKind::Ok));
-        }
-
-        let result = self.event_loop();
-
-        // Tear down: wake any still-blocked threads so they can exit, then join.
-        for slot in &mut self.procs {
-            // Dropping the sender disconnects blocked receivers.
-            let (dead_tx, _) = unbounded();
-            slot.resume_tx = dead_tx;
-        }
-        for slot in &mut self.procs {
-            if let Some(h) = slot.handle.take() {
-                let _ = h.join();
-            }
-        }
-
-        result.map(|end_time| SimOutcome {
-            end_time,
-            proc_finish: self
-                .procs
-                .iter()
-                .map(|p| (p.name.clone(), p.finished_at))
-                .collect(),
-            resources: self
-                .resources
-                .iter()
-                .enumerate()
-                .map(|(i, r)| r.stats(ResourceId(i as u32), end_time))
-                .collect(),
-            messages_delivered: self.messages_delivered,
-            wire_bytes_delivered: self.wire_bytes_delivered,
-        })
-    }
-
-    fn event_loop(&mut self) -> Result<SimTime, SimError> {
-        loop {
-            while let Some((pid, resume)) = self.runnable.pop_front() {
-                self.run_proc(pid, resume)?;
-            }
-            if self.all_finished() {
-                let end = self
-                    .procs
-                    .iter()
-                    .map(|p| p.finished_at)
-                    .max()
-                    .unwrap_or(self.clock);
-                return Ok(end);
-            }
-            match self.heap.pop() {
-                Some(Reverse(ev)) => {
-                    debug_assert!(ev.time >= self.clock);
-                    self.clock = ev.time;
-                    self.dispatch(ev.kind);
-                }
-                None => {
-                    let blocked = self
-                        .procs
-                        .iter()
-                        .filter(|p| p.state == ProcState::Blocked)
-                        .map(|p| p.name.clone())
-                        .collect();
-                    return Err(SimError::Deadlock {
-                        time: self.clock,
-                        blocked,
-                    });
-                }
-            }
-        }
-    }
-
     fn all_finished(&self) -> bool {
         self.procs.iter().all(|p| p.state == ProcState::Finished)
-    }
-
-    /// Resumes process `pid` and services its requests until it blocks,
-    /// finishes, or panics.
-    fn run_proc(&mut self, pid: ProcId, mut resume: ResumeKind) -> Result<(), SimError> {
-        loop {
-            let slot = &mut self.procs[pid.index()];
-            slot.state = ProcState::Ready;
-            slot.resume_tx
-                .send(Resume {
-                    time: self.clock,
-                    kind: resume,
-                })
-                .expect("process thread hung up unexpectedly");
-            let (rpid, req) = self
-                .req_rx
-                .recv()
-                .expect("all process threads disconnected");
-            debug_assert_eq!(rpid, pid, "request from a process that is not running");
-            match req {
-                Request::Hold(d) => {
-                    self.schedule(self.clock + d, EventKind::Wake(pid));
-                    self.procs[pid.index()].state = ProcState::Blocked;
-                    return Ok(());
-                }
-                Request::Serve { resource, service } => {
-                    let started =
-                        self.resources[resource.index()].enqueue(Waiter::Proc(pid), service);
-                    if let Some(d) = started {
-                        self.schedule(self.clock + d, EventKind::ServiceDone(resource));
-                    }
-                    self.procs[pid.index()].state = ProcState::Blocked;
-                    return Ok(());
-                }
-                Request::Transmit { mut env, plan } => {
-                    env.sent_at = self.clock;
-                    self.start_transmit(env, plan);
-                    resume = ResumeKind::Ok;
-                }
-                Request::Recv(m) => {
-                    if let Some(env) = self.mailboxes[pid.index()].take_match(&m) {
-                        resume = ResumeKind::Msg(env);
-                    } else {
-                        self.mailboxes[pid.index()].waiting = Some(m);
-                        self.procs[pid.index()].state = ProcState::Blocked;
-                        return Ok(());
-                    }
-                }
-                Request::TryRecv(m) => {
-                    let env = self.mailboxes[pid.index()].take_match(&m);
-                    resume = ResumeKind::TryMsg(env);
-                }
-                Request::Finish => {
-                    let slot = &mut self.procs[pid.index()];
-                    slot.state = ProcState::Finished;
-                    slot.finished_at = self.clock;
-                    return Ok(());
-                }
-                Request::Panicked(message) => {
-                    return Err(SimError::ProcPanic {
-                        name: self.procs[pid.index()].name.clone(),
-                        message,
-                    });
-                }
-            }
-        }
     }
 
     fn start_transmit(&mut self, env: Envelope, plan: TransmitPlan) {
@@ -638,13 +351,19 @@ impl Simulation {
         self.wire_bytes_delivered += env.wire_bytes;
         let dst = env.dst;
         let mbox = &mut self.mailboxes[dst.index()];
-        mbox.queue.push_back(env);
         if let Some(m) = mbox.waiting {
-            if let Some(matched) = mbox.take_match(&m) {
+            // Fast path: a receiver is already blocked on this mailbox.
+            // When it blocked, nothing queued matched its matcher (or it
+            // would not have blocked), so if this arrival matches it is
+            // the earliest match — hand it over without touching the
+            // mailbox indexes.
+            if m.matches(&env) {
                 mbox.waiting = None;
-                self.runnable.push_back((dst, ResumeKind::Msg(matched)));
+                self.runnable.push_back((dst, ResumeKind::Msg(env)));
+                return;
             }
         }
+        mbox.push(env);
     }
 
     fn dispatch(&mut self, kind: EventKind) {
@@ -669,6 +388,483 @@ impl Simulation {
             EventKind::FlightStage(idx) => {
                 self.advance_flight(idx);
             }
+        }
+    }
+}
+
+/// Drives the event loop until `me` (if given) is the next runnable
+/// process — returning its resume for inline continuation — or control has
+/// been handed off (to another process, or to `run()` on completion /
+/// deadlock), in which case `None` is returned and the caller must not
+/// touch the core again until re-granted the baton.
+fn advance(shared: &SimShared, core: &mut Core, me: Option<ProcId>) -> Option<Resume> {
+    loop {
+        if let Some((pid, kind)) = core.runnable.pop_front() {
+            core.procs[pid.index()].state = ProcState::Ready;
+            let resume = Resume {
+                time: core.clock,
+                kind,
+            };
+            if Some(pid) == me {
+                // The caller itself is next: continue inline, zero switches.
+                return Some(resume);
+            }
+            // Direct handoff: resume slot + unpark, baton goes with it.
+            let slot = &core.procs[pid.index()];
+            slot.handoff.resume.put(resume);
+            slot.worker.unpark();
+            return None;
+        }
+        if core.all_finished() {
+            let end = core
+                .procs
+                .iter()
+                .map(|p| p.finished_at)
+                .max()
+                .unwrap_or(core.clock);
+            shared.finish_run(core, Ok(end));
+            return None;
+        }
+        match core.heap.pop() {
+            Some(Reverse(ev)) => {
+                debug_assert!(ev.time >= core.clock);
+                core.clock = ev.time;
+                core.dispatch(ev.kind);
+            }
+            None => {
+                let blocked = core
+                    .procs
+                    .iter()
+                    .filter(|p| p.state == ProcState::Blocked)
+                    .map(|p| p.name.render())
+                    .collect();
+                let err = SimError::Deadlock {
+                    time: core.clock,
+                    blocked,
+                };
+                shared.finish_run(core, Err(err));
+                return None;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-side context
+// ---------------------------------------------------------------------------
+
+/// Handle through which a simulated process interacts with the simulation.
+///
+/// A `Ctx` is passed to the process closure at spawn time and must not be
+/// sent to other threads (it is intentionally neither `Clone` nor usable
+/// after the closure returns).
+pub struct Ctx {
+    pid: ProcId,
+    host: HostSpec,
+    shared: Arc<SimShared>,
+    handoff: Arc<ProcHandoff>,
+    park: Arc<ParkCell>,
+    now: Cell<SimTime>,
+}
+
+impl Ctx {
+    /// Parks until the baton holder hands this process a resume.
+    fn wait_resume(&self) -> Resume {
+        loop {
+            if let Some(r) = self.handoff.resume.try_take() {
+                return r;
+            }
+            self.park.park();
+        }
+    }
+
+    /// Blocks this (already `Blocked`-marked) process: drives the event
+    /// loop inline, parking only if another process must run first.
+    fn block(&self) -> Resume {
+        let inline = {
+            // SAFETY: the running process holds the baton.
+            let core = unsafe { self.shared.core_mut() };
+            advance(&self.shared, core, Some(self.pid))
+        };
+        match inline {
+            Some(resume) => resume,
+            None => self.wait_resume(),
+        }
+    }
+
+    fn apply(&self, resume: Resume) -> ResumeKind {
+        if let ResumeKind::Abort = resume.kind {
+            std::panic::panic_any(SimAborted);
+        }
+        self.now.set(resume.time);
+        resume.kind
+    }
+
+    /// This process's id.
+    pub fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    /// The host this process runs on.
+    pub fn host(&self) -> &HostSpec {
+        &self.host
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now.get()
+    }
+
+    /// Advances virtual time by `d` (models local activity that does not
+    /// contend with other processes).
+    pub fn hold(&self, d: SimDuration) {
+        {
+            // SAFETY: the running process holds the baton.
+            let core = unsafe { self.shared.core_mut() };
+            let at = core.clock + d;
+            core.schedule(at, EventKind::Wake(self.pid));
+            core.procs[self.pid.index()].state = ProcState::Blocked;
+        }
+        match self.apply(self.block()) {
+            ResumeKind::Ok => {}
+            other => unreachable!("hold resumed with {other:?}"),
+        }
+    }
+
+    /// Performs computational work: advances virtual time by the cost of
+    /// `w` on this process's host.
+    pub fn work(&self, w: Work) {
+        let d = w.cost_on(&self.host);
+        if !d.is_zero() {
+            self.hold(d);
+        }
+    }
+
+    /// Queues at a FIFO resource and holds it for `service` time. Blocks
+    /// (in virtual time) until service completes.
+    pub fn serve(&self, resource: ResourceId, service: SimDuration) {
+        {
+            // SAFETY: the running process holds the baton.
+            let core = unsafe { self.shared.core_mut() };
+            let started = core.resources[resource.index()].enqueue(Waiter::Proc(self.pid), service);
+            if let Some(d) = started {
+                let at = core.clock + d;
+                core.schedule(at, EventKind::ServiceDone(resource));
+            }
+            core.procs[self.pid.index()].state = ProcState::Blocked;
+        }
+        match self.apply(self.block()) {
+            ResumeKind::Ok => {}
+            other => unreachable!("serve resumed with {other:?}"),
+        }
+    }
+
+    /// Launches a message transmission and returns immediately (virtual
+    /// time does not advance, and control stays with the caller — the
+    /// call is serviced inline with no scheduler hop).
+    pub fn transmit(&self, mut env: Envelope, plan: TransmitPlan) {
+        // SAFETY: the running process holds the baton.
+        let core = unsafe { self.shared.core_mut() };
+        env.sent_at = core.clock;
+        core.start_transmit(env, plan);
+    }
+
+    /// Blocks until a message matching `m` is available, then removes and
+    /// returns it. Messages are matched in arrival order. If a matching
+    /// message has already arrived, it is returned inline without a
+    /// scheduler hop.
+    pub fn recv(&self, m: Matcher) -> Envelope {
+        {
+            // SAFETY: the running process holds the baton.
+            let core = unsafe { self.shared.core_mut() };
+            if let Some(env) = core.mailboxes[self.pid.index()].take_match(&m) {
+                return env;
+            }
+            core.mailboxes[self.pid.index()].waiting = Some(m);
+            core.procs[self.pid.index()].state = ProcState::Blocked;
+        }
+        match self.apply(self.block()) {
+            ResumeKind::Msg(env) => env,
+            other => unreachable!("recv resumed with {other:?}"),
+        }
+    }
+
+    /// Non-blocking probe: removes and returns a matching message if one
+    /// has already arrived. Serviced inline.
+    pub fn try_recv(&self, m: Matcher) -> Option<Envelope> {
+        // SAFETY: the running process holds the baton.
+        let core = unsafe { self.shared.core_mut() };
+        core.mailboxes[self.pid.index()].take_match(&m)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulation
+// ---------------------------------------------------------------------------
+
+/// A configured simulation: resources plus spawned processes, ready to run.
+///
+/// See the [module documentation](self) for the execution model and an
+/// example.
+pub struct Simulation {
+    shared: Arc<SimShared>,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation.
+    pub fn new() -> Simulation {
+        Simulation {
+            shared: Arc::new(SimShared {
+                core: UnsafeCell::new(Core {
+                    resources: Vec::new(),
+                    procs: Vec::new(),
+                    mailboxes: Vec::new(),
+                    flights: Vec::new(),
+                    free_flights: Vec::new(),
+                    pendings: Vec::new(),
+                    free_pendings: Vec::new(),
+                    heap: BinaryHeap::new(),
+                    seq: 0,
+                    clock: SimTime::ZERO,
+                    runnable: VecDeque::new(),
+                    messages_delivered: 0,
+                    wire_bytes_delivered: 0,
+                    end: None,
+                }),
+                main_park: OnceLock::new(),
+                done: AtomicBool::new(false),
+                live: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Pre-run access to the core (the configuring thread trivially holds
+    /// the baton: no worker touches the core before its first resume).
+    fn core(&mut self) -> &mut Core {
+        // SAFETY: `&mut self` on the configuring thread; workers are
+        // parked awaiting resumes that only `run()` initiates.
+        unsafe { self.shared.core_mut() }
+    }
+
+    /// Registers a FIFO resource and returns its id.
+    pub fn add_resource(&mut self, name: &str) -> ResourceId {
+        let core = self.core();
+        let id = ResourceId(core.resources.len() as u32);
+        core.resources.push(Resource::new(name.to_string()));
+        id
+    }
+
+    /// Registers a FIFO resource named `{prefix}{index}` without
+    /// formatting the name up front (it is rendered only if statistics or
+    /// errors need it).
+    pub fn add_resource_indexed(&mut self, prefix: &'static str, index: usize) -> ResourceId {
+        let core = self.core();
+        let id = ResourceId(core.resources.len() as u32);
+        core.resources
+            .push(Resource::new_indexed(prefix, index as u32));
+        id
+    }
+
+    /// Number of processes spawned so far (the next spawn gets this id).
+    pub fn proc_count(&mut self) -> usize {
+        self.core().procs.len()
+    }
+
+    /// Spawns a simulated process. Ids are assigned densely in spawn order,
+    /// so the *n*-th spawn receives `ProcId(n)`.
+    pub fn spawn<F>(&mut self, name: &str, host: HostSpec, f: F) -> ProcId
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        self.spawn_inner(LazyName::Owned(name.into()), host, f)
+    }
+
+    /// Spawns a simulated process named `{prefix}{index}` without paying
+    /// for name formatting on the spawn path (the name is interned and
+    /// rendered lazily). This is the fast path for SPMD-style spawns of
+    /// many identically-prefixed ranks.
+    pub fn spawn_indexed<F>(
+        &mut self,
+        prefix: &'static str,
+        index: usize,
+        host: HostSpec,
+        f: F,
+    ) -> ProcId
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        self.spawn_inner(LazyName::Indexed(prefix, index as u32), host, f)
+    }
+
+    fn spawn_inner<F>(&mut self, name: LazyName, host: HostSpec, f: F) -> ProcId
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        let pid = ProcId(self.core().procs.len() as u32);
+        let handoff = Arc::new(ProcHandoff::default());
+        let shared = Arc::clone(&self.shared);
+        shared.live.fetch_add(1, Ordering::Relaxed);
+        let job_handoff = Arc::clone(&handoff);
+        let lease = spawn_job(Box::new(move |park| {
+            let ctx = Ctx {
+                pid,
+                host,
+                shared: Arc::clone(&shared),
+                handoff: job_handoff,
+                park: Arc::clone(park),
+                now: Cell::new(SimTime::ZERO),
+            };
+            // Wait for the engine's start signal before running user code.
+            let first = ctx.wait_resume();
+            match first.kind {
+                ResumeKind::Abort => {
+                    shared.retire();
+                    return;
+                }
+                _ => ctx.now.set(first.time),
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+            match result {
+                Ok(()) => {
+                    // SAFETY: the finishing process holds the baton.
+                    let core = unsafe { shared.core_mut() };
+                    let slot = &mut core.procs[pid.index()];
+                    slot.state = ProcState::Finished;
+                    slot.finished_at = core.clock;
+                    advance(&shared, core, None);
+                }
+                Err(payload) => {
+                    if payload.downcast_ref::<SimAborted>().is_some() {
+                        // Quiet teardown: the engine already gave up on us.
+                    } else {
+                        // SAFETY: the panicking process held the baton.
+                        let core = unsafe { shared.core_mut() };
+                        core.procs[pid.index()].state = ProcState::Finished;
+                        let err = SimError::ProcPanic {
+                            name: core.procs[pid.index()].name.render(),
+                            message: panic_message(payload.as_ref()),
+                        };
+                        shared.finish_run(core, Err(err));
+                    }
+                }
+            }
+            drop(ctx); // Captured state is gone before we report retirement.
+            shared.retire();
+        }));
+        let core = self.core();
+        core.procs.push(ProcSlot {
+            name,
+            handoff,
+            worker: lease.unparker(),
+            state: ProcState::Ready,
+            finished_at: SimTime::ZERO,
+        });
+        core.mailboxes.push(Mailbox::default());
+        pid
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if unfinished processes remain but no
+    /// event can make progress, and [`SimError::ProcPanic`] if a simulated
+    /// process panics.
+    pub fn run(mut self) -> Result<SimOutcome, SimError> {
+        let main_park = ParkCell::for_current();
+        self.shared
+            .main_park
+            .set(Arc::clone(&main_park))
+            .expect("Simulation::run entered twice");
+        {
+            let shared = Arc::clone(&self.shared);
+            let core = self.core();
+            // All processes start ready at t = 0, in spawn order.
+            for i in 0..core.procs.len() {
+                core.runnable.push_back((ProcId(i as u32), ResumeKind::Ok));
+            }
+            advance(&shared, core, None);
+        }
+        // Wait for some thread to end the run (the advance above may have
+        // done so synchronously for an empty simulation).
+        while !self.shared.done.load(Ordering::Acquire) {
+            main_park.park();
+        }
+        // We hold the baton again. Tear down: abort still-blocked
+        // processes so their jobs unwind and release captured state.
+        {
+            // SAFETY: the done signal passed the baton back to us.
+            let core = unsafe { self.shared.core_mut() };
+            for slot in &core.procs {
+                if slot.state != ProcState::Finished {
+                    slot.handoff.resume.put(Resume {
+                        time: core.clock,
+                        kind: ResumeKind::Abort,
+                    });
+                    slot.worker.unpark();
+                }
+            }
+        }
+        // Wait until every job has fully unwound (dropped its closure) —
+        // the caller may rely on being the sole owner of captured Arcs.
+        while self.shared.live.load(Ordering::Acquire) != 0 {
+            main_park.park();
+        }
+
+        let core = self.core();
+        let result = core.end.take().expect("run ended without a result");
+        result.map(|end_time| SimOutcome {
+            end_time,
+            proc_finish: core
+                .procs
+                .iter()
+                .map(|p| (p.name.render(), p.finished_at))
+                .collect(),
+            resources: core
+                .resources
+                .iter()
+                .enumerate()
+                .map(|(i, r)| r.stats(ResourceId(i as u32), end_time))
+                .collect(),
+            messages_delivered: core.messages_delivered,
+            wire_bytes_delivered: core.wire_bytes_delivered,
+        })
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        // A simulation dropped without `run()` (a sweep bailing on a config
+        // error, a test tearing down early) still has jobs parked awaiting
+        // their first resume; abort them so the worker threads and the
+        // closures' captured state are released back to the pool. After a
+        // completed `run()` every job has retired and this is a no-op.
+        if self.shared.live.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let park = Arc::clone(self.shared.main_park.get_or_init(ParkCell::for_current));
+        {
+            // SAFETY: `&mut self` with no run in progress (`run()` consumes
+            // the simulation), so this thread holds the baton.
+            let core = unsafe { self.shared.core_mut() };
+            for slot in &core.procs {
+                if slot.state != ProcState::Finished {
+                    slot.handoff.resume.put(Resume {
+                        time: core.clock,
+                        kind: ResumeKind::Abort,
+                    });
+                    slot.worker.unpark();
+                }
+            }
+        }
+        while self.shared.live.load(Ordering::Acquire) != 0 {
+            park.park();
         }
     }
 }
@@ -938,5 +1134,47 @@ mod tests {
             ctx.transmit(env, TransmitPlan::single(vec![Stage::Latency(one_way)]));
         });
         sim.run().unwrap();
+    }
+
+    #[test]
+    fn spawn_indexed_renders_names_lazily() {
+        let mut sim = Simulation::new();
+        for i in 0..3 {
+            sim.spawn_indexed("rank", i, HostSpec::sun_ipx(), |_| {});
+        }
+        let out = sim.run().unwrap();
+        let names: Vec<&str> = out.proc_finish.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["rank0", "rank1", "rank2"]);
+    }
+
+    #[test]
+    fn drop_without_run_releases_workers_and_captures() {
+        let marker = Arc::new(());
+        {
+            let mut sim = Simulation::new();
+            for i in 0..4 {
+                let m = Arc::clone(&marker);
+                sim.spawn_indexed("d", i, HostSpec::sun_ipx(), move |ctx| {
+                    let _keep = m;
+                    ctx.hold(us(1));
+                });
+            }
+            // Dropped without run(): Drop must unwind the parked jobs.
+        }
+        assert_eq!(Arc::strong_count(&marker), 1);
+    }
+
+    #[test]
+    fn workers_are_reused_across_runs() {
+        // Two back-to-back runs; the second should find pooled workers
+        // (this also exercises teardown returning workers cleanly).
+        for _ in 0..2 {
+            let mut sim = Simulation::new();
+            for i in 0..4 {
+                sim.spawn_indexed("p", i, HostSpec::sun_ipx(), |ctx| ctx.hold(us(1)));
+            }
+            sim.run().unwrap();
+        }
+        assert!(crate::sched::pooled_workers() >= 1);
     }
 }

@@ -103,7 +103,7 @@ impl Matcher {
 
     /// Tests whether an envelope satisfies this matcher.
     pub fn matches(&self, env: &Envelope) -> bool {
-        self.src.map_or(true, |s| s == env.src) && self.tag.map_or(true, |t| t == env.tag)
+        self.src.is_none_or(|s| s == env.src) && self.tag.is_none_or(|t| t == env.tag)
     }
 }
 

@@ -35,7 +35,11 @@ impl Fabric {
         assert!(n_hosts > 0, "a fabric needs at least one host");
         let params = kind.params();
         let (wire, tx, rx) = if params.shared_medium {
-            (Some(sim.add_resource(&format!("{}-wire", params.name))), Vec::new(), Vec::new())
+            (
+                Some(sim.add_resource(&format!("{}-wire", params.name))),
+                Vec::new(),
+                Vec::new(),
+            )
         } else {
             let tx = (0..n_hosts)
                 .map(|i| sim.add_resource(&format!("{}-tx{i}", params.name)))

@@ -43,6 +43,27 @@ impl fmt::Display for ResourceId {
 /// only uses tags for receive matching.
 pub type Tag = u32;
 
+/// A lazily rendered entity name: either owned up front, or a
+/// `(prefix, index)` pair formatted only when the name is actually needed
+/// (outcomes, errors, statistics). Keeps `format!` off the per-spawn and
+/// per-resource registration paths.
+#[derive(Debug, Clone)]
+pub(crate) enum LazyName {
+    /// A caller-provided name, stored as given.
+    Owned(Box<str>),
+    /// `{prefix}{index}`, rendered on demand.
+    Indexed(&'static str, u32),
+}
+
+impl LazyName {
+    pub(crate) fn render(&self) -> String {
+        match self {
+            LazyName::Owned(s) => s.to_string(),
+            LazyName::Indexed(prefix, i) => format!("{prefix}{i}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

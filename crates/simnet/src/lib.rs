@@ -62,9 +62,11 @@ pub mod fabric;
 pub mod flight;
 pub mod host;
 pub mod ids;
+mod mailbox;
 pub mod net;
 pub mod platform;
 pub mod resource;
+mod sched;
 pub mod time;
 pub mod work;
 

@@ -1,0 +1,307 @@
+//! Tag-indexed process mailboxes with O(1) amortized matching.
+//!
+//! The seed engine kept one `VecDeque<Envelope>` per mailbox and matched
+//! receives with a linear scan plus an O(n) `VecDeque::remove` — the hot
+//! path of every collective. This mailbox instead assigns each arriving
+//! envelope a per-mailbox *arrival sequence number* and indexes it three
+//! ways:
+//!
+//! * `all` — global arrival-order FIFO of sequence numbers;
+//! * `by_tag` — per-tag FIFO of sequence numbers (hash map, FX-style
+//!   integer hashing);
+//! * `by_src` — per-source FIFO of sequence numbers (dense vector).
+//!
+//! Removal is *lazy*: taking an envelope removes it from the id→envelope
+//! store only, and stale sequence numbers left in the other indexes are
+//! skipped (and popped) when they surface at a queue front. Each sequence
+//! number is pushed to each index once and popped at most once, so
+//! wildcard, tag-only and src-only receives are O(1) amortized. A
+//! src+tag receive walks the per-tag FIFO checking sources — O(k) in the
+//! messages queued under that tag, which the tool layer keeps at ~1 by
+//! using unique tags per collective operation.
+
+use crate::envelope::{Envelope, Matcher};
+use crate::ids::Tag;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FX-style multiplicative hasher for small integer keys (tags). The
+/// standard SipHash is measurably slower on the per-message path and its
+/// DoS resistance buys nothing inside a simulator.
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash = (self.hash.rotate_left(5) ^ u64::from(b)).wrapping_mul(FX_SEED);
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.hash = (self.hash.rotate_left(5) ^ u64::from(n)).wrapping_mul(FX_SEED);
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ n).wrapping_mul(FX_SEED);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// One process's incoming-message buffer. See the module docs for the
+/// indexing scheme.
+#[derive(Debug, Default)]
+pub(crate) struct Mailbox {
+    /// Next arrival sequence number.
+    seq: u64,
+    /// Live envelopes by arrival sequence number.
+    store: HashMap<u64, Envelope, FxBuild>,
+    /// Arrival-order FIFO over all live (and lazily, some dead) ids.
+    all: VecDeque<u64>,
+    /// Per-tag arrival-order FIFOs.
+    by_tag: HashMap<Tag, VecDeque<u64>, FxBuild>,
+    /// Per-source arrival-order FIFOs, indexed densely by `ProcId`.
+    by_src: Vec<VecDeque<u64>>,
+    /// Upper bound on dead ids still referenced by the indexes; drives
+    /// amortized compaction so index memory tracks *queued* messages, not
+    /// total messages ever buffered.
+    stale: usize,
+    /// The matcher of a process blocked in `recv` on this mailbox, if any.
+    pub(crate) waiting: Option<Matcher>,
+}
+
+impl Mailbox {
+    /// Inserts an arrived envelope into all indexes.
+    pub(crate) fn push(&mut self, env: Envelope) {
+        let id = self.seq;
+        self.seq += 1;
+        let src = env.src.index();
+        if src >= self.by_src.len() {
+            self.by_src.resize_with(src + 1, VecDeque::new);
+        }
+        self.by_src[src].push_back(id);
+        self.by_tag.entry(env.tag).or_default().push_back(id);
+        self.all.push_back(id);
+        self.store.insert(id, env);
+    }
+
+    /// True if no live messages are queued (test aid).
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Removes and returns the earliest-arrived envelope matching `m`.
+    pub(crate) fn take_match(&mut self, m: &Matcher) -> Option<Envelope> {
+        let taken = match (m.src, m.tag) {
+            (None, None) => {
+                let id = Self::pop_live(&mut self.all, &self.store, &mut self.stale)?;
+                self.store.remove(&id)
+            }
+            (None, Some(tag)) => {
+                let q = self.by_tag.get_mut(&tag)?;
+                let id = Self::pop_live(q, &self.store, &mut self.stale)?;
+                self.store.remove(&id)
+            }
+            (Some(src), None) => {
+                let q = self.by_src.get_mut(src.index())?;
+                let id = Self::pop_live(q, &self.store, &mut self.stale)?;
+                self.store.remove(&id)
+            }
+            (Some(src), Some(tag)) => {
+                let q = self.by_tag.get_mut(&tag)?;
+                // Drop dead ids surfacing at the front, then walk the
+                // (typically length-1) live remainder for the source.
+                while q.front().is_some_and(|id| !self.store.contains_key(id)) {
+                    q.pop_front();
+                    self.stale = self.stale.saturating_sub(1);
+                }
+                let pos = q
+                    .iter()
+                    .position(|id| self.store.get(id).is_some_and(|e| e.src == src))?;
+                let id = q.remove(pos).expect("indexed position vanished");
+                self.store.remove(&id)
+            }
+        };
+        // Removing a live id orphans its entries in the two indexes the
+        // take did not go through.
+        self.stale += 2;
+        if self.stale > 2 * self.store.len() + 64 {
+            self.compact();
+        }
+        taken
+    }
+
+    /// Pops the first id in `q` that is still live, discarding dead ones.
+    fn pop_live(
+        q: &mut VecDeque<u64>,
+        store: &HashMap<u64, Envelope, FxBuild>,
+        stale: &mut usize,
+    ) -> Option<u64> {
+        while let Some(id) = q.pop_front() {
+            if store.contains_key(&id) {
+                return Some(id);
+            }
+            *stale = stale.saturating_sub(1);
+        }
+        None
+    }
+
+    /// Rebuilds every index from the live store in arrival order, dropping
+    /// all dead ids. Amortized O(1) per take via the `stale` trigger.
+    fn compact(&mut self) {
+        let mut ids: Vec<u64> = self.store.keys().copied().collect();
+        ids.sort_unstable();
+        self.all.clear();
+        self.by_tag.clear();
+        for q in &mut self.by_src {
+            q.clear();
+        }
+        for &id in &ids {
+            let env = &self.store[&id];
+            self.all.push_back(id);
+            self.by_tag.entry(env.tag).or_default().push_back(id);
+            self.by_src[env.src.index()].push_back(id);
+        }
+        self.stale = 0;
+    }
+
+    /// Total index entries currently held (test aid for compaction bounds).
+    #[cfg(test)]
+    pub(crate) fn index_entries(&self) -> usize {
+        self.all.len()
+            + self.by_tag.values().map(VecDeque::len).sum::<usize>()
+            + self.by_src.iter().map(VecDeque::len).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ProcId;
+    use bytes::Bytes;
+
+    fn env(src: u32, tag: Tag) -> Envelope {
+        Envelope::new(ProcId(src), ProcId(9), tag, Bytes::new())
+    }
+
+    #[test]
+    fn wildcard_takes_in_arrival_order() {
+        let mut mb = Mailbox::default();
+        mb.push(env(0, 5));
+        mb.push(env(1, 3));
+        mb.push(env(0, 5));
+        assert_eq!(mb.take_match(&Matcher::any()).unwrap().tag, 5);
+        assert_eq!(mb.take_match(&Matcher::any()).unwrap().tag, 3);
+        assert_eq!(mb.take_match(&Matcher::any()).unwrap().tag, 5);
+        assert!(mb.take_match(&Matcher::any()).is_none());
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn tagged_take_skips_other_tags_preserving_order() {
+        let mut mb = Mailbox::default();
+        mb.push(env(0, 1));
+        mb.push(env(0, 2));
+        mb.push(env(0, 1));
+        assert_eq!(mb.take_match(&Matcher::tagged(2)).unwrap().tag, 2);
+        // Earlier tag-1 message still arrives first on a wildcard.
+        let got = mb.take_match(&Matcher::any()).unwrap();
+        assert_eq!(got.tag, 1);
+        assert_eq!(mb.take_match(&Matcher::tagged(1)).unwrap().tag, 1);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn src_take_respects_order_across_tags() {
+        let mut mb = Mailbox::default();
+        mb.push(env(2, 10));
+        mb.push(env(1, 11));
+        mb.push(env(2, 12));
+        let a = mb.take_match(&Matcher::from(ProcId(2))).unwrap();
+        assert_eq!(a.tag, 10);
+        let b = mb.take_match(&Matcher::from(ProcId(2))).unwrap();
+        assert_eq!(b.tag, 12);
+        assert!(mb.take_match(&Matcher::from(ProcId(2))).is_none());
+        assert_eq!(mb.take_match(&Matcher::from(ProcId(1))).unwrap().tag, 11);
+    }
+
+    #[test]
+    fn src_and_tag_take_is_exact() {
+        let mut mb = Mailbox::default();
+        mb.push(env(1, 7));
+        mb.push(env(2, 7));
+        mb.push(env(1, 8));
+        let got = mb.take_match(&Matcher::from_tagged(ProcId(2), 7)).unwrap();
+        assert_eq!((got.src, got.tag), (ProcId(2), 7));
+        assert!(mb.take_match(&Matcher::from_tagged(ProcId(2), 8)).is_none());
+        assert_eq!(
+            mb.take_match(&Matcher::from_tagged(ProcId(1), 7))
+                .unwrap()
+                .tag,
+            7
+        );
+        assert_eq!(
+            mb.take_match(&Matcher::from_tagged(ProcId(1), 8))
+                .unwrap()
+                .tag,
+            8
+        );
+    }
+
+    #[test]
+    fn directed_takes_do_not_leak_index_entries() {
+        // The jpeg-style pattern: every receive is (src, tag)-directed, so
+        // removals never naturally drain `all`/`by_src`. Compaction must
+        // keep index memory proportional to queued messages.
+        let mut mb = Mailbox::default();
+        for round in 0..10_000u32 {
+            mb.push(env(1, round));
+            let got = mb
+                .take_match(&Matcher::from_tagged(ProcId(1), round))
+                .unwrap();
+            assert_eq!(got.tag, round);
+        }
+        assert!(mb.is_empty());
+        assert!(
+            mb.index_entries() <= 128,
+            "index entries leaked: {}",
+            mb.index_entries()
+        );
+    }
+
+    #[test]
+    fn stale_index_entries_are_skipped() {
+        let mut mb = Mailbox::default();
+        // Interleave takes through different indexes so each leaves stale
+        // ids in the others.
+        for i in 0..100u32 {
+            mb.push(env(i % 3, i % 5));
+        }
+        let mut taken = 0;
+        while mb.take_match(&Matcher::tagged(2)).is_some() {
+            taken += 1;
+        }
+        while mb.take_match(&Matcher::from(ProcId(1))).is_some() {
+            taken += 1;
+        }
+        while mb.take_match(&Matcher::any()).is_some() {
+            taken += 1;
+        }
+        assert_eq!(taken, 100);
+        assert!(mb.is_empty());
+    }
+}

@@ -201,10 +201,7 @@ mod tests {
         let t2 = p.wire_time(2000);
         // Slope: doubling the bytes adds exactly one more 1000-byte worth.
         let slope = t2 - t1;
-        assert_eq!(
-            slope,
-            p.wire_time(1000) - p.wire_time(0),
-        );
+        assert_eq!(slope, p.wire_time(1000) - p.wire_time(0),);
     }
 
     #[test]

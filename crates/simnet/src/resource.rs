@@ -7,7 +7,7 @@
 //! of the paper's shared-medium Ethernet and of PVM's single-threaded
 //! daemon — emerges from queueing at these resources.
 
-use crate::ids::{ProcId, ResourceId};
+use crate::ids::{LazyName, ProcId, ResourceId};
 use crate::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
@@ -21,10 +21,12 @@ pub(crate) enum Waiter {
     Flight(usize),
 }
 
-/// Internal state of one FIFO resource.
+/// Internal state of one FIFO resource. The name is a [`LazyName`]:
+/// indexed names (`stack-tx{i}` and friends from the SPMD harness) are
+/// rendered only when statistics are produced.
 #[derive(Debug)]
 pub(crate) struct Resource {
-    pub(crate) name: String,
+    name: LazyName,
     queue: VecDeque<(Waiter, SimDuration)>,
     in_service: Option<Waiter>,
     busy_time: SimDuration,
@@ -34,6 +36,14 @@ pub(crate) struct Resource {
 
 impl Resource {
     pub(crate) fn new(name: String) -> Resource {
+        Resource::with_name(LazyName::Owned(name.into_boxed_str()))
+    }
+
+    pub(crate) fn new_indexed(prefix: &'static str, index: u32) -> Resource {
+        Resource::with_name(LazyName::Indexed(prefix, index))
+    }
+
+    fn with_name(name: LazyName) -> Resource {
         Resource {
             name,
             queue: VecDeque::new(),
@@ -87,7 +97,7 @@ impl Resource {
     pub(crate) fn stats(&self, id: ResourceId, end: SimTime) -> ResourceStats {
         ResourceStats {
             id,
-            name: self.name.clone(),
+            name: self.name.render(),
             busy_time: self.busy_time,
             served: self.served,
             max_queue: self.max_queue,

@@ -1,0 +1,300 @@
+//! The pooled direct-handoff scheduler substrate.
+//!
+//! The engine runs each simulated process on a dedicated OS thread so that
+//! process code can block in natural style, but *exactly one* of those
+//! threads runs at any instant: control ping-pongs between the engine
+//! thread and the current process thread on every simulator call. This
+//! module provides the two primitives that make that ping-pong cheap:
+//!
+//! * [`ParkCell`] — a one-token park/unpark latch (crossbeam-`Parker`
+//!   style) built on [`std::thread::park`]. Waking the exact next thread
+//!   costs one atomic store + one `unpark`, with no queue or allocation.
+//! * [`HandoffSlot`] — a single-value SPSC slot whose release/acquire flag
+//!   transfers a request or resume between the two sides without a
+//!   channel. Together with `ParkCell` this forms a *direct handoff*: the
+//!   engine writes the resume into the process's slot and unparks it; the
+//!   process writes its next request into the engine's inbox slot and
+//!   unparks the engine.
+//!
+//! Worker threads are *pooled globally*: when a process finishes (or the
+//! simulation is torn down), its thread parks itself on the pool's free
+//! list instead of exiting, and the next [`spawn`](crate::engine::Simulation::spawn)
+//! — in the same simulation or any later one — reuses it. Repeated
+//! `Simulation::run` calls (parameter sweeps, the paper's node sweeps)
+//! therefore stop paying thread-creation cost after warm-up.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::{self, Thread};
+
+/// Idle workers kept parked in the global pool; threads beyond this exit
+/// instead of returning (bounds idle-thread memory under bursty use).
+const MAX_POOLED_WORKERS: usize = 256;
+
+// ---------------------------------------------------------------------------
+// Park/unpark latch
+// ---------------------------------------------------------------------------
+
+/// A one-token park/unpark latch bound to its owner thread.
+///
+/// Exactly one thread (the owner, captured at construction) may call
+/// [`ParkCell::park`]; any thread may call [`ParkCell::unpark`]. A token
+/// stored by `unpark` makes the next `park` return immediately, so the
+/// wake is never lost even if the owner had not parked yet.
+#[derive(Debug)]
+pub(crate) struct ParkCell {
+    token: AtomicBool,
+    owner: Thread,
+}
+
+impl ParkCell {
+    /// Creates a latch owned by the calling thread.
+    pub(crate) fn for_current() -> Arc<ParkCell> {
+        Arc::new(ParkCell {
+            token: AtomicBool::new(false),
+            owner: thread::current(),
+        })
+    }
+
+    /// Blocks the owner thread until a token is available, consuming it.
+    /// Tolerates spurious wakeups from [`std::thread::park`].
+    pub(crate) fn park(&self) {
+        debug_assert_eq!(
+            thread::current().id(),
+            self.owner.id(),
+            "ParkCell parked from a non-owner thread"
+        );
+        while !self.token.swap(false, Ordering::Acquire) {
+            thread::park();
+        }
+    }
+
+    /// Deposits a token and wakes the owner. The release store pairs with
+    /// the acquire swap in [`ParkCell::park`], so writes made before
+    /// `unpark` are visible to the owner when it resumes.
+    pub(crate) fn unpark(&self) {
+        self.token.store(true, Ordering::Release);
+        self.owner.unpark();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-value handoff slot
+// ---------------------------------------------------------------------------
+
+/// A single-producer/single-consumer, single-value transfer slot.
+///
+/// The scheduling protocol guarantees strict alternation (a side never
+/// writes until the other side has taken the previous value), so one slot
+/// per direction suffices and no queue or allocation is involved.
+#[derive(Debug)]
+pub(crate) struct HandoffSlot<T> {
+    full: AtomicBool,
+    value: std::cell::UnsafeCell<Option<T>>,
+}
+
+// SAFETY: access to `value` is serialized by the `full` flag's
+// release/acquire pair — the producer writes `value` before the release
+// store of `full = true`, and the consumer reads it only after the acquire
+// load observes `true` (and vice versa for emptying).
+unsafe impl<T: Send> Sync for HandoffSlot<T> {}
+
+impl<T> Default for HandoffSlot<T> {
+    fn default() -> Self {
+        HandoffSlot {
+            full: AtomicBool::new(false),
+            value: std::cell::UnsafeCell::new(None),
+        }
+    }
+}
+
+impl<T> HandoffSlot<T> {
+    /// Deposits a value. The slot must be empty (protocol invariant).
+    pub(crate) fn put(&self, v: T) {
+        debug_assert!(!self.full.load(Ordering::Relaxed), "handoff slot clobbered");
+        // SAFETY: the slot is empty, so the consumer is not reading it.
+        unsafe {
+            *self.value.get() = Some(v);
+        }
+        self.full.store(true, Ordering::Release);
+    }
+
+    /// Removes the value if one is present.
+    pub(crate) fn try_take(&self) -> Option<T> {
+        if self.full.load(Ordering::Acquire) {
+            // SAFETY: `full` is true, so the producer's write is complete
+            // and it will not write again until we clear the flag.
+            let v = unsafe { (*self.value.get()).take() };
+            self.full.store(false, Ordering::Release);
+            v
+        } else {
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+/// A job executed on a pooled worker thread. Receives the worker's own
+/// [`ParkCell`] so the job can park itself awaiting engine resumes.
+pub(crate) type Job = Box<dyn FnOnce(&Arc<ParkCell>) + Send + 'static>;
+
+struct WorkerHandle {
+    park: Arc<ParkCell>,
+    job: Arc<Mutex<Option<Job>>>,
+}
+
+/// A pooled worker leased to one simulated process for the duration of its
+/// job. Exposes the worker's latch so the engine can wake it for resumes.
+pub(crate) struct WorkerLease {
+    park: Arc<ParkCell>,
+}
+
+impl WorkerLease {
+    /// The worker's park latch (for resume wakes).
+    pub(crate) fn unparker(&self) -> Arc<ParkCell> {
+        Arc::clone(&self.park)
+    }
+}
+
+fn pool() -> &'static Mutex<Vec<WorkerHandle>> {
+    static POOL: OnceLock<Mutex<Vec<WorkerHandle>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Acquires a worker (reusing a pooled one if available) and starts `job`
+/// on it. Returns a lease holding the worker's wake latch.
+pub(crate) fn spawn_job(job: Job) -> WorkerLease {
+    let reused = pool().lock().expect("worker pool poisoned").pop();
+    match reused {
+        Some(handle) => {
+            let park = Arc::clone(&handle.park);
+            *handle.job.lock().expect("worker job slot poisoned") = Some(job);
+            handle.park.unpark();
+            // The handle is dropped here; the worker re-registers itself
+            // in the pool when the job completes.
+            WorkerLease { park }
+        }
+        None => {
+            let job_slot: Arc<Mutex<Option<Job>>> = Arc::new(Mutex::new(Some(job)));
+            let slot2 = Arc::clone(&job_slot);
+            let (park_tx, park_rx) = std::sync::mpsc::sync_channel(1);
+            thread::Builder::new()
+                .name("simnet-worker".to_string())
+                .spawn(move || {
+                    let park = ParkCell::for_current();
+                    park_tx
+                        .send(Arc::clone(&park))
+                        .expect("worker registration failed");
+                    worker_main(park, slot2);
+                })
+                .expect("failed to spawn simnet worker thread");
+            let park = park_rx.recv().expect("worker startup failed");
+            WorkerLease { park }
+        }
+    }
+}
+
+fn worker_main(park: Arc<ParkCell>, job_slot: Arc<Mutex<Option<Job>>>) {
+    loop {
+        let job = loop {
+            if let Some(j) = job_slot.lock().expect("worker job slot poisoned").take() {
+                break j;
+            }
+            park.park();
+        };
+        // Jobs handle simulated-process panics internally (the engine
+        // tears processes down via an unwind payload); a panic escaping a
+        // job is an engine bug, but must not poison the pool either way.
+        let _ = catch_unwind(AssertUnwindSafe(|| job(&park)));
+        let mut pool = pool().lock().expect("worker pool poisoned");
+        if pool.len() >= MAX_POOLED_WORKERS {
+            return; // Pool saturated: let this thread exit.
+        }
+        pool.push(WorkerHandle {
+            park: Arc::clone(&park),
+            job: Arc::clone(&job_slot),
+        });
+    }
+}
+
+/// Number of idle workers currently parked in the pool (test aid).
+#[cfg(test)]
+pub(crate) fn pooled_workers() -> usize {
+    pool().lock().expect("worker pool poisoned").len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn handoff_slot_transfers_values() {
+        let slot: HandoffSlot<u32> = HandoffSlot::default();
+        assert_eq!(slot.try_take(), None);
+        slot.put(7);
+        assert_eq!(slot.try_take(), Some(7));
+        assert_eq!(slot.try_take(), None);
+        slot.put(8);
+        assert_eq!(slot.try_take(), Some(8));
+    }
+
+    #[test]
+    fn park_cell_token_is_not_lost() {
+        let cell = ParkCell::for_current();
+        cell.unpark(); // Token deposited before park.
+        cell.park(); // Returns immediately.
+    }
+
+    #[test]
+    fn jobs_run_and_workers_return_to_pool() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut leases = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&counter);
+            leases.push(spawn_job(Box::new(move |_park| {
+                c.fetch_add(1, Ordering::SeqCst);
+            })));
+        }
+        // Jobs are asynchronous; wait for them to land.
+        for _ in 0..100 {
+            if counter.load(Ordering::SeqCst) == 4 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+        // Workers drift back into the pool after completing.
+        for _ in 0..100 {
+            if pooled_workers() >= 1 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert!(pooled_workers() >= 1);
+    }
+
+    #[test]
+    fn park_unpark_synchronizes_across_threads() {
+        let slot: Arc<HandoffSlot<u64>> = Arc::new(HandoffSlot::default());
+        let main_park = ParkCell::for_current();
+        let (slot2, main2) = (Arc::clone(&slot), Arc::clone(&main_park));
+        let lease = spawn_job(Box::new(move |_park| {
+            slot2.put(42);
+            main2.unpark();
+        }));
+        let _ = lease;
+        loop {
+            if let Some(v) = slot.try_take() {
+                assert_eq!(v, 42);
+                break;
+            }
+            main_park.park();
+        }
+    }
+}

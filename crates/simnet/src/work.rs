@@ -136,9 +136,7 @@ mod tests {
         let sum = a.cost_on(&host) + b.cost_on(&host);
         let combined = both.cost_on(&host);
         // Allow 1ns rounding slack from the two separate float conversions.
-        let diff = combined
-            .as_nanos()
-            .abs_diff(sum.as_nanos());
+        let diff = combined.as_nanos().abs_diff(sum.as_nanos());
         assert!(diff <= 1, "diff was {diff}ns");
     }
 

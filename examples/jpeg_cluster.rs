@@ -35,14 +35,14 @@ fn main() {
     for procs in [1usize, 2, 4, 8] {
         let mut row = format!("{procs:>6}");
         for tool in [ToolKind::Express, ToolKind::P4, ToolKind::Pvm] {
-            let out = run_workload(
-                &image,
-                &SpmdConfig::new(Platform::AlphaFddi, tool, procs),
-            )
-            .expect("run failed");
+            let out = run_workload(&image, &SpmdConfig::new(Platform::AlphaFddi, tool, procs))
+                .expect("run failed");
             // Every tool and processor count must produce the identical
             // compressed stream.
-            assert_eq!(out.results[0], reference, "{tool} x{procs} corrupted output");
+            assert_eq!(
+                out.results[0], reference,
+                "{tool} x{procs} corrupted output"
+            );
             row.push_str(&format!(" {:>11.3}s", out.elapsed.as_secs_f64()));
         }
         println!("{row}");

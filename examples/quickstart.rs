@@ -10,7 +10,10 @@ use pdc_tool_eval::simnet::platform::Platform;
 
 fn main() {
     println!("snd/rcv one-way latency on {}:\n", Platform::SunEthernet);
-    println!("{:>9}  {:>10} {:>10} {:>10}", "size", "Express", "p4", "PVM");
+    println!(
+        "{:>9}  {:>10} {:>10} {:>10}",
+        "size", "Express", "p4", "PVM"
+    );
     let sizes = vec![0u64, 1, 4, 16, 64];
 
     let mut columns = Vec::new();

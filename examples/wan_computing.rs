@@ -35,7 +35,12 @@ fn main() {
     // Applications: 4 processors, Ethernet LAN vs ATM WAN.
     println!("\napplications with p4 on 4 processors (seconds):");
     println!("{:>28} {:>12} {:>12}", "", "Ethernet LAN", "ATM WAN");
-    for app in [AplApp::Jpeg, AplApp::Fft, AplApp::MonteCarlo, AplApp::Sorting] {
+    for app in [
+        AplApp::Jpeg,
+        AplApp::Fft,
+        AplApp::MonteCarlo,
+        AplApp::Sorting,
+    ] {
         let mut times = Vec::new();
         for platform in [Platform::SunEthernet, Platform::SunAtmWan] {
             let pts = app_sweep(&AplConfig {
@@ -48,7 +53,11 @@ fn main() {
             .expect("sweep failed");
             times.push(pts[0].seconds);
         }
-        let verdict = if times[1] < times[0] { "WAN wins" } else { "LAN wins" };
+        let verdict = if times[1] < times[0] {
+            "WAN wins"
+        } else {
+            "LAN wins"
+        };
         println!(
             "{:>28} {:>11.3}s {:>11.3}s   {verdict}",
             app.title(),

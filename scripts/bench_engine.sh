@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_engine.json: events/sec of the discrete-event engine on
+# the broadcast / ring / global-sum microbenches (64 procs), with speedups
+# against the recorded seed-engine baseline.
+#
+# Also runs the criterion engine bench group so per-bench wall-clock
+# medians land in the same place (target/criterion_engine.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p pdceval-bench
+
+# Primary artifact: engine events/sec + speedup vs the pre-rework baseline.
+./target/release/bench_engine --out BENCH_engine.json
+
+# Secondary: criterion medians for the engine group (JSON via the shim's
+# CRITERION_JSON hook).
+CRITERION_JSON="$PWD/target/criterion_engine.json" \
+    cargo bench -p pdceval-bench --bench engine
+
+echo "--- BENCH_engine.json"
+cat BENCH_engine.json

@@ -27,10 +27,16 @@ fn table3_orderings_hold() {
             let p4 = t(ToolKind::P4, kb);
             let pvm = t(ToolKind::Pvm, kb);
             let ex = t(ToolKind::Express, kb);
-            assert!(p4 < pvm && p4 < ex, "{platform} {kb}KB: p4={p4} pvm={pvm} ex={ex}");
+            assert!(
+                p4 < pvm && p4 < ex,
+                "{platform} {kb}KB: p4={p4} pvm={pvm} ex={ex}"
+            );
         }
         // Large messages: PVM < Express.
-        assert!(t(ToolKind::Pvm, 64) < t(ToolKind::Express, 64), "{platform}");
+        assert!(
+            t(ToolKind::Pvm, 64) < t(ToolKind::Express, 64),
+            "{platform}"
+        );
         // Small messages: Express < PVM (the paper's crossover).
         assert!(t(ToolKind::Express, 0) < t(ToolKind::Pvm, 0), "{platform}");
     }

@@ -152,3 +152,132 @@ proptest! {
         prop_assert_eq!(&out.results[1], &expect);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Scheduler-equivalence properties (pooled direct-handoff engine)
+// ---------------------------------------------------------------------------
+
+/// A randomly generated deadlock-free program for one simulated process:
+/// interleaved holds and ring sends/receives. Every receive is satisfiable
+/// because every proc sends exactly `rounds` tagged messages to its
+/// successor and receives the same from its predecessor.
+mod sched_equivalence {
+    use super::*;
+    use pdc_tool_eval::simnet::engine::{SimOutcome, Simulation};
+    use pdc_tool_eval::simnet::envelope::{Envelope, Matcher};
+    use pdc_tool_eval::simnet::flight::{Stage, TransmitPlan};
+    use pdc_tool_eval::simnet::host::HostSpec;
+    use pdc_tool_eval::simnet::ids::ProcId;
+    use pdc_tool_eval::simnet::time::SimTime;
+
+    /// One proc's schedule: per-round (pre-send hold µs, payload bytes,
+    /// post-send hold µs, latency µs).
+    pub type Program = Vec<(u64, usize, u64, u64)>;
+
+    pub fn run_ring(programs: &[Program]) -> SimOutcome {
+        let nprocs = programs.len();
+        let mut sim = Simulation::new();
+        for (r, prog) in programs.iter().enumerate() {
+            let prog = prog.clone();
+            let next = ProcId(((r + 1) % nprocs) as u32);
+            sim.spawn_indexed("eq", r, HostSpec::sun_ipx(), move |ctx| {
+                for (round, &(pre_us, bytes, post_us, lat_us)) in prog.iter().enumerate() {
+                    if pre_us > 0 {
+                        ctx.hold(SimDuration::from_micros(pre_us));
+                    }
+                    let env = Envelope::new(
+                        ctx.pid(),
+                        next,
+                        round as u32,
+                        Bytes::from(vec![round as u8; bytes]),
+                    );
+                    ctx.transmit(
+                        env,
+                        TransmitPlan::single(vec![Stage::Latency(SimDuration::from_micros(
+                            lat_us,
+                        ))]),
+                    );
+                    if post_us > 0 {
+                        ctx.hold(SimDuration::from_micros(post_us));
+                    }
+                    let got = ctx.recv(Matcher::tagged(round as u32));
+                    assert!(got.payload.len() < 2048);
+                }
+            });
+        }
+        sim.run().expect("equivalence program deadlocked")
+    }
+
+    /// Byte-comparable digest of everything an outcome reports.
+    pub fn digest(out: &SimOutcome) -> (u64, Vec<(String, u64)>, u64, u64) {
+        (
+            (out.end_time - SimTime::ZERO).as_nanos(),
+            out.proc_finish
+                .iter()
+                .map(|(n, t)| (n.clone(), (*t - SimTime::ZERO).as_nanos()))
+                .collect(),
+            out.messages_delivered,
+            out.wire_bytes_delivered,
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random hold/send/recv ring programs produce byte-identical
+    /// `SimOutcome`s across repeated runs of the pooled scheduler.
+    #[test]
+    fn pooled_scheduler_is_deterministic(
+        nprocs in 2usize..9,
+        rounds in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = TestRng::deterministic(&format!("programs-{seed}"));
+        let programs: Vec<sched_equivalence::Program> = (0..nprocs)
+            .map(|_| {
+                (0..rounds)
+                    .map(|_| {
+                        (
+                            rng.below(500),
+                            rng.below(2048) as usize,
+                            rng.below(500),
+                            rng.below(300),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let reference = sched_equivalence::digest(&sched_equivalence::run_ring(&programs));
+        for _ in 0..2 {
+            let again = sched_equivalence::digest(&sched_equivalence::run_ring(&programs));
+            prop_assert_eq!(&again, &reference);
+        }
+    }
+
+    /// Hold-only programs end exactly at the analytically computed time:
+    /// the slowest process's hold sum (an independent reference for the
+    /// scheduler's clock arithmetic).
+    #[test]
+    fn pooled_scheduler_matches_analytic_reference(
+        holds in collection::vec(collection::vec(1u64..10_000, 1..8), 1..8),
+    ) {
+        use pdc_tool_eval::simnet::engine::Simulation;
+        use pdc_tool_eval::simnet::host::HostSpec;
+        let mut sim = Simulation::new();
+        for (i, hs) in holds.iter().enumerate() {
+            let hs = hs.clone();
+            sim.spawn_indexed("h", i, HostSpec::sun_ipx(), move |ctx| {
+                for &us in &hs {
+                    ctx.hold(SimDuration::from_micros(us));
+                }
+            });
+        }
+        let out = sim.run().unwrap();
+        let expect: u64 = holds.iter().map(|hs| hs.iter().sum()).max().unwrap();
+        prop_assert_eq!(
+            out.end_time.as_micros_f64(),
+            expect as f64
+        );
+    }
+}

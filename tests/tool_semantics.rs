@@ -144,8 +144,14 @@ fn typed_errors_for_bad_arguments() {
         })
         .unwrap();
         for (a, b) in &out.results {
-            assert!(matches!(a, ToolError::InvalidRank { rank: 9, .. }), "{tool}");
-            assert!(matches!(b, ToolError::InvalidRank { rank: 9, .. }), "{tool}");
+            assert!(
+                matches!(a, ToolError::InvalidRank { rank: 9, .. }),
+                "{tool}"
+            );
+            assert!(
+                matches!(b, ToolError::InvalidRank { rank: 9, .. }),
+                "{tool}"
+            );
         }
     }
 }
@@ -190,18 +196,15 @@ fn fragmentation_boundary_sizes() {
             for size in [1459usize, 1460, 1461, 4095, 4096, 4097, 9179, 9180, 9181] {
                 let payload: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
                 let expect = payload.clone();
-                let out = run_spmd(
-                    &SpmdConfig::new(platform, tool, 2),
-                    move |node| {
-                        if node.rank() == 0 {
-                            node.send(1, 3, Bytes::from(payload.clone())).unwrap();
-                            true
-                        } else {
-                            let msg = node.recv(Some(0), Some(3)).unwrap();
-                            msg.data.to_vec() == expect
-                        }
-                    },
-                )
+                let out = run_spmd(&SpmdConfig::new(platform, tool, 2), move |node| {
+                    if node.rank() == 0 {
+                        node.send(1, 3, Bytes::from(payload.clone())).unwrap();
+                        true
+                    } else {
+                        let msg = node.recv(Some(0), Some(3)).unwrap();
+                        msg.data.to_vec() == expect
+                    }
+                })
                 .unwrap();
                 assert!(out.results[1], "{tool} {platform} size {size}");
             }
