@@ -19,7 +19,8 @@
 //! rework landed.
 
 use bytes::Bytes;
-use pdceval_simnet::engine::Simulation;
+use pdceval_campaign::store::{git_sha, unix_timestamp};
+use pdceval_simnet::engine::{scheduler_spin_iters, Simulation};
 use pdceval_simnet::envelope::{Envelope, Matcher};
 use pdceval_simnet::flight::{Stage, TransmitPlan};
 use pdceval_simnet::host::HostSpec;
@@ -175,8 +176,27 @@ fn main() {
     ];
 
     let mut json = String::from("{\n  \"bench\": \"engine\",\n");
+    // Same provenance fields as the campaign results store, so bench JSON
+    // is comparable across PRs.
+    json.push_str(&format!(
+        "  \"git_sha\": {},\n  \"timestamp\": {},\n",
+        match git_sha() {
+            Some(sha) => format!("\"{sha}\""),
+            None => "null".to_string(),
+        },
+        unix_timestamp()
+    ));
     json.push_str(&format!(
         "  \"nprocs\": {NPROCS},\n  \"rounds\": {ROUNDS},\n"
+    ));
+    // The adaptive spin-before-park setting in effect (0 = single-core
+    // machine, spin disabled), so runs on different hosts are comparable.
+    json.push_str(&format!(
+        "  \"available_parallelism\": {},\n  \"spin_before_park_iters\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        scheduler_spin_iters()
     ));
     json.push_str("  \"results\": [\n");
     for (i, m) in results.iter().enumerate() {

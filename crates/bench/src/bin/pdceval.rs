@@ -1,0 +1,245 @@
+//! The campaign CLI: declare, run, store and gate scenario sweeps.
+//!
+//! Usage:
+//!
+//! ```bash
+//! pdceval list [--quick]
+//! pdceval run [--campaign NAME] [--quick] [--workers N] [--out PATH]
+//!             [--baseline PATH] [--threshold PCT]
+//! pdceval diff BASELINE NEW [--threshold PCT]
+//! ```
+//!
+//! `run` executes the named campaign (default: `quick`) across a worker
+//! pool and writes a JSONL results store stamped with the git SHA and
+//! timestamp. With `--baseline` it additionally compares the fresh
+//! results against a stored baseline and exits nonzero on regressions,
+//! which is the CI gating mode. `diff` compares two stores offline.
+
+use pdceval_campaign::campaigns;
+use pdceval_campaign::diff::diff_records;
+use pdceval_campaign::runner::{run_campaign, RecordStatus};
+use pdceval_campaign::scenario::Scale;
+use pdceval_campaign::store;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  pdceval list [--quick]\n  pdceval run [--campaign NAME] [--quick] \
+         [--workers N] [--out PATH] [--baseline PATH] [--threshold PCT]\n  \
+         pdceval diff BASELINE NEW [--threshold PCT]"
+    );
+    ExitCode::FAILURE
+}
+
+/// Flags that consume the following token as their value; everything
+/// else (`--quick`) is boolean and must not swallow positionals.
+const VALUE_FLAGS: [&str; 5] = ["campaign", "workers", "out", "baseline", "threshold"];
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = if VALUE_FLAGS.contains(&name)
+                    && matches!(it.peek(), Some(v) if !v.starts_with("--"))
+                {
+                    it.next().cloned()
+                } else {
+                    None
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+}
+
+fn scale(args: &Args) -> Scale {
+    if args.has("quick") {
+        Scale::Quick
+    } else {
+        Scale::Paper
+    }
+}
+
+fn threshold(args: &Args) -> Result<f64, ExitCode> {
+    match args.value("threshold") {
+        None if args.has("threshold") => {
+            eprintln!("--threshold needs a value (a percentage like 5 or 5%)");
+            Err(ExitCode::FAILURE)
+        }
+        None => Ok(0.0),
+        Some(raw) => match raw.trim_end_matches('%').parse::<f64>() {
+            Ok(pct) if pct >= 0.0 => Ok(pct / 100.0),
+            _ => {
+                eprintln!("bad --threshold '{raw}' (expected a percentage like 5 or 5%)");
+                Err(ExitCode::FAILURE)
+            }
+        },
+    }
+}
+
+fn cmd_list(args: &Args) -> ExitCode {
+    let s = scale(args);
+    println!("{:<22} {:>7}  TITLE", "NAME", "POINTS");
+    for c in campaigns::all(s) {
+        println!("{:<22} {:>7}  {}", c.name, c.scenarios.len(), c.title);
+    }
+    ExitCode::SUCCESS
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn cmd_run(args: &Args) -> ExitCode {
+    let s = scale(args);
+    let name = args.value("campaign").unwrap_or("quick");
+    let Some(campaign) = campaigns::by_name(name, s) else {
+        eprintln!("unknown campaign '{name}' — see `pdceval list`");
+        return ExitCode::FAILURE;
+    };
+    let workers = match args.value("workers") {
+        None => default_workers(),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("bad --workers '{raw}'");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let out_path = PathBuf::from(args.value("out").unwrap_or("target/campaign/results.jsonl"));
+    let gate_threshold = match threshold(args) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+
+    eprintln!(
+        "running campaign '{}' ({} points) on {} worker(s)...",
+        campaign.name,
+        campaign.scenarios.len(),
+        workers
+    );
+    let started = std::time::Instant::now();
+    let records = run_campaign(&campaign.scenarios, workers);
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let ok = records
+        .iter()
+        .filter(|r| r.status == RecordStatus::Ok)
+        .count();
+    let errors = records
+        .iter()
+        .filter(|r| r.status == RecordStatus::Error)
+        .count();
+    let meta = store::StoreMeta::capture();
+    if let Err(e) = store::write_jsonl(&out_path, &records, &meta) {
+        eprintln!("failed to write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "{} ok / {} error / {} total in {elapsed:.1}s -> {} (git {})",
+        ok,
+        errors,
+        records.len(),
+        out_path.display(),
+        meta.git_sha.as_deref().unwrap_or("unknown"),
+    );
+    for r in records.iter().filter(|r| r.status == RecordStatus::Error) {
+        eprintln!(
+            "  error {}: {}",
+            r.scenario.key(),
+            r.detail.as_deref().unwrap_or("unknown")
+        );
+    }
+    if errors > 0 {
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(baseline) = args.value("baseline") {
+        let base = match store::load_jsonl(&PathBuf::from(baseline)) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let new_text = store::render_jsonl(&records, &meta);
+        let new = store::parse_jsonl(&new_text).expect("freshly rendered store must parse");
+        let report = diff_records(&base, &new, gate_threshold);
+        print!("{}", report.render());
+        if !report.passes() {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_diff(args: &Args) -> ExitCode {
+    let [base_path, new_path] = args.positional.as_slice() else {
+        return usage();
+    };
+    let t = match threshold(args) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let base = match store::load_jsonl(&PathBuf::from(base_path)) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let new = match store::load_jsonl(&PathBuf::from(new_path)) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = diff_records(&base, &new, t);
+    print!("{}", report.render());
+    if report.passes() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().cloned() else {
+        return usage();
+    };
+    let args = Args::parse(&raw[1..]);
+    match cmd.as_str() {
+        "list" => cmd_list(&args),
+        "run" => cmd_run(&args),
+        "diff" => cmd_diff(&args),
+        _ => usage(),
+    }
+}

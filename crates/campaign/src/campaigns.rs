@@ -1,0 +1,236 @@
+//! The paper's evaluation section as declared campaigns.
+//!
+//! Each table/figure of the paper is one named campaign — a declared
+//! [`ScenarioGrid`] rather than an ad-hoc loop (DoKnowMe's "explicit,
+//! reusable experiment plan"). The `pdceval` CLI lists and runs these;
+//! `core::experiments` renders the same series into the paper's
+//! artifacts.
+
+use crate::grid::ScenarioGrid;
+use crate::scenario::{AplApp, Kernel, Scale, Scenario};
+use pdceval_mpt::ToolKind;
+use pdceval_simnet::platform::Platform;
+
+/// The message sizes of the paper's Table 3, in bytes:
+/// 0, 1, 2, 4, 8, 16, 32, 64 KB.
+pub fn table3_sizes_bytes() -> Vec<u64> {
+    [0u64, 1, 2, 4, 8, 16, 32, 64]
+        .into_iter()
+        .map(|kb| kb * 1024)
+        .collect()
+}
+
+/// The vector lengths of the paper's Figure 4, in elements.
+pub fn figure4_vector_sizes() -> Vec<u64> {
+    vec![1_000, 10_000, 25_000, 50_000, 75_000, 100_000]
+}
+
+/// The processor counts of the paper's figures for a platform
+/// (1..=8 generally, 1..=4 on the NYNET WAN).
+pub fn figure_procs(platform: Platform) -> Vec<usize> {
+    let max = platform.max_nodes().min(8);
+    (1..=max).collect()
+}
+
+/// A named campaign: a declared scenario set with a human title.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Stable CLI name (`fig2-broadcast`, `quick`, ...).
+    pub name: &'static str,
+    /// Human-readable description.
+    pub title: String,
+    /// The campaign's sweep points, in declaration order.
+    pub scenarios: Vec<Scenario>,
+}
+
+fn app_kernels(scale: Scale) -> Vec<Kernel> {
+    AplApp::all()
+        .into_iter()
+        .map(|app| Kernel::App { app, scale })
+        .collect()
+}
+
+fn app_campaign(name: &'static str, figure: &str, platform: Platform, scale: Scale) -> Campaign {
+    Campaign {
+        name,
+        title: format!(
+            "{figure}: application performance on {} ({scale:?} scale)",
+            platform.name()
+        ),
+        scenarios: ScenarioGrid::new()
+            .kernels(app_kernels(scale))
+            .tools(ToolKind::all())
+            .platforms([platform])
+            .nprocs(figure_procs(platform))
+            .sizes([0])
+            .scenarios(),
+    }
+}
+
+/// All declared campaigns, in the paper's presentation order.
+pub fn all(scale: Scale) -> Vec<Campaign> {
+    vec![
+        Campaign {
+            name: "table3-sendrecv",
+            title: "Table 3: snd/rcv timing for SUN SPARCstations".to_string(),
+            scenarios: ScenarioGrid::new()
+                .kernels([Kernel::SendRecv { iters: 2 }])
+                .tools(ToolKind::all())
+                .platforms([
+                    Platform::SunEthernet,
+                    Platform::SunAtmLan,
+                    Platform::SunAtmWan,
+                ])
+                .nprocs([2])
+                .sizes(table3_sizes_bytes())
+                .scenarios(),
+        },
+        Campaign {
+            name: "fig2-broadcast",
+            title: "Figure 2: broadcast timing among 4 SUNs".to_string(),
+            scenarios: ScenarioGrid::new()
+                .kernels([Kernel::Broadcast])
+                .tools(ToolKind::all())
+                .platforms([Platform::SunEthernet, Platform::SunAtmWan])
+                .nprocs([4])
+                .sizes(table3_sizes_bytes())
+                .scenarios(),
+        },
+        Campaign {
+            name: "fig3-ring",
+            title: "Figure 3: ring communication among 4 SUNs".to_string(),
+            scenarios: ScenarioGrid::new()
+                .kernels([Kernel::Ring { shifts: 1 }])
+                .tools(ToolKind::all())
+                .platforms([Platform::SunEthernet, Platform::SunAtmWan])
+                .nprocs([4])
+                .sizes(table3_sizes_bytes())
+                .scenarios(),
+        },
+        Campaign {
+            name: "fig4-globalsum",
+            title: "Figure 4: global vector summation among 4 SUNs".to_string(),
+            scenarios: ScenarioGrid::new()
+                .kernels([Kernel::GlobalSum])
+                .tools(ToolKind::all())
+                .platforms([Platform::SunEthernet, Platform::SunAtmWan])
+                .nprocs([4])
+                .sizes(figure4_vector_sizes())
+                .scenarios(),
+        },
+        app_campaign("fig5-apps-alpha", "Figure 5", Platform::AlphaFddi, scale),
+        app_campaign("fig6-apps-sp1", "Figure 6", Platform::Sp1Switch, scale),
+        app_campaign("fig7-apps-nynet", "Figure 7", Platform::SunAtmWan, scale),
+        app_campaign(
+            "fig8-apps-ethernet",
+            "Figure 8",
+            Platform::SunEthernet,
+            scale,
+        ),
+        quick(),
+    ]
+}
+
+/// A small multi-tool, multi-platform smoke campaign: every TPL kernel
+/// plus one quick application point, across three platforms and all
+/// three tools, two repetitions per point. Runs in seconds; used by CI.
+pub fn quick() -> Campaign {
+    let platforms = [
+        Platform::SunEthernet,
+        Platform::SunAtmLan,
+        Platform::SunAtmWan,
+    ];
+    let mut scenarios = ScenarioGrid::new()
+        .kernels([Kernel::SendRecv { iters: 1 }])
+        .tools(ToolKind::all())
+        .platforms(platforms)
+        .nprocs([2])
+        .sizes([1024, 16 * 1024])
+        .reps(2)
+        .scenarios();
+    scenarios.extend(
+        ScenarioGrid::new()
+            .kernels([Kernel::Broadcast, Kernel::Ring { shifts: 1 }])
+            .tools(ToolKind::all())
+            .platforms(platforms)
+            .nprocs([4])
+            .sizes([16 * 1024])
+            .reps(2)
+            .scenarios(),
+    );
+    scenarios.extend(
+        ScenarioGrid::new()
+            .kernels([Kernel::GlobalSum])
+            .tools(ToolKind::all())
+            .platforms(platforms)
+            .nprocs([4])
+            .sizes([10_000])
+            .reps(2)
+            .scenarios(),
+    );
+    scenarios.extend(
+        ScenarioGrid::new()
+            .kernels([Kernel::App {
+                app: AplApp::MonteCarlo,
+                scale: Scale::Quick,
+            }])
+            .tools(ToolKind::all())
+            .platforms([Platform::SunEthernet])
+            .nprocs([4])
+            .sizes([0])
+            .reps(2)
+            .scenarios(),
+    );
+    Campaign {
+        name: "quick",
+        title: "Smoke campaign: all kernels, three platforms, all tools".to_string(),
+        scenarios,
+    }
+}
+
+/// Looks a campaign up by CLI name.
+pub fn by_name(name: &str, scale: Scale) -> Option<Campaign> {
+    all(scale).into_iter().find(|c| c.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_names_are_unique() {
+        let campaigns = all(Scale::Quick);
+        let mut names: Vec<&str> = campaigns.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), campaigns.len());
+    }
+
+    #[test]
+    fn every_campaign_is_nonempty_and_valid() {
+        for c in all(Scale::Quick) {
+            assert!(!c.scenarios.is_empty(), "{} is empty", c.name);
+            for sc in &c.scenarios {
+                assert!(sc.is_valid(), "{} contains invalid {}", c.name, sc.key());
+            }
+        }
+    }
+
+    #[test]
+    fn quick_campaign_spans_tools_and_platforms() {
+        let c = quick();
+        let tools: std::collections::HashSet<_> = c.scenarios.iter().map(|s| s.tool).collect();
+        let platforms: std::collections::HashSet<_> =
+            c.scenarios.iter().map(|s| s.platform).collect();
+        assert_eq!(tools.len(), 3);
+        assert_eq!(platforms.len(), 3);
+        assert!(c.scenarios.len() < 80, "quick must stay quick");
+    }
+
+    #[test]
+    fn fig7_excludes_express() {
+        let c = by_name("fig7-apps-nynet", Scale::Quick).unwrap();
+        assert!(c.scenarios.iter().all(|s| s.tool != ToolKind::Express));
+        assert!(c.scenarios.iter().all(|s| s.nprocs <= 4));
+    }
+}

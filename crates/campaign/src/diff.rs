@@ -1,0 +1,227 @@
+//! Baseline comparison and regression gating.
+//!
+//! Two stores (see [`crate::store`]) are matched by scenario key; every
+//! pair of `ok` records is compared by mean value, and points slower
+//! than `baseline * (1 + threshold)` are flagged as regressions. Because
+//! the simulator is deterministic, any drift at all is a behaviour
+//! change — the threshold exists so intentional model recalibrations can
+//! be gated loosely while refactors are gated at zero.
+
+use crate::store::StoredRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Comparison of one scenario present in both stores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Scenario key.
+    pub key: String,
+    /// Value unit.
+    pub unit: String,
+    /// Baseline mean.
+    pub base_mean: f64,
+    /// New mean.
+    pub new_mean: f64,
+    /// `new_mean / base_mean` (∞ if the baseline is 0 and the new value
+    /// is not).
+    pub ratio: f64,
+    /// Whether the point regressed beyond the threshold.
+    pub regressed: bool,
+}
+
+/// The full comparison of two stores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Per-key comparisons for points in both stores, key-sorted.
+    pub entries: Vec<DiffEntry>,
+    /// Keys only present (as `ok`) in the baseline store.
+    pub only_in_base: Vec<String>,
+    /// Keys only present (as `ok`) in the new store.
+    pub only_in_new: Vec<String>,
+    /// The relative threshold used.
+    pub threshold: f64,
+}
+
+impl DiffReport {
+    /// Number of regressed points.
+    pub fn regression_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.regressed).count()
+    }
+
+    /// Whether the new store passes the gate (no regressions).
+    pub fn passes(&self) -> bool {
+        self.regression_count() == 0
+    }
+
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "compared {} scenario(s) at threshold {:.1}%",
+            self.entries.len(),
+            self.threshold * 100.0
+        );
+        for e in &self.entries {
+            if e.regressed {
+                let _ = writeln!(
+                    out,
+                    "REGRESSION {}: {:.4} -> {:.4} {} ({:+.1}%)",
+                    e.key,
+                    e.base_mean,
+                    e.new_mean,
+                    e.unit,
+                    (e.ratio - 1.0) * 100.0
+                );
+            }
+        }
+        let improvements = self
+            .entries
+            .iter()
+            .filter(|e| e.ratio < 1.0 - f64::EPSILON)
+            .count();
+        let _ = writeln!(
+            out,
+            "{} regression(s), {} improvement(s), {} unchanged",
+            self.regression_count(),
+            improvements,
+            self.entries.len() - self.regression_count() - improvements
+        );
+        if !self.only_in_base.is_empty() {
+            let _ = writeln!(out, "{} key(s) only in baseline", self.only_in_base.len());
+        }
+        if !self.only_in_new.is_empty() {
+            let _ = writeln!(out, "{} key(s) only in new store", self.only_in_new.len());
+        }
+        out
+    }
+}
+
+fn ok_by_key(records: &[StoredRecord]) -> BTreeMap<&str, &StoredRecord> {
+    records
+        .iter()
+        .filter(|r| r.status == "ok" && r.mean.is_some())
+        .map(|r| (r.key.as_str(), r))
+        .collect()
+}
+
+/// Compares `new` against `base`, flagging points whose mean grew by
+/// more than `threshold` (relative, e.g. `0.05` = 5%).
+pub fn diff_records(base: &[StoredRecord], new: &[StoredRecord], threshold: f64) -> DiffReport {
+    let base_map = ok_by_key(base);
+    let new_map = ok_by_key(new);
+    let mut entries = Vec::new();
+    let mut only_in_base = Vec::new();
+    for (key, b) in &base_map {
+        match new_map.get(key) {
+            None => only_in_base.push((*key).to_string()),
+            Some(n) => {
+                let base_mean = b.mean.expect("filtered on mean");
+                let new_mean = n.mean.expect("filtered on mean");
+                let ratio = if base_mean == 0.0 {
+                    if new_mean == 0.0 {
+                        1.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    new_mean / base_mean
+                };
+                entries.push(DiffEntry {
+                    key: (*key).to_string(),
+                    unit: n.unit.clone(),
+                    base_mean,
+                    new_mean,
+                    ratio,
+                    regressed: ratio > 1.0 + threshold,
+                });
+            }
+        }
+    }
+    let only_in_new = new_map
+        .keys()
+        .filter(|k| !base_map.contains_key(**k))
+        .map(|k| (*k).to_string())
+        .collect();
+    DiffReport {
+        entries,
+        only_in_base,
+        only_in_new,
+        threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(key: &str, mean: f64) -> StoredRecord {
+        StoredRecord {
+            key: key.to_string(),
+            status: "ok".to_string(),
+            unit: "ms".to_string(),
+            mean: Some(mean),
+            min: Some(mean),
+            max: Some(mean),
+            cv: Some(0.0),
+            git_sha: None,
+            timestamp: None,
+        }
+    }
+
+    #[test]
+    fn flags_injected_slowdown() {
+        let base = vec![rec("a", 10.0), rec("b", 5.0), rec("c", 1.0)];
+        let mut new = base.clone();
+        new[1].mean = Some(6.0); // +20% on "b"
+        let report = diff_records(&base, &new, 0.10);
+        assert_eq!(report.regression_count(), 1);
+        assert!(!report.passes());
+        let regressed: Vec<&str> = report
+            .entries
+            .iter()
+            .filter(|e| e.regressed)
+            .map(|e| e.key.as_str())
+            .collect();
+        assert_eq!(regressed, vec!["b"]);
+        assert!(report.render().contains("REGRESSION b"));
+    }
+
+    #[test]
+    fn identical_stores_pass() {
+        let base = vec![rec("a", 10.0), rec("b", 5.0)];
+        let report = diff_records(&base, &base.clone(), 0.0);
+        assert!(report.passes());
+        assert_eq!(report.entries.len(), 2);
+    }
+
+    #[test]
+    fn threshold_tolerates_small_growth() {
+        let base = vec![rec("a", 100.0)];
+        let new = vec![rec("a", 104.0)];
+        assert!(diff_records(&base, &new, 0.05).passes());
+        assert!(!diff_records(&base, &new, 0.01).passes());
+    }
+
+    #[test]
+    fn disjoint_keys_are_reported_not_compared() {
+        let base = vec![rec("a", 1.0), rec("gone", 2.0)];
+        let new = vec![rec("a", 1.0), rec("fresh", 3.0)];
+        let report = diff_records(&base, &new, 0.0);
+        assert_eq!(report.entries.len(), 1);
+        assert_eq!(report.only_in_base, vec!["gone".to_string()]);
+        assert_eq!(report.only_in_new, vec!["fresh".to_string()]);
+    }
+
+    #[test]
+    fn non_ok_records_are_ignored() {
+        let mut unsupported = rec("u", 0.0);
+        unsupported.status = "unsupported".to_string();
+        unsupported.mean = None;
+        let base = vec![rec("a", 1.0), unsupported.clone()];
+        let new = vec![rec("a", 1.0), unsupported];
+        let report = diff_records(&base, &new, 0.0);
+        assert_eq!(report.entries.len(), 1);
+        assert!(report.only_in_base.is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Declarative enumeration of campaign grids.
+//!
+//! A [`ScenarioGrid`] is the cross product the paper's methodology sweeps
+//! — (kernel × tool × platform × processor count × size) — declared once
+//! and enumerated deterministically. Invalid combinations (a tool without
+//! a platform port, a node count over the platform's limit, a kernel the
+//! tool does not implement) are dropped by [`ScenarioGrid::scenarios`],
+//! mirroring the validity rules the runtime would enforce.
+
+use crate::scenario::{Kernel, Scenario};
+use pdceval_mpt::ToolKind;
+use pdceval_simnet::platform::Platform;
+
+/// Builder for the cross product of scenario coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use pdceval_campaign::grid::ScenarioGrid;
+/// use pdceval_campaign::scenario::Kernel;
+/// use pdceval_mpt::ToolKind;
+/// use pdceval_simnet::platform::Platform;
+///
+/// let grid = ScenarioGrid::new()
+///     .kernels([Kernel::Broadcast])
+///     .tools(ToolKind::all())
+///     .platforms([Platform::SunEthernet, Platform::SunAtmWan])
+///     .nprocs([4])
+///     .sizes([16 * 1024, 64 * 1024]);
+/// // Express has no WAN port: 3 tools * 2 sizes on Ethernet plus
+/// // 2 tools * 2 sizes on the WAN.
+/// assert_eq!(grid.scenarios().len(), 10);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioGrid {
+    kernels: Vec<Kernel>,
+    tools: Vec<ToolKind>,
+    platforms: Vec<Platform>,
+    nprocs: Vec<usize>,
+    sizes: Vec<u64>,
+    reps: u32,
+}
+
+impl ScenarioGrid {
+    /// Creates an empty grid (one repetition per point).
+    pub fn new() -> ScenarioGrid {
+        ScenarioGrid {
+            reps: 1,
+            ..ScenarioGrid::default()
+        }
+    }
+
+    /// Sets the kernels to sweep.
+    pub fn kernels(mut self, kernels: impl IntoIterator<Item = Kernel>) -> Self {
+        self.kernels = kernels.into_iter().collect();
+        self
+    }
+
+    /// Sets the tools to sweep.
+    pub fn tools(mut self, tools: impl IntoIterator<Item = ToolKind>) -> Self {
+        self.tools = tools.into_iter().collect();
+        self
+    }
+
+    /// Sets the platforms to sweep.
+    pub fn platforms(mut self, platforms: impl IntoIterator<Item = Platform>) -> Self {
+        self.platforms = platforms.into_iter().collect();
+        self
+    }
+
+    /// Sets the processor counts to sweep.
+    pub fn nprocs(mut self, nprocs: impl IntoIterator<Item = usize>) -> Self {
+        self.nprocs = nprocs.into_iter().collect();
+        self
+    }
+
+    /// Sets the size parameters to sweep (bytes or vector elements,
+    /// depending on the kernel).
+    pub fn sizes(mut self, sizes: impl IntoIterator<Item = u64>) -> Self {
+        self.sizes = sizes.into_iter().collect();
+        self
+    }
+
+    /// Sets the repetition count per point.
+    pub fn reps(mut self, reps: u32) -> Self {
+        self.reps = reps.max(1);
+        self
+    }
+
+    /// Enumerates every combination, including invalid ones. Order is
+    /// deterministic: platform-major, then kernel, tool, nprocs, size —
+    /// so points sharing a `(platform, nprocs)` harness are adjacent.
+    pub fn all_combinations(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(
+            self.platforms.len()
+                * self.kernels.len()
+                * self.tools.len()
+                * self.nprocs.len()
+                * self.sizes.len(),
+        );
+        for &platform in &self.platforms {
+            for &kernel in &self.kernels {
+                for &tool in &self.tools {
+                    for &nprocs in &self.nprocs {
+                        for &size in &self.sizes {
+                            out.push(Scenario {
+                                kernel,
+                                tool,
+                                platform,
+                                nprocs,
+                                size,
+                                reps: self.reps,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Enumerates the grid, keeping only scenarios that can produce a
+    /// timed value (see [`Scenario::is_valid`]).
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        self.all_combinations()
+            .into_iter()
+            .filter(Scenario::is_valid)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{AplApp, Scale};
+
+    #[test]
+    fn enumeration_order_is_deterministic() {
+        let grid = ScenarioGrid::new()
+            .kernels([Kernel::Ring { shifts: 1 }])
+            .tools([ToolKind::P4, ToolKind::Pvm])
+            .platforms([Platform::SunEthernet])
+            .nprocs([2, 4])
+            .sizes([0, 1024]);
+        let a = grid.scenarios();
+        let b = grid.scenarios();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        // size is the innermost axis.
+        assert_eq!(a[0].size, 0);
+        assert_eq!(a[1].size, 1024);
+        assert_eq!(a[0].nprocs, 2);
+        assert_eq!(a[2].nprocs, 4);
+    }
+
+    #[test]
+    fn invalid_points_are_filtered() {
+        let grid = ScenarioGrid::new()
+            .kernels([Kernel::GlobalSum])
+            .tools(ToolKind::all())
+            .platforms([Platform::SunEthernet, Platform::SunAtmWan])
+            .nprocs([4])
+            .sizes([1000]);
+        let scenarios = grid.scenarios();
+        // PVM dropped everywhere (no global op); Express dropped on the
+        // WAN (no port): p4 + express on Ethernet, p4 on the WAN.
+        assert_eq!(scenarios.len(), 3);
+        assert!(scenarios.iter().all(|s| s.tool != ToolKind::Pvm));
+    }
+
+    #[test]
+    fn reps_default_to_one_and_clamp() {
+        let grid = ScenarioGrid::new()
+            .kernels([Kernel::App {
+                app: AplApp::Jpeg,
+                scale: Scale::Quick,
+            }])
+            .tools([ToolKind::P4])
+            .platforms([Platform::SunEthernet])
+            .nprocs([2])
+            .sizes([0])
+            .reps(0);
+        assert_eq!(grid.scenarios()[0].reps, 1);
+    }
+}

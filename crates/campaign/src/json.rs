@@ -1,0 +1,255 @@
+//! Minimal JSON support for the results store.
+//!
+//! The build environment has no crates.io access, so there is no serde;
+//! campaign records are flat JSON objects (strings, numbers, booleans,
+//! null — no nesting), which this module emits and parses directly.
+
+use std::fmt::Write as _;
+
+/// A JSON scalar value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+}
+
+impl Json {
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes `s` as the contents of a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses one flat JSON object (`{"k": v, ...}`) into its key/value
+/// pairs, preserving order.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax problem (including nested
+/// objects or arrays, which the store never produces).
+pub fn parse_object(line: &str) -> Result<Vec<(String, Json)>, String> {
+    let mut p = Parser {
+        chars: line.char_indices().peekable(),
+        src: line,
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut pairs = Vec::new();
+    p.skip_ws();
+    if p.eat('}') {
+        p.expect_end()?;
+        return Ok(pairs);
+    }
+    loop {
+        p.skip_ws();
+        let key = p.parse_string()?;
+        p.skip_ws();
+        p.expect(':')?;
+        p.skip_ws();
+        let value = p.parse_value()?;
+        pairs.push((key, value));
+        p.skip_ws();
+        if p.eat(',') {
+            continue;
+        }
+        p.expect('}')?;
+        p.expect_end()?;
+        return Ok(pairs);
+    }
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    src: &'a str,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn eat(&mut self, want: char) -> bool {
+        if matches!(self.chars.peek(), Some((_, c)) if *c == want) {
+            self.chars.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.chars.next() {
+            Some((_, c)) if c == want => Ok(()),
+            Some((i, c)) => Err(format!("expected '{want}' at byte {i}, found '{c}'")),
+            None => Err(format!("expected '{want}', found end of input")),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.chars.next() {
+            None => Ok(()),
+            Some((i, c)) => Err(format!("trailing content at byte {i}: '{c}'")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                None => return Err("unterminated string".to_string()),
+                Some((_, '"')) => return Ok(out),
+                Some((_, '\\')) => match self.chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (i, c) = self
+                                .chars
+                                .next()
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            code = code * 16
+                                + c.to_digit(16)
+                                    .ok_or_else(|| format!("bad \\u digit at byte {i}"))?;
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("invalid \\u code point {code:#x}"))?,
+                        );
+                    }
+                    Some((i, c)) => return Err(format!("bad escape '\\{c}' at byte {i}")),
+                    None => return Err("truncated escape".to_string()),
+                },
+                Some((_, c)) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        match self.chars.peek() {
+            Some((_, '"')) => Ok(Json::Str(self.parse_string()?)),
+            Some((_, 't')) => self.parse_word("true", Json::Bool(true)),
+            Some((_, 'f')) => self.parse_word("false", Json::Bool(false)),
+            Some((_, 'n')) => self.parse_word("null", Json::Null),
+            Some((_, c)) if *c == '-' || c.is_ascii_digit() => self.parse_number(),
+            Some((i, c)) => Err(format!("unsupported value starting with '{c}' at byte {i}")),
+            None => Err("expected a value, found end of input".to_string()),
+        }
+    }
+
+    fn parse_word(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        for want in word.chars() {
+            match self.chars.next() {
+                Some((_, c)) if c == want => {}
+                _ => return Err(format!("malformed literal (expected '{word}')")),
+            }
+        }
+        Ok(value)
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.chars.peek().map(|(i, _)| *i).unwrap_or(0);
+        let mut end = start;
+        while let Some((i, c)) = self.chars.peek().copied() {
+            if c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' || c.is_ascii_digit() {
+                end = i + c.len_utf8();
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        self.src[start..end]
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number '{}': {e}", &self.src[start..end]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_flat_objects() {
+        let line = r#"{"key": "a/b", "n": 4, "mean": 1.25, "ok": true, "sha": null}"#;
+        let pairs = parse_object(line).unwrap();
+        assert_eq!(pairs[0], ("key".to_string(), Json::Str("a/b".to_string())));
+        assert_eq!(pairs[1].1.as_f64(), Some(4.0));
+        assert_eq!(pairs[2].1.as_f64(), Some(1.25));
+        assert_eq!(pairs[3].1, Json::Bool(true));
+        assert_eq!(pairs[4].1, Json::Null);
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let nasty = "a\"b\\c\nd\te\u{1}";
+        let line = format!("{{\"k\": \"{}\"}}", escape(nasty));
+        let pairs = parse_object(&line).unwrap();
+        assert_eq!(pairs[0].1.as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_object("{").is_err());
+        assert!(parse_object(r#"{"a": }"#).is_err());
+        assert!(parse_object(r#"{"a": [1]}"#).is_err());
+        assert!(parse_object(r#"{"a": 1} trailing"#).is_err());
+        assert!(parse_object(r#"{"a": 1e}"#).is_err());
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert!(parse_object("{}").unwrap().is_empty());
+        assert!(parse_object("  { }  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn scientific_numbers_parse() {
+        let pairs = parse_object(r#"{"v": 1.5e-3}"#).unwrap();
+        assert!((pairs[0].1.as_f64().unwrap() - 0.0015).abs() < 1e-12);
+    }
+}

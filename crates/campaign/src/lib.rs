@@ -1,0 +1,64 @@
+//! # pdceval-campaign
+//!
+//! Declarative scenario-sweep orchestration for the tool-evaluation
+//! methodology: the paper's assessment grid — (tool × platform ×
+//! kernel × processor count × message size) — expressed as first-class
+//! campaigns instead of ad-hoc loops.
+//!
+//! * [`scenario`] — the coordinates of one sweep point and its stable
+//!   string key;
+//! * [`grid`] — the [`grid::ScenarioGrid`] builder enumerating campaign
+//!   cross products with validity filtering;
+//! * [`exec`] — kernel execution over reusable [`pdceval_mpt::SpmdHarness`]
+//!   cluster skeletons;
+//! * [`runner`] — parallel campaign execution with deterministic result
+//!   ordering and repetition statistics;
+//! * [`store`] — the JSONL results store (scenario key + git SHA +
+//!   timestamp + mean/min/max/CV);
+//! * [`diff`] — baseline comparison and regression gating;
+//! * [`campaigns`] — the paper's tables and figures as named campaigns.
+//!
+//! # Example: declare, run in parallel, gate
+//!
+//! ```
+//! use pdceval_campaign::diff::diff_records;
+//! use pdceval_campaign::grid::ScenarioGrid;
+//! use pdceval_campaign::runner::run_campaign;
+//! use pdceval_campaign::scenario::Kernel;
+//! use pdceval_campaign::store::{parse_jsonl, render_jsonl, StoreMeta};
+//! use pdceval_mpt::ToolKind;
+//! use pdceval_simnet::platform::Platform;
+//!
+//! let scenarios = ScenarioGrid::new()
+//!     .kernels([Kernel::Ring { shifts: 1 }])
+//!     .tools(ToolKind::all())
+//!     .platforms([Platform::SunAtmLan])
+//!     .nprocs([4])
+//!     .sizes([4096, 16384])
+//!     .scenarios();
+//! let records = run_campaign(&scenarios, 4);
+//! let store = render_jsonl(&records, &StoreMeta::none());
+//! let report = diff_records(
+//!     &parse_jsonl(&store).unwrap(),
+//!     &parse_jsonl(&store).unwrap(),
+//!     0.0,
+//! );
+//! assert!(report.passes());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod campaigns;
+pub mod diff;
+pub mod exec;
+pub mod grid;
+pub mod json;
+pub mod runner;
+pub mod scenario;
+pub mod store;
+
+pub use exec::{Executor, PointOutcome};
+pub use grid::ScenarioGrid;
+pub use runner::{run_campaign, RecordStatus, RepStats, ScenarioRecord};
+pub use scenario::{AplApp, Kernel, Scale, Scenario};

@@ -1,0 +1,233 @@
+//! Parallel campaign execution with deterministic result ordering.
+//!
+//! Sweep points are independent, self-contained simulations, so a
+//! campaign distributes them over a pool of worker threads. Each worker
+//! owns its own [`Executor`] (harness reuse stays thread-local); results
+//! land in pre-assigned slots, so the output order equals the input
+//! scenario order regardless of scheduling — a parallel run's results
+//! are byte-identical to a serial run's.
+
+use crate::exec::{Executor, PointOutcome};
+use crate::scenario::Scenario;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Statistics over one scenario's repetitions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepStats {
+    /// Mean value.
+    pub mean: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Coefficient of variation (population stddev / mean; 0 when the
+    /// mean is 0). The simulator is deterministic, so a nonzero CV
+    /// indicates a reproducibility bug.
+    pub cv: f64,
+}
+
+impl RepStats {
+    /// Computes statistics over `values` (must be non-empty).
+    pub fn from_values(values: &[f64]) -> RepStats {
+        assert!(!values.is_empty(), "no repetition values");
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let cv = if mean == 0.0 { 0.0 } else { var.sqrt() / mean };
+        RepStats { mean, min, max, cv }
+    }
+}
+
+/// How one scenario's execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordStatus {
+    /// All repetitions produced values.
+    Ok,
+    /// The tool does not implement the kernel.
+    Unsupported,
+    /// The run failed (deadlock, rank panic, invalid configuration).
+    Error,
+}
+
+impl RecordStatus {
+    /// Stable lower-case slug used in the results store.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            RecordStatus::Ok => "ok",
+            RecordStatus::Unsupported => "unsupported",
+            RecordStatus::Error => "error",
+        }
+    }
+}
+
+/// One scenario's result, as recorded in the campaign store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRecord {
+    /// The scenario that produced this record.
+    pub scenario: Scenario,
+    /// Execution status.
+    pub status: RecordStatus,
+    /// Repetition statistics (present when `status` is `Ok`).
+    pub stats: Option<RepStats>,
+    /// Why the point is unsupported or failed, for non-`Ok` statuses.
+    pub detail: Option<String>,
+}
+
+/// Runs one scenario (all repetitions) on `exec`, producing its record.
+/// Errors become `Error`-status records: one broken point must not sink
+/// a thousand-point campaign.
+pub fn run_point(exec: &mut Executor, sc: &Scenario) -> ScenarioRecord {
+    let reps = sc.reps.max(1);
+    let mut values = Vec::with_capacity(reps as usize);
+    for _ in 0..reps {
+        match exec.run(sc) {
+            Ok(PointOutcome::Value(v)) => values.push(v),
+            Ok(PointOutcome::Unsupported(e)) => {
+                return ScenarioRecord {
+                    scenario: *sc,
+                    status: RecordStatus::Unsupported,
+                    stats: None,
+                    detail: Some(e.to_string()),
+                };
+            }
+            Err(e) => {
+                return ScenarioRecord {
+                    scenario: *sc,
+                    status: RecordStatus::Error,
+                    stats: None,
+                    detail: Some(e.to_string()),
+                };
+            }
+        }
+    }
+    ScenarioRecord {
+        scenario: *sc,
+        status: RecordStatus::Ok,
+        stats: Some(RepStats::from_values(&values)),
+        detail: None,
+    }
+}
+
+/// Executes `scenarios` across `workers` threads and returns records in
+/// scenario order.
+///
+/// Workers claim points through a shared counter, so load balances
+/// naturally; each worker's [`Executor`] caches harnesses for the
+/// `(platform, nprocs)` pairs it happens to serve. With `workers <= 1`
+/// everything runs on the calling thread.
+pub fn run_campaign(scenarios: &[Scenario], workers: usize) -> Vec<ScenarioRecord> {
+    let workers = workers.max(1).min(scenarios.len().max(1));
+    if workers == 1 {
+        let mut exec = Executor::new();
+        return scenarios
+            .iter()
+            .map(|sc| run_point(&mut exec, sc))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ScenarioRecord>>> =
+        scenarios.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut exec = Executor::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(sc) = scenarios.get(i) else { break };
+                    let record = run_point(&mut exec, sc);
+                    *slots[i].lock().expect("result slot poisoned") = Some(record);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("scenario skipped by every worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Kernel;
+    use pdceval_mpt::ToolKind;
+    use pdceval_simnet::platform::Platform;
+
+    fn smoke_scenarios() -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for tool in [ToolKind::P4, ToolKind::Pvm, ToolKind::Express] {
+            for size in [0u64, 4096, 16384] {
+                out.push(Scenario {
+                    kernel: Kernel::Ring { shifts: 1 },
+                    tool,
+                    platform: Platform::SunAtmLan,
+                    nprocs: 4,
+                    size,
+                    reps: 2,
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn parallel_results_equal_serial_results() {
+        let scenarios = smoke_scenarios();
+        let serial = run_campaign(&scenarios, 1);
+        let parallel = run_campaign(&scenarios, 4);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), scenarios.len());
+        for r in &serial {
+            assert_eq!(r.status, RecordStatus::Ok);
+            let stats = r.stats.unwrap();
+            // Deterministic simulator: repetitions agree exactly.
+            assert_eq!(stats.min, stats.max);
+            assert_eq!(stats.cv, 0.0);
+        }
+    }
+
+    #[test]
+    fn rep_stats_are_correct() {
+        let s = RepStats::from_values(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        let expected_cv = (2.0f64 / 3.0).sqrt() / 2.0;
+        assert!((s.cv - expected_cv).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_points_become_error_records() {
+        // An invalid point (Express on the WAN) slipped into a campaign
+        // must not abort the others.
+        let scenarios = vec![
+            Scenario {
+                kernel: Kernel::Broadcast,
+                tool: ToolKind::Express,
+                platform: Platform::SunAtmWan,
+                nprocs: 4,
+                size: 1024,
+                reps: 1,
+            },
+            Scenario {
+                kernel: Kernel::Broadcast,
+                tool: ToolKind::P4,
+                platform: Platform::SunAtmWan,
+                nprocs: 4,
+                size: 1024,
+                reps: 1,
+            },
+        ];
+        let records = run_campaign(&scenarios, 2);
+        assert_eq!(records[0].status, RecordStatus::Error);
+        assert!(records[0].detail.as_deref().unwrap().contains("port"));
+        assert_eq!(records[1].status, RecordStatus::Ok);
+    }
+}

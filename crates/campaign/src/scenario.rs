@@ -1,0 +1,350 @@
+//! Scenario keys: the coordinates of one sweep point.
+//!
+//! A [`Scenario`] names everything that determines one measured value of
+//! the paper's evaluation grid — the kernel (a TPL communication
+//! primitive or an APL application), the tool, the platform, the process
+//! count, the size parameter and the repetition count. Scenarios are pure
+//! data: enumerating them ([`crate::grid`]), executing them
+//! ([`crate::exec`]) and storing their results ([`crate::store`]) are
+//! separate concerns.
+
+use pdceval_mpt::error::RunError;
+use pdceval_mpt::runtime::SpmdConfig;
+use pdceval_mpt::ToolKind;
+use pdceval_simnet::platform::Platform;
+use std::fmt;
+
+/// Workload scale: the paper's sizes, or reduced sizes for fast tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// The calibrated paper-scale workloads.
+    Paper,
+    /// Small workloads for quick runs and tests (same shapes, less time).
+    Quick,
+}
+
+impl Scale {
+    /// Stable lower-case slug used in scenario keys.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Quick => "quick",
+        }
+    }
+}
+
+/// The four applications of the paper's §3.3, in figure order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AplApp {
+    /// 2D Fast Fourier Transform.
+    Fft,
+    /// JPEG compression ("JPEG Simulation" in the figures).
+    Jpeg,
+    /// Monte Carlo integration.
+    MonteCarlo,
+    /// Parallel Sorting by Regular Sampling.
+    Sorting,
+}
+
+impl AplApp {
+    /// All four, in the order the paper's figure panes appear.
+    pub fn all() -> [AplApp; 4] {
+        [
+            AplApp::Fft,
+            AplApp::Jpeg,
+            AplApp::MonteCarlo,
+            AplApp::Sorting,
+        ]
+    }
+
+    /// Pane title as used in the paper's figures.
+    pub fn title(&self) -> &'static str {
+        match self {
+            AplApp::Fft => "2D-FFT",
+            AplApp::Jpeg => "JPEG Simulation",
+            AplApp::MonteCarlo => "Monte Carlo Integration",
+            AplApp::Sorting => "Sorting by Sampling",
+        }
+    }
+
+    /// Stable lower-case slug used in scenario keys.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            AplApp::Fft => "fft",
+            AplApp::Jpeg => "jpeg",
+            AplApp::MonteCarlo => "montecarlo",
+            AplApp::Sorting => "sorting",
+        }
+    }
+}
+
+impl fmt::Display for AplApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.title())
+    }
+}
+
+/// The measured workload of a scenario: one of the paper's TPL
+/// communication kernels, or one APL application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Point-to-point echo between ranks 0 and 1 (Table 3). The
+    /// scenario's `size` is the message size in bytes; the value is the
+    /// average one-way latency in milliseconds over `iters` round trips.
+    SendRecv {
+        /// Ping-pong iterations (the simulation is deterministic, so one
+        /// iteration is exact; more simply average identical values).
+        iters: u32,
+    },
+    /// Rank-0-rooted broadcast (Figure 2). `size` is bytes; the value is
+    /// the completion time in milliseconds at the last receiving node.
+    Broadcast,
+    /// Simultaneous ring shift, "all nodes send and receive" (Figure 3).
+    /// `size` is bytes; the value is per-shift completion milliseconds.
+    Ring {
+        /// Number of simultaneous shifts (time is reported per shift).
+        shifts: u32,
+    },
+    /// Global vector summation (Figure 4). `size` is the vector length in
+    /// elements; the value is completion milliseconds.
+    GlobalSum,
+    /// One SU PDABS application (Figures 5-8). `size` is unused; the
+    /// value is execution time in **seconds**.
+    App {
+        /// The application.
+        app: AplApp,
+        /// Workload scale.
+        scale: Scale,
+    },
+}
+
+impl Kernel {
+    /// Stable lower-case slug used in scenario keys. Kernel parameters
+    /// that change what a point measures (echo iterations, ring shifts,
+    /// app scale) are part of the slug, so differently parameterized
+    /// scenarios never collide on a store/diff key.
+    pub fn slug(&self) -> String {
+        match self {
+            Kernel::SendRecv { iters } => format!("sendrecv-i{}", iters.max(&1)),
+            Kernel::Broadcast => "broadcast".to_string(),
+            Kernel::Ring { shifts } => format!("ring-x{}", shifts.max(&1)),
+            Kernel::GlobalSum => "globalsum".to_string(),
+            Kernel::App { app, scale } => format!("{}-{}", app.slug(), scale.slug()),
+        }
+    }
+
+    /// The unit of this kernel's measured value.
+    pub fn unit(&self) -> &'static str {
+        match self {
+            Kernel::App { .. } => "s",
+            _ => "ms",
+        }
+    }
+}
+
+/// Stable lower-case slug for a tool, used in scenario keys.
+pub fn tool_slug(tool: ToolKind) -> &'static str {
+    match tool {
+        ToolKind::Express => "express",
+        ToolKind::P4 => "p4",
+        ToolKind::Pvm => "pvm",
+    }
+}
+
+/// Stable lower-case slug for a platform, used in scenario keys.
+pub fn platform_slug(platform: Platform) -> &'static str {
+    match platform {
+        Platform::SunEthernet => "sun-eth",
+        Platform::SunAtmLan => "sun-atm-lan",
+        Platform::SunAtmWan => "sun-atm-wan",
+        Platform::AlphaFddi => "alpha-fddi",
+        Platform::Sp1Switch => "sp1-switch",
+        Platform::Sp1Ethernet => "sp1-eth",
+    }
+}
+
+/// One sweep point of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scenario {
+    /// The workload to measure.
+    pub kernel: Kernel,
+    /// The tool under test.
+    pub tool: ToolKind,
+    /// The testbed.
+    pub platform: Platform,
+    /// Number of node processes.
+    pub nprocs: usize,
+    /// Size parameter (bytes for message kernels, elements for
+    /// [`Kernel::GlobalSum`], unused for applications).
+    pub size: u64,
+    /// Number of repetitions per point (statistics are computed over
+    /// these in the results store).
+    pub reps: u32,
+}
+
+impl Scenario {
+    /// The stable identity of this point: equal scenarios (ignoring
+    /// `reps`) render equal keys, which is what baseline comparison
+    /// matches on.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}/n{}/s{}",
+            self.kernel.slug(),
+            tool_slug(self.tool),
+            platform_slug(self.platform),
+            self.nprocs,
+            self.size
+        )
+    }
+
+    /// Checks this scenario against platform node limits and tool ports,
+    /// exactly as [`SpmdConfig::validate`] would at run time.
+    ///
+    /// # Errors
+    ///
+    /// As [`SpmdConfig::validate`].
+    pub fn validate(&self) -> Result<(), RunError> {
+        SpmdConfig::new(self.platform, self.tool, self.nprocs).validate()
+    }
+
+    /// Whether the scenario can produce a timed value: the run
+    /// configuration is valid *and* the tool implements the kernel (PVM
+    /// has no global-sum primitive, so its global-sum points are
+    /// enumerable but yield no timing — grids drop them) *and* the
+    /// kernel's shape fits the node count (the echo kernel needs a
+    /// second rank to talk to).
+    pub fn is_valid(&self) -> bool {
+        if self.validate().is_err() {
+            return false;
+        }
+        match self.kernel {
+            Kernel::GlobalSum => self.tool.supports_global_ops(),
+            Kernel::SendRecv { .. } => self.nprocs >= 2,
+            _ => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc(kernel: Kernel, tool: ToolKind, platform: Platform, nprocs: usize) -> Scenario {
+        Scenario {
+            kernel,
+            tool,
+            platform,
+            nprocs,
+            size: 1024,
+            reps: 1,
+        }
+    }
+
+    #[test]
+    fn keys_are_stable_and_unique_across_coordinates() {
+        let a = sc(Kernel::Broadcast, ToolKind::P4, Platform::SunEthernet, 4);
+        assert_eq!(a.key(), "broadcast/p4/sun-eth/n4/s1024");
+        let b = sc(Kernel::Broadcast, ToolKind::Pvm, Platform::SunEthernet, 4);
+        assert_ne!(a.key(), b.key());
+        let c = sc(
+            Kernel::App {
+                app: AplApp::Jpeg,
+                scale: Scale::Quick,
+            },
+            ToolKind::P4,
+            Platform::AlphaFddi,
+            8,
+        );
+        assert_eq!(c.key(), "jpeg-quick/p4/alpha-fddi/n8/s1024");
+    }
+
+    #[test]
+    fn kernel_parameters_are_part_of_the_key() {
+        // Ring shifts and echo iterations change what a point measures,
+        // so they must not collide on one store/diff key.
+        let r1 = sc(
+            Kernel::Ring { shifts: 1 },
+            ToolKind::P4,
+            Platform::SunEthernet,
+            4,
+        );
+        let r4 = sc(
+            Kernel::Ring { shifts: 4 },
+            ToolKind::P4,
+            Platform::SunEthernet,
+            4,
+        );
+        assert_eq!(r1.key(), "ring-x1/p4/sun-eth/n4/s1024");
+        assert_ne!(r1.key(), r4.key());
+        let s1 = sc(
+            Kernel::SendRecv { iters: 1 },
+            ToolKind::P4,
+            Platform::SunEthernet,
+            2,
+        );
+        let s2 = sc(
+            Kernel::SendRecv { iters: 2 },
+            ToolKind::P4,
+            Platform::SunEthernet,
+            2,
+        );
+        assert_ne!(s1.key(), s2.key());
+        // The executor clamps iters/shifts to >= 1; the slug does too,
+        // so a clamped scenario and its literal form share a key.
+        assert_eq!(
+            sc(
+                Kernel::SendRecv { iters: 0 },
+                ToolKind::P4,
+                Platform::SunEthernet,
+                2
+            )
+            .key(),
+            s1.key()
+        );
+    }
+
+    #[test]
+    fn validity_mirrors_run_time_rules() {
+        // Express has no WAN port.
+        assert!(!sc(
+            Kernel::Ring { shifts: 1 },
+            ToolKind::Express,
+            Platform::SunAtmWan,
+            4
+        )
+        .is_valid());
+        // PVM has no global sum.
+        assert!(!sc(Kernel::GlobalSum, ToolKind::Pvm, Platform::SunEthernet, 4).is_valid());
+        // Too many nodes for NYNET.
+        assert!(!sc(Kernel::Broadcast, ToolKind::P4, Platform::SunAtmWan, 8).is_valid());
+        assert!(sc(Kernel::Broadcast, ToolKind::P4, Platform::SunAtmWan, 4).is_valid());
+        // The echo kernel needs a peer rank.
+        assert!(!sc(
+            Kernel::SendRecv { iters: 1 },
+            ToolKind::P4,
+            Platform::SunEthernet,
+            1
+        )
+        .is_valid());
+        assert!(sc(
+            Kernel::SendRecv { iters: 1 },
+            ToolKind::P4,
+            Platform::SunEthernet,
+            2
+        )
+        .is_valid());
+    }
+
+    #[test]
+    fn kernel_units() {
+        assert_eq!(Kernel::Broadcast.unit(), "ms");
+        assert_eq!(
+            Kernel::App {
+                app: AplApp::Fft,
+                scale: Scale::Paper
+            }
+            .unit(),
+            "s"
+        );
+    }
+}

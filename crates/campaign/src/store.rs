@@ -1,0 +1,309 @@
+//! The campaign results store: one JSON object per line (JSONL).
+//!
+//! Every record carries the scenario key plus run metadata (git SHA,
+//! unix timestamp), so stores written on different commits are directly
+//! comparable by key — the substrate for [`crate::diff`]'s regression
+//! gating. The full schema is documented in the top-level `README.md`.
+//!
+//! Rendering is deterministic given fixed metadata: equal record lists
+//! render byte-identical stores, which is how the parallel-vs-serial
+//! equivalence tests assert bit-equality.
+
+use crate::json::{escape, parse_object, Json};
+use crate::runner::ScenarioRecord;
+use crate::scenario::{platform_slug, tool_slug};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::Command;
+
+/// Run metadata stamped into every record of one store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreMeta {
+    /// The commit the results were produced on, if known.
+    pub git_sha: Option<String>,
+    /// Unix timestamp (seconds) of the run, if known.
+    pub timestamp: Option<u64>,
+}
+
+impl StoreMeta {
+    /// No metadata — for deterministic rendering in tests.
+    pub fn none() -> StoreMeta {
+        StoreMeta::default()
+    }
+
+    /// Captures the current commit and wall-clock time.
+    pub fn capture() -> StoreMeta {
+        StoreMeta {
+            git_sha: git_sha(),
+            timestamp: Some(unix_timestamp()),
+        }
+    }
+}
+
+/// The current commit's abbreviated SHA, if a git repository is present.
+pub fn git_sha() -> Option<String> {
+    let out = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let sha = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    (!sha.is_empty()).then_some(sha)
+}
+
+/// Seconds since the unix epoch.
+pub fn unix_timestamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn render_opt_num(out: &mut String, value: Option<f64>) {
+    match value {
+        Some(v) => {
+            let _ = write!(out, "{v}");
+        }
+        None => out.push_str("null"),
+    }
+}
+
+/// Renders one record as a single JSON line (no trailing newline).
+pub fn render_record(r: &ScenarioRecord, meta: &StoreMeta) -> String {
+    let sc = &r.scenario;
+    let mut out = String::with_capacity(256);
+    let _ = write!(
+        out,
+        "{{\"key\": \"{}\", \"kernel\": \"{}\", \"tool\": \"{}\", \"platform\": \"{}\", \
+         \"nprocs\": {}, \"size\": {}, \"reps\": {}, \"unit\": \"{}\", \"status\": \"{}\"",
+        escape(&sc.key()),
+        escape(&sc.kernel.slug()),
+        tool_slug(sc.tool),
+        platform_slug(sc.platform),
+        sc.nprocs,
+        sc.size,
+        sc.reps,
+        sc.kernel.unit(),
+        r.status.slug(),
+    );
+    out.push_str(", \"mean\": ");
+    render_opt_num(&mut out, r.stats.map(|s| s.mean));
+    out.push_str(", \"min\": ");
+    render_opt_num(&mut out, r.stats.map(|s| s.min));
+    out.push_str(", \"max\": ");
+    render_opt_num(&mut out, r.stats.map(|s| s.max));
+    out.push_str(", \"cv\": ");
+    render_opt_num(&mut out, r.stats.map(|s| s.cv));
+    match &r.detail {
+        Some(d) => {
+            let _ = write!(out, ", \"detail\": \"{}\"", escape(d));
+        }
+        None => out.push_str(", \"detail\": null"),
+    }
+    match &meta.git_sha {
+        Some(sha) => {
+            let _ = write!(out, ", \"git_sha\": \"{}\"", escape(sha));
+        }
+        None => out.push_str(", \"git_sha\": null"),
+    }
+    match meta.timestamp {
+        Some(t) => {
+            let _ = write!(out, ", \"timestamp\": {t}");
+        }
+        None => out.push_str(", \"timestamp\": null"),
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a whole store (one record per line, trailing newline).
+pub fn render_jsonl(records: &[ScenarioRecord], meta: &StoreMeta) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&render_record(r, meta));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a store to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Returns any I/O error.
+pub fn write_jsonl(
+    path: &Path,
+    records: &[ScenarioRecord],
+    meta: &StoreMeta,
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, render_jsonl(records, meta))
+}
+
+/// One record as read back from a store — the fields baseline comparison
+/// needs, plus the stamped metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredRecord {
+    /// Scenario key.
+    pub key: String,
+    /// Execution status slug (`ok` / `unsupported` / `error`).
+    pub status: String,
+    /// Value unit (`ms` / `s`).
+    pub unit: String,
+    /// Mean over repetitions, for `ok` records.
+    pub mean: Option<f64>,
+    /// Minimum over repetitions.
+    pub min: Option<f64>,
+    /// Maximum over repetitions.
+    pub max: Option<f64>,
+    /// Coefficient of variation over repetitions.
+    pub cv: Option<f64>,
+    /// Commit the record was produced on.
+    pub git_sha: Option<String>,
+    /// Unix timestamp of the run.
+    pub timestamp: Option<u64>,
+}
+
+/// Parses a store's text back into records.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<StoredRecord>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let pairs = parse_object(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let get = |k: &str| pairs.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+        let str_field = |k: &str| -> Result<String, String> {
+            get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("line {}: missing string field '{k}'", lineno + 1))
+        };
+        let num_field = |k: &str| get(k).and_then(Json::as_f64);
+        out.push(StoredRecord {
+            key: str_field("key")?,
+            status: str_field("status")?,
+            unit: str_field("unit")?,
+            mean: num_field("mean"),
+            min: num_field("min"),
+            max: num_field("max"),
+            cv: num_field("cv"),
+            git_sha: get("git_sha").and_then(Json::as_str).map(str::to_string),
+            timestamp: num_field("timestamp").map(|t| t as u64),
+        });
+    }
+    Ok(out)
+}
+
+/// Loads a store from disk.
+///
+/// # Errors
+///
+/// Returns the I/O or parse problem as a string.
+pub fn load_jsonl(path: &Path) -> Result<Vec<StoredRecord>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{RecordStatus, RepStats};
+    use crate::scenario::{Kernel, Scenario};
+    use pdceval_mpt::ToolKind;
+    use pdceval_simnet::platform::Platform;
+
+    fn record(size: u64, mean: f64) -> ScenarioRecord {
+        ScenarioRecord {
+            scenario: Scenario {
+                kernel: Kernel::Broadcast,
+                tool: ToolKind::P4,
+                platform: Platform::SunEthernet,
+                nprocs: 4,
+                size,
+                reps: 2,
+            },
+            status: RecordStatus::Ok,
+            stats: Some(RepStats {
+                mean,
+                min: mean,
+                max: mean,
+                cv: 0.0,
+            }),
+            detail: None,
+        }
+    }
+
+    #[test]
+    fn stores_round_trip() {
+        let records = vec![record(1024, 3.5), record(65536, 120.25)];
+        let meta = StoreMeta {
+            git_sha: Some("abc123def456".to_string()),
+            timestamp: Some(1_753_000_000),
+        };
+        let text = render_jsonl(&records, &meta);
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].key, "broadcast/p4/sun-eth/n4/s1024");
+        assert_eq!(parsed[0].status, "ok");
+        assert_eq!(parsed[0].unit, "ms");
+        assert_eq!(parsed[0].mean, Some(3.5));
+        assert_eq!(parsed[1].mean, Some(120.25));
+        assert_eq!(parsed[0].git_sha.as_deref(), Some("abc123def456"));
+        assert_eq!(parsed[0].timestamp, Some(1_753_000_000));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let records = vec![record(0, 0.5)];
+        let a = render_jsonl(&records, &StoreMeta::none());
+        let b = render_jsonl(&records, &StoreMeta::none());
+        assert_eq!(a, b);
+        let parsed = parse_jsonl(&a).unwrap();
+        assert_eq!(parsed[0].git_sha, None);
+        assert_eq!(parsed[0].timestamp, None);
+    }
+
+    #[test]
+    fn non_ok_records_carry_detail_and_null_stats() {
+        let r = ScenarioRecord {
+            scenario: Scenario {
+                kernel: Kernel::GlobalSum,
+                tool: ToolKind::Pvm,
+                platform: Platform::SunEthernet,
+                nprocs: 4,
+                size: 1000,
+                reps: 1,
+            },
+            status: RecordStatus::Unsupported,
+            stats: None,
+            detail: Some("PVM does not support the global sum primitive".to_string()),
+        };
+        let text = render_jsonl(&[r], &StoreMeta::none());
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed[0].status, "unsupported");
+        assert_eq!(parsed[0].mean, None);
+    }
+
+    #[test]
+    fn files_round_trip() {
+        let dir = std::env::temp_dir().join("pdceval-campaign-store-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("results.jsonl");
+        write_jsonl(&path, &[record(2048, 7.0)], &StoreMeta::none()).unwrap();
+        let loaded = load_jsonl(&path).unwrap();
+        assert_eq!(loaded[0].mean, Some(7.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

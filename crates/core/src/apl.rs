@@ -5,67 +5,20 @@
 //! 2D-FFT, Monte Carlo integration, PSRS sorting) across processor counts
 //! on each platform, producing the execution-time-vs-processors series of
 //! Figures 5-8.
+//!
+//! The series are generated through the campaign engine
+//! ([`pdceval_campaign`]): an [`AplConfig`] declares one figure pane as a
+//! scenario list, and a [`pdceval_campaign::Executor`] executes it with
+//! the simulated cluster skeleton reused across processor counts.
 
-use pdceval_apps::fft::Fft2d;
-use pdceval_apps::jpeg::JpegCompression;
-use pdceval_apps::monte_carlo::MonteCarlo;
-use pdceval_apps::psrs::PsrsSort;
-use pdceval_apps::workload::run_workload;
+use pdceval_campaign::exec::Executor;
+use pdceval_campaign::scenario::{Kernel, Scenario};
 use pdceval_mpt::error::RunError;
-use pdceval_mpt::runtime::SpmdConfig;
 use pdceval_mpt::ToolKind;
 use pdceval_simnet::platform::Platform;
-use std::fmt;
 
-/// The four applications of the paper's §3.3, in figure order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum AplApp {
-    /// 2D Fast Fourier Transform.
-    Fft,
-    /// JPEG compression ("JPEG Simulation" in the figures).
-    Jpeg,
-    /// Monte Carlo integration.
-    MonteCarlo,
-    /// Parallel Sorting by Regular Sampling.
-    Sorting,
-}
-
-impl AplApp {
-    /// All four, in the order the paper's figure panes appear.
-    pub fn all() -> [AplApp; 4] {
-        [
-            AplApp::Fft,
-            AplApp::Jpeg,
-            AplApp::MonteCarlo,
-            AplApp::Sorting,
-        ]
-    }
-
-    /// Pane title as used in the paper's figures.
-    pub fn title(&self) -> &'static str {
-        match self {
-            AplApp::Fft => "2D-FFT",
-            AplApp::Jpeg => "JPEG Simulation",
-            AplApp::MonteCarlo => "Monte Carlo Integration",
-            AplApp::Sorting => "Sorting by Sampling",
-        }
-    }
-}
-
-impl fmt::Display for AplApp {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.title())
-    }
-}
-
-/// Workload scale: the paper's sizes, or reduced sizes for fast tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Scale {
-    /// The calibrated paper-scale workloads.
-    Paper,
-    /// Small workloads for quick runs and tests (same shapes, less time).
-    Quick,
-}
+pub use pdceval_campaign::campaigns::figure_procs;
+pub use pdceval_campaign::scenario::{AplApp, Scale};
 
 /// Configuration of one APL sweep (one pane of one figure).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +35,27 @@ pub struct AplConfig {
     pub scale: Scale,
 }
 
+impl AplConfig {
+    /// The campaign scenarios this sweep declares, one per processor
+    /// count.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        self.procs
+            .iter()
+            .map(|&procs| Scenario {
+                kernel: Kernel::App {
+                    app: self.app,
+                    scale: self.scale,
+                },
+                tool: self.tool,
+                platform: self.platform,
+                nprocs: procs,
+                size: 0,
+                reps: 1,
+            })
+            .collect()
+    }
+}
+
 /// One measured point: processor count and execution time in seconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AplPoint {
@@ -91,13 +65,6 @@ pub struct AplPoint {
     pub seconds: f64,
 }
 
-/// The processor counts of the paper's figures for a platform
-/// (1..=8 generally, 1..=4 on the NYNET WAN).
-pub fn figure_procs(platform: Platform) -> Vec<usize> {
-    let max = platform.max_nodes().min(8);
-    (1..=max).collect()
-}
-
 /// Runs one application sweep.
 ///
 /// # Errors
@@ -105,55 +72,19 @@ pub fn figure_procs(platform: Platform) -> Vec<usize> {
 /// Returns [`RunError`] if the tool/platform combination is unsupported
 /// or any run fails.
 pub fn app_sweep(cfg: &AplConfig) -> Result<Vec<AplPoint>, RunError> {
+    let mut exec = Executor::new();
     let mut points = Vec::with_capacity(cfg.procs.len());
-    for &procs in &cfg.procs {
-        let run_cfg = SpmdConfig::new(cfg.platform, cfg.tool, procs);
-        let seconds = run_app(cfg.app, cfg.scale, &run_cfg)?;
-        points.push(AplPoint { procs, seconds });
+    for sc in cfg.scenarios() {
+        let outcome = exec.run(&sc)?;
+        let seconds = outcome
+            .value()
+            .expect("application kernels always produce a value");
+        points.push(AplPoint {
+            procs: sc.nprocs,
+            seconds,
+        });
     }
     Ok(points)
-}
-
-fn run_app(app: AplApp, scale: Scale, cfg: &SpmdConfig) -> Result<f64, RunError> {
-    let elapsed = match (app, scale) {
-        (AplApp::Jpeg, Scale::Paper) => run_workload(&JpegCompression::paper(), cfg)?.elapsed,
-        (AplApp::Jpeg, Scale::Quick) => {
-            run_workload(
-                &JpegCompression {
-                    width: 128,
-                    height: 128,
-                    seed: 9,
-                },
-                cfg,
-            )?
-            .elapsed
-        }
-        (AplApp::Fft, Scale::Paper) => run_workload(&Fft2d::paper(), cfg)?.elapsed,
-        (AplApp::Fft, Scale::Quick) => run_workload(&Fft2d { n: 32, seed: 5 }, cfg)?.elapsed,
-        (AplApp::MonteCarlo, Scale::Paper) => run_workload(&MonteCarlo::paper(), cfg)?.elapsed,
-        (AplApp::MonteCarlo, Scale::Quick) => {
-            run_workload(
-                &MonteCarlo {
-                    samples: 50_000,
-                    seed: 77,
-                },
-                cfg,
-            )?
-            .elapsed
-        }
-        (AplApp::Sorting, Scale::Paper) => run_workload(&PsrsSort::paper(), cfg)?.elapsed,
-        (AplApp::Sorting, Scale::Quick) => {
-            run_workload(
-                &PsrsSort {
-                    keys: 20_000,
-                    seed: 11,
-                },
-                cfg,
-            )?
-            .elapsed
-        }
-    };
-    Ok(elapsed.as_secs_f64())
 }
 
 #[cfg(test)]

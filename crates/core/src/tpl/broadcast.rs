@@ -3,11 +3,12 @@
 //! Rank 0 broadcasts a message of each size among 4 nodes; the reported
 //! time is from the start of the operation until the *last* node holds
 //! the payload — what the paper's "execution time for broadcasting"
-//! measures.
+//! measures. The series is generated through the campaign engine.
 
 use super::TimingPoint;
+use pdceval_campaign::exec::Executor;
+use pdceval_campaign::scenario::{Kernel, Scenario};
 use pdceval_mpt::error::RunError;
-use pdceval_mpt::runtime::{run_spmd, SpmdConfig};
 use pdceval_mpt::ToolKind;
 use pdceval_simnet::platform::Platform;
 
@@ -34,6 +35,21 @@ impl BroadcastConfig {
             sizes_kb: super::table3_sizes_kb(),
         }
     }
+
+    /// The campaign scenarios this sweep declares, one per message size.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        self.sizes_kb
+            .iter()
+            .map(|&kb| Scenario {
+                kernel: Kernel::Broadcast,
+                tool: self.tool,
+                platform: self.platform,
+                nprocs: self.nprocs,
+                size: kb * 1024,
+                reps: 1,
+            })
+            .collect()
+    }
 }
 
 /// Runs the sweep, returning broadcast completion times per message size.
@@ -43,25 +59,17 @@ impl BroadcastConfig {
 /// Returns [`RunError`] if the tool/platform combination is unsupported
 /// or the simulation fails.
 pub fn broadcast_sweep(cfg: &BroadcastConfig) -> Result<Vec<TimingPoint>, RunError> {
-    let mut points = Vec::with_capacity(cfg.sizes_kb.len());
-    for &kb in &cfg.sizes_kb {
-        let bytes = (kb * 1024) as usize;
-        let run_cfg = SpmdConfig::new(cfg.platform, cfg.tool, cfg.nprocs);
-        let out = run_spmd(&run_cfg, move |node| {
-            let data = if node.rank() == 0 {
-                bytes::Bytes::from(vec![0u8; bytes])
-            } else {
-                bytes::Bytes::new()
-            };
-            let got = node.broadcast(0, data).expect("broadcast failed");
-            assert_eq!(got.len(), bytes, "broadcast payload corrupted");
-            node.now().as_millis_f64()
-        })?;
-        // Completion = the last node to hold the payload.
-        let done = out.results.iter().cloned().fold(0.0, f64::max);
-        points.push(TimingPoint::new(kb * 1024, done));
-    }
-    Ok(points)
+    let mut exec = Executor::new();
+    cfg.scenarios()
+        .iter()
+        .map(|sc| {
+            let done = exec
+                .run(sc)?
+                .value()
+                .expect("broadcast kernels always produce a value");
+            Ok(TimingPoint::new(sc.size, done))
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -6,8 +6,9 @@
 //! absent from the paper's Figure 4 (and reported as unsupported here).
 
 use super::TimingPoint;
+use pdceval_campaign::exec::{Executor, PointOutcome};
+use pdceval_campaign::scenario::{Kernel, Scenario};
 use pdceval_mpt::error::{RunError, ToolError};
-use pdceval_mpt::runtime::{run_spmd, SpmdConfig};
 use pdceval_mpt::ToolKind;
 use pdceval_simnet::platform::Platform;
 
@@ -26,14 +27,29 @@ pub struct GlobalSumConfig {
 
 impl GlobalSumConfig {
     /// The paper's Figure 4 configuration: 4 nodes, vectors up to 100 000
-    /// integers.
+    /// integers (the campaign engine's canonical size list).
     pub fn figure4(platform: Platform, tool: ToolKind) -> GlobalSumConfig {
         GlobalSumConfig {
             platform,
             tool,
             nprocs: 4,
-            vector_sizes: vec![1_000, 10_000, 25_000, 50_000, 75_000, 100_000],
+            vector_sizes: pdceval_campaign::campaigns::figure4_vector_sizes(),
         }
+    }
+
+    /// The campaign scenarios this sweep declares, one per vector size.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        self.vector_sizes
+            .iter()
+            .map(|&n| Scenario {
+                kernel: Kernel::GlobalSum,
+                tool: self.tool,
+                platform: self.platform,
+                nprocs: self.nprocs,
+                size: n,
+                reps: 1,
+            })
+            .collect()
     }
 }
 
@@ -61,20 +77,13 @@ pub fn global_sum_sweep(cfg: &GlobalSumConfig) -> Result<GlobalSumResult, RunErr
             op: "global sum",
         }));
     }
+    let mut exec = Executor::new();
     let mut points = Vec::with_capacity(cfg.vector_sizes.len());
-    for &n in &cfg.vector_sizes {
-        let run_cfg = SpmdConfig::new(cfg.platform, cfg.tool, cfg.nprocs);
-        let nprocs = cfg.nprocs as i32;
-        let out = run_spmd(&run_cfg, move |node| {
-            let mine: Vec<i32> = (0..n as i32).map(|i| i + node.rank() as i32).collect();
-            let sum = node.global_sum_i32(&mine).expect("global sum failed");
-            // Element 0 must be the sum of all ranks' first elements.
-            let expect: i32 = (0..nprocs).sum();
-            assert_eq!(sum[0], expect, "global sum incorrect");
-            node.now().as_millis_f64()
-        })?;
-        let done = out.results.iter().cloned().fold(0.0, f64::max);
-        points.push(TimingPoint::new(n, done));
+    for sc in cfg.scenarios() {
+        match exec.run(&sc)? {
+            PointOutcome::Value(done) => points.push(TimingPoint::new(sc.size, done)),
+            PointOutcome::Unsupported(e) => return Ok(GlobalSumResult::Unsupported(e)),
+        }
     }
     Ok(GlobalSumResult::Timed(points))
 }

@@ -39,9 +39,13 @@ impl TimingPoint {
 }
 
 /// The message sizes of the paper's Table 3, in kilobytes:
-/// 0, 1, 2, 4, 8, 16, 32, 64.
+/// 0, 1, 2, 4, 8, 16, 32, 64. Derived from the campaign engine's
+/// canonical byte list so sweeps and declared campaigns cannot drift.
 pub fn table3_sizes_kb() -> Vec<u64> {
-    vec![0, 1, 2, 4, 8, 16, 32, 64]
+    pdceval_campaign::campaigns::table3_sizes_bytes()
+        .into_iter()
+        .map(|b| b / 1024)
+        .collect()
 }
 
 /// Asserts a size series is strictly increasing in time — used by tests.

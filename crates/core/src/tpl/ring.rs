@@ -13,8 +13,9 @@
 //! paper-vs-measured discussion.
 
 use super::TimingPoint;
+use pdceval_campaign::exec::Executor;
+use pdceval_campaign::scenario::{Kernel, Scenario};
 use pdceval_mpt::error::RunError;
-use pdceval_mpt::runtime::{run_spmd, SpmdConfig};
 use pdceval_mpt::ToolKind;
 use pdceval_simnet::platform::Platform;
 
@@ -45,6 +46,23 @@ impl RingConfig {
             shifts: 1,
         }
     }
+
+    /// The campaign scenarios this sweep declares, one per message size.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        self.sizes_kb
+            .iter()
+            .map(|&kb| Scenario {
+                kernel: Kernel::Ring {
+                    shifts: self.shifts,
+                },
+                tool: self.tool,
+                platform: self.platform,
+                nprocs: self.nprocs,
+                size: kb * 1024,
+                reps: 1,
+            })
+            .collect()
+    }
 }
 
 /// Runs the sweep, returning the per-shift completion time (the instant
@@ -55,29 +73,17 @@ impl RingConfig {
 /// Returns [`RunError`] if the tool/platform combination is unsupported
 /// or the simulation fails.
 pub fn ring_sweep(cfg: &RingConfig) -> Result<Vec<TimingPoint>, RunError> {
-    let shifts = cfg.shifts.max(1);
-    let nprocs = cfg.nprocs;
-    let mut points = Vec::with_capacity(cfg.sizes_kb.len());
-    for &kb in &cfg.sizes_kb {
-        let bytes = (kb * 1024) as usize;
-        let run_cfg = SpmdConfig::new(cfg.platform, cfg.tool, nprocs);
-        let out = run_spmd(&run_cfg, move |node| {
-            let mut data = bytes::Bytes::from(vec![node.rank() as u8; bytes]);
-            for _ in 0..shifts {
-                data = node.ring_shift(data).expect("ring shift failed");
-            }
-            // After `shifts` shifts the payload originated `shifts` ranks
-            // upstream.
-            if bytes > 0 {
-                let origin = (node.rank() + nprocs - (shifts as usize % nprocs)) % nprocs;
-                assert_eq!(data[0] as usize, origin, "ring payload misrouted");
-            }
-            node.now().as_millis_f64()
-        })?;
-        let done = out.results.iter().cloned().fold(0.0, f64::max);
-        points.push(TimingPoint::new(kb * 1024, done / shifts as f64));
-    }
-    Ok(points)
+    let mut exec = Executor::new();
+    cfg.scenarios()
+        .iter()
+        .map(|sc| {
+            let per_shift = exec
+                .run(sc)?
+                .value()
+                .expect("ring kernels always produce a value");
+            Ok(TimingPoint::new(sc.size, per_shift))
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -2,11 +2,14 @@
 //!
 //! Two nodes ping-pong a message of each size; the reported time is the
 //! average one-way latency (round trip halved), matching the paper's
-//! "snd/rcv timing" presentation.
+//! "snd/rcv timing" presentation. The series is generated through the
+//! campaign engine: one declared scenario per size, executed over a
+//! reused cluster skeleton.
 
 use super::TimingPoint;
+use pdceval_campaign::exec::Executor;
+use pdceval_campaign::scenario::{Kernel, Scenario};
 use pdceval_mpt::error::RunError;
-use pdceval_mpt::runtime::{run_spmd, SpmdConfig};
 use pdceval_mpt::ToolKind;
 use pdceval_simnet::platform::Platform;
 
@@ -34,6 +37,21 @@ impl SendRecvConfig {
             iters: 2,
         }
     }
+
+    /// The campaign scenarios this sweep declares, one per message size.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        self.sizes_kb
+            .iter()
+            .map(|&kb| Scenario {
+                kernel: Kernel::SendRecv { iters: self.iters },
+                tool: self.tool,
+                platform: self.platform,
+                nprocs: 2,
+                size: kb * 1024,
+                reps: 1,
+            })
+            .collect()
+    }
 }
 
 /// Runs the sweep, returning one-way times per message size.
@@ -43,31 +61,17 @@ impl SendRecvConfig {
 /// Returns [`RunError`] if the tool/platform combination is unsupported
 /// or the simulation fails.
 pub fn send_recv_sweep(cfg: &SendRecvConfig) -> Result<Vec<TimingPoint>, RunError> {
-    let iters = cfg.iters.max(1);
-    let mut points = Vec::with_capacity(cfg.sizes_kb.len());
-    for &kb in &cfg.sizes_kb {
-        let bytes = (kb * 1024) as usize;
-        let run_cfg = SpmdConfig::new(cfg.platform, cfg.tool, 2);
-        let out = run_spmd(&run_cfg, move |node| {
-            let payload = bytes::Bytes::from(vec![0u8; bytes]);
-            let start = node.now();
-            for i in 0..iters {
-                let tag = i; // distinct per iteration for clarity
-                if node.rank() == 0 {
-                    node.send(1, tag, payload.clone()).expect("send failed");
-                    let _ = node.recv(Some(1), Some(tag)).expect("recv failed");
-                } else {
-                    let _ = node.recv(Some(0), Some(tag)).expect("recv failed");
-                    node.send(0, tag, payload.clone()).expect("send failed");
-                }
-            }
-            (node.now() - start).as_millis_f64()
-        })?;
-        // Rank 0's elapsed time covers the full round trips.
-        let one_way = out.results[0] / (2.0 * iters as f64);
-        points.push(TimingPoint::new(kb * 1024, one_way));
-    }
-    Ok(points)
+    let mut exec = Executor::new();
+    cfg.scenarios()
+        .iter()
+        .map(|sc| {
+            let one_way = exec
+                .run(sc)?
+                .value()
+                .expect("send/recv kernels always produce a value");
+            Ok(TimingPoint::new(sc.size, one_way))
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -42,7 +42,7 @@ pub mod runtime;
 pub mod tool;
 
 pub use node::{Node, RecvMsg};
-pub use runtime::{run_spmd, SpmdConfig, SpmdOutcome};
+pub use runtime::{run_spmd, SpmdConfig, SpmdHarness, SpmdOutcome};
 pub use tool::{Primitive, ToolKind};
 
 /// Convenient glob-import of the crate's primary types.
@@ -51,7 +51,7 @@ pub mod prelude {
     pub use crate::message::{MsgReader, MsgWriter};
     pub use crate::node::{Node, RecvMsg};
     pub use crate::profile::ToolProfile;
-    pub use crate::runtime::{run_spmd, SpmdConfig, SpmdOutcome};
+    pub use crate::runtime::{run_spmd, SpmdConfig, SpmdHarness, SpmdOutcome};
     pub use crate::tool::{Primitive, ToolKind};
     pub use pdceval_simnet::platform::Platform;
     pub use pdceval_simnet::time::{SimDuration, SimTime};

@@ -25,6 +25,8 @@ use crate::node::{Node, Shared};
 use crate::tool::ToolKind;
 use pdceval_simnet::engine::{SimOutcome, Simulation};
 use pdceval_simnet::fabric::Fabric;
+use pdceval_simnet::host::HostSpec;
+use pdceval_simnet::ids::ResourceId;
 use pdceval_simnet::platform::Platform;
 use pdceval_simnet::time::{SimDuration, SimTime};
 use std::sync::{Arc, Mutex};
@@ -50,17 +52,15 @@ impl SpmdConfig {
         }
     }
 
-    fn validate(&self) -> Result<(), RunError> {
-        if self.nprocs == 0 {
-            return Err(RunError::ZeroNodes);
-        }
-        let max = self.platform.max_nodes();
-        if self.nprocs > max {
-            return Err(RunError::TooManyNodes {
-                requested: self.nprocs,
-                max,
-            });
-        }
+    /// Checks the configuration against the platform's node limits and the
+    /// tool's platform ports (Express had no NYNET WAN port).
+    ///
+    /// # Errors
+    ///
+    /// * [`RunError::ZeroNodes`] / [`RunError::TooManyNodes`] for bad sizes;
+    /// * [`RunError::PlatformUnsupported`] for a missing tool port.
+    pub fn validate(&self) -> Result<(), RunError> {
+        validate_size(self.platform, self.nprocs)?;
         if !self.tool.supports_platform(self.platform) {
             return Err(RunError::PlatformUnsupported {
                 tool: self.tool,
@@ -69,6 +69,20 @@ impl SpmdConfig {
         }
         Ok(())
     }
+}
+
+fn validate_size(platform: Platform, nprocs: usize) -> Result<(), RunError> {
+    if nprocs == 0 {
+        return Err(RunError::ZeroNodes);
+    }
+    let max = platform.max_nodes();
+    if nprocs > max {
+        return Err(RunError::TooManyNodes {
+            requested: nprocs,
+            max,
+        });
+    }
+    Ok(())
 }
 
 /// Results of a completed SPMD run.
@@ -85,11 +99,190 @@ pub struct SpmdOutcome<T> {
     pub sim: SimOutcome,
 }
 
+/// A reusable SPMD run skeleton: one simulated cluster (fabric, hosts,
+/// protocol-stack and daemon resources) kept alive across sweep points.
+///
+/// Building the cluster — registering the fabric's wire/port resources
+/// and the per-host stack/daemon resources — used to happen once per
+/// [`run_spmd`] call, i.e. once per sweep *point*. A harness does it once
+/// per `(platform, nprocs)` pair; each [`SpmdHarness::run`] then only
+/// spawns the rank processes, runs, and resets the engine in place
+/// ([`Simulation::run_in_place`]). The tool may differ per point, so one
+/// harness serves all three tools on its platform.
+///
+/// Runs through a harness are deterministic and bit-identical to
+/// standalone [`run_spmd`] runs of the same configuration: the resource
+/// registration order, process ids and event schedule are exactly the
+/// same.
+///
+/// # Examples
+///
+/// ```
+/// use pdceval_mpt::runtime::SpmdHarness;
+/// use pdceval_mpt::ToolKind;
+/// use pdceval_simnet::platform::Platform;
+///
+/// let mut h = SpmdHarness::new(Platform::SunEthernet, 4)?;
+/// for tool in ToolKind::all() {
+///     let out = h.run(tool, |node| {
+///         node.barrier().unwrap();
+///         node.rank()
+///     })?;
+///     assert_eq!(out.results, vec![0, 1, 2, 3]);
+/// }
+/// # Ok::<(), pdceval_mpt::error::RunError>(())
+/// ```
+pub struct SpmdHarness {
+    platform: Platform,
+    nprocs: usize,
+    sim: Simulation,
+    fabric: Fabric,
+    hosts: Vec<HostSpec>,
+    stack_tx: Vec<ResourceId>,
+    stack_rx: Vec<ResourceId>,
+    daemon: Vec<ResourceId>,
+}
+
+impl std::fmt::Debug for SpmdHarness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpmdHarness")
+            .field("platform", &self.platform)
+            .field("nprocs", &self.nprocs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SpmdHarness {
+    /// Builds the cluster skeleton for `nprocs` hosts of `platform`.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::ZeroNodes`] / [`RunError::TooManyNodes`] for sizes the
+    /// platform cannot host.
+    pub fn new(platform: Platform, nprocs: usize) -> Result<SpmdHarness, RunError> {
+        validate_size(platform, nprocs)?;
+        let mut sim = Simulation::new();
+        let fabric = Fabric::build(&mut sim, platform.network(), nprocs);
+        let hosts: Vec<_> = (0..nprocs).map(|_| platform.host()).collect();
+        let stack_tx = (0..nprocs)
+            .map(|i| sim.add_resource_indexed("stack-tx", i))
+            .collect();
+        let stack_rx = (0..nprocs)
+            .map(|i| sim.add_resource_indexed("stack-rx", i))
+            .collect();
+        let daemon = (0..nprocs)
+            .map(|i| sim.add_resource_indexed("daemon", i))
+            .collect();
+        Ok(SpmdHarness {
+            platform,
+            nprocs,
+            sim,
+            fabric,
+            hosts,
+            stack_tx,
+            stack_rx,
+            daemon,
+        })
+    }
+
+    /// The platform this harness simulates.
+    pub fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// The number of node processes per run.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Runs one SPMD point under `tool`, reusing the cluster skeleton.
+    ///
+    /// # Errors
+    ///
+    /// * [`RunError::PlatformUnsupported`] if `tool` has no port for this
+    ///   harness's platform;
+    /// * [`RunError::Sim`] if the application deadlocks or panics (the
+    ///   harness stays reusable afterwards).
+    pub fn run<T, F>(&mut self, tool: ToolKind, f: F) -> Result<SpmdOutcome<T>, RunError>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Node<'_>) -> T + Send + Sync + 'static,
+    {
+        if !tool.supports_platform(self.platform) {
+            return Err(RunError::PlatformUnsupported {
+                tool,
+                platform: self.platform,
+            });
+        }
+        let nprocs = self.nprocs;
+        let shared = Arc::new(Shared {
+            platform: self.platform,
+            tool,
+            fabric: self.fabric.clone(),
+            hosts: self.hosts.clone(),
+            stack_tx: self.stack_tx.clone(),
+            stack_rx: self.stack_rx.clone(),
+            daemon: self.daemon.clone(),
+            nprocs,
+        });
+
+        let results: Arc<Mutex<Vec<Option<T>>>> =
+            Arc::new(Mutex::new((0..nprocs).map(|_| None).collect()));
+        let f = Arc::new(f);
+
+        for (rank, host) in self.hosts.iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let results = Arc::clone(&results);
+            let f = Arc::clone(&f);
+            self.sim
+                .spawn_indexed("rank", rank, host.clone(), move |ctx| {
+                    let mut node = Node::new(ctx, rank, shared);
+                    let r = f(&mut node);
+                    // Indexed write: an out-of-bounds rank is an engine bug and
+                    // must panic loudly, not silently drop the result.
+                    results.lock().expect("results mutex poisoned")[rank] = Some(r);
+                });
+        }
+
+        let sim_outcome = self.sim.run_in_place()?;
+
+        let rank_finish: Vec<SimDuration> = sim_outcome
+            .proc_finish
+            .iter()
+            .map(|(_, t)| *t - SimTime::ZERO)
+            .collect();
+        let elapsed = rank_finish
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+
+        let results = Arc::try_unwrap(results)
+            .map_err(|_| ())
+            .expect("result references leaked")
+            .into_inner()
+            .expect("results mutex poisoned");
+        let results: Vec<T> = results
+            .into_iter()
+            .map(|r| r.expect("rank produced no result"))
+            .collect();
+
+        Ok(SpmdOutcome {
+            results,
+            elapsed,
+            rank_finish,
+            sim: sim_outcome,
+        })
+    }
+}
+
 /// Runs `f` on every rank of a simulated SPMD job.
 ///
 /// The function receives each rank's [`Node`] handle; its return values
 /// are collected by rank. The run is deterministic: identical
-/// configurations produce identical outcomes.
+/// configurations produce identical outcomes. Internally this builds a
+/// one-shot [`SpmdHarness`]; sweeps that revisit the same
+/// `(platform, nprocs)` should hold a harness instead.
 ///
 /// # Errors
 ///
@@ -103,78 +296,8 @@ where
     F: Fn(&mut Node<'_>) -> T + Send + Sync + 'static,
 {
     cfg.validate()?;
-    let nprocs = cfg.nprocs;
-    let mut sim = Simulation::new();
-    let fabric = Fabric::build(&mut sim, cfg.platform.network(), nprocs);
-
-    let hosts: Vec<_> = (0..nprocs).map(|_| cfg.platform.host()).collect();
-    let stack_tx = (0..nprocs)
-        .map(|i| sim.add_resource_indexed("stack-tx", i))
-        .collect();
-    let stack_rx = (0..nprocs)
-        .map(|i| sim.add_resource_indexed("stack-rx", i))
-        .collect();
-    let daemon = (0..nprocs)
-        .map(|i| sim.add_resource_indexed("daemon", i))
-        .collect();
-
-    let shared = Arc::new(Shared {
-        platform: cfg.platform,
-        tool: cfg.tool,
-        fabric,
-        hosts: hosts.clone(),
-        stack_tx,
-        stack_rx,
-        daemon,
-        nprocs,
-    });
-
-    let results: Arc<Mutex<Vec<Option<T>>>> =
-        Arc::new(Mutex::new((0..nprocs).map(|_| None).collect()));
-    let f = Arc::new(f);
-
-    for (rank, host) in hosts.iter().enumerate() {
-        let shared = Arc::clone(&shared);
-        let results = Arc::clone(&results);
-        let f = Arc::clone(&f);
-        sim.spawn_indexed("rank", rank, host.clone(), move |ctx| {
-            let mut node = Node::new(ctx, rank, shared);
-            let r = f(&mut node);
-            // Indexed write: an out-of-bounds rank is an engine bug and
-            // must panic loudly, not silently drop the result.
-            results.lock().expect("results mutex poisoned")[rank] = Some(r);
-        });
-    }
-
-    let sim_outcome = sim.run()?;
-
-    let rank_finish: Vec<SimDuration> = sim_outcome
-        .proc_finish
-        .iter()
-        .map(|(_, t)| *t - SimTime::ZERO)
-        .collect();
-    let elapsed = rank_finish
-        .iter()
-        .copied()
-        .max()
-        .unwrap_or(SimDuration::ZERO);
-
-    let results = Arc::try_unwrap(results)
-        .map_err(|_| ())
-        .expect("result references leaked")
-        .into_inner()
-        .expect("results mutex poisoned");
-    let results: Vec<T> = results
-        .into_iter()
-        .map(|r| r.expect("rank produced no result"))
-        .collect();
-
-    Ok(SpmdOutcome {
-        results,
-        elapsed,
-        rank_finish,
-        sim: sim_outcome,
-    })
+    let mut harness = SpmdHarness::new(cfg.platform, cfg.nprocs)?;
+    harness.run(cfg.tool, f)
 }
 
 #[cfg(test)]
@@ -381,6 +504,74 @@ mod tests {
         })
         .unwrap();
         assert_eq!(out.results[0], 2);
+    }
+
+    #[test]
+    fn harness_runs_match_standalone_runs() {
+        // The same point through a reused harness and through run_spmd
+        // must be bit-identical (same resource ids, same schedule).
+        let mut h = SpmdHarness::new(Platform::SunAtmLan, 4).unwrap();
+        for tool in ToolKind::all() {
+            for _ in 0..2 {
+                let via_harness = h
+                    .run(tool, |node| {
+                        let data = Bytes::from(vec![node.rank() as u8; 2048]);
+                        let got = node.ring_shift(data).unwrap();
+                        (got.len(), node.now().as_nanos())
+                    })
+                    .unwrap();
+                let standalone = run_spmd(&SpmdConfig::new(Platform::SunAtmLan, tool, 4), |node| {
+                    let data = Bytes::from(vec![node.rank() as u8; 2048]);
+                    let got = node.ring_shift(data).unwrap();
+                    (got.len(), node.now().as_nanos())
+                })
+                .unwrap();
+                assert_eq!(via_harness.results, standalone.results, "{tool}");
+                assert_eq!(via_harness.elapsed, standalone.elapsed, "{tool}");
+                assert_eq!(via_harness.rank_finish, standalone.rank_finish);
+            }
+        }
+    }
+
+    #[test]
+    fn harness_rejects_unsupported_tool_but_stays_usable() {
+        let mut h = SpmdHarness::new(Platform::SunAtmWan, 2).unwrap();
+        assert!(matches!(
+            h.run(ToolKind::Express, |_| ()),
+            Err(RunError::PlatformUnsupported { .. })
+        ));
+        let out = h.run(ToolKind::P4, |node| node.rank()).unwrap();
+        assert_eq!(out.results, vec![0, 1]);
+    }
+
+    #[test]
+    fn harness_recovers_after_deadlocked_point() {
+        let mut h = SpmdHarness::new(Platform::SunEthernet, 2).unwrap();
+        let err = h
+            .run(ToolKind::P4, |node| {
+                if node.rank() == 0 {
+                    let _ = node.recv(Some(1), Some(1));
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, RunError::Sim(SimError::Deadlock { .. })));
+        let out = h.run(ToolKind::P4, |node| node.rank() * 2).unwrap();
+        assert_eq!(out.results, vec![0, 2]);
+    }
+
+    #[test]
+    fn harness_size_validation() {
+        assert_eq!(
+            SpmdHarness::new(Platform::SunEthernet, 0).unwrap_err(),
+            RunError::ZeroNodes
+        );
+        assert!(matches!(
+            SpmdHarness::new(Platform::SunAtmWan, 5).unwrap_err(),
+            RunError::TooManyNodes {
+                requested: 5,
+                max: 4
+            }
+        ));
     }
 
     #[test]

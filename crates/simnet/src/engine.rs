@@ -239,6 +239,47 @@ struct Pending {
 }
 
 impl Core {
+    fn empty() -> Core {
+        Core {
+            resources: Vec::new(),
+            procs: Vec::new(),
+            mailboxes: Vec::new(),
+            flights: Vec::new(),
+            free_flights: Vec::new(),
+            pendings: Vec::new(),
+            free_pendings: Vec::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            clock: SimTime::ZERO,
+            runnable: VecDeque::new(),
+            messages_delivered: 0,
+            wire_bytes_delivered: 0,
+            end: None,
+        }
+    }
+
+    /// Returns the core to its pre-spawn state while keeping registered
+    /// resources (same ids, reset statistics) and allocated capacity.
+    /// Callers must hold the baton with no live process jobs.
+    fn reset_for_reuse(&mut self) {
+        for r in &mut self.resources {
+            r.reset();
+        }
+        self.procs.clear();
+        self.mailboxes.clear();
+        self.flights.clear();
+        self.free_flights.clear();
+        self.pendings.clear();
+        self.free_pendings.clear();
+        self.heap.clear();
+        self.seq = 0;
+        self.clock = SimTime::ZERO;
+        self.runnable.clear();
+        self.messages_delivered = 0;
+        self.wire_bytes_delivered = 0;
+        self.end = None;
+    }
+
     fn schedule(&mut self, at: SimTime, kind: EventKind) {
         debug_assert!(at >= self.clock, "event scheduled in the past");
         let seq = self.seq;
@@ -619,24 +660,14 @@ impl Default for Simulation {
 impl Simulation {
     /// Creates an empty simulation.
     pub fn new() -> Simulation {
+        Simulation::from_core(Core::empty())
+    }
+
+    /// Wraps an existing core (empty or recycled) in fresh control state.
+    fn from_core(core: Core) -> Simulation {
         Simulation {
             shared: Arc::new(SimShared {
-                core: UnsafeCell::new(Core {
-                    resources: Vec::new(),
-                    procs: Vec::new(),
-                    mailboxes: Vec::new(),
-                    flights: Vec::new(),
-                    free_flights: Vec::new(),
-                    pendings: Vec::new(),
-                    free_pendings: Vec::new(),
-                    heap: BinaryHeap::new(),
-                    seq: 0,
-                    clock: SimTime::ZERO,
-                    runnable: VecDeque::new(),
-                    messages_delivered: 0,
-                    wire_bytes_delivered: 0,
-                    end: None,
-                }),
+                core: UnsafeCell::new(core),
                 main_park: OnceLock::new(),
                 done: AtomicBool::new(false),
                 live: AtomicUsize::new(0),
@@ -777,6 +808,38 @@ impl Simulation {
     /// event can make progress, and [`SimError::ProcPanic`] if a simulated
     /// process panics.
     pub fn run(mut self) -> Result<SimOutcome, SimError> {
+        self.run_once()
+    }
+
+    /// Runs the simulation to completion, then resets it for reuse:
+    /// registered resources survive with their ids intact (statistics and
+    /// queues cleared), while processes, mailboxes, events and the clock
+    /// return to the pre-spawn state. Sweep harnesses call this in a loop,
+    /// re-spawning processes per point without re-registering the
+    /// platform's resource skeleton (the ROADMAP's `SpmdHarness`
+    /// follow-on).
+    ///
+    /// The reset happens on both success and failure, so a deadlocked
+    /// sweep point does not poison the harness.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::run`].
+    pub fn run_in_place(&mut self) -> Result<SimOutcome, SimError> {
+        let outcome = self.run_once();
+        // SAFETY: run_once returned the baton to this thread and every
+        // process job has retired, so we are the sole core accessor.
+        let core = unsafe { self.shared.core_mut() };
+        core.reset_for_reuse();
+        let recycled = std::mem::replace(core, Core::empty());
+        // Fresh control state (park latch, done/live flags) around the
+        // recycled core; the old SimShared is dropped once the last
+        // worker's Arc clone goes away.
+        *self = Simulation::from_core(recycled);
+        outcome
+    }
+
+    fn run_once(&mut self) -> Result<SimOutcome, SimError> {
         let main_park = ParkCell::for_current();
         self.shared
             .main_park
@@ -867,6 +930,14 @@ impl Drop for Simulation {
             park.park();
         }
     }
+}
+
+/// The number of spin iterations the scheduler's park latch attempts
+/// before parking the OS thread: 0 on single-core machines (spinning
+/// would steal cycles from the waker), a small bound otherwise. Exposed
+/// so benchmark reports can record the setting in effect.
+pub fn scheduler_spin_iters() -> u32 {
+    crate::sched::spin_iters()
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -1162,6 +1233,47 @@ mod tests {
             // Dropped without run(): Drop must unwind the parked jobs.
         }
         assert_eq!(Arc::strong_count(&marker), 1);
+    }
+
+    #[test]
+    fn run_in_place_reuses_resources_across_runs() {
+        let mut sim = Simulation::new();
+        let wire = sim.add_resource("wire");
+        let mut outcomes = Vec::new();
+        for _ in 0..3 {
+            for i in 0..2 {
+                sim.spawn_indexed("p", i, HostSpec::sun_ipx(), move |ctx| {
+                    ctx.serve(wire, us(100));
+                });
+            }
+            outcomes.push(sim.run_in_place().unwrap());
+        }
+        // Identical runs produce identical outcomes; resource stats do not
+        // leak across resets.
+        for out in &outcomes {
+            assert_eq!(out.end_time, SimTime::ZERO + us(200));
+            assert_eq!(out.resources[0].served, 2);
+            assert_eq!(out.resources[0].busy_time, us(200));
+        }
+        // The skeleton is back to pre-spawn state.
+        assert_eq!(sim.proc_count(), 0);
+    }
+
+    #[test]
+    fn run_in_place_recovers_from_deadlock() {
+        let mut sim = Simulation::new();
+        let wire = sim.add_resource("wire");
+        sim.spawn("stuck", HostSpec::sun_ipx(), |ctx| {
+            let _ = ctx.recv(Matcher::any());
+        });
+        assert!(matches!(sim.run_in_place(), Err(SimError::Deadlock { .. })));
+        // The same simulation runs a clean point afterwards.
+        sim.spawn("ok", HostSpec::sun_ipx(), move |ctx| {
+            ctx.serve(wire, us(50));
+        });
+        let out = sim.run_in_place().unwrap();
+        assert_eq!(out.end_time, SimTime::ZERO + us(50));
+        assert_eq!(out.resources[0].served, 1);
     }
 
     #[test]

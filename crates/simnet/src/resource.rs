@@ -94,6 +94,18 @@ impl Resource {
         }
     }
 
+    /// Returns the resource to its freshly registered state (empty queue,
+    /// zeroed statistics) while keeping its name. Used by
+    /// [`crate::engine::Simulation::run_in_place`] so sweep harnesses can
+    /// reuse a registered resource skeleton across runs.
+    pub(crate) fn reset(&mut self) {
+        self.queue.clear();
+        self.in_service = None;
+        self.busy_time = SimDuration::ZERO;
+        self.served = 0;
+        self.max_queue = 0;
+    }
+
     pub(crate) fn stats(&self, id: ResourceId, end: SimTime) -> ResourceStats {
         ResourceStats {
             id,
@@ -179,6 +191,22 @@ mod tests {
     fn completing_idle_server_panics() {
         let mut r = Resource::new("q".into());
         let _ = r.complete();
+    }
+
+    #[test]
+    fn reset_clears_state_and_stats() {
+        let mut r = Resource::new("q".into());
+        r.enqueue(Waiter::Flight(0), us(10));
+        r.enqueue(Waiter::Flight(1), us(30));
+        r.complete();
+        r.reset();
+        let s = r.stats(ResourceId(0), SimTime::from_nanos(1_000));
+        assert_eq!(s.served, 0);
+        assert_eq!(s.busy_time, SimDuration::ZERO);
+        assert_eq!(s.max_queue, 0);
+        assert_eq!(s.name, "q");
+        // The server is idle again: a new waiter starts immediately.
+        assert_eq!(r.enqueue(Waiter::Flight(2), us(5)), Some(us(5)));
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   (Express, p4, PVM), implemented as runtimes over the simulator;
 //! * [`apps`] — the SU PDABS application benchmark suite (JPEG, 2-D FFT,
 //!   Monte Carlo integration, PSRS sorting, and more);
+//! * [`campaign`] — declarative scenario sweeps: campaign grids, parallel
+//!   execution over reusable cluster skeletons, the JSONL results store
+//!   and regression gating (the `pdceval` CLI is built on this);
 //! * [`core`] — the paper's contribution: the TPL / APL / ADL multi-level
 //!   evaluation methodology, weighted scoring, and every table and figure
 //!   of the paper's evaluation as a regenerable experiment.
@@ -37,6 +40,7 @@
 //! ```
 
 pub use pdceval_apps as apps;
+pub use pdceval_campaign as campaign;
 pub use pdceval_core as core;
 pub use pdceval_mpt as mpt;
 pub use pdceval_simnet as simnet;

@@ -1,0 +1,248 @@
+//! Golden equivalence tests for the campaign rewire.
+//!
+//! The `core::tpl` / `core::apl` sweeps now generate their series through
+//! the campaign engine (declared scenarios + reusable harnesses). These
+//! tests pin that rewire: each sweep is compared against a *direct*
+//! reference implementation — the pre-rewire loop over `run_spmd`,
+//! reproduced verbatim here — and must match bit-for-bit. A second group
+//! asserts that parallel campaign runs render byte-identical JSONL
+//! stores to serial runs.
+
+use bytes::Bytes;
+use pdc_tool_eval::campaign::runner::run_campaign;
+use pdc_tool_eval::campaign::store::{render_jsonl, StoreMeta};
+use pdc_tool_eval::campaign::ScenarioGrid;
+use pdc_tool_eval::campaign::{Kernel, Scale};
+use pdc_tool_eval::core::apl::{app_sweep, AplApp, AplConfig};
+use pdc_tool_eval::core::tpl::{
+    broadcast_sweep, global_sum_sweep, ring_sweep, send_recv_sweep, BroadcastConfig,
+    GlobalSumConfig, GlobalSumResult, RingConfig, SendRecvConfig, TimingPoint,
+};
+use pdc_tool_eval::mpt::runtime::{run_spmd, SpmdConfig};
+use pdc_tool_eval::mpt::ToolKind;
+use pdc_tool_eval::simnet::platform::Platform;
+
+// ---------------------------------------------------------------------------
+// Direct reference implementations (the pre-rewire sweep loops).
+// ---------------------------------------------------------------------------
+
+fn direct_send_recv(cfg: &SendRecvConfig) -> Vec<TimingPoint> {
+    let iters = cfg.iters.max(1);
+    let mut points = Vec::new();
+    for &kb in &cfg.sizes_kb {
+        let bytes = (kb * 1024) as usize;
+        let run_cfg = SpmdConfig::new(cfg.platform, cfg.tool, 2);
+        let out = run_spmd(&run_cfg, move |node| {
+            let payload = Bytes::from(vec![0u8; bytes]);
+            let start = node.now();
+            for i in 0..iters {
+                let tag = i;
+                if node.rank() == 0 {
+                    node.send(1, tag, payload.clone()).expect("send failed");
+                    let _ = node.recv(Some(1), Some(tag)).expect("recv failed");
+                } else {
+                    let _ = node.recv(Some(0), Some(tag)).expect("recv failed");
+                    node.send(0, tag, payload.clone()).expect("send failed");
+                }
+            }
+            (node.now() - start).as_millis_f64()
+        })
+        .expect("reference run failed");
+        points.push(TimingPoint::new(
+            kb * 1024,
+            out.results[0] / (2.0 * iters as f64),
+        ));
+    }
+    points
+}
+
+fn direct_broadcast(cfg: &BroadcastConfig) -> Vec<TimingPoint> {
+    let mut points = Vec::new();
+    for &kb in &cfg.sizes_kb {
+        let bytes = (kb * 1024) as usize;
+        let run_cfg = SpmdConfig::new(cfg.platform, cfg.tool, cfg.nprocs);
+        let out = run_spmd(&run_cfg, move |node| {
+            let data = if node.rank() == 0 {
+                Bytes::from(vec![0u8; bytes])
+            } else {
+                Bytes::new()
+            };
+            let got = node.broadcast(0, data).expect("broadcast failed");
+            assert_eq!(got.len(), bytes);
+            node.now().as_millis_f64()
+        })
+        .expect("reference run failed");
+        let done = out.results.iter().cloned().fold(0.0, f64::max);
+        points.push(TimingPoint::new(kb * 1024, done));
+    }
+    points
+}
+
+fn direct_ring(cfg: &RingConfig) -> Vec<TimingPoint> {
+    let shifts = cfg.shifts.max(1);
+    let nprocs = cfg.nprocs;
+    let mut points = Vec::new();
+    for &kb in &cfg.sizes_kb {
+        let bytes = (kb * 1024) as usize;
+        let run_cfg = SpmdConfig::new(cfg.platform, cfg.tool, nprocs);
+        let out = run_spmd(&run_cfg, move |node| {
+            let mut data = Bytes::from(vec![node.rank() as u8; bytes]);
+            for _ in 0..shifts {
+                data = node.ring_shift(data).expect("ring shift failed");
+            }
+            node.now().as_millis_f64()
+        })
+        .expect("reference run failed");
+        let done = out.results.iter().cloned().fold(0.0, f64::max);
+        points.push(TimingPoint::new(kb * 1024, done / shifts as f64));
+    }
+    points
+}
+
+fn direct_global_sum(cfg: &GlobalSumConfig) -> Vec<TimingPoint> {
+    let mut points = Vec::new();
+    for &n in &cfg.vector_sizes {
+        let run_cfg = SpmdConfig::new(cfg.platform, cfg.tool, cfg.nprocs);
+        let out = run_spmd(&run_cfg, move |node| {
+            let mine: Vec<i32> = (0..n as i32).map(|i| i + node.rank() as i32).collect();
+            let _ = node.global_sum_i32(&mine).expect("global sum failed");
+            node.now().as_millis_f64()
+        })
+        .expect("reference run failed");
+        let done = out.results.iter().cloned().fold(0.0, f64::max);
+        points.push(TimingPoint::new(n, done));
+    }
+    points
+}
+
+// ---------------------------------------------------------------------------
+// Golden equivalence: campaign-driven sweeps == direct reference loops.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn send_recv_series_match_direct_runs() {
+    for (platform, tool) in [
+        (Platform::SunEthernet, ToolKind::P4),
+        (Platform::SunAtmLan, ToolKind::Pvm),
+        (Platform::SunAtmWan, ToolKind::P4),
+    ] {
+        let cfg = SendRecvConfig {
+            platform,
+            tool,
+            sizes_kb: vec![0, 4, 16, 64],
+            iters: 2,
+        };
+        assert_eq!(
+            send_recv_sweep(&cfg).unwrap(),
+            direct_send_recv(&cfg),
+            "{tool} on {platform}"
+        );
+    }
+}
+
+#[test]
+fn broadcast_series_match_direct_runs() {
+    for tool in ToolKind::all() {
+        let cfg = BroadcastConfig {
+            platform: Platform::SunEthernet,
+            tool,
+            nprocs: 4,
+            sizes_kb: vec![0, 8, 64],
+        };
+        assert_eq!(
+            broadcast_sweep(&cfg).unwrap(),
+            direct_broadcast(&cfg),
+            "{tool}"
+        );
+    }
+}
+
+#[test]
+fn ring_series_match_direct_runs() {
+    for tool in ToolKind::all() {
+        let cfg = RingConfig {
+            platform: Platform::SunAtmLan,
+            tool,
+            nprocs: 4,
+            sizes_kb: vec![1, 16, 64],
+            shifts: 2,
+        };
+        assert_eq!(ring_sweep(&cfg).unwrap(), direct_ring(&cfg), "{tool}");
+    }
+}
+
+#[test]
+fn global_sum_series_match_direct_runs() {
+    for tool in [ToolKind::P4, ToolKind::Express] {
+        let cfg = GlobalSumConfig {
+            platform: Platform::SunEthernet,
+            tool,
+            nprocs: 4,
+            vector_sizes: vec![1_000, 50_000],
+        };
+        match global_sum_sweep(&cfg).unwrap() {
+            GlobalSumResult::Timed(pts) => assert_eq!(pts, direct_global_sum(&cfg), "{tool}"),
+            GlobalSumResult::Unsupported(e) => panic!("unexpectedly unsupported: {e}"),
+        }
+    }
+}
+
+#[test]
+fn app_series_match_direct_workload_runs() {
+    use pdc_tool_eval::apps::monte_carlo::MonteCarlo;
+    use pdc_tool_eval::apps::workload::run_workload;
+
+    let cfg = AplConfig {
+        app: AplApp::MonteCarlo,
+        platform: Platform::AlphaFddi,
+        tool: ToolKind::Express,
+        procs: vec![1, 2, 4],
+        scale: Scale::Quick,
+    };
+    let campaign_pts = app_sweep(&cfg).unwrap();
+    for pt in &campaign_pts {
+        let direct = run_workload(
+            &MonteCarlo {
+                samples: 50_000,
+                seed: 77,
+            },
+            &SpmdConfig::new(cfg.platform, cfg.tool, pt.procs),
+        )
+        .unwrap();
+        assert_eq!(pt.seconds, direct.elapsed.as_secs_f64(), "P={}", pt.procs);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel == serial, down to the stored bytes.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn parallel_campaign_stores_are_byte_identical_to_serial() {
+    let scenarios = ScenarioGrid::new()
+        .kernels([
+            Kernel::SendRecv { iters: 1 },
+            Kernel::Broadcast,
+            Kernel::Ring { shifts: 1 },
+            Kernel::GlobalSum,
+        ])
+        .tools(ToolKind::all())
+        .platforms([
+            Platform::SunEthernet,
+            Platform::SunAtmLan,
+            Platform::SunAtmWan,
+        ])
+        .nprocs([2, 4])
+        .sizes([1024, 16 * 1024])
+        .reps(2)
+        .scenarios();
+    assert!(scenarios.len() > 50, "grid too small to exercise workers");
+    let meta = StoreMeta {
+        git_sha: Some("test-sha".to_string()),
+        timestamp: Some(1_753_000_000),
+    };
+    let serial = render_jsonl(&run_campaign(&scenarios, 1), &meta);
+    let parallel = render_jsonl(&run_campaign(&scenarios, 8), &meta);
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.lines().count(), scenarios.len());
+}
