@@ -198,8 +198,11 @@ mod tests {
     fn single_node_matches_sequential() {
         let w = RleCompression::small();
         let expect = w.sequential();
-        let out =
-            run_workload(&w, &SpmdConfig::new(Platform::SunEthernet, ToolKind::P4, 1)).unwrap();
+        let out = run_workload(
+            &w,
+            &SpmdConfig::new(Platform::SUN_ETHERNET, ToolKind::P4, 1),
+        )
+        .unwrap();
         assert_eq!(out.results[0], expect);
     }
 

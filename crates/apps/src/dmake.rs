@@ -232,7 +232,7 @@ mod tests {
         for procs in [1, 2, 4] {
             let out = run_workload(
                 &w,
-                &SpmdConfig::new(Platform::AlphaFddi, ToolKind::P4, procs),
+                &SpmdConfig::new(Platform::ALPHA_FDDI, ToolKind::P4, procs),
             )
             .unwrap();
             assert_eq!(out.results[0], expect, "x{procs}");
@@ -242,10 +242,10 @@ mod tests {
     #[test]
     fn more_workers_build_faster() {
         let w = DistributedMake::paper();
-        let t2 = run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, ToolKind::P4, 2))
+        let t2 = run_workload(&w, &SpmdConfig::new(Platform::ALPHA_FDDI, ToolKind::P4, 2))
             .unwrap()
             .elapsed;
-        let t8 = run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, ToolKind::P4, 8))
+        let t8 = run_workload(&w, &SpmdConfig::new(Platform::ALPHA_FDDI, ToolKind::P4, 8))
             .unwrap()
             .elapsed;
         assert!(t8.as_secs_f64() < t2.as_secs_f64(), "t2={t2} t8={t8}");

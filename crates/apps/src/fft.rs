@@ -361,7 +361,7 @@ mod tests {
         let expect = w.sequential();
         for tool in ToolKind::all() {
             for procs in [1, 2, 4] {
-                let cfg = SpmdConfig::new(Platform::AlphaFddi, tool, procs);
+                let cfg = SpmdConfig::new(Platform::ALPHA_FDDI, tool, procs);
                 let out = run_workload(&w, &cfg).unwrap();
                 assert_eq!(out.results[0], expect, "{tool} x{procs}");
                 // Every rank agrees on the checksum.
@@ -377,12 +377,18 @@ mod tests {
         // The paper's FFT curves flatten or rise with P on slow networks
         // (Figure 8): the problem is too small to amortize messaging.
         let w = Fft2d::paper();
-        let t1 = run_workload(&w, &SpmdConfig::new(Platform::SunEthernet, ToolKind::P4, 1))
-            .unwrap()
-            .elapsed;
-        let t8 = run_workload(&w, &SpmdConfig::new(Platform::SunEthernet, ToolKind::P4, 8))
-            .unwrap()
-            .elapsed;
+        let t1 = run_workload(
+            &w,
+            &SpmdConfig::new(Platform::SUN_ETHERNET, ToolKind::P4, 1),
+        )
+        .unwrap()
+        .elapsed;
+        let t8 = run_workload(
+            &w,
+            &SpmdConfig::new(Platform::SUN_ETHERNET, ToolKind::P4, 8),
+        )
+        .unwrap()
+        .elapsed;
         assert!(
             t8.as_secs_f64() > t1.as_secs_f64(),
             "expected comm-bound rise on Ethernet: t1={t1} t8={t8}"

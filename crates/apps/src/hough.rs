@@ -167,7 +167,7 @@ mod tests {
         for tool in ToolKind::all() {
             for procs in [1, 2, 4] {
                 let out =
-                    run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, tool, procs)).unwrap();
+                    run_workload(&w, &SpmdConfig::new(Platform::ALPHA_FDDI, tool, procs)).unwrap();
                 for r in &out.results {
                     assert_eq!(r, &expect, "{tool} x{procs}");
                 }

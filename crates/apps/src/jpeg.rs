@@ -426,7 +426,7 @@ mod tests {
         let expect = w.sequential();
         for tool in ToolKind::all() {
             for procs in [1, 2, 4] {
-                let cfg = SpmdConfig::new(Platform::SunAtmLan, tool, procs);
+                let cfg = SpmdConfig::new(Platform::SUN_ATM_LAN, tool, procs);
                 let out = run_workload(&w, &cfg).unwrap();
                 assert_eq!(out.results[0], expect, "{tool} x{procs}");
             }
@@ -442,10 +442,10 @@ mod tests {
             height: 512,
             seed: 1,
         };
-        let t1 = run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, ToolKind::P4, 1))
+        let t1 = run_workload(&w, &SpmdConfig::new(Platform::ALPHA_FDDI, ToolKind::P4, 1))
             .unwrap()
             .elapsed;
-        let t4 = run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, ToolKind::P4, 4))
+        let t4 = run_workload(&w, &SpmdConfig::new(Platform::ALPHA_FDDI, ToolKind::P4, 4))
             .unwrap()
             .elapsed;
         assert!(t4.as_secs_f64() < t1.as_secs_f64() * 0.6, "t1={t1} t4={t4}");

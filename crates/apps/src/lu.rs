@@ -204,10 +204,10 @@ mod tests {
     fn distributed_matches_sequential() {
         let w = LuDecomposition::small();
         let expect = w.sequential();
-        for tool in [ToolKind::P4, ToolKind::Express] {
+        for tool in [ToolKind::P4, ToolKind::EXPRESS] {
             for procs in [1, 2, 4] {
                 let out =
-                    run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, tool, procs)).unwrap();
+                    run_workload(&w, &SpmdConfig::new(Platform::ALPHA_FDDI, tool, procs)).unwrap();
                 assert_eq!(out.results[0], expect, "{tool} x{procs}");
             }
         }

@@ -164,10 +164,10 @@ mod tests {
     fn distributed_matches_sequential() {
         let w = MatMul::small();
         let expect = w.sequential();
-        for tool in [ToolKind::P4, ToolKind::Pvm] {
+        for tool in [ToolKind::P4, ToolKind::PVM] {
             for procs in [1, 3] {
                 let out =
-                    run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, tool, procs)).unwrap();
+                    run_workload(&w, &SpmdConfig::new(Platform::ALPHA_FDDI, tool, procs)).unwrap();
                 assert_eq!(out.results[0], expect, "{tool} x{procs}");
             }
         }

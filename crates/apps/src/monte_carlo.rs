@@ -132,7 +132,7 @@ mod tests {
         let expect = w.sequential();
         for tool in ToolKind::all() {
             for procs in [1, 3, 4] {
-                let cfg = SpmdConfig::new(Platform::AlphaFddi, tool, procs);
+                let cfg = SpmdConfig::new(Platform::ALPHA_FDDI, tool, procs);
                 let out = run_workload(&w, &cfg).unwrap();
                 for r in &out.results {
                     assert_eq!(r.samples, expect.samples, "{tool} x{procs}");
@@ -155,13 +155,13 @@ mod tests {
         let w = MonteCarlo::paper();
         let t1 = run_workload(
             &w,
-            &SpmdConfig::new(Platform::AlphaFddi, ToolKind::Express, 1),
+            &SpmdConfig::new(Platform::ALPHA_FDDI, ToolKind::EXPRESS, 1),
         )
         .unwrap()
         .elapsed;
         let t8 = run_workload(
             &w,
-            &SpmdConfig::new(Platform::AlphaFddi, ToolKind::Express, 8),
+            &SpmdConfig::new(Platform::ALPHA_FDDI, ToolKind::EXPRESS, 8),
         )
         .unwrap()
         .elapsed;
@@ -175,14 +175,14 @@ mod tests {
         // path makes the (tiny) final reduction cheapest.
         let w = MonteCarlo::paper();
         let t = |tool| {
-            run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, tool, 8))
+            run_workload(&w, &SpmdConfig::new(Platform::ALPHA_FDDI, tool, 8))
                 .unwrap()
                 .elapsed
                 .as_secs_f64()
         };
-        let ex = t(ToolKind::Express);
+        let ex = t(ToolKind::EXPRESS);
         let p4 = t(ToolKind::P4);
-        let pvm = t(ToolKind::Pvm);
+        let pvm = t(ToolKind::PVM);
         assert!(ex < p4, "express {ex} !< p4 {p4}");
         assert!(ex < pvm, "express {ex} !< pvm {pvm}");
     }

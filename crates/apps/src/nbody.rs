@@ -230,7 +230,7 @@ mod tests {
         for procs in [1, 2, 4] {
             let out = run_workload(
                 &w,
-                &SpmdConfig::new(Platform::AlphaFddi, ToolKind::Pvm, procs),
+                &SpmdConfig::new(Platform::ALPHA_FDDI, ToolKind::PVM, procs),
             )
             .unwrap();
             assert_eq!(out.results[0], expect, "x{procs}");

@@ -281,7 +281,7 @@ mod tests {
         let expect = w.sequential();
         for tool in ToolKind::all() {
             for procs in [1, 2, 4] {
-                let cfg = SpmdConfig::new(Platform::AlphaFddi, tool, procs);
+                let cfg = SpmdConfig::new(Platform::ALPHA_FDDI, tool, procs);
                 let out = run_workload(&w, &cfg).unwrap();
                 for r in &out.results {
                     assert_eq!(r, &expect, "{tool} x{procs}");
@@ -296,14 +296,14 @@ mod tests {
         // exchange of large partitions.
         let w = PsrsSort::paper();
         let t = |tool| {
-            run_workload(&w, &SpmdConfig::new(Platform::AlphaFddi, tool, 8))
+            run_workload(&w, &SpmdConfig::new(Platform::ALPHA_FDDI, tool, 8))
                 .unwrap()
                 .elapsed
                 .as_secs_f64()
         };
-        let pvm = t(ToolKind::Pvm);
+        let pvm = t(ToolKind::PVM);
         let p4 = t(ToolKind::P4);
-        let ex = t(ToolKind::Express);
+        let ex = t(ToolKind::EXPRESS);
         assert!(pvm < p4, "pvm {pvm} !< p4 {p4}");
         assert!(pvm < ex, "pvm {pvm} !< express {ex}");
     }

@@ -218,7 +218,7 @@ mod tests {
         for procs in [1, 3] {
             let out = run_workload(
                 &w,
-                &SpmdConfig::new(Platform::SunAtmLan, ToolKind::Pvm, procs),
+                &SpmdConfig::new(Platform::SUN_ATM_LAN, ToolKind::PVM, procs),
             )
             .unwrap();
             assert_eq!(out.results[0], expect, "x{procs}");

@@ -148,7 +148,7 @@ mod tests {
         for procs in [1, 2, 4, 7] {
             let out = run_workload(
                 &w,
-                &SpmdConfig::new(Platform::SunEthernet, ToolKind::Pvm, procs),
+                &SpmdConfig::new(Platform::SUN_ETHERNET, ToolKind::PVM, procs),
             )
             .unwrap();
             assert_eq!(out.results[0], expect, "x{procs}");

@@ -188,7 +188,7 @@ mod tests {
         for procs in [1, 2, 4] {
             let out = run_workload(
                 &w,
-                &SpmdConfig::new(Platform::AlphaFddi, ToolKind::P4, procs),
+                &SpmdConfig::new(Platform::ALPHA_FDDI, ToolKind::P4, procs),
             )
             .unwrap();
             // Halo boundaries are identical values, so the iteration is

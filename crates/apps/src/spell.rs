@@ -192,7 +192,7 @@ mod tests {
         for procs in [1, 2, 5] {
             let out = run_workload(
                 &w,
-                &SpmdConfig::new(Platform::SunEthernet, ToolKind::Express, procs),
+                &SpmdConfig::new(Platform::SUN_ETHERNET, ToolKind::EXPRESS, procs),
             )
             .unwrap();
             assert_eq!(out.results[0], expect, "x{procs}");

@@ -235,7 +235,7 @@ mod tests {
         for procs in [1, 2, 4] {
             let out = run_workload(
                 &w,
-                &SpmdConfig::new(Platform::Sp1Switch, ToolKind::P4, procs),
+                &SpmdConfig::new(Platform::SP1_SWITCH, ToolKind::P4, procs),
             )
             .unwrap();
             assert_eq!(out.results[0], expect, "x{procs}");

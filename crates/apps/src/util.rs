@@ -188,7 +188,7 @@ mod tests {
 
         let mut expected: Option<Vec<f64>> = None;
         for tool in ToolKind::all() {
-            let cfg = SpmdConfig::new(Platform::SunAtmLan, tool, 4);
+            let cfg = SpmdConfig::new(Platform::SUN_ATM_LAN, tool, 4);
             let out = run_spmd(&cfg, |node| {
                 let mine = vec![node.rank() as f64 + 1.0, 10.0];
                 portable_sum_f64(node, &mine, 77)

@@ -17,7 +17,7 @@ use pdceval_simnet::platform::Platform;
 /// Echo time with and without `pvm_advise(PvmRouteDirect)`.
 fn pvm_routing_ablation() -> (f64, f64) {
     let time = |direct: bool| {
-        let cfg = SpmdConfig::new(Platform::SunAtmLan, ToolKind::Pvm, 2);
+        let cfg = SpmdConfig::new(Platform::SUN_ATM_LAN, ToolKind::PVM, 2);
         let out = run_spmd(&cfg, move |node| {
             if direct {
                 node.advise_direct_route();
@@ -54,7 +54,7 @@ fn bench(c: &mut Criterion) {
     for nprocs in [2usize, 4, 8] {
         for tool in ToolKind::all() {
             let cfg = BroadcastConfig {
-                platform: Platform::SunAtmLan,
+                platform: Platform::SUN_ATM_LAN,
                 tool,
                 nprocs,
                 sizes_kb: vec![16],

@@ -10,8 +10,8 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig2_broadcast");
     g.sample_size(10);
     for (pname, platform) in [
-        ("ethernet", Platform::SunEthernet),
-        ("atm_wan", Platform::SunAtmWan),
+        ("ethernet", Platform::SUN_ETHERNET),
+        ("atm_wan", Platform::SUN_ATM_WAN),
     ] {
         for tool in ToolKind::all() {
             if !tool.supports_platform(platform) {

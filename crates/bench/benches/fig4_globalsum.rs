@@ -10,9 +10,13 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4_globalsum");
     g.sample_size(10);
     for (label, platform, tool) in [
-        ("ethernet/p4", Platform::SunEthernet, ToolKind::P4),
-        ("ethernet/express", Platform::SunEthernet, ToolKind::Express),
-        ("nynet/p4", Platform::SunAtmWan, ToolKind::P4),
+        ("ethernet/p4", Platform::SUN_ETHERNET, ToolKind::P4),
+        (
+            "ethernet/express",
+            Platform::SUN_ETHERNET,
+            ToolKind::EXPRESS,
+        ),
+        ("nynet/p4", Platform::SUN_ATM_WAN, ToolKind::P4),
     ] {
         let cfg = GlobalSumConfig::figure4(platform, tool);
         match global_sum_sweep(&cfg).expect("sweep failed") {
@@ -28,8 +32,8 @@ fn bench(c: &mut Criterion) {
     }
     // PVM's "Not Available" row is part of the artifact too.
     let pvm = global_sum_sweep(&GlobalSumConfig::figure4(
-        Platform::SunEthernet,
-        ToolKind::Pvm,
+        Platform::SUN_ETHERNET,
+        ToolKind::PVM,
     ))
     .expect("sweep failed");
     assert!(matches!(pvm, GlobalSumResult::Unsupported(_)));

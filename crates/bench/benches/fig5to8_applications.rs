@@ -13,18 +13,18 @@ fn bench(c: &mut Criterion) {
     for (fig, platform, tools) in [
         (
             "fig5_alpha_fddi",
-            Platform::AlphaFddi,
+            Platform::ALPHA_FDDI,
             ToolKind::all().to_vec(),
         ),
-        ("fig6_sp1", Platform::Sp1Switch, ToolKind::all().to_vec()),
+        ("fig6_sp1", Platform::SP1_SWITCH, ToolKind::all().to_vec()),
         (
             "fig7_atm_wan",
-            Platform::SunAtmWan,
-            vec![ToolKind::P4, ToolKind::Pvm],
+            Platform::SUN_ATM_WAN,
+            vec![ToolKind::P4, ToolKind::PVM],
         ),
         (
             "fig8_ethernet",
-            Platform::SunEthernet,
+            Platform::SUN_ETHERNET,
             ToolKind::all().to_vec(),
         ),
     ] {

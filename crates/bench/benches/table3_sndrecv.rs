@@ -10,9 +10,9 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table3_sndrecv");
     g.sample_size(10);
     for (pname, platform) in [
-        ("ethernet", Platform::SunEthernet),
-        ("atm_lan", Platform::SunAtmLan),
-        ("atm_wan", Platform::SunAtmWan),
+        ("ethernet", Platform::SUN_ETHERNET),
+        ("atm_lan", Platform::SUN_ATM_LAN),
+        ("atm_wan", Platform::SUN_ATM_WAN),
     ] {
         for tool in ToolKind::all() {
             if !tool.supports_platform(platform) {

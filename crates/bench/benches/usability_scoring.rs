@@ -25,9 +25,9 @@ fn bench(c: &mut Criterion) {
                 e.tpl_measurement(Measurement::new(
                     format!("m{i}"),
                     vec![
-                        (ToolKind::Express, Some(2.0 + i as f64)),
+                        (ToolKind::EXPRESS, Some(2.0 + i as f64)),
                         (ToolKind::P4, Some(1.0 + i as f64)),
-                        (ToolKind::Pvm, Some(1.5 + i as f64)),
+                        (ToolKind::PVM, Some(1.5 + i as f64)),
                     ],
                 ));
             }

@@ -34,10 +34,16 @@ const ROUNDS: u32 = 400;
 /// Seed-engine events/sec recorded before the pooled-scheduler rework
 /// (commit 3f7268b engine: OS thread per process, two crossbeam-channel
 /// hops per simulator call, O(n) mailbox scans). Used to report speedups.
-const BASELINE: [(&str, f64); 3] = [
+///
+/// `pingpong64` did not exist on the seed engine; its baseline is the
+/// PR-2 engine (pooled scheduler + indexed mailboxes) measured on this
+/// machine class immediately before the mailbox head-slot fast path
+/// landed, so its speedup isolates that change.
+const BASELINE: [(&str, f64); 4] = [
     ("broadcast64", 146_005.0),
     ("ring64", 139_214.0),
     ("globalsum64", 142_489.0),
+    ("pingpong64", 760_250.0),
 ];
 
 fn us(n: u64) -> SimDuration {
@@ -130,6 +136,32 @@ fn global_sum(nprocs: usize, rounds: u32) -> u64 {
     sim.run().expect("global_sum sim failed").messages_delivered
 }
 
+/// 32 pairs ping-ponging: the send-then-wait pattern whose mailboxes
+/// hold at most one message, i.e. the mailbox head-slot fast path's
+/// target shape. Messages delivered: NPROCS * ROUNDS.
+fn pingpong(nprocs: usize, rounds: u32) -> u64 {
+    assert!(nprocs.is_multiple_of(2), "pingpong needs pairs");
+    let mut sim = Simulation::new();
+    for r in 0..nprocs {
+        let peer = ProcId((r ^ 1) as u32);
+        let serves = r % 2 == 0;
+        sim.spawn_indexed("pp", r, HostSpec::sun_ipx(), move |ctx| {
+            for round in 0..rounds {
+                if serves {
+                    let env = Envelope::new(ctx.pid(), peer, round, Bytes::new());
+                    ctx.transmit(env, lat());
+                    let _ = ctx.recv(Matcher::tagged(round));
+                } else {
+                    let _ = ctx.recv(Matcher::tagged(round));
+                    let env = Envelope::new(ctx.pid(), peer, round, Bytes::new());
+                    ctx.transmit(env, lat());
+                }
+            }
+        });
+    }
+    sim.run().expect("pingpong sim failed").messages_delivered
+}
+
 struct Measurement {
     name: &'static str,
     events: u64,
@@ -173,6 +205,7 @@ fn main() {
         measure("broadcast64", || broadcast(NPROCS, ROUNDS)),
         measure("ring64", || ring(NPROCS, ROUNDS)),
         measure("globalsum64", || global_sum(NPROCS, ROUNDS)),
+        measure("pingpong64", || pingpong(NPROCS, ROUNDS)),
     ];
 
     let mut json = String::from("{\n  \"bench\": \"engine\",\n");

@@ -3,10 +3,11 @@
 //! Usage:
 //!
 //! ```bash
-//! pdceval list [--quick]
+//! pdceval list [--quick] [--spec FILE]
 //! pdceval run [--campaign NAME] [--quick] [--workers N] [--out PATH]
-//!             [--baseline PATH] [--threshold PCT]
+//!             [--baseline PATH] [--threshold PCT] [--spec FILE]
 //! pdceval diff BASELINE NEW [--threshold PCT]
+//! pdceval bless STORE [--baseline PATH]
 //! ```
 //!
 //! `run` executes the named campaign (default: `quick`) across a worker
@@ -14,27 +15,48 @@
 //! timestamp. With `--baseline` it additionally compares the fresh
 //! results against a stored baseline and exits nonzero on regressions,
 //! which is the CI gating mode. `diff` compares two stores offline.
+//!
+//! `--spec FILE` loads user-defined tool/platform specs (see the
+//! `.spec` format in `pdceval_mpt::spec` and `examples/modern.spec`)
+//! into the model registry before anything runs. With `--spec` and no
+//! explicit `--campaign`, `run` executes the synthesized `spec-smoke`
+//! campaign sweeping the loaded models — a new tool or testbed runs
+//! end-to-end with zero code changes.
+//!
+//! `bless` promotes a results store to the committed baseline
+//! (default `baselines/quick.jsonl`), refusing stores with error
+//! records; CI diffs every PR's fresh quick campaign against it.
 
 use pdceval_campaign::campaigns;
+use pdceval_campaign::campaigns::Campaign;
 use pdceval_campaign::diff::diff_records;
 use pdceval_campaign::runner::{run_campaign, RecordStatus};
 use pdceval_campaign::scenario::Scale;
 use pdceval_campaign::store;
+use pdceval_mpt::registry::{LoadedSpecs, ModelRegistry};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  pdceval list [--quick]\n  pdceval run [--campaign NAME] [--quick] \
-         [--workers N] [--out PATH] [--baseline PATH] [--threshold PCT]\n  \
-         pdceval diff BASELINE NEW [--threshold PCT]"
+        "usage:\n  pdceval list [--quick] [--spec FILE]\n  pdceval run [--campaign NAME] \
+         [--quick] [--workers N] [--out PATH] [--baseline PATH] [--threshold PCT] \
+         [--spec FILE]\n  pdceval diff BASELINE NEW [--threshold PCT]\n  \
+         pdceval bless STORE [--baseline PATH]"
     );
     ExitCode::FAILURE
 }
 
 /// Flags that consume the following token as their value; everything
 /// else (`--quick`) is boolean and must not swallow positionals.
-const VALUE_FLAGS: [&str; 5] = ["campaign", "workers", "out", "baseline", "threshold"];
+const VALUE_FLAGS: [&str; 6] = [
+    "campaign",
+    "workers",
+    "out",
+    "baseline",
+    "threshold",
+    "spec",
+];
 
 struct Args {
     positional: Vec<String>,
@@ -100,10 +122,62 @@ fn threshold(args: &Args) -> Result<f64, ExitCode> {
     }
 }
 
+/// Loads `--spec FILE` (if given) into the process-global model
+/// registry, reporting what was registered.
+fn load_spec(args: &Args) -> Result<Option<LoadedSpecs>, ExitCode> {
+    let Some(path) = args.value("spec") else {
+        if args.has("spec") {
+            eprintln!("--spec needs a file path");
+            return Err(ExitCode::FAILURE);
+        }
+        return Ok(None);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read spec file {path}: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    let registry = ModelRegistry::global();
+    match registry.load_spec_text(&text) {
+        Ok(loaded) => {
+            let tools: Vec<String> = loaded.tools.iter().map(|t| t.slug()).collect();
+            let platforms: Vec<String> = loaded.platforms.iter().map(|p| p.slug()).collect();
+            eprintln!(
+                "loaded {path}: {} tool(s) [{}], {} platform(s) [{}]",
+                tools.len(),
+                tools.join(", "),
+                platforms.len(),
+                platforms.join(", ")
+            );
+            Ok(Some(loaded))
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// The campaigns visible to `list`/`run`: the declared defaults plus,
+/// when specs are loaded, the synthesized `spec-smoke` campaign.
+fn visible_campaigns(s: Scale, loaded: &Option<LoadedSpecs>) -> Vec<Campaign> {
+    let mut out = campaigns::all(s);
+    if let Some(loaded) = loaded {
+        out.push(campaigns::spec_smoke(&loaded.tools, &loaded.platforms, s));
+    }
+    out
+}
+
 fn cmd_list(args: &Args) -> ExitCode {
     let s = scale(args);
+    let loaded = match load_spec(args) {
+        Ok(l) => l,
+        Err(code) => return code,
+    };
     println!("{:<22} {:>7}  TITLE", "NAME", "POINTS");
-    for c in campaigns::all(s) {
+    for c in visible_campaigns(s, &loaded) {
         println!("{:<22} {:>7}  {}", c.name, c.scenarios.len(), c.title);
     }
     ExitCode::SUCCESS
@@ -117,8 +191,21 @@ fn default_workers() -> usize {
 
 fn cmd_run(args: &Args) -> ExitCode {
     let s = scale(args);
-    let name = args.value("campaign").unwrap_or("quick");
-    let Some(campaign) = campaigns::by_name(name, s) else {
+    let loaded = match load_spec(args) {
+        Ok(l) => l,
+        Err(code) => return code,
+    };
+    // With loaded specs and no explicit --campaign, run the models the
+    // spec declared.
+    let name = args.value("campaign").unwrap_or(if loaded.is_some() {
+        "spec-smoke"
+    } else {
+        "quick"
+    });
+    let Some(campaign) = visible_campaigns(s, &loaded)
+        .into_iter()
+        .find(|c| c.name == name)
+    else {
         eprintln!("unknown campaign '{name}' — see `pdceval list`");
         return ExitCode::FAILURE;
     };
@@ -230,6 +317,61 @@ fn cmd_diff(args: &Args) -> ExitCode {
     }
 }
 
+/// Default location of the committed regression baseline.
+const DEFAULT_BASELINE: &str = "baselines/quick.jsonl";
+
+fn cmd_bless(args: &Args) -> ExitCode {
+    let [store_path] = args.positional.as_slice() else {
+        return usage();
+    };
+    let dest = PathBuf::from(args.value("baseline").unwrap_or(DEFAULT_BASELINE));
+    let text = match std::fs::read_to_string(store_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {store_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let records = match store::parse_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{store_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if records.is_empty() {
+        eprintln!("{store_path}: refusing to bless an empty store");
+        return ExitCode::FAILURE;
+    }
+    let errors = records.iter().filter(|r| r.status == "error").count();
+    if errors > 0 {
+        eprintln!("{store_path}: refusing to bless a store with {errors} error record(s)");
+        return ExitCode::FAILURE;
+    }
+    if let Some(parent) = dest.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create {}: {e}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&dest, &text) {
+        eprintln!("cannot write {}: {e}", dest.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "blessed {} record(s) from {store_path} -> {} (git {})",
+        records.len(),
+        dest.display(),
+        records
+            .iter()
+            .find_map(|r| r.git_sha.as_deref())
+            .unwrap_or("unknown"),
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = raw.first().cloned() else {
@@ -240,6 +382,7 @@ fn main() -> ExitCode {
         "list" => cmd_list(&args),
         "run" => cmd_run(&args),
         "diff" => cmd_diff(&args),
+        "bless" => cmd_bless(&args),
         _ => usage(),
     }
 }

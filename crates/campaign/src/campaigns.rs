@@ -59,7 +59,7 @@ fn app_campaign(name: &'static str, figure: &str, platform: Platform, scale: Sca
         ),
         scenarios: ScenarioGrid::new()
             .kernels(app_kernels(scale))
-            .tools(ToolKind::all())
+            .tools(ToolKind::builtin())
             .platforms([platform])
             .nprocs(figure_procs(platform))
             .sizes([0])
@@ -68,6 +68,11 @@ fn app_campaign(name: &'static str, figure: &str, platform: Platform, scale: Sca
 }
 
 /// All declared campaigns, in the paper's presentation order.
+///
+/// Default campaigns pin [`ToolKind::builtin`] and explicit built-in
+/// platforms, so loading extra specs never changes their grids (the
+/// golden tests hold byte-identical across registry growth). Spec-loaded
+/// models get their own campaign through [`spec_smoke`].
 pub fn all(scale: Scale) -> Vec<Campaign> {
     vec![
         Campaign {
@@ -75,11 +80,11 @@ pub fn all(scale: Scale) -> Vec<Campaign> {
             title: "Table 3: snd/rcv timing for SUN SPARCstations".to_string(),
             scenarios: ScenarioGrid::new()
                 .kernels([Kernel::SendRecv { iters: 2 }])
-                .tools(ToolKind::all())
+                .tools(ToolKind::builtin())
                 .platforms([
-                    Platform::SunEthernet,
-                    Platform::SunAtmLan,
-                    Platform::SunAtmWan,
+                    Platform::SUN_ETHERNET,
+                    Platform::SUN_ATM_LAN,
+                    Platform::SUN_ATM_WAN,
                 ])
                 .nprocs([2])
                 .sizes(table3_sizes_bytes())
@@ -90,8 +95,8 @@ pub fn all(scale: Scale) -> Vec<Campaign> {
             title: "Figure 2: broadcast timing among 4 SUNs".to_string(),
             scenarios: ScenarioGrid::new()
                 .kernels([Kernel::Broadcast])
-                .tools(ToolKind::all())
-                .platforms([Platform::SunEthernet, Platform::SunAtmWan])
+                .tools(ToolKind::builtin())
+                .platforms([Platform::SUN_ETHERNET, Platform::SUN_ATM_WAN])
                 .nprocs([4])
                 .sizes(table3_sizes_bytes())
                 .scenarios(),
@@ -101,8 +106,8 @@ pub fn all(scale: Scale) -> Vec<Campaign> {
             title: "Figure 3: ring communication among 4 SUNs".to_string(),
             scenarios: ScenarioGrid::new()
                 .kernels([Kernel::Ring { shifts: 1 }])
-                .tools(ToolKind::all())
-                .platforms([Platform::SunEthernet, Platform::SunAtmWan])
+                .tools(ToolKind::builtin())
+                .platforms([Platform::SUN_ETHERNET, Platform::SUN_ATM_WAN])
                 .nprocs([4])
                 .sizes(table3_sizes_bytes())
                 .scenarios(),
@@ -112,19 +117,19 @@ pub fn all(scale: Scale) -> Vec<Campaign> {
             title: "Figure 4: global vector summation among 4 SUNs".to_string(),
             scenarios: ScenarioGrid::new()
                 .kernels([Kernel::GlobalSum])
-                .tools(ToolKind::all())
-                .platforms([Platform::SunEthernet, Platform::SunAtmWan])
+                .tools(ToolKind::builtin())
+                .platforms([Platform::SUN_ETHERNET, Platform::SUN_ATM_WAN])
                 .nprocs([4])
                 .sizes(figure4_vector_sizes())
                 .scenarios(),
         },
-        app_campaign("fig5-apps-alpha", "Figure 5", Platform::AlphaFddi, scale),
-        app_campaign("fig6-apps-sp1", "Figure 6", Platform::Sp1Switch, scale),
-        app_campaign("fig7-apps-nynet", "Figure 7", Platform::SunAtmWan, scale),
+        app_campaign("fig5-apps-alpha", "Figure 5", Platform::ALPHA_FDDI, scale),
+        app_campaign("fig6-apps-sp1", "Figure 6", Platform::SP1_SWITCH, scale),
+        app_campaign("fig7-apps-nynet", "Figure 7", Platform::SUN_ATM_WAN, scale),
         app_campaign(
             "fig8-apps-ethernet",
             "Figure 8",
-            Platform::SunEthernet,
+            Platform::SUN_ETHERNET,
             scale,
         ),
         quick(),
@@ -136,13 +141,13 @@ pub fn all(scale: Scale) -> Vec<Campaign> {
 /// three tools, two repetitions per point. Runs in seconds; used by CI.
 pub fn quick() -> Campaign {
     let platforms = [
-        Platform::SunEthernet,
-        Platform::SunAtmLan,
-        Platform::SunAtmWan,
+        Platform::SUN_ETHERNET,
+        Platform::SUN_ATM_LAN,
+        Platform::SUN_ATM_WAN,
     ];
     let mut scenarios = ScenarioGrid::new()
         .kernels([Kernel::SendRecv { iters: 1 }])
-        .tools(ToolKind::all())
+        .tools(ToolKind::builtin())
         .platforms(platforms)
         .nprocs([2])
         .sizes([1024, 16 * 1024])
@@ -151,7 +156,7 @@ pub fn quick() -> Campaign {
     scenarios.extend(
         ScenarioGrid::new()
             .kernels([Kernel::Broadcast, Kernel::Ring { shifts: 1 }])
-            .tools(ToolKind::all())
+            .tools(ToolKind::builtin())
             .platforms(platforms)
             .nprocs([4])
             .sizes([16 * 1024])
@@ -161,7 +166,7 @@ pub fn quick() -> Campaign {
     scenarios.extend(
         ScenarioGrid::new()
             .kernels([Kernel::GlobalSum])
-            .tools(ToolKind::all())
+            .tools(ToolKind::builtin())
             .platforms(platforms)
             .nprocs([4])
             .sizes([10_000])
@@ -174,8 +179,8 @@ pub fn quick() -> Campaign {
                 app: AplApp::MonteCarlo,
                 scale: Scale::Quick,
             }])
-            .tools(ToolKind::all())
-            .platforms([Platform::SunEthernet])
+            .tools(ToolKind::builtin())
+            .platforms([Platform::SUN_ETHERNET])
             .nprocs([4])
             .sizes([0])
             .reps(2)
@@ -184,6 +189,71 @@ pub fn quick() -> Campaign {
     Campaign {
         name: "quick",
         title: "Smoke campaign: all kernels, three platforms, all tools".to_string(),
+        scenarios,
+    }
+}
+
+/// A smoke campaign over spec-loaded models: every TPL kernel plus one
+/// application point, sweeping the union of the built-in tools and
+/// `loaded_tools` across `loaded_platforms` (falling back to two
+/// built-in platforms when the spec declares none). This is how a tool
+/// or platform defined purely as spec data runs end-to-end — the grid's
+/// validity filter handles node limits and capability gaps exactly as it
+/// does for the built-ins.
+pub fn spec_smoke(
+    loaded_tools: &[ToolKind],
+    loaded_platforms: &[Platform],
+    scale: Scale,
+) -> Campaign {
+    let mut tools: Vec<ToolKind> = ToolKind::builtin().to_vec();
+    for t in loaded_tools {
+        if !tools.contains(t) {
+            tools.push(*t);
+        }
+    }
+    let platforms: Vec<Platform> = if loaded_platforms.is_empty() {
+        vec![Platform::SUN_ETHERNET, Platform::SUN_ATM_LAN]
+    } else {
+        loaded_platforms.to_vec()
+    };
+    let mut scenarios = ScenarioGrid::new()
+        .kernels([Kernel::SendRecv { iters: 1 }])
+        .tools(tools.clone())
+        .platforms(platforms.clone())
+        .nprocs([2])
+        .sizes([1024, 16 * 1024])
+        .reps(2)
+        .scenarios();
+    scenarios.extend(
+        ScenarioGrid::new()
+            .kernels([
+                Kernel::Broadcast,
+                Kernel::Ring { shifts: 1 },
+                Kernel::GlobalSum,
+            ])
+            .tools(tools.clone())
+            .platforms(platforms.clone())
+            .nprocs([4, 8])
+            .sizes([10_000])
+            .reps(2)
+            .scenarios(),
+    );
+    scenarios.extend(
+        ScenarioGrid::new()
+            .kernels([Kernel::App {
+                app: AplApp::MonteCarlo,
+                scale,
+            }])
+            .tools(tools)
+            .platforms(platforms)
+            .nprocs([4])
+            .sizes([0])
+            .reps(2)
+            .scenarios(),
+    );
+    Campaign {
+        name: "spec-smoke",
+        title: "Spec smoke: built-in + spec-loaded tools on spec-loaded platforms".to_string(),
         scenarios,
     }
 }
@@ -230,7 +300,7 @@ mod tests {
     #[test]
     fn fig7_excludes_express() {
         let c = by_name("fig7-apps-nynet", Scale::Quick).unwrap();
-        assert!(c.scenarios.iter().all(|s| s.tool != ToolKind::Express));
+        assert!(c.scenarios.iter().all(|s| s.tool != ToolKind::EXPRESS));
         assert!(c.scenarios.iter().all(|s| s.nprocs <= 4));
     }
 }

@@ -275,21 +275,21 @@ mod tests {
             sc(
                 Kernel::Broadcast,
                 ToolKind::P4,
-                Platform::SunEthernet,
+                Platform::SUN_ETHERNET,
                 4,
                 1024,
             ),
             sc(
                 Kernel::Broadcast,
-                ToolKind::Pvm,
-                Platform::SunEthernet,
+                ToolKind::PVM,
+                Platform::SUN_ETHERNET,
                 4,
                 1024,
             ),
             sc(
                 Kernel::Ring { shifts: 1 },
                 ToolKind::P4,
-                Platform::SunEthernet,
+                Platform::SUN_ETHERNET,
                 4,
                 1024,
             ),
@@ -305,8 +305,8 @@ mod tests {
     fn execution_is_deterministic_across_executors() {
         let point = sc(
             Kernel::SendRecv { iters: 2 },
-            ToolKind::Pvm,
-            Platform::SunAtmLan,
+            ToolKind::PVM,
+            Platform::SUN_ATM_LAN,
             2,
             4096,
         );
@@ -326,8 +326,8 @@ mod tests {
         let out = Executor::new()
             .run(&sc(
                 Kernel::GlobalSum,
-                ToolKind::Pvm,
-                Platform::SunEthernet,
+                ToolKind::PVM,
+                Platform::SUN_ETHERNET,
                 4,
                 1000,
             ))
@@ -340,8 +340,8 @@ mod tests {
         let err = Executor::new()
             .run(&sc(
                 Kernel::Broadcast,
-                ToolKind::Express,
-                Platform::SunAtmWan,
+                ToolKind::EXPRESS,
+                Platform::SUN_ATM_WAN,
                 4,
                 1024,
             ))
@@ -358,7 +358,7 @@ mod tests {
                     scale: Scale::Quick,
                 },
                 ToolKind::P4,
-                Platform::AlphaFddi,
+                Platform::ALPHA_FDDI,
                 4,
                 0,
             ))

@@ -24,7 +24,7 @@ use pdceval_simnet::platform::Platform;
 /// let grid = ScenarioGrid::new()
 ///     .kernels([Kernel::Broadcast])
 ///     .tools(ToolKind::all())
-///     .platforms([Platform::SunEthernet, Platform::SunAtmWan])
+///     .platforms([Platform::SUN_ETHERNET, Platform::SUN_ATM_WAN])
 ///     .nprocs([4])
 ///     .sizes([16 * 1024, 64 * 1024]);
 /// // Express has no WAN port: 3 tools * 2 sizes on Ethernet plus
@@ -138,8 +138,8 @@ mod tests {
     fn enumeration_order_is_deterministic() {
         let grid = ScenarioGrid::new()
             .kernels([Kernel::Ring { shifts: 1 }])
-            .tools([ToolKind::P4, ToolKind::Pvm])
-            .platforms([Platform::SunEthernet])
+            .tools([ToolKind::P4, ToolKind::PVM])
+            .platforms([Platform::SUN_ETHERNET])
             .nprocs([2, 4])
             .sizes([0, 1024]);
         let a = grid.scenarios();
@@ -158,14 +158,14 @@ mod tests {
         let grid = ScenarioGrid::new()
             .kernels([Kernel::GlobalSum])
             .tools(ToolKind::all())
-            .platforms([Platform::SunEthernet, Platform::SunAtmWan])
+            .platforms([Platform::SUN_ETHERNET, Platform::SUN_ATM_WAN])
             .nprocs([4])
             .sizes([1000]);
         let scenarios = grid.scenarios();
         // PVM dropped everywhere (no global op); Express dropped on the
         // WAN (no port): p4 + express on Ethernet, p4 on the WAN.
         assert_eq!(scenarios.len(), 3);
-        assert!(scenarios.iter().all(|s| s.tool != ToolKind::Pvm));
+        assert!(scenarios.iter().all(|s| s.tool != ToolKind::PVM));
     }
 
     #[test]
@@ -176,7 +176,7 @@ mod tests {
                 scale: Scale::Quick,
             }])
             .tools([ToolKind::P4])
-            .platforms([Platform::SunEthernet])
+            .platforms([Platform::SUN_ETHERNET])
             .nprocs([2])
             .sizes([0])
             .reps(0);

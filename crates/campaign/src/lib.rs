@@ -32,7 +32,7 @@
 //! let scenarios = ScenarioGrid::new()
 //!     .kernels([Kernel::Ring { shifts: 1 }])
 //!     .tools(ToolKind::all())
-//!     .platforms([Platform::SunAtmLan])
+//!     .platforms([Platform::SUN_ATM_LAN])
 //!     .nprocs([4])
 //!     .sizes([4096, 16384])
 //!     .scenarios();

@@ -162,12 +162,12 @@ mod tests {
 
     fn smoke_scenarios() -> Vec<Scenario> {
         let mut out = Vec::new();
-        for tool in [ToolKind::P4, ToolKind::Pvm, ToolKind::Express] {
+        for tool in [ToolKind::P4, ToolKind::PVM, ToolKind::EXPRESS] {
             for size in [0u64, 4096, 16384] {
                 out.push(Scenario {
                     kernel: Kernel::Ring { shifts: 1 },
                     tool,
-                    platform: Platform::SunAtmLan,
+                    platform: Platform::SUN_ATM_LAN,
                     nprocs: 4,
                     size,
                     reps: 2,
@@ -210,8 +210,8 @@ mod tests {
         let scenarios = vec![
             Scenario {
                 kernel: Kernel::Broadcast,
-                tool: ToolKind::Express,
-                platform: Platform::SunAtmWan,
+                tool: ToolKind::EXPRESS,
+                platform: Platform::SUN_ATM_WAN,
                 nprocs: 4,
                 size: 1024,
                 reps: 1,
@@ -219,7 +219,7 @@ mod tests {
             Scenario {
                 kernel: Kernel::Broadcast,
                 tool: ToolKind::P4,
-                platform: Platform::SunAtmWan,
+                platform: Platform::SUN_ATM_WAN,
                 nprocs: 4,
                 size: 1024,
                 reps: 1,

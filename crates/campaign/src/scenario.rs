@@ -142,25 +142,19 @@ impl Kernel {
     }
 }
 
-/// Stable lower-case slug for a tool, used in scenario keys.
-pub fn tool_slug(tool: ToolKind) -> &'static str {
-    match tool {
-        ToolKind::Express => "express",
-        ToolKind::P4 => "p4",
-        ToolKind::Pvm => "pvm",
-    }
+/// Stable lower-case slug for a tool, used in scenario keys. Slugs come
+/// from the tool's registered spec, so spec-loaded tools get store keys
+/// the same way the built-ins do (whose slugs are string-stable:
+/// `express` / `p4` / `pvm`).
+pub fn tool_slug(tool: ToolKind) -> String {
+    tool.slug()
 }
 
-/// Stable lower-case slug for a platform, used in scenario keys.
-pub fn platform_slug(platform: Platform) -> &'static str {
-    match platform {
-        Platform::SunEthernet => "sun-eth",
-        Platform::SunAtmLan => "sun-atm-lan",
-        Platform::SunAtmWan => "sun-atm-wan",
-        Platform::AlphaFddi => "alpha-fddi",
-        Platform::Sp1Switch => "sp1-switch",
-        Platform::Sp1Ethernet => "sp1-eth",
-    }
+/// Stable lower-case slug for a platform, used in scenario keys (spec
+/// data; built-ins keep `sun-eth`, `sun-atm-lan`, `sun-atm-wan`,
+/// `alpha-fddi`, `sp1-switch`, `sp1-eth`).
+pub fn platform_slug(platform: Platform) -> String {
+    platform.slug()
 }
 
 /// One sweep point of a campaign.
@@ -242,9 +236,9 @@ mod tests {
 
     #[test]
     fn keys_are_stable_and_unique_across_coordinates() {
-        let a = sc(Kernel::Broadcast, ToolKind::P4, Platform::SunEthernet, 4);
+        let a = sc(Kernel::Broadcast, ToolKind::P4, Platform::SUN_ETHERNET, 4);
         assert_eq!(a.key(), "broadcast/p4/sun-eth/n4/s1024");
-        let b = sc(Kernel::Broadcast, ToolKind::Pvm, Platform::SunEthernet, 4);
+        let b = sc(Kernel::Broadcast, ToolKind::PVM, Platform::SUN_ETHERNET, 4);
         assert_ne!(a.key(), b.key());
         let c = sc(
             Kernel::App {
@@ -252,7 +246,7 @@ mod tests {
                 scale: Scale::Quick,
             },
             ToolKind::P4,
-            Platform::AlphaFddi,
+            Platform::ALPHA_FDDI,
             8,
         );
         assert_eq!(c.key(), "jpeg-quick/p4/alpha-fddi/n8/s1024");
@@ -265,13 +259,13 @@ mod tests {
         let r1 = sc(
             Kernel::Ring { shifts: 1 },
             ToolKind::P4,
-            Platform::SunEthernet,
+            Platform::SUN_ETHERNET,
             4,
         );
         let r4 = sc(
             Kernel::Ring { shifts: 4 },
             ToolKind::P4,
-            Platform::SunEthernet,
+            Platform::SUN_ETHERNET,
             4,
         );
         assert_eq!(r1.key(), "ring-x1/p4/sun-eth/n4/s1024");
@@ -279,13 +273,13 @@ mod tests {
         let s1 = sc(
             Kernel::SendRecv { iters: 1 },
             ToolKind::P4,
-            Platform::SunEthernet,
+            Platform::SUN_ETHERNET,
             2,
         );
         let s2 = sc(
             Kernel::SendRecv { iters: 2 },
             ToolKind::P4,
-            Platform::SunEthernet,
+            Platform::SUN_ETHERNET,
             2,
         );
         assert_ne!(s1.key(), s2.key());
@@ -295,7 +289,7 @@ mod tests {
             sc(
                 Kernel::SendRecv { iters: 0 },
                 ToolKind::P4,
-                Platform::SunEthernet,
+                Platform::SUN_ETHERNET,
                 2
             )
             .key(),
@@ -308,28 +302,28 @@ mod tests {
         // Express has no WAN port.
         assert!(!sc(
             Kernel::Ring { shifts: 1 },
-            ToolKind::Express,
-            Platform::SunAtmWan,
+            ToolKind::EXPRESS,
+            Platform::SUN_ATM_WAN,
             4
         )
         .is_valid());
         // PVM has no global sum.
-        assert!(!sc(Kernel::GlobalSum, ToolKind::Pvm, Platform::SunEthernet, 4).is_valid());
+        assert!(!sc(Kernel::GlobalSum, ToolKind::PVM, Platform::SUN_ETHERNET, 4).is_valid());
         // Too many nodes for NYNET.
-        assert!(!sc(Kernel::Broadcast, ToolKind::P4, Platform::SunAtmWan, 8).is_valid());
-        assert!(sc(Kernel::Broadcast, ToolKind::P4, Platform::SunAtmWan, 4).is_valid());
+        assert!(!sc(Kernel::Broadcast, ToolKind::P4, Platform::SUN_ATM_WAN, 8).is_valid());
+        assert!(sc(Kernel::Broadcast, ToolKind::P4, Platform::SUN_ATM_WAN, 4).is_valid());
         // The echo kernel needs a peer rank.
         assert!(!sc(
             Kernel::SendRecv { iters: 1 },
             ToolKind::P4,
-            Platform::SunEthernet,
+            Platform::SUN_ETHERNET,
             1
         )
         .is_valid());
         assert!(sc(
             Kernel::SendRecv { iters: 1 },
             ToolKind::P4,
-            Platform::SunEthernet,
+            Platform::SUN_ETHERNET,
             2
         )
         .is_valid());

@@ -229,7 +229,7 @@ mod tests {
             scenario: Scenario {
                 kernel: Kernel::Broadcast,
                 tool: ToolKind::P4,
-                platform: Platform::SunEthernet,
+                platform: Platform::SUN_ETHERNET,
                 nprocs: 4,
                 size,
                 reps: 2,
@@ -280,8 +280,8 @@ mod tests {
         let r = ScenarioRecord {
             scenario: Scenario {
                 kernel: Kernel::GlobalSum,
-                tool: ToolKind::Pvm,
-                platform: Platform::SunEthernet,
+                tool: ToolKind::PVM,
+                platform: Platform::SUN_ETHERNET,
                 nprocs: 4,
                 size: 1000,
                 reps: 1,

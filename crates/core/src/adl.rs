@@ -8,46 +8,16 @@
 //! with other software, and portability. Each criterion is rated
 //! WS (well supported), PS (partially supported) or NS (not supported),
 //! exactly as the paper's final table does.
+//!
+//! The ratings themselves are *data*: every tool's [`Support`] column
+//! lives in its registered `ToolSpec` (`adl` field, in [`Criterion::all`]
+//! order), so spec-registered tools are assessed exactly like the
+//! built-in three.
 
 use pdceval_mpt::ToolKind;
 use std::fmt;
 
-/// A usability rating (the paper's WS/PS/NS scale).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum Support {
-    /// NS — not supported.
-    NotSupported,
-    /// PS — partially supported.
-    Partial,
-    /// WS — well supported.
-    Well,
-}
-
-impl Support {
-    /// The paper's two-letter code.
-    pub fn code(&self) -> &'static str {
-        match self {
-            Support::Well => "WS",
-            Support::Partial => "PS",
-            Support::NotSupported => "NS",
-        }
-    }
-
-    /// Numeric value for weighted scoring (WS=2, PS=1, NS=0).
-    pub fn value(&self) -> f64 {
-        match self {
-            Support::Well => 2.0,
-            Support::Partial => 1.0,
-            Support::NotSupported => 0.0,
-        }
-    }
-}
-
-impl fmt::Display for Support {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.code())
-    }
-}
+pub use pdceval_mpt::spec::Support;
 
 /// The usability criteria of §2.3 / the §3.3.1 assessment table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -74,7 +44,8 @@ pub enum Criterion {
 }
 
 impl Criterion {
-    /// All criteria in the paper's table order.
+    /// All criteria in the paper's table order — also the order of a
+    /// `ToolSpec`'s `adl` array and of a spec file's `adl =` codes.
     pub fn all() -> [Criterion; 9] {
         [
             Criterion::ProgrammingModels,
@@ -123,68 +94,18 @@ impl fmt::Display for Criterion {
     }
 }
 
-/// The paper's §3.3.1 assessment of one tool.
+/// The §3.3.1-style assessment of one tool, read from its spec's ADL
+/// ratings (the paper's table for the built-in three).
 pub fn assessment(tool: ToolKind) -> Vec<(Criterion, Support)> {
-    use Criterion::*;
-    use Support::*;
-    let ratings: [Support; 9] = match tool {
-        // Paper table, column "P4".
-        ToolKind::P4 => [
-            Well, Well, Partial, Partial, Partial, Partial, Partial, Partial, Well,
-        ],
-        // Column "PVM".
-        ToolKind::Pvm => [
-            Well,
-            Well,
-            Well,
-            Partial,
-            NotSupported,
-            Partial,
-            Well,
-            Well,
-            Well,
-        ],
-        // Column "Express".
-        ToolKind::Express => [
-            Well,
-            Well,
-            Partial,
-            Well,
-            Partial,
-            Partial,
-            Well,
-            NotSupported,
-            Well,
-        ],
-    };
-    [
-        ProgrammingModels,
-        LanguageInterface,
-        EaseOfProgramming,
-        DebuggingSupport,
-        Customization,
-        ErrorHandling,
-        RunTimeInterface,
-        Integration,
-        Portability,
-    ]
-    .into_iter()
-    .zip(ratings)
-    .collect()
+    Criterion::all().into_iter().zip(tool.spec().adl).collect()
 }
 
-/// The programming models of §2.3 that a tool supports.
-pub fn programming_models(tool: ToolKind) -> Vec<&'static str> {
-    match tool {
-        // All three support host-node; Express additionally promotes the
-        // SPMD "Cubix" model.
-        ToolKind::Express => vec!["Host-Node", "SPMD (Cubix)"],
-        ToolKind::P4 => vec!["Host-Node", "SPMD"],
-        ToolKind::Pvm => vec!["Host-Node", "SPMD"],
-    }
+/// The programming models of §2.3 that a tool supports (spec data).
+pub fn programming_models(tool: ToolKind) -> Vec<String> {
+    tool.spec().programming_models.clone()
 }
 
-/// The language bindings the paper notes (all three: C and FORTRAN).
+/// The language bindings the paper notes (all three tools: C and FORTRAN).
 pub fn language_interfaces(_tool: ToolKind) -> Vec<&'static str> {
     vec!["C", "FORTRAN"]
 }
@@ -196,13 +117,13 @@ mod tests {
     #[test]
     fn assessments_match_the_paper_table() {
         // Spot-check the distinctive cells of the §3.3.1 table.
-        let pvm: Vec<Support> = assessment(ToolKind::Pvm)
+        let pvm: Vec<Support> = assessment(ToolKind::PVM)
             .into_iter()
             .map(|(_, s)| s)
             .collect();
         assert_eq!(pvm[2], Support::Well, "PVM ease of programming is WS");
         assert_eq!(pvm[4], Support::NotSupported, "PVM customization is NS");
-        let ex: Vec<Support> = assessment(ToolKind::Express)
+        let ex: Vec<Support> = assessment(ToolKind::EXPRESS)
             .into_iter()
             .map(|(_, s)| s)
             .collect();
@@ -236,12 +157,12 @@ mod tests {
     }
 
     #[test]
-    fn all_tools_are_portable_with_c_and_fortran() {
-        for tool in ToolKind::all() {
+    fn all_builtin_tools_are_portable_with_c_and_fortran() {
+        for tool in ToolKind::builtin() {
             let a = assessment(tool);
             assert_eq!(a.last().expect("portability").1, Support::Well);
             assert_eq!(language_interfaces(tool), vec!["C", "FORTRAN"]);
-            assert!(programming_models(tool).contains(&"Host-Node"));
+            assert!(programming_models(tool).iter().any(|m| m == "Host-Node"));
         }
     }
 }

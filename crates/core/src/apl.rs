@@ -94,17 +94,17 @@ mod tests {
     #[test]
     fn figure_procs_respect_platform_limits() {
         assert_eq!(
-            figure_procs(Platform::AlphaFddi),
+            figure_procs(Platform::ALPHA_FDDI),
             vec![1, 2, 3, 4, 5, 6, 7, 8]
         );
-        assert_eq!(figure_procs(Platform::SunAtmWan), vec![1, 2, 3, 4]);
+        assert_eq!(figure_procs(Platform::SUN_ATM_WAN), vec![1, 2, 3, 4]);
     }
 
     #[test]
     fn jpeg_scales_down_with_processors() {
         let cfg = AplConfig {
             app: AplApp::Jpeg,
-            platform: Platform::AlphaFddi,
+            platform: Platform::ALPHA_FDDI,
             tool: ToolKind::P4,
             procs: vec![1, 4],
             scale: Scale::Paper,
@@ -117,8 +117,8 @@ mod tests {
     fn sweep_is_deterministic() {
         let cfg = AplConfig {
             app: AplApp::MonteCarlo,
-            platform: Platform::Sp1Switch,
-            tool: ToolKind::Express,
+            platform: Platform::SP1_SWITCH,
+            tool: ToolKind::EXPRESS,
             procs: vec![2],
             scale: Scale::Quick,
         };
@@ -129,8 +129,8 @@ mod tests {
     fn express_sweep_fails_on_wan() {
         let cfg = AplConfig {
             app: AplApp::Fft,
-            platform: Platform::SunAtmWan,
-            tool: ToolKind::Express,
+            platform: Platform::SUN_ATM_WAN,
+            tool: ToolKind::EXPRESS,
             procs: vec![1],
             scale: Scale::Quick,
         };

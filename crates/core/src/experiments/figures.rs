@@ -30,13 +30,13 @@ pub fn figure2() -> Result<Artifact, RunError> {
     for (pane, platform, tools) in [
         (
             "Broadcast Timing on Ethernet using 4 SUNs",
-            Platform::SunEthernet,
-            vec![ToolKind::Pvm, ToolKind::P4, ToolKind::Express],
+            Platform::SUN_ETHERNET,
+            vec![ToolKind::PVM, ToolKind::P4, ToolKind::EXPRESS],
         ),
         (
             "Broadcast Timing on ATM WAN using 4 SUNs",
-            Platform::SunAtmWan,
-            vec![ToolKind::Pvm, ToolKind::P4],
+            Platform::SUN_ATM_WAN,
+            vec![ToolKind::PVM, ToolKind::P4],
         ),
     ] {
         let mut series = Vec::new();
@@ -70,13 +70,13 @@ pub fn figure3() -> Result<Artifact, RunError> {
     for (pane, platform, tools) in [
         (
             "Ring(Loop) Timing on Ethernet using 4 SUNs",
-            Platform::SunEthernet,
-            vec![ToolKind::Pvm, ToolKind::P4, ToolKind::Express],
+            Platform::SUN_ETHERNET,
+            vec![ToolKind::PVM, ToolKind::P4, ToolKind::EXPRESS],
         ),
         (
             "Ring(Loop) Timing on ATM WAN using 4 SUNs",
-            Platform::SunAtmWan,
-            vec![ToolKind::Pvm, ToolKind::P4],
+            Platform::SUN_ATM_WAN,
+            vec![ToolKind::PVM, ToolKind::P4],
         ),
     ] {
         let mut series = Vec::new();
@@ -108,9 +108,9 @@ pub fn figure3() -> Result<Artifact, RunError> {
 pub fn figure4() -> Result<Artifact, RunError> {
     let mut series = Vec::new();
     for (label, platform, tool) in [
-        ("p4", Platform::SunEthernet, ToolKind::P4),
-        ("express", Platform::SunEthernet, ToolKind::Express),
-        ("p4-NYNET", Platform::SunAtmWan, ToolKind::P4),
+        ("p4", Platform::SUN_ETHERNET, ToolKind::P4),
+        ("express", Platform::SUN_ETHERNET, ToolKind::EXPRESS),
+        ("p4-NYNET", Platform::SUN_ATM_WAN, ToolKind::P4),
     ] {
         match global_sum_sweep(&GlobalSumConfig::figure4(platform, tool))? {
             GlobalSumResult::Timed(pts) => {
@@ -193,8 +193,8 @@ pub fn figure5(scale: Scale) -> Result<Artifact, RunError> {
     app_figure(
         "fig5",
         "Figure 5: Application Performances on ALPHA/FDDI",
-        Platform::AlphaFddi,
-        &ToolKind::all(),
+        Platform::ALPHA_FDDI,
+        &ToolKind::builtin(),
         scale,
     )
 }
@@ -208,8 +208,8 @@ pub fn figure6(scale: Scale) -> Result<Artifact, RunError> {
     app_figure(
         "fig6",
         "Figure 6: Application Performances on IBM-SP1 with crossbar switch",
-        Platform::Sp1Switch,
-        &ToolKind::all(),
+        Platform::SP1_SWITCH,
+        &ToolKind::builtin(),
         scale,
     )
 }
@@ -224,8 +224,8 @@ pub fn figure7(scale: Scale) -> Result<Artifact, RunError> {
     app_figure(
         "fig7",
         "Figure 7: Application Performances on SUN/ATM-WAN (NYNET)",
-        Platform::SunAtmWan,
-        &[ToolKind::P4, ToolKind::Pvm],
+        Platform::SUN_ATM_WAN,
+        &[ToolKind::P4, ToolKind::PVM],
         scale,
     )
 }
@@ -239,8 +239,8 @@ pub fn figure8(scale: Scale) -> Result<Artifact, RunError> {
     app_figure(
         "fig8",
         "Figure 8: Application Performances on SUN/Ethernet",
-        Platform::SunEthernet,
-        &ToolKind::all(),
+        Platform::SUN_ETHERNET,
+        &ToolKind::builtin(),
         scale,
     )
 }

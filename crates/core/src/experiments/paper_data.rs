@@ -14,7 +14,7 @@ pub const TABLE3_SIZES_KB: [u64; 8] = [0, 1, 2, 4, 8, 16, 32, 64];
 pub fn table3_ethernet() -> Vec<(ToolKind, [f64; 8])> {
     vec![
         (
-            ToolKind::Pvm,
+            ToolKind::PVM,
             [
                 9.655, 11.693, 14.306, 25.537, 44.392, 61.096, 109.844, 189.120,
             ],
@@ -24,7 +24,7 @@ pub fn table3_ethernet() -> Vec<(ToolKind, [f64; 8])> {
             [3.199, 3.599, 4.399, 9.332, 24.165, 44.164, 98.996, 173.158],
         ),
         (
-            ToolKind::Express,
+            ToolKind::EXPRESS,
             [
                 4.807, 10.375, 18.362, 32.669, 59.166, 111.411, 189.760, 311.700,
             ],
@@ -36,7 +36,7 @@ pub fn table3_ethernet() -> Vec<(ToolKind, [f64; 8])> {
 pub fn table3_atm_lan() -> Vec<(ToolKind, [f64; 8])> {
     vec![
         (
-            ToolKind::Pvm,
+            ToolKind::PVM,
             [7.991, 8.678, 9.896, 13.673, 18.574, 27.365, 48.028, 88.176],
         ),
         (
@@ -44,7 +44,7 @@ pub fn table3_atm_lan() -> Vec<(ToolKind, [f64; 8])> {
             [2.966, 3.393, 3.748, 4.404, 6.482, 11.191, 19.104, 35.899],
         ),
         (
-            ToolKind::Express,
+            ToolKind::EXPRESS,
             [
                 4.152, 7.240, 11.061, 16.990, 27.047, 46.003, 82.566, 153.970,
             ],
@@ -56,7 +56,7 @@ pub fn table3_atm_lan() -> Vec<(ToolKind, [f64; 8])> {
 pub fn table3_atm_wan() -> Vec<(ToolKind, [f64; 8])> {
     vec![
         (
-            ToolKind::Pvm,
+            ToolKind::PVM,
             [7.764, 8.878, 10.105, 14.665, 19.526, 28.679, 53.320, 91.353],
         ),
         (
@@ -79,19 +79,19 @@ pub fn table4_ethernet() -> Vec<Table4Paper> {
     vec![
         Table4Paper {
             column: "snd/rcv",
-            order: vec![ToolKind::P4, ToolKind::Pvm, ToolKind::Express],
+            order: vec![ToolKind::P4, ToolKind::PVM, ToolKind::EXPRESS],
         },
         Table4Paper {
             column: "broadcast",
-            order: vec![ToolKind::P4, ToolKind::Pvm, ToolKind::Express],
+            order: vec![ToolKind::P4, ToolKind::PVM, ToolKind::EXPRESS],
         },
         Table4Paper {
             column: "ring",
-            order: vec![ToolKind::P4, ToolKind::Express, ToolKind::Pvm],
+            order: vec![ToolKind::P4, ToolKind::EXPRESS, ToolKind::PVM],
         },
         Table4Paper {
             column: "global sum",
-            order: vec![ToolKind::P4, ToolKind::Express],
+            order: vec![ToolKind::P4, ToolKind::EXPRESS],
         },
     ]
 }
@@ -101,15 +101,15 @@ pub fn table4_atm() -> Vec<Table4Paper> {
     vec![
         Table4Paper {
             column: "snd/rcv",
-            order: vec![ToolKind::P4, ToolKind::Pvm, ToolKind::Express],
+            order: vec![ToolKind::P4, ToolKind::PVM, ToolKind::EXPRESS],
         },
         Table4Paper {
             column: "broadcast",
-            order: vec![ToolKind::P4, ToolKind::Pvm],
+            order: vec![ToolKind::P4, ToolKind::PVM],
         },
         Table4Paper {
             column: "ring",
-            order: vec![ToolKind::P4, ToolKind::Pvm],
+            order: vec![ToolKind::P4, ToolKind::PVM],
         },
     ]
 }

@@ -27,14 +27,13 @@ pub fn table1() -> Artifact {
     ] {
         let cell = |tool: ToolKind| {
             tool.primitive_name(p)
-                .unwrap_or("Not Available")
-                .to_string()
+                .unwrap_or_else(|| "Not Available".to_string())
         };
         t.row(vec![
             p.name().to_string(),
-            cell(ToolKind::Express),
+            cell(ToolKind::EXPRESS),
             cell(ToolKind::P4),
-            cell(ToolKind::Pvm),
+            cell(ToolKind::PVM),
         ]);
     }
     Artifact::new(
@@ -69,17 +68,17 @@ pub fn table3() -> Result<Artifact, RunError> {
     let blocks: [Block; 3] = [
         (
             "SUN/Ethernet",
-            Platform::SunEthernet,
+            Platform::SUN_ETHERNET,
             paper_data::table3_ethernet(),
         ),
         (
             "SUN/ATM LAN",
-            Platform::SunAtmLan,
+            Platform::SUN_ATM_LAN,
             paper_data::table3_atm_lan(),
         ),
         (
             "SUN/ATM WAN (NYNET)",
-            Platform::SunAtmWan,
+            Platform::SUN_ATM_WAN,
             paper_data::table3_atm_wan(),
         ),
     ];
@@ -195,8 +194,8 @@ fn ring_ordering(
 ///
 /// Returns [`RunError`] if any sweep fails.
 pub fn table4() -> Result<Artifact, RunError> {
-    let all = ToolKind::all();
-    let wan_tools = [ToolKind::P4, ToolKind::Pvm];
+    let all = ToolKind::builtin();
+    let wan_tools = [ToolKind::P4, ToolKind::PVM];
 
     let fmt_order = |xs: &[(ToolKind, Option<f64>)]| {
         xs.iter()
@@ -220,7 +219,7 @@ pub fn table4() -> Result<Artifact, RunError> {
         "Simulated (best first)",
         "Paper",
     ]);
-    let eth = Platform::SunEthernet;
+    let eth = Platform::SUN_ETHERNET;
     let paper_eth = paper_data::table4_ethernet();
     t.row(vec![
         "SUN/Ethernet".to_string(),
@@ -251,14 +250,14 @@ pub fn table4() -> Result<Artifact, RunError> {
     t.row(vec![
         "SUN/ATM".to_string(),
         "snd/rcv".to_string(),
-        fmt_order(&ordering(Platform::SunAtmLan, Primitive::Send, &all)?),
+        fmt_order(&ordering(Platform::SUN_ATM_LAN, Primitive::Send, &all)?),
         fmt_paper(&paper_atm[0].order),
     ]);
     t.row(vec![
         "SUN/ATM".to_string(),
         "broadcast".to_string(),
         fmt_order(&ordering(
-            Platform::SunAtmWan,
+            Platform::SUN_ATM_WAN,
             Primitive::Broadcast,
             &wan_tools,
         )?),
@@ -267,7 +266,7 @@ pub fn table4() -> Result<Artifact, RunError> {
     t.row(vec![
         "SUN/ATM".to_string(),
         "ring".to_string(),
-        fmt_order(&ring_ordering(Platform::SunAtmWan, &wan_tools)?),
+        fmt_order(&ring_ordering(Platform::SUN_ATM_WAN, &wan_tools)?),
         fmt_paper(&paper_atm[2].order),
     ]);
 
@@ -289,8 +288,8 @@ pub fn table4() -> Result<Artifact, RunError> {
 pub fn table5() -> Artifact {
     let mut t = TextTable::new(vec!["Criterion", "P4", "PVM", "Express"]);
     let p4 = assessment(ToolKind::P4);
-    let pvm = assessment(ToolKind::Pvm);
-    let ex = assessment(ToolKind::Express);
+    let pvm = assessment(ToolKind::PVM);
+    let ex = assessment(ToolKind::EXPRESS);
     for (i, c) in Criterion::all().into_iter().enumerate() {
         t.row(vec![
             c.name().to_string(),
@@ -346,27 +345,27 @@ mod tests {
 
     #[test]
     fn table4_orderings_match_paper_except_ethernet_ring() {
-        let all = ToolKind::all();
+        let all = ToolKind::builtin();
         // snd/rcv on both platforms: p4 > PVM > Express.
-        for platform in [Platform::SunEthernet, Platform::SunAtmLan] {
+        for platform in [Platform::SUN_ETHERNET, Platform::SUN_ATM_LAN] {
             let o = ordering(platform, Primitive::Send, &all).unwrap();
             let tools: Vec<ToolKind> = o.iter().map(|(t, _)| *t).collect();
             assert_eq!(
                 tools,
-                vec![ToolKind::P4, ToolKind::Pvm, ToolKind::Express],
+                vec![ToolKind::P4, ToolKind::PVM, ToolKind::EXPRESS],
                 "{platform}"
             );
         }
         // Broadcast Ethernet: p4 > PVM > Express.
-        let o = ordering(Platform::SunEthernet, Primitive::Broadcast, &all).unwrap();
+        let o = ordering(Platform::SUN_ETHERNET, Primitive::Broadcast, &all).unwrap();
         let tools: Vec<ToolKind> = o.iter().map(|(t, _)| *t).collect();
-        assert_eq!(tools, vec![ToolKind::P4, ToolKind::Pvm, ToolKind::Express]);
+        assert_eq!(tools, vec![ToolKind::P4, ToolKind::PVM, ToolKind::EXPRESS]);
         // Global sum: p4 best, PVM not available (sorted last).
-        let o = ordering(Platform::SunEthernet, Primitive::GlobalSum, &all).unwrap();
+        let o = ordering(Platform::SUN_ETHERNET, Primitive::GlobalSum, &all).unwrap();
         assert_eq!(o[0].0, ToolKind::P4);
-        assert_eq!(o[2], (ToolKind::Pvm, None));
+        assert_eq!(o[2], (ToolKind::PVM, None));
         // WAN ring: p4 > PVM (paper's ATM column).
-        let o = ring_ordering(Platform::SunAtmWan, &[ToolKind::P4, ToolKind::Pvm]).unwrap();
+        let o = ring_ordering(Platform::SUN_ATM_WAN, &[ToolKind::P4, ToolKind::PVM]).unwrap();
         assert_eq!(o[0].0, ToolKind::P4);
     }
 }

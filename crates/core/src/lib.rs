@@ -29,9 +29,9 @@
 //! eval.tpl_measurement(Measurement::new(
 //!     "snd/rcv 64KB @ Ethernet (s)",
 //!     vec![
-//!         (ToolKind::Express, Some(0.311)),
+//!         (ToolKind::EXPRESS, Some(0.311)),
 //!         (ToolKind::P4, Some(0.173)),
-//!         (ToolKind::Pvm, Some(0.189)),
+//!         (ToolKind::PVM, Some(0.189)),
 //!     ],
 //! ));
 //! let ranked = eval.evaluate();

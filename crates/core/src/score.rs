@@ -212,12 +212,33 @@ impl Evaluator {
         }
     }
 
+    /// The tools this evaluator scores: every tool appearing in its
+    /// measurements (in first-appearance order), or the paper's built-in
+    /// trio when no measurements were added (pure-ADL evaluations).
+    /// Deliberately *not* the whole registry — a spec-registered tool
+    /// nobody measured must not enter a ranking on its ADL column alone.
+    fn tools(&self) -> Vec<ToolKind> {
+        let mut tools: Vec<ToolKind> = Vec::new();
+        for m in self.tpl.iter().chain(&self.apl) {
+            for (tool, _) in &m.times {
+                if !tools.contains(tool) {
+                    tools.push(*tool);
+                }
+            }
+        }
+        if tools.is_empty() {
+            tools = ToolKind::builtin().to_vec();
+        }
+        tools
+    }
+
     /// Produces the ranked scorecards, best overall first (ties broken by
     /// tool order for determinism).
     pub fn evaluate(&self) -> Vec<ToolScore> {
         let lw = self.weights;
         let total = lw.tpl + lw.apl + lw.adl;
-        let mut scores: Vec<ToolScore> = ToolKind::all()
+        let mut scores: Vec<ToolScore> = self
+            .tools()
             .into_iter()
             .map(|tool| {
                 let tpl = Self::level_score(&self.tpl, tool);
@@ -251,9 +272,9 @@ mod tests {
         Measurement::new(
             label,
             vec![
-                (ToolKind::Express, ex),
+                (ToolKind::EXPRESS, ex),
                 (ToolKind::P4, p4),
-                (ToolKind::Pvm, pvm),
+                (ToolKind::PVM, pvm),
             ],
         )
     }
@@ -262,14 +283,14 @@ mod tests {
     fn fastest_tool_scores_one() {
         let meas = m("x", Some(2.0), Some(1.0), Some(4.0));
         assert_eq!(meas.relative_score(ToolKind::P4), 1.0);
-        assert_eq!(meas.relative_score(ToolKind::Express), 0.5);
-        assert_eq!(meas.relative_score(ToolKind::Pvm), 0.25);
+        assert_eq!(meas.relative_score(ToolKind::EXPRESS), 0.5);
+        assert_eq!(meas.relative_score(ToolKind::PVM), 0.25);
     }
 
     #[test]
     fn missing_capability_scores_zero() {
         let meas = m("global sum", Some(2.0), Some(1.0), None);
-        assert_eq!(meas.relative_score(ToolKind::Pvm), 0.0);
+        assert_eq!(meas.relative_score(ToolKind::PVM), 0.0);
     }
 
     #[test]
@@ -316,7 +337,7 @@ mod tests {
             adl: 1.0,
         });
         let ranked = e.evaluate();
-        assert_eq!(ranked[0].tool, ToolKind::Pvm, "{ranked:?}");
+        assert_eq!(ranked[0].tool, ToolKind::PVM, "{ranked:?}");
     }
 
     #[test]
@@ -331,7 +352,7 @@ mod tests {
         });
         e.criterion_weight(Criterion::DebuggingSupport, 50.0);
         let ranked = e.evaluate();
-        assert_eq!(ranked[0].tool, ToolKind::Express, "{ranked:?}");
+        assert_eq!(ranked[0].tool, ToolKind::EXPRESS, "{ranked:?}");
     }
 
     #[test]
@@ -348,6 +369,23 @@ mod tests {
             apl: 0.0,
             adl: 0.0,
         });
+    }
+
+    #[test]
+    fn evaluation_scores_measured_tools_not_the_whole_registry() {
+        // A tool that appears in no measurement must not enter the
+        // ranking, even if it is registered (spec-loaded) in this
+        // process; with no measurements at all, the built-in trio is
+        // scored (pure-ADL evaluations).
+        let mut e = Evaluator::new();
+        e.tpl_measurement(m("a", Some(2.0), Some(1.0), Some(3.0)));
+        let ranked = e.evaluate();
+        let tools: Vec<ToolKind> = ranked.iter().map(|s| s.tool).collect();
+        let mut expected = ToolKind::builtin().to_vec();
+        expected.sort_by_key(|t| tools.iter().position(|x| x == t));
+        assert_eq!(tools.len(), 3);
+        assert_eq!(tools, expected);
+        assert_eq!(Evaluator::new().evaluate().len(), 3);
     }
 
     #[test]

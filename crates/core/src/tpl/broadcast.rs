@@ -81,15 +81,15 @@ mod tests {
     fn p4_tree_beats_pvm_sequential_on_atm() {
         let sizes = vec![16, 64];
         let p4 = broadcast_sweep(&BroadcastConfig {
-            platform: Platform::SunAtmLan,
+            platform: Platform::SUN_ATM_LAN,
             tool: ToolKind::P4,
             nprocs: 4,
             sizes_kb: sizes.clone(),
         })
         .unwrap();
         let pvm = broadcast_sweep(&BroadcastConfig {
-            platform: Platform::SunAtmLan,
-            tool: ToolKind::Pvm,
+            platform: Platform::SUN_ATM_LAN,
+            tool: ToolKind::PVM,
             nprocs: 4,
             sizes_kb: sizes,
         })
@@ -103,7 +103,7 @@ mod tests {
     fn express_ack_broadcast_is_worst_on_ethernet() {
         let mk = |tool| {
             broadcast_sweep(&BroadcastConfig {
-                platform: Platform::SunEthernet,
+                platform: Platform::SUN_ETHERNET,
                 tool,
                 nprocs: 4,
                 sizes_kb: vec![32],
@@ -112,8 +112,8 @@ mod tests {
                 .millis
         };
         let p4 = mk(ToolKind::P4);
-        let pvm = mk(ToolKind::Pvm);
-        let ex = mk(ToolKind::Express);
+        let pvm = mk(ToolKind::PVM);
+        let ex = mk(ToolKind::EXPRESS);
         assert!(p4 < pvm, "p4 {p4} !< pvm {pvm}");
         assert!(pvm < ex, "pvm {pvm} !< express {ex}");
     }
@@ -121,7 +121,7 @@ mod tests {
     #[test]
     fn broadcast_time_grows_with_size() {
         let pts = broadcast_sweep(&BroadcastConfig {
-            platform: Platform::SunAtmLan,
+            platform: Platform::SUN_ATM_LAN,
             tool: ToolKind::P4,
             nprocs: 4,
             sizes_kb: vec![0, 4, 16, 64],

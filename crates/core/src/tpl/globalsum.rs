@@ -109,16 +109,16 @@ mod tests {
     #[test]
     fn p4_tree_beats_express_ring() {
         // Paper Figure 4: p4's implementation is better than Express's.
-        let p4 = timed(ToolKind::P4, Platform::SunEthernet, 50_000);
-        let ex = timed(ToolKind::Express, Platform::SunEthernet, 50_000);
+        let p4 = timed(ToolKind::P4, Platform::SUN_ETHERNET, 50_000);
+        let ex = timed(ToolKind::EXPRESS, Platform::SUN_ETHERNET, 50_000);
         assert!(p4 < ex, "p4 {p4} !< express {ex}");
     }
 
     #[test]
     fn pvm_reports_not_available() {
         let r = global_sum_sweep(&GlobalSumConfig::figure4(
-            Platform::SunEthernet,
-            ToolKind::Pvm,
+            Platform::SUN_ETHERNET,
+            ToolKind::PVM,
         ))
         .unwrap();
         assert!(matches!(r, GlobalSumResult::Unsupported(_)));
@@ -127,15 +127,15 @@ mod tests {
     #[test]
     fn wan_slower_than_lan_for_large_vectors() {
         // Figure 4 also plots p4 on NYNET: similar shape, higher times.
-        let lan = timed(ToolKind::P4, Platform::SunAtmLan, 100_000);
-        let wan = timed(ToolKind::P4, Platform::SunAtmWan, 100_000);
+        let lan = timed(ToolKind::P4, Platform::SUN_ATM_LAN, 100_000);
+        let wan = timed(ToolKind::P4, Platform::SUN_ATM_WAN, 100_000);
         assert!(wan > lan, "wan {wan} !> lan {lan}");
     }
 
     #[test]
     fn time_grows_with_vector_size() {
-        let small = timed(ToolKind::P4, Platform::SunEthernet, 1_000);
-        let large = timed(ToolKind::P4, Platform::SunEthernet, 100_000);
+        let small = timed(ToolKind::P4, Platform::SUN_ETHERNET, 1_000);
+        let large = timed(ToolKind::P4, Platform::SUN_ETHERNET, 100_000);
         assert!(large > 10.0 * small, "small {small}, large {large}");
     }
 }

@@ -105,10 +105,10 @@ mod tests {
 
     #[test]
     fn p4_wins_the_ring_everywhere() {
-        for platform in [Platform::SunEthernet, Platform::SunAtmLan] {
+        for platform in [Platform::SUN_ETHERNET, Platform::SUN_ATM_LAN] {
             let p4 = time_at(ToolKind::P4, platform, 16);
-            let pvm = time_at(ToolKind::Pvm, platform, 16);
-            let ex = time_at(ToolKind::Express, platform, 16);
+            let pvm = time_at(ToolKind::PVM, platform, 16);
+            let ex = time_at(ToolKind::EXPRESS, platform, 16);
             assert!(
                 p4 < pvm && p4 < ex,
                 "{platform:?}: p4={p4} pvm={pvm} ex={ex}"
@@ -124,8 +124,8 @@ mod tests {
         // is visible on switched fabrics where the wire is not the
         // bottleneck.
         for kb in [16, 64] {
-            let ex = time_at(ToolKind::Express, Platform::SunAtmLan, kb);
-            let pvm = time_at(ToolKind::Pvm, Platform::SunAtmLan, kb);
+            let ex = time_at(ToolKind::EXPRESS, Platform::SUN_ATM_LAN, kb);
+            let pvm = time_at(ToolKind::PVM, Platform::SUN_ATM_LAN, kb);
             assert!(ex < pvm, "{kb}KB: express {ex} !< pvm {pvm}");
         }
     }
@@ -133,8 +133,8 @@ mod tests {
     #[test]
     fn ring_time_grows_with_size() {
         let pts = ring_sweep(&RingConfig {
-            platform: Platform::SunAtmLan,
-            tool: ToolKind::Express,
+            platform: Platform::SUN_ATM_LAN,
+            tool: ToolKind::EXPRESS,
             nprocs: 4,
             sizes_kb: vec![0, 8, 64],
             shifts: 1,
@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn single_node_ring_is_instant() {
         let pts = ring_sweep(&RingConfig {
-            platform: Platform::SunAtmLan,
+            platform: Platform::SUN_ATM_LAN,
             tool: ToolKind::P4,
             nprocs: 1,
             sizes_kb: vec![64],

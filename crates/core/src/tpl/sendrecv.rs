@@ -81,7 +81,7 @@ mod tests {
     #[test]
     fn p4_ethernet_matches_table3_shape() {
         let cfg = SendRecvConfig {
-            platform: Platform::SunEthernet,
+            platform: Platform::SUN_ETHERNET,
             tool: ToolKind::P4,
             sizes_kb: vec![0, 16, 64],
             iters: 1,
@@ -103,15 +103,15 @@ mod tests {
 
     #[test]
     fn express_wan_is_unsupported() {
-        let cfg = SendRecvConfig::table3(Platform::SunAtmWan, ToolKind::Express);
+        let cfg = SendRecvConfig::table3(Platform::SUN_ATM_WAN, ToolKind::EXPRESS);
         assert!(send_recv_sweep(&cfg).is_err());
     }
 
     #[test]
     fn sweep_is_deterministic() {
         let cfg = SendRecvConfig {
-            platform: Platform::SunAtmLan,
-            tool: ToolKind::Pvm,
+            platform: Platform::SUN_ATM_LAN,
+            tool: ToolKind::PVM,
             sizes_kb: vec![4],
             iters: 3,
         };

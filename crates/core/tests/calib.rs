@@ -10,9 +10,9 @@ use pdceval_simnet::platform::Platform;
 #[test]
 fn calibration_table3() {
     let blocks = [
-        (Platform::SunEthernet, paper_data::table3_ethernet()),
-        (Platform::SunAtmLan, paper_data::table3_atm_lan()),
-        (Platform::SunAtmWan, paper_data::table3_atm_wan()),
+        (Platform::SUN_ETHERNET, paper_data::table3_ethernet()),
+        (Platform::SUN_ATM_LAN, paper_data::table3_atm_lan()),
+        (Platform::SUN_ATM_WAN, paper_data::table3_atm_wan()),
     ];
     for (platform, paper) in blocks {
         println!("== {platform} ==");

@@ -163,7 +163,7 @@ mod tests {
     #[test]
     fn display_covers_variants() {
         let e = ToolError::Unsupported {
-            tool: ToolKind::Pvm,
+            tool: ToolKind::PVM,
             op: "global sum",
         };
         assert!(e.to_string().contains("PVM"));
@@ -173,8 +173,8 @@ mod tests {
         assert!(e.to_string().contains('9'));
 
         let e = RunError::PlatformUnsupported {
-            tool: ToolKind::Express,
-            platform: Platform::SunAtmWan,
+            tool: ToolKind::EXPRESS,
+            platform: Platform::SUN_ATM_WAN,
         };
         assert!(e.to_string().contains("Express"));
         assert!(e.to_string().contains("NYNET"));

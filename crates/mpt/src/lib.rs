@@ -16,7 +16,7 @@
 //! use bytes::Bytes;
 //! use pdceval_mpt::prelude::*;
 //!
-//! let cfg = SpmdConfig::new(Platform::SunAtmLan, ToolKind::Pvm, 4);
+//! let cfg = SpmdConfig::new(Platform::SUN_ATM_LAN, ToolKind::PVM, 4);
 //! let out = run_spmd(&cfg, |node| {
 //!     // A rank-0-rooted broadcast, PVM style (sequential pvm_mcast).
 //!     let data = if node.rank() == 0 {
@@ -33,17 +33,22 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod builtin;
 pub mod collective;
 pub mod error;
 pub mod message;
 pub mod node;
 pub mod profile;
+pub mod registry;
 pub mod runtime;
+pub mod spec;
 pub mod tool;
 
 pub use node::{Node, RecvMsg};
+pub use registry::ModelRegistry;
 pub use runtime::{run_spmd, SpmdConfig, SpmdHarness, SpmdOutcome};
-pub use tool::{Primitive, ToolKind};
+pub use spec::{SpecFile, Support, ToolSpec};
+pub use tool::{Primitive, ToolId, ToolKind};
 
 /// Convenient glob-import of the crate's primary types.
 pub mod prelude {
@@ -51,9 +56,11 @@ pub mod prelude {
     pub use crate::message::{MsgReader, MsgWriter};
     pub use crate::node::{Node, RecvMsg};
     pub use crate::profile::ToolProfile;
+    pub use crate::registry::ModelRegistry;
     pub use crate::runtime::{run_spmd, SpmdConfig, SpmdHarness, SpmdOutcome};
-    pub use crate::tool::{Primitive, ToolKind};
-    pub use pdceval_simnet::platform::Platform;
+    pub use crate::spec::{SpecFile, Support, ToolSpec};
+    pub use crate::tool::{Primitive, ToolId, ToolKind};
+    pub use pdceval_simnet::platform::{Platform, PlatformId, PlatformSpec};
     pub use pdceval_simnet::time::{SimDuration, SimTime};
     pub use pdceval_simnet::work::Work;
 }

@@ -8,6 +8,7 @@
 
 use crate::error::ToolError;
 use crate::profile::ToolProfile;
+use crate::spec::ToolSpec;
 use crate::tool::ToolKind;
 use bytes::Bytes;
 use pdceval_simnet::engine::Ctx;
@@ -42,6 +43,8 @@ pub(crate) fn coll_tag(op: u32, seq: u32) -> Tag {
 pub(crate) struct Shared {
     pub platform: Platform,
     pub tool: ToolKind,
+    /// The tool's spec, resolved once per run (not per node).
+    pub tool_spec: Arc<ToolSpec>,
     pub fabric: Fabric,
     pub hosts: Vec<HostSpec>,
     /// Per-host protocol-stack transmit resource (p4, Express, PVM-direct).
@@ -117,7 +120,7 @@ pub struct Node<'a> {
 
 impl<'a> Node<'a> {
     pub(crate) fn new(ctx: &'a Ctx, rank: usize, shared: Arc<Shared>) -> Node<'a> {
-        let profile = ToolProfile::for_tool(shared.tool);
+        let profile = shared.tool_spec.profile.clone();
         Node {
             ctx,
             rank,
@@ -169,7 +172,7 @@ impl<'a> Node<'a> {
     /// (`pvm_advise(PvmRouteDirect)`), as tuned applications did.
     /// A no-op for the other tools.
     pub fn advise_direct_route(&mut self) {
-        self.profile = ToolProfile::direct_route(self.shared.tool);
+        self.profile = self.shared.tool_spec.direct_profile.clone();
     }
 
     /// Performs computational work, advancing virtual time by its cost on

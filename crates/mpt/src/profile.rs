@@ -1,30 +1,14 @@
-//! Calibrated cost profiles of the three tools.
+//! Calibrated cost profiles.
 //!
-//! Every ranking the paper reports is traced to a *protocol mechanism*,
-//! not a fudge factor:
+//! A [`ToolProfile`] is the software cost model of one tool — pure data,
+//! carried by the tool's [`crate::spec::ToolSpec`]. The three built-in
+//! profiles (and the protocol-mechanism reasoning behind every constant)
+//! live in [`crate::builtin`]; spec files declare new ones as
+//! `profile.*` keys.
 //!
-//! * **p4** is a thin layer over the transport: small fixed costs, small
-//!   per-byte costs, zero-copy contiguous sends, tree-structured
-//!   collectives. The paper attributes p4's wins to exactly this
-//!   ("very small amount of overhead to the underlying transport layer").
-//! * **PVM** routes messages through per-host daemons by default
-//!   (`task → pvmd → pvmd → task`): large fixed cost, and both directions
-//!   of a node's traffic serialize through the single-threaded daemon,
-//!   which is why PVM loses the full-duplex ring test to Express even
-//!   though it wins the half-duplex echo test. Applications could request
-//!   direct task-to-task routing (`pvm_advise(PvmRouteDirect)`), which the
-//!   tuned application suite does. PVM's typed packing handles strided
-//!   data natively. PVM has **no** global reduction (Table 1).
-//! * **Express** copies the whole message through an internal buffer
-//!   before transmission (no pipelining of that copy), giving it the worst
-//!   large-message throughput; but its transmit and receive paths overlap
-//!   (good for continuous flow, as the paper notes for the ring test), its
-//!   broadcast is sequential-with-acks (worst of the three), its reduction
-//!   is a ring combine, and its tiny-message `excombine` is the cheapest.
-//!
-//! All constants are microseconds at SUN SPARCstation IPX speed and scale
-//! by the host model's `sw_scale`. They were fitted against the paper's
-//! Table 3 (see `EXPERIMENTS.md` for fitted-vs-paper values).
+//! All fixed costs are in microseconds, per-byte costs in microseconds
+//! per byte, at SUN SPARCstation IPX speed (multiplied by the acting
+//! host's `sw_scale`).
 
 use crate::tool::ToolKind;
 
@@ -53,14 +37,9 @@ pub enum ReduceAlgo {
     Ring,
 }
 
-/// Calibrated software cost model of one tool.
-///
-/// Fixed costs are in microseconds, per-byte costs in microseconds per
-/// byte, all at IPX speed (multiplied by the acting host's `sw_scale`).
+/// Calibrated software cost model of one tool configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ToolProfile {
-    /// The tool this profile describes.
-    pub tool: ToolKind,
     /// Fixed send-side cost, paid on the send service resource.
     pub send_alpha_us: f64,
     /// Fixed receive-side cost, paid on the receive service resource.
@@ -86,6 +65,7 @@ pub struct ToolProfile {
     pub reduce: Option<ReduceAlgo>,
     /// Fixed cost of a tiny-payload combine round (Express's `excombine`
     /// fast path; used when a reduction payload is at most 64 bytes).
+    /// `f64::INFINITY` disables the fast path.
     pub small_combine_alpha_us: f64,
     /// Extra synchronous send-side cost per fragment *beyond the first*
     /// (Express segments large messages through its buffering layer).
@@ -98,106 +78,24 @@ pub struct ToolProfile {
     /// The tool's own fragmentation granularity, if smaller than the
     /// network MTU (PVM fragments at 4 KB independent of the medium).
     pub max_fragment_bytes: Option<usize>,
-    /// Extra receive cost for *any-source* (wildcard) receives. p4 keeps
-    /// one socket per peer and must poll them all for a wildcard receive;
-    /// Express's exreceive similarly scans channels. PVM's `pvm_recv(-1,
-    /// tag)` reads its unified message queue, so wildcards are free.
+    /// Extra receive cost for *any-source* (wildcard) receives.
     pub wildcard_recv_extra_us: f64,
 }
 
 impl ToolProfile {
     /// The calibrated profile for a tool's *default* configuration —
-    /// what the paper's TPL microbenchmarks exercise.
+    /// what the paper's TPL microbenchmarks exercise. Resolved through
+    /// the registry, so spec-registered tools work identically.
     pub fn for_tool(tool: ToolKind) -> ToolProfile {
-        match tool {
-            ToolKind::P4 => ToolProfile {
-                tool,
-                send_alpha_us: 1000.0,
-                recv_alpha_us: 1350.0,
-                send_beta_us_per_byte: 0.42,
-                recv_beta_us_per_byte: 0.42,
-                copy_before_send_us_per_byte: 0.0,
-                header_bytes: 64,
-                daemon_routed: false,
-                strided_native: false,
-                bcast: BcastAlgo::BinomialTree,
-                reduce: Some(ReduceAlgo::Tree),
-                small_combine_alpha_us: 1600.0,
-                seg_us_per_extra_fragment: 0.0,
-                strided_pack_us_per_byte: 0.0,
-                max_fragment_bytes: None,
-                wildcard_recv_extra_us: 150.0,
-            },
-            ToolKind::Pvm => ToolProfile {
-                tool,
-                send_alpha_us: 3100.0,
-                recv_alpha_us: 4600.0,
-                send_beta_us_per_byte: 1.09,
-                recv_beta_us_per_byte: 1.09,
-                copy_before_send_us_per_byte: 0.06,
-                header_bytes: 96,
-                daemon_routed: true,
-                strided_native: true,
-                bcast: BcastAlgo::SequentialRoot,
-                reduce: None,
-                small_combine_alpha_us: f64::INFINITY,
-                // The daemon-route pack copy (copy_before) already covers
-                // strided data, so no separate strided charge here.
-                seg_us_per_extra_fragment: 0.0,
-                strided_pack_us_per_byte: 0.0,
-                max_fragment_bytes: Some(4096),
-                wildcard_recv_extra_us: 0.0,
-            },
-            // Express's excombine is tree-structured like p4's global op;
-            // its Figure 4 disadvantage comes from per-byte buffer costs,
-            // while its small-payload fast path is the cheapest of the
-            // three (which is why Express wins Monte Carlo in Figure 5).
-            ToolKind::Express => ToolProfile {
-                tool,
-                send_alpha_us: 1450.0,
-                recv_alpha_us: 2250.0,
-                send_beta_us_per_byte: 0.0,
-                recv_beta_us_per_byte: 1.05,
-                copy_before_send_us_per_byte: 1.10,
-                header_bytes: 80,
-                daemon_routed: false,
-                strided_native: false,
-                bcast: BcastAlgo::SequentialAck,
-                reduce: Some(ReduceAlgo::Tree),
-                small_combine_alpha_us: 900.0,
-                seg_us_per_extra_fragment: 1000.0,
-                strided_pack_us_per_byte: 0.0,
-                max_fragment_bytes: None,
-                wildcard_recv_extra_us: 100.0,
-            },
-        }
+        tool.spec().profile.clone()
     }
 
-    /// PVM's tuned direct-route configuration (`pvm_advise(PvmRouteDirect)`),
-    /// used by performance-tuned applications: task-to-task TCP, bypassing
-    /// the daemons. Costs approach p4's, with a slightly higher fixed cost
-    /// and the unavoidable pack copy.
-    ///
-    /// For the other two tools this returns the default profile unchanged.
+    /// The tool's tuned direct-route configuration
+    /// (`pvm_advise(PvmRouteDirect)` for PVM: task-to-task TCP,
+    /// bypassing the daemons). For tools without such a mode this is the
+    /// default profile unchanged.
     pub fn direct_route(tool: ToolKind) -> ToolProfile {
-        let mut p = Self::for_tool(tool);
-        if tool == ToolKind::Pvm {
-            // The direct-route data path is a plain task-to-task TCP
-            // socket — the same transport p4 sends on — with a small
-            // residual fixed cost for PVM's routing/fragment bookkeeping.
-            p.send_alpha_us = 1050.0;
-            p.recv_alpha_us = 1400.0;
-            p.send_beta_us_per_byte = 0.42;
-            p.recv_beta_us_per_byte = 0.42;
-            // Tuned codes send contiguous data with pvm_psend (no pack
-            // buffer). Strided data still flows through typed packing —
-            // one memory pass, priced separately below — which is the
-            // advantage strided_native models.
-            p.copy_before_send_us_per_byte = 0.0;
-            p.strided_pack_us_per_byte = 0.04;
-            p.daemon_routed = false;
-        }
-        p
+        tool.spec().direct_profile.clone()
     }
 }
 
@@ -208,15 +106,13 @@ mod tests {
     #[test]
     fn p4_is_the_thinnest_layer() {
         let p4 = ToolProfile::for_tool(ToolKind::P4);
-        let pvm = ToolProfile::for_tool(ToolKind::Pvm);
-        let ex = ToolProfile::for_tool(ToolKind::Express);
+        let pvm = ToolProfile::for_tool(ToolKind::PVM);
+        let ex = ToolProfile::for_tool(ToolKind::EXPRESS);
         assert!(p4.send_alpha_us < pvm.send_alpha_us);
         assert!(p4.send_alpha_us < ex.send_alpha_us);
         assert!(p4.send_beta_us_per_byte < pvm.send_beta_us_per_byte);
         // Express total per-byte (copy + recv) is the worst.
         let ex_per_byte = ex.copy_before_send_us_per_byte + ex.recv_beta_us_per_byte;
-        let pvm_per_byte = pvm.send_beta_us_per_byte + pvm.recv_beta_us_per_byte;
-        let _ = pvm_per_byte;
         assert!(ex_per_byte > p4.send_beta_us_per_byte + p4.recv_beta_us_per_byte);
     }
 
@@ -224,46 +120,50 @@ mod tests {
     fn express_fixed_cost_below_pvm() {
         // This produces the paper's small-message crossover: Express beats
         // PVM below ~1-2 KB, PVM wins at larger sizes.
-        let pvm = ToolProfile::for_tool(ToolKind::Pvm);
-        let ex = ToolProfile::for_tool(ToolKind::Express);
+        let pvm = ToolProfile::for_tool(ToolKind::PVM);
+        let ex = ToolProfile::for_tool(ToolKind::EXPRESS);
         assert!(ex.send_alpha_us + ex.recv_alpha_us < pvm.send_alpha_us + pvm.recv_alpha_us);
     }
 
     #[test]
     fn only_pvm_is_daemon_routed() {
-        assert!(ToolProfile::for_tool(ToolKind::Pvm).daemon_routed);
+        assert!(ToolProfile::for_tool(ToolKind::PVM).daemon_routed);
         assert!(!ToolProfile::for_tool(ToolKind::P4).daemon_routed);
-        assert!(!ToolProfile::for_tool(ToolKind::Express).daemon_routed);
+        assert!(!ToolProfile::for_tool(ToolKind::EXPRESS).daemon_routed);
     }
 
     #[test]
     fn pvm_has_no_reduce() {
-        assert_eq!(ToolProfile::for_tool(ToolKind::Pvm).reduce, None);
+        assert_eq!(ToolProfile::for_tool(ToolKind::PVM).reduce, None);
         assert_eq!(
             ToolProfile::for_tool(ToolKind::P4).reduce,
             Some(ReduceAlgo::Tree)
         );
         assert_eq!(
-            ToolProfile::for_tool(ToolKind::Express).reduce,
+            ToolProfile::for_tool(ToolKind::EXPRESS).reduce,
             Some(ReduceAlgo::Tree)
         );
     }
 
     #[test]
     fn direct_route_only_changes_pvm() {
-        let pvm = ToolProfile::direct_route(ToolKind::Pvm);
+        let pvm = ToolProfile::direct_route(ToolKind::PVM);
         assert!(!pvm.daemon_routed);
         assert!(pvm.send_beta_us_per_byte < 1.0);
         assert_eq!(
             ToolProfile::direct_route(ToolKind::P4),
             ToolProfile::for_tool(ToolKind::P4)
         );
+        assert_eq!(
+            ToolProfile::direct_route(ToolKind::EXPRESS),
+            ToolProfile::for_tool(ToolKind::EXPRESS)
+        );
     }
 
     #[test]
     fn express_small_combine_is_cheapest() {
         let p4 = ToolProfile::for_tool(ToolKind::P4);
-        let ex = ToolProfile::for_tool(ToolKind::Express);
+        let ex = ToolProfile::for_tool(ToolKind::EXPRESS);
         assert!(ex.small_combine_alpha_us < p4.small_combine_alpha_us);
     }
 }

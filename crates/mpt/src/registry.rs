@@ -1,0 +1,211 @@
+//! The process-global tool registry and the combined [`ModelRegistry`].
+//!
+//! Tools are *data* ([`ToolSpec`]), addressed by cheap copyable
+//! [`ToolId`] handles, exactly mirroring the platform side in
+//! [`pdceval_simnet::registry`]. The [`ModelRegistry`] facade exposes
+//! both tables through one handle — register a tool and a platform from
+//! a spec file, get back ids, and every layer (simnet fabric, mpt
+//! runtime, core sweeps, campaign grids, the `pdceval` CLI) runs them
+//! with zero code changes.
+
+use crate::builtin::builtin_tools;
+use crate::spec::{parse_spec, SpecFile, ToolSpec};
+use crate::tool::ToolId;
+use pdceval_simnet::platform::{PlatformId, PlatformSpec};
+use pdceval_simnet::registry as platform_registry;
+use std::sync::{Arc, OnceLock, RwLock};
+
+static TOOLS: OnceLock<RwLock<Vec<Arc<ToolSpec>>>> = OnceLock::new();
+
+fn table() -> &'static RwLock<Vec<Arc<ToolSpec>>> {
+    TOOLS.get_or_init(|| RwLock::new(builtin_tools().into_iter().map(Arc::new).collect()))
+}
+
+/// Resolves a handle to its spec.
+///
+/// # Panics
+///
+/// Panics if the handle was not issued by this registry (impossible for
+/// handles obtained through [`register_tool`] or the built-in constants).
+pub fn tool_spec(id: ToolId) -> Arc<ToolSpec> {
+    table()
+        .read()
+        .expect("tool registry poisoned")
+        .get(id.index())
+        .cloned()
+        .unwrap_or_else(|| panic!("ToolId({}) is not registered", id.index()))
+}
+
+/// Registers a tool spec and returns its handle.
+///
+/// Registering a spec whose slug is already taken returns the existing
+/// handle if the specs are identical (idempotent re-registration) and an
+/// error if they differ.
+///
+/// # Errors
+///
+/// Returns a description of the conflict or validation failure.
+pub fn register_tool(spec: ToolSpec) -> Result<ToolId, String> {
+    spec.validate()?;
+    let mut t = table().write().expect("tool registry poisoned");
+    if let Some((i, existing)) = t.iter().enumerate().find(|(_, s)| s.slug == spec.slug) {
+        return if **existing == spec {
+            Ok(ToolId::from_index(i))
+        } else {
+            Err(format!(
+                "tool slug '{}' is already registered with a different spec",
+                spec.slug
+            ))
+        };
+    }
+    t.push(Arc::new(spec));
+    Ok(ToolId::from_index(t.len() - 1))
+}
+
+/// All registered tools, in registration order (built-ins first).
+pub fn all_tools() -> Vec<ToolId> {
+    let n = table().read().expect("tool registry poisoned").len();
+    (0..n).map(ToolId::from_index).collect()
+}
+
+/// Looks a tool up by its stable slug.
+pub fn find_tool(slug: &str) -> Option<ToolId> {
+    table()
+        .read()
+        .expect("tool registry poisoned")
+        .iter()
+        .position(|t| t.slug == slug)
+        .map(ToolId::from_index)
+}
+
+/// Handles returned by loading one spec file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadedSpecs {
+    /// Tools the file declared, in file order.
+    pub tools: Vec<ToolId>,
+    /// Platforms the file declared, in file order.
+    pub platforms: Vec<PlatformId>,
+}
+
+/// The combined model registry: every tool and platform the process
+/// knows, built-in or loaded from spec files.
+///
+/// The registry is process-global and append-only; `ModelRegistry` is a
+/// zero-sized facade so call sites read naturally
+/// (`ModelRegistry::global().register_tool(...)`).
+#[derive(Debug)]
+pub struct ModelRegistry {
+    _private: (),
+}
+
+static GLOBAL: ModelRegistry = ModelRegistry { _private: () };
+
+impl ModelRegistry {
+    /// The process-global registry.
+    pub fn global() -> &'static ModelRegistry {
+        &GLOBAL
+    }
+
+    /// Registers a tool spec. See [`register_tool`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the conflict or validation failure.
+    pub fn register_tool(&self, spec: ToolSpec) -> Result<ToolId, String> {
+        register_tool(spec)
+    }
+
+    /// Registers a platform spec. See
+    /// [`pdceval_simnet::registry::register_platform`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the conflict or validation failure.
+    pub fn register_platform(&self, spec: PlatformSpec) -> Result<PlatformId, String> {
+        platform_registry::register_platform(spec)
+    }
+
+    /// Resolves a tool handle.
+    pub fn tool(&self, id: ToolId) -> Arc<ToolSpec> {
+        tool_spec(id)
+    }
+
+    /// Resolves a platform handle.
+    pub fn platform(&self, id: PlatformId) -> Arc<PlatformSpec> {
+        platform_registry::platform_spec(id)
+    }
+
+    /// All registered tools, built-ins first.
+    pub fn tools(&self) -> Vec<ToolId> {
+        all_tools()
+    }
+
+    /// All registered platforms, built-ins first.
+    pub fn platforms(&self) -> Vec<PlatformId> {
+        platform_registry::all_platforms()
+    }
+
+    /// Looks a tool up by slug.
+    pub fn tool_by_slug(&self, slug: &str) -> Option<ToolId> {
+        find_tool(slug)
+    }
+
+    /// Looks a platform up by slug.
+    pub fn platform_by_slug(&self, slug: &str) -> Option<PlatformId> {
+        platform_registry::find_platform(slug)
+    }
+
+    /// Parses spec-file text and registers everything it declares.
+    /// Idempotent: loading the same file twice returns the same handles.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse diagnostic (with line number) or a registration
+    /// conflict, as a displayable string.
+    pub fn load_spec_text(&self, text: &str) -> Result<LoadedSpecs, String> {
+        let SpecFile { tools, platforms } = parse_spec(text).map_err(|e| e.to_string())?;
+        let mut loaded = LoadedSpecs::default();
+        // Register platforms first so a file's tools can be validated
+        // against its own platforms in the future without ordering traps.
+        for p in platforms {
+            loaded.platforms.push(self.register_platform(p)?);
+        }
+        for t in tools {
+            loaded.tools.push(self.register_tool(t)?);
+        }
+        Ok(loaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_resolve_by_slug_and_index() {
+        assert_eq!(find_tool("express"), Some(ToolId::EXPRESS));
+        assert_eq!(find_tool("p4"), Some(ToolId::P4));
+        assert_eq!(find_tool("pvm"), Some(ToolId::PVM));
+        assert_eq!(find_tool("mpi"), None);
+        assert_eq!(tool_spec(ToolId::P4).name, "p4");
+    }
+
+    #[test]
+    fn facade_reaches_both_tables() {
+        let r = ModelRegistry::global();
+        assert!(r.tools().len() >= 3);
+        assert!(r.platforms().len() >= 6);
+        assert_eq!(r.platform_by_slug("sun-eth").map(|p| p.index()), Some(0));
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_conflict_checked() {
+        let mut spec = crate::builtin::builtin_tools().remove(1);
+        spec.slug = "p4-test-variant".to_string();
+        let id = register_tool(spec.clone()).unwrap();
+        assert_eq!(register_tool(spec.clone()).unwrap(), id);
+        spec.profile.send_alpha_us += 1.0;
+        let err = register_tool(spec).unwrap_err();
+        assert!(err.contains("different spec"), "{err}");
+    }
+}

@@ -9,7 +9,7 @@
 //! use pdceval_mpt::ToolKind;
 //! use pdceval_simnet::platform::Platform;
 //!
-//! let cfg = SpmdConfig::new(Platform::SunEthernet, ToolKind::P4, 4);
+//! let cfg = SpmdConfig::new(Platform::SUN_ETHERNET, ToolKind::P4, 4);
 //! let out = run_spmd(&cfg, |node| {
 //!     // Everyone contributes its rank; the barrier synchronizes.
 //!     node.barrier().unwrap();
@@ -122,7 +122,7 @@ pub struct SpmdOutcome<T> {
 /// use pdceval_mpt::ToolKind;
 /// use pdceval_simnet::platform::Platform;
 ///
-/// let mut h = SpmdHarness::new(Platform::SunEthernet, 4)?;
+/// let mut h = SpmdHarness::new(Platform::SUN_ETHERNET, 4)?;
 /// for tool in ToolKind::all() {
 ///     let out = h.run(tool, |node| {
 ///         node.barrier().unwrap();
@@ -161,9 +161,10 @@ impl SpmdHarness {
     /// platform cannot host.
     pub fn new(platform: Platform, nprocs: usize) -> Result<SpmdHarness, RunError> {
         validate_size(platform, nprocs)?;
+        let spec = platform.spec();
         let mut sim = Simulation::new();
-        let fabric = Fabric::build(&mut sim, platform.network(), nprocs);
-        let hosts: Vec<_> = (0..nprocs).map(|_| platform.host()).collect();
+        let fabric = Fabric::build(&mut sim, spec.link.clone(), nprocs);
+        let hosts: Vec<_> = (0..nprocs).map(|_| spec.host.clone()).collect();
         let stack_tx = (0..nprocs)
             .map(|i| sim.add_resource_indexed("stack-tx", i))
             .collect();
@@ -218,6 +219,7 @@ impl SpmdHarness {
         let shared = Arc::new(Shared {
             platform: self.platform,
             tool,
+            tool_spec: tool.spec(),
             fabric: self.fabric.clone(),
             hosts: self.hosts.clone(),
             stack_tx: self.stack_tx.clone(),
@@ -308,7 +310,7 @@ mod tests {
     use pdceval_simnet::error::SimError;
 
     fn cfg(tool: ToolKind, n: usize) -> SpmdConfig {
-        SpmdConfig::new(Platform::SunEthernet, tool, n)
+        SpmdConfig::new(Platform::SUN_ETHERNET, tool, n)
     }
 
     #[test]
@@ -333,7 +335,7 @@ mod tests {
 
     #[test]
     fn express_rejected_on_wan() {
-        let c = SpmdConfig::new(Platform::SunAtmWan, ToolKind::Express, 2);
+        let c = SpmdConfig::new(Platform::SUN_ATM_WAN, ToolKind::EXPRESS, 2);
         assert!(matches!(
             run_spmd(&c, |_| ()).unwrap_err(),
             RunError::PlatformUnsupported { .. }
@@ -403,7 +405,7 @@ mod tests {
 
     #[test]
     fn global_sum_correct_for_p4_and_express() {
-        for tool in [ToolKind::P4, ToolKind::Express] {
+        for tool in [ToolKind::P4, ToolKind::EXPRESS] {
             let out = run_spmd(&cfg(tool, 4), |node| {
                 let mine = vec![node.rank() as f64, 1.0];
                 node.global_sum_f64(&mine).unwrap()
@@ -417,14 +419,14 @@ mod tests {
 
     #[test]
     fn global_sum_unsupported_for_pvm() {
-        let out = run_spmd(&cfg(ToolKind::Pvm, 2), |node| {
+        let out = run_spmd(&cfg(ToolKind::PVM, 2), |node| {
             node.global_sum_f64(&[1.0]).unwrap_err()
         })
         .unwrap();
         assert!(matches!(
             out.results[0],
             ToolError::Unsupported {
-                tool: ToolKind::Pvm,
+                tool: ToolKind::PVM,
                 ..
             }
         ));
@@ -432,7 +434,7 @@ mod tests {
 
     #[test]
     fn ring_shift_rotates_payloads() {
-        let out = run_spmd(&cfg(ToolKind::Express, 4), |node| {
+        let out = run_spmd(&cfg(ToolKind::EXPRESS, 4), |node| {
             let mine = Bytes::from(vec![node.rank() as u8]);
             let got = node.ring_shift(mine).unwrap();
             got[0]
@@ -479,7 +481,7 @@ mod tests {
     #[test]
     fn determinism_across_runs() {
         let run = || {
-            run_spmd(&cfg(ToolKind::Pvm, 4), |node| {
+            run_spmd(&cfg(ToolKind::PVM, 4), |node| {
                 let data = Bytes::from(vec![0u8; 4096]);
                 let got = node.ring_shift(data).unwrap();
                 node.barrier().unwrap();
@@ -510,7 +512,7 @@ mod tests {
     fn harness_runs_match_standalone_runs() {
         // The same point through a reused harness and through run_spmd
         // must be bit-identical (same resource ids, same schedule).
-        let mut h = SpmdHarness::new(Platform::SunAtmLan, 4).unwrap();
+        let mut h = SpmdHarness::new(Platform::SUN_ATM_LAN, 4).unwrap();
         for tool in ToolKind::all() {
             for _ in 0..2 {
                 let via_harness = h
@@ -520,12 +522,13 @@ mod tests {
                         (got.len(), node.now().as_nanos())
                     })
                     .unwrap();
-                let standalone = run_spmd(&SpmdConfig::new(Platform::SunAtmLan, tool, 4), |node| {
-                    let data = Bytes::from(vec![node.rank() as u8; 2048]);
-                    let got = node.ring_shift(data).unwrap();
-                    (got.len(), node.now().as_nanos())
-                })
-                .unwrap();
+                let standalone =
+                    run_spmd(&SpmdConfig::new(Platform::SUN_ATM_LAN, tool, 4), |node| {
+                        let data = Bytes::from(vec![node.rank() as u8; 2048]);
+                        let got = node.ring_shift(data).unwrap();
+                        (got.len(), node.now().as_nanos())
+                    })
+                    .unwrap();
                 assert_eq!(via_harness.results, standalone.results, "{tool}");
                 assert_eq!(via_harness.elapsed, standalone.elapsed, "{tool}");
                 assert_eq!(via_harness.rank_finish, standalone.rank_finish);
@@ -535,9 +538,9 @@ mod tests {
 
     #[test]
     fn harness_rejects_unsupported_tool_but_stays_usable() {
-        let mut h = SpmdHarness::new(Platform::SunAtmWan, 2).unwrap();
+        let mut h = SpmdHarness::new(Platform::SUN_ATM_WAN, 2).unwrap();
         assert!(matches!(
-            h.run(ToolKind::Express, |_| ()),
+            h.run(ToolKind::EXPRESS, |_| ()),
             Err(RunError::PlatformUnsupported { .. })
         ));
         let out = h.run(ToolKind::P4, |node| node.rank()).unwrap();
@@ -546,7 +549,7 @@ mod tests {
 
     #[test]
     fn harness_recovers_after_deadlocked_point() {
-        let mut h = SpmdHarness::new(Platform::SunEthernet, 2).unwrap();
+        let mut h = SpmdHarness::new(Platform::SUN_ETHERNET, 2).unwrap();
         let err = h
             .run(ToolKind::P4, |node| {
                 if node.rank() == 0 {
@@ -562,11 +565,11 @@ mod tests {
     #[test]
     fn harness_size_validation() {
         assert_eq!(
-            SpmdHarness::new(Platform::SunEthernet, 0).unwrap_err(),
+            SpmdHarness::new(Platform::SUN_ETHERNET, 0).unwrap_err(),
             RunError::ZeroNodes
         );
         assert!(matches!(
-            SpmdHarness::new(Platform::SunAtmWan, 5).unwrap_err(),
+            SpmdHarness::new(Platform::SUN_ATM_WAN, 5).unwrap_err(),
             RunError::TooManyNodes {
                 requested: 5,
                 max: 4
@@ -576,7 +579,7 @@ mod tests {
 
     #[test]
     fn wildcard_recv_matches_any_source() {
-        let out = run_spmd(&cfg(ToolKind::Pvm, 3), |node| {
+        let out = run_spmd(&cfg(ToolKind::PVM, 3), |node| {
             if node.rank() == 0 {
                 let a = node.recv(None, Some(9)).unwrap();
                 let b = node.recv(None, Some(9)).unwrap();

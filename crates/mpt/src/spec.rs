@@ -1,0 +1,1042 @@
+//! Tool & platform specs as data, and the `.spec` file format.
+//!
+//! A [`ToolSpec`] is the complete description of one message-passing
+//! tool: display name, per-primitive native names (the paper's Table 1
+//! row), the calibrated cost [`ToolProfile`] (plus its tuned direct-route
+//! variant), platform-port coverage, the ADL usability ratings (§3.3.1)
+//! and the supported programming models. The paper's three tools ship as
+//! built-in specs ([`crate::builtin`]); new tools are plain data.
+//!
+//! The `.spec` file format is a deliberately simple line-oriented
+//! key-value syntax (the offline build environment has no serde):
+//!
+//! ```text
+//! # comment
+//! [tool mytool]
+//! name = MyTool
+//! primitive.send = my_send
+//! ...
+//! profile.send_alpha_us = 900
+//! ...
+//!
+//! [platform mycluster]
+//! name = My Cluster
+//! max_nodes = 100
+//! host.mflops = 500
+//! link.bandwidth_mbps = 9000
+//! ...
+//! ```
+//!
+//! [`parse_spec`] reads any number of `[tool <slug>]` / `[platform
+//! <slug>]` sections; [`render_spec`] writes them back, and the two
+//! round-trip exactly ([`parse_spec`] ∘ [`render_spec`] is the
+//! identity on valid specs). Diagnostics carry 1-based line numbers.
+
+use crate::profile::{BcastAlgo, ReduceAlgo, ToolProfile};
+use crate::tool::Primitive;
+use pdceval_simnet::host::HostSpec;
+use pdceval_simnet::net::LinkParams;
+use pdceval_simnet::platform::{is_slug, PlatformSpec};
+use pdceval_simnet::time::SimDuration;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A usability rating (the paper's WS/PS/NS scale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Support {
+    /// NS — not supported.
+    NotSupported,
+    /// PS — partially supported.
+    Partial,
+    /// WS — well supported.
+    Well,
+}
+
+impl Support {
+    /// The paper's two-letter code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Support::Well => "WS",
+            Support::Partial => "PS",
+            Support::NotSupported => "NS",
+        }
+    }
+
+    /// Parses the paper's two-letter code.
+    pub fn from_code(code: &str) -> Option<Support> {
+        match code {
+            "WS" => Some(Support::Well),
+            "PS" => Some(Support::Partial),
+            "NS" => Some(Support::NotSupported),
+            _ => None,
+        }
+    }
+
+    /// Numeric value for weighted scoring (WS=2, PS=1, NS=0).
+    pub fn value(&self) -> f64 {
+        match self {
+            Support::Well => 2.0,
+            Support::Partial => 1.0,
+            Support::NotSupported => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for Support {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Number of ADL criteria rated per tool (see `pdceval_core::adl`).
+pub const ADL_CRITERIA: usize = 9;
+
+/// The complete data model of one message-passing tool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolSpec {
+    /// Display name as used in the paper, e.g. `"p4"`.
+    pub name: String,
+    /// Stable lower-case slug used in scenario/store keys, e.g. `"p4"`.
+    pub slug: String,
+    /// Native primitive names in [`Primitive::all`] order; `None` is the
+    /// paper's "Not Available".
+    pub primitives: [Option<String>; 5],
+    /// The calibrated default-configuration cost model.
+    pub profile: ToolProfile,
+    /// The cost model after `advise_direct_route` (tuned task-to-task
+    /// routing); equals `profile` for tools without such a mode.
+    pub direct_profile: ToolProfile,
+    /// Whether the tool had ports for WAN platforms (Express did not).
+    pub wan_port: bool,
+    /// ADL usability ratings in `Criterion` order (paper §3.3.1).
+    pub adl: [Support; ADL_CRITERIA],
+    /// Supported programming models (paper §2.3).
+    pub programming_models: Vec<String>,
+}
+
+impl ToolSpec {
+    /// Whether the tool implements a built-in global reduction.
+    pub fn supports_global_ops(&self) -> bool {
+        self.profile.reduce.is_some()
+    }
+
+    /// Checks the spec for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("tool name must not be empty".to_string());
+        }
+        if !is_slug(&self.slug) {
+            return Err(format!(
+                "tool slug '{}' must be non-empty lower-case [a-z0-9-]",
+                self.slug
+            ));
+        }
+        let gs = Primitive::GlobalSum.spec_index();
+        if self.primitives[gs].is_some() != self.profile.reduce.is_some() {
+            return Err(format!(
+                "tool '{}': primitive.globalsum and profile.reduce must agree \
+                 (both present or both 'none')",
+                self.slug
+            ));
+        }
+        if self.direct_profile.reduce.is_some() != self.profile.reduce.is_some() {
+            return Err(format!(
+                "tool '{}': direct profile cannot change reduction support",
+                self.slug
+            ));
+        }
+        self.check_profile("profile", &self.profile)?;
+        self.check_profile("direct", &self.direct_profile)?;
+        Ok(())
+    }
+
+    /// Rejects negative, NaN or (except for the small-combine fast-path
+    /// threshold, where infinity means "disabled") non-finite costs —
+    /// they would otherwise be silently clamped to zero deep inside the
+    /// simulator and corrupt results without a diagnostic.
+    fn check_profile(&self, prefix: &str, p: &ToolProfile) -> Result<(), String> {
+        for (field, v) in [
+            ("send_alpha_us", p.send_alpha_us),
+            ("recv_alpha_us", p.recv_alpha_us),
+            ("send_beta_us_per_byte", p.send_beta_us_per_byte),
+            ("recv_beta_us_per_byte", p.recv_beta_us_per_byte),
+            (
+                "copy_before_send_us_per_byte",
+                p.copy_before_send_us_per_byte,
+            ),
+            ("seg_us_per_extra_fragment", p.seg_us_per_extra_fragment),
+            ("strided_pack_us_per_byte", p.strided_pack_us_per_byte),
+            ("wildcard_recv_extra_us", p.wildcard_recv_extra_us),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!(
+                    "tool '{}': {prefix}.{field} must be finite and >= 0",
+                    self.slug
+                ));
+            }
+        }
+        if p.small_combine_alpha_us.is_nan() || p.small_combine_alpha_us < 0.0 {
+            return Err(format!(
+                "tool '{}': {prefix}.small_combine_alpha_us must be >= 0 (inf = disabled)",
+                self.slug
+            ));
+        }
+        if p.max_fragment_bytes == Some(0) {
+            return Err(format!(
+                "tool '{}': {prefix}.max_fragment_bytes must be > 0 or 'none'",
+                self.slug
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Primitive {
+    /// This primitive's index in a [`ToolSpec::primitives`] array and its
+    /// `primitive.<key>` spec-file key.
+    pub fn spec_index(self) -> usize {
+        match self {
+            Primitive::Send => 0,
+            Primitive::Receive => 1,
+            Primitive::Broadcast => 2,
+            Primitive::GlobalSum => 3,
+            Primitive::Barrier => 4,
+        }
+    }
+
+    fn spec_key(self) -> &'static str {
+        match self {
+            Primitive::Send => "primitive.send",
+            Primitive::Receive => "primitive.receive",
+            Primitive::Broadcast => "primitive.broadcast",
+            Primitive::GlobalSum => "primitive.globalsum",
+            Primitive::Barrier => "primitive.barrier",
+        }
+    }
+}
+
+/// Everything one `.spec` file declares.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpecFile {
+    /// Declared tools, in file order.
+    pub tools: Vec<ToolSpec>,
+    /// Declared platforms, in file order.
+    pub platforms: Vec<PlatformSpec>,
+}
+
+/// A spec-file diagnostic: what went wrong, and on which 1-based line
+/// (0 = end of file / section level).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line number, or 0 when the problem is not tied to a line.
+    pub line: usize,
+    /// The problem.
+    pub message: String,
+}
+
+impl SpecError {
+    fn at(line: usize, message: impl Into<String>) -> SpecError {
+        SpecError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// One `key = value` entry with its source line.
+type Entries = Vec<(usize, String, String)>;
+
+struct Section {
+    kind: SectionKind,
+    slug: String,
+    header_line: usize,
+    entries: Entries,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum SectionKind {
+    Tool,
+    Platform,
+}
+
+/// Parses a `.spec` file.
+///
+/// # Errors
+///
+/// Returns the first diagnostic encountered, with its line number.
+pub fn parse_spec(text: &str) -> Result<SpecFile, SpecError> {
+    let mut sections: Vec<Section> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(inner) = line.strip_prefix('[') {
+            let Some(inner) = inner.strip_suffix(']') else {
+                return Err(SpecError::at(lineno, "unterminated section header"));
+            };
+            let mut parts = inner.split_whitespace();
+            let kind = match parts.next() {
+                Some("tool") => SectionKind::Tool,
+                Some("platform") => SectionKind::Platform,
+                other => {
+                    return Err(SpecError::at(
+                        lineno,
+                        format!(
+                            "unknown section '{}' (expected 'tool' or 'platform')",
+                            other.unwrap_or("")
+                        ),
+                    ))
+                }
+            };
+            let Some(slug) = parts.next() else {
+                return Err(SpecError::at(
+                    lineno,
+                    "section header needs a slug, e.g. [tool mytool]",
+                ));
+            };
+            if parts.next().is_some() {
+                return Err(SpecError::at(lineno, "trailing tokens in section header"));
+            }
+            if !is_slug(slug) {
+                return Err(SpecError::at(
+                    lineno,
+                    format!("slug '{slug}' must be lower-case [a-z0-9-]"),
+                ));
+            }
+            sections.push(Section {
+                kind,
+                slug: slug.to_string(),
+                header_line: lineno,
+                entries: Vec::new(),
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(SpecError::at(
+                lineno,
+                "expected 'key = value' (or a [tool]/[platform] header)",
+            ));
+        };
+        let Some(section) = sections.last_mut() else {
+            return Err(SpecError::at(
+                lineno,
+                "entry before any [tool]/[platform] section header",
+            ));
+        };
+        let key = key.trim().to_string();
+        if section.entries.iter().any(|(_, k, _)| *k == key) {
+            return Err(SpecError::at(lineno, format!("duplicate key '{key}'")));
+        }
+        section
+            .entries
+            .push((lineno, key, value.trim().to_string()));
+    }
+
+    let mut file = SpecFile::default();
+    for s in sections {
+        match s.kind {
+            SectionKind::Tool => file.tools.push(build_tool(&s)?),
+            SectionKind::Platform => file.platforms.push(build_platform(&s)?),
+        }
+    }
+    Ok(file)
+}
+
+/// Key-map view of a section with taken-key tracking, so leftovers can be
+/// reported as unknown keys.
+struct Fields<'a> {
+    slug: &'a str,
+    header_line: usize,
+    map: BTreeMap<&'a str, (usize, &'a str)>,
+}
+
+impl<'a> Fields<'a> {
+    fn new(s: &'a Section) -> Fields<'a> {
+        Fields {
+            slug: &s.slug,
+            header_line: s.header_line,
+            map: s
+                .entries
+                .iter()
+                .map(|(line, k, v)| (k.as_str(), (*line, v.as_str())))
+                .collect(),
+        }
+    }
+
+    fn take(&mut self, key: &str) -> Option<(usize, &'a str)> {
+        self.map.remove(key)
+    }
+
+    fn required(&mut self, key: &str) -> Result<(usize, &'a str), SpecError> {
+        self.take(key).ok_or_else(|| {
+            SpecError::at(
+                self.header_line,
+                format!("section '{}' is missing required key '{key}'", self.slug),
+            )
+        })
+    }
+
+    fn finish(self) -> Result<(), SpecError> {
+        if let Some((key, (line, _))) = self.map.into_iter().next() {
+            return Err(SpecError::at(line, format!("unknown key '{key}'")));
+        }
+        Ok(())
+    }
+}
+
+fn parse_f64(line: usize, key: &str, v: &str) -> Result<f64, SpecError> {
+    v.parse::<f64>()
+        .map_err(|_| SpecError::at(line, format!("'{key}': expected a number, got '{v}'")))
+}
+
+fn parse_bool(line: usize, key: &str, v: &str) -> Result<bool, SpecError> {
+    match v {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        _ => Err(SpecError::at(
+            line,
+            format!("'{key}': expected true/false, got '{v}'"),
+        )),
+    }
+}
+
+fn parse_usize(line: usize, key: &str, v: &str) -> Result<usize, SpecError> {
+    v.parse::<usize>()
+        .map_err(|_| SpecError::at(line, format!("'{key}': expected an integer, got '{v}'")))
+}
+
+fn opt_name(v: &str) -> Option<String> {
+    (v != "none").then(|| v.to_string())
+}
+
+const BCAST_CODES: [(&str, BcastAlgo); 3] = [
+    ("binomial-tree", BcastAlgo::BinomialTree),
+    ("sequential-root", BcastAlgo::SequentialRoot),
+    ("sequential-ack", BcastAlgo::SequentialAck),
+];
+
+const REDUCE_CODES: [(&str, ReduceAlgo); 2] =
+    [("tree", ReduceAlgo::Tree), ("ring", ReduceAlgo::Ring)];
+
+fn bcast_code(b: BcastAlgo) -> &'static str {
+    BCAST_CODES
+        .iter()
+        .find(|(_, a)| *a == b)
+        .map(|(c, _)| *c)
+        .expect("every bcast algo has a code")
+}
+
+fn reduce_code(r: Option<ReduceAlgo>) -> &'static str {
+    match r {
+        None => "none",
+        Some(r) => REDUCE_CODES
+            .iter()
+            .find(|(_, a)| *a == r)
+            .map(|(c, _)| *c)
+            .expect("every reduce algo has a code"),
+    }
+}
+
+/// The `profile.`-prefixed fields, shared by the default and
+/// direct-route profiles (`direct.` overrides individual fields).
+fn apply_profile_field(
+    p: &mut ToolProfile,
+    line: usize,
+    key: &str,
+    field: &str,
+    v: &str,
+) -> Result<bool, SpecError> {
+    match field {
+        "send_alpha_us" => p.send_alpha_us = parse_f64(line, key, v)?,
+        "recv_alpha_us" => p.recv_alpha_us = parse_f64(line, key, v)?,
+        "send_beta_us_per_byte" => p.send_beta_us_per_byte = parse_f64(line, key, v)?,
+        "recv_beta_us_per_byte" => p.recv_beta_us_per_byte = parse_f64(line, key, v)?,
+        "copy_before_send_us_per_byte" => p.copy_before_send_us_per_byte = parse_f64(line, key, v)?,
+        "header_bytes" => p.header_bytes = parse_usize(line, key, v)? as u64,
+        "daemon_routed" => p.daemon_routed = parse_bool(line, key, v)?,
+        "strided_native" => p.strided_native = parse_bool(line, key, v)?,
+        "small_combine_alpha_us" => p.small_combine_alpha_us = parse_f64(line, key, v)?,
+        "seg_us_per_extra_fragment" => p.seg_us_per_extra_fragment = parse_f64(line, key, v)?,
+        "strided_pack_us_per_byte" => p.strided_pack_us_per_byte = parse_f64(line, key, v)?,
+        "wildcard_recv_extra_us" => p.wildcard_recv_extra_us = parse_f64(line, key, v)?,
+        "max_fragment_bytes" => {
+            p.max_fragment_bytes = if v == "none" {
+                None
+            } else {
+                Some(parse_usize(line, key, v)?)
+            }
+        }
+        "bcast" => {
+            p.bcast = BCAST_CODES
+                .iter()
+                .find(|(c, _)| *c == v)
+                .map(|(_, a)| *a)
+                .ok_or_else(|| {
+                    SpecError::at(
+                        line,
+                        format!(
+                            "'{key}': expected one of binomial-tree/sequential-root/\
+                             sequential-ack, got '{v}'"
+                        ),
+                    )
+                })?
+        }
+        "reduce" => {
+            p.reduce = if v == "none" {
+                None
+            } else {
+                Some(
+                    REDUCE_CODES
+                        .iter()
+                        .find(|(c, _)| *c == v)
+                        .map(|(_, a)| *a)
+                        .ok_or_else(|| {
+                            SpecError::at(
+                                line,
+                                format!("'{key}': expected tree/ring/none, got '{v}'"),
+                            )
+                        })?,
+                )
+            }
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+fn build_tool(s: &Section) -> Result<ToolSpec, SpecError> {
+    let mut f = Fields::new(s);
+    let name = f.required("name")?.1.to_string();
+
+    let mut primitives: [Option<String>; 5] = Default::default();
+    for p in Primitive::all() {
+        let (_, v) = f.required(p.spec_key())?;
+        primitives[p.spec_index()] = opt_name(v);
+    }
+
+    let (adl_line, adl_raw) = f.required("adl")?;
+    let codes: Vec<&str> = adl_raw.split_whitespace().collect();
+    if codes.len() != ADL_CRITERIA {
+        return Err(SpecError::at(
+            adl_line,
+            format!(
+                "'adl': expected {ADL_CRITERIA} WS/PS/NS codes, got {}",
+                codes.len()
+            ),
+        ));
+    }
+    let mut adl = [Support::NotSupported; ADL_CRITERIA];
+    for (i, code) in codes.iter().enumerate() {
+        adl[i] = Support::from_code(code).ok_or_else(|| {
+            SpecError::at(adl_line, format!("'adl': bad code '{code}' (WS/PS/NS)"))
+        })?;
+    }
+
+    let wan_port = match f.take("wan_port") {
+        Some((line, v)) => parse_bool(line, "wan_port", v)?,
+        None => true,
+    };
+    let programming_models = match f.take("programming_models") {
+        Some((_, v)) => v.split(',').map(|m| m.trim().to_string()).collect(),
+        None => vec!["Host-Node".to_string(), "SPMD".to_string()],
+    };
+
+    // Profile: mandatory core fields, optional extras defaulting to the
+    // "thin tool" behaviour (no copies, no daemon, no fast paths).
+    let mut profile = ToolProfile {
+        send_alpha_us: 0.0,
+        recv_alpha_us: 0.0,
+        send_beta_us_per_byte: 0.0,
+        recv_beta_us_per_byte: 0.0,
+        copy_before_send_us_per_byte: 0.0,
+        header_bytes: 0,
+        daemon_routed: false,
+        strided_native: false,
+        bcast: BcastAlgo::BinomialTree,
+        reduce: None,
+        small_combine_alpha_us: f64::INFINITY,
+        seg_us_per_extra_fragment: 0.0,
+        strided_pack_us_per_byte: 0.0,
+        max_fragment_bytes: None,
+        wildcard_recv_extra_us: 0.0,
+    };
+    for field in [
+        "send_alpha_us",
+        "recv_alpha_us",
+        "send_beta_us_per_byte",
+        "recv_beta_us_per_byte",
+        "header_bytes",
+        "bcast",
+        "reduce",
+    ] {
+        let key = format!("profile.{field}");
+        let (line, v) = f.required(&key)?;
+        apply_profile_field(&mut profile, line, &key, field, v)?;
+    }
+    for field in [
+        "copy_before_send_us_per_byte",
+        "daemon_routed",
+        "strided_native",
+        "small_combine_alpha_us",
+        "seg_us_per_extra_fragment",
+        "strided_pack_us_per_byte",
+        "wildcard_recv_extra_us",
+        "max_fragment_bytes",
+    ] {
+        let key = format!("profile.{field}");
+        if let Some((line, v)) = f.take(&key) {
+            apply_profile_field(&mut profile, line, &key, field, v)?;
+        }
+    }
+
+    // Direct-route profile: starts as a copy, individual `direct.` keys
+    // override.
+    let mut direct_profile = profile.clone();
+    let direct_keys: Vec<String> = f
+        .map
+        .keys()
+        .filter(|k| k.starts_with("direct."))
+        .map(|k| k.to_string())
+        .collect();
+    for key in direct_keys {
+        let (line, v) = f.take(&key).expect("key just listed");
+        let field = key.strip_prefix("direct.").expect("filtered on prefix");
+        if !apply_profile_field(&mut direct_profile, line, &key, field, v)? {
+            return Err(SpecError::at(line, format!("unknown key '{key}'")));
+        }
+    }
+
+    let header_line = f.header_line;
+    f.finish()?;
+    let spec = ToolSpec {
+        name,
+        slug: s.slug.clone(),
+        primitives,
+        profile,
+        direct_profile,
+        wan_port,
+        adl,
+        programming_models,
+    };
+    spec.validate()
+        .map_err(|msg| SpecError::at(header_line, msg))?;
+    Ok(spec)
+}
+
+fn build_platform(s: &Section) -> Result<PlatformSpec, SpecError> {
+    let mut f = Fields::new(s);
+    let name = f.required("name")?.1.to_string();
+    let (line, v) = f.required("max_nodes")?;
+    let max_nodes = parse_usize(line, "max_nodes", v)?;
+    let wan = match f.take("wan") {
+        Some((line, v)) => parse_bool(line, "wan", v)?,
+        None => false,
+    };
+
+    let host_name = f.required("host.name")?.1.to_string();
+    let mut host_nums = [0.0f64; 4];
+    for (i, field) in ["mflops", "mips", "mem_bw_mbs", "sw_scale"]
+        .into_iter()
+        .enumerate()
+    {
+        let key = format!("host.{field}");
+        let (line, v) = f.required(&key)?;
+        host_nums[i] = parse_f64(line, &key, v)?;
+        if !host_nums[i].is_finite() || host_nums[i] <= 0.0 {
+            return Err(SpecError::at(line, format!("'{key}' must be positive")));
+        }
+    }
+    let host = HostSpec {
+        name: host_name,
+        mflops: host_nums[0],
+        mips: host_nums[1],
+        mem_bw_mbs: host_nums[2],
+        sw_scale: host_nums[3],
+    };
+
+    let link_name = f.required("link.name")?.1.to_string();
+    let (line, v) = f.required("link.bandwidth_mbps")?;
+    let bandwidth_mbps = parse_f64(line, "link.bandwidth_mbps", v)?;
+    let (line, v) = f.required("link.latency_us")?;
+    let latency = SimDuration::from_micros_f64(parse_f64(line, "link.latency_us", v)?);
+    let (line, v) = f.required("link.mtu")?;
+    let mtu = parse_usize(line, "link.mtu", v)?;
+    let per_packet = match f.take("link.per_packet_us") {
+        Some((line, v)) => SimDuration::from_micros_f64(parse_f64(line, "link.per_packet_us", v)?),
+        None => SimDuration::ZERO,
+    };
+    let shared_medium = match f.take("link.shared_medium") {
+        Some((line, v)) => parse_bool(line, "link.shared_medium", v)?,
+        None => false,
+    };
+
+    let header_line = f.header_line;
+    f.finish()?;
+    let spec = PlatformSpec {
+        name,
+        slug: s.slug.clone(),
+        host,
+        link: LinkParams {
+            name: link_name,
+            bandwidth_mbps,
+            latency,
+            mtu,
+            per_packet,
+            shared_medium,
+        },
+        max_nodes,
+        wan,
+    };
+    spec.validate()
+        .map_err(|msg| SpecError::at(header_line, msg))?;
+    Ok(spec)
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+fn render_profile(out: &mut String, prefix: &str, p: &ToolProfile, base: Option<&ToolProfile>) {
+    // With a base profile, emit only the differing fields (the `direct.`
+    // override form); otherwise emit everything.
+    let mut emit = |name: &str, value: String, same: bool| {
+        if !same {
+            let _ = writeln!(out, "{prefix}{name} = {value}");
+        }
+    };
+    let b = base;
+    emit(
+        "send_alpha_us",
+        p.send_alpha_us.to_string(),
+        b.is_some_and(|b| b.send_alpha_us == p.send_alpha_us),
+    );
+    emit(
+        "recv_alpha_us",
+        p.recv_alpha_us.to_string(),
+        b.is_some_and(|b| b.recv_alpha_us == p.recv_alpha_us),
+    );
+    emit(
+        "send_beta_us_per_byte",
+        p.send_beta_us_per_byte.to_string(),
+        b.is_some_and(|b| b.send_beta_us_per_byte == p.send_beta_us_per_byte),
+    );
+    emit(
+        "recv_beta_us_per_byte",
+        p.recv_beta_us_per_byte.to_string(),
+        b.is_some_and(|b| b.recv_beta_us_per_byte == p.recv_beta_us_per_byte),
+    );
+    emit(
+        "copy_before_send_us_per_byte",
+        p.copy_before_send_us_per_byte.to_string(),
+        b.is_some_and(|b| b.copy_before_send_us_per_byte == p.copy_before_send_us_per_byte),
+    );
+    emit(
+        "header_bytes",
+        p.header_bytes.to_string(),
+        b.is_some_and(|b| b.header_bytes == p.header_bytes),
+    );
+    emit(
+        "daemon_routed",
+        p.daemon_routed.to_string(),
+        b.is_some_and(|b| b.daemon_routed == p.daemon_routed),
+    );
+    emit(
+        "strided_native",
+        p.strided_native.to_string(),
+        b.is_some_and(|b| b.strided_native == p.strided_native),
+    );
+    emit(
+        "bcast",
+        bcast_code(p.bcast).to_string(),
+        b.is_some_and(|b| b.bcast == p.bcast),
+    );
+    emit(
+        "reduce",
+        reduce_code(p.reduce).to_string(),
+        b.is_some_and(|b| b.reduce == p.reduce),
+    );
+    emit(
+        "small_combine_alpha_us",
+        p.small_combine_alpha_us.to_string(),
+        b.is_some_and(|b| b.small_combine_alpha_us == p.small_combine_alpha_us),
+    );
+    emit(
+        "seg_us_per_extra_fragment",
+        p.seg_us_per_extra_fragment.to_string(),
+        b.is_some_and(|b| b.seg_us_per_extra_fragment == p.seg_us_per_extra_fragment),
+    );
+    emit(
+        "strided_pack_us_per_byte",
+        p.strided_pack_us_per_byte.to_string(),
+        b.is_some_and(|b| b.strided_pack_us_per_byte == p.strided_pack_us_per_byte),
+    );
+    emit(
+        "max_fragment_bytes",
+        match p.max_fragment_bytes {
+            None => "none".to_string(),
+            Some(n) => n.to_string(),
+        },
+        b.is_some_and(|b| b.max_fragment_bytes == p.max_fragment_bytes),
+    );
+    emit(
+        "wildcard_recv_extra_us",
+        p.wildcard_recv_extra_us.to_string(),
+        b.is_some_and(|b| b.wildcard_recv_extra_us == p.wildcard_recv_extra_us),
+    );
+}
+
+/// Renders one tool spec as a `[tool ...]` section.
+pub fn render_tool(spec: &ToolSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "[tool {}]", spec.slug);
+    let _ = writeln!(out, "name = {}", spec.name);
+    let _ = writeln!(out, "wan_port = {}", spec.wan_port);
+    let _ = writeln!(
+        out,
+        "programming_models = {}",
+        spec.programming_models.join(", ")
+    );
+    for p in Primitive::all() {
+        let _ = writeln!(
+            out,
+            "{} = {}",
+            p.spec_key(),
+            spec.primitives[p.spec_index()].as_deref().unwrap_or("none")
+        );
+    }
+    let codes: Vec<&str> = spec.adl.iter().map(Support::code).collect();
+    let _ = writeln!(out, "adl = {}", codes.join(" "));
+    render_profile(&mut out, "profile.", &spec.profile, None);
+    render_profile(
+        &mut out,
+        "direct.",
+        &spec.direct_profile,
+        Some(&spec.profile),
+    );
+    out
+}
+
+/// Renders one platform spec as a `[platform ...]` section.
+pub fn render_platform(spec: &PlatformSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "[platform {}]", spec.slug);
+    let _ = writeln!(out, "name = {}", spec.name);
+    let _ = writeln!(out, "max_nodes = {}", spec.max_nodes);
+    let _ = writeln!(out, "wan = {}", spec.wan);
+    let _ = writeln!(out, "host.name = {}", spec.host.name);
+    let _ = writeln!(out, "host.mflops = {}", spec.host.mflops);
+    let _ = writeln!(out, "host.mips = {}", spec.host.mips);
+    let _ = writeln!(out, "host.mem_bw_mbs = {}", spec.host.mem_bw_mbs);
+    let _ = writeln!(out, "host.sw_scale = {}", spec.host.sw_scale);
+    let _ = writeln!(out, "link.name = {}", spec.link.name);
+    let _ = writeln!(out, "link.bandwidth_mbps = {}", spec.link.bandwidth_mbps);
+    let _ = writeln!(
+        out,
+        "link.latency_us = {}",
+        spec.link.latency.as_micros_f64()
+    );
+    let _ = writeln!(out, "link.mtu = {}", spec.link.mtu);
+    let _ = writeln!(
+        out,
+        "link.per_packet_us = {}",
+        spec.link.per_packet.as_micros_f64()
+    );
+    let _ = writeln!(out, "link.shared_medium = {}", spec.link.shared_medium);
+    out
+}
+
+/// Renders a whole spec file (tools first, then platforms).
+pub fn render_spec(file: &SpecFile) -> String {
+    let mut out = String::new();
+    for t in &file.tools {
+        out.push_str(&render_tool(t));
+        out.push('\n');
+    }
+    for p in &file.platforms {
+        out.push_str(&render_platform(p));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_tool_text() -> String {
+        "[tool toy]\n\
+         name = Toy\n\
+         primitive.send = toy_send\n\
+         primitive.receive = toy_recv\n\
+         primitive.broadcast = toy_bcast\n\
+         primitive.globalsum = toy_sum\n\
+         primitive.barrier = toy_sync\n\
+         adl = WS WS PS PS PS PS PS PS WS\n\
+         profile.send_alpha_us = 900\n\
+         profile.recv_alpha_us = 1100\n\
+         profile.send_beta_us_per_byte = 0.3\n\
+         profile.recv_beta_us_per_byte = 0.3\n\
+         profile.header_bytes = 48\n\
+         profile.bcast = binomial-tree\n\
+         profile.reduce = tree\n"
+            .to_string()
+    }
+
+    #[test]
+    fn minimal_tool_parses_with_defaults() {
+        let file = parse_spec(&minimal_tool_text()).unwrap();
+        assert_eq!(file.tools.len(), 1);
+        let t = &file.tools[0];
+        assert_eq!(t.slug, "toy");
+        assert!(t.wan_port);
+        assert!(!t.profile.daemon_routed);
+        assert_eq!(t.profile.max_fragment_bytes, None);
+        assert_eq!(t.direct_profile, t.profile);
+        assert!(t.supports_global_ops());
+    }
+
+    #[test]
+    fn tool_round_trips_through_render() {
+        let mut text = minimal_tool_text();
+        text.push_str("direct.send_alpha_us = 500\n");
+        let file = parse_spec(&text).unwrap();
+        let rendered = render_spec(&file);
+        let reparsed = parse_spec(&rendered).unwrap();
+        assert_eq!(file, reparsed);
+        assert_eq!(reparsed.tools[0].direct_profile.send_alpha_us, 500.0);
+    }
+
+    #[test]
+    fn diagnostics_carry_line_numbers() {
+        let mut text = minimal_tool_text();
+        text.push_str("bogus_key = 1\n");
+        let err = parse_spec(&text).unwrap_err();
+        assert_eq!(err.line, text.lines().count());
+        assert!(err.message.contains("bogus_key"), "{err}");
+
+        let err = parse_spec("[gadget x]\n").unwrap_err();
+        assert!(err.message.contains("unknown section"), "{err}");
+
+        let err = parse_spec("name = orphan\n").unwrap_err();
+        assert!(err.message.contains("before any"), "{err}");
+
+        let err = parse_spec("[tool toy]\nname = A\nname = B\n").unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn incomplete_tool_reports_missing_key() {
+        let err = parse_spec("[tool toy]\nname = Toy\n").unwrap_err();
+        assert!(err.message.contains("missing required key"), "{err}");
+        assert!(err.message.contains("primitive.send"), "{err}");
+    }
+
+    #[test]
+    fn inconsistent_reduce_is_rejected() {
+        let text = minimal_tool_text().replace(
+            "primitive.globalsum = toy_sum",
+            "primitive.globalsum = none",
+        );
+        let err = parse_spec(&text).unwrap_err();
+        assert!(err.message.contains("profile.reduce"), "{err}");
+    }
+
+    #[test]
+    fn bad_values_are_rejected_with_context() {
+        for (needle, broken) in [
+            ("expected a number", "profile.send_alpha_us = fast"),
+            ("binomial-tree", "profile.bcast = megaphone"),
+            ("tree/ring/none", "profile.reduce = telepathy"),
+        ] {
+            let text = minimal_tool_text()
+                .lines()
+                .map(|l| {
+                    let key = broken.split('=').next().unwrap().trim();
+                    if l.starts_with(key) {
+                        broken.to_string()
+                    } else {
+                        l.to_string()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            let err = parse_spec(&text).unwrap_err();
+            assert!(err.message.contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn corrupt_costs_are_rejected_in_both_profiles() {
+        // Negative direct-route costs and NaN profile fields would be
+        // silently clamped deep inside the simulator; validation must
+        // refuse them up front.
+        let mut text = minimal_tool_text();
+        text.push_str("direct.send_alpha_us = -5000\n");
+        let err = parse_spec(&text).unwrap_err();
+        assert!(err.message.contains("direct.send_alpha_us"), "{err}");
+
+        let text = minimal_tool_text().replace(
+            "profile.send_beta_us_per_byte = 0.3",
+            "profile.send_beta_us_per_byte = NaN",
+        );
+        let err = parse_spec(&text).unwrap_err();
+        assert!(err.message.contains("finite"), "{err}");
+    }
+
+    #[test]
+    fn platform_section_parses_and_round_trips() {
+        let text = "[platform lab]\n\
+                    name = Lab Cluster\n\
+                    max_nodes = 32\n\
+                    host.name = Lab Node\n\
+                    host.mflops = 100\n\
+                    host.mips = 400\n\
+                    host.mem_bw_mbs = 500\n\
+                    host.sw_scale = 0.1\n\
+                    link.name = LabNet\n\
+                    link.bandwidth_mbps = 900\n\
+                    link.latency_us = 12.5\n\
+                    link.mtu = 9000\n";
+        let file = parse_spec(text).unwrap();
+        let p = &file.platforms[0];
+        assert_eq!(p.max_nodes, 32);
+        assert!(!p.wan);
+        assert_eq!(p.link.latency.as_micros_f64(), 12.5);
+        assert_eq!(p.link.per_packet, SimDuration::ZERO);
+        let reparsed = parse_spec(&render_spec(&file)).unwrap();
+        assert_eq!(file, reparsed);
+    }
+
+    #[test]
+    fn support_codes_round_trip() {
+        for s in [Support::Well, Support::Partial, Support::NotSupported] {
+            assert_eq!(Support::from_code(s.code()), Some(s));
+        }
+        assert_eq!(Support::from_code("XX"), None);
+        assert!(Support::Well.value() > Support::Partial.value());
+        assert!(Support::Partial.value() > Support::NotSupported.value());
+    }
+}

@@ -1,79 +1,113 @@
-//! The three message-passing tools the paper evaluates.
+//! Tools as data: [`ToolId`] handles over registered [`ToolSpec`]s.
+//!
+//! The paper's three tools (Express, p4, PVM) ship as built-in specs
+//! ([`crate::builtin`]); arbitrary further tools can be registered at run
+//! time from spec files ([`crate::spec`]) without touching any code.
+//!
+//! [`ToolId`] is a cheap `Copy` handle into the process-global registry
+//! ([`crate::registry`]); the legacy name [`ToolKind`] is kept as an
+//! alias so existing call sites keep reading naturally.
 
-use pdceval_simnet::platform::Platform;
+use crate::registry;
+use crate::spec::ToolSpec;
+use pdceval_simnet::platform::PlatformId;
 use std::fmt;
+use std::sync::Arc;
 
-/// One of the parallel/distributed computing tools under evaluation.
+/// A registered message-passing tool. See the module docs.
+///
+/// The legacy enum-era name is kept as an alias: a `ToolKind` *is* a
+/// `ToolId`.
+pub type ToolKind = ToolId;
+
+/// Cheap copyable handle to a registered [`ToolSpec`].
+///
+/// Ordering and hashing follow registration order, which for the
+/// built-ins is the paper's presentation order (Express, p4, PVM).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum ToolKind {
+pub struct ToolId(u16);
+
+impl ToolId {
     /// Express 3.0 (ParaSoft Inc.): a commercial toolkit with its own
     /// buffered transport (`exsend` / `exreceive` / `exbroadcast` /
     /// `excombine` / `exsync`).
-    Express,
+    pub const EXPRESS: ToolId = ToolId(0);
     /// p4 (Argonne National Laboratory): a thin, efficient layer over the
     /// transport (`p4_send` / `p4_recv` / `p4_broadcast` / `p4_global_op`).
-    P4,
+    pub const P4: ToolId = ToolId(1);
     /// PVM 3 (Oak Ridge National Laboratory): daemon-routed messaging with
     /// typed packing (`pvm_send` / `pvm_recv` / `pvm_mcast` /
     /// `pvm_barrier`); no built-in global reduction.
-    Pvm,
-}
+    pub const PVM: ToolId = ToolId(2);
 
-impl ToolKind {
-    /// All tools in the paper's presentation order (Express, p4, PVM).
-    pub fn all() -> [ToolKind; 3] {
-        [ToolKind::Express, ToolKind::P4, ToolKind::Pvm]
+    /// The paper's three tools in presentation order (Express, p4, PVM).
+    /// Unlike [`ToolId::all`], this never includes spec-registered tools —
+    /// the default campaigns pin exactly these.
+    pub fn builtin() -> [ToolId; 3] {
+        [ToolId::EXPRESS, ToolId::P4, ToolId::PVM]
+    }
+
+    /// Every registered tool (built-ins plus spec-registered), in
+    /// registration order.
+    pub fn all() -> Vec<ToolId> {
+        registry::all_tools()
+    }
+
+    /// Looks a tool up by its stable slug.
+    pub fn by_slug(slug: &str) -> Option<ToolId> {
+        registry::find_tool(slug)
+    }
+
+    /// The handle's dense registry index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The handle for registry index `i` (crate-internal; issued by the
+    /// registry only).
+    pub(crate) fn from_index(i: usize) -> ToolId {
+        ToolId(u16::try_from(i).expect("tool registry overflow"))
+    }
+
+    /// The full spec this handle resolves to.
+    pub fn spec(self) -> Arc<ToolSpec> {
+        registry::tool_spec(self)
     }
 
     /// Display name as used in the paper.
-    pub fn name(&self) -> &'static str {
-        match self {
-            ToolKind::Express => "Express",
-            ToolKind::P4 => "p4",
-            ToolKind::Pvm => "PVM",
-        }
+    pub fn name(self) -> String {
+        self.spec().name.clone()
+    }
+
+    /// Stable lower-case slug used in scenario/store keys.
+    pub fn slug(self) -> String {
+        self.spec().slug.clone()
     }
 
     /// The tool's native name for a communication primitive, as listed in
     /// the paper's Table 1. Returns `None` where the paper lists
     /// "Not Available".
-    pub fn primitive_name(&self, p: Primitive) -> Option<&'static str> {
-        match (self, p) {
-            (ToolKind::Express, Primitive::Send) => Some("exsend"),
-            (ToolKind::Express, Primitive::Receive) => Some("exreceive"),
-            (ToolKind::Express, Primitive::Broadcast) => Some("exbroadcast"),
-            (ToolKind::Express, Primitive::GlobalSum) => Some("excombine"),
-            (ToolKind::Express, Primitive::Barrier) => Some("exsync"),
-            (ToolKind::P4, Primitive::Send) => Some("p4_send"),
-            (ToolKind::P4, Primitive::Receive) => Some("p4_recv"),
-            (ToolKind::P4, Primitive::Broadcast) => Some("p4_broadcast"),
-            (ToolKind::P4, Primitive::GlobalSum) => Some("p4_global_op"),
-            (ToolKind::P4, Primitive::Barrier) => Some("p4_barrier"),
-            (ToolKind::Pvm, Primitive::Send) => Some("pvm_send"),
-            (ToolKind::Pvm, Primitive::Receive) => Some("pvm_recv"),
-            (ToolKind::Pvm, Primitive::Broadcast) => Some("pvm_mcast"),
-            (ToolKind::Pvm, Primitive::GlobalSum) => None,
-            (ToolKind::Pvm, Primitive::Barrier) => Some("pvm_barrier"),
-        }
+    pub fn primitive_name(self, p: Primitive) -> Option<String> {
+        self.spec().primitives[p.spec_index()].clone()
     }
 
     /// Whether the tool implements a built-in global reduction.
     /// PVM does not (paper Table 1: "Not Available").
-    pub fn supports_global_ops(&self) -> bool {
-        !matches!(self, ToolKind::Pvm)
+    pub fn supports_global_ops(self) -> bool {
+        self.spec().supports_global_ops()
     }
 
-    /// Whether the tool had a port for the given platform in the paper's
-    /// experiments. Express was not available across the NYNET ATM WAN
-    /// (Table 3 has no Express/WAN column; Figure 7 plots only p4 and PVM).
-    pub fn supports_platform(&self, platform: Platform) -> bool {
-        !(matches!(self, ToolKind::Express) && platform.is_wan())
+    /// Whether the tool has a port for the given platform. Express was
+    /// not available across WANs (Table 3 has no Express/WAN column;
+    /// Figure 7 plots only p4 and PVM).
+    pub fn supports_platform(self, platform: PlatformId) -> bool {
+        self.spec().wan_port || !platform.is_wan()
     }
 }
 
-impl fmt::Display for ToolKind {
+impl fmt::Display for ToolId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
+        f.write_str(&self.spec().name)
     }
 }
 
@@ -126,39 +160,47 @@ impl fmt::Display for Primitive {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pdceval_simnet::platform::Platform;
 
     #[test]
     fn table1_primitive_names() {
         assert_eq!(
-            ToolKind::Express.primitive_name(Primitive::Send),
+            ToolKind::EXPRESS.primitive_name(Primitive::Send).as_deref(),
             Some("exsend")
         );
         assert_eq!(
-            ToolKind::P4.primitive_name(Primitive::GlobalSum),
+            ToolKind::P4.primitive_name(Primitive::GlobalSum).as_deref(),
             Some("p4_global_op")
         );
         // Paper Table 1: PVM global sum is "Not Available".
-        assert_eq!(ToolKind::Pvm.primitive_name(Primitive::GlobalSum), None);
+        assert_eq!(ToolKind::PVM.primitive_name(Primitive::GlobalSum), None);
     }
 
     #[test]
     fn pvm_lacks_global_ops() {
-        assert!(!ToolKind::Pvm.supports_global_ops());
+        assert!(!ToolKind::PVM.supports_global_ops());
         assert!(ToolKind::P4.supports_global_ops());
-        assert!(ToolKind::Express.supports_global_ops());
+        assert!(ToolKind::EXPRESS.supports_global_ops());
     }
 
     #[test]
     fn express_has_no_wan_port() {
-        assert!(!ToolKind::Express.supports_platform(Platform::SunAtmWan));
-        assert!(ToolKind::Express.supports_platform(Platform::SunEthernet));
-        assert!(ToolKind::P4.supports_platform(Platform::SunAtmWan));
-        assert!(ToolKind::Pvm.supports_platform(Platform::SunAtmWan));
+        assert!(!ToolKind::EXPRESS.supports_platform(Platform::SUN_ATM_WAN));
+        assert!(ToolKind::EXPRESS.supports_platform(Platform::SUN_ETHERNET));
+        assert!(ToolKind::P4.supports_platform(Platform::SUN_ATM_WAN));
+        assert!(ToolKind::PVM.supports_platform(Platform::SUN_ATM_WAN));
     }
 
     #[test]
     fn display_names() {
         assert_eq!(ToolKind::P4.to_string(), "p4");
         assert_eq!(Primitive::Broadcast.to_string(), "Broadcast/Multicast");
+    }
+
+    #[test]
+    fn all_contains_the_builtins_in_order() {
+        let all = ToolKind::all();
+        assert_eq!(&all[..3], &ToolKind::builtin()[..]);
+        assert!(ToolKind::EXPRESS < ToolKind::P4 && ToolKind::P4 < ToolKind::PVM);
     }
 }

@@ -1,0 +1,196 @@
+//! Built-in spec data: the paper's testbed, expressed as plain values.
+//!
+//! This module is the **only** place in the workspace that enumerates the
+//! paper's platforms and interconnects in code. Everything else consumes
+//! them through the platform registry ([`crate::registry`]) as
+//! [`PlatformSpec`] data, exactly the way spec files supply user-defined
+//! platforms — so adding a testbed never touches another module.
+
+use crate::host::HostSpec;
+use crate::net::LinkParams;
+use crate::platform::PlatformSpec;
+use crate::time::SimDuration;
+use std::fmt;
+
+/// The interconnect technologies of the paper's experimentation
+/// environment, kept as a convenience for constructing built-in link
+/// data ([`NetworkKind::params`]). Spec-defined platforms do not need a
+/// `NetworkKind`; they carry their [`LinkParams`] directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetworkKind {
+    /// Shared 10 Mb/s Ethernet LAN (SUN ELC cluster).
+    Ethernet,
+    /// The SP-1's dedicated Ethernet (same medium, no outside traffic).
+    DedicatedEthernet,
+    /// Switched 100 Mb/s FDDI segments (Alpha cluster).
+    Fddi,
+    /// ATM LAN through a FORE switch, 140 Mb/s TAXI host interface.
+    AtmLan,
+    /// NYNET ATM WAN (OC-3 access links, Syracuse to Rome NY).
+    AtmWan,
+    /// IBM SP-1 Allnode crossbar switch.
+    Allnode,
+}
+
+impl NetworkKind {
+    /// All network kinds, in a stable order.
+    pub fn all() -> [NetworkKind; 6] {
+        [
+            NetworkKind::Ethernet,
+            NetworkKind::DedicatedEthernet,
+            NetworkKind::Fddi,
+            NetworkKind::AtmLan,
+            NetworkKind::AtmWan,
+            NetworkKind::Allnode,
+        ]
+    }
+
+    /// The calibrated link parameters for this network.
+    pub fn params(&self) -> LinkParams {
+        match self {
+            // Effective Ethernet payload rate is calibrated to the paper's
+            // Table 3: mid-1990s SunOS TCP over shared 10 Mb/s Ethernet
+            // achieved roughly 3 Mb/s of user payload (CSMA/CD, framing,
+            // inter-frame gaps, kernel mbuf handling).
+            NetworkKind::Ethernet => LinkParams {
+                name: "Ethernet".to_string(),
+                bandwidth_mbps: 3.2,
+                latency: SimDuration::from_micros(150),
+                mtu: 1460,
+                per_packet: SimDuration::from_micros(200),
+                shared_medium: true,
+            },
+            NetworkKind::DedicatedEthernet => LinkParams {
+                name: "Dedicated Ethernet".to_string(),
+                bandwidth_mbps: 3.6,
+                latency: SimDuration::from_micros(120),
+                mtu: 1460,
+                per_packet: SimDuration::from_micros(180),
+                shared_medium: true,
+            },
+            NetworkKind::Fddi => LinkParams {
+                name: "FDDI".to_string(),
+                bandwidth_mbps: 80.0,
+                latency: SimDuration::from_micros(90),
+                mtu: 4352,
+                per_packet: SimDuration::from_micros(40),
+                shared_medium: false,
+            },
+            NetworkKind::AtmLan => LinkParams {
+                name: "ATM LAN".to_string(),
+                bandwidth_mbps: 127.0,
+                latency: SimDuration::from_micros(60),
+                mtu: 9180,
+                per_packet: SimDuration::from_micros(30),
+                shared_medium: false,
+            },
+            NetworkKind::AtmWan => LinkParams {
+                name: "ATM WAN (NYNET)".to_string(),
+                bandwidth_mbps: 112.0,
+                latency: SimDuration::from_micros(420),
+                mtu: 9180,
+                per_packet: SimDuration::from_micros(30),
+                shared_medium: false,
+            },
+            NetworkKind::Allnode => LinkParams {
+                name: "Allnode switch".to_string(),
+                bandwidth_mbps: 34.0,
+                latency: SimDuration::from_micros(100),
+                mtu: 4096,
+                per_packet: SimDuration::from_micros(60),
+                shared_medium: false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for NetworkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.params().name)
+    }
+}
+
+/// The six testbed configurations of the paper's §3.1, in presentation
+/// order. The registry seeds itself with exactly this list, so the
+/// handle for `builtin_platforms()[i]` is `PlatformId(i)`.
+pub fn builtin_platforms() -> Vec<PlatformSpec> {
+    vec![
+        PlatformSpec {
+            name: "SUN/Ethernet".to_string(),
+            slug: "sun-eth".to_string(),
+            host: HostSpec::sun_elc(),
+            link: NetworkKind::Ethernet.params(),
+            max_nodes: 8,
+            wan: false,
+        },
+        PlatformSpec {
+            name: "SUN/ATM LAN".to_string(),
+            slug: "sun-atm-lan".to_string(),
+            host: HostSpec::sun_ipx(),
+            link: NetworkKind::AtmLan.params(),
+            max_nodes: 8,
+            wan: false,
+        },
+        // The NYNET experiments used at most 4 workstations (Figure 7).
+        PlatformSpec {
+            name: "SUN/ATM WAN (NYNET)".to_string(),
+            slug: "sun-atm-wan".to_string(),
+            host: HostSpec::sun_ipx(),
+            link: NetworkKind::AtmWan.params(),
+            max_nodes: 4,
+            wan: true,
+        },
+        PlatformSpec {
+            name: "ALPHA/FDDI".to_string(),
+            slug: "alpha-fddi".to_string(),
+            host: HostSpec::alpha_axp(),
+            link: NetworkKind::Fddi.params(),
+            max_nodes: 8,
+            wan: false,
+        },
+        PlatformSpec {
+            name: "IBM-SP1 (Switch)".to_string(),
+            slug: "sp1-switch".to_string(),
+            host: HostSpec::rs6000_370(),
+            link: NetworkKind::Allnode.params(),
+            max_nodes: 16,
+            wan: false,
+        },
+        PlatformSpec {
+            name: "IBM-SP1 (Ethernet)".to_string(),
+            slug: "sp1-eth".to_string(),
+            host: HostSpec::rs6000_370(),
+            link: NetworkKind::DedicatedEthernet.params(),
+            max_nodes: 16,
+            wan: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_platform_slugs_are_stable() {
+        let slugs: Vec<String> = builtin_platforms().into_iter().map(|p| p.slug).collect();
+        assert_eq!(
+            slugs,
+            vec![
+                "sun-eth",
+                "sun-atm-lan",
+                "sun-atm-wan",
+                "alpha-fddi",
+                "sp1-switch",
+                "sp1-eth"
+            ]
+        );
+    }
+
+    #[test]
+    fn only_nynet_is_wan() {
+        for p in builtin_platforms() {
+            assert_eq!(p.wan, p.slug == "sun-atm-wan", "{}", p.slug);
+        }
+    }
+}

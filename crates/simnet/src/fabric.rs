@@ -9,12 +9,11 @@
 use crate::engine::Simulation;
 use crate::flight::Stage;
 use crate::ids::ResourceId;
-use crate::net::{LinkParams, NetworkKind};
+use crate::net::LinkParams;
 
 /// Network resources for `n_hosts` hosts on one interconnect.
 #[derive(Debug, Clone)]
 pub struct Fabric {
-    kind: NetworkKind,
     params: LinkParams,
     /// The single shared medium (Ethernet), if any.
     wire: Option<ResourceId>,
@@ -26,14 +25,14 @@ pub struct Fabric {
 }
 
 impl Fabric {
-    /// Registers the fabric's resources in `sim` for `n_hosts` hosts.
+    /// Registers the fabric's resources in `sim` for `n_hosts` hosts on a
+    /// link described by `params` — any link, built-in or spec-defined.
     ///
     /// # Panics
     ///
     /// Panics if `n_hosts` is zero.
-    pub fn build(sim: &mut Simulation, kind: NetworkKind, n_hosts: usize) -> Fabric {
+    pub fn build(sim: &mut Simulation, params: LinkParams, n_hosts: usize) -> Fabric {
         assert!(n_hosts > 0, "a fabric needs at least one host");
-        let params = kind.params();
         let (wire, tx, rx) = if params.shared_medium {
             (
                 Some(sim.add_resource(&format!("{}-wire", params.name))),
@@ -50,18 +49,12 @@ impl Fabric {
             (None, tx, rx)
         };
         Fabric {
-            kind,
             params,
             wire,
             tx,
             rx,
             n_hosts,
         }
-    }
-
-    /// The interconnect kind this fabric models.
-    pub fn kind(&self) -> NetworkKind {
-        self.kind
     }
 
     /// The link parameters in effect.
@@ -127,11 +120,12 @@ impl Fabric {
 mod tests {
     use super::*;
     use crate::engine::Simulation;
+    use crate::net::NetworkKind;
 
     #[test]
     fn ethernet_builds_one_wire() {
         let mut sim = Simulation::new();
-        let f = Fabric::build(&mut sim, NetworkKind::Ethernet, 4);
+        let f = Fabric::build(&mut sim, NetworkKind::Ethernet.params(), 4);
         assert!(f.wire.is_some());
         assert!(f.tx.is_empty());
         let stages = f.fragment_stages(0, 1, 1000);
@@ -141,7 +135,7 @@ mod tests {
     #[test]
     fn switched_builds_ports_per_host() {
         let mut sim = Simulation::new();
-        let f = Fabric::build(&mut sim, NetworkKind::AtmLan, 4);
+        let f = Fabric::build(&mut sim, NetworkKind::AtmLan.params(), 4);
         assert!(f.wire.is_none());
         assert_eq!(f.tx.len(), 4);
         assert_eq!(f.rx.len(), 4);
@@ -152,7 +146,7 @@ mod tests {
     #[test]
     fn distinct_hosts_use_distinct_ports() {
         let mut sim = Simulation::new();
-        let f = Fabric::build(&mut sim, NetworkKind::Fddi, 3);
+        let f = Fabric::build(&mut sim, NetworkKind::Fddi.params(), 3);
         let s01 = f.fragment_stages(0, 1, 100);
         let s21 = f.fragment_stages(2, 1, 100);
         // Different tx ports, same rx port.
@@ -174,7 +168,7 @@ mod tests {
     #[should_panic(expected = "host-local")]
     fn local_routing_is_rejected() {
         let mut sim = Simulation::new();
-        let f = Fabric::build(&mut sim, NetworkKind::Fddi, 2);
+        let f = Fabric::build(&mut sim, NetworkKind::Fddi.params(), 2);
         let _ = f.fragment_stages(1, 1, 100);
     }
 
@@ -182,7 +176,7 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_host_is_rejected() {
         let mut sim = Simulation::new();
-        let f = Fabric::build(&mut sim, NetworkKind::Fddi, 2);
+        let f = Fabric::build(&mut sim, NetworkKind::Fddi.params(), 2);
         let _ = f.fragment_stages(0, 5, 100);
     }
 }

@@ -13,10 +13,14 @@
 use std::fmt;
 
 /// Performance model of a single compute node.
+///
+/// Hosts are pure data: the built-in models below cover the paper's
+/// testbed, and spec files can declare new ones (see
+/// `pdceval_mpt::spec`) without touching this module.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HostSpec {
     /// Human-readable model name, e.g. `"SUN SPARCstation IPX"`.
-    pub name: &'static str,
+    pub name: String,
     /// Sustained floating-point rate in MFLOP/s.
     pub mflops: f64,
     /// Sustained integer-operation rate in M ops/s.
@@ -33,7 +37,7 @@ impl HostSpec {
     /// ATM experiments (`sw_scale` = 1.0 by definition).
     pub fn sun_ipx() -> HostSpec {
         HostSpec {
-            name: "SUN SPARCstation IPX",
+            name: "SUN SPARCstation IPX".to_string(),
             mflops: 4.5,
             mips: 28.0,
             mem_bw_mbs: 25.0,
@@ -44,7 +48,7 @@ impl HostSpec {
     /// SUN SPARCstation ELC: 33 MHz SPARC, used on the Ethernet testbed.
     pub fn sun_elc() -> HostSpec {
         HostSpec {
-            name: "SUN SPARCstation ELC",
+            name: "SUN SPARCstation ELC".to_string(),
             mflops: 3.6,
             mips: 21.0,
             mem_bw_mbs: 20.0,
@@ -55,7 +59,7 @@ impl HostSpec {
     /// DEC Alpha AXP workstation: 150 MHz, the fastest node in the testbed.
     pub fn alpha_axp() -> HostSpec {
         HostSpec {
-            name: "DEC Alpha AXP 150MHz",
+            name: "DEC Alpha AXP 150MHz".to_string(),
             mflops: 21.0,
             mips: 120.0,
             mem_bw_mbs: 80.0,
@@ -69,7 +73,7 @@ impl HostSpec {
     /// (Figure 6 vs Figure 5), which these rates reproduce.
     pub fn rs6000_370() -> HostSpec {
         HostSpec {
-            name: "IBM RS/6000 370 (SP-1 node)",
+            name: "IBM RS/6000 370 (SP-1 node)".to_string(),
             mflops: 9.0,
             mips: 55.0,
             mem_bw_mbs: 45.0,
@@ -79,7 +83,7 @@ impl HostSpec {
 
     /// A custom host model, for extensions beyond the paper's testbed.
     pub fn custom(
-        name: &'static str,
+        name: impl Into<String>,
         mflops: f64,
         mips: f64,
         mem_bw_mbs: f64,
@@ -90,7 +94,7 @@ impl HostSpec {
             "host rates must be positive"
         );
         HostSpec {
-            name,
+            name: name.into(),
             mflops,
             mips,
             mem_bw_mbs,

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod builtin;
 pub mod engine;
 pub mod envelope;
 pub mod error;
@@ -65,6 +66,7 @@ pub mod ids;
 mod mailbox;
 pub mod net;
 pub mod platform;
+pub mod registry;
 pub mod resource;
 mod sched;
 pub mod time;
@@ -80,7 +82,7 @@ pub mod prelude {
     pub use crate::host::HostSpec;
     pub use crate::ids::{ProcId, ResourceId, Tag};
     pub use crate::net::{LinkParams, NetworkKind};
-    pub use crate::platform::Platform;
+    pub use crate::platform::{Platform, PlatformId, PlatformSpec};
     pub use crate::resource::ResourceStats;
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::work::Work;

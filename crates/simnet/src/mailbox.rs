@@ -65,6 +65,14 @@ type FxBuild = BuildHasherDefault<FxHasher>;
 /// indexing scheme.
 #[derive(Debug, Default)]
 pub(crate) struct Mailbox {
+    /// Fast slot: the sole queued envelope while the indexes hold no live
+    /// message. Ping-pong-style traffic (one message in flight per
+    /// mailbox, receiver arriving just after the message) lives entirely
+    /// in this slot and never pays `all`/`by_tag`/`by_src` maintenance.
+    /// A second arrival spills the head into the indexes first, so
+    /// arrival order is preserved; a take always checks the head before
+    /// the indexes because the head is the earliest arrival.
+    head: Option<Envelope>,
     /// Next arrival sequence number.
     seq: u64,
     /// Live envelopes by arrival sequence number.
@@ -84,8 +92,21 @@ pub(crate) struct Mailbox {
 }
 
 impl Mailbox {
-    /// Inserts an arrived envelope into all indexes.
+    /// Buffers an arrived envelope: into the head fast slot when the
+    /// mailbox is empty, otherwise into the indexes.
     pub(crate) fn push(&mut self, env: Envelope) {
+        if self.head.is_none() && self.store.is_empty() {
+            self.head = Some(env);
+            return;
+        }
+        if let Some(h) = self.head.take() {
+            self.index_push(h);
+        }
+        self.index_push(env);
+    }
+
+    /// Inserts an envelope into all three indexes.
+    fn index_push(&mut self, env: Envelope) {
         let id = self.seq;
         self.seq += 1;
         let src = env.src.index();
@@ -101,11 +122,20 @@ impl Mailbox {
     /// True if no live messages are queued (test aid).
     #[cfg(test)]
     pub(crate) fn is_empty(&self) -> bool {
-        self.store.is_empty()
+        self.head.is_none() && self.store.is_empty()
     }
 
     /// Removes and returns the earliest-arrived envelope matching `m`.
     pub(crate) fn take_match(&mut self, m: &Matcher) -> Option<Envelope> {
+        // The head slot, when occupied, is the earliest arrival: take it
+        // directly (no index bookkeeping, nothing goes stale). If it does
+        // not match, fall through — a matching indexed message arrived
+        // later, which is exactly what matching semantics ask for.
+        if let Some(h) = &self.head {
+            if m.matches(h) {
+                return self.head.take();
+            }
+        }
         let taken = match (m.src, m.tag) {
             (None, None) => {
                 let id = Self::pop_live(&mut self.all, &self.store, &mut self.stale)?;
@@ -281,6 +311,47 @@ mod tests {
             "index entries leaked: {}",
             mb.index_entries()
         );
+    }
+
+    #[test]
+    fn single_message_traffic_never_touches_the_indexes() {
+        // Ping-pong shape: at most one message queued at a time, receiver
+        // arriving after the message. Everything stays in the head slot.
+        let mut mb = Mailbox::default();
+        for round in 0..1_000u32 {
+            mb.push(env(1, round));
+            let got = mb
+                .take_match(&Matcher::from_tagged(ProcId(1), round))
+                .unwrap();
+            assert_eq!(got.tag, round);
+            assert_eq!(mb.index_entries(), 0, "index maintenance not bypassed");
+        }
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn second_arrival_spills_head_preserving_order() {
+        let mut mb = Mailbox::default();
+        mb.push(env(0, 1)); // head
+        mb.push(env(0, 2)); // spills head into the indexes
+        assert_eq!(mb.take_match(&Matcher::any()).unwrap().tag, 1);
+        assert_eq!(mb.take_match(&Matcher::any()).unwrap().tag, 2);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn non_matching_head_falls_through_to_indexes() {
+        let mut mb = Mailbox::default();
+        mb.push(env(0, 1));
+        mb.push(env(0, 2));
+        // Tag-2 is indexed; the (spilled) tag-1 message must survive.
+        assert_eq!(mb.take_match(&Matcher::tagged(2)).unwrap().tag, 2);
+        assert_eq!(mb.take_match(&Matcher::tagged(1)).unwrap().tag, 1);
+        assert!(mb.is_empty());
+        // An occupied head that does not match yields None, not a panic.
+        mb.push(env(0, 7));
+        assert!(mb.take_match(&Matcher::tagged(8)).is_none());
+        assert_eq!(mb.take_match(&Matcher::tagged(7)).unwrap().tag, 7);
     }
 
     #[test]

@@ -1,20 +1,26 @@
-//! Network link models for the five NPAC testbed interconnects (paper §3.1).
+//! Network link models.
 //!
-//! Each [`NetworkKind`] resolves to a set of [`LinkParams`] calibrated so
-//! the simulated communication times reproduce the *shape* of the paper's
-//! Table 3 and Figures 2-4: effective bandwidths are the achieved rates a
+//! A [`LinkParams`] is the *data* describing one interconnect: effective
+//! payload bandwidth, per-fragment latency, fragmentation unit and
+//! media-access overheads. Effective bandwidths are the achieved rates a
 //! 1995 protocol stack saw, not the media's signalling rates (e.g. shared
-//! 10 Mb/s Ethernet delivered roughly 7 Mb/s of payload after framing,
+//! 10 Mb/s Ethernet delivered roughly 3 Mb/s of payload after framing,
 //! inter-frame gaps and CSMA/CD).
+//!
+//! The five NPAC testbed interconnects of the paper's §3.1 are shipped as
+//! built-in data by [`crate::builtin`] (re-exported here as
+//! [`NetworkKind`] for convenience); platform spec files can declare
+//! arbitrary new links without touching any code.
 
 use crate::time::SimDuration;
-use std::fmt;
+
+pub use crate::builtin::NetworkKind;
 
 /// Calibrated parameters of one interconnect technology.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkParams {
     /// Display name.
-    pub name: &'static str,
+    pub name: String,
     /// Effective payload bandwidth in megabits per second.
     pub bandwidth_mbps: f64,
     /// Per-fragment propagation plus switching latency.
@@ -51,101 +57,6 @@ impl LinkParams {
             sizes.push(rem);
         }
         sizes
-    }
-}
-
-/// The interconnect technologies of the paper's experimentation environment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum NetworkKind {
-    /// Shared 10 Mb/s Ethernet LAN (SUN ELC cluster).
-    Ethernet,
-    /// The SP-1's dedicated Ethernet (same medium, no outside traffic).
-    DedicatedEthernet,
-    /// Switched 100 Mb/s FDDI segments (Alpha cluster).
-    Fddi,
-    /// ATM LAN through a FORE switch, 140 Mb/s TAXI host interface.
-    AtmLan,
-    /// NYNET ATM WAN (OC-3 access links, Syracuse to Rome NY).
-    AtmWan,
-    /// IBM SP-1 Allnode crossbar switch.
-    Allnode,
-}
-
-impl NetworkKind {
-    /// All network kinds, in a stable order.
-    pub fn all() -> [NetworkKind; 6] {
-        [
-            NetworkKind::Ethernet,
-            NetworkKind::DedicatedEthernet,
-            NetworkKind::Fddi,
-            NetworkKind::AtmLan,
-            NetworkKind::AtmWan,
-            NetworkKind::Allnode,
-        ]
-    }
-
-    /// The calibrated link parameters for this network.
-    pub fn params(&self) -> LinkParams {
-        match self {
-            // Effective Ethernet payload rate is calibrated to the paper's
-            // Table 3: mid-1990s SunOS TCP over shared 10 Mb/s Ethernet
-            // achieved roughly 3 Mb/s of user payload (CSMA/CD, framing,
-            // inter-frame gaps, kernel mbuf handling).
-            NetworkKind::Ethernet => LinkParams {
-                name: "Ethernet",
-                bandwidth_mbps: 3.2,
-                latency: SimDuration::from_micros(150),
-                mtu: 1460,
-                per_packet: SimDuration::from_micros(200),
-                shared_medium: true,
-            },
-            NetworkKind::DedicatedEthernet => LinkParams {
-                name: "Dedicated Ethernet",
-                bandwidth_mbps: 3.6,
-                latency: SimDuration::from_micros(120),
-                mtu: 1460,
-                per_packet: SimDuration::from_micros(180),
-                shared_medium: true,
-            },
-            NetworkKind::Fddi => LinkParams {
-                name: "FDDI",
-                bandwidth_mbps: 80.0,
-                latency: SimDuration::from_micros(90),
-                mtu: 4352,
-                per_packet: SimDuration::from_micros(40),
-                shared_medium: false,
-            },
-            NetworkKind::AtmLan => LinkParams {
-                name: "ATM LAN",
-                bandwidth_mbps: 127.0,
-                latency: SimDuration::from_micros(60),
-                mtu: 9180,
-                per_packet: SimDuration::from_micros(30),
-                shared_medium: false,
-            },
-            NetworkKind::AtmWan => LinkParams {
-                name: "ATM WAN (NYNET)",
-                bandwidth_mbps: 112.0,
-                latency: SimDuration::from_micros(420),
-                mtu: 9180,
-                per_packet: SimDuration::from_micros(30),
-                shared_medium: false,
-            },
-            NetworkKind::Allnode => LinkParams {
-                name: "Allnode switch",
-                bandwidth_mbps: 34.0,
-                latency: SimDuration::from_micros(100),
-                mtu: 4096,
-                per_packet: SimDuration::from_micros(60),
-                shared_medium: false,
-            },
-        }
-    }
-}
-
-impl fmt::Display for NetworkKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.params().name)
     }
 }
 

@@ -1,131 +1,244 @@
-//! The five experimentation platforms of the paper's §3.1.
+//! Platforms as data: [`PlatformSpec`] models and [`PlatformId`] handles.
 //!
-//! A [`Platform`] pairs a host model with an interconnect and a maximum
-//! node count, matching the NPAC testbed configurations on which the paper
-//! evaluated Express, p4 and PVM.
+//! A platform pairs a host model with an interconnect and a maximum node
+//! count. The paper's six testbed configurations (§3.1) ship as built-in
+//! specs ([`crate::builtin`]); arbitrary further platforms can be
+//! registered at run time from spec files without touching any code.
+//!
+//! [`PlatformId`] is a cheap `Copy` handle into the process-global
+//! registry ([`crate::registry`]); the legacy name [`Platform`] is kept
+//! as an alias so existing call sites keep reading naturally.
 
 use crate::host::HostSpec;
-use crate::net::NetworkKind;
+use crate::net::LinkParams;
+use crate::registry;
 use std::fmt;
+use std::sync::Arc;
 
-/// One of the paper's testbed configurations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Platform {
-    /// SUN SPARCstation ELCs on a shared 10 Mb/s Ethernet LAN.
-    SunEthernet,
-    /// SUN SPARCstation IPXs on an ATM LAN (FORE switch, TAXI interfaces).
-    SunAtmLan,
-    /// SUN SPARCstation IPXs across the NYNET ATM WAN
-    /// (Syracuse University to Rome Laboratory).
-    SunAtmWan,
-    /// DEC Alpha workstations on switched FDDI segments.
-    AlphaFddi,
-    /// IBM SP-1, RS/6000 370 nodes on the Allnode crossbar switch.
-    Sp1Switch,
-    /// IBM SP-1 nodes on the machine's dedicated Ethernet.
-    Sp1Ethernet,
+/// A registered platform model. See the module docs.
+///
+/// The legacy enum-era name is kept as an alias: a `Platform` *is* a
+/// `PlatformId`.
+pub type Platform = PlatformId;
+
+/// Cheap copyable handle to a registered [`PlatformSpec`].
+///
+/// Ordering and hashing follow registration order, which for the
+/// built-ins is the paper's presentation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlatformId(u16);
+
+/// The full description of one platform: everything the runtime needs to
+/// instantiate a simulated cluster, as plain data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformSpec {
+    /// Display name matching the paper's terminology, e.g. `"SUN/Ethernet"`.
+    pub name: String,
+    /// Stable lower-case slug used in scenario/store keys, e.g. `"sun-eth"`.
+    pub slug: String,
+    /// The host model populating this platform (homogeneous clusters).
+    pub host: HostSpec,
+    /// The interconnect's calibrated link parameters.
+    pub link: LinkParams,
+    /// Maximum number of nodes available.
+    pub max_nodes: usize,
+    /// Whether the platform crosses a wide-area network.
+    pub wan: bool,
 }
 
-impl Platform {
-    /// All platforms, in the paper's presentation order.
-    pub fn all() -> [Platform; 6] {
+impl PlatformSpec {
+    /// Checks the spec for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("platform name must not be empty".to_string());
+        }
+        if self.slug.is_empty() || !is_slug(&self.slug) {
+            return Err(format!(
+                "platform slug '{}' must be non-empty lower-case [a-z0-9-]",
+                self.slug
+            ));
+        }
+        if self.max_nodes == 0 {
+            return Err(format!("platform '{}': max_nodes must be > 0", self.slug));
+        }
+        if !self.link.bandwidth_mbps.is_finite() || self.link.bandwidth_mbps <= 0.0 {
+            return Err(format!(
+                "platform '{}': link bandwidth must be positive",
+                self.slug
+            ));
+        }
+        if self.link.mtu == 0 {
+            return Err(format!("platform '{}': link mtu must be > 0", self.slug));
+        }
+        for (field, v) in [
+            ("host.mflops", self.host.mflops),
+            ("host.mips", self.host.mips),
+            ("host.mem_bw_mbs", self.host.mem_bw_mbs),
+            ("host.sw_scale", self.host.sw_scale),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!(
+                    "platform '{}': {field} must be positive and finite",
+                    self.slug
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Whether `s` is a valid registry slug (non-empty lower-case
+/// `[a-z0-9-]`). Tool and platform slugs share one scenario/store key
+/// namespace, so both registries validate with this single helper.
+pub fn is_slug(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+}
+
+impl PlatformId {
+    /// SUN SPARCstation ELCs on a shared 10 Mb/s Ethernet LAN.
+    pub const SUN_ETHERNET: PlatformId = PlatformId(0);
+    /// SUN SPARCstation IPXs on an ATM LAN (FORE switch, TAXI interfaces).
+    pub const SUN_ATM_LAN: PlatformId = PlatformId(1);
+    /// SUN SPARCstation IPXs across the NYNET ATM WAN
+    /// (Syracuse University to Rome Laboratory).
+    pub const SUN_ATM_WAN: PlatformId = PlatformId(2);
+    /// DEC Alpha workstations on switched FDDI segments.
+    pub const ALPHA_FDDI: PlatformId = PlatformId(3);
+    /// IBM SP-1, RS/6000 370 nodes on the Allnode crossbar switch.
+    pub const SP1_SWITCH: PlatformId = PlatformId(4);
+    /// IBM SP-1 nodes on the machine's dedicated Ethernet.
+    pub const SP1_ETHERNET: PlatformId = PlatformId(5);
+
+    /// The paper's six testbeds, in presentation order. Unlike
+    /// [`PlatformId::all`], this never includes spec-registered
+    /// platforms — the default campaigns pin exactly these.
+    pub fn builtin() -> [PlatformId; 6] {
         [
-            Platform::SunEthernet,
-            Platform::SunAtmLan,
-            Platform::SunAtmWan,
-            Platform::AlphaFddi,
-            Platform::Sp1Switch,
-            Platform::Sp1Ethernet,
+            PlatformId::SUN_ETHERNET,
+            PlatformId::SUN_ATM_LAN,
+            PlatformId::SUN_ATM_WAN,
+            PlatformId::ALPHA_FDDI,
+            PlatformId::SP1_SWITCH,
+            PlatformId::SP1_ETHERNET,
         ]
     }
 
-    /// Display name matching the paper's terminology.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Platform::SunEthernet => "SUN/Ethernet",
-            Platform::SunAtmLan => "SUN/ATM LAN",
-            Platform::SunAtmWan => "SUN/ATM WAN (NYNET)",
-            Platform::AlphaFddi => "ALPHA/FDDI",
-            Platform::Sp1Switch => "IBM-SP1 (Switch)",
-            Platform::Sp1Ethernet => "IBM-SP1 (Ethernet)",
-        }
+    /// Every registered platform (built-ins plus spec-registered), in
+    /// registration order.
+    pub fn all() -> Vec<PlatformId> {
+        registry::all_platforms()
     }
 
-    /// The interconnect of this platform.
-    pub fn network(&self) -> NetworkKind {
-        match self {
-            Platform::SunEthernet => NetworkKind::Ethernet,
-            Platform::SunAtmLan => NetworkKind::AtmLan,
-            Platform::SunAtmWan => NetworkKind::AtmWan,
-            Platform::AlphaFddi => NetworkKind::Fddi,
-            Platform::Sp1Switch => NetworkKind::Allnode,
-            Platform::Sp1Ethernet => NetworkKind::DedicatedEthernet,
-        }
+    /// Looks a platform up by its stable slug.
+    pub fn by_slug(slug: &str) -> Option<PlatformId> {
+        registry::find_platform(slug)
+    }
+
+    /// The handle's dense registry index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The handle for registry index `i` (crate-internal; issued by the
+    /// registry only).
+    pub(crate) fn from_index(i: usize) -> PlatformId {
+        PlatformId(u16::try_from(i).expect("platform registry overflow"))
+    }
+
+    /// The full spec this handle resolves to.
+    pub fn spec(self) -> Arc<PlatformSpec> {
+        registry::platform_spec(self)
+    }
+
+    /// Display name matching the paper's terminology.
+    pub fn name(self) -> String {
+        self.spec().name.clone()
+    }
+
+    /// Stable lower-case slug used in scenario/store keys.
+    pub fn slug(self) -> String {
+        self.spec().slug.clone()
+    }
+
+    /// The interconnect's calibrated link parameters.
+    pub fn link(self) -> LinkParams {
+        self.spec().link.clone()
     }
 
     /// The host model populating this platform (homogeneous clusters).
-    pub fn host(&self) -> HostSpec {
-        match self {
-            Platform::SunEthernet => HostSpec::sun_elc(),
-            Platform::SunAtmLan | Platform::SunAtmWan => HostSpec::sun_ipx(),
-            Platform::AlphaFddi => HostSpec::alpha_axp(),
-            Platform::Sp1Switch | Platform::Sp1Ethernet => HostSpec::rs6000_370(),
-        }
+    pub fn host(self) -> HostSpec {
+        self.spec().host.clone()
     }
 
-    /// Maximum number of nodes available in the paper's experiments.
-    pub fn max_nodes(&self) -> usize {
-        match self {
-            Platform::SunEthernet => 8,
-            Platform::SunAtmLan => 8,
-            // The NYNET experiments used at most 4 workstations (Figure 7).
-            Platform::SunAtmWan => 4,
-            Platform::AlphaFddi => 8,
-            Platform::Sp1Switch | Platform::Sp1Ethernet => 16,
-        }
+    /// Maximum number of nodes available.
+    pub fn max_nodes(self) -> usize {
+        self.spec().max_nodes
     }
 
     /// Whether the platform crosses a wide-area network.
-    pub fn is_wan(&self) -> bool {
-        matches!(self, Platform::SunAtmWan)
+    pub fn is_wan(self) -> bool {
+        self.spec().wan
     }
 }
 
-impl fmt::Display for Platform {
+impl fmt::Display for PlatformId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
+        f.write_str(&self.spec().name)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::net::NetworkKind;
 
     #[test]
-    fn every_platform_is_consistent() {
-        for p in Platform::all() {
+    fn every_builtin_platform_is_consistent() {
+        for p in Platform::builtin() {
             assert!(p.max_nodes() >= 4, "{p} too small for the benchmarks");
             assert!(!p.name().is_empty());
-            let _ = p.network().params();
-            let _ = p.host();
+            assert!(p.link().bandwidth_mbps > 0.0);
+            assert!(p.host().mflops > 0.0);
+            assert!(p.spec().validate().is_ok());
         }
     }
 
     #[test]
     fn wan_flag() {
-        assert!(Platform::SunAtmWan.is_wan());
-        assert!(!Platform::SunEthernet.is_wan());
+        assert!(Platform::SUN_ATM_WAN.is_wan());
+        assert!(!Platform::SUN_ETHERNET.is_wan());
     }
 
     #[test]
     fn alpha_cluster_uses_alphas_on_fddi() {
-        let p = Platform::AlphaFddi;
-        assert_eq!(p.network(), NetworkKind::Fddi);
+        let p = Platform::ALPHA_FDDI;
+        assert_eq!(p.link(), NetworkKind::Fddi.params());
         assert!(p.host().name.contains("Alpha"));
     }
 
     #[test]
     fn nynet_limited_to_four_nodes() {
-        assert_eq!(Platform::SunAtmWan.max_nodes(), 4);
+        assert_eq!(Platform::SUN_ATM_WAN.max_nodes(), 4);
+    }
+
+    #[test]
+    fn all_contains_the_builtins_in_order() {
+        let all = Platform::all();
+        assert_eq!(&all[..6], &Platform::builtin()[..]);
+    }
+
+    #[test]
+    fn slug_validation() {
+        assert!(is_slug("sun-eth"));
+        assert!(is_slug("x100"));
+        assert!(!is_slug("Sun"));
+        assert!(!is_slug("a b"));
+        assert!(!is_slug(""));
     }
 }

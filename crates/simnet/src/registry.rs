@@ -1,0 +1,126 @@
+//! The process-global platform registry.
+//!
+//! Platforms are *data* ([`PlatformSpec`]), addressed by cheap copyable
+//! [`PlatformId`] handles. The registry seeds itself with the paper's six
+//! built-in testbeds ([`crate::builtin::builtin_platforms`]) on first
+//! use; spec files (or code) register further platforms at run time.
+//! Registration is append-only, so a handle, once issued, resolves for
+//! the lifetime of the process.
+//!
+//! The tool-side registry lives in `pdceval_mpt::registry`, which also
+//! provides the combined `ModelRegistry` facade over both tables.
+
+use crate::platform::{PlatformId, PlatformSpec};
+use std::sync::{Arc, OnceLock, RwLock};
+
+static PLATFORMS: OnceLock<RwLock<Vec<Arc<PlatformSpec>>>> = OnceLock::new();
+
+fn table() -> &'static RwLock<Vec<Arc<PlatformSpec>>> {
+    PLATFORMS.get_or_init(|| {
+        RwLock::new(
+            crate::builtin::builtin_platforms()
+                .into_iter()
+                .map(Arc::new)
+                .collect(),
+        )
+    })
+}
+
+/// Resolves a handle to its spec.
+///
+/// # Panics
+///
+/// Panics if the handle was not issued by this registry (impossible for
+/// handles obtained through [`register_platform`] or the built-in
+/// constants).
+pub fn platform_spec(id: PlatformId) -> Arc<PlatformSpec> {
+    table()
+        .read()
+        .expect("platform registry poisoned")
+        .get(id.index())
+        .cloned()
+        .unwrap_or_else(|| panic!("PlatformId({}) is not registered", id.index()))
+}
+
+/// Registers a platform spec and returns its handle.
+///
+/// Registering a spec whose slug is already taken returns the existing
+/// handle if the specs are identical (idempotent re-registration, e.g. a
+/// spec file loaded twice) and an error if they differ.
+///
+/// # Errors
+///
+/// Returns a description of the conflict or validation failure.
+pub fn register_platform(spec: PlatformSpec) -> Result<PlatformId, String> {
+    spec.validate()?;
+    let mut t = table().write().expect("platform registry poisoned");
+    if let Some((i, existing)) = t.iter().enumerate().find(|(_, p)| p.slug == spec.slug) {
+        return if **existing == spec {
+            Ok(PlatformId::from_index(i))
+        } else {
+            Err(format!(
+                "platform slug '{}' is already registered with a different spec",
+                spec.slug
+            ))
+        };
+    }
+    t.push(Arc::new(spec));
+    Ok(PlatformId::from_index(t.len() - 1))
+}
+
+/// All registered platforms, in registration order (built-ins first).
+pub fn all_platforms() -> Vec<PlatformId> {
+    let n = table().read().expect("platform registry poisoned").len();
+    (0..n).map(PlatformId::from_index).collect()
+}
+
+/// Looks a platform up by its stable slug.
+pub fn find_platform(slug: &str) -> Option<PlatformId> {
+    table()
+        .read()
+        .expect("platform registry poisoned")
+        .iter()
+        .position(|p| p.slug == slug)
+        .map(PlatformId::from_index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostSpec;
+    use crate::net::NetworkKind;
+
+    fn toy(slug: &str, max_nodes: usize) -> PlatformSpec {
+        PlatformSpec {
+            name: format!("Toy {slug}"),
+            slug: slug.to_string(),
+            host: HostSpec::sun_ipx(),
+            link: NetworkKind::Fddi.params(),
+            max_nodes,
+            wan: false,
+        }
+    }
+
+    #[test]
+    fn builtins_resolve_by_slug_and_index() {
+        assert_eq!(find_platform("sun-eth"), Some(PlatformId::SUN_ETHERNET));
+        assert_eq!(find_platform("sp1-eth"), Some(PlatformId::SP1_ETHERNET));
+        assert_eq!(find_platform("no-such-platform"), None);
+        assert_eq!(platform_spec(PlatformId::ALPHA_FDDI).slug, "alpha-fddi");
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_conflict_checked() {
+        let id = register_platform(toy("toy-reg", 8)).unwrap();
+        assert_eq!(register_platform(toy("toy-reg", 8)).unwrap(), id);
+        let err = register_platform(toy("toy-reg", 16)).unwrap_err();
+        assert!(err.contains("different spec"), "{err}");
+        assert_eq!(platform_spec(id).name, "Toy toy-reg");
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let err = register_platform(toy("toy-zero", 0)).unwrap_err();
+        assert!(err.contains("max_nodes"), "{err}");
+    }
+}

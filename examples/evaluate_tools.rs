@@ -15,7 +15,7 @@ use pdc_tool_eval::mpt::ToolKind;
 use pdc_tool_eval::simnet::platform::Platform;
 
 fn main() {
-    let platform = Platform::AlphaFddi;
+    let platform = Platform::ALPHA_FDDI;
     println!("gathering measurements on {platform}...\n");
 
     // One TPL measurement: 16 KB point-to-point latency.

@@ -1,0 +1,37 @@
+//! Regenerates the committed golden stores under `tests/golden/`.
+//!
+//! The golden files pin the default campaigns' series byte-for-byte
+//! across refactors (see `tests/registry_golden.rs`). Run this only when
+//! a model recalibration *intends* to change the numbers:
+//!
+//! ```bash
+//! cargo run --release --example golden_capture
+//! ```
+
+use pdc_tool_eval::campaign::campaigns;
+use pdc_tool_eval::campaign::runner::run_campaign;
+use pdc_tool_eval::campaign::store::{render_jsonl, StoreMeta};
+use pdc_tool_eval::campaign::Scale;
+use std::path::Path;
+
+fn main() {
+    let dir = Path::new("tests/golden");
+    std::fs::create_dir_all(dir).expect("create tests/golden");
+    // Quick scale keeps the application campaigns fast; the TPL campaigns
+    // (tables + figures 2-4) are scale-independent.
+    for c in campaigns::all(Scale::Quick) {
+        let records = run_campaign(&c.scenarios, 1);
+        let text = render_jsonl(&records, &StoreMeta::none());
+        let path = dir.join(format!("{}.jsonl", c.name));
+        std::fs::write(&path, &text).expect("write golden store");
+        println!("{}: {} record(s)", path.display(), records.len());
+        // The CI regression gate diffs against baselines/quick.jsonl;
+        // refreshing it here keeps the golden store and the blessed
+        // baseline from ever drifting apart (one command updates both).
+        if c.name == "quick" {
+            std::fs::create_dir_all("baselines").expect("create baselines");
+            std::fs::write("baselines/quick.jsonl", &text).expect("write baseline");
+            println!("baselines/quick.jsonl: refreshed");
+        }
+    }
+}

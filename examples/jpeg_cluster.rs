@@ -30,12 +30,12 @@ fn main() {
         "Express",
         "p4",
         "PVM",
-        Platform::AlphaFddi
+        Platform::ALPHA_FDDI
     );
     for procs in [1usize, 2, 4, 8] {
         let mut row = format!("{procs:>6}");
-        for tool in [ToolKind::Express, ToolKind::P4, ToolKind::Pvm] {
-            let out = run_workload(&image, &SpmdConfig::new(Platform::AlphaFddi, tool, procs))
+        for tool in [ToolKind::EXPRESS, ToolKind::P4, ToolKind::PVM] {
+            let out = run_workload(&image, &SpmdConfig::new(Platform::ALPHA_FDDI, tool, procs))
                 .expect("run failed");
             // Every tool and processor count must produce the identical
             // compressed stream.

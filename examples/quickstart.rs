@@ -9,7 +9,7 @@ use pdc_tool_eval::mpt::ToolKind;
 use pdc_tool_eval::simnet::platform::Platform;
 
 fn main() {
-    println!("snd/rcv one-way latency on {}:\n", Platform::SunEthernet);
+    println!("snd/rcv one-way latency on {}:\n", Platform::SUN_ETHERNET);
     println!(
         "{:>9}  {:>10} {:>10} {:>10}",
         "size", "Express", "p4", "PVM"
@@ -17,9 +17,9 @@ fn main() {
     let sizes = vec![0u64, 1, 4, 16, 64];
 
     let mut columns = Vec::new();
-    for tool in [ToolKind::Express, ToolKind::P4, ToolKind::Pvm] {
+    for tool in [ToolKind::EXPRESS, ToolKind::P4, ToolKind::PVM] {
         let cfg = SendRecvConfig {
-            platform: Platform::SunEthernet,
+            platform: Platform::SUN_ETHERNET,
             tool,
             sizes_kb: sizes.clone(),
             iters: 1,

@@ -23,7 +23,7 @@ where
 }
 
 fn main() {
-    let cfg = SpmdConfig::new(Platform::AlphaFddi, ToolKind::P4, 4);
+    let cfg = SpmdConfig::new(Platform::ALPHA_FDDI, ToolKind::P4, 4);
     println!(
         "SU PDABS on {} x4 under {} (small workloads):\n",
         cfg.platform, cfg.tool

@@ -18,9 +18,9 @@ fn main() {
     // Raw primitive: 64 KB one-way time, LAN vs WAN.
     println!("p4 snd/rcv, 64 KB one-way:");
     for platform in [
-        Platform::SunEthernet,
-        Platform::SunAtmLan,
-        Platform::SunAtmWan,
+        Platform::SUN_ETHERNET,
+        Platform::SUN_ATM_LAN,
+        Platform::SUN_ATM_WAN,
     ] {
         let pts = send_recv_sweep(&SendRecvConfig {
             platform,
@@ -42,7 +42,7 @@ fn main() {
         AplApp::Sorting,
     ] {
         let mut times = Vec::new();
-        for platform in [Platform::SunEthernet, Platform::SunAtmWan] {
+        for platform in [Platform::SUN_ETHERNET, Platform::SUN_ATM_WAN] {
             let pts = app_sweep(&AplConfig {
                 app,
                 platform,

@@ -29,7 +29,7 @@
 //!
 //! // Time the p4 send/receive primitive on the SUN/Ethernet testbed.
 //! let cfg = SendRecvConfig {
-//!     platform: Platform::SunEthernet,
+//!     platform: Platform::SUN_ETHERNET,
 //!     tool: ToolKind::P4,
 //!     sizes_kb: vec![0, 1, 4],
 //!     iters: 4,

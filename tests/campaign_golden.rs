@@ -122,9 +122,9 @@ fn direct_global_sum(cfg: &GlobalSumConfig) -> Vec<TimingPoint> {
 #[test]
 fn send_recv_series_match_direct_runs() {
     for (platform, tool) in [
-        (Platform::SunEthernet, ToolKind::P4),
-        (Platform::SunAtmLan, ToolKind::Pvm),
-        (Platform::SunAtmWan, ToolKind::P4),
+        (Platform::SUN_ETHERNET, ToolKind::P4),
+        (Platform::SUN_ATM_LAN, ToolKind::PVM),
+        (Platform::SUN_ATM_WAN, ToolKind::P4),
     ] {
         let cfg = SendRecvConfig {
             platform,
@@ -144,7 +144,7 @@ fn send_recv_series_match_direct_runs() {
 fn broadcast_series_match_direct_runs() {
     for tool in ToolKind::all() {
         let cfg = BroadcastConfig {
-            platform: Platform::SunEthernet,
+            platform: Platform::SUN_ETHERNET,
             tool,
             nprocs: 4,
             sizes_kb: vec![0, 8, 64],
@@ -161,7 +161,7 @@ fn broadcast_series_match_direct_runs() {
 fn ring_series_match_direct_runs() {
     for tool in ToolKind::all() {
         let cfg = RingConfig {
-            platform: Platform::SunAtmLan,
+            platform: Platform::SUN_ATM_LAN,
             tool,
             nprocs: 4,
             sizes_kb: vec![1, 16, 64],
@@ -173,9 +173,9 @@ fn ring_series_match_direct_runs() {
 
 #[test]
 fn global_sum_series_match_direct_runs() {
-    for tool in [ToolKind::P4, ToolKind::Express] {
+    for tool in [ToolKind::P4, ToolKind::EXPRESS] {
         let cfg = GlobalSumConfig {
-            platform: Platform::SunEthernet,
+            platform: Platform::SUN_ETHERNET,
             tool,
             nprocs: 4,
             vector_sizes: vec![1_000, 50_000],
@@ -194,8 +194,8 @@ fn app_series_match_direct_workload_runs() {
 
     let cfg = AplConfig {
         app: AplApp::MonteCarlo,
-        platform: Platform::AlphaFddi,
-        tool: ToolKind::Express,
+        platform: Platform::ALPHA_FDDI,
+        tool: ToolKind::EXPRESS,
         procs: vec![1, 2, 4],
         scale: Scale::Quick,
     };
@@ -228,9 +228,9 @@ fn parallel_campaign_stores_are_byte_identical_to_serial() {
         ])
         .tools(ToolKind::all())
         .platforms([
-            Platform::SunEthernet,
-            Platform::SunAtmLan,
-            Platform::SunAtmWan,
+            Platform::SUN_ETHERNET,
+            Platform::SUN_ATM_LAN,
+            Platform::SUN_ATM_WAN,
         ])
         .nprocs([2, 4])
         .sizes([1024, 16 * 1024])

@@ -12,7 +12,7 @@ use pdc_tool_eval::simnet::platform::Platform;
 /// at large messages; Express beats PVM at small messages on ATM.
 #[test]
 fn table3_orderings_hold() {
-    for platform in [Platform::SunEthernet, Platform::SunAtmLan] {
+    for platform in [Platform::SUN_ETHERNET, Platform::SUN_ATM_LAN] {
         let t = |tool, kb| {
             send_recv_sweep(&SendRecvConfig {
                 platform,
@@ -25,8 +25,8 @@ fn table3_orderings_hold() {
         };
         for kb in [0, 16, 64] {
             let p4 = t(ToolKind::P4, kb);
-            let pvm = t(ToolKind::Pvm, kb);
-            let ex = t(ToolKind::Express, kb);
+            let pvm = t(ToolKind::PVM, kb);
+            let ex = t(ToolKind::EXPRESS, kb);
             assert!(
                 p4 < pvm && p4 < ex,
                 "{platform} {kb}KB: p4={p4} pvm={pvm} ex={ex}"
@@ -34,11 +34,11 @@ fn table3_orderings_hold() {
         }
         // Large messages: PVM < Express.
         assert!(
-            t(ToolKind::Pvm, 64) < t(ToolKind::Express, 64),
+            t(ToolKind::PVM, 64) < t(ToolKind::EXPRESS, 64),
             "{platform}"
         );
         // Small messages: Express < PVM (the paper's crossover).
-        assert!(t(ToolKind::Express, 0) < t(ToolKind::Pvm, 0), "{platform}");
+        assert!(t(ToolKind::EXPRESS, 0) < t(ToolKind::PVM, 0), "{platform}");
     }
 }
 
@@ -56,9 +56,9 @@ fn wan_is_comparable_to_lan() {
         .unwrap()[0]
             .millis
     };
-    let lan = t(Platform::SunAtmLan);
-    let wan = t(Platform::SunAtmWan);
-    let eth = t(Platform::SunEthernet);
+    let lan = t(Platform::SUN_ATM_LAN);
+    let wan = t(Platform::SUN_ATM_WAN);
+    let eth = t(Platform::SUN_ETHERNET);
     assert!(wan > lan, "propagation must cost something");
     assert!(wan < lan * 1.25, "wan {wan} too far from lan {lan}");
     assert!(wan < eth / 3.0, "ATM WAN should crush shared Ethernet");
@@ -71,7 +71,7 @@ fn figure5_winners_match_paper() {
     let time = |app, tool| {
         app_sweep(&AplConfig {
             app,
-            platform: Platform::AlphaFddi,
+            platform: Platform::ALPHA_FDDI,
             tool,
             procs: vec![8],
             scale: Scale::Paper,
@@ -82,8 +82,8 @@ fn figure5_winners_match_paper() {
     for (app, winner) in [
         (AplApp::Jpeg, ToolKind::P4),
         (AplApp::Fft, ToolKind::P4),
-        (AplApp::Sorting, ToolKind::Pvm),
-        (AplApp::MonteCarlo, ToolKind::Express),
+        (AplApp::Sorting, ToolKind::PVM),
+        (AplApp::MonteCarlo, ToolKind::EXPRESS),
     ] {
         let times: Vec<(ToolKind, f64)> = ToolKind::all()
             .into_iter()
@@ -112,7 +112,7 @@ fn sp1_is_slower_than_alpha_cluster() {
         .unwrap()[0]
             .seconds
     };
-    assert!(time(Platform::Sp1Switch) > 1.5 * time(Platform::AlphaFddi));
+    assert!(time(Platform::SP1_SWITCH) > 1.5 * time(Platform::ALPHA_FDDI));
 }
 
 /// Express cannot run the NYNET experiments (Table 3 / Figure 7).
@@ -120,8 +120,8 @@ fn sp1_is_slower_than_alpha_cluster() {
 fn express_absent_from_wan_experiments() {
     let cfg = AplConfig {
         app: AplApp::Jpeg,
-        platform: Platform::SunAtmWan,
-        tool: ToolKind::Express,
+        platform: Platform::SUN_ATM_WAN,
+        tool: ToolKind::EXPRESS,
         procs: vec![2],
         scale: Scale::Quick,
     };
@@ -153,7 +153,7 @@ fn performance_user_evaluation_prefers_p4() {
         let mut times = Vec::new();
         for tool in ToolKind::all() {
             let pts = send_recv_sweep(&SendRecvConfig {
-                platform: Platform::SunAtmLan,
+                platform: Platform::SUN_ATM_LAN,
                 tool,
                 sizes_kb: vec![kb],
                 iters: 1,
@@ -168,7 +168,7 @@ fn performance_user_evaluation_prefers_p4() {
         for tool in ToolKind::all() {
             let pts = app_sweep(&AplConfig {
                 app,
-                platform: Platform::AlphaFddi,
+                platform: Platform::ALPHA_FDDI,
                 tool,
                 procs: vec![4],
                 scale: Scale::Quick,

@@ -93,9 +93,9 @@ proptest! {
         t3 in 0.001f64..1000.0,
     ) {
         let m = Measurement::new("m", vec![
-            (ToolKind::Express, Some(t1)),
+            (ToolKind::EXPRESS, Some(t1)),
             (ToolKind::P4, Some(t2)),
-            (ToolKind::Pvm, Some(t3)),
+            (ToolKind::PVM, Some(t3)),
         ]);
         let scores: Vec<f64> = ToolKind::all().iter().map(|&t| m.relative_score(t)).collect();
         for s in &scores {
@@ -128,7 +128,7 @@ proptest! {
         let w = PsrsSort { keys: 600, seed };
         let expect = w.sequential();
         let tool = ToolKind::all()[tool_idx];
-        let out = run_workload(&w, &SpmdConfig::new(Platform::SunAtmLan, tool, procs)).unwrap();
+        let out = run_workload(&w, &SpmdConfig::new(Platform::SUN_ATM_LAN, tool, procs)).unwrap();
         prop_assert_eq!(out.results[0], expect);
     }
 
@@ -141,7 +141,7 @@ proptest! {
         let tool = ToolKind::all()[tool_idx];
         let sent = Bytes::from(payload.clone());
         let expect = payload;
-        let out = run_spmd(&SpmdConfig::new(Platform::SunEthernet, tool, 2), move |node| {
+        let out = run_spmd(&SpmdConfig::new(Platform::SUN_ETHERNET, tool, 2), move |node| {
             if node.rank() == 0 {
                 node.send(1, 5, sent.clone()).unwrap();
                 Vec::new()

@@ -1,0 +1,118 @@
+//! Golden tests for the registry refactor: the paper's default campaigns
+//! (tables + figures series) must render **byte-identical** JSONL stores
+//! to the committed pre-refactor captures under `tests/golden/`.
+//!
+//! The captures were produced by `examples/golden_capture.rs` on the
+//! enum-based modeling layer, immediately before `ToolKind`/`Platform`
+//! became registry handles; these tests therefore pin the refactor (and
+//! any future registry growth) to exact numeric and textual equality.
+//! If a *deliberate* model recalibration changes the numbers, regenerate
+//! the captures with `cargo run --release --example golden_capture`.
+
+use pdc_tool_eval::campaign::campaigns;
+use pdc_tool_eval::campaign::runner::run_campaign;
+use pdc_tool_eval::campaign::store::{render_jsonl, StoreMeta};
+use pdc_tool_eval::campaign::Scale;
+use std::path::Path;
+
+fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn assert_campaign_matches_golden(name: &str) {
+    let campaign =
+        campaigns::by_name(name, Scale::Quick).unwrap_or_else(|| panic!("unknown campaign {name}"));
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.jsonl"));
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", golden_path.display()));
+    let fresh = render_jsonl(
+        &run_campaign(&campaign.scenarios, workers()),
+        &StoreMeta::none(),
+    );
+    assert!(
+        fresh == golden,
+        "campaign '{name}' drifted from its pre-refactor golden store \
+         ({} fresh vs {} golden lines); first differing line: {:?}",
+        fresh.lines().count(),
+        golden.lines().count(),
+        fresh
+            .lines()
+            .zip(golden.lines())
+            .find(|(f, g)| f != g)
+            .map(|(f, g)| format!("fresh: {f}\ngolden: {g}")),
+    );
+}
+
+#[test]
+fn table3_series_are_byte_identical() {
+    assert_campaign_matches_golden("table3-sendrecv");
+}
+
+#[test]
+fn figure2_broadcast_series_are_byte_identical() {
+    assert_campaign_matches_golden("fig2-broadcast");
+}
+
+#[test]
+fn figure3_ring_series_are_byte_identical() {
+    assert_campaign_matches_golden("fig3-ring");
+}
+
+#[test]
+fn figure4_globalsum_series_are_byte_identical() {
+    assert_campaign_matches_golden("fig4-globalsum");
+}
+
+#[test]
+fn figure5_app_series_are_byte_identical() {
+    assert_campaign_matches_golden("fig5-apps-alpha");
+}
+
+#[test]
+fn figure6_app_series_are_byte_identical() {
+    assert_campaign_matches_golden("fig6-apps-sp1");
+}
+
+#[test]
+fn figure7_app_series_are_byte_identical() {
+    assert_campaign_matches_golden("fig7-apps-nynet");
+}
+
+#[test]
+fn figure8_app_series_are_byte_identical() {
+    assert_campaign_matches_golden("fig8-apps-ethernet");
+}
+
+#[test]
+fn quick_campaign_is_byte_identical() {
+    assert_campaign_matches_golden("quick");
+}
+
+/// The default campaigns must pin the built-in models: registering extra
+/// specs (as `--spec` does) must not change a single declared scenario.
+#[test]
+fn default_campaigns_are_immune_to_registry_growth() {
+    use pdc_tool_eval::mpt::ModelRegistry;
+
+    let before: Vec<Vec<String>> = campaigns::all(Scale::Quick)
+        .iter()
+        .map(|c| c.scenarios.iter().map(|s| s.key()).collect())
+        .collect();
+
+    let spec_text =
+        std::fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/modern.spec"))
+            .expect("demo spec readable");
+    ModelRegistry::global()
+        .load_spec_text(&spec_text)
+        .expect("demo spec loads");
+
+    let after: Vec<Vec<String>> = campaigns::all(Scale::Quick)
+        .iter()
+        .map(|c| c.scenarios.iter().map(|s| s.key()).collect())
+        .collect();
+    assert_eq!(before, after, "a default campaign absorbed registry growth");
+}

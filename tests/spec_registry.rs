@@ -1,0 +1,192 @@
+//! Integration tests for the data-driven model registry and the `.spec`
+//! file pipeline: built-in specs round-trip through the format, bad
+//! files are rejected with usable diagnostics, and the bundled
+//! demonstration spec (`examples/modern.spec`) runs end-to-end — a
+//! fourth tool and a seventh platform with zero Rust changes.
+
+use pdc_tool_eval::campaign::campaigns::spec_smoke;
+use pdc_tool_eval::campaign::runner::{run_campaign, RecordStatus};
+use pdc_tool_eval::campaign::store::{parse_jsonl, render_jsonl, StoreMeta};
+use pdc_tool_eval::campaign::Scale;
+use pdc_tool_eval::core::adl::{assessment, Criterion, Support};
+use pdc_tool_eval::mpt::spec::{parse_spec, render_spec, SpecFile};
+use pdc_tool_eval::mpt::{ModelRegistry, Primitive, ToolKind};
+use pdc_tool_eval::simnet::platform::Platform;
+use std::path::Path;
+use std::sync::OnceLock;
+
+fn demo_spec_text() -> String {
+    std::fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/modern.spec"))
+        .expect("examples/modern.spec readable")
+}
+
+/// Loads the demo spec exactly once per test process (the registry is
+/// process-global and loading is idempotent anyway).
+fn demo_ids() -> &'static (Vec<ToolKind>, Vec<Platform>) {
+    static LOADED: OnceLock<(Vec<ToolKind>, Vec<Platform>)> = OnceLock::new();
+    LOADED.get_or_init(|| {
+        let loaded = ModelRegistry::global()
+            .load_spec_text(&demo_spec_text())
+            .expect("demo spec loads");
+        (loaded.tools, loaded.platforms)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Round-trips
+// ---------------------------------------------------------------------------
+
+#[test]
+fn builtin_specs_round_trip_through_the_spec_format() {
+    let registry = ModelRegistry::global();
+    let file = SpecFile {
+        tools: ToolKind::builtin()
+            .into_iter()
+            .map(|t| (*t.spec()).clone())
+            .collect(),
+        platforms: Platform::builtin()
+            .into_iter()
+            .map(|p| (*p.spec()).clone())
+            .collect(),
+    };
+    let rendered = render_spec(&file);
+    let reparsed = parse_spec(&rendered).expect("rendered builtins re-parse");
+    assert_eq!(file, reparsed);
+
+    // Re-registering the parsed built-ins is idempotent: the registry
+    // hands back the original built-in ids, not duplicates.
+    let loaded = registry
+        .load_spec_text(&rendered)
+        .expect("rendered builtins re-register");
+    assert_eq!(loaded.tools, ToolKind::builtin().to_vec());
+    assert_eq!(loaded.platforms, Platform::builtin().to_vec());
+}
+
+#[test]
+fn demo_spec_round_trips_and_is_idempotent() {
+    let file = parse_spec(&demo_spec_text()).expect("demo spec parses");
+    assert_eq!(file.tools.len(), 1);
+    assert_eq!(file.platforms.len(), 1);
+    let reparsed = parse_spec(&render_spec(&file)).expect("re-parse");
+    assert_eq!(file, reparsed);
+
+    let (tools_a, platforms_a) = demo_ids().clone();
+    let loaded_again = ModelRegistry::global()
+        .load_spec_text(&demo_spec_text())
+        .expect("second load");
+    assert_eq!(loaded_again.tools, tools_a);
+    assert_eq!(loaded_again.platforms, platforms_a);
+}
+
+// ---------------------------------------------------------------------------
+// Rejection diagnostics
+// ---------------------------------------------------------------------------
+
+#[test]
+fn malformed_specs_fail_with_line_diagnostics() {
+    let registry = ModelRegistry::global();
+    // Garbage line.
+    let err = registry
+        .load_spec_text("[tool bad]\nname Toy\n")
+        .unwrap_err();
+    assert!(err.contains("line 2"), "{err}");
+    // Incomplete tool.
+    let err = registry
+        .load_spec_text("[tool bad]\nname = Toy\n")
+        .unwrap_err();
+    assert!(err.contains("missing required key"), "{err}");
+    // Conflicting re-registration of a built-in slug.
+    let mut hijack = render_spec(&SpecFile {
+        tools: vec![(*ToolKind::P4.spec()).clone()],
+        platforms: vec![],
+    });
+    hijack = hijack.replace("profile.send_alpha_us = 1000", "profile.send_alpha_us = 1");
+    let err = registry.load_spec_text(&hijack).unwrap_err();
+    assert!(err.contains("already registered"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the demo spec's tool and platform actually run.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn demo_spec_models_run_end_to_end() {
+    let (tools, platforms) = demo_ids();
+    let mpl = tools[0];
+    let modern = platforms[0];
+    assert_eq!(mpl.slug(), "mpl");
+    assert_eq!(modern.slug(), "modern100");
+    assert_eq!(modern.max_nodes(), 100);
+    assert!(mpl.supports_global_ops());
+    assert_eq!(
+        mpl.primitive_name(Primitive::GlobalSum).as_deref(),
+        Some("mpl_combine")
+    );
+
+    // The same campaign `pdceval run --spec examples/modern.spec` runs.
+    let campaign = spec_smoke(tools, platforms, Scale::Quick);
+    assert!(
+        campaign.scenarios.iter().any(|s| s.tool == mpl),
+        "spec tool missing from the smoke grid"
+    );
+    assert!(
+        campaign.scenarios.iter().all(|s| s.platform == modern),
+        "smoke grid must sweep the spec platform"
+    );
+    let records = run_campaign(&campaign.scenarios, 4);
+    assert_eq!(records.len(), campaign.scenarios.len());
+    for r in &records {
+        assert_eq!(
+            r.status,
+            RecordStatus::Ok,
+            "{}: {:?}",
+            r.scenario.key(),
+            r.detail
+        );
+    }
+
+    // Store keys carry the spec slugs and the store round-trips.
+    let text = render_jsonl(&records, &StoreMeta::none());
+    assert!(text.contains("/mpl/modern100/"));
+    let parsed = parse_jsonl(&text).expect("store parses");
+    assert_eq!(parsed.len(), records.len());
+
+    // Determinism holds for spec models exactly as for built-ins.
+    let again = run_campaign(&campaign.scenarios, 1);
+    assert_eq!(render_jsonl(&again, &StoreMeta::none()), text);
+}
+
+#[test]
+fn spec_tools_participate_in_the_adl_assessment() {
+    let (tools, _) = demo_ids();
+    let a = assessment(tools[0]);
+    assert_eq!(a.len(), Criterion::all().len());
+    // From examples/modern.spec: debugging is WS, portability is PS.
+    assert_eq!(a[3], (Criterion::DebuggingSupport, Support::Well));
+    assert_eq!(a[8], (Criterion::Portability, Support::Partial));
+}
+
+#[test]
+fn spec_tool_is_rankable_against_builtins() {
+    use pdc_tool_eval::campaign::exec::Executor;
+    use pdc_tool_eval::campaign::{Kernel, Scenario};
+
+    let (tools, platforms) = demo_ids();
+    let mut exec = Executor::new();
+    let mut time = |tool| {
+        exec.run(&Scenario {
+            kernel: Kernel::SendRecv { iters: 1 },
+            tool,
+            platform: platforms[0],
+            nprocs: 2,
+            size: 16 * 1024,
+            reps: 1,
+        })
+        .expect("run")
+        .value()
+        .expect("timed")
+    };
+    // MPL's profile is thinner than PVM's daemon route everywhere, so on
+    // its own platform it must beat PVM at 16 KB.
+    assert!(time(tools[0]) < time(ToolKind::PVM));
+}

@@ -11,7 +11,7 @@ use pdc_tool_eval::simnet::error::SimError;
 use pdc_tool_eval::simnet::platform::Platform;
 
 fn cfg(tool: ToolKind, n: usize) -> SpmdConfig {
-    SpmdConfig::new(Platform::SunAtmLan, tool, n)
+    SpmdConfig::new(Platform::SUN_ATM_LAN, tool, n)
 }
 
 /// Messages between one (src, dst) pair are delivered in send order for
@@ -68,7 +68,7 @@ fn broadcast_from_every_root() {
 /// count evenly, for both supporting tools and odd process counts.
 #[test]
 fn global_sum_awkward_shapes() {
-    for tool in [ToolKind::P4, ToolKind::Express] {
+    for tool in [ToolKind::P4, ToolKind::EXPRESS] {
         for nprocs in [2usize, 3, 5] {
             let out = run_spmd(&cfg(tool, nprocs), move |node| {
                 let mine: Vec<i32> = (0..7).map(|i| (node.rank() * 10 + i) as i32).collect();
@@ -192,7 +192,7 @@ fn time_is_monotone_per_rank() {
 #[test]
 fn fragmentation_boundary_sizes() {
     for tool in ToolKind::all() {
-        for platform in [Platform::SunEthernet, Platform::SunAtmLan] {
+        for platform in [Platform::SUN_ETHERNET, Platform::SUN_ATM_LAN] {
             for size in [1459usize, 1460, 1461, 4095, 4096, 4097, 9179, 9180, 9181] {
                 let payload: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
                 let expect = payload.clone();
