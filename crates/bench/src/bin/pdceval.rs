@@ -8,6 +8,8 @@
 //!             [--baseline PATH] [--threshold PCT] [--spec FILE]
 //! pdceval diff BASELINE NEW [--threshold PCT]
 //! pdceval bless STORE [--baseline PATH]
+//! pdceval validate FILE.spec
+//! pdceval snapshot OUT.spec [--spec FILE]
 //! ```
 //!
 //! `run` executes the named campaign (default: `quick`) across a worker
@@ -26,6 +28,13 @@
 //! `bless` promotes a results store to the committed baseline
 //! (default `baselines/quick.jsonl`), refusing stores with error
 //! records; CI diffs every PR's fresh quick campaign against it.
+//!
+//! `validate` parses and validates a spec file — including resolved
+//! topologies (rank placement per group, link classes) — and prints the
+//! result without registering or running anything. `snapshot`
+//! serializes the whole live registry (built-ins plus anything loaded
+//! with `--spec`) back into one spec file for reproducible sharing of a
+//! custom scenario set.
 
 use pdceval_campaign::campaigns;
 use pdceval_campaign::campaigns::Campaign;
@@ -42,7 +51,8 @@ fn usage() -> ExitCode {
         "usage:\n  pdceval list [--quick] [--spec FILE]\n  pdceval run [--campaign NAME] \
          [--quick] [--workers N] [--out PATH] [--baseline PATH] [--threshold PCT] \
          [--spec FILE]\n  pdceval diff BASELINE NEW [--threshold PCT]\n  \
-         pdceval bless STORE [--baseline PATH]"
+         pdceval bless STORE [--baseline PATH]\n  pdceval validate FILE.spec\n  \
+         pdceval snapshot OUT.spec [--spec FILE]"
     );
     ExitCode::FAILURE
 }
@@ -161,11 +171,15 @@ fn load_spec(args: &Args) -> Result<Option<LoadedSpecs>, ExitCode> {
 }
 
 /// The campaigns visible to `list`/`run`: the declared defaults plus,
-/// when specs are loaded, the synthesized `spec-smoke` campaign.
+/// when specs are loaded, the synthesized `spec-smoke` campaign — and
+/// `hetero-smoke` when any loaded platform is heterogeneous.
 fn visible_campaigns(s: Scale, loaded: &Option<LoadedSpecs>) -> Vec<Campaign> {
     let mut out = campaigns::all(s);
     if let Some(loaded) = loaded {
         out.push(campaigns::spec_smoke(&loaded.tools, &loaded.platforms, s));
+        if loaded.platforms.iter().any(|p| p.is_heterogeneous()) {
+            out.push(campaigns::hetero_smoke(&loaded.platforms, s));
+        }
     }
     out
 }
@@ -317,6 +331,157 @@ fn cmd_diff(args: &Args) -> ExitCode {
     }
 }
 
+/// Prints one resolved tool spec.
+fn print_tool(t: &pdceval_mpt::spec::ToolSpec) {
+    use pdceval_mpt::spec::PortPolicy;
+    println!("tool {}: {}", t.slug, t.name);
+    let prims: Vec<String> = pdceval_mpt::Primitive::all()
+        .into_iter()
+        .map(|p| {
+            format!(
+                "{}={}",
+                p.name(),
+                t.primitives[p.spec_index()].as_deref().unwrap_or("n/a")
+            )
+        })
+        .collect();
+    println!("  primitives: {}", prims.join(", "));
+    let ports = match &t.ports {
+        PortPolicy::All { wan: true } => "all platforms".to_string(),
+        PortPolicy::All { wan: false } => "all platforms except WANs".to_string(),
+        PortPolicy::Allow(slugs) => format!("only [{}]", slugs.join(", ")),
+        PortPolicy::Deny(slugs) => format!("all except [{}]", slugs.join(", ")),
+    };
+    println!("  ports: {ports}");
+}
+
+/// Prints one resolved platform spec, including its topology: per-group
+/// rank ranges, host models and link classes.
+fn print_platform(p: &pdceval_simnet::platform::PlatformSpec) {
+    println!(
+        "platform {}: {} ({} node(s){})",
+        p.slug,
+        p.name,
+        p.max_nodes,
+        if p.wan { ", wan" } else { "" }
+    );
+    let mut start = 0;
+    for g in &p.topology.groups {
+        println!(
+            "  group {}: ranks {}..{} — {} — link {} ({} Mb/s, {}, mtu {})",
+            g.name,
+            start,
+            start + g.count,
+            g.host,
+            g.link.name,
+            g.link.bandwidth_mbps,
+            if g.link.shared_medium {
+                "shared"
+            } else {
+                "switched"
+            },
+            g.link.mtu
+        );
+        start += g.count;
+    }
+    if let Some(inter) = &p.topology.inter {
+        println!(
+            "  inter-group link: {} ({} Mb/s, {} us, mtu {})",
+            inter.name,
+            inter.bandwidth_mbps,
+            inter.latency.as_micros_f64(),
+            inter.mtu
+        );
+    }
+}
+
+/// `pdceval validate FILE.spec`: parse + validate + print the resolved
+/// specs (including resolved topologies) without registering or running
+/// anything.
+fn cmd_validate(args: &Args) -> ExitCode {
+    let [path] = args.positional.as_slice() else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read spec file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let file = match pdceval_mpt::spec::parse_spec(&text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for t in &file.tools {
+        print_tool(t);
+    }
+    for p in &file.platforms {
+        print_platform(p);
+    }
+    // Port lists name platform slugs by string; a typo would silently
+    // disable the tool everywhere, so cross-check against the file's
+    // own platforms and everything already registered.
+    let known: std::collections::HashSet<String> = file
+        .platforms
+        .iter()
+        .map(|p| p.slug.clone())
+        .chain(
+            ModelRegistry::global()
+                .platforms()
+                .into_iter()
+                .map(|p| p.slug()),
+        )
+        .collect();
+    for t in &file.tools {
+        use pdceval_mpt::spec::PortPolicy;
+        let (key, slugs) = match &t.ports {
+            PortPolicy::Allow(s) => ("ports.allow", s),
+            PortPolicy::Deny(s) => ("ports.deny", s),
+            PortPolicy::All { .. } => continue,
+        };
+        for slug in slugs.iter().filter(|s| !known.contains(*s)) {
+            eprintln!(
+                "warning: tool '{}': {key} names '{slug}', which matches no platform in \
+                 this file or the registry",
+                t.slug
+            );
+        }
+    }
+    eprintln!(
+        "{path}: OK ({} tool(s), {} platform(s))",
+        file.tools.len(),
+        file.platforms.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `pdceval snapshot OUT.spec [--spec FILE]`: serialize the whole live
+/// registry — built-ins plus anything loaded — back to one spec file.
+fn cmd_snapshot(args: &Args) -> ExitCode {
+    let [out_path] = args.positional.as_slice() else {
+        return usage();
+    };
+    if load_spec(args).is_err() {
+        return ExitCode::FAILURE;
+    }
+    let file = ModelRegistry::global().snapshot();
+    let text = pdceval_mpt::spec::render_spec(&file);
+    if let Err(e) = std::fs::write(out_path, &text) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "snapshot: {} tool(s), {} platform(s) -> {out_path}",
+        file.tools.len(),
+        file.platforms.len()
+    );
+    ExitCode::SUCCESS
+}
+
 /// Default location of the committed regression baseline.
 const DEFAULT_BASELINE: &str = "baselines/quick.jsonl";
 
@@ -383,6 +548,8 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args),
         "diff" => cmd_diff(&args),
         "bless" => cmd_bless(&args),
+        "validate" => cmd_validate(&args),
+        "snapshot" => cmd_snapshot(&args),
         _ => usage(),
     }
 }

@@ -258,6 +258,72 @@ pub fn spec_smoke(
     }
 }
 
+/// A smoke campaign over *heterogeneous* platforms: every TPL kernel
+/// plus one application point on each multi-group platform among
+/// `loaded_platforms`, at node counts chosen to exercise the topology —
+/// runs confined to the first group, runs that just fill it, and runs
+/// that spill across the inter-group link. This is how a mixed cluster
+/// defined purely as spec data (e.g. `examples/mixed.spec`) runs
+/// end-to-end; scenario keys carry each platform's topology slug.
+pub fn hetero_smoke(loaded_platforms: &[Platform], scale: Scale) -> Campaign {
+    let platforms: Vec<Platform> = loaded_platforms
+        .iter()
+        .copied()
+        .filter(|p| p.is_heterogeneous())
+        .collect();
+    // Node counts that probe group boundaries, per platform: the grid's
+    // validity filter drops counts over a platform's limit.
+    let mut nprocs: Vec<usize> = vec![2, 4];
+    for p in &platforms {
+        let spec = p.spec();
+        let boundary = spec.topology.primary().count;
+        nprocs.push(boundary); // fills the first group exactly
+        nprocs.push((boundary + 4).min(spec.max_nodes)); // spills across groups
+    }
+    nprocs.sort_unstable();
+    nprocs.dedup();
+    let mut scenarios = ScenarioGrid::new()
+        .kernels([Kernel::SendRecv { iters: 1 }])
+        .tools(ToolKind::builtin())
+        .platforms(platforms.clone())
+        .nprocs(nprocs.clone())
+        .sizes([16 * 1024])
+        .reps(2)
+        .scenarios();
+    scenarios.extend(
+        ScenarioGrid::new()
+            .kernels([
+                Kernel::Broadcast,
+                Kernel::Ring { shifts: 1 },
+                Kernel::GlobalSum,
+            ])
+            .tools(ToolKind::builtin())
+            .platforms(platforms.clone())
+            .nprocs(nprocs.clone())
+            .sizes([10_000])
+            .reps(2)
+            .scenarios(),
+    );
+    scenarios.extend(
+        ScenarioGrid::new()
+            .kernels([Kernel::App {
+                app: AplApp::MonteCarlo,
+                scale,
+            }])
+            .tools(ToolKind::builtin())
+            .platforms(platforms)
+            .nprocs(nprocs)
+            .sizes([0])
+            .reps(2)
+            .scenarios(),
+    );
+    Campaign {
+        name: "hetero-smoke",
+        title: "Hetero smoke: all kernels across spec-loaded heterogeneous topologies".to_string(),
+        scenarios,
+    }
+}
+
 /// Looks a campaign up by CLI name.
 pub fn by_name(name: &str, scale: Scale) -> Option<Campaign> {
     all(scale).into_iter().find(|c| c.name == name)
@@ -295,6 +361,55 @@ mod tests {
         assert_eq!(tools.len(), 3);
         assert_eq!(platforms.len(), 3);
         assert!(c.scenarios.len() < 80, "quick must stay quick");
+    }
+
+    #[test]
+    fn hetero_smoke_sweeps_only_multi_group_platforms() {
+        use pdceval_simnet::host::HostSpec;
+        use pdceval_simnet::net::NetworkKind;
+        use pdceval_simnet::platform::PlatformSpec;
+        use pdceval_simnet::topology::{HostGroup, Topology};
+
+        let hetero = pdceval_simnet::registry::register_platform(PlatformSpec {
+            name: "Hetero Smoke Mix".to_string(),
+            slug: "hetero-smoke-mix".to_string(),
+            topology: Topology {
+                groups: vec![
+                    HostGroup {
+                        name: "a".to_string(),
+                        host: HostSpec::alpha_axp(),
+                        count: 4,
+                        link: NetworkKind::Fddi.params(),
+                    },
+                    HostGroup {
+                        name: "b".to_string(),
+                        host: HostSpec::sun_ipx(),
+                        count: 8,
+                        link: NetworkKind::AtmLan.params(),
+                    },
+                ],
+                inter: Some(NetworkKind::AtmWan.params()),
+            },
+            max_nodes: 12,
+            wan: false,
+        })
+        .unwrap();
+        let homo = Platform::SUN_ETHERNET;
+
+        let c = hetero_smoke(&[homo, hetero], Scale::Quick);
+        assert!(!c.scenarios.is_empty());
+        assert!(
+            c.scenarios.iter().all(|s| s.platform == hetero),
+            "homogeneous platforms must be filtered out"
+        );
+        // Node counts probe the group boundary: confined (4), exact
+        // fill, and spilling (8) runs all appear.
+        let nprocs: std::collections::HashSet<_> = c.scenarios.iter().map(|s| s.nprocs).collect();
+        assert!(nprocs.contains(&4) && nprocs.contains(&8), "{nprocs:?}");
+        for s in &c.scenarios {
+            assert!(s.is_valid(), "{} invalid", s.key());
+            assert!(s.key().contains("/4a-8b/"), "{}", s.key());
+        }
     }
 
     #[test]

@@ -180,15 +180,23 @@ impl Scenario {
     /// The stable identity of this point: equal scenarios (ignoring
     /// `reps`) render equal keys, which is what baseline comparison
     /// matches on.
+    ///
+    /// Heterogeneous platforms contribute an extra topology segment
+    /// (their group mix, e.g. `8fast-24slow`) right after the platform
+    /// slug, so two registered mixes of the same hosts never collide and
+    /// a remixed platform reads as a new key. Homogeneous keys — all
+    /// built-ins — are exactly what they always were.
     pub fn key(&self) -> String {
-        format!(
-            "{}/{}/{}/n{}/s{}",
-            self.kernel.slug(),
-            tool_slug(self.tool),
-            platform_slug(self.platform),
-            self.nprocs,
-            self.size
-        )
+        let kernel = self.kernel.slug();
+        let tool = tool_slug(self.tool);
+        let platform = platform_slug(self.platform);
+        match self.platform.spec().topology.hetero_slug() {
+            None => format!("{kernel}/{tool}/{platform}/n{}/s{}", self.nprocs, self.size),
+            Some(topo) => format!(
+                "{kernel}/{tool}/{platform}/{topo}/n{}/s{}",
+                self.nprocs, self.size
+            ),
+        }
     }
 
     /// Checks this scenario against platform node limits and tool ports,
@@ -327,6 +335,41 @@ mod tests {
             2
         )
         .is_valid());
+    }
+
+    #[test]
+    fn heterogeneous_platforms_key_their_topology() {
+        use pdceval_simnet::host::HostSpec;
+        use pdceval_simnet::net::NetworkKind;
+        use pdceval_simnet::platform::PlatformSpec;
+        use pdceval_simnet::topology::{HostGroup, Topology};
+
+        let spec = PlatformSpec {
+            name: "Key Test Mix".to_string(),
+            slug: "key-test-mix".to_string(),
+            topology: Topology {
+                groups: vec![
+                    HostGroup {
+                        name: "fast".to_string(),
+                        host: HostSpec::alpha_axp(),
+                        count: 2,
+                        link: NetworkKind::Fddi.params(),
+                    },
+                    HostGroup {
+                        name: "slow".to_string(),
+                        host: HostSpec::sun_elc(),
+                        count: 6,
+                        link: NetworkKind::Ethernet.params(),
+                    },
+                ],
+                inter: Some(NetworkKind::AtmWan.params()),
+            },
+            max_nodes: 8,
+            wan: true,
+        };
+        let platform = pdceval_simnet::registry::register_platform(spec).unwrap();
+        let key = sc(Kernel::Broadcast, ToolKind::P4, platform, 4).key();
+        assert_eq!(key, "broadcast/p4/key-test-mix/2fast-6slow/n4/s1024");
     }
 
     #[test]

@@ -36,7 +36,7 @@
 
 use crate::profile::{BcastAlgo, ReduceAlgo, ToolProfile};
 use crate::spec::Support::{NotSupported, Partial, Well};
-use crate::spec::ToolSpec;
+use crate::spec::{PortPolicy, ToolSpec};
 
 fn names(xs: [&str; 5]) -> [Option<String>; 5] {
     xs.map(|n| (n != "none").then(|| n.to_string()))
@@ -76,7 +76,7 @@ fn express() -> ToolSpec {
         primitives: names(["exsend", "exreceive", "exbroadcast", "excombine", "exsync"]),
         direct_profile: profile.clone(),
         profile,
-        wan_port: false,
+        ports: PortPolicy::All { wan: false },
         adl: [
             Well,
             Well,
@@ -126,7 +126,7 @@ fn p4() -> ToolSpec {
         ]),
         direct_profile: profile.clone(),
         profile,
-        wan_port: true,
+        ports: PortPolicy::All { wan: true },
         adl: [
             Well, Well, Partial, Partial, Partial, Partial, Partial, Partial, Well,
         ],
@@ -179,7 +179,7 @@ fn pvm() -> ToolSpec {
         primitives: names(["pvm_send", "pvm_recv", "pvm_mcast", "none", "pvm_barrier"]),
         profile,
         direct_profile,
-        wan_port: true,
+        ports: PortPolicy::All { wan: true },
         adl: [
             Well,
             Well,
@@ -237,7 +237,9 @@ mod tests {
         assert!(tools[0].profile.reduce.is_some()); // Express
         assert!(tools[1].profile.reduce.is_some()); // p4
         assert!(tools[2].profile.reduce.is_none()); // PVM
-        assert!(!tools[0].wan_port);
-        assert!(tools[1].wan_port && tools[2].wan_port);
+        assert!(!tools[0].ports.supports("sun-atm-wan", true));
+        assert!(tools[0].ports.supports("sun-eth", false));
+        assert!(tools[1].ports.supports("sun-atm-wan", true));
+        assert!(tools[2].ports.supports("sun-atm-wan", true));
     }
 }

@@ -210,9 +210,11 @@ impl<'a> Node<'a> {
     }
 
     /// Splits a wire payload at the effective fragmentation granularity:
-    /// the smaller of the network MTU and the tool's own fragment size.
-    fn fragment_sizes(&self, wire_bytes: u64) -> Vec<u64> {
-        let net_mtu = self.shared.fabric.params().mtu;
+    /// the smaller of the endpoint pair's link-class MTU and the tool's
+    /// own fragment size (heterogeneous topologies fragment differently
+    /// per link class; homogeneous ones have a single class).
+    fn fragment_sizes(&self, wire_bytes: u64, src: usize, dst: usize) -> Vec<u64> {
+        let net_mtu = self.shared.fabric.link_class(src, dst).mtu;
         let eff = match self.profile.max_fragment_bytes {
             Some(tool_frag) => net_mtu.min(tool_frag),
             None => net_mtu,
@@ -258,7 +260,7 @@ impl<'a> Node<'a> {
         let dst_host = dst;
         let len = data.len() as u64;
         let wire_bytes = len + self.profile.header_bytes;
-        let frags = self.fragment_sizes(wire_bytes);
+        let frags = self.fragment_sizes(wire_bytes, src_host, dst_host);
 
         // Synchronous pre-send costs (Express buffer copy + segmentation,
         // PVM pack), paid on the send resource together with the fixed cost.

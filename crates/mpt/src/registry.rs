@@ -155,6 +155,25 @@ impl ModelRegistry {
         platform_registry::find_platform(slug)
     }
 
+    /// Serializes the whole registry — every tool and platform, built-in
+    /// or spec-loaded — into one [`SpecFile`]. Rendering it with
+    /// `spec::render_spec` and reloading via [`Self::load_spec_text`] is
+    /// idempotent; this is the `pdceval snapshot` payload.
+    pub fn snapshot(&self) -> SpecFile {
+        SpecFile {
+            tools: self
+                .tools()
+                .into_iter()
+                .map(|t| (*t.spec()).clone())
+                .collect(),
+            platforms: self
+                .platforms()
+                .into_iter()
+                .map(|p| (*p.spec()).clone())
+                .collect(),
+        }
+    }
+
     /// Parses spec-file text and registers everything it declares.
     /// Idempotent: loading the same file twice returns the same handles.
     ///

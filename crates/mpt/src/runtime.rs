@@ -163,8 +163,13 @@ impl SpmdHarness {
         validate_size(platform, nprocs)?;
         let spec = platform.spec();
         let mut sim = Simulation::new();
-        let fabric = Fabric::build(&mut sim, spec.link.clone(), nprocs);
-        let hosts: Vec<_> = (0..nprocs).map(|_| spec.host.clone()).collect();
+        let fabric = Fabric::build(&mut sim, &spec.topology, nprocs);
+        // Deterministic placement: rank r lands on the host model of the
+        // topology group covering index r (groups fill in declaration
+        // order), so skewed host groups show up as per-rank speeds.
+        let hosts: Vec<_> = (0..nprocs)
+            .map(|r| spec.topology.host_for_rank(r).clone())
+            .collect();
         let stack_tx = (0..nprocs)
             .map(|i| sim.add_resource_indexed("stack-tx", i))
             .collect();

@@ -27,10 +27,44 @@
 //! ...
 //! ```
 //!
+//! Heterogeneous platforms declare a **topology**: the platform section
+//! names its host groups in placement order, each group is its own
+//! `[group <platform> <name>]` section (a rank count plus `host.*` and
+//! intra-group `link.*` models), and a `[link <platform>]` section
+//! carries the inter-group link class:
+//!
+//! ```text
+//! [platform mixed]
+//! name = Mixed cluster
+//! max_nodes = 32
+//! topology = fast slow
+//!
+//! [group mixed fast]
+//! count = 8
+//! host.name = Fast node
+//! ...
+//! link.name = Rack fabric
+//! ...
+//!
+//! [group mixed slow]
+//! count = 24
+//! ...
+//!
+//! [link mixed]
+//! name = Site WAN
+//! bandwidth_mbps = 30
+//! ...
+//! ```
+//!
+//! The homogeneous shorthand (`host.*`/`link.*` directly in the platform
+//! section) stays valid — every pre-topology spec file parses unchanged
+//! into a single-group topology.
+//!
 //! [`parse_spec`] reads any number of `[tool <slug>]` / `[platform
-//! <slug>]` sections; [`render_spec`] writes them back, and the two
-//! round-trip exactly ([`parse_spec`] ∘ [`render_spec`] is the
-//! identity on valid specs). Diagnostics carry 1-based line numbers.
+//! <slug>]` sections (plus their `[group]`/`[link]` stanzas);
+//! [`render_spec`] writes them back, and the two round-trip exactly
+//! ([`parse_spec`] ∘ [`render_spec`] is the identity on valid specs).
+//! Diagnostics carry 1-based line numbers.
 
 use crate::profile::{BcastAlgo, ReduceAlgo, ToolProfile};
 use crate::tool::Primitive;
@@ -38,6 +72,7 @@ use pdceval_simnet::host::HostSpec;
 use pdceval_simnet::net::LinkParams;
 use pdceval_simnet::platform::{is_slug, PlatformSpec};
 use pdceval_simnet::time::SimDuration;
+use pdceval_simnet::topology::{HostGroup, Topology};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
@@ -92,6 +127,72 @@ impl fmt::Display for Support {
 /// Number of ADL criteria rated per tool (see `pdceval_core::adl`).
 pub const ADL_CRITERIA: usize = 9;
 
+/// Which platforms a tool has ports for.
+///
+/// The paper's only port gap is Express's missing NYNET WAN port, which
+/// the legacy `wan_port` flag modelled; real tool/platform matrices are
+/// finer, so ports can also be an explicit per-platform allow or deny
+/// list of registry slugs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PortPolicy {
+    /// Ports for every platform. With `wan = false`, WAN platforms are
+    /// excluded — the legacy `wan_port = false` behaviour.
+    All {
+        /// Whether WAN-crossing platforms are included.
+        wan: bool,
+    },
+    /// Ports only for the named platform slugs.
+    Allow(Vec<String>),
+    /// Ports for every platform except the named slugs.
+    Deny(Vec<String>),
+}
+
+impl Default for PortPolicy {
+    /// The old default: ported everywhere, WANs included.
+    fn default() -> PortPolicy {
+        PortPolicy::All { wan: true }
+    }
+}
+
+impl PortPolicy {
+    /// Whether a platform with this `slug` and `wan` flag is ported.
+    pub fn supports(&self, slug: &str, wan: bool) -> bool {
+        match self {
+            PortPolicy::All { wan: with_wan } => *with_wan || !wan,
+            PortPolicy::Allow(slugs) => slugs.iter().any(|s| s == slug),
+            PortPolicy::Deny(slugs) => !slugs.iter().any(|s| s == slug),
+        }
+    }
+
+    /// Checks the policy's slug lists; `tool` names the owner in
+    /// diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self, tool: &str) -> Result<(), String> {
+        let (key, slugs) = match self {
+            PortPolicy::All { .. } => return Ok(()),
+            PortPolicy::Allow(slugs) => ("ports.allow", slugs),
+            PortPolicy::Deny(slugs) => ("ports.deny", slugs),
+        };
+        if slugs.is_empty() {
+            return Err(format!(
+                "tool '{tool}': {key} must name at least one platform (use wan_port for \
+                 all-platform policies)"
+            ));
+        }
+        for s in slugs {
+            if !is_slug(s) {
+                return Err(format!(
+                    "tool '{tool}': {key} entry '{s}' must be lower-case [a-z0-9-]"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The complete data model of one message-passing tool.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ToolSpec {
@@ -107,8 +208,8 @@ pub struct ToolSpec {
     /// The cost model after `advise_direct_route` (tuned task-to-task
     /// routing); equals `profile` for tools without such a mode.
     pub direct_profile: ToolProfile,
-    /// Whether the tool had ports for WAN platforms (Express did not).
-    pub wan_port: bool,
+    /// Which platforms the tool has ports for (Express had no WAN port).
+    pub ports: PortPolicy,
     /// ADL usability ratings in `Criterion` order (paper §3.3.1).
     pub adl: [Support; ADL_CRITERIA],
     /// Supported programming models (paper §2.3).
@@ -150,6 +251,7 @@ impl ToolSpec {
                 self.slug
             ));
         }
+        self.ports.validate(&self.slug)?;
         self.check_profile("profile", &self.profile)?;
         self.check_profile("direct", &self.direct_profile)?;
         Ok(())
@@ -270,6 +372,8 @@ type Entries = Vec<(usize, String, String)>;
 struct Section {
     kind: SectionKind,
     slug: String,
+    /// The group name of a `[group <platform> <name>]` section.
+    sub: Option<String>,
     header_line: usize,
     entries: Entries,
 }
@@ -278,6 +382,11 @@ struct Section {
 enum SectionKind {
     Tool,
     Platform,
+    /// One host group of a platform's topology:
+    /// `[group <platform> <name>]`.
+    Group,
+    /// A platform's inter-group link class: `[link <platform>]`.
+    Link,
 }
 
 /// Parses a `.spec` file.
@@ -301,11 +410,14 @@ pub fn parse_spec(text: &str) -> Result<SpecFile, SpecError> {
             let kind = match parts.next() {
                 Some("tool") => SectionKind::Tool,
                 Some("platform") => SectionKind::Platform,
+                Some("group") => SectionKind::Group,
+                Some("link") => SectionKind::Link,
                 other => {
                     return Err(SpecError::at(
                         lineno,
                         format!(
-                            "unknown section '{}' (expected 'tool' or 'platform')",
+                            "unknown section '{}' (expected 'tool', 'platform', 'group' or \
+                             'link')",
                             other.unwrap_or("")
                         ),
                     ))
@@ -317,18 +429,37 @@ pub fn parse_spec(text: &str) -> Result<SpecFile, SpecError> {
                     "section header needs a slug, e.g. [tool mytool]",
                 ));
             };
-            if parts.next().is_some() {
-                return Err(SpecError::at(lineno, "trailing tokens in section header"));
-            }
             if !is_slug(slug) {
                 return Err(SpecError::at(
                     lineno,
                     format!("slug '{slug}' must be lower-case [a-z0-9-]"),
                 ));
             }
+            let sub = if kind == SectionKind::Group {
+                let Some(name) = parts.next() else {
+                    return Err(SpecError::at(
+                        lineno,
+                        "group header needs a platform slug and a group name, e.g. \
+                         [group mycluster fast]",
+                    ));
+                };
+                if !is_slug(name) {
+                    return Err(SpecError::at(
+                        lineno,
+                        format!("group name '{name}' must be lower-case [a-z0-9-]"),
+                    ));
+                }
+                Some(name.to_string())
+            } else {
+                None
+            };
+            if parts.next().is_some() {
+                return Err(SpecError::at(lineno, "trailing tokens in section header"));
+            }
             sections.push(Section {
                 kind,
                 slug: slug.to_string(),
+                sub,
                 header_line: lineno,
                 entries: Vec::new(),
             });
@@ -355,11 +486,58 @@ pub fn parse_spec(text: &str) -> Result<SpecFile, SpecError> {
             .push((lineno, key, value.trim().to_string()));
     }
 
-    let mut file = SpecFile::default();
-    for s in sections {
+    // Index group/link sections by the platform slug they attach to.
+    let mut groups: BTreeMap<&str, Vec<&Section>> = BTreeMap::new();
+    let mut inter_links: BTreeMap<&str, &Section> = BTreeMap::new();
+    for s in &sections {
         match s.kind {
-            SectionKind::Tool => file.tools.push(build_tool(&s)?),
-            SectionKind::Platform => file.platforms.push(build_platform(&s)?),
+            SectionKind::Group => {
+                let name = s.sub.as_deref().expect("group sections carry a name");
+                let list = groups.entry(s.slug.as_str()).or_default();
+                if list.iter().any(|g| g.sub.as_deref() == Some(name)) {
+                    return Err(SpecError::at(
+                        s.header_line,
+                        format!("duplicate [group {} {name}] section", s.slug),
+                    ));
+                }
+                list.push(s);
+            }
+            SectionKind::Link => {
+                if inter_links.insert(s.slug.as_str(), s).is_some() {
+                    return Err(SpecError::at(
+                        s.header_line,
+                        format!("duplicate [link {}] section", s.slug),
+                    ));
+                }
+            }
+            SectionKind::Tool | SectionKind::Platform => {}
+        }
+    }
+
+    let mut file = SpecFile::default();
+    for s in &sections {
+        match s.kind {
+            SectionKind::Tool => file.tools.push(build_tool(s)?),
+            SectionKind::Platform => file
+                .platforms
+                .push(build_platform(s, &groups, &inter_links)?),
+            SectionKind::Group | SectionKind::Link => {}
+        }
+    }
+
+    // Group/link sections must attach to a platform declared in this
+    // file (the platform builder consumed and cross-checked them above).
+    for s in &sections {
+        if matches!(s.kind, SectionKind::Group | SectionKind::Link)
+            && !file.platforms.iter().any(|p| p.slug == s.slug)
+        {
+            return Err(SpecError::at(
+                s.header_line,
+                format!(
+                    "section refers to platform '{}', which this file does not declare",
+                    s.slug
+                ),
+            ));
         }
     }
     Ok(file)
@@ -555,9 +733,38 @@ fn build_tool(s: &Section) -> Result<ToolSpec, SpecError> {
         })?;
     }
 
-    let wan_port = match f.take("wan_port") {
-        Some((line, v)) => parse_bool(line, "wan_port", v)?,
-        None => true,
+    // Platform ports: the legacy all-platform `wan_port` flag, or an
+    // explicit allow/deny list of platform slugs. At most one of the
+    // three may appear; none means the old default (ported everywhere).
+    let wan_port = f.take("wan_port");
+    let allow = f.take("ports.allow");
+    let deny = f.take("ports.deny");
+    let port_keys = usize::from(wan_port.is_some())
+        + usize::from(allow.is_some())
+        + usize::from(deny.is_some());
+    if port_keys > 1 {
+        let line = [
+            wan_port.as_ref().map(|(l, _)| *l),
+            allow.as_ref().map(|(l, _)| *l),
+            deny.as_ref().map(|(l, _)| *l),
+        ]
+        .into_iter()
+        .flatten()
+        .max()
+        .expect("at least two port keys present");
+        return Err(SpecError::at(
+            line,
+            "wan_port, ports.allow and ports.deny are mutually exclusive",
+        ));
+    }
+    let slugs = |v: &str| -> Vec<String> { v.split_whitespace().map(str::to_string).collect() };
+    let ports = match (wan_port, allow, deny) {
+        (Some((line, v)), _, _) => PortPolicy::All {
+            wan: parse_bool(line, "wan_port", v)?,
+        },
+        (_, Some((_, v)), _) => PortPolicy::Allow(slugs(v)),
+        (_, _, Some((_, v))) => PortPolicy::Deny(slugs(v)),
+        _ => PortPolicy::default(),
     };
     let programming_models = match f.take("programming_models") {
         Some((_, v)) => v.split(',').map(|m| m.trim().to_string()).collect(),
@@ -637,7 +844,7 @@ fn build_tool(s: &Section) -> Result<ToolSpec, SpecError> {
         primitives,
         profile,
         direct_profile,
-        wan_port,
+        ports,
         adl,
         programming_models,
     };
@@ -646,16 +853,8 @@ fn build_tool(s: &Section) -> Result<ToolSpec, SpecError> {
     Ok(spec)
 }
 
-fn build_platform(s: &Section) -> Result<PlatformSpec, SpecError> {
-    let mut f = Fields::new(s);
-    let name = f.required("name")?.1.to_string();
-    let (line, v) = f.required("max_nodes")?;
-    let max_nodes = parse_usize(line, "max_nodes", v)?;
-    let wan = match f.take("wan") {
-        Some((line, v)) => parse_bool(line, "wan", v)?,
-        None => false,
-    };
-
+/// The `host.*` fields of a platform or group section.
+fn take_host(f: &mut Fields<'_>) -> Result<HostSpec, SpecError> {
     let host_name = f.required("host.name")?.1.to_string();
     let mut host_nums = [0.0f64; 4];
     for (i, field) in ["mflops", "mips", "mem_bw_mbs", "sw_scale"]
@@ -669,28 +868,196 @@ fn build_platform(s: &Section) -> Result<PlatformSpec, SpecError> {
             return Err(SpecError::at(line, format!("'{key}' must be positive")));
         }
     }
-    let host = HostSpec {
+    Ok(HostSpec {
         name: host_name,
         mflops: host_nums[0],
         mips: host_nums[1],
         mem_bw_mbs: host_nums[2],
         sw_scale: host_nums[3],
-    };
+    })
+}
 
-    let link_name = f.required("link.name")?.1.to_string();
-    let (line, v) = f.required("link.bandwidth_mbps")?;
-    let bandwidth_mbps = parse_f64(line, "link.bandwidth_mbps", v)?;
-    let (line, v) = f.required("link.latency_us")?;
-    let latency = SimDuration::from_micros_f64(parse_f64(line, "link.latency_us", v)?);
-    let (line, v) = f.required("link.mtu")?;
-    let mtu = parse_usize(line, "link.mtu", v)?;
-    let per_packet = match f.take("link.per_packet_us") {
-        Some((line, v)) => SimDuration::from_micros_f64(parse_f64(line, "link.per_packet_us", v)?),
+/// The link fields of a platform/group section (`prefix` = `"link."`) or
+/// of an inter-group `[link ...]` section (`prefix` = `""`).
+fn take_link(f: &mut Fields<'_>, prefix: &str) -> Result<LinkParams, SpecError> {
+    let key = |field: &str| format!("{prefix}{field}");
+    let link_name = f.required(&key("name"))?.1.to_string();
+    let k = key("bandwidth_mbps");
+    let (line, v) = f.required(&k)?;
+    let bandwidth_mbps = parse_f64(line, &k, v)?;
+    let k = key("latency_us");
+    let (line, v) = f.required(&k)?;
+    let latency = SimDuration::from_micros_f64(parse_f64(line, &k, v)?);
+    let k = key("mtu");
+    let (line, v) = f.required(&k)?;
+    let mtu = parse_usize(line, &k, v)?;
+    let k = key("per_packet_us");
+    let per_packet = match f.take(&k) {
+        Some((line, v)) => SimDuration::from_micros_f64(parse_f64(line, &k, v)?),
         None => SimDuration::ZERO,
     };
-    let shared_medium = match f.take("link.shared_medium") {
-        Some((line, v)) => parse_bool(line, "link.shared_medium", v)?,
+    let k = key("shared_medium");
+    let shared_medium = match f.take(&k) {
+        Some((line, v)) => parse_bool(line, &k, v)?,
         None => false,
+    };
+    Ok(LinkParams {
+        name: link_name,
+        bandwidth_mbps,
+        latency,
+        mtu,
+        per_packet,
+        shared_medium,
+    })
+}
+
+/// One `[group <platform> <name>]` section: a rank count plus host and
+/// intra-group link models.
+fn build_group(s: &Section) -> Result<HostGroup, SpecError> {
+    let mut f = Fields::new(s);
+    let (line, v) = f.required("count")?;
+    let count = parse_usize(line, "count", v)?;
+    let host = take_host(&mut f)?;
+    let link = take_link(&mut f, "link.")?;
+    f.finish()?;
+    Ok(HostGroup {
+        name: s.sub.clone().expect("group sections carry a name"),
+        host,
+        count,
+        link,
+    })
+}
+
+/// One `[link <platform>]` section: the inter-group link class, with
+/// bare (unprefixed) link keys.
+fn build_inter_link(s: &Section) -> Result<LinkParams, SpecError> {
+    let mut f = Fields::new(s);
+    let link = take_link(&mut f, "")?;
+    f.finish()?;
+    Ok(link)
+}
+
+fn build_platform(
+    s: &Section,
+    groups: &BTreeMap<&str, Vec<&Section>>,
+    inter_links: &BTreeMap<&str, &Section>,
+) -> Result<PlatformSpec, SpecError> {
+    let mut f = Fields::new(s);
+    let name = f.required("name")?.1.to_string();
+    let (line, v) = f.required("max_nodes")?;
+    let max_nodes = parse_usize(line, "max_nodes", v)?;
+    let wan = match f.take("wan") {
+        Some((line, v)) => parse_bool(line, "wan", v)?,
+        None => false,
+    };
+
+    let own_groups: &[&Section] = groups.get(s.slug.as_str()).map_or(&[], Vec::as_slice);
+    let own_inter = inter_links.get(s.slug.as_str()).copied();
+
+    // Either an explicit topology (the `topology` key naming `[group]`
+    // sections in placement order, plus a `[link]` section for the
+    // inter-group class), or the homogeneous shorthand (`host.*` and
+    // `link.*` keys directly in this section — every pre-topology spec
+    // file parses unchanged).
+    let topology = match f.take("topology") {
+        Some((topo_line, v)) => {
+            let names: Vec<&str> = v.split_whitespace().collect();
+            if names.is_empty() {
+                return Err(SpecError::at(
+                    topo_line,
+                    "'topology' must name at least one group",
+                ));
+            }
+            for (i, n) in names.iter().enumerate() {
+                if names[..i].contains(n) {
+                    return Err(SpecError::at(
+                        topo_line,
+                        format!("'topology' names group '{n}' twice"),
+                    ));
+                }
+            }
+            let mut built = Vec::with_capacity(names.len());
+            for gname in &names {
+                let Some(gs) = own_groups.iter().find(|g| g.sub.as_deref() == Some(*gname)) else {
+                    return Err(SpecError::at(
+                        topo_line,
+                        format!(
+                            "topology names group '{gname}' but there is no \
+                             [group {} {gname}] section",
+                            s.slug
+                        ),
+                    ));
+                };
+                built.push(build_group(gs)?);
+            }
+            if let Some(stray) = own_groups
+                .iter()
+                .find(|g| !names.contains(&g.sub.as_deref().expect("group name")))
+            {
+                return Err(SpecError::at(
+                    stray.header_line,
+                    format!(
+                        "group '{}' is not named in platform '{}'s topology",
+                        stray.sub.as_deref().expect("group name"),
+                        s.slug
+                    ),
+                ));
+            }
+            let inter = if names.len() > 1 {
+                let Some(ls) = own_inter else {
+                    return Err(SpecError::at(
+                        topo_line,
+                        format!(
+                            "platform '{}' has {} groups but no [link {}] section for the \
+                             inter-group link",
+                            s.slug,
+                            names.len(),
+                            s.slug
+                        ),
+                    ));
+                };
+                Some(build_inter_link(ls)?)
+            } else {
+                if let Some(ls) = own_inter {
+                    return Err(SpecError::at(
+                        ls.header_line,
+                        format!(
+                            "platform '{}' has a single group and needs no inter-group \
+                             [link] section",
+                            s.slug
+                        ),
+                    ));
+                }
+                None
+            };
+            Topology {
+                groups: built,
+                inter,
+            }
+        }
+        None => {
+            if let Some(g) = own_groups.first() {
+                return Err(SpecError::at(
+                    g.header_line,
+                    format!(
+                        "platform '{}' has [group] sections but no 'topology' key",
+                        s.slug
+                    ),
+                ));
+            }
+            if let Some(ls) = own_inter {
+                return Err(SpecError::at(
+                    ls.header_line,
+                    format!(
+                        "platform '{}' has a [link] section but no 'topology' key",
+                        s.slug
+                    ),
+                ));
+            }
+            let host = take_host(&mut f)?;
+            let link = take_link(&mut f, "link.")?;
+            Topology::homogeneous(host, link, max_nodes)
+        }
     };
 
     let header_line = f.header_line;
@@ -698,15 +1065,7 @@ fn build_platform(s: &Section) -> Result<PlatformSpec, SpecError> {
     let spec = PlatformSpec {
         name,
         slug: s.slug.clone(),
-        host,
-        link: LinkParams {
-            name: link_name,
-            bandwidth_mbps,
-            latency,
-            mtu,
-            per_packet,
-            shared_medium,
-        },
+        topology,
         max_nodes,
         wan,
     };
@@ -813,7 +1172,17 @@ pub fn render_tool(spec: &ToolSpec) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "[tool {}]", spec.slug);
     let _ = writeln!(out, "name = {}", spec.name);
-    let _ = writeln!(out, "wan_port = {}", spec.wan_port);
+    match &spec.ports {
+        PortPolicy::All { wan } => {
+            let _ = writeln!(out, "wan_port = {wan}");
+        }
+        PortPolicy::Allow(slugs) => {
+            let _ = writeln!(out, "ports.allow = {}", slugs.join(" "));
+        }
+        PortPolicy::Deny(slugs) => {
+            let _ = writeln!(out, "ports.deny = {}", slugs.join(" "));
+        }
+    }
     let _ = writeln!(
         out,
         "programming_models = {}",
@@ -839,32 +1208,61 @@ pub fn render_tool(spec: &ToolSpec) -> String {
     out
 }
 
-/// Renders one platform spec as a `[platform ...]` section.
+fn render_host(out: &mut String, host: &HostSpec) {
+    let _ = writeln!(out, "host.name = {}", host.name);
+    let _ = writeln!(out, "host.mflops = {}", host.mflops);
+    let _ = writeln!(out, "host.mips = {}", host.mips);
+    let _ = writeln!(out, "host.mem_bw_mbs = {}", host.mem_bw_mbs);
+    let _ = writeln!(out, "host.sw_scale = {}", host.sw_scale);
+}
+
+fn render_link(out: &mut String, prefix: &str, link: &LinkParams) {
+    let _ = writeln!(out, "{prefix}name = {}", link.name);
+    let _ = writeln!(out, "{prefix}bandwidth_mbps = {}", link.bandwidth_mbps);
+    let _ = writeln!(out, "{prefix}latency_us = {}", link.latency.as_micros_f64());
+    let _ = writeln!(out, "{prefix}mtu = {}", link.mtu);
+    let _ = writeln!(
+        out,
+        "{prefix}per_packet_us = {}",
+        link.per_packet.as_micros_f64()
+    );
+    let _ = writeln!(out, "{prefix}shared_medium = {}", link.shared_medium);
+}
+
+/// Renders one platform spec: a `[platform ...]` section, plus `[group]`
+/// and `[link]` sections for heterogeneous topologies. Homogeneous
+/// platforms render in the legacy shorthand, byte-identical to the
+/// pre-topology format.
 pub fn render_platform(spec: &PlatformSpec) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "[platform {}]", spec.slug);
     let _ = writeln!(out, "name = {}", spec.name);
     let _ = writeln!(out, "max_nodes = {}", spec.max_nodes);
     let _ = writeln!(out, "wan = {}", spec.wan);
-    let _ = writeln!(out, "host.name = {}", spec.host.name);
-    let _ = writeln!(out, "host.mflops = {}", spec.host.mflops);
-    let _ = writeln!(out, "host.mips = {}", spec.host.mips);
-    let _ = writeln!(out, "host.mem_bw_mbs = {}", spec.host.mem_bw_mbs);
-    let _ = writeln!(out, "host.sw_scale = {}", spec.host.sw_scale);
-    let _ = writeln!(out, "link.name = {}", spec.link.name);
-    let _ = writeln!(out, "link.bandwidth_mbps = {}", spec.link.bandwidth_mbps);
-    let _ = writeln!(
-        out,
-        "link.latency_us = {}",
-        spec.link.latency.as_micros_f64()
-    );
-    let _ = writeln!(out, "link.mtu = {}", spec.link.mtu);
-    let _ = writeln!(
-        out,
-        "link.per_packet_us = {}",
-        spec.link.per_packet.as_micros_f64()
-    );
-    let _ = writeln!(out, "link.shared_medium = {}", spec.link.shared_medium);
+    if spec.topology.is_homogeneous_shorthand() {
+        render_host(&mut out, &spec.topology.primary().host);
+        render_link(&mut out, "link.", &spec.topology.primary().link);
+        return out;
+    }
+    let names: Vec<&str> = spec
+        .topology
+        .groups
+        .iter()
+        .map(|g| g.name.as_str())
+        .collect();
+    let _ = writeln!(out, "topology = {}", names.join(" "));
+    for g in &spec.topology.groups {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "[group {} {}]", spec.slug, g.name);
+        let _ = writeln!(out, "count = {}", g.count);
+        render_host(&mut out, &g.host);
+        render_link(&mut out, "link.", &g.link);
+    }
+    if let Some(inter) = &spec.topology.inter {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "[link {}]", spec.slug);
+        render_link(&mut out, "", inter);
+    }
     out
 }
 
@@ -911,7 +1309,7 @@ mod tests {
         assert_eq!(file.tools.len(), 1);
         let t = &file.tools[0];
         assert_eq!(t.slug, "toy");
-        assert!(t.wan_port);
+        assert_eq!(t.ports, PortPolicy::All { wan: true });
         assert!(!t.profile.daemon_routed);
         assert_eq!(t.profile.max_fragment_bytes, None);
         assert_eq!(t.direct_profile, t.profile);
@@ -1024,10 +1422,171 @@ mod tests {
         let p = &file.platforms[0];
         assert_eq!(p.max_nodes, 32);
         assert!(!p.wan);
-        assert_eq!(p.link.latency.as_micros_f64(), 12.5);
-        assert_eq!(p.link.per_packet, SimDuration::ZERO);
+        assert_eq!(p.link().latency.as_micros_f64(), 12.5);
+        assert_eq!(p.link().per_packet, SimDuration::ZERO);
+        assert!(p.topology.is_homogeneous_shorthand());
+        assert_eq!(p.topology.primary().count, 32);
         let reparsed = parse_spec(&render_spec(&file)).unwrap();
         assert_eq!(file, reparsed);
+    }
+
+    fn mixed_platform_text() -> String {
+        "[platform mixed]\n\
+         name = Mixed Cluster\n\
+         max_nodes = 12\n\
+         wan = true\n\
+         topology = fast slow\n\
+         \n\
+         [group mixed fast]\n\
+         count = 4\n\
+         host.name = Fast Node\n\
+         host.mflops = 50\n\
+         host.mips = 250\n\
+         host.mem_bw_mbs = 200\n\
+         host.sw_scale = 0.2\n\
+         link.name = Rack\n\
+         link.bandwidth_mbps = 80\n\
+         link.latency_us = 50\n\
+         link.mtu = 1460\n\
+         \n\
+         [group mixed slow]\n\
+         count = 8\n\
+         host.name = Slow Node\n\
+         host.mflops = 5\n\
+         host.mips = 30\n\
+         host.mem_bw_mbs = 25\n\
+         host.sw_scale = 1.1\n\
+         link.name = Floor Ethernet\n\
+         link.bandwidth_mbps = 3.2\n\
+         link.latency_us = 150\n\
+         link.mtu = 1460\n\
+         link.shared_medium = true\n\
+         \n\
+         [link mixed]\n\
+         name = Site WAN\n\
+         bandwidth_mbps = 30\n\
+         latency_us = 2000\n\
+         mtu = 1460\n"
+            .to_string()
+    }
+
+    #[test]
+    fn heterogeneous_platform_parses_and_round_trips() {
+        let file = parse_spec(&mixed_platform_text()).unwrap();
+        assert_eq!(file.platforms.len(), 1);
+        let p = &file.platforms[0];
+        assert_eq!(p.slug, "mixed");
+        assert!(p.topology.is_heterogeneous());
+        assert_eq!(p.topology.hetero_slug().as_deref(), Some("4fast-8slow"));
+        assert_eq!(p.topology.groups[0].name, "fast");
+        assert_eq!(p.topology.groups[1].count, 8);
+        assert!(p.topology.groups[1].link.shared_medium);
+        assert_eq!(p.topology.inter.as_ref().unwrap().name, "Site WAN");
+        assert_eq!(p.topology.host_for_rank(3).name, "Fast Node");
+        assert_eq!(p.topology.host_for_rank(4).name, "Slow Node");
+        assert_eq!(p.topology.link_class(0, 5).name, "Site WAN");
+
+        let rendered = render_spec(&file);
+        let reparsed = parse_spec(&rendered).unwrap();
+        assert_eq!(file, reparsed);
+    }
+
+    #[test]
+    fn group_sections_can_precede_their_platform() {
+        // Section order is free: group/link stanzas attach by slug.
+        let text = mixed_platform_text();
+        let platform_end = text.find("\n\n").unwrap() + 2;
+        let reordered = format!("{}{}", &text[platform_end..], &text[..platform_end]);
+        assert_eq!(parse_spec(&reordered).unwrap(), parse_spec(&text).unwrap());
+    }
+
+    #[test]
+    fn topology_diagnostics_cover_the_failure_modes() {
+        // A topology naming a group with no section.
+        let text = mixed_platform_text().replace("topology = fast slow", "topology = fast turbo");
+        let err = parse_spec(&text).unwrap_err();
+        assert!(err.message.contains("turbo"), "{err}");
+        // The stray 'slow' group section is then also unreferenced, but
+        // the missing group is reported first.
+        assert!(err.message.contains("no [group"), "{err}");
+
+        // A group section the topology does not name.
+        let text = mixed_platform_text().replace("topology = fast slow", "topology = fast");
+        let err = parse_spec(&text).unwrap_err();
+        assert!(err.message.contains("not named"), "{err}");
+
+        // A multi-group topology without an inter-group [link] section.
+        let text = mixed_platform_text().replace("[link mixed]", "[link other]");
+        let err = parse_spec(&text).unwrap_err();
+        assert!(err.message.contains("inter-group"), "{err}");
+
+        // Group sections without a topology key.
+        let text = mixed_platform_text().replace("topology = fast slow\n", "");
+        let err = parse_spec(&text).unwrap_err();
+        assert!(err.message.contains("no 'topology' key"), "{err}");
+
+        // Duplicate group sections.
+        let text = mixed_platform_text().replace("[group mixed slow]", "[group mixed fast]");
+        let err = parse_spec(&text).unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+
+        // Counts must sum to max_nodes.
+        let text = mixed_platform_text().replace("max_nodes = 12", "max_nodes = 16");
+        let err = parse_spec(&text).unwrap_err();
+        assert!(err.message.contains("sum to"), "{err}");
+
+        // Orphan group section (platform not in this file).
+        let err = parse_spec(
+            "[group ghost fast]\ncount = 2\nhost.name = X\nhost.mflops = 1\nhost.mips = 1\n\
+             host.mem_bw_mbs = 1\nhost.sw_scale = 1\nlink.name = L\nlink.bandwidth_mbps = 1\n\
+             link.latency_us = 1\nlink.mtu = 100\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("does not declare"), "{err}");
+
+        // Group headers need both a platform slug and a group name.
+        let err = parse_spec("[group solo]\n").unwrap_err();
+        assert!(err.message.contains("group name"), "{err}");
+    }
+
+    #[test]
+    fn port_lists_parse_and_round_trip() {
+        let allow = minimal_tool_text()
+            .replace("name = Toy", "name = Toy\nports.allow = sun-eth alpha-fddi");
+        let file = parse_spec(&allow).unwrap();
+        let t = &file.tools[0];
+        assert_eq!(
+            t.ports,
+            PortPolicy::Allow(vec!["sun-eth".to_string(), "alpha-fddi".to_string()])
+        );
+        assert!(t.ports.supports("sun-eth", false));
+        assert!(!t.ports.supports("sp1-switch", false));
+        let reparsed = parse_spec(&render_spec(&file)).unwrap();
+        assert_eq!(file, reparsed);
+
+        let deny =
+            minimal_tool_text().replace("name = Toy", "name = Toy\nports.deny = sun-atm-wan");
+        let file = parse_spec(&deny).unwrap();
+        let t = &file.tools[0];
+        assert_eq!(t.ports, PortPolicy::Deny(vec!["sun-atm-wan".to_string()]));
+        assert!(t.ports.supports("sun-eth", false));
+        assert!(!t.ports.supports("sun-atm-wan", true));
+        let reparsed = parse_spec(&render_spec(&file)).unwrap();
+        assert_eq!(file, reparsed);
+    }
+
+    #[test]
+    fn port_keys_are_mutually_exclusive_and_validated() {
+        let both = minimal_tool_text().replace(
+            "name = Toy",
+            "name = Toy\nwan_port = true\nports.allow = sun-eth",
+        );
+        let err = parse_spec(&both).unwrap_err();
+        assert!(err.message.contains("mutually exclusive"), "{err}");
+
+        let bad = minimal_tool_text().replace("name = Toy", "name = Toy\nports.allow = Sun!");
+        let err = parse_spec(&bad).unwrap_err();
+        assert!(err.message.contains("lower-case"), "{err}");
     }
 
     #[test]

@@ -97,11 +97,14 @@ impl ToolId {
         self.spec().supports_global_ops()
     }
 
-    /// Whether the tool has a port for the given platform. Express was
-    /// not available across WANs (Table 3 has no Express/WAN column;
-    /// Figure 7 plots only p4 and PVM).
+    /// Whether the tool has a port for the given platform, per its
+    /// [`crate::spec::PortPolicy`]. Express was not available across
+    /// WANs (Table 3 has no Express/WAN column; Figure 7 plots only p4
+    /// and PVM); spec-defined tools can additionally carry explicit
+    /// per-platform allow/deny lists.
     pub fn supports_platform(self, platform: PlatformId) -> bool {
-        self.spec().wan_port || !platform.is_wan()
+        let p = platform.spec();
+        self.spec().ports.supports(&p.slug, p.wan)
     }
 }
 

@@ -111,59 +111,60 @@ impl fmt::Display for NetworkKind {
 }
 
 /// The six testbed configurations of the paper's §3.1, in presentation
-/// order. The registry seeds itself with exactly this list, so the
-/// handle for `builtin_platforms()[i]` is `PlatformId(i)`.
+/// order, each expressed as a single-group topology. The registry seeds
+/// itself with exactly this list, so the handle for
+/// `builtin_platforms()[i]` is `PlatformId(i)`.
 pub fn builtin_platforms() -> Vec<PlatformSpec> {
     vec![
-        PlatformSpec {
-            name: "SUN/Ethernet".to_string(),
-            slug: "sun-eth".to_string(),
-            host: HostSpec::sun_elc(),
-            link: NetworkKind::Ethernet.params(),
-            max_nodes: 8,
-            wan: false,
-        },
-        PlatformSpec {
-            name: "SUN/ATM LAN".to_string(),
-            slug: "sun-atm-lan".to_string(),
-            host: HostSpec::sun_ipx(),
-            link: NetworkKind::AtmLan.params(),
-            max_nodes: 8,
-            wan: false,
-        },
+        PlatformSpec::homogeneous(
+            "SUN/Ethernet",
+            "sun-eth",
+            HostSpec::sun_elc(),
+            NetworkKind::Ethernet.params(),
+            8,
+            false,
+        ),
+        PlatformSpec::homogeneous(
+            "SUN/ATM LAN",
+            "sun-atm-lan",
+            HostSpec::sun_ipx(),
+            NetworkKind::AtmLan.params(),
+            8,
+            false,
+        ),
         // The NYNET experiments used at most 4 workstations (Figure 7).
-        PlatformSpec {
-            name: "SUN/ATM WAN (NYNET)".to_string(),
-            slug: "sun-atm-wan".to_string(),
-            host: HostSpec::sun_ipx(),
-            link: NetworkKind::AtmWan.params(),
-            max_nodes: 4,
-            wan: true,
-        },
-        PlatformSpec {
-            name: "ALPHA/FDDI".to_string(),
-            slug: "alpha-fddi".to_string(),
-            host: HostSpec::alpha_axp(),
-            link: NetworkKind::Fddi.params(),
-            max_nodes: 8,
-            wan: false,
-        },
-        PlatformSpec {
-            name: "IBM-SP1 (Switch)".to_string(),
-            slug: "sp1-switch".to_string(),
-            host: HostSpec::rs6000_370(),
-            link: NetworkKind::Allnode.params(),
-            max_nodes: 16,
-            wan: false,
-        },
-        PlatformSpec {
-            name: "IBM-SP1 (Ethernet)".to_string(),
-            slug: "sp1-eth".to_string(),
-            host: HostSpec::rs6000_370(),
-            link: NetworkKind::DedicatedEthernet.params(),
-            max_nodes: 16,
-            wan: false,
-        },
+        PlatformSpec::homogeneous(
+            "SUN/ATM WAN (NYNET)",
+            "sun-atm-wan",
+            HostSpec::sun_ipx(),
+            NetworkKind::AtmWan.params(),
+            4,
+            true,
+        ),
+        PlatformSpec::homogeneous(
+            "ALPHA/FDDI",
+            "alpha-fddi",
+            HostSpec::alpha_axp(),
+            NetworkKind::Fddi.params(),
+            8,
+            false,
+        ),
+        PlatformSpec::homogeneous(
+            "IBM-SP1 (Switch)",
+            "sp1-switch",
+            HostSpec::rs6000_370(),
+            NetworkKind::Allnode.params(),
+            16,
+            false,
+        ),
+        PlatformSpec::homogeneous(
+            "IBM-SP1 (Ethernet)",
+            "sp1-eth",
+            HostSpec::rs6000_370(),
+            NetworkKind::DedicatedEthernet.params(),
+            16,
+            false,
+        ),
     ]
 }
 

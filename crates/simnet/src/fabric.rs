@@ -1,65 +1,145 @@
 //! The fabric: network resources instantiated inside a simulation.
 //!
-//! A [`Fabric`] registers the resources that model one interconnect for a
-//! set of hosts — a single shared wire for Ethernet, or per-host
-//! transmit/receive ports for switched networks — and produces the
-//! *network portion* of per-fragment transmission stage lists. The tool
-//! layer wraps these stages with per-tool software costs.
+//! A [`Fabric`] registers the resources that model a topology's
+//! interconnects for a set of hosts — a single shared wire for Ethernet,
+//! or per-host transmit/receive ports for switched networks, one set per
+//! *link class* — and produces the *network portion* of per-fragment
+//! transmission stage lists. Heterogeneous topologies carry one resource
+//! set per populated host group (the intra-group link classes) plus one
+//! for the inter-group link; the link class of an endpoint pair is
+//! resolved from the topology's rank placement. The tool layer wraps
+//! these stages with per-tool software costs.
 
 use crate::engine::Simulation;
 use crate::flight::Stage;
 use crate::ids::ResourceId;
 use crate::net::LinkParams;
+use crate::topology::Topology;
 
-/// Network resources for `n_hosts` hosts on one interconnect.
+/// The resources of one link class: either a single shared wire or
+/// per-host transmit/receive ports covering a contiguous host range.
 #[derive(Debug, Clone)]
-pub struct Fabric {
-    params: LinkParams,
+struct LinkSet {
     /// The single shared medium (Ethernet), if any.
     wire: Option<ResourceId>,
-    /// Per-host transmit port (switched networks).
+    /// Per-host transmit port (switched networks), indexed by
+    /// `host - start`.
     tx: Vec<ResourceId>,
-    /// Per-host receive port (switched networks).
+    /// Per-host receive port (switched networks), indexed by
+    /// `host - start`.
     rx: Vec<ResourceId>,
+    /// First global host index this set covers.
+    start: usize,
+}
+
+impl LinkSet {
+    /// Registers the resources for `n` hosts starting at global index
+    /// `start`, named after `label` (the legacy link name for
+    /// single-group topologies, `group.link` otherwise, so resource
+    /// statistics stay readable).
+    fn build(
+        sim: &mut Simulation,
+        params: &LinkParams,
+        label: &str,
+        start: usize,
+        n: usize,
+    ) -> LinkSet {
+        if params.shared_medium {
+            LinkSet {
+                wire: Some(sim.add_resource(&format!("{label}-wire"))),
+                tx: Vec::new(),
+                rx: Vec::new(),
+                start,
+            }
+        } else {
+            LinkSet {
+                wire: None,
+                tx: (start..start + n)
+                    .map(|h| sim.add_resource(&format!("{label}-tx{h}")))
+                    .collect(),
+                rx: (start..start + n)
+                    .map(|h| sim.add_resource(&format!("{label}-rx{h}")))
+                    .collect(),
+                start,
+            }
+        }
+    }
+}
+
+/// Network resources for `n_hosts` hosts placed on a [`Topology`].
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    topology: Topology,
+    /// Per-group intra-link resource sets, parallel to
+    /// `topology.groups`; `None` for groups no host landed in.
+    intra: Vec<Option<LinkSet>>,
+    /// The inter-group link's resources (present when hosts span at
+    /// least two groups).
+    inter: Option<LinkSet>,
+    /// Group index per global host, from the topology's placement.
+    group_of: Vec<usize>,
     n_hosts: usize,
 }
 
 impl Fabric {
-    /// Registers the fabric's resources in `sim` for `n_hosts` hosts on a
-    /// link described by `params` — any link, built-in or spec-defined.
+    /// Registers the fabric's resources in `sim` for `n_hosts` hosts
+    /// placed on `topology` (ranks fill groups in declaration order).
+    /// For a single-group (homogeneous) topology the registered
+    /// resources — names and order — are exactly the classic
+    /// one-interconnect fabric's.
     ///
     /// # Panics
     ///
-    /// Panics if `n_hosts` is zero.
-    pub fn build(sim: &mut Simulation, params: LinkParams, n_hosts: usize) -> Fabric {
+    /// Panics if `n_hosts` is zero or exceeds the topology's capacity.
+    pub fn build(sim: &mut Simulation, topology: &Topology, n_hosts: usize) -> Fabric {
         assert!(n_hosts > 0, "a fabric needs at least one host");
-        let (wire, tx, rx) = if params.shared_medium {
-            (
-                Some(sim.add_resource(&format!("{}-wire", params.name))),
-                Vec::new(),
-                Vec::new(),
-            )
-        } else {
-            let tx = (0..n_hosts)
-                .map(|i| sim.add_resource(&format!("{}-tx{i}", params.name)))
-                .collect();
-            let rx = (0..n_hosts)
-                .map(|i| sim.add_resource(&format!("{}-rx{i}", params.name)))
-                .collect();
-            (None, tx, rx)
+        assert!(
+            n_hosts <= topology.total_hosts(),
+            "{n_hosts} hosts exceed the topology's capacity of {}",
+            topology.total_hosts()
+        );
+        let single = !topology.is_heterogeneous();
+        let group_of: Vec<usize> = (0..n_hosts).map(|h| topology.group_of(h)).collect();
+        let mut intra = Vec::with_capacity(topology.groups.len());
+        let mut start = 0;
+        for g in &topology.groups {
+            let n = g.count.min(n_hosts.saturating_sub(start));
+            if n == 0 {
+                intra.push(None);
+            } else {
+                let label = if single {
+                    g.link.name.clone()
+                } else {
+                    format!("{}.{}", g.name, g.link.name)
+                };
+                intra.push(Some(LinkSet::build(sim, &g.link, &label, start, n)));
+            }
+            start += g.count;
+        }
+        let populated = intra.iter().filter(|s| s.is_some()).count();
+        let inter = match (&topology.inter, populated) {
+            (Some(params), 2..) => Some(LinkSet::build(sim, params, &params.name, 0, n_hosts)),
+            _ => None,
         };
         Fabric {
-            params,
-            wire,
-            tx,
-            rx,
+            topology: topology.clone(),
+            intra,
+            inter,
+            group_of,
             n_hosts,
         }
     }
 
-    /// The link parameters in effect.
+    /// The primary (first) group's link parameters. For homogeneous
+    /// fabrics this is *the* link; heterogeneous call sites should
+    /// resolve per pair with [`Fabric::link_class`].
     pub fn params(&self) -> &LinkParams {
-        &self.params
+        &self.topology.primary().link
+    }
+
+    /// The topology this fabric instantiates.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     /// Number of hosts attached.
@@ -67,13 +147,45 @@ impl Fabric {
         self.n_hosts
     }
 
-    /// Splits `bytes` into fragment payload sizes (network MTU granularity).
-    pub fn fragment_sizes(&self, bytes: u64) -> Vec<u64> {
-        self.params.fragment_sizes(bytes)
+    /// The link class the `(src_host, dst_host)` pair communicates over:
+    /// the group's intra link when both hosts share a group (including
+    /// `src_host == dst_host`), the inter-group link otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a host index is out of range.
+    pub fn link_class(&self, src_host: usize, dst_host: usize) -> &LinkParams {
+        assert!(src_host < self.n_hosts, "src host {src_host} out of range");
+        assert!(dst_host < self.n_hosts, "dst host {dst_host} out of range");
+        self.route(src_host, dst_host).0
+    }
+
+    /// The resource set serving the `(src, dst)` pair.
+    fn route(&self, src: usize, dst: usize) -> (&LinkParams, &LinkSet) {
+        let gs = self.group_of[src];
+        let gd = self.group_of[dst];
+        if gs == gd {
+            (
+                &self.topology.groups[gs].link,
+                self.intra[gs]
+                    .as_ref()
+                    .expect("populated group without a link set"),
+            )
+        } else {
+            (
+                self.topology
+                    .inter
+                    .as_ref()
+                    .expect("cross-group pair without an inter link"),
+                self.inter
+                    .as_ref()
+                    .expect("cross-group pair without inter resources"),
+            )
+        }
     }
 
     /// The network stages one fragment of `frag_bytes` traverses from
-    /// `src_host` to `dst_host`.
+    /// `src_host` to `dst_host`, over the pair's link class.
     ///
     /// Shared medium: occupy the wire, then propagate.
     /// Switched: occupy the source port, propagate, occupy the destination
@@ -92,23 +204,24 @@ impl Fabric {
             src_host, dst_host,
             "fabric does not route host-local messages"
         );
-        let wire_time = self.params.wire_time(frag_bytes);
-        match self.wire {
+        let (params, set) = self.route(src_host, dst_host);
+        let wire_time = params.wire_time(frag_bytes);
+        match set.wire {
             Some(wire) => vec![
                 Stage::Serve {
                     resource: wire,
                     service: wire_time,
                 },
-                Stage::Latency(self.params.latency),
+                Stage::Latency(params.latency),
             ],
             None => vec![
                 Stage::Serve {
-                    resource: self.tx[src_host],
+                    resource: set.tx[src_host - set.start],
                     service: wire_time,
                 },
-                Stage::Latency(self.params.latency),
+                Stage::Latency(params.latency),
                 Stage::Serve {
-                    resource: self.rx[dst_host],
+                    resource: set.rx[dst_host - set.start],
                     service: wire_time,
                 },
             ],
@@ -120,14 +233,40 @@ impl Fabric {
 mod tests {
     use super::*;
     use crate::engine::Simulation;
+    use crate::host::HostSpec;
     use crate::net::NetworkKind;
+    use crate::topology::HostGroup;
+
+    fn homo(kind: NetworkKind, n: usize) -> Topology {
+        Topology::homogeneous(HostSpec::sun_ipx(), kind.params(), n)
+    }
+
+    fn mixed() -> Topology {
+        Topology {
+            groups: vec![
+                HostGroup {
+                    name: "fast".to_string(),
+                    host: HostSpec::alpha_axp(),
+                    count: 2,
+                    link: NetworkKind::Fddi.params(),
+                },
+                HostGroup {
+                    name: "slow".to_string(),
+                    host: HostSpec::sun_elc(),
+                    count: 3,
+                    link: NetworkKind::Ethernet.params(),
+                },
+            ],
+            inter: Some(NetworkKind::AtmWan.params()),
+        }
+    }
 
     #[test]
     fn ethernet_builds_one_wire() {
         let mut sim = Simulation::new();
-        let f = Fabric::build(&mut sim, NetworkKind::Ethernet.params(), 4);
-        assert!(f.wire.is_some());
-        assert!(f.tx.is_empty());
+        let f = Fabric::build(&mut sim, &homo(NetworkKind::Ethernet, 4), 4);
+        assert!(f.intra[0].as_ref().unwrap().wire.is_some());
+        assert!(f.intra[0].as_ref().unwrap().tx.is_empty());
         let stages = f.fragment_stages(0, 1, 1000);
         assert_eq!(stages.len(), 2);
     }
@@ -135,10 +274,11 @@ mod tests {
     #[test]
     fn switched_builds_ports_per_host() {
         let mut sim = Simulation::new();
-        let f = Fabric::build(&mut sim, NetworkKind::AtmLan.params(), 4);
-        assert!(f.wire.is_none());
-        assert_eq!(f.tx.len(), 4);
-        assert_eq!(f.rx.len(), 4);
+        let f = Fabric::build(&mut sim, &homo(NetworkKind::AtmLan, 4), 4);
+        let set = f.intra[0].as_ref().unwrap();
+        assert!(set.wire.is_none());
+        assert_eq!(set.tx.len(), 4);
+        assert_eq!(set.rx.len(), 4);
         let stages = f.fragment_stages(2, 3, 1000);
         assert_eq!(stages.len(), 3);
     }
@@ -146,7 +286,7 @@ mod tests {
     #[test]
     fn distinct_hosts_use_distinct_ports() {
         let mut sim = Simulation::new();
-        let f = Fabric::build(&mut sim, NetworkKind::Fddi.params(), 3);
+        let f = Fabric::build(&mut sim, &homo(NetworkKind::Fddi, 3), 3);
         let s01 = f.fragment_stages(0, 1, 100);
         let s21 = f.fragment_stages(2, 1, 100);
         // Different tx ports, same rx port.
@@ -168,7 +308,7 @@ mod tests {
     #[should_panic(expected = "host-local")]
     fn local_routing_is_rejected() {
         let mut sim = Simulation::new();
-        let f = Fabric::build(&mut sim, NetworkKind::Fddi.params(), 2);
+        let f = Fabric::build(&mut sim, &homo(NetworkKind::Fddi, 2), 2);
         let _ = f.fragment_stages(1, 1, 100);
     }
 
@@ -176,7 +316,54 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_host_is_rejected() {
         let mut sim = Simulation::new();
-        let f = Fabric::build(&mut sim, NetworkKind::Fddi.params(), 2);
+        let f = Fabric::build(&mut sim, &homo(NetworkKind::Fddi, 2), 2);
         let _ = f.fragment_stages(0, 5, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn over_capacity_build_is_rejected() {
+        let mut sim = Simulation::new();
+        let _ = Fabric::build(&mut sim, &homo(NetworkKind::Fddi, 2), 3);
+    }
+
+    #[test]
+    fn mixed_topology_resolves_link_classes_per_pair() {
+        let mut sim = Simulation::new();
+        let f = Fabric::build(&mut sim, &mixed(), 5);
+        assert_eq!(f.link_class(0, 1).name, "FDDI");
+        assert_eq!(f.link_class(2, 4).name, "Ethernet");
+        assert_eq!(f.link_class(0, 3).name, "ATM WAN (NYNET)");
+        // Intra-fast: switched FDDI, 3 stages. Intra-slow: shared
+        // Ethernet, 2 stages. Cross-group: switched WAN, 3 stages on the
+        // WAN's own ports.
+        assert_eq!(f.fragment_stages(0, 1, 100).len(), 3);
+        assert_eq!(f.fragment_stages(2, 4, 100).len(), 2);
+        let cross = f.fragment_stages(1, 2, 100);
+        assert_eq!(cross.len(), 3);
+        let fast = f.fragment_stages(0, 1, 100);
+        match (&cross[0], &fast[0]) {
+            (Stage::Serve { resource: a, .. }, Stage::Serve { resource: b, .. }) => {
+                assert_ne!(a, b, "cross-group traffic must use the inter link's ports")
+            }
+            _ => panic!("expected serve stages"),
+        }
+        // Cross-group latency comes from the inter link.
+        match cross[1] {
+            Stage::Latency(l) => assert_eq!(l, NetworkKind::AtmWan.params().latency),
+            _ => panic!("expected a latency stage"),
+        }
+    }
+
+    #[test]
+    fn unpopulated_groups_get_no_resources() {
+        // Only 2 hosts: all land in the fast group; no slow or inter
+        // resources are registered.
+        let mut sim = Simulation::new();
+        let f = Fabric::build(&mut sim, &mixed(), 2);
+        assert!(f.intra[0].is_some());
+        assert!(f.intra[1].is_none());
+        assert!(f.inter.is_none());
+        assert_eq!(f.fragment_stages(0, 1, 64).len(), 3);
     }
 }

@@ -17,6 +17,9 @@
 //! * [`host`] / [`work`] — calibrated CPU models pricing real computation;
 //! * [`net`] / [`fabric`] — calibrated link models for the five testbed
 //!   interconnects;
+//! * [`topology`] — named host groups with per-link-class parameters
+//!   (heterogeneous clusters; homogeneous platforms are the one-group
+//!   special case);
 //! * [`platform`] — the paper's §3.1 testbed configurations.
 //!
 //! Determinism: events are ordered by `(virtual time, sequence number)`,
@@ -70,6 +73,7 @@ pub mod registry;
 pub mod resource;
 mod sched;
 pub mod time;
+pub mod topology;
 pub mod work;
 
 /// Convenient glob-import of the crate's primary types.
@@ -85,5 +89,6 @@ pub mod prelude {
     pub use crate::platform::{Platform, PlatformId, PlatformSpec};
     pub use crate::resource::ResourceStats;
     pub use crate::time::{SimDuration, SimTime};
+    pub use crate::topology::{HostGroup, Topology};
     pub use crate::work::Work;
 }

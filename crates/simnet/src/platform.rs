@@ -1,9 +1,11 @@
 //! Platforms as data: [`PlatformSpec`] models and [`PlatformId`] handles.
 //!
-//! A platform pairs a host model with an interconnect and a maximum node
-//! count. The paper's six testbed configurations (§3.1) ship as built-in
-//! specs ([`crate::builtin`]); arbitrary further platforms can be
-//! registered at run time from spec files without touching any code.
+//! A platform pairs a [`Topology`] — named host groups, each with an
+//! intra-group link class, plus the inter-group link — with a maximum
+//! node count. The paper's six testbed configurations (§3.1) ship as
+//! built-in single-group topologies ([`crate::builtin`]); arbitrary
+//! further platforms, homogeneous or heterogeneous, can be registered at
+//! run time from spec files without touching any code.
 //!
 //! [`PlatformId`] is a cheap `Copy` handle into the process-global
 //! registry ([`crate::registry`]); the legacy name [`Platform`] is kept
@@ -12,6 +14,7 @@
 use crate::host::HostSpec;
 use crate::net::LinkParams;
 use crate::registry;
+use crate::topology::Topology;
 use std::fmt;
 use std::sync::Arc;
 
@@ -36,17 +39,47 @@ pub struct PlatformSpec {
     pub name: String,
     /// Stable lower-case slug used in scenario/store keys, e.g. `"sun-eth"`.
     pub slug: String,
-    /// The host model populating this platform (homogeneous clusters).
-    pub host: HostSpec,
-    /// The interconnect's calibrated link parameters.
-    pub link: LinkParams,
-    /// Maximum number of nodes available.
+    /// The platform's topology: host groups and link classes. Homogeneous
+    /// platforms (all built-ins) are single-group topologies.
+    pub topology: Topology,
+    /// Maximum number of nodes available (the topology's total capacity).
     pub max_nodes: usize,
     /// Whether the platform crosses a wide-area network.
     pub wan: bool,
 }
 
 impl PlatformSpec {
+    /// Builds a homogeneous platform spec: `max_nodes` hosts of one
+    /// model on one link — the shape of every built-in testbed.
+    pub fn homogeneous(
+        name: impl Into<String>,
+        slug: impl Into<String>,
+        host: HostSpec,
+        link: LinkParams,
+        max_nodes: usize,
+        wan: bool,
+    ) -> PlatformSpec {
+        PlatformSpec {
+            name: name.into(),
+            slug: slug.into(),
+            topology: Topology::homogeneous(host, link, max_nodes),
+            max_nodes,
+            wan,
+        }
+    }
+
+    /// The primary (first) group's host model. For homogeneous platforms
+    /// this is *the* host model.
+    pub fn host(&self) -> &HostSpec {
+        &self.topology.primary().host
+    }
+
+    /// The primary (first) group's link class. For homogeneous platforms
+    /// this is *the* interconnect.
+    pub fn link(&self) -> &LinkParams {
+        &self.topology.primary().link
+    }
+
     /// Checks the spec for internal consistency.
     ///
     /// # Errors
@@ -65,27 +98,14 @@ impl PlatformSpec {
         if self.max_nodes == 0 {
             return Err(format!("platform '{}': max_nodes must be > 0", self.slug));
         }
-        if !self.link.bandwidth_mbps.is_finite() || self.link.bandwidth_mbps <= 0.0 {
+        self.topology
+            .validate(&format!("platform '{}'", self.slug))?;
+        let capacity = self.topology.total_hosts();
+        if capacity != self.max_nodes {
             return Err(format!(
-                "platform '{}': link bandwidth must be positive",
-                self.slug
+                "platform '{}': group counts sum to {capacity} but max_nodes is {}",
+                self.slug, self.max_nodes
             ));
-        }
-        if self.link.mtu == 0 {
-            return Err(format!("platform '{}': link mtu must be > 0", self.slug));
-        }
-        for (field, v) in [
-            ("host.mflops", self.host.mflops),
-            ("host.mips", self.host.mips),
-            ("host.mem_bw_mbs", self.host.mem_bw_mbs),
-            ("host.sw_scale", self.host.sw_scale),
-        ] {
-            if !v.is_finite() || v <= 0.0 {
-                return Err(format!(
-                    "platform '{}': {field} must be positive and finite",
-                    self.slug
-                ));
-            }
         }
         Ok(())
     }
@@ -166,14 +186,26 @@ impl PlatformId {
         self.spec().slug.clone()
     }
 
-    /// The interconnect's calibrated link parameters.
+    /// The primary group's calibrated link parameters (the interconnect,
+    /// for homogeneous platforms).
     pub fn link(self) -> LinkParams {
-        self.spec().link.clone()
+        self.spec().link().clone()
     }
 
-    /// The host model populating this platform (homogeneous clusters).
+    /// The primary group's host model (the host model, for homogeneous
+    /// platforms).
     pub fn host(self) -> HostSpec {
-        self.spec().host.clone()
+        self.spec().host().clone()
+    }
+
+    /// The platform's topology (host groups and link classes).
+    pub fn topology(self) -> Topology {
+        self.spec().topology.clone()
+    }
+
+    /// Whether this platform mixes more than one host group.
+    pub fn is_heterogeneous(self) -> bool {
+        self.spec().topology.is_heterogeneous()
     }
 
     /// Maximum number of nodes available.
@@ -231,6 +263,26 @@ mod tests {
     fn all_contains_the_builtins_in_order() {
         let all = Platform::all();
         assert_eq!(&all[..6], &Platform::builtin()[..]);
+    }
+
+    #[test]
+    fn builtins_are_single_group_topologies() {
+        for p in Platform::builtin() {
+            let spec = p.spec();
+            assert!(!p.is_heterogeneous(), "{p}");
+            assert!(spec.topology.is_homogeneous_shorthand(), "{p}");
+            assert_eq!(spec.topology.total_hosts(), spec.max_nodes, "{p}");
+            assert_eq!(spec.topology.hetero_slug(), None, "{p}");
+        }
+    }
+
+    #[test]
+    fn capacity_must_match_max_nodes() {
+        let mut spec = (*Platform::SUN_ETHERNET.spec()).clone();
+        spec.slug = "cap-mismatch".to_string();
+        spec.max_nodes += 1;
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("sum to"), "{err}");
     }
 
     #[test]

@@ -91,14 +91,14 @@ mod tests {
     use crate::net::NetworkKind;
 
     fn toy(slug: &str, max_nodes: usize) -> PlatformSpec {
-        PlatformSpec {
-            name: format!("Toy {slug}"),
-            slug: slug.to_string(),
-            host: HostSpec::sun_ipx(),
-            link: NetworkKind::Fddi.params(),
+        PlatformSpec::homogeneous(
+            format!("Toy {slug}"),
+            slug,
+            HostSpec::sun_ipx(),
+            NetworkKind::Fddi.params(),
             max_nodes,
-            wan: false,
-        }
+            false,
+        )
     }
 
     #[test]

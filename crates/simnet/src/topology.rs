@@ -1,0 +1,394 @@
+//! Platform topologies: named host groups and per-link-class parameters.
+//!
+//! The paper's six testbeds are *homogeneous* — one host model, one
+//! interconnect — but the methodology is supposed to generalize to
+//! configurations the original authors never measured. A [`Topology`]
+//! models that generalization: an ordered list of named [`HostGroup`]s
+//! (each a [`HostSpec`] plus a rank count, e.g. "8 fast nodes" and
+//! "24 slow nodes") and the link classes messages traverse — every group
+//! carries its own *intra-group* [`LinkParams`] (the rack fabric), and a
+//! multi-group topology carries one *inter-group* link class (the WAN
+//! between sites).
+//!
+//! Rank placement is deterministic: ranks fill groups in declaration
+//! order, so rank `r` always lands on the same host model and the link
+//! class of an endpoint pair is a pure function of the two ranks
+//! ([`Topology::link_class`]). A homogeneous platform is simply a
+//! single-group topology ([`Topology::homogeneous`]), which is exactly
+//! how the built-in testbeds are expressed — nothing downstream
+//! special-cases the homogeneous shape.
+
+use crate::host::HostSpec;
+use crate::net::LinkParams;
+use std::fmt;
+
+/// The group name used by [`Topology::homogeneous`]. A single-group
+/// topology with this name renders in the legacy homogeneous `.spec`
+/// shorthand (`host.*` / `link.*` keys directly in the platform
+/// section).
+pub const HOMOGENEOUS_GROUP: &str = "all";
+
+/// One named host group: `count` ranks of one host model, wired
+/// together by one intra-group link class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostGroup {
+    /// Group name (a registry-style slug, unique within the topology).
+    pub name: String,
+    /// The host model populating this group.
+    pub host: HostSpec,
+    /// Number of ranks this group contributes.
+    pub count: usize,
+    /// The link class connecting hosts *within* this group.
+    pub link: LinkParams,
+}
+
+/// A platform's topology: ordered host groups plus the inter-group link
+/// class. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    /// Host groups in placement order (ranks fill group 0 first).
+    pub groups: Vec<HostGroup>,
+    /// The link class for endpoint pairs in *different* groups. Present
+    /// exactly when the topology has more than one group.
+    pub inter: Option<LinkParams>,
+}
+
+impl Topology {
+    /// A single-group topology: `count` hosts of one model on one link —
+    /// the shape of every homogeneous platform, including all built-ins.
+    pub fn homogeneous(host: HostSpec, link: LinkParams, count: usize) -> Topology {
+        Topology {
+            groups: vec![HostGroup {
+                name: HOMOGENEOUS_GROUP.to_string(),
+                host,
+                count,
+                link,
+            }],
+            inter: None,
+        }
+    }
+
+    /// Whether this topology has more than one host group.
+    pub fn is_heterogeneous(&self) -> bool {
+        self.groups.len() > 1
+    }
+
+    /// Whether this topology is the canonical homogeneous shape (one
+    /// group named [`HOMOGENEOUS_GROUP`], no inter link) — the shape
+    /// that renders in the legacy `.spec` shorthand.
+    pub fn is_homogeneous_shorthand(&self) -> bool {
+        self.groups.len() == 1 && self.groups[0].name == HOMOGENEOUS_GROUP && self.inter.is_none()
+    }
+
+    /// Total host capacity (the sum of all group counts).
+    pub fn total_hosts(&self) -> usize {
+        self.groups.iter().map(|g| g.count).sum()
+    }
+
+    /// The primary (first) group. Homogeneous accessors like
+    /// `PlatformId::host()` resolve here.
+    pub fn primary(&self) -> &HostGroup {
+        &self.groups[0]
+    }
+
+    /// First global rank index of group `g`.
+    pub fn group_start(&self, g: usize) -> usize {
+        self.groups[..g].iter().map(|gr| gr.count).sum()
+    }
+
+    /// The group index rank `rank` is placed in: ranks fill groups in
+    /// declaration order (ranks `0..groups[0].count` land in group 0,
+    /// and so on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` exceeds the topology's capacity.
+    pub fn group_of(&self, rank: usize) -> usize {
+        let mut start = 0;
+        for (g, group) in self.groups.iter().enumerate() {
+            start += group.count;
+            if rank < start {
+                return g;
+            }
+        }
+        panic!(
+            "rank {rank} exceeds the topology's capacity of {} host(s)",
+            self.total_hosts()
+        );
+    }
+
+    /// The host model rank `rank` is placed on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` exceeds the topology's capacity.
+    pub fn host_for_rank(&self, rank: usize) -> &HostSpec {
+        &self.groups[self.group_of(rank)].host
+    }
+
+    /// The link class an `(a, b)` endpoint pair uses: the groups' shared
+    /// intra-group link when both ranks are in the same group (including
+    /// `a == b`), the inter-group link otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rank exceeds the capacity, or if the ranks span
+    /// groups in a topology without an inter link (impossible for
+    /// validated topologies).
+    pub fn link_class(&self, a: usize, b: usize) -> &LinkParams {
+        let ga = self.group_of(a);
+        let gb = self.group_of(b);
+        if ga == gb {
+            &self.groups[ga].link
+        } else {
+            self.inter
+                .as_ref()
+                .expect("multi-group topology without an inter-group link")
+        }
+    }
+
+    /// A stable slug describing a *heterogeneous* topology's group mix,
+    /// e.g. `8fast-24slow`. `None` for single-group topologies, so
+    /// homogeneous scenario/store keys are exactly what they always were.
+    pub fn hetero_slug(&self) -> Option<String> {
+        if !self.is_heterogeneous() {
+            return None;
+        }
+        Some(
+            self.groups
+                .iter()
+                .map(|g| format!("{}{}", g.count, g.name))
+                .collect::<Vec<_>>()
+                .join("-"),
+        )
+    }
+
+    /// The same groups and link classes with new rank counts — the
+    /// building block for sweeping *group mixes* (register one platform
+    /// per mix, put them all in a campaign grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` does not have one entry per group.
+    pub fn remix(&self, counts: &[usize]) -> Topology {
+        assert_eq!(
+            counts.len(),
+            self.groups.len(),
+            "remix needs one count per group"
+        );
+        Topology {
+            groups: self
+                .groups
+                .iter()
+                .zip(counts)
+                .map(|(g, &count)| HostGroup { count, ..g.clone() })
+                .collect(),
+            inter: self.inter.clone(),
+        }
+    }
+
+    /// Checks the topology for internal consistency; `ctx` names the
+    /// owning platform in diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self, ctx: &str) -> Result<(), String> {
+        if self.groups.is_empty() {
+            return Err(format!("{ctx}: topology needs at least one host group"));
+        }
+        for (i, g) in self.groups.iter().enumerate() {
+            if !crate::platform::is_slug(&g.name) {
+                return Err(format!(
+                    "{ctx}: group name '{}' must be non-empty lower-case [a-z0-9-]",
+                    g.name
+                ));
+            }
+            if self.groups[..i].iter().any(|o| o.name == g.name) {
+                return Err(format!("{ctx}: duplicate group name '{}'", g.name));
+            }
+            if g.count == 0 {
+                return Err(format!("{ctx}: group '{}': count must be > 0", g.name));
+            }
+            validate_host(&g.host, &format!("{ctx}: group '{}'", g.name))?;
+            validate_link(&g.link, &format!("{ctx}: group '{}'", g.name))?;
+        }
+        match (&self.inter, self.groups.len()) {
+            (None, n) if n > 1 => Err(format!(
+                "{ctx}: a multi-group topology needs an inter-group link"
+            )),
+            (Some(_), 1) => Err(format!(
+                "{ctx}: a single-group topology must not declare an inter-group link"
+            )),
+            (Some(link), _) => validate_link(link, &format!("{ctx}: inter-group link")),
+            (None, _) => Ok(()),
+        }
+    }
+}
+
+/// Checks one host model's rates (shared by group and homogeneous
+/// validation paths).
+pub(crate) fn validate_host(host: &HostSpec, ctx: &str) -> Result<(), String> {
+    for (field, v) in [
+        ("host.mflops", host.mflops),
+        ("host.mips", host.mips),
+        ("host.mem_bw_mbs", host.mem_bw_mbs),
+        ("host.sw_scale", host.sw_scale),
+    ] {
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!("{ctx}: {field} must be positive and finite"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks one link class's parameters.
+pub(crate) fn validate_link(link: &LinkParams, ctx: &str) -> Result<(), String> {
+    if !link.bandwidth_mbps.is_finite() || link.bandwidth_mbps <= 0.0 {
+        return Err(format!("{ctx}: link bandwidth must be positive"));
+    }
+    if link.mtu == 0 {
+        return Err(format!("{ctx}: link mtu must be > 0"));
+    }
+    Ok(())
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut start = 0;
+        for (i, g) in self.groups.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(
+                f,
+                "{}\u{d7}{} (ranks {}..{}, {})",
+                g.count,
+                g.name,
+                start,
+                start + g.count,
+                g.link.name
+            )?;
+            start += g.count;
+        }
+        if let Some(inter) = &self.inter {
+            write!(f, " over {}", inter.name)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetworkKind;
+
+    fn two_group() -> Topology {
+        Topology {
+            groups: vec![
+                HostGroup {
+                    name: "fast".to_string(),
+                    host: HostSpec::alpha_axp(),
+                    count: 8,
+                    link: NetworkKind::Fddi.params(),
+                },
+                HostGroup {
+                    name: "slow".to_string(),
+                    host: HostSpec::sun_elc(),
+                    count: 24,
+                    link: NetworkKind::Ethernet.params(),
+                },
+            ],
+            inter: Some(NetworkKind::AtmWan.params()),
+        }
+    }
+
+    #[test]
+    fn placement_fills_groups_in_order() {
+        let t = two_group();
+        assert_eq!(t.total_hosts(), 32);
+        assert_eq!(t.group_of(0), 0);
+        assert_eq!(t.group_of(7), 0);
+        assert_eq!(t.group_of(8), 1);
+        assert_eq!(t.group_of(31), 1);
+        assert_eq!(t.group_start(1), 8);
+        assert!(t.host_for_rank(0).name.contains("Alpha"));
+        assert!(t.host_for_rank(8).name.contains("ELC"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn out_of_capacity_rank_panics() {
+        let _ = two_group().group_of(32);
+    }
+
+    #[test]
+    fn link_classes_resolve_per_pair() {
+        let t = two_group();
+        assert_eq!(t.link_class(0, 7).name, "FDDI");
+        assert_eq!(t.link_class(8, 31).name, "Ethernet");
+        assert_eq!(t.link_class(0, 8).name, "ATM WAN (NYNET)");
+        assert_eq!(t.link_class(31, 0).name, "ATM WAN (NYNET)");
+        // Same-rank pairs resolve to the rank's own intra link.
+        assert_eq!(t.link_class(9, 9).name, "Ethernet");
+    }
+
+    #[test]
+    fn hetero_slug_is_stable_and_absent_for_homogeneous() {
+        assert_eq!(two_group().hetero_slug().as_deref(), Some("8fast-24slow"));
+        let homo = Topology::homogeneous(HostSpec::sun_ipx(), NetworkKind::AtmLan.params(), 8);
+        assert_eq!(homo.hetero_slug(), None);
+        assert!(homo.is_homogeneous_shorthand());
+        assert!(!homo.is_heterogeneous());
+    }
+
+    #[test]
+    fn remix_changes_counts_only() {
+        let t = two_group().remix(&[4, 12]);
+        assert_eq!(t.total_hosts(), 16);
+        assert_eq!(t.hetero_slug().as_deref(), Some("4fast-12slow"));
+        assert_eq!(t.groups[0].host, HostSpec::alpha_axp());
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_topologies() {
+        let ok = two_group();
+        assert!(ok.validate("t").is_ok());
+
+        let mut dup = ok.clone();
+        dup.groups[1].name = "fast".to_string();
+        assert!(dup.validate("t").unwrap_err().contains("duplicate"));
+
+        let mut zero = ok.clone();
+        zero.groups[0].count = 0;
+        assert!(zero.validate("t").unwrap_err().contains("count"));
+
+        let mut no_inter = ok.clone();
+        no_inter.inter = None;
+        assert!(no_inter.validate("t").unwrap_err().contains("inter-group"));
+
+        let mut single_with_inter =
+            Topology::homogeneous(HostSpec::sun_ipx(), NetworkKind::Fddi.params(), 4);
+        single_with_inter.inter = Some(NetworkKind::AtmWan.params());
+        assert!(single_with_inter
+            .validate("t")
+            .unwrap_err()
+            .contains("must not declare"));
+
+        let mut bad_name = ok.clone();
+        bad_name.groups[0].name = "Fast Group".to_string();
+        assert!(bad_name.validate("t").unwrap_err().contains("lower-case"));
+
+        let mut bad_link = ok;
+        bad_link.groups[0].link.bandwidth_mbps = -1.0;
+        assert!(bad_link.validate("t").unwrap_err().contains("bandwidth"));
+    }
+
+    #[test]
+    fn display_summarizes_groups_and_inter_link() {
+        let s = two_group().to_string();
+        assert!(s.contains("8\u{d7}fast"), "{s}");
+        assert!(s.contains("ranks 8..32"), "{s}");
+        assert!(s.contains("over ATM WAN"), "{s}");
+    }
+}

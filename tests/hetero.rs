@@ -1,0 +1,197 @@
+//! End-to-end tests for heterogeneous platform topologies: the bundled
+//! `examples/mixed.spec` (8 fast + 24 slow hosts across a WAN link,
+//! plus a homogeneous `uniform` control) runs campaigns with zero Rust
+//! changes, placement is deterministic — bit-identical across runs and
+//! across the parallel campaign runner — and skewed host groups produce
+//! measurably different times than the homogeneous equivalent.
+
+use bytes::Bytes;
+use pdc_tool_eval::campaign::campaigns::hetero_smoke;
+use pdc_tool_eval::campaign::runner::{run_campaign, RecordStatus};
+use pdc_tool_eval::campaign::store::{render_jsonl, StoreMeta};
+use pdc_tool_eval::campaign::Scale;
+use pdc_tool_eval::mpt::runtime::{run_spmd, SpmdConfig};
+use pdc_tool_eval::mpt::{ModelRegistry, ToolKind};
+use pdc_tool_eval::simnet::platform::Platform;
+use pdc_tool_eval::simnet::work::Work;
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// Loads `examples/mixed.spec` exactly once per test process and
+/// returns `(mixed, uniform)` — the heterogeneous platform and its
+/// homogeneous control.
+fn mixed_and_uniform() -> (Platform, Platform) {
+    static LOADED: OnceLock<(Platform, Platform)> = OnceLock::new();
+    *LOADED.get_or_init(|| {
+        let text = std::fs::read_to_string(
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/mixed.spec"),
+        )
+        .expect("examples/mixed.spec readable");
+        let loaded = ModelRegistry::global()
+            .load_spec_text(&text)
+            .expect("mixed spec loads");
+        assert_eq!(loaded.platforms.len(), 2);
+        (loaded.platforms[0], loaded.platforms[1])
+    })
+}
+
+#[test]
+fn ranks_place_onto_groups_deterministically() {
+    let (mixed, _) = mixed_and_uniform();
+    assert!(mixed.is_heterogeneous());
+    assert_eq!(
+        mixed.spec().topology.hetero_slug().as_deref(),
+        Some("8fast-24slow")
+    );
+    let out = run_spmd(&SpmdConfig::new(mixed, ToolKind::P4, 12), |node| {
+        (node.host().name.clone(), node.host().mflops)
+    })
+    .unwrap();
+    for (rank, (name, mflops)) in out.results.iter().enumerate() {
+        if rank < 8 {
+            assert_eq!(name, "Fast workstation", "rank {rank}");
+            assert_eq!(*mflops, 45.0);
+        } else {
+            assert_eq!(name, "Slow workstation", "rank {rank}");
+            assert_eq!(*mflops, 4.5);
+        }
+    }
+}
+
+#[test]
+fn cross_group_messages_pay_the_inter_link() {
+    // Rank 0 echoes with rank 1 (both in the fast rack) and then with
+    // rank 8 (across the WAN). The cross-group round trip must be
+    // dominated by the WAN's 2 ms one-way latency.
+    let (mixed, _) = mixed_and_uniform();
+    let out = run_spmd(&SpmdConfig::new(mixed, ToolKind::P4, 9), |node| {
+        let payload = Bytes::from_static(b"x");
+        match node.rank() {
+            0 => {
+                let t0 = node.now();
+                node.send(1, 1, payload.clone()).unwrap();
+                let _ = node.recv(Some(1), Some(2)).unwrap();
+                let intra = (node.now() - t0).as_millis_f64();
+                let t1 = node.now();
+                node.send(8, 3, payload).unwrap();
+                let _ = node.recv(Some(8), Some(4)).unwrap();
+                let inter = (node.now() - t1).as_millis_f64();
+                (intra, inter)
+            }
+            1 => {
+                let _ = node.recv(Some(0), Some(1)).unwrap();
+                node.send(0, 2, payload).unwrap();
+                (0.0, 0.0)
+            }
+            8 => {
+                let _ = node.recv(Some(0), Some(3)).unwrap();
+                node.send(0, 4, payload).unwrap();
+                (0.0, 0.0)
+            }
+            _ => (0.0, 0.0),
+        }
+    })
+    .unwrap();
+    let (intra, inter) = out.results[0];
+    assert!(
+        inter > intra + 3.0,
+        "cross-group echo ({inter} ms) must pay the WAN latency over intra-rack ({intra} ms)"
+    );
+}
+
+#[test]
+fn skewed_groups_slow_the_run_versus_the_homogeneous_control() {
+    // The same compute-then-synchronize job at the same node count: the
+    // mixed platform spans slow hosts (ranks 8+) and a WAN, so it must
+    // finish measurably later than the all-fast uniform control.
+    let (mixed, uniform) = mixed_and_uniform();
+    let elapsed = |platform| {
+        run_spmd(&SpmdConfig::new(platform, ToolKind::P4, 12), |node| {
+            node.compute(Work::flops(9_000_000)); // 0.2 s fast, 2 s slow
+            node.barrier().unwrap();
+        })
+        .unwrap()
+        .elapsed
+        .as_secs_f64()
+    };
+    let mixed_t = elapsed(mixed);
+    let uniform_t = elapsed(uniform);
+    assert!(
+        mixed_t > 2.0 * uniform_t,
+        "skew must show: mixed {mixed_t} s vs uniform {uniform_t} s"
+    );
+    // And per-rank finish times expose the skew inside one run: a slow
+    // rank computes ~10x longer than a fast one before the barrier.
+    let out = run_spmd(&SpmdConfig::new(mixed, ToolKind::P4, 12), |node| {
+        node.compute(Work::flops(9_000_000));
+        node.now().as_secs_f64()
+    })
+    .unwrap();
+    assert!(out.results[11] > 5.0 * out.results[0]);
+}
+
+#[test]
+fn heterogeneous_placement_is_bit_identical_across_runs() {
+    let (mixed, _) = mixed_and_uniform();
+    let run = || {
+        run_spmd(&SpmdConfig::new(mixed, ToolKind::PVM, 12), |node| {
+            let data = Bytes::from(vec![node.rank() as u8; 4096]);
+            let got = node.ring_shift(data).unwrap();
+            node.barrier().unwrap();
+            (got.len(), node.now().as_nanos())
+        })
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.results, b.results);
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.rank_finish, b.rank_finish);
+}
+
+#[test]
+fn hetero_campaign_is_bit_identical_across_the_parallel_runner() {
+    let (mixed, uniform) = mixed_and_uniform();
+    let campaign = hetero_smoke(&[mixed, uniform], Scale::Quick);
+    assert!(!campaign.scenarios.is_empty());
+    assert!(campaign.scenarios.iter().all(|s| s.platform == mixed));
+    let serial = run_campaign(&campaign.scenarios, 1);
+    let parallel = run_campaign(&campaign.scenarios, 4);
+    assert_eq!(serial, parallel);
+    for r in &serial {
+        assert_eq!(
+            r.status,
+            RecordStatus::Ok,
+            "{}: {:?}",
+            r.scenario.key(),
+            r.detail
+        );
+        let stats = r.stats.unwrap();
+        assert_eq!(stats.min, stats.max, "{}", r.scenario.key());
+        assert_eq!(stats.cv, 0.0, "{}", r.scenario.key());
+    }
+    // Store keys carry the topology slug, and the rendered stores agree
+    // byte-for-byte.
+    let text = render_jsonl(&serial, &StoreMeta::none());
+    assert!(text.contains("/mixed/8fast-24slow/"));
+    assert_eq!(text, render_jsonl(&parallel, &StoreMeta::none()));
+}
+
+#[test]
+fn snapshot_of_the_registry_reloads_idempotently() {
+    use pdc_tool_eval::mpt::spec::{parse_spec, render_spec};
+
+    let (mixed, uniform) = mixed_and_uniform();
+    let registry = ModelRegistry::global();
+    let file = registry.snapshot();
+    // The snapshot parses back to the same specs (render/parse identity
+    // over the whole registry, heterogeneous platforms included)...
+    let text = render_spec(&file);
+    assert_eq!(parse_spec(&text).expect("snapshot parses"), file);
+    // ...and re-registering it returns the original handles.
+    let loaded = registry
+        .load_spec_text(&text)
+        .expect("snapshot re-registers");
+    assert!(loaded.platforms.contains(&mixed));
+    assert!(loaded.platforms.contains(&uniform));
+}

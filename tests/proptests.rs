@@ -154,6 +154,84 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Topology spec round-trips
+// ---------------------------------------------------------------------------
+
+mod topology_specs {
+    use pdc_tool_eval::simnet::host::HostSpec;
+    use pdc_tool_eval::simnet::net::LinkParams;
+    use pdc_tool_eval::simnet::platform::PlatformSpec;
+    use pdc_tool_eval::simnet::time::SimDuration;
+    use pdc_tool_eval::simnet::topology::{HostGroup, Topology};
+    use proptest::TestRng;
+
+    fn rng_host(rng: &mut TestRng, i: usize) -> HostSpec {
+        HostSpec {
+            name: format!("Host model {i}"),
+            mflops: (rng.below(100_000) + 1) as f64 / 10.0,
+            mips: (rng.below(1_000_000) + 1) as f64,
+            mem_bw_mbs: (rng.below(50_000) + 1) as f64,
+            sw_scale: (rng.below(5_000) + 1) as f64 / 1000.0,
+        }
+    }
+
+    fn rng_link(rng: &mut TestRng, name: String) -> LinkParams {
+        LinkParams {
+            name,
+            bandwidth_mbps: (rng.below(1_000_000) + 1) as f64 / 10.0,
+            latency: SimDuration::from_micros(rng.below(100_000) + 1),
+            mtu: (rng.below(64_000) + 64) as usize,
+            per_packet: SimDuration::from_micros(rng.below(1_000)),
+            shared_medium: rng.below(2) == 0,
+        }
+    }
+
+    /// A pseudo-random multi-group topology platform (1..=4 groups).
+    pub fn rng_platform(seed: u64) -> PlatformSpec {
+        let mut rng = TestRng::deterministic(&format!("topology-{seed}"));
+        let ngroups = (rng.below(4) + 1) as usize;
+        let groups: Vec<HostGroup> = (0..ngroups)
+            .map(|i| HostGroup {
+                name: format!("g{i}"),
+                host: rng_host(&mut rng, i),
+                count: (rng.below(64) + 1) as usize,
+                link: rng_link(&mut rng, format!("Link {i}")),
+            })
+            .collect();
+        let inter = (ngroups > 1).then(|| rng_link(&mut rng, "Inter link".to_string()));
+        let topology = Topology { groups, inter };
+        let max_nodes = topology.total_hosts();
+        PlatformSpec {
+            name: format!("Prop Topology {seed}"),
+            slug: "prop-topo".to_string(),
+            topology,
+            max_nodes,
+            wan: rng.below(2) == 0,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Topology stanzas round-trip exactly: parse ∘ render is the
+    /// identity on arbitrary valid (possibly heterogeneous) platforms.
+    #[test]
+    fn topology_stanzas_round_trip(seed in any::<u64>()) {
+        use pdc_tool_eval::mpt::spec::{parse_spec, render_spec, SpecFile};
+        let spec = topology_specs::rng_platform(seed);
+        prop_assert!(spec.validate().is_ok());
+        let file = SpecFile { tools: vec![], platforms: vec![spec] };
+        let rendered = render_spec(&file);
+        let reparsed =
+            parse_spec(&rendered).unwrap_or_else(|e| panic!("{e}\n---\n{rendered}"));
+        prop_assert_eq!(&reparsed, &file);
+        // Render is deterministic, so a second round trip is a fixpoint.
+        prop_assert_eq!(render_spec(&reparsed), rendered);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Scheduler-equivalence properties (pooled direct-handoff engine)
 // ---------------------------------------------------------------------------
 
