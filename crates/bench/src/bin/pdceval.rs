@@ -3,9 +3,10 @@
 //! Usage:
 //!
 //! ```bash
-//! pdceval list [--quick] [--spec FILE]
+//! pdceval list [--quick] [--spec FILE] [--remix G=N,...]
 //! pdceval run [--campaign NAME] [--quick] [--workers N] [--out PATH]
 //!             [--baseline PATH] [--threshold PCT] [--spec FILE]
+//!             [--remix G=N,...]
 //! pdceval diff BASELINE NEW [--threshold PCT]
 //! pdceval bless STORE [--baseline PATH]
 //! pdceval validate FILE.spec
@@ -18,12 +19,19 @@
 //! results against a stored baseline and exits nonzero on regressions,
 //! which is the CI gating mode. `diff` compares two stores offline.
 //!
-//! `--spec FILE` loads user-defined tool/platform specs (see the
-//! `.spec` format in `pdceval_mpt::spec` and `examples/modern.spec`)
-//! into the model registry before anything runs. With `--spec` and no
-//! explicit `--campaign`, `run` executes the synthesized `spec-smoke`
-//! campaign sweeping the loaded models — a new tool or testbed runs
-//! end-to-end with zero code changes.
+//! `--spec FILE` loads user-defined tool/platform/campaign specs (see
+//! the `.spec` format in `pdceval_mpt::spec` and `examples/modern.spec`)
+//! into the model registry before anything runs. A spec file can declare
+//! its own named sweeps as `[campaign <name>]` stanzas; with `--spec`
+//! and no explicit `--campaign`, `run` executes the file's first
+//! declared campaign, falling back to the synthesized `spec-smoke`
+//! campaign when the file declares none — either way a new tool,
+//! testbed or sweep runs end-to-end with zero code changes.
+//!
+//! `--remix fast=4,slow=12` registers count variants of every loaded
+//! heterogeneous platform whose group names match (under the derived
+//! slug `<platform>-4fast-12slow`) and adds them to the loaded platform
+//! set, so one spec file plus one flag sweeps group mixes.
 //!
 //! `bless` promotes a results store to the committed baseline
 //! (default `baselines/quick.jsonl`), refusing stores with error
@@ -48,24 +56,25 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  pdceval list [--quick] [--spec FILE]\n  pdceval run [--campaign NAME] \
-         [--quick] [--workers N] [--out PATH] [--baseline PATH] [--threshold PCT] \
-         [--spec FILE]\n  pdceval diff BASELINE NEW [--threshold PCT]\n  \
-         pdceval bless STORE [--baseline PATH]\n  pdceval validate FILE.spec\n  \
-         pdceval snapshot OUT.spec [--spec FILE]"
+        "usage:\n  pdceval list [--quick] [--spec FILE] [--remix G=N,...]\n  pdceval run \
+         [--campaign NAME] [--quick] [--workers N] [--out PATH] [--baseline PATH] \
+         [--threshold PCT] [--spec FILE] [--remix G=N,...]\n  pdceval diff BASELINE NEW \
+         [--threshold PCT]\n  pdceval bless STORE [--baseline PATH]\n  \
+         pdceval validate FILE.spec\n  pdceval snapshot OUT.spec [--spec FILE]"
     );
     ExitCode::FAILURE
 }
 
 /// Flags that consume the following token as their value; everything
 /// else (`--quick`) is boolean and must not swallow positionals.
-const VALUE_FLAGS: [&str; 6] = [
+const VALUE_FLAGS: [&str; 7] = [
     "campaign",
     "workers",
     "out",
     "baseline",
     "threshold",
     "spec",
+    "remix",
 ];
 
 struct Args {
@@ -133,11 +142,15 @@ fn threshold(args: &Args) -> Result<f64, ExitCode> {
 }
 
 /// Loads `--spec FILE` (if given) into the process-global model
-/// registry, reporting what was registered.
+/// registry, reporting what was registered, and applies `--remix`.
 fn load_spec(args: &Args) -> Result<Option<LoadedSpecs>, ExitCode> {
     let Some(path) = args.value("spec") else {
         if args.has("spec") {
             eprintln!("--spec needs a file path");
+            return Err(ExitCode::FAILURE);
+        }
+        if args.has("remix") {
+            eprintln!("--remix needs --spec (built-in platforms are homogeneous)");
             return Err(ExitCode::FAILURE);
         }
         return Ok(None);
@@ -150,32 +163,150 @@ fn load_spec(args: &Args) -> Result<Option<LoadedSpecs>, ExitCode> {
         }
     };
     let registry = ModelRegistry::global();
-    match registry.load_spec_text(&text) {
-        Ok(loaded) => {
-            let tools: Vec<String> = loaded.tools.iter().map(|t| t.slug()).collect();
-            let platforms: Vec<String> = loaded.platforms.iter().map(|p| p.slug()).collect();
-            eprintln!(
-                "loaded {path}: {} tool(s) [{}], {} platform(s) [{}]",
-                tools.len(),
-                tools.join(", "),
-                platforms.len(),
-                platforms.join(", ")
-            );
-            Ok(Some(loaded))
-        }
+    let mut loaded = match registry.load_spec_text(&text) {
+        Ok(loaded) => loaded,
         Err(e) => {
             eprintln!("{path}: {e}");
-            Err(ExitCode::FAILURE)
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    // Reject shadowed names at load: the built-in campaign would win
+    // the name lookup, silently running a different sweep than the one
+    // the file declares.
+    for c in &loaded.campaigns {
+        if campaigns::is_reserved_name(&c.slug) {
+            eprintln!(
+                "{path}: campaign '{}' collides with a built-in campaign name — rename it \
+                 (see `pdceval list`)",
+                c.slug
+            );
+            return Err(ExitCode::FAILURE);
         }
     }
+    if let Err(e) = apply_remix(args, &mut loaded) {
+        eprintln!("{e}");
+        return Err(ExitCode::FAILURE);
+    }
+    let tools: Vec<String> = loaded.tools.iter().map(|t| t.slug()).collect();
+    let platforms: Vec<String> = loaded.platforms.iter().map(|p| p.slug()).collect();
+    let campaign_names: Vec<String> = loaded.campaigns.iter().map(|c| c.slug.clone()).collect();
+    eprintln!(
+        "loaded {path}: {} tool(s) [{}], {} platform(s) [{}], {} campaign(s) [{}]",
+        tools.len(),
+        tools.join(", "),
+        platforms.len(),
+        platforms.join(", "),
+        campaign_names.len(),
+        campaign_names.join(", ")
+    );
+    Ok(Some(loaded))
+}
+
+/// Parses `--remix fast=4,slow=12` into `(group, count)` pairs.
+fn parse_remix(raw: &str) -> Result<Vec<(String, usize)>, String> {
+    let mut pairs = Vec::new();
+    for part in raw.split(',') {
+        let Some((name, count)) = part.split_once('=') else {
+            return Err(format!(
+                "bad --remix entry '{part}' (expected group=count, e.g. fast=4)"
+            ));
+        };
+        let (name, count) = (name.trim(), count.trim());
+        let count: usize = count
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("bad --remix count '{count}' for group '{name}'"))?;
+        if pairs.iter().any(|(n, _)| n == name) {
+            return Err(format!("--remix names group '{name}' twice"));
+        }
+        pairs.push((name.to_string(), count));
+    }
+    Ok(pairs)
+}
+
+/// Applies `--remix G=N,...`: for every loaded heterogeneous platform
+/// whose group names exactly match the remix pairs, registers a count
+/// variant built with `Topology::remix` under the derived slug
+/// `<platform>-<mix>` and appends it to the loaded platform set.
+fn apply_remix(args: &Args, loaded: &mut LoadedSpecs) -> Result<(), String> {
+    let Some(raw) = args.value("remix") else {
+        if args.has("remix") {
+            return Err("--remix needs a value like fast=4,slow=12".to_string());
+        }
+        return Ok(());
+    };
+    let pairs = parse_remix(raw)?;
+    let registry = ModelRegistry::global();
+    let mut remixed = Vec::new();
+    for &p in &loaded.platforms {
+        let spec = p.spec();
+        if !spec.topology.is_heterogeneous() {
+            continue;
+        }
+        // Every group must be named exactly once, in any order.
+        let names: Vec<&str> = spec
+            .topology
+            .groups
+            .iter()
+            .map(|g| g.name.as_str())
+            .collect();
+        if names.len() != pairs.len() || !names.iter().all(|n| pairs.iter().any(|(p, _)| p == n)) {
+            continue;
+        }
+        let counts: Vec<usize> = names
+            .iter()
+            .map(|n| {
+                pairs
+                    .iter()
+                    .find(|(p, _)| p == n)
+                    .map(|(_, c)| *c)
+                    .expect("every group name was just matched")
+            })
+            .collect();
+        let topology = spec.topology.remix(&counts);
+        let mix = topology
+            .hetero_slug()
+            .expect("remixed multi-group topologies stay heterogeneous");
+        let new_spec = pdceval_simnet::platform::PlatformSpec {
+            name: format!("{} (remix {mix})", spec.name),
+            slug: format!("{}-{mix}", spec.slug),
+            max_nodes: topology.total_hosts(),
+            topology,
+            wan: spec.wan,
+        };
+        let id = registry
+            .register_platform(new_spec)
+            .map_err(|e| format!("--remix: {e}"))?;
+        remixed.push(id);
+    }
+    if remixed.is_empty() {
+        return Err(format!(
+            "--remix {raw}: no loaded heterogeneous platform has exactly these groups"
+        ));
+    }
+    let slugs: Vec<String> = remixed.iter().map(|p| p.slug()).collect();
+    eprintln!("remixed: {}", slugs.join(", "));
+    loaded.platforms.extend(remixed);
+    Ok(())
 }
 
 /// The campaigns visible to `list`/`run`: the declared defaults plus,
-/// when specs are loaded, the synthesized `spec-smoke` campaign — and
-/// `hetero-smoke` when any loaded platform is heterogeneous.
+/// when specs are loaded, the file's own `[campaign]` stanzas and the
+/// synthesized `spec-smoke` campaign — and `hetero-smoke` when any
+/// loaded platform is heterogeneous. A stanza that fails to
+/// materialize is skipped with a warning (consistent with `validate`)
+/// so it cannot take down unrelated campaigns; asking for it by name
+/// then fails as unknown, with the warning explaining why.
 fn visible_campaigns(s: Scale, loaded: &Option<LoadedSpecs>) -> Vec<Campaign> {
     let mut out = campaigns::all(s);
     if let Some(loaded) = loaded {
+        for c in &loaded.campaigns {
+            match campaigns::from_spec(c, &loaded.tools, &loaded.platforms, s) {
+                Ok(campaign) => out.push(campaign),
+                Err(e) => eprintln!("warning: {e} — campaign skipped"),
+            }
+        }
         out.push(campaigns::spec_smoke(&loaded.tools, &loaded.platforms, s));
         if loaded.platforms.iter().any(|p| p.is_heterogeneous()) {
             out.push(campaigns::hetero_smoke(&loaded.platforms, s));
@@ -209,13 +340,17 @@ fn cmd_run(args: &Args) -> ExitCode {
         Ok(l) => l,
         Err(code) => return code,
     };
-    // With loaded specs and no explicit --campaign, run the models the
-    // spec declared.
-    let name = args.value("campaign").unwrap_or(if loaded.is_some() {
-        "spec-smoke"
-    } else {
-        "quick"
-    });
+    // With loaded specs and no explicit --campaign, run what the spec
+    // declared: its first [campaign] stanza, or the synthesized
+    // spec-smoke fallback when the file declares none.
+    let name = args
+        .value("campaign")
+        .map(str::to_string)
+        .unwrap_or_else(|| match &loaded {
+            Some(l) if !l.campaigns.is_empty() => l.campaigns[0].slug.clone(),
+            Some(_) => "spec-smoke".to_string(),
+            None => "quick".to_string(),
+        });
     let Some(campaign) = visible_campaigns(s, &loaded)
         .into_iter()
         .find(|c| c.name == name)
@@ -291,7 +426,13 @@ fn cmd_run(args: &Args) -> ExitCode {
         };
         let new_text = store::render_jsonl(&records, &meta);
         let new = store::parse_jsonl(&new_text).expect("freshly rendered store must parse");
-        let report = diff_records(&base, &new, gate_threshold);
+        let report = match diff_records(&base, &new, gate_threshold) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
         print!("{}", report.render());
         if !report.passes() {
             return ExitCode::FAILURE;
@@ -322,7 +463,13 @@ fn cmd_diff(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let report = diff_records(&base, &new, t);
+    let report = match diff_records(&base, &new, t) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     print!("{}", report.render());
     if report.passes() {
         ExitCode::SUCCESS
@@ -395,6 +542,32 @@ fn print_platform(p: &pdceval_simnet::platform::PlatformSpec) {
     }
 }
 
+/// Prints one declared campaign stanza.
+fn print_campaign(c: &pdceval_mpt::spec::CampaignSpec) {
+    println!(
+        "campaign {}: {}",
+        c.slug,
+        c.title.as_deref().unwrap_or("(untitled)")
+    );
+    println!("  kernels: {}", c.kernels.join(", "));
+    let selector = |list: &[String]| {
+        if list.is_empty() {
+            "(spec default)".to_string()
+        } else {
+            list.join(", ")
+        }
+    };
+    println!("  tools: {}", selector(&c.tools));
+    println!("  platforms: {}", selector(&c.platforms));
+    let nums = |list: &[String]| list.join(" ");
+    println!(
+        "  nprocs: {} | sizes: {} | reps: {}",
+        nums(&c.nprocs.iter().map(|n| n.to_string()).collect::<Vec<_>>()),
+        nums(&c.sizes.iter().map(|n| n.to_string()).collect::<Vec<_>>()),
+        c.reps
+    );
+}
+
 /// `pdceval validate FILE.spec`: parse + validate + print the resolved
 /// specs (including resolved topologies) without registering or running
 /// anything.
@@ -422,10 +595,14 @@ fn cmd_validate(args: &Args) -> ExitCode {
     for p in &file.platforms {
         print_platform(p);
     }
+    for c in &file.campaigns {
+        print_campaign(c);
+    }
     // Port lists name platform slugs by string; a typo would silently
     // disable the tool everywhere, so cross-check against the file's
-    // own platforms and everything already registered.
-    let known: std::collections::HashSet<String> = file
+    // own platforms and everything already registered. Campaign
+    // tool/platform selectors get the same treatment.
+    let known_platforms: std::collections::HashSet<String> = file
         .platforms
         .iter()
         .map(|p| p.slug.clone())
@@ -436,6 +613,17 @@ fn cmd_validate(args: &Args) -> ExitCode {
                 .map(|p| p.slug()),
         )
         .collect();
+    let known_tools: std::collections::HashSet<String> = file
+        .tools
+        .iter()
+        .map(|t| t.slug.clone())
+        .chain(
+            ModelRegistry::global()
+                .tools()
+                .into_iter()
+                .map(|t| t.slug()),
+        )
+        .collect();
     for t in &file.tools {
         use pdceval_mpt::spec::PortPolicy;
         let (key, slugs) = match &t.ports {
@@ -443,7 +631,7 @@ fn cmd_validate(args: &Args) -> ExitCode {
             PortPolicy::Deny(s) => ("ports.deny", s),
             PortPolicy::All { .. } => continue,
         };
-        for slug in slugs.iter().filter(|s| !known.contains(*s)) {
+        for slug in slugs.iter().filter(|s| !known_platforms.contains(*s)) {
             eprintln!(
                 "warning: tool '{}': {key} names '{slug}', which matches no platform in \
                  this file or the registry",
@@ -451,10 +639,27 @@ fn cmd_validate(args: &Args) -> ExitCode {
             );
         }
     }
+    for c in &file.campaigns {
+        for slug in c.tools.iter().filter(|s| !known_tools.contains(*s)) {
+            eprintln!(
+                "warning: campaign '{}': tools names '{slug}', which matches no tool in \
+                 this file or the registry",
+                c.slug
+            );
+        }
+        for slug in c.platforms.iter().filter(|s| !known_platforms.contains(*s)) {
+            eprintln!(
+                "warning: campaign '{}': platforms names '{slug}', which matches no \
+                 platform in this file or the registry",
+                c.slug
+            );
+        }
+    }
     eprintln!(
-        "{path}: OK ({} tool(s), {} platform(s))",
+        "{path}: OK ({} tool(s), {} platform(s), {} campaign(s))",
         file.tools.len(),
-        file.platforms.len()
+        file.platforms.len(),
+        file.campaigns.len()
     );
     ExitCode::SUCCESS
 }
@@ -475,9 +680,10 @@ fn cmd_snapshot(args: &Args) -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!(
-        "snapshot: {} tool(s), {} platform(s) -> {out_path}",
+        "snapshot: {} tool(s), {} platform(s), {} campaign(s) -> {out_path}",
         file.tools.len(),
-        file.platforms.len()
+        file.platforms.len(),
+        file.campaigns.len()
     );
     ExitCode::SUCCESS
 }
@@ -511,6 +717,20 @@ fn cmd_bless(args: &Args) -> ExitCode {
     let errors = records.iter().filter(|r| r.status == "error").count();
     if errors > 0 {
         eprintln!("{store_path}: refusing to bless a store with {errors} error record(s)");
+        return ExitCode::FAILURE;
+    }
+    // An `ok` record without a mean is a non-finite statistic rendered
+    // as null; blessing it would bake an ungateable scenario into the
+    // baseline.
+    let broken = records
+        .iter()
+        .filter(|r| r.status == "ok" && r.mean.is_none())
+        .count();
+    if broken > 0 {
+        eprintln!(
+            "{store_path}: refusing to bless a store with {broken} 'ok' record(s) lacking a \
+             finite mean"
+        );
         return ExitCode::FAILURE;
     }
     if let Some(parent) = dest.parent() {

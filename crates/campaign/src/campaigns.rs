@@ -35,8 +35,9 @@ pub fn figure_procs(platform: Platform) -> Vec<usize> {
 /// A named campaign: a declared scenario set with a human title.
 #[derive(Debug, Clone)]
 pub struct Campaign {
-    /// Stable CLI name (`fig2-broadcast`, `quick`, ...).
-    pub name: &'static str,
+    /// Stable CLI name (`fig2-broadcast`, `quick`, or a spec-declared
+    /// campaign slug).
+    pub name: String,
     /// Human-readable description.
     pub title: String,
     /// The campaign's sweep points, in declaration order.
@@ -50,9 +51,9 @@ fn app_kernels(scale: Scale) -> Vec<Kernel> {
         .collect()
 }
 
-fn app_campaign(name: &'static str, figure: &str, platform: Platform, scale: Scale) -> Campaign {
+fn app_campaign(name: &str, figure: &str, platform: Platform, scale: Scale) -> Campaign {
     Campaign {
-        name,
+        name: name.to_string(),
         title: format!(
             "{figure}: application performance on {} ({scale:?} scale)",
             platform.name()
@@ -76,7 +77,7 @@ fn app_campaign(name: &'static str, figure: &str, platform: Platform, scale: Sca
 pub fn all(scale: Scale) -> Vec<Campaign> {
     vec![
         Campaign {
-            name: "table3-sendrecv",
+            name: "table3-sendrecv".to_string(),
             title: "Table 3: snd/rcv timing for SUN SPARCstations".to_string(),
             scenarios: ScenarioGrid::new()
                 .kernels([Kernel::SendRecv { iters: 2 }])
@@ -91,7 +92,7 @@ pub fn all(scale: Scale) -> Vec<Campaign> {
                 .scenarios(),
         },
         Campaign {
-            name: "fig2-broadcast",
+            name: "fig2-broadcast".to_string(),
             title: "Figure 2: broadcast timing among 4 SUNs".to_string(),
             scenarios: ScenarioGrid::new()
                 .kernels([Kernel::Broadcast])
@@ -102,7 +103,7 @@ pub fn all(scale: Scale) -> Vec<Campaign> {
                 .scenarios(),
         },
         Campaign {
-            name: "fig3-ring",
+            name: "fig3-ring".to_string(),
             title: "Figure 3: ring communication among 4 SUNs".to_string(),
             scenarios: ScenarioGrid::new()
                 .kernels([Kernel::Ring { shifts: 1 }])
@@ -113,7 +114,7 @@ pub fn all(scale: Scale) -> Vec<Campaign> {
                 .scenarios(),
         },
         Campaign {
-            name: "fig4-globalsum",
+            name: "fig4-globalsum".to_string(),
             title: "Figure 4: global vector summation among 4 SUNs".to_string(),
             scenarios: ScenarioGrid::new()
                 .kernels([Kernel::GlobalSum])
@@ -187,10 +188,17 @@ pub fn quick() -> Campaign {
             .scenarios(),
     );
     Campaign {
-        name: "quick",
+        name: "quick".to_string(),
         title: "Smoke campaign: all kernels, three platforms, all tools".to_string(),
         scenarios,
     }
+}
+
+/// The platform pair that default-selector spec campaigns and
+/// [`spec_smoke`] fall back to when a spec file declares no platforms
+/// of its own.
+fn fallback_platforms() -> Vec<Platform> {
+    vec![Platform::SUN_ETHERNET, Platform::SUN_ATM_LAN]
 }
 
 /// A smoke campaign over spec-loaded models: every TPL kernel plus one
@@ -212,7 +220,7 @@ pub fn spec_smoke(
         }
     }
     let platforms: Vec<Platform> = if loaded_platforms.is_empty() {
-        vec![Platform::SUN_ETHERNET, Platform::SUN_ATM_LAN]
+        fallback_platforms()
     } else {
         loaded_platforms.to_vec()
     };
@@ -252,7 +260,7 @@ pub fn spec_smoke(
             .scenarios(),
     );
     Campaign {
-        name: "spec-smoke",
+        name: "spec-smoke".to_string(),
         title: "Spec smoke: built-in + spec-loaded tools on spec-loaded platforms".to_string(),
         scenarios,
     }
@@ -318,7 +326,7 @@ pub fn hetero_smoke(loaded_platforms: &[Platform], scale: Scale) -> Campaign {
             .scenarios(),
     );
     Campaign {
-        name: "hetero-smoke",
+        name: "hetero-smoke".to_string(),
         title: "Hetero smoke: all kernels across spec-loaded heterogeneous topologies".to_string(),
         scenarios,
     }
@@ -329,6 +337,124 @@ pub fn by_name(name: &str, scale: Scale) -> Option<Campaign> {
     all(scale).into_iter().find(|c| c.name == name)
 }
 
+/// Whether `name` collides with a built-in campaign (the declared
+/// defaults or the synthesized smoke campaigns) and therefore may not
+/// be used by a spec-declared campaign: the built-in would shadow it
+/// at lookup, silently running the wrong sweep.
+pub fn is_reserved_name(name: &str) -> bool {
+    reserved_names().iter().any(|n| n == name)
+}
+
+/// The campaign names spec stanzas may not shadow: the declared
+/// defaults plus the synthesized smoke campaigns. Names are
+/// scale-independent, so the list is built once rather than
+/// re-enumerating every builtin grid per lookup.
+fn reserved_names() -> &'static [String] {
+    use std::sync::OnceLock;
+    static NAMES: OnceLock<Vec<String>> = OnceLock::new();
+    NAMES.get_or_init(|| {
+        let mut names: Vec<String> = all(Scale::Quick).into_iter().map(|c| c.name).collect();
+        names.push("spec-smoke".to_string());
+        names.push("hetero-smoke".to_string());
+        names
+    })
+}
+
+/// Materializes one `[campaign]` spec stanza into a runnable
+/// [`Campaign`] — the path by which a sweep declared purely as spec
+/// data becomes a [`ScenarioGrid`] with the usual validity filtering.
+///
+/// Kernel names follow [`Kernel::parse_name`] (applications take their
+/// workload scale from `scale`). The stanza's `tools` / `platforms`
+/// selectors name registry slugs; when omitted they default to the
+/// declaring spec's own models (`own_tools` / `own_platforms`), falling
+/// back to the built-in tools and the `spec-smoke` platform pair when
+/// the spec declares none.
+///
+/// # Errors
+///
+/// Returns a description of the problem: a name colliding with a
+/// built-in campaign, an unknown kernel/tool/platform, or a grid whose
+/// every point is invalid (nothing would run).
+pub fn from_spec(
+    spec: &pdceval_mpt::spec::CampaignSpec,
+    own_tools: &[ToolKind],
+    own_platforms: &[Platform],
+    scale: Scale,
+) -> Result<Campaign, String> {
+    use pdceval_mpt::ModelRegistry;
+
+    let ctx = format!("campaign '{}'", spec.slug);
+    if is_reserved_name(&spec.slug) {
+        return Err(format!(
+            "{ctx}: the name collides with a built-in campaign (see `pdceval list`)"
+        ));
+    }
+
+    let kernels: Vec<Kernel> = spec
+        .kernels
+        .iter()
+        .map(|k| Kernel::parse_name(k, scale).ok_or_else(|| format!("{ctx}: unknown kernel '{k}'")))
+        .collect::<Result<_, _>>()?;
+
+    let registry = ModelRegistry::global();
+    let tools: Vec<ToolKind> = if spec.tools.is_empty() {
+        if own_tools.is_empty() {
+            ToolKind::builtin().to_vec()
+        } else {
+            own_tools.to_vec()
+        }
+    } else {
+        spec.tools
+            .iter()
+            .map(|s| {
+                registry
+                    .tool_by_slug(s)
+                    .ok_or_else(|| format!("{ctx}: unknown tool '{s}'"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    let platforms: Vec<Platform> = if spec.platforms.is_empty() {
+        if own_platforms.is_empty() {
+            fallback_platforms()
+        } else {
+            own_platforms.to_vec()
+        }
+    } else {
+        spec.platforms
+            .iter()
+            .map(|s| {
+                registry
+                    .platform_by_slug(s)
+                    .ok_or_else(|| format!("{ctx}: unknown platform '{s}'"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+
+    let scenarios = ScenarioGrid::new()
+        .kernels(kernels)
+        .tools(tools)
+        .platforms(platforms)
+        .nprocs(spec.nprocs.iter().copied())
+        .sizes(spec.sizes.iter().copied())
+        .reps(spec.reps)
+        .scenarios();
+    if scenarios.is_empty() {
+        return Err(format!(
+            "{ctx}: every grid point is invalid (check node counts against platform \
+             limits and tool capabilities)"
+        ));
+    }
+    Ok(Campaign {
+        name: spec.slug.clone(),
+        title: spec
+            .title
+            .clone()
+            .unwrap_or_else(|| format!("Spec-declared campaign '{}'", spec.slug)),
+        scenarios,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,7 +462,7 @@ mod tests {
     #[test]
     fn campaign_names_are_unique() {
         let campaigns = all(Scale::Quick);
-        let mut names: Vec<&str> = campaigns.iter().map(|c| c.name).collect();
+        let mut names: Vec<&str> = campaigns.iter().map(|c| c.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), campaigns.len());
@@ -410,6 +536,87 @@ mod tests {
             assert!(s.is_valid(), "{} invalid", s.key());
             assert!(s.key().contains("/4a-8b/"), "{}", s.key());
         }
+    }
+
+    fn stanza(slug: &str) -> pdceval_mpt::spec::CampaignSpec {
+        pdceval_mpt::spec::CampaignSpec {
+            slug: slug.to_string(),
+            title: None,
+            kernels: vec!["sendrecv-i2".to_string(), "globalsum".to_string()],
+            nprocs: vec![2, 4],
+            sizes: vec![1024],
+            reps: 2,
+            tools: vec![],
+            platforms: vec![],
+        }
+    }
+
+    #[test]
+    fn spec_campaigns_materialize_with_defaults_and_filtering() {
+        // No own models: built-in tools on the spec-smoke platform pair.
+        let c = from_spec(&stanza("my-sweep"), &[], &[], Scale::Quick).unwrap();
+        assert_eq!(c.name, "my-sweep");
+        assert!(c.title.contains("my-sweep"));
+        let tools: std::collections::HashSet<_> = c.scenarios.iter().map(|s| s.tool).collect();
+        assert_eq!(tools.len(), 3, "defaults to the built-in tools");
+        // Validity filtering unchanged: PVM has no global sum, so its
+        // globalsum points are dropped.
+        assert!(c
+            .scenarios
+            .iter()
+            .all(|s| s.tool != ToolKind::PVM || s.kernel != Kernel::GlobalSum));
+        assert!(c
+            .scenarios
+            .iter()
+            .all(|s| s.kernel != Kernel::SendRecv { iters: 2 } || s.nprocs >= 2));
+        assert!(c.scenarios.iter().all(|s| s.reps == 2));
+
+        // Explicit selectors resolve registry slugs.
+        let mut explicit = stanza("my-explicit");
+        explicit.tools = vec!["p4".to_string()];
+        explicit.platforms = vec!["sun-atm-wan".to_string()];
+        let c = from_spec(&explicit, &[], &[], Scale::Quick).unwrap();
+        assert!(c
+            .scenarios
+            .iter()
+            .all(|s| s.tool == ToolKind::P4 && s.platform == Platform::SUN_ATM_WAN));
+
+        // Own models take precedence over the fallback defaults.
+        let c = from_spec(
+            &stanza("my-own"),
+            &[ToolKind::P4],
+            &[Platform::ALPHA_FDDI],
+            Scale::Quick,
+        )
+        .unwrap();
+        assert!(c
+            .scenarios
+            .iter()
+            .all(|s| s.tool == ToolKind::P4 && s.platform == Platform::ALPHA_FDDI));
+    }
+
+    #[test]
+    fn spec_campaigns_reject_collisions_and_unknowns() {
+        let err = from_spec(&stanza("quick"), &[], &[], Scale::Quick).unwrap_err();
+        assert!(err.contains("built-in campaign"), "{err}");
+        let err = from_spec(&stanza("spec-smoke"), &[], &[], Scale::Quick).unwrap_err();
+        assert!(err.contains("built-in campaign"), "{err}");
+
+        let mut bad = stanza("bad-tool");
+        bad.tools = vec!["no-such-tool".to_string()];
+        let err = from_spec(&bad, &[], &[], Scale::Quick).unwrap_err();
+        assert!(err.contains("unknown tool 'no-such-tool'"), "{err}");
+
+        let mut bad = stanza("bad-platform");
+        bad.platforms = vec!["no-such-platform".to_string()];
+        let err = from_spec(&bad, &[], &[], Scale::Quick).unwrap_err();
+        assert!(err.contains("unknown platform"), "{err}");
+
+        // A grid whose every point is invalid is reported, not run.
+        let mut empty = stanza("all-invalid");
+        empty.nprocs = vec![4096];
+        let err = from_spec(&empty, &[], &[], Scale::Quick).unwrap_err();
+        assert!(err.contains("invalid"), "{err}");
     }
 
     #[test]

@@ -97,19 +97,51 @@ impl DiffReport {
     }
 }
 
-fn ok_by_key(records: &[StoredRecord]) -> BTreeMap<&str, &StoredRecord> {
-    records
-        .iter()
-        .filter(|r| r.status == "ok" && r.mean.is_some())
-        .map(|r| (r.key.as_str(), r))
-        .collect()
+fn ok_by_key<'a>(
+    records: &'a [StoredRecord],
+    label: &str,
+) -> Result<BTreeMap<&'a str, &'a StoredRecord>, String> {
+    let mut map = BTreeMap::new();
+    for r in records.iter().filter(|r| r.status == "ok") {
+        // An `ok` record without a mean is a non-finite statistic
+        // rendered as null (a model bug); dropping it from the
+        // comparison would silently un-gate that scenario.
+        if r.mean.is_none() {
+            return Err(format!(
+                "{label} store has an 'ok' record without a finite mean for key '{}' — \
+                 non-finite statistics indicate a model bug",
+                r.key
+            ));
+        }
+        if map.insert(r.key.as_str(), r).is_some() {
+            // Silently letting the last record win would let an
+            // appended or re-run store mask a regression.
+            return Err(format!(
+                "{label} store has duplicate records for key '{}' — \
+                 appended or re-run stores cannot be gated",
+                r.key
+            ));
+        }
+    }
+    Ok(map)
 }
 
 /// Compares `new` against `base`, flagging points whose mean grew by
 /// more than `threshold` (relative, e.g. `0.05` = 5%).
-pub fn diff_records(base: &[StoredRecord], new: &[StoredRecord], threshold: f64) -> DiffReport {
-    let base_map = ok_by_key(base);
-    let new_map = ok_by_key(new);
+///
+/// # Errors
+///
+/// Returns the offending scenario key if either store carries duplicate
+/// `ok` records for one key (the comparison would be ambiguous) or an
+/// `ok` record without a mean (a non-finite statistic — the scenario
+/// would otherwise silently escape the gate).
+pub fn diff_records(
+    base: &[StoredRecord],
+    new: &[StoredRecord],
+    threshold: f64,
+) -> Result<DiffReport, String> {
+    let base_map = ok_by_key(base, "baseline")?;
+    let new_map = ok_by_key(new, "new")?;
     let mut entries = Vec::new();
     let mut only_in_base = Vec::new();
     for (key, b) in &base_map {
@@ -143,12 +175,12 @@ pub fn diff_records(base: &[StoredRecord], new: &[StoredRecord], threshold: f64)
         .filter(|k| !base_map.contains_key(**k))
         .map(|k| (*k).to_string())
         .collect();
-    DiffReport {
+    Ok(DiffReport {
         entries,
         only_in_base,
         only_in_new,
         threshold,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -174,7 +206,7 @@ mod tests {
         let base = vec![rec("a", 10.0), rec("b", 5.0), rec("c", 1.0)];
         let mut new = base.clone();
         new[1].mean = Some(6.0); // +20% on "b"
-        let report = diff_records(&base, &new, 0.10);
+        let report = diff_records(&base, &new, 0.10).unwrap();
         assert_eq!(report.regression_count(), 1);
         assert!(!report.passes());
         let regressed: Vec<&str> = report
@@ -190,7 +222,7 @@ mod tests {
     #[test]
     fn identical_stores_pass() {
         let base = vec![rec("a", 10.0), rec("b", 5.0)];
-        let report = diff_records(&base, &base.clone(), 0.0);
+        let report = diff_records(&base, &base.clone(), 0.0).unwrap();
         assert!(report.passes());
         assert_eq!(report.entries.len(), 2);
     }
@@ -199,15 +231,50 @@ mod tests {
     fn threshold_tolerates_small_growth() {
         let base = vec![rec("a", 100.0)];
         let new = vec![rec("a", 104.0)];
-        assert!(diff_records(&base, &new, 0.05).passes());
-        assert!(!diff_records(&base, &new, 0.01).passes());
+        assert!(diff_records(&base, &new, 0.05).unwrap().passes());
+        assert!(!diff_records(&base, &new, 0.01).unwrap().passes());
+    }
+
+    #[test]
+    fn duplicate_keys_fail_the_diff_instead_of_masking() {
+        // A re-run appended to a store: the stale fast record must not
+        // shadow (or be shadowed by) the fresh slow one.
+        let dup = vec![rec("a", 1.0), rec("b", 2.0), rec("a", 9.0)];
+        let clean = vec![rec("a", 1.0), rec("b", 2.0)];
+        let err = diff_records(&dup, &clean, 0.0).unwrap_err();
+        assert!(err.contains("'a'"), "{err}");
+        assert!(err.contains("baseline"), "{err}");
+        let err = diff_records(&clean, &dup, 0.0).unwrap_err();
+        assert!(err.contains("'a'"), "{err}");
+        assert!(err.contains("new"), "{err}");
+        // Duplicate keys among non-ok records are fine: they never
+        // enter the comparison.
+        let mut unsupported = rec("u", 0.0);
+        unsupported.status = "unsupported".to_string();
+        unsupported.mean = None;
+        let with_dup_unsupported = vec![rec("a", 1.0), unsupported.clone(), unsupported];
+        assert!(diff_records(&with_dup_unsupported, &clean, 0.0).is_ok());
+    }
+
+    #[test]
+    fn ok_records_without_a_mean_fail_the_diff() {
+        // A non-finite statistic renders as null; the scenario must
+        // fail the gate loudly instead of vanishing from both maps.
+        let mut broken = rec("a", 1.0);
+        broken.mean = None;
+        let clean = vec![rec("a", 1.0)];
+        let err = diff_records(&clean, &[rec("a", 1.0), broken.clone()], 0.0).unwrap_err();
+        assert!(err.contains("'a'"), "{err}");
+        assert!(err.contains("without a finite mean"), "{err}");
+        let err = diff_records(&[broken], &clean, 0.0).unwrap_err();
+        assert!(err.contains("baseline"), "{err}");
     }
 
     #[test]
     fn disjoint_keys_are_reported_not_compared() {
         let base = vec![rec("a", 1.0), rec("gone", 2.0)];
         let new = vec![rec("a", 1.0), rec("fresh", 3.0)];
-        let report = diff_records(&base, &new, 0.0);
+        let report = diff_records(&base, &new, 0.0).unwrap();
         assert_eq!(report.entries.len(), 1);
         assert_eq!(report.only_in_base, vec!["gone".to_string()]);
         assert_eq!(report.only_in_new, vec!["fresh".to_string()]);
@@ -220,7 +287,7 @@ mod tests {
         unsupported.mean = None;
         let base = vec![rec("a", 1.0), unsupported.clone()];
         let new = vec![rec("a", 1.0), unsupported];
-        let report = diff_records(&base, &new, 0.0);
+        let report = diff_records(&base, &new, 0.0).unwrap();
         assert_eq!(report.entries.len(), 1);
         assert!(report.only_in_base.is_empty());
     }

@@ -146,20 +146,42 @@ impl Parser<'_> {
                     Some((_, 'r')) => out.push('\r'),
                     Some((_, 't')) => out.push('\t'),
                     Some((_, 'u')) => {
-                        let mut code = 0u32;
-                        for _ in 0..4 {
-                            let (i, c) = self
-                                .chars
-                                .next()
-                                .ok_or_else(|| "truncated \\u escape".to_string())?;
-                            code = code * 16
-                                + c.to_digit(16)
-                                    .ok_or_else(|| format!("bad \\u digit at byte {i}"))?;
+                        let code = self.hex4()?;
+                        match code {
+                            // High surrogate: must be followed by an
+                            // escaped low surrogate; the pair combines
+                            // into one supplementary-plane char.
+                            0xD800..=0xDBFF => {
+                                if !(self.eat('\\') && self.eat('u')) {
+                                    return Err(format!(
+                                        "unpaired high surrogate \\u{code:04x} (expected a \
+                                         \\uDC00-\\uDFFF low surrogate escape)"
+                                    ));
+                                }
+                                let low = self.hex4()?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(format!(
+                                        "unpaired high surrogate \\u{code:04x} (followed by \
+                                         \\u{low:04x}, not a low surrogate)"
+                                    ));
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                out.push(
+                                    char::from_u32(combined)
+                                        .expect("surrogate pairs combine to valid chars"),
+                                );
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(format!(
+                                    "unpaired low surrogate \\u{code:04x} (a low surrogate \
+                                     must follow a \\uD800-\\uDBFF high surrogate)"
+                                ))
+                            }
+                            _ => out.push(
+                                char::from_u32(code)
+                                    .expect("non-surrogate BMP code points are chars"),
+                            ),
                         }
-                        out.push(
-                            char::from_u32(code)
-                                .ok_or_else(|| format!("invalid \\u code point {code:#x}"))?,
-                        );
                     }
                     Some((i, c)) => return Err(format!("bad escape '\\{c}' at byte {i}")),
                     None => return Err("truncated escape".to_string()),
@@ -167,6 +189,22 @@ impl Parser<'_> {
                 Some((_, c)) => out.push(c),
             }
         }
+    }
+
+    /// The four hex digits of a `\uXXXX` escape (the `\u` already
+    /// consumed).
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let (i, c) = self
+                .chars
+                .next()
+                .ok_or_else(|| "truncated \\u escape".to_string())?;
+            code = code * 16
+                + c.to_digit(16)
+                    .ok_or_else(|| format!("bad \\u digit at byte {i}"))?;
+        }
+        Ok(code)
     }
 
     fn parse_value(&mut self) -> Result<Json, String> {
@@ -230,6 +268,29 @@ mod tests {
         let line = format!("{{\"k\": \"{}\"}}", escape(nasty));
         let pairs = parse_object(&line).unwrap();
         assert_eq!(pairs[0].1.as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_combine() {
+        // "😀" (U+1F600) escaped the way other JSON writers emit it.
+        let pairs = parse_object(r#"{"k": "\ud83d\ude00"}"#).unwrap();
+        assert_eq!(pairs[0].1.as_str(), Some("\u{1f600}"));
+        // Mixed with a BMP escape and literal text.
+        let pairs = parse_object(r#"{"k": "a\u0041\ud83d\ude00z"}"#).unwrap();
+        assert_eq!(pairs[0].1.as_str(), Some("aA\u{1f600}z"));
+    }
+
+    #[test]
+    fn unpaired_surrogates_are_rejected_with_context() {
+        for (line, needle) in [
+            (r#"{"k": "\ud83d"}"#, "unpaired high surrogate"),
+            (r#"{"k": "\ud83dx"}"#, "unpaired high surrogate"),
+            (r#"{"k": "\ud83d\u0041"}"#, "not a low surrogate"),
+            (r#"{"k": "\ude00"}"#, "unpaired low surrogate"),
+        ] {
+            let err = parse_object(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
     }
 
     #[test]

@@ -42,7 +42,8 @@
 //!     &parse_jsonl(&store).unwrap(),
 //!     &parse_jsonl(&store).unwrap(),
 //!     0.0,
-//! );
+//! )
+//! .unwrap();
 //! assert!(report.passes());
 //! ```
 

@@ -140,6 +140,28 @@ impl Kernel {
             _ => "ms",
         }
     }
+
+    /// Parses a campaign kernel name — the vocabulary `[campaign]` spec
+    /// stanzas use, defined once in
+    /// `pdceval_mpt::spec::parse_campaign_kernel`: `sendrecv[-iN]`,
+    /// `broadcast`, `ring[-xN]`, `globalsum`, and the application names
+    /// `fft` / `jpeg` / `montecarlo` / `sorting`, which take their
+    /// workload scale from `scale`. Bare `sendrecv` / `ring` default
+    /// their parameter to 1.
+    pub fn parse_name(name: &str, scale: Scale) -> Option<Kernel> {
+        use pdceval_mpt::spec::{parse_campaign_kernel, CampaignKernel as Ck};
+        let app = |app| Kernel::App { app, scale };
+        Some(match parse_campaign_kernel(name)? {
+            Ck::SendRecv(iters) => Kernel::SendRecv { iters },
+            Ck::Broadcast => Kernel::Broadcast,
+            Ck::Ring(shifts) => Kernel::Ring { shifts },
+            Ck::GlobalSum => Kernel::GlobalSum,
+            Ck::Fft => app(AplApp::Fft),
+            Ck::Jpeg => app(AplApp::Jpeg),
+            Ck::MonteCarlo => app(AplApp::MonteCarlo),
+            Ck::Sorting => app(AplApp::Sorting),
+        })
+    }
 }
 
 /// Stable lower-case slug for a tool, used in scenario keys. Slugs come
@@ -370,6 +392,69 @@ mod tests {
         let platform = pdceval_simnet::registry::register_platform(spec).unwrap();
         let key = sc(Kernel::Broadcast, ToolKind::P4, platform, 4).key();
         assert_eq!(key, "broadcast/p4/key-test-mix/2fast-6slow/n4/s1024");
+    }
+
+    #[test]
+    fn kernel_names_parse_and_agree_with_the_spec_vocabulary() {
+        use pdceval_mpt::spec::is_campaign_kernel;
+
+        assert_eq!(
+            Kernel::parse_name("sendrecv", Scale::Quick),
+            Some(Kernel::SendRecv { iters: 1 })
+        );
+        assert_eq!(
+            Kernel::parse_name("sendrecv-i3", Scale::Quick),
+            Some(Kernel::SendRecv { iters: 3 })
+        );
+        assert_eq!(
+            Kernel::parse_name("ring-x4", Scale::Quick),
+            Some(Kernel::Ring { shifts: 4 })
+        );
+        assert_eq!(
+            Kernel::parse_name("montecarlo", Scale::Paper),
+            Some(Kernel::App {
+                app: AplApp::MonteCarlo,
+                scale: Scale::Paper
+            })
+        );
+        // Every kernel's own key slug parses back to itself (apps add a
+        // scale segment, so they are keyed, not parsed).
+        for k in [
+            Kernel::SendRecv { iters: 2 },
+            Kernel::Broadcast,
+            Kernel::Ring { shifts: 1 },
+            Kernel::GlobalSum,
+        ] {
+            assert_eq!(Kernel::parse_name(&k.slug(), Scale::Quick), Some(k));
+        }
+        // The two vocabularies — what the spec parser admits and what
+        // materialization understands — must agree.
+        for name in [
+            "sendrecv",
+            "sendrecv-i2",
+            "broadcast",
+            "ring",
+            "ring-x9",
+            "globalsum",
+            "fft",
+            "jpeg",
+            "montecarlo",
+            "sorting",
+            "",
+            "warp",
+            "sendrecv-i",
+            "sendrecv-i0",
+            "ring-i2",
+            "ringx2",
+            "montecarlo-quick",
+            "sendrecv-i+5",
+        ] {
+            assert_eq!(
+                is_campaign_kernel(name),
+                Kernel::parse_name(name, Scale::Quick).is_some(),
+                "vocabulary drift on '{name}'"
+            );
+        }
     }
 
     #[test]

@@ -63,10 +63,13 @@ pub fn unix_timestamp() -> u64 {
 
 fn render_opt_num(out: &mut String, value: Option<f64>) {
     match value {
-        Some(v) => {
+        // Non-finite stats (a NaN/inf cv from zero-time repetitions)
+        // have no JSON number rendering; writing them verbatim would
+        // produce a store `parse_jsonl` cannot read back.
+        Some(v) if v.is_finite() => {
             let _ = write!(out, "{v}");
         }
-        None => out.push_str("null"),
+        _ => out.push_str("null"),
     }
 }
 
@@ -294,6 +297,26 @@ mod tests {
         let parsed = parse_jsonl(&text).unwrap();
         assert_eq!(parsed[0].status, "unsupported");
         assert_eq!(parsed[0].mean, None);
+    }
+
+    #[test]
+    fn non_finite_stats_render_as_null_and_round_trip() {
+        // Zero-time repetitions produce cv = 0/0 = NaN; the store must
+        // stay parseable rather than emit bare NaN/inf tokens.
+        let mut r = record(1024, 3.5);
+        r.stats = Some(RepStats {
+            mean: f64::INFINITY,
+            min: f64::NEG_INFINITY,
+            max: 3.5,
+            cv: f64::NAN,
+        });
+        let text = render_jsonl(&[r], &StoreMeta::none());
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+        let parsed = parse_jsonl(&text).expect("non-finite stats must not corrupt the store");
+        assert_eq!(parsed[0].mean, None);
+        assert_eq!(parsed[0].min, None);
+        assert_eq!(parsed[0].max, Some(3.5));
+        assert_eq!(parsed[0].cv, None);
     }
 
     #[test]

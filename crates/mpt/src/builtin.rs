@@ -225,6 +225,7 @@ mod tests {
         let file = SpecFile {
             tools: builtin_tools(),
             platforms: pdceval_simnet::builtin::builtin_platforms(),
+            campaigns: vec![],
         };
         let rendered = render_spec(&file);
         let reparsed = parse_spec(&rendered).expect("builtin specs must re-parse");

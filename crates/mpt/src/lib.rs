@@ -47,7 +47,7 @@ pub mod tool;
 pub use node::{Node, RecvMsg};
 pub use registry::ModelRegistry;
 pub use runtime::{run_spmd, SpmdConfig, SpmdHarness, SpmdOutcome};
-pub use spec::{SpecFile, Support, ToolSpec};
+pub use spec::{CampaignSpec, SpecFile, Support, ToolSpec};
 pub use tool::{Primitive, ToolId, ToolKind};
 
 /// Convenient glob-import of the crate's primary types.
@@ -58,7 +58,7 @@ pub mod prelude {
     pub use crate::profile::ToolProfile;
     pub use crate::registry::ModelRegistry;
     pub use crate::runtime::{run_spmd, SpmdConfig, SpmdHarness, SpmdOutcome};
-    pub use crate::spec::{SpecFile, Support, ToolSpec};
+    pub use crate::spec::{CampaignSpec, SpecFile, Support, ToolSpec};
     pub use crate::tool::{Primitive, ToolId, ToolKind};
     pub use pdceval_simnet::platform::{Platform, PlatformId, PlatformSpec};
     pub use pdceval_simnet::time::{SimDuration, SimTime};

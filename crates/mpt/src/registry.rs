@@ -9,7 +9,7 @@
 //! with zero code changes.
 
 use crate::builtin::builtin_tools;
-use crate::spec::{parse_spec, SpecFile, ToolSpec};
+use crate::spec::{parse_spec, CampaignSpec, SpecFile, ToolSpec};
 use crate::tool::ToolId;
 use pdceval_simnet::platform::{PlatformId, PlatformSpec};
 use pdceval_simnet::registry as platform_registry;
@@ -19,6 +19,63 @@ static TOOLS: OnceLock<RwLock<Vec<Arc<ToolSpec>>>> = OnceLock::new();
 
 fn table() -> &'static RwLock<Vec<Arc<ToolSpec>>> {
     TOOLS.get_or_init(|| RwLock::new(builtin_tools().into_iter().map(Arc::new).collect()))
+}
+
+/// Campaign stanzas loaded from spec files. There are no built-in
+/// entries: the paper's campaigns are code (`pdceval_campaign`), this
+/// table only carries user declarations so `snapshot` can serialize
+/// them back verbatim.
+static CAMPAIGNS: OnceLock<RwLock<Vec<Arc<CampaignSpec>>>> = OnceLock::new();
+
+fn campaign_table() -> &'static RwLock<Vec<Arc<CampaignSpec>>> {
+    CAMPAIGNS.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// Registers a campaign spec.
+///
+/// Registering a spec whose slug is already taken returns `Ok` if the
+/// specs are identical (idempotent re-registration) and an error if
+/// they differ.
+///
+/// # Errors
+///
+/// Returns a description of the conflict or validation failure.
+pub fn register_campaign(spec: CampaignSpec) -> Result<Arc<CampaignSpec>, String> {
+    spec.validate()?;
+    let mut t = campaign_table()
+        .write()
+        .expect("campaign registry poisoned");
+    if let Some(existing) = t.iter().find(|c| c.slug == spec.slug) {
+        return if **existing == spec {
+            Ok(existing.clone())
+        } else {
+            Err(format!(
+                "campaign slug '{}' is already registered with a different spec",
+                spec.slug
+            ))
+        };
+    }
+    let spec = Arc::new(spec);
+    t.push(spec.clone());
+    Ok(spec)
+}
+
+/// All registered campaign stanzas, in registration order.
+pub fn all_campaigns() -> Vec<Arc<CampaignSpec>> {
+    campaign_table()
+        .read()
+        .expect("campaign registry poisoned")
+        .clone()
+}
+
+/// Looks a campaign stanza up by its slug.
+pub fn find_campaign(slug: &str) -> Option<Arc<CampaignSpec>> {
+    campaign_table()
+        .read()
+        .expect("campaign registry poisoned")
+        .iter()
+        .find(|c| c.slug == slug)
+        .cloned()
 }
 
 /// Resolves a handle to its spec.
@@ -85,6 +142,8 @@ pub struct LoadedSpecs {
     pub tools: Vec<ToolId>,
     /// Platforms the file declared, in file order.
     pub platforms: Vec<PlatformId>,
+    /// Campaign stanzas the file declared, in file order.
+    pub campaigns: Vec<Arc<CampaignSpec>>,
 }
 
 /// The combined model registry: every tool and platform the process
@@ -171,7 +230,27 @@ impl ModelRegistry {
                 .into_iter()
                 .map(|p| (*p.spec()).clone())
                 .collect(),
+            campaigns: self.campaigns().iter().map(|c| (**c).clone()).collect(),
         }
+    }
+
+    /// Registers a campaign stanza. See [`register_campaign`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the conflict or validation failure.
+    pub fn register_campaign(&self, spec: CampaignSpec) -> Result<Arc<CampaignSpec>, String> {
+        register_campaign(spec)
+    }
+
+    /// All registered campaign stanzas, in registration order.
+    pub fn campaigns(&self) -> Vec<Arc<CampaignSpec>> {
+        all_campaigns()
+    }
+
+    /// Looks a campaign stanza up by slug.
+    pub fn campaign_by_slug(&self, slug: &str) -> Option<Arc<CampaignSpec>> {
+        find_campaign(slug)
     }
 
     /// Parses spec-file text and registers everything it declares.
@@ -182,7 +261,11 @@ impl ModelRegistry {
     /// Returns a parse diagnostic (with line number) or a registration
     /// conflict, as a displayable string.
     pub fn load_spec_text(&self, text: &str) -> Result<LoadedSpecs, String> {
-        let SpecFile { tools, platforms } = parse_spec(text).map_err(|e| e.to_string())?;
+        let SpecFile {
+            tools,
+            platforms,
+            campaigns,
+        } = parse_spec(text).map_err(|e| e.to_string())?;
         let mut loaded = LoadedSpecs::default();
         // Register platforms first so a file's tools can be validated
         // against its own platforms in the future without ordering traps.
@@ -191,6 +274,9 @@ impl ModelRegistry {
         }
         for t in tools {
             loaded.tools.push(self.register_tool(t)?);
+        }
+        for c in campaigns {
+            loaded.campaigns.push(self.register_campaign(c)?);
         }
         Ok(loaded)
     }
@@ -226,5 +312,41 @@ mod tests {
         spec.profile.send_alpha_us += 1.0;
         let err = register_tool(spec).unwrap_err();
         assert!(err.contains("different spec"), "{err}");
+    }
+
+    #[test]
+    fn campaign_registration_is_idempotent_and_conflict_checked() {
+        let mut spec = CampaignSpec {
+            slug: "registry-test-sweep".to_string(),
+            title: None,
+            kernels: vec!["broadcast".to_string()],
+            nprocs: vec![4],
+            sizes: vec![1024],
+            reps: 1,
+            tools: vec![],
+            platforms: vec![],
+        };
+        let a = register_campaign(spec.clone()).unwrap();
+        let b = register_campaign(spec.clone()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(find_campaign("registry-test-sweep").as_deref(), Some(&*a));
+        spec.reps = 2;
+        let err = register_campaign(spec.clone()).unwrap_err();
+        assert!(err.contains("different spec"), "{err}");
+        spec.slug = "Bad Slug".to_string();
+        assert!(register_campaign(spec).is_err());
+        // Loading a spec file registers its campaigns and the snapshot
+        // carries them.
+        let loaded = ModelRegistry::global()
+            .load_spec_text(
+                "[campaign registry-test-loaded]\nkernels = ring\nnprocs = 4\nsizes = 1024\n",
+            )
+            .unwrap();
+        assert_eq!(loaded.campaigns.len(), 1);
+        assert!(ModelRegistry::global()
+            .snapshot()
+            .campaigns
+            .iter()
+            .any(|c| c.slug == "registry-test-loaded"));
     }
 }

@@ -167,8 +167,9 @@ impl SpmdHarness {
         // Deterministic placement: rank r lands on the host model of the
         // topology group covering index r (groups fill in declaration
         // order), so skewed host groups show up as per-rank speeds.
+        let placement = spec.topology.placement();
         let hosts: Vec<_> = (0..nprocs)
-            .map(|r| spec.topology.host_for_rank(r).clone())
+            .map(|r| spec.topology.groups[placement.group_of(r)].host.clone())
             .collect();
         let stack_tx = (0..nprocs)
             .map(|i| sim.add_resource_indexed("stack-tx", i))

@@ -322,6 +322,216 @@ impl Primitive {
     }
 }
 
+/// One `[campaign <name>]` stanza: a named scenario grid declared as
+/// data — kernels × tools × platforms × nprocs × sizes, with a
+/// repetition count.
+///
+/// Kernel names use the scenario-key vocabulary: `sendrecv[-iN]`
+/// (echo, N ping-pong iterations), `broadcast`, `ring[-xN]` (N
+/// simultaneous shifts), `globalsum`, and the four applications `fft` /
+/// `jpeg` / `montecarlo` / `sorting` (their workload scale comes from
+/// the run, not the stanza). The `tools` / `platforms` selectors name
+/// registry slugs and are optional: a campaign without them sweeps the
+/// declaring spec's own models (falling back to the built-ins when the
+/// spec declares none). Sizes are bytes for message kernels, vector
+/// elements for `globalsum`, and ignored by applications.
+///
+/// The stanza is pure declaration — `crates/campaign` materializes it
+/// into a `ScenarioGrid`, so the usual validity filtering (node limits,
+/// port policies, capability gaps) applies unchanged.
+///
+/// Stanzas are stored and snapshotted *verbatim*: empty selectors stay
+/// empty, and resolve against whatever file declares them. A registry
+/// snapshot declares every registered model, so reloading it widens a
+/// default-selector campaign to the full model set — pin explicit
+/// `tools` / `platforms` lists when a shared stanza must reproduce the
+/// exact original grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// Stable campaign name (a registry-style slug), used with
+    /// `pdceval run --campaign <slug>`.
+    pub slug: String,
+    /// Optional human-readable title.
+    pub title: Option<String>,
+    /// Kernel names to sweep (see the type docs for the vocabulary).
+    pub kernels: Vec<String>,
+    /// Processor counts to sweep.
+    pub nprocs: Vec<usize>,
+    /// Size parameters to sweep.
+    pub sizes: Vec<u64>,
+    /// Repetitions per point (>= 1).
+    pub reps: u32,
+    /// Tool slugs to sweep; empty = the declaring spec's own tools.
+    pub tools: Vec<String>,
+    /// Platform slugs to sweep; empty = the declaring spec's own
+    /// platforms.
+    pub platforms: Vec<String>,
+}
+
+/// A campaign kernel name, parsed: the single definition of the
+/// vocabulary `[campaign]` stanzas use. The campaign crate maps this
+/// onto its executable kernel type; the validity check
+/// ([`is_campaign_kernel`]) and duplicate canonicalization consume the
+/// same parse, so the grammar cannot drift between layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignKernel {
+    /// `sendrecv[-iN]`: point-to-point echo, N ping-pong iterations.
+    SendRecv(u32),
+    /// `broadcast`.
+    Broadcast,
+    /// `ring[-xN]`: N simultaneous ring shifts.
+    Ring(u32),
+    /// `globalsum`.
+    GlobalSum,
+    /// `fft`: the 2D-FFT application.
+    Fft,
+    /// `jpeg`: the JPEG application.
+    Jpeg,
+    /// `montecarlo`: the Monte Carlo application.
+    MonteCarlo,
+    /// `sorting`: the PSRS sorting application.
+    Sorting,
+}
+
+/// Parses a campaign kernel name: `sendrecv[-iN]`, `broadcast`,
+/// `ring[-xN]`, `globalsum`, `fft`, `jpeg`, `montecarlo` or `sorting`,
+/// with `N` a positive integer (1 when omitted).
+pub fn parse_campaign_kernel(name: &str) -> Option<CampaignKernel> {
+    fn param(rest: &str, prefix: &str) -> Option<u32> {
+        if rest.is_empty() {
+            return Some(1);
+        }
+        let digits = rest.strip_prefix(prefix)?;
+        if digits.is_empty() || !digits.chars().all(|c| c.is_ascii_digit()) {
+            return None;
+        }
+        digits.parse::<u32>().ok().filter(|&n| n >= 1)
+    }
+    if let Some(rest) = name.strip_prefix("sendrecv") {
+        return param(rest, "-i").map(CampaignKernel::SendRecv);
+    }
+    if let Some(rest) = name.strip_prefix("ring") {
+        return param(rest, "-x").map(CampaignKernel::Ring);
+    }
+    match name {
+        "broadcast" => Some(CampaignKernel::Broadcast),
+        "globalsum" => Some(CampaignKernel::GlobalSum),
+        "fft" => Some(CampaignKernel::Fft),
+        "jpeg" => Some(CampaignKernel::Jpeg),
+        "montecarlo" => Some(CampaignKernel::MonteCarlo),
+        "sorting" => Some(CampaignKernel::Sorting),
+        _ => None,
+    }
+}
+
+/// Whether `name` is a valid campaign kernel name (see
+/// [`parse_campaign_kernel`]).
+pub fn is_campaign_kernel(name: &str) -> bool {
+    parse_campaign_kernel(name).is_some()
+}
+
+/// The kernel vocabulary, as quoted in unknown-kernel diagnostics —
+/// one string so parse-time and validate-time messages cannot drift.
+const KERNEL_VOCABULARY: &str =
+    "sendrecv[-iN], broadcast, ring[-xN], globalsum, fft, jpeg, montecarlo or sorting";
+
+/// Canonical form of a campaign kernel name for duplicate detection:
+/// parameterized kernels normalize their parameter, so `ring` ==
+/// `ring-x1` and `sendrecv-i01` == `sendrecv-i1`. Invalid names pass
+/// through unchanged (they are rejected separately).
+fn canonical_kernel(name: &str) -> String {
+    match parse_campaign_kernel(name) {
+        Some(CampaignKernel::SendRecv(n)) => format!("sendrecv-i{n}"),
+        Some(CampaignKernel::Ring(n)) => format!("ring-x{n}"),
+        _ => name.to_string(),
+    }
+}
+
+impl CampaignSpec {
+    /// Checks the stanza for internal consistency (the same rules the
+    /// parser enforces with line numbers).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let ctx = format!("campaign '{}'", self.slug);
+        if !is_slug(&self.slug) {
+            return Err(format!(
+                "campaign slug '{}' must be non-empty lower-case [a-z0-9-]",
+                self.slug
+            ));
+        }
+        if self.kernels.is_empty() {
+            return Err(format!("{ctx}: 'kernels' must name at least one kernel"));
+        }
+        for k in &self.kernels {
+            if !is_campaign_kernel(k) {
+                return Err(format!(
+                    "{ctx}: unknown kernel '{k}' (expected {KERNEL_VOCABULARY})"
+                ));
+            }
+        }
+        if self.nprocs.is_empty() {
+            return Err(format!("{ctx}: 'nprocs' must list at least one count"));
+        }
+        if self.nprocs.contains(&0) {
+            return Err(format!("{ctx}: 'nprocs' entries must be >= 1"));
+        }
+        if self.sizes.is_empty() {
+            return Err(format!("{ctx}: 'sizes' must list at least one size"));
+        }
+        if self.reps == 0 {
+            return Err(format!("{ctx}: 'reps' must be >= 1"));
+        }
+        for (key, slugs) in [("tools", &self.tools), ("platforms", &self.platforms)] {
+            for s in slugs {
+                if !is_slug(s) {
+                    return Err(format!(
+                        "{ctx}: {key} entry '{s}' must be lower-case [a-z0-9-]"
+                    ));
+                }
+            }
+        }
+        // Duplicate axis entries would enumerate one scenario key twice,
+        // which the duplicate-aware store diff then rejects. Kernels
+        // compare in canonical form, so aliases (`ring` vs `ring-x1`)
+        // cannot smuggle a duplicate past the check either.
+        let canon: Vec<String> = self.kernels.iter().map(|k| canonical_kernel(k)).collect();
+        if let Some((i, j)) = canon
+            .iter()
+            .enumerate()
+            .find_map(|(i, c)| canon[..i].iter().position(|o| o == c).map(|j| (i, j)))
+        {
+            return Err(if self.kernels[i] == self.kernels[j] {
+                format!("{ctx}: 'kernels' lists '{}' twice", self.kernels[i])
+            } else {
+                format!(
+                    "{ctx}: 'kernels' lists '{}' and '{}', which name the same kernel",
+                    self.kernels[j], self.kernels[i]
+                )
+            });
+        }
+        fn dup<T: PartialEq + fmt::Display>(list: &[T]) -> Option<&T> {
+            list.iter()
+                .enumerate()
+                .find(|(i, v)| list[..*i].contains(v))
+                .map(|(_, v)| v)
+        }
+        for (key, d) in [
+            ("tools", dup(&self.tools).map(ToString::to_string)),
+            ("platforms", dup(&self.platforms).map(ToString::to_string)),
+            ("nprocs", dup(&self.nprocs).map(ToString::to_string)),
+            ("sizes", dup(&self.sizes).map(ToString::to_string)),
+        ] {
+            if let Some(d) = d {
+                return Err(format!("{ctx}: '{key}' lists '{d}' twice"));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Everything one `.spec` file declares.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SpecFile {
@@ -329,6 +539,8 @@ pub struct SpecFile {
     pub tools: Vec<ToolSpec>,
     /// Declared platforms, in file order.
     pub platforms: Vec<PlatformSpec>,
+    /// Declared campaigns, in file order.
+    pub campaigns: Vec<CampaignSpec>,
 }
 
 /// A spec-file diagnostic: what went wrong, and on which 1-based line
@@ -387,6 +599,8 @@ enum SectionKind {
     Group,
     /// A platform's inter-group link class: `[link <platform>]`.
     Link,
+    /// A named scenario grid: `[campaign <name>]`.
+    Campaign,
 }
 
 /// Parses a `.spec` file.
@@ -412,12 +626,13 @@ pub fn parse_spec(text: &str) -> Result<SpecFile, SpecError> {
                 Some("platform") => SectionKind::Platform,
                 Some("group") => SectionKind::Group,
                 Some("link") => SectionKind::Link,
+                Some("campaign") => SectionKind::Campaign,
                 other => {
                     return Err(SpecError::at(
                         lineno,
                         format!(
-                            "unknown section '{}' (expected 'tool', 'platform', 'group' or \
-                             'link')",
+                            "unknown section '{}' (expected 'tool', 'platform', 'group', \
+                             'link' or 'campaign')",
                             other.unwrap_or("")
                         ),
                     ))
@@ -510,7 +725,7 @@ pub fn parse_spec(text: &str) -> Result<SpecFile, SpecError> {
                     ));
                 }
             }
-            SectionKind::Tool | SectionKind::Platform => {}
+            SectionKind::Tool | SectionKind::Platform | SectionKind::Campaign => {}
         }
     }
 
@@ -521,6 +736,15 @@ pub fn parse_spec(text: &str) -> Result<SpecFile, SpecError> {
             SectionKind::Platform => file
                 .platforms
                 .push(build_platform(s, &groups, &inter_links)?),
+            SectionKind::Campaign => {
+                if file.campaigns.iter().any(|c| c.slug == s.slug) {
+                    return Err(SpecError::at(
+                        s.header_line,
+                        format!("duplicate [campaign {}] section", s.slug),
+                    ));
+                }
+                file.campaigns.push(build_campaign(s)?);
+            }
             SectionKind::Group | SectionKind::Link => {}
         }
     }
@@ -937,6 +1161,85 @@ fn build_inter_link(s: &Section) -> Result<LinkParams, SpecError> {
     Ok(link)
 }
 
+/// One `[campaign <name>]` section: a declared scenario grid.
+fn build_campaign(s: &Section) -> Result<CampaignSpec, SpecError> {
+    let mut f = Fields::new(s);
+    let title = f.take("title").map(|(_, v)| v.to_string());
+
+    let (kernels_line, kernels_raw) = f.required("kernels")?;
+    let kernels: Vec<String> = kernels_raw.split_whitespace().map(str::to_string).collect();
+    for k in &kernels {
+        if !is_campaign_kernel(k) {
+            return Err(SpecError::at(
+                kernels_line,
+                format!("'kernels': unknown kernel '{k}' (expected {KERNEL_VOCABULARY})"),
+            ));
+        }
+    }
+
+    let slug_list = |f: &mut Fields<'_>, key: &str| -> Result<Vec<String>, SpecError> {
+        match f.take(key) {
+            None => Ok(Vec::new()),
+            Some((line, v)) => {
+                let slugs: Vec<String> = v.split_whitespace().map(str::to_string).collect();
+                for s in &slugs {
+                    if !is_slug(s) {
+                        return Err(SpecError::at(
+                            line,
+                            format!("'{key}': entry '{s}' must be lower-case [a-z0-9-]"),
+                        ));
+                    }
+                }
+                Ok(slugs)
+            }
+        }
+    };
+    let tools = slug_list(&mut f, "tools")?;
+    let platforms = slug_list(&mut f, "platforms")?;
+
+    let (nprocs_line, nprocs_raw) = f.required("nprocs")?;
+    let nprocs: Vec<usize> = nprocs_raw
+        .split_whitespace()
+        .map(|v| parse_usize(nprocs_line, "nprocs", v))
+        .collect::<Result<_, _>>()?;
+    let (sizes_line, sizes_raw) = f.required("sizes")?;
+    let sizes: Vec<u64> = sizes_raw
+        .split_whitespace()
+        .map(|v| parse_usize(sizes_line, "sizes", v).map(|n| n as u64))
+        .collect::<Result<_, _>>()?;
+    let reps = match f.take("reps") {
+        None => 1,
+        Some((line, v)) => {
+            let reps = parse_usize(line, "reps", v)?;
+            if reps == 0 {
+                return Err(SpecError::at(line, "'reps' must be >= 1".to_string()));
+            }
+            u32::try_from(reps).map_err(|_| {
+                SpecError::at(
+                    line,
+                    format!("'reps' value {reps} is too large (max {})", u32::MAX),
+                )
+            })?
+        }
+    };
+
+    let header_line = f.header_line;
+    f.finish()?;
+    let spec = CampaignSpec {
+        slug: s.slug.clone(),
+        title,
+        kernels,
+        nprocs,
+        sizes,
+        reps,
+        tools,
+        platforms,
+    };
+    spec.validate()
+        .map_err(|msg| SpecError::at(header_line, msg))?;
+    Ok(spec)
+}
+
 fn build_platform(
     s: &Section,
     groups: &BTreeMap<&str, Vec<&Section>>,
@@ -1266,7 +1569,36 @@ pub fn render_platform(spec: &PlatformSpec) -> String {
     out
 }
 
-/// Renders a whole spec file (tools first, then platforms).
+/// Renders one campaign stanza. This is the canonical form: parsing a
+/// stanza and rendering it back is the identity on its declaration
+/// (`reps` defaults to 1 when omitted and always renders).
+pub fn render_campaign(spec: &CampaignSpec) -> String {
+    fn join<T: ToString>(list: &[T]) -> String {
+        list.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "[campaign {}]", spec.slug);
+    if let Some(title) = &spec.title {
+        let _ = writeln!(out, "title = {title}");
+    }
+    let _ = writeln!(out, "kernels = {}", join(&spec.kernels));
+    if !spec.tools.is_empty() {
+        let _ = writeln!(out, "tools = {}", join(&spec.tools));
+    }
+    if !spec.platforms.is_empty() {
+        let _ = writeln!(out, "platforms = {}", join(&spec.platforms));
+    }
+    let _ = writeln!(out, "nprocs = {}", join(&spec.nprocs));
+    let _ = writeln!(out, "sizes = {}", join(&spec.sizes));
+    let _ = writeln!(out, "reps = {}", spec.reps);
+    out
+}
+
+/// Renders a whole spec file (tools first, then platforms, then
+/// campaigns).
 pub fn render_spec(file: &SpecFile) -> String {
     let mut out = String::new();
     for t in &file.tools {
@@ -1275,6 +1607,10 @@ pub fn render_spec(file: &SpecFile) -> String {
     }
     for p in &file.platforms {
         out.push_str(&render_platform(p));
+        out.push('\n');
+    }
+    for c in &file.campaigns {
+        out.push_str(&render_campaign(c));
         out.push('\n');
     }
     out
@@ -1587,6 +1923,153 @@ mod tests {
         let bad = minimal_tool_text().replace("name = Toy", "name = Toy\nports.allow = Sun!");
         let err = parse_spec(&bad).unwrap_err();
         assert!(err.message.contains("lower-case"), "{err}");
+    }
+
+    fn campaign_text() -> String {
+        "[campaign sweep]\n\
+         title = My sweep\n\
+         kernels = sendrecv-i2 broadcast ring globalsum montecarlo\n\
+         tools = p4 pvm\n\
+         platforms = sun-eth\n\
+         nprocs = 2 4 8\n\
+         sizes = 1024 16384\n\
+         reps = 3\n"
+            .to_string()
+    }
+
+    #[test]
+    fn campaign_stanzas_parse_and_round_trip() {
+        let file = parse_spec(&campaign_text()).unwrap();
+        assert_eq!(file.campaigns.len(), 1);
+        let c = &file.campaigns[0];
+        assert_eq!(c.slug, "sweep");
+        assert_eq!(c.title.as_deref(), Some("My sweep"));
+        assert_eq!(c.kernels.len(), 5);
+        assert_eq!(c.tools, vec!["p4".to_string(), "pvm".to_string()]);
+        assert_eq!(c.platforms, vec!["sun-eth".to_string()]);
+        assert_eq!(c.nprocs, vec![2, 4, 8]);
+        assert_eq!(c.sizes, vec![1024, 16384]);
+        assert_eq!(c.reps, 3);
+
+        let rendered = render_spec(&file);
+        assert_eq!(rendered, format!("{}\n", campaign_text()));
+        let reparsed = parse_spec(&rendered).unwrap();
+        assert_eq!(file, reparsed);
+    }
+
+    #[test]
+    fn campaign_defaults_and_omissions() {
+        // title/tools/platforms/reps are optional; reps defaults to 1.
+        let text = "[campaign bare]\n\
+                    kernels = broadcast\n\
+                    nprocs = 4\n\
+                    sizes = 0\n";
+        let file = parse_spec(text).unwrap();
+        let c = &file.campaigns[0];
+        assert_eq!(c.title, None);
+        assert!(c.tools.is_empty() && c.platforms.is_empty());
+        assert_eq!(c.reps, 1);
+        // The canonical rendering always carries reps, and re-parses to
+        // the same declaration.
+        let rendered = render_campaign(c);
+        assert!(rendered.contains("reps = 1"), "{rendered}");
+        assert_eq!(parse_spec(&rendered).unwrap(), file);
+    }
+
+    #[test]
+    fn campaign_diagnostics_cover_the_failure_modes() {
+        for (broken, needle) in [
+            (
+                "[campaign x]\nkernels = warp\nnprocs = 2\nsizes = 0\n",
+                "unknown kernel 'warp'",
+            ),
+            (
+                "[campaign x]\nkernels = ring-x0\nnprocs = 2\nsizes = 0\n",
+                "unknown kernel 'ring-x0'",
+            ),
+            (
+                "[campaign x]\nkernels = broadcast\nsizes = 0\n",
+                "missing required key 'nprocs'",
+            ),
+            (
+                "[campaign x]\nkernels = broadcast\nnprocs = 2\n",
+                "missing required key 'sizes'",
+            ),
+            (
+                "[campaign x]\nkernels = broadcast\nnprocs = 0\nsizes = 0\n",
+                "'nprocs' entries must be >= 1",
+            ),
+            (
+                "[campaign x]\nkernels = broadcast\nnprocs = 2\nsizes = 0\nreps = 0\n",
+                "'reps' must be >= 1",
+            ),
+            (
+                "[campaign x]\nkernels = broadcast\nnprocs = 2\nsizes = 0\n\
+                 reps = 4294967296\n",
+                "too large",
+            ),
+            (
+                "[campaign x]\nkernels = broadcast broadcast\nnprocs = 2\nsizes = 0\n",
+                "lists 'broadcast' twice",
+            ),
+            (
+                "[campaign x]\nkernels = ring ring-x1\nnprocs = 2\nsizes = 0\n",
+                "name the same kernel",
+            ),
+            (
+                "[campaign x]\nkernels = sendrecv-i01 sendrecv-i1\nnprocs = 2\nsizes = 0\n",
+                "name the same kernel",
+            ),
+            (
+                "[campaign x]\nkernels = broadcast\ntools = P4!\nnprocs = 2\nsizes = 0\n",
+                "lower-case",
+            ),
+            (
+                "[campaign x]\nkernels = broadcast\nnprocs = 2\nsizes = 0\nbogus = 1\n",
+                "unknown key 'bogus'",
+            ),
+            (
+                "[campaign x]\nkernels = broadcast\nnprocs = 2\nsizes = 0\n\
+                 [campaign x]\nkernels = broadcast\nnprocs = 2\nsizes = 0\n",
+                "duplicate [campaign x]",
+            ),
+        ] {
+            let err = parse_spec(broken).unwrap_err();
+            assert!(err.message.contains(needle), "{broken:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn campaign_kernel_vocabulary() {
+        for ok in [
+            "sendrecv",
+            "sendrecv-i1",
+            "sendrecv-i12",
+            "broadcast",
+            "ring",
+            "ring-x4",
+            "globalsum",
+            "fft",
+            "jpeg",
+            "montecarlo",
+            "sorting",
+        ] {
+            assert!(is_campaign_kernel(ok), "{ok}");
+        }
+        for bad in [
+            "",
+            "warp",
+            "sendrecv-i",
+            "sendrecv-i0",
+            "sendrecv-x2",
+            "ring-i2",
+            "ring-x",
+            "ringx2",
+            "broadcast-i2",
+            "montecarlo-quick",
+        ] {
+            assert!(!is_campaign_kernel(bad), "{bad}");
+        }
     }
 
     #[test]

@@ -99,7 +99,10 @@ impl Fabric {
             topology.total_hosts()
         );
         let single = !topology.is_heterogeneous();
-        let group_of: Vec<usize> = (0..n_hosts).map(|h| topology.group_of(h)).collect();
+        // Precomputed boundaries: one pass over the groups instead of
+        // re-running the linear rank→group scan per host.
+        let placement = topology.placement();
+        let group_of: Vec<usize> = (0..n_hosts).map(|h| placement.group_of(h)).collect();
         let mut intra = Vec::with_capacity(topology.groups.len());
         let mut start = 0;
         for g in &topology.groups {

@@ -100,6 +100,11 @@ impl Topology {
     /// declaration order (ranks `0..groups[0].count` land in group 0,
     /// and so on).
     ///
+    /// This is a per-call linear scan over the groups; call sites that
+    /// look up many ranks (fabric construction, per-rank host placement)
+    /// should precompute a [`Placement`] once via
+    /// [`Topology::placement`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if `rank` exceeds the topology's capacity.
@@ -115,6 +120,19 @@ impl Topology {
             "rank {rank} exceeds the topology's capacity of {} host(s)",
             self.total_hosts()
         );
+    }
+
+    /// Precomputes the group-start boundaries once, so repeated
+    /// rank→group lookups cost a binary search over the boundary table
+    /// instead of [`Topology::group_of`]'s per-call linear scan.
+    pub fn placement(&self) -> Placement {
+        let mut ends = Vec::with_capacity(self.groups.len());
+        let mut total = 0;
+        for g in &self.groups {
+            total += g.count;
+            ends.push(total);
+        }
+        Placement { ends }
     }
 
     /// The host model rank `rank` is placed on.
@@ -226,6 +244,39 @@ impl Topology {
     }
 }
 
+/// Precomputed rank-placement boundaries of one [`Topology`]: the
+/// cumulative group ends, built once per topology so rank→group lookups
+/// on hot paths (fabric construction, per-rank host models) do not
+/// re-run the linear scan of [`Topology::group_of`] per call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// `ends[g]` is the first global rank *after* group `g`.
+    ends: Vec<usize>,
+}
+
+impl Placement {
+    /// Total host capacity (equals [`Topology::total_hosts`]).
+    pub fn total_hosts(&self) -> usize {
+        self.ends.last().copied().unwrap_or(0)
+    }
+
+    /// The group index rank `rank` is placed in — identical to
+    /// [`Topology::group_of`] on the source topology, in O(log groups).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` exceeds the topology's capacity.
+    pub fn group_of(&self, rank: usize) -> usize {
+        let g = self.ends.partition_point(|&end| end <= rank);
+        assert!(
+            g < self.ends.len(),
+            "rank {rank} exceeds the topology's capacity of {} host(s)",
+            self.total_hosts()
+        );
+        g
+    }
+}
+
 /// Checks one host model's rates (shared by group and homogeneous
 /// validation paths).
 pub(crate) fn validate_host(host: &HostSpec, ctx: &str) -> Result<(), String> {
@@ -320,6 +371,33 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn out_of_capacity_rank_panics() {
         let _ = two_group().group_of(32);
+    }
+
+    #[test]
+    fn placement_agrees_with_the_linear_scan() {
+        // The precomputed boundary table must resolve every rank to the
+        // same group as the per-call scan, including group edges and
+        // zero-count groups skipped during placement.
+        let mut topologies = vec![
+            two_group(),
+            Topology::homogeneous(HostSpec::sun_ipx(), NetworkKind::Fddi.params(), 7),
+        ];
+        let mut empty_first = two_group();
+        empty_first.groups[0].count = 0;
+        topologies.push(empty_first);
+        for t in &topologies {
+            let p = t.placement();
+            assert_eq!(p.total_hosts(), t.total_hosts());
+            for rank in 0..t.total_hosts() {
+                assert_eq!(p.group_of(rank), t.group_of(rank), "rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn out_of_capacity_rank_panics_in_placement() {
+        let _ = two_group().placement().group_of(32);
     }
 
     #[test]

@@ -221,13 +221,181 @@ proptest! {
         use pdc_tool_eval::mpt::spec::{parse_spec, render_spec, SpecFile};
         let spec = topology_specs::rng_platform(seed);
         prop_assert!(spec.validate().is_ok());
-        let file = SpecFile { tools: vec![], platforms: vec![spec] };
+        let file = SpecFile { tools: vec![], platforms: vec![spec], campaigns: vec![] };
         let rendered = render_spec(&file);
         let reparsed =
             parse_spec(&rendered).unwrap_or_else(|e| panic!("{e}\n---\n{rendered}"));
         prop_assert_eq!(&reparsed, &file);
         // Render is deterministic, so a second round trip is a fixpoint.
         prop_assert_eq!(render_spec(&reparsed), rendered);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-stanza round-trips
+// ---------------------------------------------------------------------------
+
+mod campaign_specs {
+    use pdc_tool_eval::mpt::spec::CampaignSpec;
+    use proptest::TestRng;
+
+    const KERNELS: [&str; 10] = [
+        "sendrecv",
+        "sendrecv-i2",
+        "broadcast",
+        "ring",
+        "ring-x3",
+        "globalsum",
+        "fft",
+        "jpeg",
+        "montecarlo",
+        "sorting",
+    ];
+    const TOOLS: [&str; 4] = ["express", "p4", "pvm", "mpl"];
+    const PLATFORMS: [&str; 3] = ["sun-eth", "alpha-fddi", "modern100"];
+
+    /// A random strictly-increasing number list (duplicate axis entries
+    /// are rejected by validation).
+    fn rng_numbers(rng: &mut TestRng, max_items: u64, max_step: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut v = 0;
+        for _ in 0..(rng.below(max_items) + 1) {
+            v += rng.below(max_step) + 1;
+            out.push(v);
+        }
+        out
+    }
+
+    fn rng_subset(rng: &mut TestRng, pool: &[&str]) -> Vec<String> {
+        pool.iter()
+            .filter(|_| rng.below(2) == 0)
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    /// A pseudo-random (always valid) campaign stanza.
+    pub fn rng_campaign(seed: u64) -> CampaignSpec {
+        let mut rng = TestRng::deterministic(&format!("campaign-{seed}"));
+        let mut kernels = rng_subset(&mut rng, &KERNELS);
+        if kernels.is_empty() {
+            kernels.push("broadcast".to_string());
+        }
+        CampaignSpec {
+            slug: format!("prop-sweep-{}", rng.below(4)),
+            title: (rng.below(2) == 0).then(|| format!("Prop sweep (seed variant {seed})")),
+            kernels,
+            nprocs: rng_numbers(&mut rng, 4, 8)
+                .into_iter()
+                .map(|n| n as usize)
+                .collect(),
+            sizes: rng_numbers(&mut rng, 4, 100_000),
+            reps: (rng.below(5) + 1) as u32,
+            tools: rng_subset(&mut rng, &TOOLS),
+            platforms: rng_subset(&mut rng, &PLATFORMS),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Campaign stanzas round-trip exactly: parse ∘ render is the
+    /// identity on arbitrary valid declarations, and render is a
+    /// fixpoint.
+    #[test]
+    fn campaign_stanzas_round_trip(seed in any::<u64>()) {
+        use pdc_tool_eval::mpt::spec::{parse_spec, render_spec, SpecFile};
+        let spec = campaign_specs::rng_campaign(seed);
+        prop_assert!(spec.validate().is_ok(), "{spec:?}");
+        let file = SpecFile { tools: vec![], platforms: vec![], campaigns: vec![spec] };
+        let rendered = render_spec(&file);
+        let reparsed =
+            parse_spec(&rendered).unwrap_or_else(|e| panic!("{e}\n---\n{rendered}"));
+        prop_assert_eq!(&reparsed, &file);
+        prop_assert_eq!(render_spec(&reparsed), rendered);
+    }
+
+    /// JSON string escaping round-trips arbitrary unicode, including
+    /// astral-plane characters, through the store's parser.
+    #[test]
+    fn json_strings_round_trip_arbitrary_unicode(seed in any::<u64>()) {
+        use pdc_tool_eval::campaign::json::{escape, parse_object};
+        let mut rng = TestRng::deterministic(&format!("json-{seed}"));
+        let len = rng.below(40);
+        let s: String = (0..len)
+            .map(|_| loop {
+                // Any scalar value, astral planes included (surrogate
+                // code points are not chars and cannot be generated).
+                if let Some(c) = char::from_u32(rng.below(0x110000) as u32) {
+                    break c;
+                }
+            })
+            .collect();
+        let line = format!("{{\"k\": \"{}\"}}", escape(&s));
+        let pairs = parse_object(&line)
+            .unwrap_or_else(|e| panic!("{e}\n---\n{line}"));
+        prop_assert_eq!(pairs[0].1.as_str(), Some(s.as_str()));
+    }
+
+    /// The escaped-surrogate-pair form other JSON writers emit for
+    /// astral chars parses back to the same string.
+    #[test]
+    fn escaped_utf16_form_parses_back(seed in any::<u64>()) {
+        use pdc_tool_eval::campaign::json::parse_object;
+        let mut rng = TestRng::deterministic(&format!("utf16-{seed}"));
+        let len = rng.below(20) + 1;
+        let s: String = (0..len)
+            .map(|_| loop {
+                if let Some(c) = char::from_u32(rng.below(0x110000) as u32) {
+                    break c;
+                }
+            })
+            .collect();
+        // Encode every char as \uXXXX UTF-16 escapes (pairs for astral
+        // chars) — the maximally-escaped form.
+        let mut esc = String::new();
+        for u in s.encode_utf16() {
+            esc.push_str(&format!("\\u{u:04x}"));
+        }
+        let line = format!("{{\"k\": \"{esc}\"}}");
+        let pairs = parse_object(&line)
+            .unwrap_or_else(|e| panic!("{e}\n---\n{line}"));
+        prop_assert_eq!(pairs[0].1.as_str(), Some(s.as_str()));
+    }
+
+    /// Stores render parseable JSONL for any stats values, finite or
+    /// not: non-finite statistics read back as null, finite ones
+    /// round-trip exactly.
+    #[test]
+    fn stores_round_trip_non_finite_stats(
+        mean in any::<f64>(),
+        min in any::<f64>(),
+        max in any::<f64>(),
+        cv in any::<f64>(),
+    ) {
+        use pdc_tool_eval::campaign::runner::{RecordStatus, RepStats, ScenarioRecord};
+        use pdc_tool_eval::campaign::store::{parse_jsonl, render_jsonl, StoreMeta};
+        use pdc_tool_eval::campaign::{Kernel, Scenario};
+        let r = ScenarioRecord {
+            scenario: Scenario {
+                kernel: Kernel::Broadcast,
+                tool: ToolKind::P4,
+                platform: Platform::SUN_ETHERNET,
+                nprocs: 4,
+                size: 1024,
+                reps: 2,
+            },
+            status: RecordStatus::Ok,
+            stats: Some(RepStats { mean, min, max, cv }),
+            detail: None,
+        };
+        let text = render_jsonl(&[r], &StoreMeta::none());
+        let parsed = parse_jsonl(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        let expect = |v: f64| v.is_finite().then_some(v);
+        prop_assert_eq!(parsed[0].mean, expect(mean));
+        prop_assert_eq!(parsed[0].min, expect(min));
+        prop_assert_eq!(parsed[0].max, expect(max));
+        prop_assert_eq!(parsed[0].cv, expect(cv));
     }
 }
 

@@ -1,0 +1,171 @@
+//! End-to-end tests for spec-declared campaigns: the `[campaign]`
+//! stanza in `examples/mixed.spec` materializes into a `ScenarioGrid`
+//! and runs with zero Rust changes, the registry snapshot serializes
+//! the stanza back byte-exactly, and `Topology::remix` variants (the
+//! `--remix` CLI flag's building block) register and key distinctly.
+
+use pdc_tool_eval::campaign::campaigns::{self, Campaign};
+use pdc_tool_eval::campaign::runner::{run_campaign, RecordStatus};
+use pdc_tool_eval::campaign::store::{parse_jsonl, render_jsonl, StoreMeta};
+use pdc_tool_eval::campaign::{Kernel, Scale};
+use pdc_tool_eval::mpt::registry::LoadedSpecs;
+use pdc_tool_eval::mpt::spec::render_campaign;
+use pdc_tool_eval::mpt::{ModelRegistry, ToolKind};
+use std::path::Path;
+use std::sync::OnceLock;
+
+fn mixed_spec_text() -> String {
+    std::fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/mixed.spec"))
+        .expect("examples/mixed.spec readable")
+}
+
+/// Loads `examples/mixed.spec` exactly once per test process.
+fn loaded() -> &'static LoadedSpecs {
+    static LOADED: OnceLock<LoadedSpecs> = OnceLock::new();
+    LOADED.get_or_init(|| {
+        ModelRegistry::global()
+            .load_spec_text(&mixed_spec_text())
+            .expect("mixed spec loads")
+    })
+}
+
+/// Materializes the file's `mixed-sweep` stanza the way the CLI does.
+fn mixed_sweep() -> Campaign {
+    let l = loaded();
+    assert_eq!(l.campaigns.len(), 1);
+    assert_eq!(l.campaigns[0].slug, "mixed-sweep");
+    campaigns::from_spec(&l.campaigns[0], &l.tools, &l.platforms, Scale::Quick)
+        .expect("mixed-sweep materializes")
+}
+
+#[test]
+fn spec_declared_campaign_runs_end_to_end() {
+    let campaign = mixed_sweep();
+    assert_eq!(campaign.name, "mixed-sweep");
+    assert!(campaign.title.contains("Mixed-cluster sweep"));
+
+    // No `tools` selector: defaults to the built-in trio (the file
+    // declares no tools). No `platforms` selector: sweeps the file's
+    // own two platforms — the heterogeneous mix and the uniform
+    // control.
+    let tools: std::collections::HashSet<_> = campaign.scenarios.iter().map(|s| s.tool).collect();
+    assert_eq!(tools.len(), ToolKind::builtin().len());
+    let platforms: std::collections::HashSet<_> =
+        campaign.scenarios.iter().map(|s| s.platform).collect();
+    assert_eq!(platforms.len(), 2);
+
+    // Validity filtering unchanged: PVM global-sum points are dropped,
+    // Express is dropped on the WAN-flagged mixed platform.
+    assert!(campaign
+        .scenarios
+        .iter()
+        .all(|s| s.tool != ToolKind::PVM || s.kernel != Kernel::GlobalSum));
+
+    let records = run_campaign(&campaign.scenarios, 4);
+    assert_eq!(records.len(), campaign.scenarios.len());
+    for r in &records {
+        assert_eq!(
+            r.status,
+            RecordStatus::Ok,
+            "{}: {:?}",
+            r.scenario.key(),
+            r.detail
+        );
+    }
+
+    // Store keys carry the topology slug for the mix and the plain form
+    // for the control; the store round-trips and is deterministic
+    // across the parallel runner.
+    let text = render_jsonl(&records, &StoreMeta::none());
+    assert!(
+        text.contains("/mixed/8fast-24slow/n12/"),
+        "{}",
+        &text[..200]
+    );
+    assert!(text.contains("/uniform/n12/"));
+    let parsed = parse_jsonl(&text).expect("store parses");
+    assert_eq!(parsed.len(), records.len());
+    let serial = run_campaign(&campaign.scenarios, 1);
+    assert_eq!(render_jsonl(&serial, &StoreMeta::none()), text);
+}
+
+#[test]
+fn snapshot_round_trips_the_stanza_byte_exactly() {
+    let l = loaded();
+    // The stanza as committed in examples/mixed.spec is in canonical
+    // form: rendering the parsed declaration reproduces its bytes...
+    let canonical = render_campaign(&l.campaigns[0]);
+    assert!(
+        mixed_spec_text().contains(&canonical),
+        "examples/mixed.spec stanza is not in canonical render form:\n{canonical}"
+    );
+    // ...and the registry snapshot (the `pdceval snapshot` payload)
+    // carries the identical bytes.
+    let snapshot = pdc_tool_eval::mpt::spec::render_spec(&ModelRegistry::global().snapshot());
+    assert!(snapshot.contains(&canonical));
+}
+
+#[test]
+fn remix_variants_register_and_key_distinctly() {
+    use pdc_tool_eval::campaign::Scenario;
+    use pdc_tool_eval::simnet::platform::PlatformSpec;
+
+    let l = loaded();
+    let mixed = *l
+        .platforms
+        .iter()
+        .find(|p| p.slug() == "mixed")
+        .expect("mixed platform loaded");
+    // What `pdceval --remix fast=4,slow=12` registers.
+    let spec = mixed.spec();
+    let topology = spec.topology.remix(&[4, 12]);
+    let mix = topology.hetero_slug().expect("still heterogeneous");
+    assert_eq!(mix, "4fast-12slow");
+    let remixed = ModelRegistry::global()
+        .register_platform(PlatformSpec {
+            name: format!("{} (remix {mix})", spec.name),
+            slug: format!("{}-{mix}", spec.slug),
+            max_nodes: topology.total_hosts(),
+            topology,
+            wan: spec.wan,
+        })
+        .expect("remix registers");
+    assert_eq!(remixed.max_nodes(), 16);
+
+    // Keys distinguish the mixes, so one store can hold both sweeps.
+    let key = |platform| {
+        Scenario {
+            kernel: Kernel::Broadcast,
+            tool: ToolKind::P4,
+            platform,
+            nprocs: 8,
+            size: 10_000,
+            reps: 1,
+        }
+        .key()
+    };
+    assert_eq!(key(mixed), "broadcast/p4/mixed/8fast-24slow/n8/s10000");
+    assert_eq!(
+        key(remixed),
+        "broadcast/p4/mixed-4fast-12slow/4fast-12slow/n8/s10000"
+    );
+
+    // A campaign materialized over the extended platform set (what
+    // `--remix` appends) sweeps the new mix alongside the originals.
+    let mut platforms = l.platforms.clone();
+    platforms.push(remixed);
+    let campaign =
+        campaigns::from_spec(&l.campaigns[0], &l.tools, &platforms, Scale::Quick).unwrap();
+    assert!(campaign.scenarios.iter().any(|s| s.platform == remixed));
+    let records = run_campaign(
+        &campaign
+            .scenarios
+            .iter()
+            .filter(|s| s.platform == remixed)
+            .cloned()
+            .collect::<Vec<_>>(),
+        2,
+    );
+    assert!(!records.is_empty());
+    assert!(records.iter().all(|r| r.status == RecordStatus::Ok));
+}

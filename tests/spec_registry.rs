@@ -48,6 +48,7 @@ fn builtin_specs_round_trip_through_the_spec_format() {
             .into_iter()
             .map(|p| (*p.spec()).clone())
             .collect(),
+        campaigns: vec![],
     };
     let rendered = render_spec(&file);
     let reparsed = parse_spec(&rendered).expect("rendered builtins re-parse");
@@ -99,6 +100,7 @@ fn malformed_specs_fail_with_line_diagnostics() {
     let mut hijack = render_spec(&SpecFile {
         tools: vec![(*ToolKind::P4.spec()).clone()],
         platforms: vec![],
+        campaigns: vec![],
     });
     hijack = hijack.replace("profile.send_alpha_us = 1000", "profile.send_alpha_us = 1");
     let err = registry.load_spec_text(&hijack).unwrap_err();
