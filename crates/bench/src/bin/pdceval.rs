@@ -28,6 +28,15 @@
 //! campaign when the file declares none — either way a new tool,
 //! testbed or sweep runs end-to-end with zero code changes.
 //!
+//! Spec files can also declare seeded `[perturb <name>]` fault models
+//! (latency jitter, congestion, stragglers, message loss, rank
+//! crashes); a campaign selects them with `perturb = none chaos` plus a
+//! `seeds = N` axis. Perturbed runs append `/<perturb>/seed<N>` to
+//! their store keys, crash-model errors are reported as tolerated
+//! injected faults rather than run failures, and `run` prints a
+//! degradation summary (clean-vs-perturbed slowdown per tool, crash
+//! survival) whenever a campaign swept perturbations.
+//!
 //! `--remix fast=4,slow=12` registers count variants of every loaded
 //! heterogeneous platform whose group names match (under the derived
 //! slug `<platform>-4fast-12slow`) and adds them to the loaded platform
@@ -46,8 +55,8 @@
 
 use pdceval_campaign::campaigns;
 use pdceval_campaign::campaigns::Campaign;
-use pdceval_campaign::diff::diff_records;
-use pdceval_campaign::runner::{run_campaign, RecordStatus};
+use pdceval_campaign::diff::{degradation_summary, diff_records, render_degradation};
+use pdceval_campaign::runner::{run_campaign, RecordStatus, ScenarioRecord};
 use pdceval_campaign::scenario::Scale;
 use pdceval_campaign::store;
 use pdceval_mpt::registry::{LoadedSpecs, ModelRegistry};
@@ -189,13 +198,17 @@ fn load_spec(args: &Args) -> Result<Option<LoadedSpecs>, ExitCode> {
     }
     let tools: Vec<String> = loaded.tools.iter().map(|t| t.slug()).collect();
     let platforms: Vec<String> = loaded.platforms.iter().map(|p| p.slug()).collect();
+    let perturbs: Vec<String> = loaded.perturbs.iter().map(|p| p.slug()).collect();
     let campaign_names: Vec<String> = loaded.campaigns.iter().map(|c| c.slug.clone()).collect();
     eprintln!(
-        "loaded {path}: {} tool(s) [{}], {} platform(s) [{}], {} campaign(s) [{}]",
+        "loaded {path}: {} tool(s) [{}], {} platform(s) [{}], {} perturb(s) [{}], \
+         {} campaign(s) [{}]",
         tools.len(),
         tools.join(", "),
         platforms.len(),
         platforms.join(", "),
+        perturbs.len(),
+        perturbs.join(", "),
         campaign_names.len(),
         campaign_names.join(", ")
     );
@@ -388,29 +401,50 @@ fn cmd_run(args: &Args) -> ExitCode {
         .iter()
         .filter(|r| r.status == RecordStatus::Ok)
         .count();
+    // A crash-model point *should* end in a structured injected-fault
+    // error; only errors without that explanation fail the run.
+    let is_expected_fault = |r: &&ScenarioRecord| {
+        r.status == RecordStatus::Error
+            && r.detail
+                .as_deref()
+                .is_some_and(|d| d.contains("fault injection"))
+    };
+    let injected = records.iter().filter(is_expected_fault).count();
     let errors = records
         .iter()
         .filter(|r| r.status == RecordStatus::Error)
-        .count();
+        .count()
+        - injected;
     let meta = store::StoreMeta::capture();
     if let Err(e) = store::write_jsonl(&out_path, &records, &meta) {
         eprintln!("failed to write {}: {e}", out_path.display());
         return ExitCode::FAILURE;
     }
     eprintln!(
-        "{} ok / {} error / {} total in {elapsed:.1}s -> {} (git {})",
+        "{} ok / {} injected-fault / {} error / {} total in {elapsed:.1}s -> {} (git {})",
         ok,
+        injected,
         errors,
         records.len(),
         out_path.display(),
         meta.git_sha.as_deref().unwrap_or("unknown"),
     );
-    for r in records.iter().filter(|r| r.status == RecordStatus::Error) {
+    for r in records
+        .iter()
+        .filter(|r| r.status == RecordStatus::Error && !is_expected_fault(r))
+    {
         eprintln!(
             "  error {}: {}",
             r.scenario.key(),
             r.detail.as_deref().unwrap_or("unknown")
         );
+    }
+    // Score tools on their degradation curves when the campaign swept
+    // perturbations: clean-vs-perturbed slowdown plus crash survival.
+    if records.iter().any(|r| r.scenario.perturb.is_some()) {
+        let stored = store::parse_jsonl(&store::render_jsonl(&records, &meta))
+            .expect("freshly rendered store must parse");
+        print!("{}", render_degradation(&degradation_summary(&stored)));
     }
     if errors > 0 {
         return ExitCode::FAILURE;
@@ -566,6 +600,45 @@ fn print_campaign(c: &pdceval_mpt::spec::CampaignSpec) {
         nums(&c.sizes.iter().map(|n| n.to_string()).collect::<Vec<_>>()),
         c.reps
     );
+    if !c.perturbs.is_empty() {
+        println!(
+            "  perturbations: {} | seeds: 1..={}",
+            c.perturbs.join(", "),
+            c.seeds
+        );
+    }
+}
+
+/// Prints one declared perturbation stanza.
+fn print_perturb(p: &pdceval_simnet::perturb::PerturbSpec) {
+    println!(
+        "perturb {}: {}",
+        p.slug,
+        p.title.as_deref().unwrap_or("(untitled)")
+    );
+    let mut knobs = Vec::new();
+    if p.jitter > 0.0 {
+        knobs.push(format!("jitter {}", p.jitter));
+    }
+    if p.congestion > 0.0 {
+        knobs.push(format!("congestion {}", p.congestion));
+    }
+    for (group, factor) in &p.stragglers {
+        knobs.push(format!("straggler {group} x{factor}"));
+    }
+    if p.loss > 0.0 {
+        knobs.push(format!(
+            "loss {} (timeout {} us)",
+            p.loss, p.loss_timeout_us
+        ));
+    }
+    if let (Some(rank), Some(at)) = (p.crash_rank, p.crash_at_us) {
+        knobs.push(format!("crash rank {rank} at {at} us"));
+    }
+    if knobs.is_empty() {
+        knobs.push("(no-op)".to_string());
+    }
+    println!("  {}", knobs.join(" | "));
 }
 
 /// `pdceval validate FILE.spec`: parse + validate + print the resolved
@@ -594,6 +667,9 @@ fn cmd_validate(args: &Args) -> ExitCode {
     }
     for p in &file.platforms {
         print_platform(p);
+    }
+    for p in &file.perturbs {
+        print_perturb(p);
     }
     for c in &file.campaigns {
         print_campaign(c);
@@ -639,6 +715,20 @@ fn cmd_validate(args: &Args) -> ExitCode {
             );
         }
     }
+    // Perturbation selectors resolve against the file's own stanzas,
+    // everything already registered, and the implicit clean slug `none`.
+    let known_perturbs: std::collections::HashSet<String> = file
+        .perturbs
+        .iter()
+        .map(|p| p.slug.clone())
+        .chain(
+            ModelRegistry::global()
+                .perturbs()
+                .into_iter()
+                .map(|p| p.slug()),
+        )
+        .chain(std::iter::once("none".to_string()))
+        .collect();
     for c in &file.campaigns {
         for slug in c.tools.iter().filter(|s| !known_tools.contains(*s)) {
             eprintln!(
@@ -654,11 +744,19 @@ fn cmd_validate(args: &Args) -> ExitCode {
                 c.slug
             );
         }
+        for slug in c.perturbs.iter().filter(|s| !known_perturbs.contains(*s)) {
+            eprintln!(
+                "warning: campaign '{}': perturb names '{slug}', which matches no \
+                 perturbation in this file or the registry",
+                c.slug
+            );
+        }
     }
     eprintln!(
-        "{path}: OK ({} tool(s), {} platform(s), {} campaign(s))",
+        "{path}: OK ({} tool(s), {} platform(s), {} perturbation(s), {} campaign(s))",
         file.tools.len(),
         file.platforms.len(),
+        file.perturbs.len(),
         file.campaigns.len()
     );
     ExitCode::SUCCESS
@@ -680,9 +778,10 @@ fn cmd_snapshot(args: &Args) -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!(
-        "snapshot: {} tool(s), {} platform(s), {} campaign(s) -> {out_path}",
+        "snapshot: {} tool(s), {} platform(s), {} perturbation(s), {} campaign(s) -> {out_path}",
         file.tools.len(),
         file.platforms.len(),
+        file.perturbs.len(),
         file.campaigns.len()
     );
     ExitCode::SUCCESS

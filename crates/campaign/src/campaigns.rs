@@ -7,7 +7,7 @@
 //! artifacts.
 
 use crate::grid::ScenarioGrid;
-use crate::scenario::{AplApp, Kernel, Scale, Scenario};
+use crate::scenario::{AplApp, Kernel, PerturbRun, Scale, Scenario};
 use pdceval_mpt::ToolKind;
 use pdceval_simnet::platform::Platform;
 
@@ -431,7 +431,7 @@ pub fn from_spec(
             .collect::<Result<_, _>>()?
     };
 
-    let scenarios = ScenarioGrid::new()
+    let base = ScenarioGrid::new()
         .kernels(kernels)
         .tools(tools)
         .platforms(platforms)
@@ -439,12 +439,45 @@ pub fn from_spec(
         .sizes(spec.sizes.iter().copied())
         .reps(spec.reps)
         .scenarios();
-    if scenarios.is_empty() {
+    if base.is_empty() {
         return Err(format!(
             "{ctx}: every grid point is invalid (check node counts against platform \
              limits and tool capabilities)"
         ));
     }
+
+    // Fan the grid out over the stanza's perturbation variants. `none`
+    // (and an omitted `perturb` key) is the single clean variant — no
+    // seed axis, keys and execution identical to a perturbation-free
+    // campaign; each named model gets one full grid copy per seed in
+    // `1..=seeds`.
+    let mut variants: Vec<Option<PerturbRun>> = Vec::new();
+    if spec.perturbs.is_empty() {
+        variants.push(None);
+    } else {
+        for slug in &spec.perturbs {
+            if slug == "none" {
+                variants.push(None);
+            } else {
+                let id = registry
+                    .perturb_by_slug(slug)
+                    .ok_or_else(|| format!("{ctx}: unknown perturb '{slug}'"))?;
+                for seed in 1..=spec.seeds {
+                    variants.push(Some(PerturbRun { id, seed }));
+                }
+            }
+        }
+    }
+    let scenarios: Vec<Scenario> = variants
+        .iter()
+        .flat_map(|p| {
+            base.iter().map(move |s| {
+                let mut s = *s;
+                s.perturb = *p;
+                s
+            })
+        })
+        .collect();
     Ok(Campaign {
         name: spec.slug.clone(),
         title: spec
@@ -548,6 +581,8 @@ mod tests {
             reps: 2,
             tools: vec![],
             platforms: vec![],
+            perturbs: vec![],
+            seeds: 1,
         }
     }
 
@@ -617,6 +652,44 @@ mod tests {
         empty.nprocs = vec![4096];
         let err = from_spec(&empty, &[], &[], Scale::Quick).unwrap_err();
         assert!(err.contains("invalid"), "{err}");
+    }
+
+    #[test]
+    fn spec_campaigns_fan_out_over_perturbations_and_seeds() {
+        use pdceval_simnet::perturb::{register_perturb, PerturbSpec};
+        let mut pspec = PerturbSpec::quiet("campaign-test-chaos");
+        pspec.jitter = 0.1;
+        register_perturb(pspec).unwrap();
+
+        let clean = from_spec(&stanza("fanout-clean"), &[], &[], Scale::Quick).unwrap();
+
+        let mut perturbed = stanza("fanout-chaos");
+        perturbed.perturbs = vec!["none".to_string(), "campaign-test-chaos".to_string()];
+        perturbed.seeds = 2;
+        let c = from_spec(&perturbed, &[], &[], Scale::Quick).unwrap();
+        // One clean grid copy plus one per seed.
+        assert_eq!(c.scenarios.len(), clean.scenarios.len() * 3);
+        // The clean block comes first and matches the perturbation-free
+        // campaign point for point (keys included).
+        for (a, b) in c.scenarios.iter().zip(&clean.scenarios) {
+            assert_eq!(a.perturb, None);
+            assert_eq!(a.kernel, b.kernel);
+            assert_eq!(a.key(), b.key());
+        }
+        let n = clean.scenarios.len();
+        for (i, s) in c.scenarios[n..].iter().enumerate() {
+            let seed = (i / n) as u32 + 1;
+            let p = s.perturb.expect("perturbed block");
+            assert_eq!(p.seed, seed);
+            assert!(s
+                .key()
+                .ends_with(&format!("/campaign-test-chaos/seed{seed}")));
+        }
+
+        let mut bad = stanza("fanout-bad");
+        bad.perturbs = vec!["no-such-perturb".to_string()];
+        let err = from_spec(&bad, &[], &[], Scale::Quick).unwrap_err();
+        assert!(err.contains("unknown perturb 'no-such-perturb'"), "{err}");
     }
 
     #[test]

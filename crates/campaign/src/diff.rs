@@ -38,6 +38,17 @@ pub struct DiffReport {
     pub only_in_base: Vec<String>,
     /// Keys only present (as `ok`) in the new store.
     pub only_in_new: Vec<String>,
+    /// Keys that were `ok` in the baseline but non-`ok` in the new
+    /// store without an injected-fault explanation — a working scenario
+    /// broke, which fails the gate as loudly as a slowdown.
+    pub broke: Vec<String>,
+    /// Keys that were `ok` in the baseline and failed in the new store
+    /// by *expected* fault injection (crash-model stores legitimately
+    /// hold `error` records). Informational; does not fail the gate.
+    pub injected_faults: Vec<String>,
+    /// Keys that were non-`ok` in the baseline but `ok` in the new
+    /// store. Informational; does not fail the gate.
+    pub fixed: Vec<String>,
     /// The relative threshold used.
     pub threshold: f64,
 }
@@ -48,9 +59,10 @@ impl DiffReport {
         self.entries.iter().filter(|e| e.regressed).count()
     }
 
-    /// Whether the new store passes the gate (no regressions).
+    /// Whether the new store passes the gate (no slowdowns beyond the
+    /// threshold, and no scenario that unexpectedly stopped working).
     pub fn passes(&self) -> bool {
-        self.regression_count() == 0
+        self.regression_count() == 0 && self.broke.is_empty()
     }
 
     /// Renders a human-readable summary.
@@ -75,6 +87,9 @@ impl DiffReport {
                 );
             }
         }
+        for key in &self.broke {
+            let _ = writeln!(out, "BROKE {key}: ok in baseline, failed in new store");
+        }
         let improvements = self
             .entries
             .iter()
@@ -87,6 +102,19 @@ impl DiffReport {
             improvements,
             self.entries.len() - self.regression_count() - improvements
         );
+        if !self.broke.is_empty() {
+            let _ = writeln!(out, "{} key(s) broke (ok -> failed)", self.broke.len());
+        }
+        if !self.injected_faults.is_empty() {
+            let _ = writeln!(
+                out,
+                "{} key(s) failed by expected fault injection",
+                self.injected_faults.len()
+            );
+        }
+        if !self.fixed.is_empty() {
+            let _ = writeln!(out, "{} key(s) fixed (failed -> ok)", self.fixed.len());
+        }
         if !self.only_in_base.is_empty() {
             let _ = writeln!(out, "{} key(s) only in baseline", self.only_in_base.len());
         }
@@ -95,6 +123,17 @@ impl DiffReport {
         }
         out
     }
+}
+
+/// Whether a record is an *expected* structured error from the fault
+/// injector (a crash-model point), as opposed to a genuine failure:
+/// crash-injected stores legitimately hold such `error` records, and
+/// the gate must tolerate them.
+pub fn is_injected_fault(r: &StoredRecord) -> bool {
+    r.status == "error"
+        && r.detail
+            .as_deref()
+            .is_some_and(|d| d.contains("fault injection"))
 }
 
 fn ok_by_key<'a>(
@@ -126,6 +165,17 @@ fn ok_by_key<'a>(
     Ok(map)
 }
 
+/// Non-`ok` records by key, for classifying status flips. First
+/// occurrence wins; duplicates among non-`ok` records are harmless
+/// because only the status and detail are consulted.
+fn non_ok_by_key(records: &[StoredRecord]) -> BTreeMap<&str, &StoredRecord> {
+    let mut map = BTreeMap::new();
+    for r in records.iter().filter(|r| r.status != "ok") {
+        map.entry(r.key.as_str()).or_insert(r);
+    }
+    map
+}
+
 /// Compares `new` against `base`, flagging points whose mean grew by
 /// more than `threshold` (relative, e.g. `0.05` = 5%).
 ///
@@ -142,11 +192,22 @@ pub fn diff_records(
 ) -> Result<DiffReport, String> {
     let base_map = ok_by_key(base, "baseline")?;
     let new_map = ok_by_key(new, "new")?;
+    let base_non_ok = non_ok_by_key(base);
+    let new_non_ok = non_ok_by_key(new);
     let mut entries = Vec::new();
     let mut only_in_base = Vec::new();
+    let mut broke = Vec::new();
+    let mut injected_faults = Vec::new();
     for (key, b) in &base_map {
         match new_map.get(key) {
-            None => only_in_base.push((*key).to_string()),
+            None => match new_non_ok.get(key) {
+                // The scenario stopped producing a value. An expected
+                // injected fault is tolerated; anything else is a loud
+                // break of a previously working point.
+                Some(n) if is_injected_fault(n) => injected_faults.push((*key).to_string()),
+                Some(_) => broke.push((*key).to_string()),
+                None => only_in_base.push((*key).to_string()),
+            },
             Some(n) => {
                 let base_mean = b.mean.expect("filtered on mean");
                 let new_mean = n.mean.expect("filtered on mean");
@@ -170,17 +231,142 @@ pub fn diff_records(
             }
         }
     }
-    let only_in_new = new_map
-        .keys()
-        .filter(|k| !base_map.contains_key(**k))
-        .map(|k| (*k).to_string())
-        .collect();
+    let mut only_in_new = Vec::new();
+    let mut fixed = Vec::new();
+    for key in new_map.keys() {
+        if base_map.contains_key(key) {
+            continue;
+        }
+        if base_non_ok.contains_key(key) {
+            fixed.push((*key).to_string());
+        } else {
+            only_in_new.push((*key).to_string());
+        }
+    }
     Ok(DiffReport {
         entries,
         only_in_base,
         only_in_new,
+        broke,
+        injected_faults,
+        fixed,
         threshold,
     })
+}
+
+/// Degradation of one `(perturbation, tool)` group within a single
+/// store: how much slower the tool's perturbed points ran relative to
+/// their clean counterparts, and how it fared under injected crashes.
+/// This is the robustness score the methodology ranks tools by —
+/// degradation curves, not clean-path means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationEntry {
+    /// Perturbation model slug.
+    pub perturb: String,
+    /// Tool slug (second segment of the scenario key).
+    pub tool: String,
+    /// Number of (clean, perturbed-seed) pairs compared.
+    pub points: usize,
+    /// Mean of `perturbed_mean / clean_mean` over the pairs.
+    pub mean_slowdown: f64,
+    /// Worst slowdown ratio among the pairs.
+    pub worst_slowdown: f64,
+    /// Perturbed points that ended in an expected injected fault.
+    pub crashes: usize,
+    /// Perturbed points that failed for any *other* reason — a tool
+    /// that deadlocks or panics under perturbation instead of erroring
+    /// cleanly does not survive.
+    pub unexpected_errors: usize,
+}
+
+impl DegradationEntry {
+    /// Crash-survival flag: every failure in the group was a structured
+    /// injected-fault error, never an unexplained breakage.
+    pub fn survived(&self) -> bool {
+        self.unexpected_errors == 0
+    }
+}
+
+/// The tool slug is the second `/`-separated segment of every scenario
+/// key (`kernel/tool/platform/...`).
+fn tool_of(key: &str) -> &str {
+    key.split('/').nth(1).unwrap_or("")
+}
+
+/// The clean counterpart of a perturbed key: the key minus its trailing
+/// `/{perturb}/seed{N}` segment.
+fn clean_key_of(perturbed: &str) -> &str {
+    perturbed.rsplitn(3, '/').nth(2).unwrap_or(perturbed)
+}
+
+/// Summarizes one store's perturbed records against its own clean
+/// records, grouped by `(perturbation, tool)` and sorted by that pair.
+/// Stores without perturbed records summarize to an empty list.
+pub fn degradation_summary(records: &[StoredRecord]) -> Vec<DegradationEntry> {
+    let clean: BTreeMap<&str, f64> = records
+        .iter()
+        .filter(|r| r.perturb.is_none() && r.status == "ok")
+        .filter_map(|r| r.mean.map(|m| (r.key.as_str(), m)))
+        .collect();
+    type Group = (Vec<f64>, usize, usize);
+    let mut groups: BTreeMap<(String, String), Group> = BTreeMap::new();
+    for r in records {
+        let Some(p) = &r.perturb else { continue };
+        let entry = groups
+            .entry((p.clone(), tool_of(&r.key).to_string()))
+            .or_default();
+        if r.status == "ok" {
+            if let (Some(m), Some(c)) = (r.mean, clean.get(clean_key_of(&r.key))) {
+                if *c > 0.0 {
+                    entry.0.push(m / c);
+                }
+            }
+        } else if is_injected_fault(r) {
+            entry.1 += 1;
+        } else if r.status == "error" {
+            entry.2 += 1;
+        }
+    }
+    groups
+        .into_iter()
+        .map(|((perturb, tool), (ratios, crashes, unexpected))| {
+            let points = ratios.len();
+            let mean = if points > 0 {
+                ratios.iter().sum::<f64>() / points as f64
+            } else {
+                0.0
+            };
+            DegradationEntry {
+                perturb,
+                tool,
+                points,
+                mean_slowdown: mean,
+                worst_slowdown: ratios.iter().cloned().fold(0.0, f64::max),
+                crashes,
+                unexpected_errors: unexpected,
+            }
+        })
+        .collect()
+}
+
+/// Renders a degradation summary, one line per `(perturbation, tool)`.
+pub fn render_degradation(entries: &[DegradationEntry]) -> String {
+    let mut out = String::new();
+    for e in entries {
+        let verdict = if !e.survived() {
+            format!(", {} UNEXPECTED error(s)", e.unexpected_errors)
+        } else if e.crashes > 0 {
+            format!(", {} injected crash(es), survived", e.crashes)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "degradation {}/{}: {} point(s), mean slowdown {:.2}x, worst {:.2}x{}",
+            e.perturb, e.tool, e.points, e.mean_slowdown, e.worst_slowdown, verdict
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -196,9 +382,30 @@ mod tests {
             min: Some(mean),
             max: Some(mean),
             cv: Some(0.0),
+            detail: None,
+            perturb: None,
+            seed: None,
             git_sha: None,
             timestamp: None,
         }
+    }
+
+    fn err(key: &str, detail: &str) -> StoredRecord {
+        let mut r = rec(key, 0.0);
+        r.status = "error".to_string();
+        r.mean = None;
+        r.min = None;
+        r.max = None;
+        r.cv = None;
+        r.detail = Some(detail.to_string());
+        r
+    }
+
+    fn perturbed(key_base: &str, slug: &str, seed: u32, mean: f64) -> StoredRecord {
+        let mut r = rec(&format!("{key_base}/{slug}/seed{seed}"), mean);
+        r.perturb = Some(slug.to_string());
+        r.seed = Some(seed);
+        r
     }
 
     #[test]
@@ -278,6 +485,103 @@ mod tests {
         assert_eq!(report.entries.len(), 1);
         assert_eq!(report.only_in_base, vec!["gone".to_string()]);
         assert_eq!(report.only_in_new, vec!["fresh".to_string()]);
+    }
+
+    #[test]
+    fn ok_to_error_flips_fail_the_gate_loudly() {
+        // A scenario that worked in the baseline but fails in the
+        // candidate is a regression even though no means can be
+        // compared.
+        let base = vec![rec("a", 1.0), rec("b", 2.0)];
+        let new = vec![rec("a", 1.0), err("b", "deadlock: all ranks blocked")];
+        let report = diff_records(&base, &new, 0.0).unwrap();
+        assert_eq!(report.broke, vec!["b".to_string()]);
+        assert!(!report.passes());
+        assert!(report.only_in_base.is_empty(), "flips are not 'missing'");
+        assert!(report.render().contains("BROKE b"));
+    }
+
+    #[test]
+    fn error_to_ok_flips_are_informational_fixes() {
+        // The reverse direction must not fail the gate: a scenario that
+        // used to fail and now works is progress, reported as such.
+        let base = vec![rec("a", 1.0), err("b", "deadlock: all ranks blocked")];
+        let new = vec![rec("a", 1.0), rec("b", 2.0)];
+        let report = diff_records(&base, &new, 0.0).unwrap();
+        assert!(report.passes());
+        assert_eq!(report.fixed, vec!["b".to_string()]);
+        assert!(report.broke.is_empty());
+        assert!(report.only_in_new.is_empty(), "fixes are not 'new keys'");
+        assert!(report.render().contains("fixed"));
+    }
+
+    #[test]
+    fn injected_fault_errors_are_tolerated_by_the_gate() {
+        // Crash-injected stores legitimately hold structured `error`
+        // records; only unexpected flips may fail the gate.
+        let base = vec![rec("a", 1.0), rec("b", 2.0)];
+        let new = vec![
+            rec("a", 1.0),
+            err("b", "rank 1 crashed by fault injection at 2ms"),
+        ];
+        let report = diff_records(&base, &new, 0.0).unwrap();
+        assert!(report.passes());
+        assert_eq!(report.injected_faults, vec!["b".to_string()]);
+        assert!(report.broke.is_empty());
+    }
+
+    #[test]
+    fn degradation_summary_scores_tools_on_slowdown_and_survival() {
+        let records = vec![
+            rec("bcast/p4/eth/n4/s1024", 10.0),
+            rec("bcast/pvm/eth/n4/s1024", 20.0),
+            perturbed("bcast/p4/eth/n4/s1024", "chaos", 1, 15.0),
+            perturbed("bcast/p4/eth/n4/s1024", "chaos", 2, 25.0),
+            perturbed("bcast/pvm/eth/n4/s1024", "chaos", 1, 30.0),
+            {
+                let mut r = err(
+                    "bcast/pvm/eth/n4/s1024/crashy/seed1",
+                    "rank 1 crashed by fault injection at 2ms",
+                );
+                r.perturb = Some("crashy".to_string());
+                r.seed = Some(1);
+                r
+            },
+            {
+                let mut r = err("bcast/p4/eth/n4/s1024/crashy/seed1", "deadlock");
+                r.perturb = Some("crashy".to_string());
+                r.seed = Some(1);
+                r
+            },
+        ];
+        let summary = degradation_summary(&records);
+        // Sorted by (perturb, tool): chaos/p4, chaos/pvm, crashy/p4,
+        // crashy/pvm.
+        assert_eq!(summary.len(), 4);
+        let chaos_p4 = &summary[0];
+        assert_eq!(
+            (chaos_p4.perturb.as_str(), chaos_p4.tool.as_str()),
+            ("chaos", "p4")
+        );
+        assert_eq!(chaos_p4.points, 2);
+        assert!((chaos_p4.mean_slowdown - 2.0).abs() < 1e-12);
+        assert!((chaos_p4.worst_slowdown - 2.5).abs() < 1e-12);
+        assert!(chaos_p4.survived());
+        let chaos_pvm = &summary[1];
+        assert!((chaos_pvm.mean_slowdown - 1.5).abs() < 1e-12);
+        // p4's crashy failure was NOT an injected fault: not survived.
+        let crashy_p4 = &summary[2];
+        assert_eq!(crashy_p4.tool, "p4");
+        assert_eq!(crashy_p4.unexpected_errors, 1);
+        assert!(!crashy_p4.survived());
+        // PVM's was the structured injected-crash error: survived.
+        let crashy_pvm = &summary[3];
+        assert_eq!(crashy_pvm.crashes, 1);
+        assert!(crashy_pvm.survived());
+        let text = render_degradation(&summary);
+        assert!(text.contains("degradation chaos/p4: 2 point(s), mean slowdown 2.00x"));
+        assert!(text.contains("1 injected crash(es), survived"));
+        assert!(text.contains("1 UNEXPECTED error(s)"));
     }
 
     #[test]

@@ -18,6 +18,7 @@ use pdceval_apps::workload::Workload;
 use pdceval_mpt::error::{RunError, ToolError};
 use pdceval_mpt::runtime::SpmdHarness;
 use pdceval_mpt::ToolKind;
+use pdceval_simnet::perturb::PerturbConfig;
 use pdceval_simnet::platform::Platform;
 use std::collections::HashMap;
 
@@ -83,12 +84,17 @@ impl Executor {
                 e.insert(SpmdHarness::new(sc.platform, sc.nprocs)?)
             }
         };
+        let pcfg = sc.perturb.map(|p| PerturbConfig {
+            spec: p.id.spec(),
+            seed: p.seed,
+        });
+        let perturb = pcfg.as_ref();
         let value = match sc.kernel {
-            Kernel::SendRecv { iters } => send_recv(harness, sc.tool, sc.size, iters)?,
-            Kernel::Broadcast => broadcast(harness, sc.tool, sc.size)?,
-            Kernel::Ring { shifts } => ring(harness, sc.tool, sc.size, shifts)?,
-            Kernel::GlobalSum => global_sum(harness, sc.tool, sc.size)?,
-            Kernel::App { app, scale } => application(harness, sc.tool, app, scale)?,
+            Kernel::SendRecv { iters } => send_recv(harness, sc.tool, perturb, sc.size, iters)?,
+            Kernel::Broadcast => broadcast(harness, sc.tool, perturb, sc.size)?,
+            Kernel::Ring { shifts } => ring(harness, sc.tool, perturb, sc.size, shifts)?,
+            Kernel::GlobalSum => global_sum(harness, sc.tool, perturb, sc.size)?,
+            Kernel::App { app, scale } => application(harness, sc.tool, perturb, app, scale)?,
         };
         Ok(PointOutcome::Value(value))
     }
@@ -108,12 +114,13 @@ impl Executor {
 fn send_recv(
     harness: &mut SpmdHarness,
     tool: ToolKind,
+    perturb: Option<&PerturbConfig>,
     bytes: u64,
     iters: u32,
 ) -> Result<f64, RunError> {
     let iters = iters.max(1);
     let bytes = bytes as usize;
-    let out = harness.run(tool, move |node| {
+    let out = harness.run_perturbed(tool, perturb, move |node| {
         if node.rank() > 1 {
             return 0.0;
         }
@@ -137,9 +144,14 @@ fn send_recv(
 
 /// Rank-0-rooted broadcast; the value is the completion time (ms) at the
 /// last node holding the payload.
-fn broadcast(harness: &mut SpmdHarness, tool: ToolKind, bytes: u64) -> Result<f64, RunError> {
+fn broadcast(
+    harness: &mut SpmdHarness,
+    tool: ToolKind,
+    perturb: Option<&PerturbConfig>,
+    bytes: u64,
+) -> Result<f64, RunError> {
     let bytes = bytes as usize;
-    let out = harness.run(tool, move |node| {
+    let out = harness.run_perturbed(tool, perturb, move |node| {
         let data = if node.rank() == 0 {
             Bytes::from(vec![0u8; bytes])
         } else {
@@ -157,13 +169,14 @@ fn broadcast(harness: &mut SpmdHarness, tool: ToolKind, bytes: u64) -> Result<f6
 fn ring(
     harness: &mut SpmdHarness,
     tool: ToolKind,
+    perturb: Option<&PerturbConfig>,
     bytes: u64,
     shifts: u32,
 ) -> Result<f64, RunError> {
     let shifts = shifts.max(1);
     let bytes = bytes as usize;
     let nprocs = harness.nprocs();
-    let out = harness.run(tool, move |node| {
+    let out = harness.run_perturbed(tool, perturb, move |node| {
         let mut data = Bytes::from(vec![node.rank() as u8; bytes]);
         for _ in 0..shifts {
             data = node.ring_shift(data).expect("ring shift failed");
@@ -182,9 +195,14 @@ fn ring(
 
 /// Global vector summation over `n`-element integer vectors; the value is
 /// completion ms at the last node.
-fn global_sum(harness: &mut SpmdHarness, tool: ToolKind, n: u64) -> Result<f64, RunError> {
+fn global_sum(
+    harness: &mut SpmdHarness,
+    tool: ToolKind,
+    perturb: Option<&PerturbConfig>,
+    n: u64,
+) -> Result<f64, RunError> {
     let nprocs = harness.nprocs() as i32;
-    let out = harness.run(tool, move |node| {
+    let out = harness.run_perturbed(tool, perturb, move |node| {
         let mine: Vec<i32> = (0..n as i32).map(|i| i + node.rank() as i32).collect();
         let sum = node.global_sum_i32(&mine).expect("global sum failed");
         // Element 0 must be the sum of all ranks' first elements.
@@ -200,45 +218,50 @@ fn global_sum(harness: &mut SpmdHarness, tool: ToolKind, n: u64) -> Result<f64, 
 fn application(
     harness: &mut SpmdHarness,
     tool: ToolKind,
+    perturb: Option<&PerturbConfig>,
     app: AplApp,
     scale: Scale,
 ) -> Result<f64, RunError> {
     fn run_one<W: Workload>(
         harness: &mut SpmdHarness,
         tool: ToolKind,
+        perturb: Option<&PerturbConfig>,
         w: W,
     ) -> Result<f64, RunError> {
-        let out = harness.run(tool, move |node| {
+        let out = harness.run_perturbed(tool, perturb, move |node| {
             w.run(node);
         })?;
         Ok(out.elapsed.as_secs_f64())
     }
     match (app, scale) {
-        (AplApp::Jpeg, Scale::Paper) => run_one(harness, tool, JpegCompression::paper()),
+        (AplApp::Jpeg, Scale::Paper) => run_one(harness, tool, perturb, JpegCompression::paper()),
         (AplApp::Jpeg, Scale::Quick) => run_one(
             harness,
             tool,
+            perturb,
             JpegCompression {
                 width: 128,
                 height: 128,
                 seed: 9,
             },
         ),
-        (AplApp::Fft, Scale::Paper) => run_one(harness, tool, Fft2d::paper()),
-        (AplApp::Fft, Scale::Quick) => run_one(harness, tool, Fft2d { n: 32, seed: 5 }),
-        (AplApp::MonteCarlo, Scale::Paper) => run_one(harness, tool, MonteCarlo::paper()),
+        (AplApp::Fft, Scale::Paper) => run_one(harness, tool, perturb, Fft2d::paper()),
+        (AplApp::Fft, Scale::Quick) => run_one(harness, tool, perturb, Fft2d { n: 32, seed: 5 }),
+        (AplApp::MonteCarlo, Scale::Paper) => run_one(harness, tool, perturb, MonteCarlo::paper()),
         (AplApp::MonteCarlo, Scale::Quick) => run_one(
             harness,
             tool,
+            perturb,
             MonteCarlo {
                 samples: 50_000,
                 seed: 77,
             },
         ),
-        (AplApp::Sorting, Scale::Paper) => run_one(harness, tool, PsrsSort::paper()),
+        (AplApp::Sorting, Scale::Paper) => run_one(harness, tool, perturb, PsrsSort::paper()),
         (AplApp::Sorting, Scale::Quick) => run_one(
             harness,
             tool,
+            perturb,
             PsrsSort {
                 keys: 20_000,
                 seed: 11,
@@ -265,6 +288,7 @@ mod tests {
             nprocs,
             size,
             reps: 1,
+            perturb: None,
         }
     }
 
@@ -319,6 +343,33 @@ mod tests {
         let d = exec.run(&point).unwrap();
         assert_eq!(c, d);
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn perturbed_points_are_deterministic_and_slower() {
+        use crate::scenario::PerturbRun;
+        use pdceval_simnet::perturb::{register_perturb, PerturbSpec};
+        let mut pspec = PerturbSpec::quiet("exec-test-jitter");
+        pspec.jitter = 0.5;
+        pspec.congestion = 0.5;
+        let id = register_perturb(pspec).unwrap();
+        let clean = sc(
+            Kernel::Broadcast,
+            ToolKind::P4,
+            Platform::SUN_ETHERNET,
+            4,
+            16 * 1024,
+        );
+        let mut jittered = clean;
+        jittered.perturb = Some(PerturbRun { id, seed: 1 });
+        let mut exec = Executor::new();
+        let c = exec.run(&clean).unwrap().value().unwrap();
+        let a = exec.run(&jittered).unwrap().value().unwrap();
+        let b = exec.run(&jittered).unwrap().value().unwrap();
+        assert_eq!(a, b, "same seed must replay bit-identically");
+        assert!(a > c, "jitter+congestion must slow the point ({a} vs {c})");
+        // The clean point is untouched by interleaved perturbed runs.
+        assert_eq!(exec.run(&clean).unwrap().value().unwrap(), c);
     }
 
     #[test]

@@ -110,6 +110,7 @@ impl ScenarioGrid {
                                 nprocs,
                                 size,
                                 reps: self.reps,
+                                perturb: None,
                             });
                         }
                     }

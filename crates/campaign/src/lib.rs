@@ -62,4 +62,4 @@ pub mod store;
 pub use exec::{Executor, PointOutcome};
 pub use grid::ScenarioGrid;
 pub use runner::{run_campaign, RecordStatus, RepStats, ScenarioRecord};
-pub use scenario::{AplApp, Kernel, Scale, Scenario};
+pub use scenario::{AplApp, Kernel, PerturbRun, Scale, Scenario};

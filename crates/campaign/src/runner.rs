@@ -170,6 +170,7 @@ mod tests {
                     platform: Platform::SUN_ATM_LAN,
                     nprocs: 4,
                     size,
+                    perturb: None,
                     reps: 2,
                 });
             }
@@ -215,6 +216,7 @@ mod tests {
                 nprocs: 4,
                 size: 1024,
                 reps: 1,
+                perturb: None,
             },
             Scenario {
                 kernel: Kernel::Broadcast,
@@ -223,6 +225,7 @@ mod tests {
                 nprocs: 4,
                 size: 1024,
                 reps: 1,
+                perturb: None,
             },
         ];
         let records = run_campaign(&scenarios, 2);

@@ -11,6 +11,7 @@
 use pdceval_mpt::error::RunError;
 use pdceval_mpt::runtime::SpmdConfig;
 use pdceval_mpt::ToolKind;
+use pdceval_simnet::perturb::PerturbId;
 use pdceval_simnet::platform::Platform;
 use std::fmt;
 
@@ -179,6 +180,16 @@ pub fn platform_slug(platform: Platform) -> String {
     platform.slug()
 }
 
+/// A perturbed variant of a sweep point: which registered perturbation
+/// model applies, and which seed drives its random draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PerturbRun {
+    /// The registered perturbation model.
+    pub id: PerturbId,
+    /// The seed (campaigns fan out over `1..=seeds`).
+    pub seed: u32,
+}
+
 /// One sweep point of a campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Scenario {
@@ -196,6 +207,9 @@ pub struct Scenario {
     /// Number of repetitions per point (statistics are computed over
     /// these in the results store).
     pub reps: u32,
+    /// Optional seeded perturbation. `None` is the clean point — its key
+    /// and execution are byte-identical to the pre-perturbation model.
+    pub perturb: Option<PerturbRun>,
 }
 
 impl Scenario {
@@ -208,17 +222,24 @@ impl Scenario {
     /// slug, so two registered mixes of the same hosts never collide and
     /// a remixed platform reads as a new key. Homogeneous keys — all
     /// built-ins — are exactly what they always were.
+    /// Perturbed points append a `/{perturb}/seed{N}` segment after the
+    /// size, so a perturbed sweep and its clean baseline coexist in one
+    /// store; clean keys — every pre-perturbation key — are unchanged.
     pub fn key(&self) -> String {
         let kernel = self.kernel.slug();
         let tool = tool_slug(self.tool);
         let platform = platform_slug(self.platform);
-        match self.platform.spec().topology.hetero_slug() {
+        let mut key = match self.platform.spec().topology.hetero_slug() {
             None => format!("{kernel}/{tool}/{platform}/n{}/s{}", self.nprocs, self.size),
             Some(topo) => format!(
                 "{kernel}/{tool}/{platform}/{topo}/n{}/s{}",
                 self.nprocs, self.size
             ),
+        };
+        if let Some(p) = &self.perturb {
+            key.push_str(&format!("/{}/seed{}", p.id.slug(), p.seed));
         }
+        key
     }
 
     /// Checks this scenario against platform node limits and tool ports,
@@ -261,7 +282,23 @@ mod tests {
             nprocs,
             size: 1024,
             reps: 1,
+            perturb: None,
         }
+    }
+
+    #[test]
+    fn perturbed_keys_append_model_and_seed() {
+        use pdceval_simnet::perturb::{register_perturb, PerturbSpec};
+        let mut spec = PerturbSpec::quiet("key-test-jitter");
+        spec.jitter = 0.2;
+        let id = register_perturb(spec).unwrap();
+        let mut s = sc(Kernel::Broadcast, ToolKind::P4, Platform::SUN_ETHERNET, 4);
+        assert_eq!(s.key(), "broadcast/p4/sun-eth/n4/s1024");
+        s.perturb = Some(PerturbRun { id, seed: 3 });
+        assert_eq!(
+            s.key(),
+            "broadcast/p4/sun-eth/n4/s1024/key-test-jitter/seed3"
+        );
     }
 
     #[test]

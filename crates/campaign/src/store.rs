@@ -105,6 +105,17 @@ pub fn render_record(r: &ScenarioRecord, meta: &StoreMeta) -> String {
         }
         None => out.push_str(", \"detail\": null"),
     }
+    // Perturbed points carry their model and seed; clean records omit
+    // both fields entirely so perturbation-free stores stay
+    // byte-identical to those written before the perturbation layer.
+    if let Some(p) = &sc.perturb {
+        let _ = write!(
+            out,
+            ", \"perturb\": \"{}\", \"seed\": {}",
+            escape(&p.id.slug()),
+            p.seed
+        );
+    }
     match &meta.git_sha {
         Some(sha) => {
             let _ = write!(out, ", \"git_sha\": \"{}\"", escape(sha));
@@ -167,6 +178,12 @@ pub struct StoredRecord {
     pub max: Option<f64>,
     /// Coefficient of variation over repetitions.
     pub cv: Option<f64>,
+    /// Why the point is unsupported or failed, for non-`ok` records.
+    pub detail: Option<String>,
+    /// Perturbation model slug, for perturbed records.
+    pub perturb: Option<String>,
+    /// Perturbation seed, for perturbed records.
+    pub seed: Option<u32>,
     /// Commit the record was produced on.
     pub git_sha: Option<String>,
     /// Unix timestamp of the run.
@@ -201,6 +218,9 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<StoredRecord>, String> {
             min: num_field("min"),
             max: num_field("max"),
             cv: num_field("cv"),
+            detail: get("detail").and_then(Json::as_str).map(str::to_string),
+            perturb: get("perturb").and_then(Json::as_str).map(str::to_string),
+            seed: num_field("seed").map(|s| s as u32),
             git_sha: get("git_sha").and_then(Json::as_str).map(str::to_string),
             timestamp: num_field("timestamp").map(|t| t as u64),
         });
@@ -236,6 +256,7 @@ mod tests {
                 nprocs: 4,
                 size,
                 reps: 2,
+                perturb: None,
             },
             status: RecordStatus::Ok,
             stats: Some(RepStats {
@@ -288,6 +309,7 @@ mod tests {
                 nprocs: 4,
                 size: 1000,
                 reps: 1,
+                perturb: None,
             },
             status: RecordStatus::Unsupported,
             stats: None,
@@ -297,6 +319,36 @@ mod tests {
         let parsed = parse_jsonl(&text).unwrap();
         assert_eq!(parsed[0].status, "unsupported");
         assert_eq!(parsed[0].mean, None);
+    }
+
+    #[test]
+    fn perturbed_records_carry_model_and_seed_and_clean_lines_are_untouched() {
+        use crate::scenario::PerturbRun;
+        use pdceval_simnet::perturb::{register_perturb, PerturbSpec};
+        let mut pspec = PerturbSpec::quiet("store-test-chaos");
+        pspec.loss = 0.01;
+        pspec.loss_timeout_us = 1000.0;
+        let id = register_perturb(pspec).unwrap();
+
+        let clean = record(1024, 3.5);
+        let mut perturbed = record(1024, 9.0);
+        perturbed.scenario.perturb = Some(PerturbRun { id, seed: 7 });
+        let text = render_jsonl(&[clean, perturbed], &StoreMeta::none());
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines[0].contains("perturb") && !lines[0].contains("seed"));
+        assert!(lines[1].contains(
+            "\"detail\": null, \"perturb\": \"store-test-chaos\", \"seed\": 7, \"git_sha\""
+        ));
+
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed[0].perturb, None);
+        assert_eq!(parsed[0].seed, None);
+        assert_eq!(parsed[1].perturb.as_deref(), Some("store-test-chaos"));
+        assert_eq!(parsed[1].seed, Some(7));
+        assert_eq!(
+            parsed[1].key,
+            "broadcast/p4/sun-eth/n4/s1024/store-test-chaos/seed7"
+        );
     }
 
     #[test]

@@ -51,6 +51,7 @@ impl AplConfig {
                 nprocs: procs,
                 size: 0,
                 reps: 1,
+                perturb: None,
             })
             .collect()
     }

@@ -47,6 +47,7 @@ impl BroadcastConfig {
                 nprocs: self.nprocs,
                 size: kb * 1024,
                 reps: 1,
+                perturb: None,
             })
             .collect()
     }

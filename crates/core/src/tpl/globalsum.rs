@@ -48,6 +48,7 @@ impl GlobalSumConfig {
                 nprocs: self.nprocs,
                 size: n,
                 reps: 1,
+                perturb: None,
             })
             .collect()
     }

@@ -60,6 +60,7 @@ impl RingConfig {
                 nprocs: self.nprocs,
                 size: kb * 1024,
                 reps: 1,
+                perturb: None,
             })
             .collect()
     }

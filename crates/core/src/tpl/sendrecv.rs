@@ -49,6 +49,7 @@ impl SendRecvConfig {
                 nprocs: 2,
                 size: kb * 1024,
                 reps: 1,
+                perturb: None,
             })
             .collect()
     }

@@ -226,6 +226,7 @@ mod tests {
             tools: builtin_tools(),
             platforms: pdceval_simnet::builtin::builtin_platforms(),
             campaigns: vec![],
+            perturbs: vec![],
         };
         let rendered = render_spec(&file);
         let reparsed = parse_spec(&rendered).expect("builtin specs must re-parse");

@@ -3,6 +3,7 @@
 use crate::tool::ToolKind;
 use pdceval_simnet::error::SimError;
 use pdceval_simnet::platform::Platform;
+use pdceval_simnet::time::SimTime;
 use std::error::Error;
 use std::fmt;
 
@@ -124,6 +125,17 @@ pub enum RunError {
     },
     /// Zero nodes were requested.
     ZeroNodes,
+    /// A rank was crashed by fault injection (see
+    /// `pdceval_simnet::perturb`). This is the *expected* structured
+    /// outcome of a crash-perturbed run whose collectives could not
+    /// tolerate the dead rank — the run terminated cleanly instead of
+    /// deadlocking.
+    RankCrashed {
+        /// The crashed rank.
+        rank: usize,
+        /// Virtual time at which the crash fired.
+        at: SimTime,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -137,6 +149,9 @@ impl fmt::Display for RunError {
                 write!(f, "requested {requested} nodes but the platform has {max}")
             }
             RunError::ZeroNodes => write!(f, "an SPMD run needs at least one node"),
+            RunError::RankCrashed { rank, at } => {
+                write!(f, "rank {rank} crashed by fault injection at {at}")
+            }
         }
     }
 }
@@ -178,6 +193,14 @@ mod tests {
         };
         assert!(e.to_string().contains("Express"));
         assert!(e.to_string().contains("NYNET"));
+
+        let e = RunError::RankCrashed {
+            rank: 2,
+            at: SimTime::from_nanos(1_500_000),
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 2"), "{s}");
+        assert!(s.contains("fault injection"), "{s}");
     }
 
     #[test]

@@ -17,6 +17,9 @@ use pdceval_simnet::fabric::Fabric;
 use pdceval_simnet::flight::{Stage, TransmitPlan};
 use pdceval_simnet::host::HostSpec;
 use pdceval_simnet::ids::{ProcId, ResourceId, Tag};
+use pdceval_simnet::perturb::{
+    InjectedCrash, PerturbConfig, PerturbSpec, SplitMix64, MAX_RETRANSMITS,
+};
 use pdceval_simnet::platform::Platform;
 use pdceval_simnet::time::{SimDuration, SimTime};
 use pdceval_simnet::work::Work;
@@ -54,6 +57,71 @@ pub(crate) struct Shared {
     /// Per-host single-threaded PVM daemon (serializes both directions).
     pub daemon: Vec<ResourceId>,
     pub nprocs: usize,
+    /// The run's perturbation, if any. `None` is the clean path: no
+    /// random draw ever happens and behaviour is byte-identical to the
+    /// pre-perturbation model.
+    pub perturb: Option<PerturbConfig>,
+}
+
+/// Per-node perturbation state: the spec, this rank's private draw
+/// stream, and the precomputed crash point (if this rank is the one
+/// being crashed).
+struct PerturbState {
+    spec: Arc<PerturbSpec>,
+    rng: SplitMix64,
+    crash_at: Option<SimTime>,
+}
+
+/// Applies a perturbation to one fragment's fabric stages, in a fixed
+/// draw order (congestion, then jitter, then loss) so the sequence of
+/// RNG draws — and hence replay — depends only on the spec, never on
+/// scheduler interleaving.
+fn perturb_net_stages(
+    state: &mut PerturbState,
+    mut net: Vec<Stage>,
+    link_latency_us: f64,
+) -> Vec<Stage> {
+    if state.spec.congestion > 0.0 {
+        // Background traffic inflates both wire occupancy and latency
+        // for this fragment by a factor in [1, 1 + congestion].
+        let factor = 1.0 + state.spec.congestion * state.rng.next_f64();
+        for stage in &mut net {
+            match stage {
+                Stage::Latency(d) => {
+                    *d = SimDuration::from_micros_f64(d.as_micros_f64() * factor);
+                }
+                Stage::Serve { service, .. } => {
+                    *service = SimDuration::from_micros_f64(service.as_micros_f64() * factor);
+                }
+            }
+        }
+    }
+    if state.spec.jitter > 0.0 {
+        // Extra propagation delay in [0, jitter × link latency].
+        let extra = link_latency_us * state.spec.jitter * state.rng.next_f64();
+        net.push(Stage::Latency(SimDuration::from_micros_f64(extra)));
+    }
+    if state.spec.loss > 0.0 {
+        // Each loss draw prices one failed traversal: the fragment
+        // occupies the fabric, vanishes, and the sender waits out the
+        // retransmit timeout before trying again. Retries are capped so
+        // a pathological stream cannot stall a run forever.
+        let mut lost = 0;
+        while lost < MAX_RETRANSMITS && state.rng.next_f64() < state.spec.loss {
+            lost += 1;
+        }
+        if lost > 0 {
+            let timeout = Stage::Latency(SimDuration::from_micros_f64(state.spec.loss_timeout_us));
+            let mut priced = Vec::with_capacity((net.len() + 1) * (lost as usize + 1));
+            for _ in 0..lost {
+                priced.extend(net.iter().cloned());
+                priced.push(timeout);
+            }
+            priced.extend(net);
+            return priced;
+        }
+    }
+    net
 }
 
 /// A received message.
@@ -116,11 +184,19 @@ pub struct Node<'a> {
     profile: ToolProfile,
     coll_seq: u32,
     stats: NodeStats,
+    perturb: Option<PerturbState>,
 }
 
 impl<'a> Node<'a> {
     pub(crate) fn new(ctx: &'a Ctx, rank: usize, shared: Arc<Shared>) -> Node<'a> {
         let profile = shared.tool_spec.profile.clone();
+        // The draw stream is a pure function of (seed, rank): replay is
+        // bit-identical no matter how the scheduler interleaves ranks.
+        let perturb = shared.perturb.as_ref().map(|cfg| PerturbState {
+            spec: Arc::clone(&cfg.spec),
+            rng: cfg.rank_stream(rank),
+            crash_at: cfg.crash_point(rank),
+        });
         Node {
             ctx,
             rank,
@@ -128,6 +204,7 @@ impl<'a> Node<'a> {
             profile,
             coll_seq: 0,
             stats: NodeStats::default(),
+            perturb,
         }
     }
 
@@ -178,7 +255,26 @@ impl<'a> Node<'a> {
     /// Performs computational work, advancing virtual time by its cost on
     /// this node's host.
     pub fn compute(&mut self, w: Work) {
+        self.maybe_crash();
         self.ctx.work(w);
+    }
+
+    /// Fires the injected rank crash if this rank's crash point has been
+    /// reached. Checked at the entry of every tool primitive (a crashed
+    /// process stops calling the tool — it does not die mid-transmission).
+    /// The unwind payload is caught by the engine and surfaced as a
+    /// structured `SimError::InjectedCrash`, so surviving ranks can never
+    /// deadlock on the dead one.
+    fn maybe_crash(&self) {
+        if let Some(state) = &self.perturb {
+            if let Some(at) = state.crash_at {
+                if self.ctx.now() >= at {
+                    // resume_unwind (not panic!) skips the panic hook: an
+                    // injected crash is a modeled fault, not a bug report.
+                    std::panic::resume_unwind(Box::new(InjectedCrash { at: self.ctx.now() }));
+                }
+            }
+        }
     }
 
     /// Aborts the whole run with a message (models the tools' abort
@@ -255,6 +351,7 @@ impl<'a> Node<'a> {
         data: Bytes,
         costs: &SendCosts,
     ) -> Result<(), ToolError> {
+        self.maybe_crash();
         self.check_rank(dst)?;
         let src_host = self.rank;
         let dst_host = dst;
@@ -278,16 +375,29 @@ impl<'a> Node<'a> {
         } else {
             let send_res = self.send_resource(src_host);
             let recv_res = self.recv_resource(dst_host);
+            let link_latency_us = self
+                .shared
+                .fabric
+                .link_class(src_host, dst_host)
+                .latency
+                .as_micros_f64();
             let mut plan_frags = Vec::with_capacity(frags.len());
             for frag in frags {
-                let mut stages = Vec::with_capacity(5);
+                // Only the fabric traversal is perturbed; the endpoint
+                // software costs (beta serve stages) are not network
+                // conditions and stay exact.
+                let mut net = self.shared.fabric.fragment_stages(src_host, dst_host, frag);
+                if let Some(state) = self.perturb.as_mut() {
+                    net = perturb_net_stages(state, net, link_latency_us);
+                }
+                let mut stages = Vec::with_capacity(net.len() + 2);
                 if costs.beta_send_us_per_byte > 0.0 {
                     stages.push(Stage::Serve {
                         resource: send_res,
                         service: self.sw(costs.beta_send_us_per_byte * frag as f64, src_host),
                     });
                 }
-                stages.extend(self.shared.fabric.fragment_stages(src_host, dst_host, frag));
+                stages.extend(net);
                 if costs.beta_recv_us_per_byte > 0.0 {
                     stages.push(Stage::Serve {
                         resource: recv_res,
@@ -311,6 +421,7 @@ impl<'a> Node<'a> {
         tag: Option<Tag>,
         alpha_recv_us: f64,
     ) -> Result<RecvMsg, ToolError> {
+        self.maybe_crash();
         if let Some(s) = src {
             self.check_rank(s)?;
         }
@@ -319,6 +430,9 @@ impl<'a> Node<'a> {
             tag,
         };
         let env = self.ctx.recv(m);
+        // A blocking receive may return past the crash point: the rank
+        // dies before processing the message.
+        self.maybe_crash();
         let me = self.rank;
         let wildcard = if src.is_none() {
             self.profile.wildcard_recv_extra_us
@@ -464,6 +578,7 @@ impl<'a> Node<'a> {
         src: Option<usize>,
         tag: Option<Tag>,
     ) -> Result<Option<RecvMsg>, ToolError> {
+        self.maybe_crash();
         if let Some(s) = src {
             self.check_rank(s)?;
         }

@@ -11,6 +11,8 @@
 use crate::builtin::builtin_tools;
 use crate::spec::{parse_spec, CampaignSpec, SpecFile, ToolSpec};
 use crate::tool::ToolId;
+use pdceval_simnet::perturb as perturb_registry;
+use pdceval_simnet::perturb::{PerturbId, PerturbSpec};
 use pdceval_simnet::platform::{PlatformId, PlatformSpec};
 use pdceval_simnet::registry as platform_registry;
 use std::sync::{Arc, OnceLock, RwLock};
@@ -144,6 +146,8 @@ pub struct LoadedSpecs {
     pub platforms: Vec<PlatformId>,
     /// Campaign stanzas the file declared, in file order.
     pub campaigns: Vec<Arc<CampaignSpec>>,
+    /// Perturbation models the file declared, in file order.
+    pub perturbs: Vec<PerturbId>,
 }
 
 /// The combined model registry: every tool and platform the process
@@ -231,7 +235,37 @@ impl ModelRegistry {
                 .map(|p| (*p.spec()).clone())
                 .collect(),
             campaigns: self.campaigns().iter().map(|c| (**c).clone()).collect(),
+            perturbs: self
+                .perturbs()
+                .into_iter()
+                .map(|p| (*p.spec()).clone())
+                .collect(),
         }
+    }
+
+    /// Registers a perturbation model. See
+    /// [`pdceval_simnet::perturb::register_perturb`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the conflict or validation failure.
+    pub fn register_perturb(&self, spec: PerturbSpec) -> Result<PerturbId, String> {
+        perturb_registry::register_perturb(spec)
+    }
+
+    /// Resolves a perturbation handle.
+    pub fn perturb(&self, id: PerturbId) -> Arc<PerturbSpec> {
+        perturb_registry::perturb_spec(id)
+    }
+
+    /// All registered perturbation models, in registration order.
+    pub fn perturbs(&self) -> Vec<PerturbId> {
+        perturb_registry::all_perturbs()
+    }
+
+    /// Looks a perturbation model up by slug.
+    pub fn perturb_by_slug(&self, slug: &str) -> Option<PerturbId> {
+        perturb_registry::find_perturb(slug)
     }
 
     /// Registers a campaign stanza. See [`register_campaign`].
@@ -265,15 +299,20 @@ impl ModelRegistry {
             tools,
             platforms,
             campaigns,
+            perturbs,
         } = parse_spec(text).map_err(|e| e.to_string())?;
         let mut loaded = LoadedSpecs::default();
         // Register platforms first so a file's tools can be validated
-        // against its own platforms in the future without ordering traps.
+        // against its own platforms in the future without ordering traps;
+        // perturbations before campaigns so `perturb =` selectors resolve.
         for p in platforms {
             loaded.platforms.push(self.register_platform(p)?);
         }
         for t in tools {
             loaded.tools.push(self.register_tool(t)?);
+        }
+        for p in perturbs {
+            loaded.perturbs.push(self.register_perturb(p)?);
         }
         for c in campaigns {
             loaded.campaigns.push(self.register_campaign(c)?);
@@ -325,6 +364,8 @@ mod tests {
             reps: 1,
             tools: vec![],
             platforms: vec![],
+            perturbs: vec![],
+            seeds: 1,
         };
         let a = register_campaign(spec.clone()).unwrap();
         let b = register_campaign(spec.clone()).unwrap();
@@ -348,5 +389,24 @@ mod tests {
             .campaigns
             .iter()
             .any(|c| c.slug == "registry-test-loaded"));
+    }
+
+    #[test]
+    fn perturb_models_load_and_snapshot() {
+        let loaded = ModelRegistry::global()
+            .load_spec_text("[perturb registry-test-chaos]\njitter = 0.25\n")
+            .unwrap();
+        assert_eq!(loaded.perturbs.len(), 1);
+        let id = loaded.perturbs[0];
+        assert_eq!(id.spec().jitter, 0.25);
+        assert_eq!(
+            ModelRegistry::global().perturb_by_slug("registry-test-chaos"),
+            Some(id)
+        );
+        assert!(ModelRegistry::global()
+            .snapshot()
+            .perturbs
+            .iter()
+            .any(|p| p.slug == "registry-test-chaos"));
     }
 }

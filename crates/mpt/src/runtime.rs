@@ -24,9 +24,11 @@ use crate::error::RunError;
 use crate::node::{Node, Shared};
 use crate::tool::ToolKind;
 use pdceval_simnet::engine::{SimOutcome, Simulation};
+use pdceval_simnet::error::SimError;
 use pdceval_simnet::fabric::Fabric;
 use pdceval_simnet::host::HostSpec;
 use pdceval_simnet::ids::ResourceId;
+use pdceval_simnet::perturb::PerturbConfig;
 use pdceval_simnet::platform::Platform;
 use pdceval_simnet::time::{SimDuration, SimTime};
 use std::sync::{Arc, Mutex};
@@ -138,6 +140,8 @@ pub struct SpmdHarness {
     sim: Simulation,
     fabric: Fabric,
     hosts: Vec<HostSpec>,
+    /// Per-rank topology group name (straggler multipliers target groups).
+    groups: Vec<String>,
     stack_tx: Vec<ResourceId>,
     stack_rx: Vec<ResourceId>,
     daemon: Vec<ResourceId>,
@@ -171,6 +175,9 @@ impl SpmdHarness {
         let hosts: Vec<_> = (0..nprocs)
             .map(|r| spec.topology.groups[placement.group_of(r)].host.clone())
             .collect();
+        let groups: Vec<_> = (0..nprocs)
+            .map(|r| spec.topology.groups[placement.group_of(r)].name.clone())
+            .collect();
         let stack_tx = (0..nprocs)
             .map(|i| sim.add_resource_indexed("stack-tx", i))
             .collect();
@@ -186,6 +193,7 @@ impl SpmdHarness {
             sim,
             fabric,
             hosts,
+            groups,
             stack_tx,
             stack_rx,
             daemon,
@@ -215,6 +223,32 @@ impl SpmdHarness {
         T: Send + 'static,
         F: Fn(&mut Node<'_>) -> T + Send + Sync + 'static,
     {
+        self.run_perturbed(tool, None, f)
+    }
+
+    /// Runs one SPMD point under `tool` with an optional seeded
+    /// perturbation (latency jitter, background congestion, straggler
+    /// host groups, message loss, rank crashes — see
+    /// [`pdceval_simnet::perturb`]). `None` is exactly [`SpmdHarness::run`]:
+    /// the clean path draws no random numbers and stays bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SpmdHarness::run`] reports, plus
+    /// [`RunError::RankCrashed`] when an injected crash fires and the
+    /// application cannot tolerate the dead rank. Either way the harness
+    /// stays reusable: the engine resets in place and the next point is
+    /// unaffected.
+    pub fn run_perturbed<T, F>(
+        &mut self,
+        tool: ToolKind,
+        perturb: Option<&PerturbConfig>,
+        f: F,
+    ) -> Result<SpmdOutcome<T>, RunError>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Node<'_>) -> T + Send + Sync + 'static,
+    {
         if !tool.supports_platform(self.platform) {
             return Err(RunError::PlatformUnsupported {
                 tool,
@@ -222,23 +256,48 @@ impl SpmdHarness {
             });
         }
         let nprocs = self.nprocs;
+        // Straggler multipliers slow whole topology groups: rank hosts in
+        // a straggled group compute slower (mflops/mips/bandwidth divided
+        // by the factor) and pay proportionally more software overhead.
+        let hosts: Vec<HostSpec> = match perturb {
+            Some(cfg) => self
+                .hosts
+                .iter()
+                .zip(&self.groups)
+                .map(|(h, g)| {
+                    let factor = cfg.straggler_factor(g);
+                    if factor > 1.0 {
+                        let mut slow = h.clone();
+                        slow.sw_scale *= factor;
+                        slow.mflops /= factor;
+                        slow.mips /= factor;
+                        slow.mem_bw_mbs /= factor;
+                        slow
+                    } else {
+                        h.clone()
+                    }
+                })
+                .collect(),
+            None => self.hosts.clone(),
+        };
         let shared = Arc::new(Shared {
             platform: self.platform,
             tool,
             tool_spec: tool.spec(),
             fabric: self.fabric.clone(),
-            hosts: self.hosts.clone(),
+            hosts: hosts.clone(),
             stack_tx: self.stack_tx.clone(),
             stack_rx: self.stack_rx.clone(),
             daemon: self.daemon.clone(),
             nprocs,
+            perturb: perturb.cloned(),
         });
 
         let results: Arc<Mutex<Vec<Option<T>>>> =
             Arc::new(Mutex::new((0..nprocs).map(|_| None).collect()));
         let f = Arc::new(f);
 
-        for (rank, host) in self.hosts.iter().enumerate() {
+        for (rank, host) in hosts.iter().enumerate() {
             let shared = Arc::clone(&shared);
             let results = Arc::clone(&results);
             let f = Arc::clone(&f);
@@ -252,7 +311,11 @@ impl SpmdHarness {
                 });
         }
 
-        let sim_outcome = self.sim.run_in_place()?;
+        let crash_rank = perturb.and_then(|p| p.spec.crash_rank);
+        let sim_outcome = self.sim.run_in_place().map_err(|e| match (e, crash_rank) {
+            (SimError::InjectedCrash { at, .. }, Some(rank)) => RunError::RankCrashed { rank, at },
+            (other, _) => RunError::Sim(other),
+        })?;
 
         let rank_finish: Vec<SimDuration> = sim_outcome
             .proc_finish
@@ -581,6 +644,130 @@ mod tests {
                 max: 4
             }
         ));
+    }
+
+    fn pcfg(spec: pdceval_simnet::perturb::PerturbSpec, seed: u32) -> PerturbConfig {
+        PerturbConfig {
+            spec: Arc::new(spec),
+            seed,
+        }
+    }
+
+    #[test]
+    fn injected_crash_terminates_with_structured_error() {
+        let mut spec = pdceval_simnet::perturb::PerturbSpec::quiet("crash-term");
+        spec.crash_rank = Some(1);
+        spec.crash_at_us = Some(100.0);
+        let cfg = pcfg(spec, 1);
+        let mut h = SpmdHarness::new(Platform::SUN_ETHERNET, 2).unwrap();
+        let err = h
+            .run_perturbed(ToolKind::P4, Some(&cfg), |node| {
+                // Ring traffic keeps both ranks talking past the crash point.
+                for _ in 0..50 {
+                    node.ring_shift(Bytes::from(vec![0u8; 2048])).unwrap();
+                }
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, RunError::RankCrashed { rank: 1, .. }),
+            "expected RankCrashed, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn harness_recovers_after_injected_crash() {
+        // A crashed point must not wedge the pooled scheduler for the next
+        // sweep point: a clean run on the same harness afterwards must be
+        // bit-identical to one on a fresh harness.
+        let clean = |node: &mut Node<'_>| {
+            let data = Bytes::from(vec![node.rank() as u8; 2048]);
+            let got = node.ring_shift(data).unwrap();
+            (got.len(), node.now().as_nanos())
+        };
+        let mut spec = pdceval_simnet::perturb::PerturbSpec::quiet("crash-recover");
+        spec.crash_rank = Some(1);
+        spec.crash_at_us = Some(100.0);
+        let cfg = pcfg(spec, 7);
+        let mut warm = SpmdHarness::new(Platform::SUN_ETHERNET, 2).unwrap();
+        let err = warm
+            .run_perturbed(ToolKind::P4, Some(&cfg), |node| {
+                for _ in 0..50 {
+                    node.ring_shift(Bytes::from(vec![0u8; 2048])).unwrap();
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, RunError::RankCrashed { rank: 1, .. }));
+        let via_warm = warm.run(ToolKind::P4, clean).unwrap();
+        let mut fresh = SpmdHarness::new(Platform::SUN_ETHERNET, 2).unwrap();
+        let via_fresh = fresh.run(ToolKind::P4, clean).unwrap();
+        assert_eq!(via_warm.results, via_fresh.results);
+        assert_eq!(via_warm.elapsed, via_fresh.elapsed);
+        assert_eq!(via_warm.rank_finish, via_fresh.rank_finish);
+    }
+
+    #[test]
+    fn perturbed_runs_replay_bit_identically() {
+        let mut spec = pdceval_simnet::perturb::PerturbSpec::quiet("noisy");
+        spec.jitter = 0.5;
+        spec.congestion = 0.5;
+        spec.loss = 0.05;
+        spec.loss_timeout_us = 1000.0;
+        let cfg = pcfg(spec, 42);
+        let app = |node: &mut Node<'_>| {
+            let data = Bytes::from(vec![node.rank() as u8; 4096]);
+            let got = node.ring_shift(data).unwrap();
+            node.barrier().unwrap();
+            (got.len(), node.now().as_nanos())
+        };
+        let mut h = SpmdHarness::new(Platform::SUN_ETHERNET, 4).unwrap();
+        let a = h.run_perturbed(ToolKind::P4, Some(&cfg), app).unwrap();
+        let b = h.run_perturbed(ToolKind::P4, Some(&cfg), app).unwrap();
+        assert_eq!(
+            a.results, b.results,
+            "same seed must replay bit-identically"
+        );
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.rank_finish, b.rank_finish);
+
+        // A different seed draws different delays...
+        let other_seed = PerturbConfig {
+            spec: Arc::clone(&cfg.spec),
+            seed: 43,
+        };
+        let c = h
+            .run_perturbed(ToolKind::P4, Some(&other_seed), app)
+            .unwrap();
+        assert_ne!(a.elapsed, c.elapsed, "different seeds should differ");
+
+        // ...and any perturbed run is slower than the clean one, which is
+        // itself untouched by the machinery existing.
+        let clean = h.run(ToolKind::P4, app).unwrap();
+        assert!(
+            a.elapsed > clean.elapsed,
+            "perturbation must cost time: {:?} vs {:?}",
+            a.elapsed,
+            clean.elapsed
+        );
+    }
+
+    #[test]
+    fn straggler_multiplier_slows_the_group() {
+        let mut spec = pdceval_simnet::perturb::PerturbSpec::quiet("slowpoke");
+        // Builtin homogeneous platforms have the single group "all".
+        spec.stragglers = vec![("all".to_string(), 3.0)];
+        let cfg = pcfg(spec, 1);
+        let app = |node: &mut Node<'_>| {
+            node.compute(pdceval_simnet::work::Work::flops(3_600_000));
+            node.now().as_nanos()
+        };
+        let mut h = SpmdHarness::new(Platform::SUN_ETHERNET, 2).unwrap();
+        let slow = h.run_perturbed(ToolKind::P4, Some(&cfg), app).unwrap();
+        let clean = h.run(ToolKind::P4, app).unwrap();
+        let ratio = slow.elapsed.as_micros_f64() / clean.elapsed.as_micros_f64();
+        assert!(
+            ratio > 2.5 && ratio < 3.5,
+            "3x straggler should run ~3x slower, got {ratio}"
+        );
     }
 
     #[test]

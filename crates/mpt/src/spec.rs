@@ -70,6 +70,7 @@ use crate::profile::{BcastAlgo, ReduceAlgo, ToolProfile};
 use crate::tool::Primitive;
 use pdceval_simnet::host::HostSpec;
 use pdceval_simnet::net::LinkParams;
+use pdceval_simnet::perturb::PerturbSpec;
 use pdceval_simnet::platform::{is_slug, PlatformSpec};
 use pdceval_simnet::time::SimDuration;
 use pdceval_simnet::topology::{HostGroup, Topology};
@@ -366,6 +367,15 @@ pub struct CampaignSpec {
     /// Platform slugs to sweep; empty = the declaring spec's own
     /// platforms.
     pub platforms: Vec<String>,
+    /// Perturbation slugs to sweep; the reserved name `none` selects the
+    /// clean (unperturbed) variant, so `perturb = none chaos` runs the
+    /// grid once clean and once under `[perturb chaos]`. Empty = clean
+    /// only (pre-perturbation behaviour, keys unchanged).
+    pub perturbs: Vec<String>,
+    /// Seeds per perturbed variant: each non-`none` perturbation runs the
+    /// grid for seeds `1..=seeds`. Clean runs are seed-independent, so
+    /// `seeds` > 1 requires at least one real perturbation.
+    pub seeds: u32,
 }
 
 /// A campaign kernel name, parsed: the single definition of the
@@ -484,7 +494,20 @@ impl CampaignSpec {
         if self.reps == 0 {
             return Err(format!("{ctx}: 'reps' must be >= 1"));
         }
-        for (key, slugs) in [("tools", &self.tools), ("platforms", &self.platforms)] {
+        if self.seeds == 0 {
+            return Err(format!("{ctx}: 'seeds' must be >= 1"));
+        }
+        if self.seeds > 1 && !self.perturbs.iter().any(|p| p != "none") {
+            return Err(format!(
+                "{ctx}: 'seeds' > 1 needs a perturbation in 'perturb' \
+                 (clean runs are seed-independent)"
+            ));
+        }
+        for (key, slugs) in [
+            ("tools", &self.tools),
+            ("platforms", &self.platforms),
+            ("perturb", &self.perturbs),
+        ] {
             for s in slugs {
                 if !is_slug(s) {
                     return Err(format!(
@@ -521,6 +544,7 @@ impl CampaignSpec {
         for (key, d) in [
             ("tools", dup(&self.tools).map(ToString::to_string)),
             ("platforms", dup(&self.platforms).map(ToString::to_string)),
+            ("perturb", dup(&self.perturbs).map(ToString::to_string)),
             ("nprocs", dup(&self.nprocs).map(ToString::to_string)),
             ("sizes", dup(&self.sizes).map(ToString::to_string)),
         ] {
@@ -541,6 +565,8 @@ pub struct SpecFile {
     pub platforms: Vec<PlatformSpec>,
     /// Declared campaigns, in file order.
     pub campaigns: Vec<CampaignSpec>,
+    /// Declared perturbation models, in file order.
+    pub perturbs: Vec<PerturbSpec>,
 }
 
 /// A spec-file diagnostic: what went wrong, and on which 1-based line
@@ -601,6 +627,8 @@ enum SectionKind {
     Link,
     /// A named scenario grid: `[campaign <name>]`.
     Campaign,
+    /// A seeded perturbation model: `[perturb <name>]`.
+    Perturb,
 }
 
 /// Parses a `.spec` file.
@@ -627,12 +655,13 @@ pub fn parse_spec(text: &str) -> Result<SpecFile, SpecError> {
                 Some("group") => SectionKind::Group,
                 Some("link") => SectionKind::Link,
                 Some("campaign") => SectionKind::Campaign,
+                Some("perturb") => SectionKind::Perturb,
                 other => {
                     return Err(SpecError::at(
                         lineno,
                         format!(
                             "unknown section '{}' (expected 'tool', 'platform', 'group', \
-                             'link' or 'campaign')",
+                             'link', 'campaign' or 'perturb')",
                             other.unwrap_or("")
                         ),
                     ))
@@ -725,7 +754,10 @@ pub fn parse_spec(text: &str) -> Result<SpecFile, SpecError> {
                     ));
                 }
             }
-            SectionKind::Tool | SectionKind::Platform | SectionKind::Campaign => {}
+            SectionKind::Tool
+            | SectionKind::Platform
+            | SectionKind::Campaign
+            | SectionKind::Perturb => {}
         }
     }
 
@@ -744,6 +776,15 @@ pub fn parse_spec(text: &str) -> Result<SpecFile, SpecError> {
                     ));
                 }
                 file.campaigns.push(build_campaign(s)?);
+            }
+            SectionKind::Perturb => {
+                if file.perturbs.iter().any(|p| p.slug == s.slug) {
+                    return Err(SpecError::at(
+                        s.header_line,
+                        format!("duplicate [perturb {}] section", s.slug),
+                    ));
+                }
+                file.perturbs.push(build_perturb(s)?);
             }
             SectionKind::Group | SectionKind::Link => {}
         }
@@ -1161,6 +1202,51 @@ fn build_inter_link(s: &Section) -> Result<LinkParams, SpecError> {
     Ok(link)
 }
 
+/// One `[perturb <name>]` section: a seeded perturbation model. Every
+/// knob is optional and defaults to "off", so rendering emits only the
+/// knobs a stanza actually sets.
+fn build_perturb(s: &Section) -> Result<PerturbSpec, SpecError> {
+    let mut f = Fields::new(s);
+    let mut spec = PerturbSpec::quiet(&s.slug);
+    spec.title = f.take("title").map(|(_, v)| v.to_string());
+    if let Some((line, v)) = f.take("jitter") {
+        spec.jitter = parse_f64(line, "jitter", v)?;
+    }
+    if let Some((line, v)) = f.take("congestion") {
+        spec.congestion = parse_f64(line, "congestion", v)?;
+    }
+    if let Some((line, v)) = f.take("straggler") {
+        let mut stragglers = Vec::new();
+        for tok in v.split_whitespace() {
+            let Some((group, factor)) = tok.split_once('=') else {
+                return Err(SpecError::at(
+                    line,
+                    format!("'straggler': expected 'group=factor' tokens, got '{tok}'"),
+                ));
+            };
+            stragglers.push((group.to_string(), parse_f64(line, "straggler", factor)?));
+        }
+        spec.stragglers = stragglers;
+    }
+    if let Some((line, v)) = f.take("loss") {
+        spec.loss = parse_f64(line, "loss", v)?;
+    }
+    if let Some((line, v)) = f.take("loss.timeout_us") {
+        spec.loss_timeout_us = parse_f64(line, "loss.timeout_us", v)?;
+    }
+    if let Some((line, v)) = f.take("crash.rank") {
+        spec.crash_rank = Some(parse_usize(line, "crash.rank", v)?);
+    }
+    if let Some((line, v)) = f.take("crash.at_us") {
+        spec.crash_at_us = Some(parse_f64(line, "crash.at_us", v)?);
+    }
+    let header_line = f.header_line;
+    f.finish()?;
+    spec.validate()
+        .map_err(|msg| SpecError::at(header_line, msg))?;
+    Ok(spec)
+}
+
 /// One `[campaign <name>]` section: a declared scenario grid.
 fn build_campaign(s: &Section) -> Result<CampaignSpec, SpecError> {
     let mut f = Fields::new(s);
@@ -1196,6 +1282,7 @@ fn build_campaign(s: &Section) -> Result<CampaignSpec, SpecError> {
     };
     let tools = slug_list(&mut f, "tools")?;
     let platforms = slug_list(&mut f, "platforms")?;
+    let perturbs = slug_list(&mut f, "perturb")?;
 
     let (nprocs_line, nprocs_raw) = f.required("nprocs")?;
     let nprocs: Vec<usize> = nprocs_raw
@@ -1222,6 +1309,21 @@ fn build_campaign(s: &Section) -> Result<CampaignSpec, SpecError> {
             })?
         }
     };
+    let seeds = match f.take("seeds") {
+        None => 1,
+        Some((line, v)) => {
+            let seeds = parse_usize(line, "seeds", v)?;
+            if seeds == 0 {
+                return Err(SpecError::at(line, "'seeds' must be >= 1".to_string()));
+            }
+            u32::try_from(seeds).map_err(|_| {
+                SpecError::at(
+                    line,
+                    format!("'seeds' value {seeds} is too large (max {})", u32::MAX),
+                )
+            })?
+        }
+    };
 
     let header_line = f.header_line;
     f.finish()?;
@@ -1234,6 +1336,8 @@ fn build_campaign(s: &Section) -> Result<CampaignSpec, SpecError> {
         reps,
         tools,
         platforms,
+        perturbs,
+        seeds,
     };
     spec.validate()
         .map_err(|msg| SpecError::at(header_line, msg))?;
@@ -1591,14 +1695,58 @@ pub fn render_campaign(spec: &CampaignSpec) -> String {
     if !spec.platforms.is_empty() {
         let _ = writeln!(out, "platforms = {}", join(&spec.platforms));
     }
+    if !spec.perturbs.is_empty() {
+        let _ = writeln!(out, "perturb = {}", join(&spec.perturbs));
+    }
     let _ = writeln!(out, "nprocs = {}", join(&spec.nprocs));
     let _ = writeln!(out, "sizes = {}", join(&spec.sizes));
     let _ = writeln!(out, "reps = {}", spec.reps);
+    if spec.seeds != 1 {
+        let _ = writeln!(out, "seeds = {}", spec.seeds);
+    }
+    out
+}
+
+/// Renders one perturbation stanza. Only the knobs a stanza sets render
+/// (everything defaults to "off"), and parsing the result reproduces the
+/// spec exactly.
+pub fn render_perturb(spec: &PerturbSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "[perturb {}]", spec.slug);
+    if let Some(title) = &spec.title {
+        let _ = writeln!(out, "title = {title}");
+    }
+    if spec.jitter != 0.0 {
+        let _ = writeln!(out, "jitter = {}", spec.jitter);
+    }
+    if spec.congestion != 0.0 {
+        let _ = writeln!(out, "congestion = {}", spec.congestion);
+    }
+    if !spec.stragglers.is_empty() {
+        let toks: Vec<String> = spec
+            .stragglers
+            .iter()
+            .map(|(g, x)| format!("{g}={x}"))
+            .collect();
+        let _ = writeln!(out, "straggler = {}", toks.join(" "));
+    }
+    if spec.loss != 0.0 {
+        let _ = writeln!(out, "loss = {}", spec.loss);
+    }
+    if spec.loss_timeout_us != 0.0 {
+        let _ = writeln!(out, "loss.timeout_us = {}", spec.loss_timeout_us);
+    }
+    if let Some(rank) = spec.crash_rank {
+        let _ = writeln!(out, "crash.rank = {rank}");
+    }
+    if let Some(at) = spec.crash_at_us {
+        let _ = writeln!(out, "crash.at_us = {at}");
+    }
     out
 }
 
 /// Renders a whole spec file (tools first, then platforms, then
-/// campaigns).
+/// perturbations, then campaigns).
 pub fn render_spec(file: &SpecFile) -> String {
     let mut out = String::new();
     for t in &file.tools {
@@ -1607,6 +1755,10 @@ pub fn render_spec(file: &SpecFile) -> String {
     }
     for p in &file.platforms {
         out.push_str(&render_platform(p));
+        out.push('\n');
+    }
+    for p in &file.perturbs {
+        out.push_str(&render_perturb(p));
         out.push('\n');
     }
     for c in &file.campaigns {
@@ -2037,6 +2189,132 @@ mod tests {
             let err = parse_spec(broken).unwrap_err();
             assert!(err.message.contains(needle), "{broken:?}: {err}");
         }
+    }
+
+    fn perturb_text() -> String {
+        "[perturb chaos]\n\
+         title = Network chaos\n\
+         jitter = 0.3\n\
+         congestion = 0.5\n\
+         straggler = slow=2 fast=1.5\n\
+         loss = 0.02\n\
+         loss.timeout_us = 5000\n\
+         crash.rank = 1\n\
+         crash.at_us = 2000\n"
+            .to_string()
+    }
+
+    #[test]
+    fn perturb_stanzas_parse_and_round_trip() {
+        let file = parse_spec(&perturb_text()).unwrap();
+        assert_eq!(file.perturbs.len(), 1);
+        let p = &file.perturbs[0];
+        assert_eq!(p.slug, "chaos");
+        assert_eq!(p.title.as_deref(), Some("Network chaos"));
+        assert_eq!(p.jitter, 0.3);
+        assert_eq!(p.congestion, 0.5);
+        assert_eq!(
+            p.stragglers,
+            vec![("slow".to_string(), 2.0), ("fast".to_string(), 1.5)]
+        );
+        assert_eq!(p.loss, 0.02);
+        assert_eq!(p.loss_timeout_us, 5000.0);
+        assert_eq!(p.crash_rank, Some(1));
+        assert_eq!(p.crash_at_us, Some(2000.0));
+
+        let rendered = render_spec(&file);
+        assert_eq!(rendered, format!("{}\n", perturb_text()));
+        let reparsed = parse_spec(&rendered).unwrap();
+        assert_eq!(file, reparsed);
+    }
+
+    #[test]
+    fn perturb_knobs_are_optional_and_render_sparsely() {
+        let text = "[perturb just-jitter]\njitter = 0.1\n";
+        let file = parse_spec(text).unwrap();
+        let p = &file.perturbs[0];
+        assert_eq!(p.jitter, 0.1);
+        assert_eq!(p.loss, 0.0);
+        assert!(p.stragglers.is_empty() && p.crash_rank.is_none());
+        let rendered = render_perturb(p);
+        assert_eq!(rendered, text);
+    }
+
+    #[test]
+    fn perturb_diagnostics_cover_the_failure_modes() {
+        for (broken, needle) in [
+            ("[perturb none]\njitter = 0.1\n", "reserved"),
+            ("[perturb x]\njitter = -0.1\n", "jitter"),
+            ("[perturb x]\nloss = 1.5\n", "probability"),
+            ("[perturb x]\nloss = 0.1\n", "timeout"),
+            ("[perturb x]\nstraggler = slow\n", "group=factor"),
+            ("[perturb x]\nstraggler = slow=0.5\n", "straggler factor"),
+            ("[perturb x]\nstraggler = a=2 a=3\n", "twice"),
+            ("[perturb x]\ncrash.rank = 1\n", "together"),
+            ("[perturb x]\ncrash.at_us = 5\n", "together"),
+            ("[perturb x]\nbogus = 1\n", "unknown key"),
+            (
+                "[perturb x]\njitter = 0.1\n[perturb x]\njitter = 0.2\n",
+                "duplicate [perturb x]",
+            ),
+        ] {
+            let err = parse_spec(broken).unwrap_err();
+            assert!(err.message.contains(needle), "{broken:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn campaign_perturb_and_seeds_parse_and_round_trip() {
+        let text = "[campaign chaos-sweep]\n\
+                    kernels = ring\n\
+                    perturb = none chaos\n\
+                    nprocs = 4\n\
+                    sizes = 1024\n\
+                    reps = 2\n\
+                    seeds = 8\n";
+        let file = parse_spec(text).unwrap();
+        let c = &file.campaigns[0];
+        assert_eq!(c.perturbs, vec!["none".to_string(), "chaos".to_string()]);
+        assert_eq!(c.seeds, 8);
+        let rendered = render_campaign(c);
+        assert_eq!(rendered, text);
+        assert_eq!(parse_spec(&rendered).unwrap(), file);
+
+        // Campaigns without the new keys render without them — the clean
+        // path is byte-identical to the pre-perturbation format.
+        let plain = parse_spec(&campaign_text()).unwrap();
+        assert!(plain.campaigns[0].perturbs.is_empty());
+        assert_eq!(plain.campaigns[0].seeds, 1);
+        let rendered = render_campaign(&plain.campaigns[0]);
+        assert!(!rendered.contains("perturb") && !rendered.contains("seeds"));
+    }
+
+    #[test]
+    fn campaign_seed_diagnostics() {
+        let err = parse_spec("[campaign x]\nkernels = ring\nnprocs = 2\nsizes = 0\nseeds = 0\n")
+            .unwrap_err();
+        assert!(err.message.contains("'seeds' must be >= 1"), "{err}");
+
+        // seeds > 1 without a perturbation is pointless and rejected.
+        let err = parse_spec("[campaign x]\nkernels = ring\nnprocs = 2\nsizes = 0\nseeds = 4\n")
+            .unwrap_err();
+        assert!(err.message.contains("seed-independent"), "{err}");
+
+        // perturb = none alone does not unlock the seed axis either.
+        let err = parse_spec(
+            "[campaign x]\nkernels = ring\nperturb = none\nnprocs = 2\nsizes = 0\nseeds = 4\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("seed-independent"), "{err}");
+
+        let err = parse_spec(
+            "[campaign x]\nkernels = ring\nperturb = chaos chaos\nnprocs = 2\nsizes = 0\n",
+        )
+        .unwrap_err();
+        assert!(
+            err.message.contains("'perturb' lists 'chaos' twice"),
+            "{err}"
+        );
     }
 
     #[test]

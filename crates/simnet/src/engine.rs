@@ -535,7 +535,10 @@ impl Ctx {
 
     fn apply(&self, resume: Resume) -> ResumeKind {
         if let ResumeKind::Abort = resume.kind {
-            std::panic::panic_any(SimAborted);
+            // resume_unwind (not panic!) skips the panic hook: teardown
+            // of the surviving processes after an abort or an injected
+            // crash is routine unwinding, not a bug report.
+            std::panic::resume_unwind(Box::new(SimAborted));
         }
         self.now.set(resume.time);
         resume.kind
@@ -773,6 +776,20 @@ impl Simulation {
                 Err(payload) => {
                     if payload.downcast_ref::<SimAborted>().is_some() {
                         // Quiet teardown: the engine already gave up on us.
+                    } else if let Some(crash) =
+                        payload.downcast_ref::<crate::perturb::InjectedCrash>()
+                    {
+                        // An injected rank crash is a modeled fault, not a
+                        // bug: end the run with a structured error so no
+                        // surviving rank can deadlock on the dead one.
+                        // SAFETY: the crashing process held the baton.
+                        let core = unsafe { shared.core_mut() };
+                        core.procs[pid.index()].state = ProcState::Finished;
+                        let err = SimError::InjectedCrash {
+                            name: core.procs[pid.index()].name.render(),
+                            at: crash.at,
+                        };
+                        shared.finish_run(core, Err(err));
                     } else {
                         // SAFETY: the panicking process held the baton.
                         let core = unsafe { shared.core_mut() };

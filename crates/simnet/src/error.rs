@@ -23,6 +23,16 @@ pub enum SimError {
         /// The panic payload, rendered as text.
         message: String,
     },
+    /// A simulated process was crashed by fault injection
+    /// (see [`crate::perturb`]). Unlike [`SimError::ProcPanic`] this is an
+    /// *expected* outcome of a crash-perturbed run: the model terminated
+    /// cleanly instead of deadlocking on the dead rank.
+    InjectedCrash {
+        /// Name of the crashed process.
+        name: String,
+        /// Virtual time at which the crash fired.
+        at: SimTime,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -38,6 +48,12 @@ impl fmt::Display for SimError {
             }
             SimError::ProcPanic { name, message } => {
                 write!(f, "simulated process '{name}' panicked: {message}")
+            }
+            SimError::InjectedCrash { name, at } => {
+                write!(
+                    f,
+                    "simulated process '{name}' crashed by fault injection at {at}"
+                )
             }
         }
     }
@@ -68,5 +84,16 @@ mod tests {
             message: "index out of bounds".into(),
         };
         assert!(e.to_string().contains("master"));
+    }
+
+    #[test]
+    fn display_injected_crash() {
+        let e = SimError::InjectedCrash {
+            name: "rank2".into(),
+            at: SimTime::from_nanos(150_000),
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank2"), "{s}");
+        assert!(s.contains("fault injection"), "{s}");
     }
 }

@@ -68,6 +68,7 @@ pub mod host;
 pub mod ids;
 mod mailbox;
 pub mod net;
+pub mod perturb;
 pub mod platform;
 pub mod registry;
 pub mod resource;
@@ -86,6 +87,7 @@ pub mod prelude {
     pub use crate::host::HostSpec;
     pub use crate::ids::{ProcId, ResourceId, Tag};
     pub use crate::net::{LinkParams, NetworkKind};
+    pub use crate::perturb::{PerturbConfig, PerturbId, PerturbSpec};
     pub use crate::platform::{Platform, PlatformId, PlatformSpec};
     pub use crate::resource::ResourceStats;
     pub use crate::time::{SimDuration, SimTime};

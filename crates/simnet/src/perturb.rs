@@ -1,0 +1,520 @@
+//! Seeded perturbation and fault-injection models.
+//!
+//! A [`PerturbSpec`] declares *how* a run deviates from the clean,
+//! failure-free model: latency jitter and background congestion on the
+//! links, per-group compute stragglers, probabilistic message loss
+//! (priced as timeout + retransmit), and a rank-crash-at-time fault.
+//! Specs are pure data — declared in `.spec` files as `[perturb <name>]`
+//! stanzas, registered process-globally, and addressed by cheap copyable
+//! [`PerturbId`] handles, exactly mirroring the platform registry in
+//! [`crate::registry`].
+//!
+//! Randomness is *deterministic and replayable*: a [`PerturbConfig`]
+//! pairs a spec with a `u32` seed, and every rank derives its own
+//! [`SplitMix64`] stream from `(seed, rank)` — independent of event
+//! interleaving — so the same `(spec, seed)` pair reproduces the same
+//! perturbed run bit-for-bit, serial or parallel, warm harness or cold.
+//! Without a config no stream is ever drawn, so the clean path stays
+//! byte-identical to the unperturbed model.
+
+use crate::time::SimTime;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Retransmit attempts priced for one fragment before the model gives up
+/// and delivers anyway. Bounds the work a pathological loss rate can
+/// inject while keeping every draw deterministic.
+pub const MAX_RETRANSMITS: u32 = 8;
+
+// ---------------------------------------------------------------------------
+// Deterministic PRNG
+// ---------------------------------------------------------------------------
+
+/// A SplitMix64 pseudo-random generator (Steele, Lea & Flood's
+/// `splitmix64` finalizer), hand-rolled so the simulator stays free of
+/// external crates. Cheap, full-period over `u64`, and good enough for
+/// perturbation draws — cryptographic strength is a non-goal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a raw 64-bit seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next uniform draw in `[0, 1)`, using the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The per-rank perturbation stream for `(seed, rank)`.
+///
+/// Each rank draws from its own stream, seeded from the campaign seed and
+/// the rank index only — never from scheduling order — so perturbed runs
+/// replay bit-identically regardless of event interleaving or how many
+/// runner threads execute the sweep.
+pub fn rank_stream(seed: u32, rank: usize) -> SplitMix64 {
+    // Decorrelate nearby (seed, rank) pairs through one mixing round.
+    let mut mixer = SplitMix64::new((seed as u64) << 32 | 0xA5A5_5A5A);
+    let a = mixer.next_u64();
+    SplitMix64::new(a ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+// ---------------------------------------------------------------------------
+// Perturbation spec
+// ---------------------------------------------------------------------------
+
+/// A declared perturbation model: how much jitter, congestion, straggling,
+/// loss and crashing to inject into a run.
+///
+/// All knobs default to "off"; a default-shaped spec perturbs nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerturbSpec {
+    /// Stable lower-case identifier (letters, digits, dashes). The slug
+    /// `none` is reserved: campaigns use it to name the clean variant.
+    pub slug: String,
+    /// Optional human-readable title.
+    pub title: Option<String>,
+    /// Per-fragment latency jitter: each fragment gains an extra delay
+    /// uniform in `[0, jitter * link_latency)`. Zero disables.
+    pub jitter: f64,
+    /// Background congestion: each fragment's network stage durations are
+    /// scaled by a factor uniform in `[1, 1 + congestion)`. Zero disables.
+    pub congestion: f64,
+    /// Per-group compute slowdown `(group name, factor >= 1)`: every rank
+    /// placed in a matching host group runs its compute and software
+    /// overheads `factor` times slower.
+    pub stragglers: Vec<(String, f64)>,
+    /// Per-fragment loss probability in `[0, 1)`: each lost attempt is
+    /// priced as a full (wasted) traversal plus a retransmit timeout, up
+    /// to [`MAX_RETRANSMITS`] attempts. Zero disables.
+    pub loss: f64,
+    /// Retransmit timeout in microseconds charged per lost attempt.
+    /// Required (> 0) when `loss` is nonzero.
+    pub loss_timeout_us: f64,
+    /// Rank to crash, if any. Must be paired with `crash_at_us`.
+    pub crash_rank: Option<usize>,
+    /// Virtual time (microseconds) after which the crashing rank fails at
+    /// its next simulator interaction. Must be paired with `crash_rank`.
+    pub crash_at_us: Option<f64>,
+}
+
+impl PerturbSpec {
+    /// A named spec with every knob off (useful as a builder base).
+    pub fn quiet(slug: impl Into<String>) -> PerturbSpec {
+        PerturbSpec {
+            slug: slug.into(),
+            title: None,
+            jitter: 0.0,
+            congestion: 0.0,
+            stragglers: Vec::new(),
+            loss: 0.0,
+            loss_timeout_us: 0.0,
+            crash_rank: None,
+            crash_at_us: None,
+        }
+    }
+
+    /// Whether the spec has a crash fault configured.
+    pub fn has_crash(&self) -> bool {
+        self.crash_rank.is_some()
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        let slug_ok = !self.slug.is_empty()
+            && self
+                .slug
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-');
+        if !slug_ok {
+            return Err(format!(
+                "perturb slug '{}' must be non-empty lower-case letters, digits or dashes",
+                self.slug
+            ));
+        }
+        if self.slug == "none" {
+            return Err("perturb slug 'none' is reserved for the clean variant".to_string());
+        }
+        if !self.jitter.is_finite() || self.jitter < 0.0 {
+            return Err(format!(
+                "perturb '{}': jitter must be a finite value >= 0, got {}",
+                self.slug, self.jitter
+            ));
+        }
+        if !self.congestion.is_finite() || self.congestion < 0.0 {
+            return Err(format!(
+                "perturb '{}': congestion must be a finite value >= 0, got {}",
+                self.slug, self.congestion
+            ));
+        }
+        for (group, factor) in &self.stragglers {
+            if group.is_empty() || group.contains('=') || group.contains(char::is_whitespace) {
+                return Err(format!(
+                    "perturb '{}': straggler group name '{group}' is invalid",
+                    self.slug
+                ));
+            }
+            if !factor.is_finite() || *factor < 1.0 {
+                return Err(format!(
+                    "perturb '{}': straggler factor for group '{group}' must be a finite \
+                     value >= 1, got {factor}",
+                    self.slug
+                ));
+            }
+        }
+        for (i, (group, _)) in self.stragglers.iter().enumerate() {
+            if self.stragglers[..i].iter().any(|(g, _)| g == group) {
+                return Err(format!(
+                    "perturb '{}': straggler names group '{group}' twice",
+                    self.slug
+                ));
+            }
+        }
+        if !self.loss.is_finite() || !(0.0..1.0).contains(&self.loss) {
+            return Err(format!(
+                "perturb '{}': loss must be a probability in [0, 1), got {}",
+                self.slug, self.loss
+            ));
+        }
+        if !self.loss_timeout_us.is_finite() || self.loss_timeout_us < 0.0 {
+            return Err(format!(
+                "perturb '{}': loss.timeout_us must be a finite value >= 0, got {}",
+                self.slug, self.loss_timeout_us
+            ));
+        }
+        if self.loss > 0.0 && self.loss_timeout_us == 0.0 {
+            return Err(format!(
+                "perturb '{}': loss needs loss.timeout_us > 0 (the retransmit price)",
+                self.slug
+            ));
+        }
+        match (self.crash_rank, self.crash_at_us) {
+            (None, None) => {}
+            (Some(_), Some(at)) => {
+                if !at.is_finite() || at < 0.0 {
+                    return Err(format!(
+                        "perturb '{}': crash.at_us must be a finite value >= 0, got {at}",
+                        self.slug
+                    ));
+                }
+            }
+            _ => {
+                return Err(format!(
+                    "perturb '{}': crash.rank and crash.at_us must be set together",
+                    self.slug
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded configuration
+// ---------------------------------------------------------------------------
+
+/// One concrete perturbed run: a spec plus the seed that fixes every
+/// random draw. Two runs with the same config replay bit-identically.
+#[derive(Debug, Clone)]
+pub struct PerturbConfig {
+    /// The perturbation model.
+    pub spec: Arc<PerturbSpec>,
+    /// The seed selecting this run's draw sequence.
+    pub seed: u32,
+}
+
+impl PerturbConfig {
+    /// The perturbation stream for `rank` under this config.
+    pub fn rank_stream(&self, rank: usize) -> SplitMix64 {
+        rank_stream(self.seed, rank)
+    }
+
+    /// The compute slowdown factor for a rank placed in `group` (1.0 when
+    /// the group is not named a straggler).
+    pub fn straggler_factor(&self, group: &str) -> f64 {
+        self.spec
+            .stragglers
+            .iter()
+            .find(|(g, _)| g == group)
+            .map(|(_, f)| *f)
+            .unwrap_or(1.0)
+    }
+
+    /// The virtual time after which `rank` crashes, if this config crashes
+    /// that rank.
+    pub fn crash_point(&self, rank: usize) -> Option<SimTime> {
+        match (self.spec.crash_rank, self.spec.crash_at_us) {
+            (Some(r), Some(at)) if r == rank => {
+                Some(SimTime::ZERO + crate::time::SimDuration::from_micros_f64(at))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The unwind payload a crash-injected process terminates with. The
+/// engine recognizes it and reports [`crate::error::SimError::InjectedCrash`]
+/// instead of a generic process panic.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedCrash {
+    /// Virtual time at which the rank crashed.
+    pub at: SimTime,
+}
+
+// ---------------------------------------------------------------------------
+// Process-global registry
+// ---------------------------------------------------------------------------
+
+/// A cheap copyable handle to a registered [`PerturbSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PerturbId(u32);
+
+impl PerturbId {
+    /// The handle's index into the registry table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a handle from a registry index.
+    pub fn from_index(i: usize) -> PerturbId {
+        PerturbId(i as u32)
+    }
+
+    /// Resolves the handle to its spec.
+    pub fn spec(self) -> Arc<PerturbSpec> {
+        perturb_spec(self)
+    }
+
+    /// The spec's stable slug.
+    pub fn slug(self) -> String {
+        perturb_spec(self).slug.clone()
+    }
+}
+
+/// There are no built-in perturbations: the clean model is the default,
+/// and every perturbation is an explicit user declaration.
+static PERTURBS: OnceLock<RwLock<Vec<Arc<PerturbSpec>>>> = OnceLock::new();
+
+fn table() -> &'static RwLock<Vec<Arc<PerturbSpec>>> {
+    PERTURBS.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// Resolves a handle to its spec.
+///
+/// # Panics
+///
+/// Panics if the handle was not issued by this registry (impossible for
+/// handles obtained through [`register_perturb`]).
+pub fn perturb_spec(id: PerturbId) -> Arc<PerturbSpec> {
+    table()
+        .read()
+        .expect("perturb registry poisoned")
+        .get(id.index())
+        .cloned()
+        .unwrap_or_else(|| panic!("PerturbId({}) is not registered", id.index()))
+}
+
+/// Registers a perturbation spec and returns its handle.
+///
+/// Registering a spec whose slug is already taken returns the existing
+/// handle if the specs are identical (idempotent re-registration, e.g. a
+/// spec file loaded twice) and an error if they differ.
+///
+/// # Errors
+///
+/// Returns a description of the conflict or validation failure.
+pub fn register_perturb(spec: PerturbSpec) -> Result<PerturbId, String> {
+    spec.validate()?;
+    let mut t = table().write().expect("perturb registry poisoned");
+    if let Some((i, existing)) = t.iter().enumerate().find(|(_, p)| p.slug == spec.slug) {
+        return if **existing == spec {
+            Ok(PerturbId::from_index(i))
+        } else {
+            Err(format!(
+                "perturb slug '{}' is already registered with a different spec",
+                spec.slug
+            ))
+        };
+    }
+    t.push(Arc::new(spec));
+    Ok(PerturbId::from_index(t.len() - 1))
+}
+
+/// All registered perturbations, in registration order.
+pub fn all_perturbs() -> Vec<PerturbId> {
+    let n = table().read().expect("perturb registry poisoned").len();
+    (0..n).map(PerturbId::from_index).collect()
+}
+
+/// Looks a perturbation up by its stable slug.
+pub fn find_perturb(slug: &str) -> Option<PerturbId> {
+    table()
+        .read()
+        .expect("perturb registry poisoned")
+        .iter()
+        .position(|p| p.slug == slug)
+        .map(PerturbId::from_index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_streams_are_deterministic_and_distinct() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let seq_a: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let seq_b: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(seq_a, seq_b);
+        let mut c = SplitMix64::new(43);
+        assert_ne!(seq_a[0], c.next_u64());
+        // Unit draws stay in [0, 1).
+        let mut r = rank_stream(7, 3);
+        for _ in 0..1000 {
+            let u = r.next_f64();
+            assert!((0.0..1.0).contains(&u), "draw {u} out of range");
+        }
+        // Per-rank streams differ but replay per (seed, rank).
+        let s1: Vec<u64> = {
+            let mut r = rank_stream(1, 0);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let s2: Vec<u64> = {
+            let mut r = rank_stream(1, 1);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let s1b: Vec<u64> = {
+            let mut r = rank_stream(1, 0);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(s1, s2);
+        assert_eq!(s1, s1b);
+    }
+
+    #[test]
+    fn validation_covers_the_failure_modes() {
+        assert!(PerturbSpec::quiet("ok-slug").validate().is_ok());
+        let cases: Vec<(PerturbSpec, &str)> = vec![
+            (PerturbSpec::quiet("Bad Slug"), "slug"),
+            (PerturbSpec::quiet("none"), "reserved"),
+            (
+                PerturbSpec {
+                    jitter: -0.5,
+                    ..PerturbSpec::quiet("j")
+                },
+                "jitter",
+            ),
+            (
+                PerturbSpec {
+                    congestion: f64::NAN,
+                    ..PerturbSpec::quiet("c")
+                },
+                "congestion",
+            ),
+            (
+                PerturbSpec {
+                    stragglers: vec![("slow".into(), 0.5)],
+                    ..PerturbSpec::quiet("s")
+                },
+                "straggler factor",
+            ),
+            (
+                PerturbSpec {
+                    stragglers: vec![("a".into(), 2.0), ("a".into(), 3.0)],
+                    ..PerturbSpec::quiet("s2")
+                },
+                "twice",
+            ),
+            (
+                PerturbSpec {
+                    loss: 1.0,
+                    loss_timeout_us: 10.0,
+                    ..PerturbSpec::quiet("l")
+                },
+                "probability",
+            ),
+            (
+                PerturbSpec {
+                    loss: 0.1,
+                    ..PerturbSpec::quiet("l2")
+                },
+                "timeout",
+            ),
+            (
+                PerturbSpec {
+                    crash_rank: Some(1),
+                    ..PerturbSpec::quiet("cr")
+                },
+                "together",
+            ),
+            (
+                PerturbSpec {
+                    crash_rank: Some(1),
+                    crash_at_us: Some(-2.0),
+                    ..PerturbSpec::quiet("cr2")
+                },
+                "crash.at_us",
+            ),
+        ];
+        for (spec, needle) in cases {
+            let err = spec.validate().unwrap_err();
+            assert!(err.contains(needle), "{err:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_conflict_checked() {
+        let spec = PerturbSpec {
+            jitter: 0.25,
+            ..PerturbSpec::quiet("reg-test-jitter")
+        };
+        let id = register_perturb(spec.clone()).unwrap();
+        assert_eq!(register_perturb(spec.clone()).unwrap(), id);
+        assert_eq!(find_perturb("reg-test-jitter"), Some(id));
+        assert_eq!(id.slug(), "reg-test-jitter");
+        let err = register_perturb(PerturbSpec {
+            jitter: 0.5,
+            ..spec
+        })
+        .unwrap_err();
+        assert!(err.contains("different spec"), "{err}");
+        assert!(register_perturb(PerturbSpec::quiet("none")).is_err());
+        assert!(all_perturbs().contains(&id));
+        assert_eq!(find_perturb("no-such-perturb"), None);
+    }
+
+    #[test]
+    fn config_resolves_stragglers_and_crash_points() {
+        let cfg = PerturbConfig {
+            spec: Arc::new(PerturbSpec {
+                stragglers: vec![("slow".into(), 2.5)],
+                crash_rank: Some(2),
+                crash_at_us: Some(150.0),
+                ..PerturbSpec::quiet("cfg-test")
+            }),
+            seed: 9,
+        };
+        assert_eq!(cfg.straggler_factor("slow"), 2.5);
+        assert_eq!(cfg.straggler_factor("fast"), 1.0);
+        assert_eq!(cfg.crash_point(2), Some(SimTime::from_nanos(150_000)));
+        assert_eq!(cfg.crash_point(0), None);
+    }
+}

@@ -221,7 +221,12 @@ proptest! {
         use pdc_tool_eval::mpt::spec::{parse_spec, render_spec, SpecFile};
         let spec = topology_specs::rng_platform(seed);
         prop_assert!(spec.validate().is_ok());
-        let file = SpecFile { tools: vec![], platforms: vec![spec], campaigns: vec![] };
+        let file = SpecFile {
+            tools: vec![],
+            platforms: vec![spec],
+            campaigns: vec![],
+            perturbs: vec![],
+        };
         let rendered = render_spec(&file);
         let reparsed =
             parse_spec(&rendered).unwrap_or_else(|e| panic!("{e}\n---\n{rendered}"));
@@ -253,6 +258,7 @@ mod campaign_specs {
     ];
     const TOOLS: [&str; 4] = ["express", "p4", "pvm", "mpl"];
     const PLATFORMS: [&str; 3] = ["sun-eth", "alpha-fddi", "modern100"];
+    const PERTURBS: [&str; 3] = ["none", "chaos-a", "lossy-b"];
 
     /// A random strictly-increasing number list (duplicate axis entries
     /// are rejected by validation).
@@ -280,6 +286,13 @@ mod campaign_specs {
         if kernels.is_empty() {
             kernels.push("broadcast".to_string());
         }
+        let perturbs = rng_subset(&mut rng, &PERTURBS);
+        // A seed axis needs at least one non-clean perturbation.
+        let seeds = if perturbs.iter().any(|p| p != "none") {
+            (rng.below(4) + 1) as u32
+        } else {
+            1
+        };
         CampaignSpec {
             slug: format!("prop-sweep-{}", rng.below(4)),
             title: (rng.below(2) == 0).then(|| format!("Prop sweep (seed variant {seed})")),
@@ -292,7 +305,73 @@ mod campaign_specs {
             reps: (rng.below(5) + 1) as u32,
             tools: rng_subset(&mut rng, &TOOLS),
             platforms: rng_subset(&mut rng, &PLATFORMS),
+            perturbs,
+            seeds,
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Perturbation-stanza round-trips
+// ---------------------------------------------------------------------------
+
+mod perturb_specs {
+    use pdc_tool_eval::simnet::perturb::PerturbSpec;
+    use proptest::TestRng;
+
+    /// A pseudo-random (always valid) perturbation stanza: each knob is
+    /// independently present or left at its quiet default.
+    pub fn rng_perturb(seed: u64) -> PerturbSpec {
+        let mut rng = TestRng::deterministic(&format!("perturb-{seed}"));
+        let mut spec = PerturbSpec::quiet(format!("prop-perturb-{}", rng.below(4)));
+        if rng.below(2) == 0 {
+            spec.title = Some(format!("Prop perturbation (seed variant {seed})"));
+        }
+        if rng.below(2) == 0 {
+            spec.jitter = (rng.below(1000) + 1) as f64 / 1000.0;
+        }
+        if rng.below(2) == 0 {
+            spec.congestion = (rng.below(1000) + 1) as f64 / 1000.0;
+        }
+        for i in 0..rng.below(3) {
+            // Factors >= 1, distinct group names.
+            spec.stragglers
+                .push((format!("g{i}"), (rng.below(4000) + 1000) as f64 / 1000.0));
+        }
+        if rng.below(2) == 0 {
+            spec.loss = (rng.below(999) + 1) as f64 / 1000.0;
+            spec.loss_timeout_us = (rng.below(100_000) + 1) as f64;
+        }
+        if rng.below(2) == 0 {
+            spec.crash_rank = Some(rng.below(16) as usize);
+            spec.crash_at_us = Some((rng.below(1_000_000) + 1) as f64);
+        }
+        spec
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Perturbation stanzas round-trip exactly: parse ∘ render is the
+    /// identity on arbitrary valid declarations, and render is a
+    /// fixpoint (matching the topology/campaign stanza properties).
+    #[test]
+    fn perturb_stanzas_round_trip(seed in any::<u64>()) {
+        use pdc_tool_eval::mpt::spec::{parse_spec, render_spec, SpecFile};
+        let spec = perturb_specs::rng_perturb(seed);
+        prop_assert!(spec.validate().is_ok(), "{:?}", spec);
+        let file = SpecFile {
+            tools: vec![],
+            platforms: vec![],
+            campaigns: vec![],
+            perturbs: vec![spec],
+        };
+        let rendered = render_spec(&file);
+        let reparsed =
+            parse_spec(&rendered).unwrap_or_else(|e| panic!("{e}\n---\n{rendered}"));
+        prop_assert_eq!(&reparsed, &file);
+        prop_assert_eq!(render_spec(&reparsed), rendered);
     }
 }
 
@@ -307,7 +386,12 @@ proptest! {
         use pdc_tool_eval::mpt::spec::{parse_spec, render_spec, SpecFile};
         let spec = campaign_specs::rng_campaign(seed);
         prop_assert!(spec.validate().is_ok(), "{spec:?}");
-        let file = SpecFile { tools: vec![], platforms: vec![], campaigns: vec![spec] };
+        let file = SpecFile {
+            tools: vec![],
+            platforms: vec![],
+            campaigns: vec![spec],
+            perturbs: vec![],
+        };
         let rendered = render_spec(&file);
         let reparsed =
             parse_spec(&rendered).unwrap_or_else(|e| panic!("{e}\n---\n{rendered}"));
@@ -384,6 +468,7 @@ proptest! {
                 nprocs: 4,
                 size: 1024,
                 reps: 2,
+                perturb: None,
             },
             status: RecordStatus::Ok,
             stats: Some(RepStats { mean, min, max, cv }),
@@ -525,5 +610,60 @@ proptest! {
             out.end_time.as_micros_f64(),
             expect as f64
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Perturbed-run replay determinism
+// ---------------------------------------------------------------------------
+
+mod perturb_replay {
+    use pdc_tool_eval::simnet::perturb::{register_perturb, PerturbId, PerturbSpec};
+    use std::sync::OnceLock;
+
+    /// One shared chaos model for the replay property (registered once;
+    /// the registry is process-global).
+    pub fn chaos_id() -> PerturbId {
+        static ID: OnceLock<PerturbId> = OnceLock::new();
+        *ID.get_or_init(|| {
+            let mut spec = PerturbSpec::quiet("proptest-replay-chaos");
+            spec.jitter = 0.4;
+            spec.congestion = 0.3;
+            spec.loss = 0.05;
+            spec.loss_timeout_us = 2000.0;
+            register_perturb(spec).expect("chaos model registers once")
+        })
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The robustness guarantee itself: a perturbed campaign run with a
+    /// given seed renders a byte-identical store on every replay, on the
+    /// serial and the parallel runner alike.
+    #[test]
+    fn perturbed_runs_replay_bit_identical(seed in 1u32..10_000) {
+        use pdc_tool_eval::campaign::run_campaign;
+        use pdc_tool_eval::campaign::store::{render_jsonl, StoreMeta};
+        use pdc_tool_eval::campaign::{Kernel, PerturbRun, Scenario};
+        let perturb = Some(PerturbRun { id: perturb_replay::chaos_id(), seed });
+        let scenarios: Vec<Scenario> = [ToolKind::P4, ToolKind::PVM, ToolKind::EXPRESS]
+            .into_iter()
+            .map(|tool| Scenario {
+                kernel: Kernel::Ring { shifts: 1 },
+                tool,
+                platform: Platform::SUN_ETHERNET,
+                nprocs: 4,
+                size: 4096,
+                reps: 2,
+                perturb,
+            })
+            .collect();
+        let serial = render_jsonl(&run_campaign(&scenarios, 1), &StoreMeta::none());
+        let replay = render_jsonl(&run_campaign(&scenarios, 1), &StoreMeta::none());
+        let parallel = render_jsonl(&run_campaign(&scenarios, 3), &StoreMeta::none());
+        prop_assert_eq!(&serial, &replay);
+        prop_assert_eq!(&serial, &parallel);
     }
 }

@@ -29,13 +29,24 @@ fn loaded() -> &'static LoadedSpecs {
     })
 }
 
+/// Materializes one of the file's stanzas the way the CLI does.
+fn materialize(slug: &str) -> Campaign {
+    let l = loaded();
+    assert_eq!(l.campaigns.len(), 3);
+    let spec = l
+        .campaigns
+        .iter()
+        .find(|c| c.slug == slug)
+        .unwrap_or_else(|| panic!("campaign '{slug}' declared in mixed.spec"));
+    campaigns::from_spec(spec, &l.tools, &l.platforms, Scale::Quick)
+        .unwrap_or_else(|e| panic!("{slug} materializes: {e}"))
+}
+
 /// Materializes the file's `mixed-sweep` stanza the way the CLI does.
 fn mixed_sweep() -> Campaign {
     let l = loaded();
-    assert_eq!(l.campaigns.len(), 1);
     assert_eq!(l.campaigns[0].slug, "mixed-sweep");
-    campaigns::from_spec(&l.campaigns[0], &l.tools, &l.platforms, Scale::Quick)
-        .expect("mixed-sweep materializes")
+    materialize("mixed-sweep")
 }
 
 #[test]
@@ -90,19 +101,100 @@ fn spec_declared_campaign_runs_end_to_end() {
 }
 
 #[test]
-fn snapshot_round_trips_the_stanza_byte_exactly() {
+fn snapshot_round_trips_the_stanzas_byte_exactly() {
     let l = loaded();
-    // The stanza as committed in examples/mixed.spec is in canonical
-    // form: rendering the parsed declaration reproduces its bytes...
-    let canonical = render_campaign(&l.campaigns[0]);
-    assert!(
-        mixed_spec_text().contains(&canonical),
-        "examples/mixed.spec stanza is not in canonical render form:\n{canonical}"
-    );
-    // ...and the registry snapshot (the `pdceval snapshot` payload)
-    // carries the identical bytes.
     let snapshot = pdc_tool_eval::mpt::spec::render_spec(&ModelRegistry::global().snapshot());
-    assert!(snapshot.contains(&canonical));
+    // Every stanza as committed in examples/mixed.spec is in canonical
+    // form — rendering the parsed declaration reproduces its bytes —
+    // and the registry snapshot (the `pdceval snapshot` payload)
+    // carries the identical bytes.
+    for c in &l.campaigns {
+        let canonical = render_campaign(c);
+        assert!(
+            mixed_spec_text().contains(&canonical),
+            "examples/mixed.spec [campaign {}] is not in canonical render form:\n{canonical}",
+            c.slug
+        );
+        assert!(snapshot.contains(&canonical), "snapshot misses {}", c.slug);
+    }
+    for p in &l.perturbs {
+        let canonical = pdc_tool_eval::mpt::spec::render_perturb(&p.spec());
+        assert!(
+            mixed_spec_text().contains(&canonical),
+            "examples/mixed.spec [perturb {}] is not in canonical render form:\n{canonical}",
+            p.slug()
+        );
+        assert!(
+            snapshot.contains(&canonical),
+            "snapshot misses {}",
+            p.slug()
+        );
+    }
+}
+
+#[test]
+fn chaos_sweep_runs_clean_plus_two_seeds_and_replays_bit_identically() {
+    use pdc_tool_eval::campaign::diff::degradation_summary;
+
+    let campaign = materialize("chaos-sweep");
+    // Fan-out: one clean copy of the grid plus one per seed.
+    assert_eq!(campaign.scenarios.len() % 3, 0);
+    let clean = campaign
+        .scenarios
+        .iter()
+        .filter(|s| s.perturb.is_none())
+        .count();
+    assert_eq!(clean * 3, campaign.scenarios.len());
+    for seed in [1, 2] {
+        assert_eq!(
+            campaign
+                .scenarios
+                .iter()
+                .filter(|s| s.perturb.is_some_and(|p| p.seed == seed))
+                .count(),
+            clean
+        );
+    }
+
+    let records = run_campaign(&campaign.scenarios, 4);
+    assert!(records.iter().all(|r| r.status == RecordStatus::Ok));
+    let text = render_jsonl(&records, &StoreMeta::none());
+    assert!(text.contains("/chaos/seed1\""));
+    assert!(text.contains("/chaos/seed2\""));
+
+    // Same seeds replay bit-identically, serial or parallel.
+    let replay = run_campaign(&campaign.scenarios, 1);
+    assert_eq!(render_jsonl(&replay, &StoreMeta::none()), text);
+
+    // The degradation summary sees every tool under chaos and reports a
+    // real slowdown against the clean counterpart points.
+    let summary = degradation_summary(&parse_jsonl(&text).unwrap());
+    assert!(!summary.is_empty());
+    for entry in &summary {
+        assert_eq!(entry.perturb, "chaos");
+        assert!(entry.mean_slowdown > 1.0, "{entry:?}");
+        assert!(entry.survived(), "{entry:?}");
+    }
+}
+
+#[test]
+fn crash_sweep_terminates_with_structured_injected_faults() {
+    let campaign = materialize("crash-sweep");
+    assert!(campaign.scenarios.iter().all(|s| s.perturb.is_some()));
+    let records = run_campaign(&campaign.scenarios, 4);
+    assert!(!records.is_empty());
+    // Every point terminates (no deadlock) as a structured
+    // fault-injection error naming the crashed rank — the sentinel the
+    // diff gate and the CLI both key on.
+    for r in &records {
+        assert_eq!(r.status, RecordStatus::Error, "{}", r.scenario.key());
+        let detail = r.detail.as_deref().unwrap_or("");
+        assert!(
+            detail.contains("rank 1 crashed by fault injection"),
+            "{}: {detail}",
+            r.scenario.key()
+        );
+    }
 }
 
 #[test]
@@ -141,6 +233,7 @@ fn remix_variants_register_and_key_distinctly() {
             nprocs: 8,
             size: 10_000,
             reps: 1,
+            perturb: None,
         }
         .key()
     };

@@ -49,6 +49,7 @@ fn builtin_specs_round_trip_through_the_spec_format() {
             .map(|p| (*p.spec()).clone())
             .collect(),
         campaigns: vec![],
+        perturbs: vec![],
     };
     let rendered = render_spec(&file);
     let reparsed = parse_spec(&rendered).expect("rendered builtins re-parse");
@@ -101,6 +102,7 @@ fn malformed_specs_fail_with_line_diagnostics() {
         tools: vec![(*ToolKind::P4.spec()).clone()],
         platforms: vec![],
         campaigns: vec![],
+        perturbs: vec![],
     });
     hijack = hijack.replace("profile.send_alpha_us = 1000", "profile.send_alpha_us = 1");
     let err = registry.load_spec_text(&hijack).unwrap_err();
@@ -183,6 +185,7 @@ fn spec_tool_is_rankable_against_builtins() {
             nprocs: 2,
             size: 16 * 1024,
             reps: 1,
+            perturb: None,
         })
         .expect("run")
         .value()
