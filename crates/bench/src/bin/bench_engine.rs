@@ -16,11 +16,15 @@
 //! against the recorded seed-engine baseline (thread-per-process +
 //! crossbeam-channel ping-pong, commit 3f7268b), measured on the same
 //! class of machine by `scripts/bench_engine.sh` before the scheduler
-//! rework landed.
+//! rework landed. Each result also carries the engine's own counters —
+//! events scheduled, peak queue depth, direct handoffs vs inline
+//! resumes (and their ratio), mailbox fast-path hits (and hit rate) —
+//! so scheduler-behavior regressions are visible even when wall-clock
+//! throughput masks them.
 
 use bytes::Bytes;
 use pdceval_campaign::store::{git_sha, unix_timestamp};
-use pdceval_simnet::engine::{scheduler_spin_iters, Simulation};
+use pdceval_simnet::engine::{scheduler_spin_iters, SimOutcome, Simulation};
 use pdceval_simnet::envelope::{Envelope, Matcher};
 use pdceval_simnet::flight::{Stage, TransmitPlan};
 use pdceval_simnet::host::HostSpec;
@@ -56,7 +60,7 @@ fn lat() -> TransmitPlan {
 
 /// 64-proc ring: every proc forwards to its successor each round.
 /// Messages delivered: NPROCS * ROUNDS.
-fn ring(nprocs: usize, rounds: u32) -> u64 {
+fn ring(nprocs: usize, rounds: u32) -> SimOutcome {
     let mut sim = Simulation::new();
     for r in 0..nprocs {
         let next = ProcId(((r + 1) % nprocs) as u32);
@@ -68,12 +72,12 @@ fn ring(nprocs: usize, rounds: u32) -> u64 {
             }
         });
     }
-    sim.run().expect("ring sim failed").messages_delivered
+    sim.run().expect("ring sim failed")
 }
 
 /// 64-proc broadcast + ack: the root sends to all, everyone acks.
 /// Messages delivered: 2 * (NPROCS - 1) * ROUNDS.
-fn broadcast(nprocs: usize, rounds: u32) -> u64 {
+fn broadcast(nprocs: usize, rounds: u32) -> SimOutcome {
     let mut sim = Simulation::new();
     sim.spawn_indexed("bcast", 0, HostSpec::sun_ipx(), move |ctx| {
         for round in 0..rounds {
@@ -95,12 +99,12 @@ fn broadcast(nprocs: usize, rounds: u32) -> u64 {
             }
         });
     }
-    sim.run().expect("broadcast sim failed").messages_delivered
+    sim.run().expect("broadcast sim failed")
 }
 
 /// 64-proc binary-tree global sum: reduce up the tree, broadcast down.
 /// Messages delivered: 2 * (NPROCS - 1) * ROUNDS.
-fn global_sum(nprocs: usize, rounds: u32) -> u64 {
+fn global_sum(nprocs: usize, rounds: u32) -> SimOutcome {
     let mut sim = Simulation::new();
     for r in 0..nprocs {
         sim.spawn_indexed("gsum", r, HostSpec::sun_ipx(), move |ctx| {
@@ -133,13 +137,13 @@ fn global_sum(nprocs: usize, rounds: u32) -> u64 {
             }
         });
     }
-    sim.run().expect("global_sum sim failed").messages_delivered
+    sim.run().expect("global_sum sim failed")
 }
 
 /// 32 pairs ping-ponging: the send-then-wait pattern whose mailboxes
 /// hold at most one message, i.e. the mailbox head-slot fast path's
 /// target shape. Messages delivered: NPROCS * ROUNDS.
-fn pingpong(nprocs: usize, rounds: u32) -> u64 {
+fn pingpong(nprocs: usize, rounds: u32) -> SimOutcome {
     assert!(nprocs.is_multiple_of(2), "pingpong needs pairs");
     let mut sim = Simulation::new();
     for r in 0..nprocs {
@@ -159,7 +163,7 @@ fn pingpong(nprocs: usize, rounds: u32) -> u64 {
             }
         });
     }
-    sim.run().expect("pingpong sim failed").messages_delivered
+    sim.run().expect("pingpong sim failed")
 }
 
 struct Measurement {
@@ -167,17 +171,22 @@ struct Measurement {
     events: u64,
     seconds: f64,
     events_per_sec: f64,
+    outcome: SimOutcome,
 }
 
-fn measure(name: &'static str, f: impl Fn() -> u64) -> Measurement {
+fn measure(name: &'static str, f: impl Fn() -> SimOutcome) -> Measurement {
     // Warm-up run (also populates the worker pool).
-    let events = f();
+    let outcome = f();
+    let events = outcome.messages_delivered;
     let mut best = f64::INFINITY;
     for _ in 0..3 {
         let t0 = Instant::now();
-        let e = f();
+        let o = f();
         let dt = t0.elapsed().as_secs_f64();
-        assert_eq!(e, events, "non-deterministic event count in {name}");
+        assert_eq!(
+            o.messages_delivered, events,
+            "non-deterministic event count in {name}"
+        );
         best = best.min(dt);
     }
     let m = Measurement {
@@ -185,12 +194,33 @@ fn measure(name: &'static str, f: impl Fn() -> u64) -> Measurement {
         events,
         seconds: best,
         events_per_sec: events as f64 / best,
+        outcome,
     };
     println!(
         "{:<14} {:>9} events  {:>9.4} s  {:>12.0} events/sec",
         m.name, m.events, m.seconds, m.events_per_sec
     );
     m
+}
+
+/// `direct_handoffs / (direct_handoffs + inline_resumes)`: how often a
+/// wakeup crossed threads via the baton instead of staying inline.
+fn handoff_ratio(o: &SimOutcome) -> f64 {
+    let total = o.direct_handoffs + o.inline_resumes;
+    if total == 0 {
+        0.0
+    } else {
+        o.direct_handoffs as f64 / total as f64
+    }
+}
+
+/// Fraction of deliveries that matched a parked receiver immediately.
+fn fastpath_hit_rate(o: &SimOutcome) -> f64 {
+    if o.messages_delivered == 0 {
+        0.0
+    } else {
+        o.mailbox_fast_path_hits as f64 / o.messages_delivered as f64
+    }
 }
 
 fn main() {
@@ -241,11 +271,21 @@ fn main() {
         let speedup = m.events_per_sec / baseline;
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"events\": {}, \"seconds\": {:.6}, \"events_per_sec\": {:.0}, \
+             \"events_scheduled\": {}, \"peak_queue_depth\": {}, \"direct_handoffs\": {}, \
+             \"inline_resumes\": {}, \"handoff_ratio\": {:.4}, \"mailbox_fast_path_hits\": {}, \
+             \"fastpath_hit_rate\": {:.4}, \
              \"baseline_events_per_sec\": {}, \"speedup_vs_baseline\": {}}}{}\n",
             m.name,
             m.events,
             m.seconds,
             m.events_per_sec,
+            m.outcome.events_scheduled,
+            m.outcome.peak_queue_depth,
+            m.outcome.direct_handoffs,
+            m.outcome.inline_resumes,
+            handoff_ratio(&m.outcome),
+            m.outcome.mailbox_fast_path_hits,
+            fastpath_hit_rate(&m.outcome),
             if baseline.is_nan() {
                 "null".to_string()
             } else {

@@ -6,11 +6,12 @@
 //! pdceval list [--quick] [--spec FILE] [--remix G=N,...]
 //! pdceval run [--campaign NAME] [--quick] [--workers N] [--out PATH]
 //!             [--baseline PATH] [--threshold PCT] [--spec FILE]
-//!             [--remix G=N,...]
+//!             [--remix G=N,...] [--trace-dir DIR] [--quiet]
 //! pdceval diff BASELINE NEW [--threshold PCT]
 //! pdceval bless STORE [--baseline PATH]
 //! pdceval validate FILE.spec
 //! pdceval snapshot OUT.spec [--spec FILE]
+//! pdceval explain KEY [--trace-dir DIR]
 //! ```
 //!
 //! `run` executes the named campaign (default: `quick`) across a worker
@@ -42,6 +43,19 @@
 //! slug `<platform>-4fast-12slow`) and adds them to the loaded platform
 //! set, so one spec file plus one flag sweeps group mixes.
 //!
+//! `run --trace-dir DIR` attaches a record-only trace sink to every
+//! scenario and writes, per completed point, a Chrome trace-event JSON
+//! (`<key>.trace.json`, loadable in Perfetto) plus a flat explain
+//! summary (`<key>.explain.jsonl`); the store additionally carries the
+//! engine counters (events scheduled, handoffs, fast-path hits,
+//! bytes/fragments per link class, retransmits). Tracing never changes
+//! a measured value — traced stores differ from untraced ones only by
+//! the extra counter fields. `explain KEY` renders a summary as a text
+//! breakdown of where virtual time went, and for a perturbed key diffs
+//! it against its clean twin. While `run` executes on a terminal, a
+//! progress line per completed scenario goes to stderr; `--quiet`
+//! suppresses it.
+//!
 //! `bless` promotes a results store to the committed baseline
 //! (default `baselines/quick.jsonl`), refusing stores with error
 //! records; CI diffs every PR's fresh quick campaign against it.
@@ -56,10 +70,13 @@
 use pdceval_campaign::campaigns;
 use pdceval_campaign::campaigns::Campaign;
 use pdceval_campaign::diff::{degradation_summary, diff_records, render_degradation};
-use pdceval_campaign::runner::{run_campaign, RecordStatus, ScenarioRecord};
+use pdceval_campaign::runner::{
+    run_campaign_with, CampaignOptions, RecordStatus, ScenarioDoneFn, ScenarioRecord,
+};
 use pdceval_campaign::scenario::Scale;
 use pdceval_campaign::store;
 use pdceval_mpt::registry::{LoadedSpecs, ModelRegistry};
+use std::io::IsTerminal;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -67,16 +84,17 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  pdceval list [--quick] [--spec FILE] [--remix G=N,...]\n  pdceval run \
          [--campaign NAME] [--quick] [--workers N] [--out PATH] [--baseline PATH] \
-         [--threshold PCT] [--spec FILE] [--remix G=N,...]\n  pdceval diff BASELINE NEW \
-         [--threshold PCT]\n  pdceval bless STORE [--baseline PATH]\n  \
-         pdceval validate FILE.spec\n  pdceval snapshot OUT.spec [--spec FILE]"
+         [--threshold PCT] [--spec FILE] [--remix G=N,...] [--trace-dir DIR] [--quiet]\n  \
+         pdceval diff BASELINE NEW [--threshold PCT]\n  pdceval bless STORE [--baseline PATH]\n  \
+         pdceval validate FILE.spec\n  pdceval snapshot OUT.spec [--spec FILE]\n  \
+         pdceval explain KEY [--trace-dir DIR]"
     );
     ExitCode::FAILURE
 }
 
 /// Flags that consume the following token as their value; everything
 /// else (`--quick`) is boolean and must not swallow positionals.
-const VALUE_FLAGS: [&str; 7] = [
+const VALUE_FLAGS: [&str; 8] = [
     "campaign",
     "workers",
     "out",
@@ -84,6 +102,7 @@ const VALUE_FLAGS: [&str; 7] = [
     "threshold",
     "spec",
     "remix",
+    "trace-dir",
 ];
 
 struct Args {
@@ -386,6 +405,14 @@ fn cmd_run(args: &Args) -> ExitCode {
         Ok(t) => t,
         Err(code) => return code,
     };
+    let trace_dir = match args.value("trace-dir") {
+        Some(d) => Some(PathBuf::from(d)),
+        None if args.has("trace-dir") => {
+            eprintln!("--trace-dir needs a directory path");
+            return ExitCode::FAILURE;
+        }
+        None => None,
+    };
 
     eprintln!(
         "running campaign '{}' ({} points) on {} worker(s)...",
@@ -394,7 +421,23 @@ fn cmd_run(args: &Args) -> ExitCode {
         workers
     );
     let started = std::time::Instant::now();
-    let records = run_campaign(&campaign.scenarios, workers);
+    // One progress line per completed scenario, only when a human is
+    // watching: suppressed by --quiet and off-terminal stderr, so
+    // redirected/CI output streams stay deterministic.
+    let progress = !args.has("quiet") && std::io::stderr().is_terminal();
+    let on_done = move |done: usize, total: usize, r: &ScenarioRecord| {
+        eprintln!(
+            "  [{done}/{total}] {:.1}s {} ({})",
+            started.elapsed().as_secs_f64(),
+            r.scenario.key(),
+            r.status.slug(),
+        );
+    };
+    let opts = CampaignOptions {
+        trace_dir: trace_dir.as_deref(),
+        on_scenario_done: progress.then_some(&on_done as ScenarioDoneFn<'_>),
+    };
+    let records = run_campaign_with(&campaign.scenarios, workers, &opts);
     let elapsed = started.elapsed().as_secs_f64();
 
     let ok = records
@@ -415,7 +458,10 @@ fn cmd_run(args: &Args) -> ExitCode {
         .filter(|r| r.status == RecordStatus::Error)
         .count()
         - injected;
-    let meta = store::StoreMeta::capture();
+    let mut meta = store::StoreMeta::capture();
+    // Traced runs opt their stores into the counter fields; untraced
+    // stores stay byte-identical to pre-trace-layer ones.
+    meta.emit_counters = trace_dir.is_some();
     if let Err(e) = store::write_jsonl(&out_path, &records, &meta) {
         eprintln!("failed to write {}: {e}", out_path.display());
         return ExitCode::FAILURE;
@@ -429,6 +475,13 @@ fn cmd_run(args: &Args) -> ExitCode {
         out_path.display(),
         meta.git_sha.as_deref().unwrap_or("unknown"),
     );
+    if let Some(dir) = &trace_dir {
+        eprintln!(
+            "traces -> {} (view *.trace.json in Perfetto; `pdceval explain KEY --trace-dir {}`)",
+            dir.display(),
+            dir.display()
+        );
+    }
     for r in records
         .iter()
         .filter(|r| r.status == RecordStatus::Error && !is_expected_fault(r))
@@ -790,6 +843,34 @@ fn cmd_snapshot(args: &Args) -> ExitCode {
 /// Default location of the committed regression baseline.
 const DEFAULT_BASELINE: &str = "baselines/quick.jsonl";
 
+/// Default directory `run --trace-dir` output is looked up in.
+const DEFAULT_TRACE_DIR: &str = "target/campaign/trace";
+
+/// `pdceval explain KEY [--trace-dir DIR]`: render the text breakdown
+/// of one traced scenario — where virtual time went per rank, link
+/// traffic, injected faults — diffing perturbed keys against their
+/// clean twin's summary when it exists.
+fn cmd_explain(args: &Args) -> ExitCode {
+    let [key] = args.positional.as_slice() else {
+        return usage();
+    };
+    let dir = PathBuf::from(args.value("trace-dir").unwrap_or(DEFAULT_TRACE_DIR));
+    match pdceval_campaign::explain::explain_key(&dir, key) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!(
+                "(run the campaign with `pdceval run --trace-dir {}` first)",
+                dir.display()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn cmd_bless(args: &Args) -> ExitCode {
     let [store_path] = args.positional.as_slice() else {
         return usage();
@@ -869,6 +950,7 @@ fn main() -> ExitCode {
         "bless" => cmd_bless(&args),
         "validate" => cmd_validate(&args),
         "snapshot" => cmd_snapshot(&args),
+        "explain" => cmd_explain(&args),
         _ => usage(),
     }
 }

@@ -294,8 +294,9 @@ fn tool_of(key: &str) -> &str {
 }
 
 /// The clean counterpart of a perturbed key: the key minus its trailing
-/// `/{perturb}/seed{N}` segment.
-fn clean_key_of(perturbed: &str) -> &str {
+/// `/{perturb}/seed{N}` segment. Only meaningful for perturbed keys —
+/// it unconditionally strips the last two segments.
+pub fn clean_key_of(perturbed: &str) -> &str {
     perturbed.rsplitn(3, '/').nth(2).unwrap_or(perturbed)
 }
 
@@ -387,6 +388,7 @@ mod tests {
             seed: None,
             git_sha: None,
             timestamp: None,
+            counters: None,
         }
     }
 

@@ -16,11 +16,15 @@ use pdceval_apps::monte_carlo::MonteCarlo;
 use pdceval_apps::psrs::PsrsSort;
 use pdceval_apps::workload::Workload;
 use pdceval_mpt::error::{RunError, ToolError};
-use pdceval_mpt::runtime::SpmdHarness;
+use pdceval_mpt::node::Node;
+use pdceval_mpt::runtime::{SpmdHarness, SpmdOutcome};
 use pdceval_mpt::ToolKind;
 use pdceval_simnet::perturb::PerturbConfig;
 use pdceval_simnet::platform::Platform;
+use pdceval_simnet::time::SimDuration;
+use pdceval_simnet::trace::{CounterSummary, TraceSink};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// The measured outcome of one scenario execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,11 +46,28 @@ impl PointOutcome {
     }
 }
 
+/// What one scenario execution left behind for observability: the
+/// engine counters, per-rank completion times, and — for traced runs —
+/// the recorded per-rank timelines. Purely passive: captures exist
+/// whether or not anyone reads them, and the measured values are
+/// byte-identical either way.
+#[derive(Debug, Clone)]
+pub struct RunCapture {
+    /// Engine and fabric counters of the run.
+    pub counters: CounterSummary,
+    /// Per-rank completion times (virtual).
+    pub rank_finish: Vec<SimDuration>,
+    /// The trace sink, when the executor ran with tracing enabled.
+    pub sink: Option<Arc<Mutex<TraceSink>>>,
+}
+
 /// Executes scenarios, caching one [`SpmdHarness`] per
 /// `(platform, nprocs)` pair for skeleton reuse across sweep points.
 #[derive(Debug, Default)]
 pub struct Executor {
     harnesses: HashMap<(Platform, usize), SpmdHarness>,
+    tracing: bool,
+    last_capture: Option<RunCapture>,
 }
 
 impl Executor {
@@ -60,6 +81,24 @@ impl Executor {
         self.harnesses.len()
     }
 
+    /// Attaches a fresh [`TraceSink`] to every subsequent run (off by
+    /// default). Tracing is record-only and does not change any
+    /// measured value.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// The capture left by the most recent successful [`Executor::run`],
+    /// if any.
+    pub fn last_capture(&self) -> Option<&RunCapture> {
+        self.last_capture.as_ref()
+    }
+
+    /// Takes ownership of the most recent capture, leaving `None`.
+    pub fn take_capture(&mut self) -> Option<RunCapture> {
+        self.last_capture.take()
+    }
+
     /// Runs one scenario once and returns its measured outcome.
     ///
     /// # Errors
@@ -69,6 +108,7 @@ impl Executor {
     /// tool does not implement is reported as
     /// [`PointOutcome::Unsupported`], not as an error.
     pub fn run(&mut self, sc: &Scenario) -> Result<PointOutcome, RunError> {
+        self.last_capture = None;
         sc.validate()?;
         if let Kernel::GlobalSum = sc.kernel {
             if !sc.tool.supports_global_ops() {
@@ -88,14 +128,22 @@ impl Executor {
             spec: p.id.spec(),
             seed: p.seed,
         });
-        let perturb = pcfg.as_ref();
-        let value = match sc.kernel {
-            Kernel::SendRecv { iters } => send_recv(harness, sc.tool, perturb, sc.size, iters)?,
-            Kernel::Broadcast => broadcast(harness, sc.tool, perturb, sc.size)?,
-            Kernel::Ring { shifts } => ring(harness, sc.tool, perturb, sc.size, shifts)?,
-            Kernel::GlobalSum => global_sum(harness, sc.tool, perturb, sc.size)?,
-            Kernel::App { app, scale } => application(harness, sc.tool, perturb, app, scale)?,
+        let mut rt = RunCtx {
+            harness,
+            tool: sc.tool,
+            perturb: pcfg.as_ref(),
+            trace: self.tracing.then(|| TraceSink::shared(sc.nprocs)),
+            capture: None,
         };
+        let value = match sc.kernel {
+            Kernel::SendRecv { iters } => send_recv(&mut rt, sc.size, iters)?,
+            Kernel::Broadcast => broadcast(&mut rt, sc.size)?,
+            Kernel::Ring { shifts } => ring(&mut rt, sc.size, shifts)?,
+            Kernel::GlobalSum => global_sum(&mut rt, sc.size)?,
+            Kernel::App { app, scale } => application(&mut rt, app, scale)?,
+        };
+        let capture = rt.capture;
+        self.last_capture = capture;
         Ok(PointOutcome::Value(value))
     }
 
@@ -109,18 +157,52 @@ impl Executor {
     }
 }
 
+/// One scenario's execution context: the harness plus everything a
+/// kernel's single SPMD run needs (tool, perturbation, optional trace
+/// sink), and a slot for the capture the run leaves behind.
+struct RunCtx<'a> {
+    harness: &'a mut SpmdHarness,
+    tool: ToolKind,
+    perturb: Option<&'a PerturbConfig>,
+    trace: Option<Arc<Mutex<TraceSink>>>,
+    capture: Option<RunCapture>,
+}
+
+impl RunCtx<'_> {
+    /// Runs the SPMD point, recording trace events when a sink is
+    /// attached, and snapshots the run's counters into the capture slot.
+    fn run<T, F>(&mut self, f: F) -> Result<SpmdOutcome<T>, RunError>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Node<'_>) -> T + Send + Sync + 'static,
+    {
+        let out =
+            self.harness
+                .run_perturbed_traced(self.tool, self.perturb, self.trace.clone(), f)?;
+        let counters = match &self.trace {
+            // The sink knows per-link-class traffic and retransmits on
+            // top of the engine's own counters.
+            Some(s) => s
+                .lock()
+                .expect("trace sink poisoned")
+                .counter_summary(&out.sim),
+            None => CounterSummary::from_sim(&out.sim),
+        };
+        self.capture = Some(RunCapture {
+            counters,
+            rank_finish: out.rank_finish.clone(),
+            sink: self.trace.clone(),
+        });
+        Ok(out)
+    }
+}
+
 /// Point-to-point echo: ranks 0 and 1 ping-pong a `bytes`-sized message
 /// `iters` times; the value is the average one-way latency in ms.
-fn send_recv(
-    harness: &mut SpmdHarness,
-    tool: ToolKind,
-    perturb: Option<&PerturbConfig>,
-    bytes: u64,
-    iters: u32,
-) -> Result<f64, RunError> {
+fn send_recv(rt: &mut RunCtx<'_>, bytes: u64, iters: u32) -> Result<f64, RunError> {
     let iters = iters.max(1);
     let bytes = bytes as usize;
-    let out = harness.run_perturbed(tool, perturb, move |node| {
+    let out = rt.run(move |node| {
         if node.rank() > 1 {
             return 0.0;
         }
@@ -144,14 +226,9 @@ fn send_recv(
 
 /// Rank-0-rooted broadcast; the value is the completion time (ms) at the
 /// last node holding the payload.
-fn broadcast(
-    harness: &mut SpmdHarness,
-    tool: ToolKind,
-    perturb: Option<&PerturbConfig>,
-    bytes: u64,
-) -> Result<f64, RunError> {
+fn broadcast(rt: &mut RunCtx<'_>, bytes: u64) -> Result<f64, RunError> {
     let bytes = bytes as usize;
-    let out = harness.run_perturbed(tool, perturb, move |node| {
+    let out = rt.run(move |node| {
         let data = if node.rank() == 0 {
             Bytes::from(vec![0u8; bytes])
         } else {
@@ -166,17 +243,11 @@ fn broadcast(
 
 /// Simultaneous ring shift; the value is per-shift completion ms at the
 /// instant the last node has both sent and received.
-fn ring(
-    harness: &mut SpmdHarness,
-    tool: ToolKind,
-    perturb: Option<&PerturbConfig>,
-    bytes: u64,
-    shifts: u32,
-) -> Result<f64, RunError> {
+fn ring(rt: &mut RunCtx<'_>, bytes: u64, shifts: u32) -> Result<f64, RunError> {
     let shifts = shifts.max(1);
     let bytes = bytes as usize;
-    let nprocs = harness.nprocs();
-    let out = harness.run_perturbed(tool, perturb, move |node| {
+    let nprocs = rt.harness.nprocs();
+    let out = rt.run(move |node| {
         let mut data = Bytes::from(vec![node.rank() as u8; bytes]);
         for _ in 0..shifts {
             data = node.ring_shift(data).expect("ring shift failed");
@@ -195,14 +266,9 @@ fn ring(
 
 /// Global vector summation over `n`-element integer vectors; the value is
 /// completion ms at the last node.
-fn global_sum(
-    harness: &mut SpmdHarness,
-    tool: ToolKind,
-    perturb: Option<&PerturbConfig>,
-    n: u64,
-) -> Result<f64, RunError> {
-    let nprocs = harness.nprocs() as i32;
-    let out = harness.run_perturbed(tool, perturb, move |node| {
+fn global_sum(rt: &mut RunCtx<'_>, n: u64) -> Result<f64, RunError> {
+    let nprocs = rt.harness.nprocs() as i32;
+    let out = rt.run(move |node| {
         let mine: Vec<i32> = (0..n as i32).map(|i| i + node.rank() as i32).collect();
         let sum = node.global_sum_i32(&mine).expect("global sum failed");
         // Element 0 must be the sum of all ranks' first elements.
@@ -215,53 +281,36 @@ fn global_sum(
 
 /// One SU PDABS application; the value is execution time in **seconds**
 /// (the unit of the paper's Figures 5-8).
-fn application(
-    harness: &mut SpmdHarness,
-    tool: ToolKind,
-    perturb: Option<&PerturbConfig>,
-    app: AplApp,
-    scale: Scale,
-) -> Result<f64, RunError> {
-    fn run_one<W: Workload>(
-        harness: &mut SpmdHarness,
-        tool: ToolKind,
-        perturb: Option<&PerturbConfig>,
-        w: W,
-    ) -> Result<f64, RunError> {
-        let out = harness.run_perturbed(tool, perturb, move |node| {
+fn application(rt: &mut RunCtx<'_>, app: AplApp, scale: Scale) -> Result<f64, RunError> {
+    fn run_one<W: Workload>(rt: &mut RunCtx<'_>, w: W) -> Result<f64, RunError> {
+        let out = rt.run(move |node| {
             w.run(node);
         })?;
         Ok(out.elapsed.as_secs_f64())
     }
     match (app, scale) {
-        (AplApp::Jpeg, Scale::Paper) => run_one(harness, tool, perturb, JpegCompression::paper()),
+        (AplApp::Jpeg, Scale::Paper) => run_one(rt, JpegCompression::paper()),
         (AplApp::Jpeg, Scale::Quick) => run_one(
-            harness,
-            tool,
-            perturb,
+            rt,
             JpegCompression {
                 width: 128,
                 height: 128,
                 seed: 9,
             },
         ),
-        (AplApp::Fft, Scale::Paper) => run_one(harness, tool, perturb, Fft2d::paper()),
-        (AplApp::Fft, Scale::Quick) => run_one(harness, tool, perturb, Fft2d { n: 32, seed: 5 }),
-        (AplApp::MonteCarlo, Scale::Paper) => run_one(harness, tool, perturb, MonteCarlo::paper()),
+        (AplApp::Fft, Scale::Paper) => run_one(rt, Fft2d::paper()),
+        (AplApp::Fft, Scale::Quick) => run_one(rt, Fft2d { n: 32, seed: 5 }),
+        (AplApp::MonteCarlo, Scale::Paper) => run_one(rt, MonteCarlo::paper()),
         (AplApp::MonteCarlo, Scale::Quick) => run_one(
-            harness,
-            tool,
-            perturb,
+            rt,
             MonteCarlo {
                 samples: 50_000,
                 seed: 77,
             },
         ),
-        (AplApp::Sorting, Scale::Paper) => run_one(harness, tool, perturb, PsrsSort::paper()),
+        (AplApp::Sorting, Scale::Paper) => run_one(rt, PsrsSort::paper()),
         (AplApp::Sorting, Scale::Quick) => run_one(
-            harness,
-            tool,
-            perturb,
+            rt,
             PsrsSort {
                 keys: 20_000,
                 seed: 11,

@@ -1,0 +1,532 @@
+//! Virtual-time breakdowns of traced scenarios: where did the time go?
+//!
+//! A traced campaign run (`pdceval run --trace-dir DIR`) leaves two
+//! files per completed scenario in `DIR`, named after the scenario key
+//! with `/` flattened to `_`:
+//!
+//! * `<key>.trace.json` — Chrome trace-event JSON of the per-rank
+//!   timelines, loadable in Perfetto / `chrome://tracing`;
+//! * `<key>.explain.jsonl` — a flat JSONL summary: one scenario line
+//!   (elapsed, critical-path rank, engine counters, fault tally), one
+//!   line per rank (compute / blocked / network split), one line per
+//!   link class (bytes, fragments).
+//!
+//! `pdceval explain <key>` renders the summary as text and, for a
+//! perturbed key, diffs it against its clean twin's summary when that
+//! file exists — answering "what did the chaos actually cost".
+
+use crate::diff::clean_key_of;
+use crate::exec::RunCapture;
+use crate::json::{escape, parse_object, Json};
+use crate::runner::ScenarioRecord;
+use pdceval_simnet::trace::LinkClassTotal;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Flattens a scenario key into a filename stem (`/` → `_`).
+pub fn sanitize_key(key: &str) -> String {
+    key.replace('/', "_")
+}
+
+/// The trace-file path pair for one scenario key under `dir`.
+pub fn trace_paths(dir: &Path, key: &str) -> (PathBuf, PathBuf) {
+    let stem = sanitize_key(key);
+    (
+        dir.join(format!("{stem}.trace.json")),
+        dir.join(format!("{stem}.explain.jsonl")),
+    )
+}
+
+/// Writes a completed scenario's Chrome trace and explain summary into
+/// `dir`, creating it if needed. A capture without a sink (tracing was
+/// off) writes nothing.
+///
+/// # Errors
+///
+/// Returns any I/O error.
+pub fn write_scenario_trace(
+    dir: &Path,
+    record: &ScenarioRecord,
+    cap: &RunCapture,
+) -> std::io::Result<()> {
+    let Some(sink) = &cap.sink else { return Ok(()) };
+    let key = record.scenario.key();
+    std::fs::create_dir_all(dir)?;
+    let (trace_path, explain_path) = trace_paths(dir, &key);
+    let sink = sink.lock().expect("trace sink poisoned");
+    std::fs::write(&trace_path, sink.render_chrome(&key))?;
+    let summary = sink.summary(&cap.rank_finish);
+    let mut out = String::with_capacity(1024);
+    let elapsed_us = cap
+        .rank_finish
+        .iter()
+        .map(|d| d.as_micros_f64())
+        .fold(0.0, f64::max);
+    let critical = cap
+        .rank_finish
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finish times comparable"))
+        .map(|(r, _)| r);
+    let c = &cap.counters;
+    let _ = write!(
+        out,
+        "{{\"key\": \"{}\", \"status\": \"{}\", \"elapsed_us\": {}, \"critical_rank\": ",
+        escape(&key),
+        record.status.slug(),
+        fmt_f64(elapsed_us),
+    );
+    match critical {
+        Some(r) => {
+            let _ = write!(out, "{r}");
+        }
+        None => out.push_str("null"),
+    }
+    let _ = write!(
+        out,
+        ", \"events_scheduled\": {}, \"peak_queue_depth\": {}, \"direct_handoffs\": {}, \
+         \"inline_resumes\": {}, \"mailbox_fast_path_hits\": {}, \"messages_delivered\": {}, \
+         \"wire_bytes\": {}, \"retransmits\": {}, \"jitter_events\": {}, \"jitter_us\": {}, \
+         \"stragglers\": {}",
+        c.events_scheduled,
+        c.peak_queue_depth,
+        c.direct_handoffs,
+        c.inline_resumes,
+        c.mailbox_fast_path_hits,
+        c.messages_delivered,
+        c.wire_bytes,
+        summary.retransmits,
+        summary.jitter_events,
+        fmt_f64(summary.jitter_total.as_micros_f64()),
+        count_stragglers(&sink),
+    );
+    match summary.crash {
+        Some((rank, at)) => {
+            let _ = write!(
+                out,
+                ", \"crash_rank\": {rank}, \"crash_us\": {}",
+                fmt_f64((at - pdceval_simnet::time::SimTime::ZERO).as_micros_f64())
+            );
+        }
+        None => out.push_str(", \"crash_rank\": null, \"crash_us\": null"),
+    }
+    out.push_str("}\n");
+    for r in &summary.ranks {
+        let _ = writeln!(
+            out,
+            "{{\"rank\": {}, \"compute_us\": {}, \"blocked_us\": {}, \"network_us\": {}, \
+             \"finish_us\": {}}}",
+            r.rank,
+            fmt_f64(r.compute.as_micros_f64()),
+            fmt_f64(r.blocked.as_micros_f64()),
+            fmt_f64(r.network.as_micros_f64()),
+            fmt_f64(r.finish.as_micros_f64()),
+        );
+    }
+    for l in &summary.links {
+        let _ = writeln!(
+            out,
+            "{{\"link\": \"{}\", \"bytes\": {}, \"fragments\": {}}}",
+            escape(&l.class),
+            l.bytes,
+            l.fragments
+        );
+    }
+    std::fs::write(&explain_path, out)
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn count_stragglers(sink: &pdceval_simnet::trace::TraceSink) -> usize {
+    (0..sink.nranks())
+        .filter(|&r| {
+            sink.rank_events(r)
+                .iter()
+                .any(|e| matches!(e, pdceval_simnet::trace::TraceEvent::Straggler { .. }))
+        })
+        .count()
+}
+
+/// One rank's virtual-time split as read back from an explain summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainRank {
+    /// Rank index.
+    pub rank: usize,
+    /// Time inside compute spans (µs).
+    pub compute_us: f64,
+    /// Time blocked in receive waits (µs).
+    pub blocked_us: f64,
+    /// Time inside send spans (µs).
+    pub network_us: f64,
+    /// Completion time (µs).
+    pub finish_us: f64,
+}
+
+/// A parsed `<key>.explain.jsonl` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainReport {
+    /// The scenario key.
+    pub key: String,
+    /// Record status slug.
+    pub status: String,
+    /// Run completion time (µs, virtual).
+    pub elapsed_us: f64,
+    /// The rank that finished last.
+    pub critical_rank: Option<usize>,
+    /// Events pushed onto the engine's queue.
+    pub events_scheduled: u64,
+    /// High-water mark of the event queue.
+    pub peak_queue_depth: u64,
+    /// Direct scheduler baton handoffs.
+    pub direct_handoffs: u64,
+    /// Wakeups resolved without a baton transfer.
+    pub inline_resumes: u64,
+    /// Deliveries that matched a waiting receiver immediately.
+    pub mailbox_fast_path_hits: u64,
+    /// Messages delivered end-to-end.
+    pub messages_delivered: u64,
+    /// Payload bytes crossing links.
+    pub wire_bytes: u64,
+    /// Injected retransmit attempts.
+    pub retransmits: u64,
+    /// Injected jitter events.
+    pub jitter_events: u64,
+    /// Total injected jitter (µs).
+    pub jitter_us: f64,
+    /// Ranks running under a straggler factor.
+    pub stragglers: u64,
+    /// Injected crash, as `(rank, at_us)`.
+    pub crash: Option<(usize, f64)>,
+    /// Per-rank splits, by rank.
+    pub ranks: Vec<ExplainRank>,
+    /// Per-link-class traffic totals.
+    pub links: Vec<LinkClassTotal>,
+}
+
+/// Parses an explain summary back from its JSONL text.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed or missing piece.
+pub fn parse_explain(text: &str) -> Result<ExplainReport, String> {
+    let mut report: Option<ExplainReport> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let pairs = parse_object(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let get = |k: &str| pairs.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+        let num = |k: &str| get(k).and_then(Json::as_f64);
+        let int = |k: &str| num(k).map(|v| v as u64);
+        if let Some(key) = get("key").and_then(Json::as_str) {
+            report = Some(ExplainReport {
+                key: key.to_string(),
+                status: get("status")
+                    .and_then(Json::as_str)
+                    .unwrap_or("ok")
+                    .to_string(),
+                elapsed_us: num("elapsed_us").unwrap_or(0.0),
+                critical_rank: int("critical_rank").map(|r| r as usize),
+                events_scheduled: int("events_scheduled").unwrap_or(0),
+                peak_queue_depth: int("peak_queue_depth").unwrap_or(0),
+                direct_handoffs: int("direct_handoffs").unwrap_or(0),
+                inline_resumes: int("inline_resumes").unwrap_or(0),
+                mailbox_fast_path_hits: int("mailbox_fast_path_hits").unwrap_or(0),
+                messages_delivered: int("messages_delivered").unwrap_or(0),
+                wire_bytes: int("wire_bytes").unwrap_or(0),
+                retransmits: int("retransmits").unwrap_or(0),
+                jitter_events: int("jitter_events").unwrap_or(0),
+                jitter_us: num("jitter_us").unwrap_or(0.0),
+                stragglers: int("stragglers").unwrap_or(0),
+                crash: int("crash_rank").map(|r| (r as usize, num("crash_us").unwrap_or(0.0))),
+                ranks: Vec::new(),
+                links: Vec::new(),
+            });
+        } else if let Some(rank) = int("rank") {
+            let r = report
+                .as_mut()
+                .ok_or_else(|| format!("line {}: rank line before scenario line", lineno + 1))?;
+            r.ranks.push(ExplainRank {
+                rank: rank as usize,
+                compute_us: num("compute_us").unwrap_or(0.0),
+                blocked_us: num("blocked_us").unwrap_or(0.0),
+                network_us: num("network_us").unwrap_or(0.0),
+                finish_us: num("finish_us").unwrap_or(0.0),
+            });
+        } else if let Some(link) = get("link").and_then(Json::as_str) {
+            let r = report
+                .as_mut()
+                .ok_or_else(|| format!("line {}: link line before scenario line", lineno + 1))?;
+            r.links.push(LinkClassTotal {
+                class: link.to_string(),
+                bytes: int("bytes").unwrap_or(0),
+                fragments: int("fragments").unwrap_or(0),
+            });
+        } else {
+            return Err(format!("line {}: unrecognized explain line", lineno + 1));
+        }
+    }
+    report.ok_or_else(|| "no scenario line in explain file".to_string())
+}
+
+/// Loads and parses `<dir>/<key>.explain.jsonl`.
+///
+/// # Errors
+///
+/// Returns the I/O or parse problem as a string.
+pub fn load_explain(dir: &Path, key: &str) -> Result<ExplainReport, String> {
+    let (_, path) = trace_paths(dir, key);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_explain(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn ms(us: f64) -> String {
+    format!("{:.3} ms", us / 1000.0)
+}
+
+fn pct(part: f64, whole: f64) -> String {
+    if whole > 0.0 {
+        format!("{:.0}%", 100.0 * part / whole)
+    } else {
+        "-".to_string()
+    }
+}
+
+/// Renders a report — and optionally its clean twin for comparison —
+/// as the text breakdown `pdceval explain` prints.
+pub fn render_explain_text(report: &ExplainReport, clean: Option<&ExplainReport>) -> String {
+    let mut out = String::with_capacity(1024);
+    let _ = writeln!(out, "{}  (status {})", report.key, report.status);
+    match report.critical_rank {
+        Some(r) => {
+            let _ = writeln!(
+                out,
+                "  elapsed {}  (critical path: rank {r})",
+                ms(report.elapsed_us)
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  elapsed {}", ms(report.elapsed_us));
+        }
+    }
+    if !report.ranks.is_empty() {
+        let _ = writeln!(out, "  per-rank virtual time:");
+        for r in &report.ranks {
+            let f = r.finish_us;
+            let _ = writeln!(
+                out,
+                "    rank {:>2}: compute {} ({}) | blocked {} ({}) | network {} ({})  [finish {}]",
+                r.rank,
+                ms(r.compute_us),
+                pct(r.compute_us, f),
+                ms(r.blocked_us),
+                pct(r.blocked_us, f),
+                ms(r.network_us),
+                pct(r.network_us, f),
+                ms(f),
+            );
+        }
+    }
+    if !report.links.is_empty() {
+        let _ = writeln!(out, "  link traffic (top classes by bytes):");
+        let mut links = report.links.clone();
+        links.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.class.cmp(&b.class)));
+        for l in &links {
+            let _ = writeln!(
+                out,
+                "    {:<12} {:>12} bytes in {} fragments",
+                l.class, l.bytes, l.fragments
+            );
+        }
+    }
+    let crashes = usize::from(report.crash.is_some());
+    let _ = writeln!(
+        out,
+        "  injected faults: {} retransmits, {} jitter events (+{}), {} straggler ranks, {} crashes",
+        report.retransmits,
+        report.jitter_events,
+        ms(report.jitter_us),
+        report.stragglers,
+        crashes,
+    );
+    if let Some((rank, at)) = report.crash {
+        let _ = writeln!(out, "    rank {rank} crashed at {}", ms(at));
+    }
+    let _ = writeln!(
+        out,
+        "  engine: {} events scheduled (peak queue {}), {} direct handoffs, {} inline resumes, \
+         {} mailbox fast-path hits, {} messages ({} wire bytes)",
+        report.events_scheduled,
+        report.peak_queue_depth,
+        report.direct_handoffs,
+        report.inline_resumes,
+        report.mailbox_fast_path_hits,
+        report.messages_delivered,
+        report.wire_bytes,
+    );
+    if let Some(c) = clean {
+        let _ = writeln!(out, "  vs clean {}:", c.key);
+        let ratio = if c.elapsed_us > 0.0 {
+            format!("{:.2}x", report.elapsed_us / c.elapsed_us)
+        } else {
+            "-".to_string()
+        };
+        let _ = writeln!(
+            out,
+            "    elapsed {} vs {}  ({ratio})",
+            ms(report.elapsed_us),
+            ms(c.elapsed_us)
+        );
+        let sum = |rs: &[ExplainRank], f: fn(&ExplainRank) -> f64| rs.iter().map(f).sum::<f64>();
+        let d_blocked = sum(&report.ranks, |r| r.blocked_us) - sum(&c.ranks, |r| r.blocked_us);
+        let d_network = sum(&report.ranks, |r| r.network_us) - sum(&c.ranks, |r| r.network_us);
+        let _ = writeln!(
+            out,
+            "    blocked {:+.3} ms, network {:+.3} ms across ranks",
+            d_blocked / 1000.0,
+            d_network / 1000.0
+        );
+        let _ = writeln!(
+            out,
+            "    faults {:+} retransmits, {:+} jitter events",
+            report.retransmits as i64 - c.retransmits as i64,
+            report.jitter_events as i64 - c.jitter_events as i64,
+        );
+    }
+    out
+}
+
+/// Loads `key`'s explain report from `dir` and renders the text
+/// breakdown. For a perturbed key the clean twin
+/// ([`clean_key_of`]) is loaded too, when its summary exists,
+/// and the report is diffed against it.
+///
+/// # Errors
+///
+/// Returns the problem as a string when `key`'s summary is missing or
+/// malformed (a missing clean twin is not an error).
+pub fn explain_key(dir: &Path, key: &str) -> Result<String, String> {
+    let report = load_explain(dir, key)?;
+    let clean = key
+        .contains("/seed")
+        .then(|| clean_key_of(key))
+        .filter(|ck| *ck != key)
+        .and_then(|ck| load_explain(dir, ck).ok());
+    Ok(render_explain_text(&report, clean.as_ref()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_campaign_with, CampaignOptions, RecordStatus};
+    use crate::scenario::{Kernel, Scenario};
+    use pdceval_mpt::ToolKind;
+    use pdceval_simnet::platform::Platform;
+
+    fn scenario(perturbed: bool) -> Scenario {
+        let perturb = perturbed.then(|| {
+            use pdceval_simnet::perturb::{register_perturb, PerturbSpec};
+            let mut spec = PerturbSpec::quiet("explain-test-jitter");
+            spec.jitter = 0.5;
+            spec.congestion = 0.5;
+            let id = register_perturb(spec).unwrap_or_else(|_| {
+                pdceval_simnet::perturb::find_perturb("explain-test-jitter").unwrap()
+            });
+            crate::scenario::PerturbRun { id, seed: 3 }
+        });
+        Scenario {
+            kernel: Kernel::Ring { shifts: 2 },
+            tool: ToolKind::P4,
+            platform: Platform::SUN_ETHERNET,
+            nprocs: 4,
+            size: 4096,
+            reps: 1,
+            perturb,
+        }
+    }
+
+    #[test]
+    fn traced_campaign_writes_parseable_summaries_and_explains_them() {
+        let dir = std::env::temp_dir().join("pdceval-explain-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let scenarios = vec![scenario(false), scenario(true)];
+        let opts = CampaignOptions {
+            trace_dir: Some(&dir),
+            on_scenario_done: None,
+        };
+        let records = run_campaign_with(&scenarios, 1, &opts);
+        assert!(records.iter().all(|r| r.status == RecordStatus::Ok));
+
+        let clean_key = scenarios[0].key();
+        let chaos_key = scenarios[1].key();
+        // Both trace files exist and look like Chrome traces.
+        for key in [&clean_key, &chaos_key] {
+            let (trace, _) = trace_paths(&dir, key);
+            let text = std::fs::read_to_string(&trace).unwrap();
+            assert!(text.starts_with("{\"traceEvents\""), "{key}");
+        }
+        let report = load_explain(&dir, &chaos_key).unwrap();
+        assert_eq!(report.key, chaos_key);
+        assert_eq!(report.ranks.len(), 4);
+        assert!(!report.links.is_empty());
+        assert!(report.jitter_events > 0, "chaos run should record jitter");
+
+        // The perturbed key auto-diffs against its clean twin.
+        let text = explain_key(&dir, &chaos_key).unwrap();
+        assert!(text.contains("vs clean"), "{text}");
+        assert!(text.contains("per-rank virtual time"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explain_round_trips_through_text() {
+        let report = ExplainReport {
+            key: "k/t/p/n2/s1".to_string(),
+            status: "ok".to_string(),
+            elapsed_us: 1500.0,
+            critical_rank: Some(1),
+            events_scheduled: 10,
+            peak_queue_depth: 3,
+            direct_handoffs: 4,
+            inline_resumes: 5,
+            mailbox_fast_path_hits: 2,
+            messages_delivered: 6,
+            wire_bytes: 4096,
+            retransmits: 1,
+            jitter_events: 2,
+            jitter_us: 30.0,
+            stragglers: 0,
+            crash: Some((1, 900.0)),
+            ranks: vec![ExplainRank {
+                rank: 0,
+                compute_us: 100.0,
+                blocked_us: 200.0,
+                network_us: 300.0,
+                finish_us: 1500.0,
+            }],
+            links: vec![LinkClassTotal {
+                class: "ether".to_string(),
+                bytes: 4096,
+                fragments: 4,
+            }],
+        };
+        let text = render_explain_text(&report, None);
+        assert!(text.contains("rank 1 crashed"), "{text}");
+        assert!(text.contains("ether"), "{text}");
+    }
+
+    #[test]
+    fn sanitized_keys_are_filesystem_safe() {
+        assert_eq!(
+            sanitize_key("ring/p4/sun-eth/n4/s4096/chaos/seed1"),
+            "ring_p4_sun-eth_n4_s4096_chaos_seed1"
+        );
+    }
+}

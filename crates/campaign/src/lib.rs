@@ -16,6 +16,8 @@
 //! * [`store`] — the JSONL results store (scenario key + git SHA +
 //!   timestamp + mean/min/max/CV);
 //! * [`diff`] — baseline comparison and regression gating;
+//! * [`explain`] — virtual-time breakdowns of traced scenarios
+//!   (Chrome trace export, `pdceval explain`);
 //! * [`campaigns`] — the paper's tables and figures as named campaigns.
 //!
 //! # Example: declare, run in parallel, gate
@@ -53,13 +55,17 @@
 pub mod campaigns;
 pub mod diff;
 pub mod exec;
+pub mod explain;
 pub mod grid;
 pub mod json;
 pub mod runner;
 pub mod scenario;
 pub mod store;
 
-pub use exec::{Executor, PointOutcome};
+pub use exec::{Executor, PointOutcome, RunCapture};
 pub use grid::ScenarioGrid;
-pub use runner::{run_campaign, RecordStatus, RepStats, ScenarioRecord};
+pub use runner::{
+    run_campaign, run_campaign_with, CampaignOptions, RecordStatus, RepStats, ScenarioDoneFn,
+    ScenarioRecord,
+};
 pub use scenario::{AplApp, Kernel, PerturbRun, Scale, Scenario};

@@ -9,6 +9,8 @@
 
 use crate::exec::{Executor, PointOutcome};
 use crate::scenario::Scenario;
+use pdceval_simnet::trace::CounterSummary;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -74,6 +76,11 @@ pub struct ScenarioRecord {
     pub stats: Option<RepStats>,
     /// Why the point is unsupported or failed, for non-`Ok` statuses.
     pub detail: Option<String>,
+    /// Engine counters from the last repetition (present when `status`
+    /// is `Ok`; the simulator is deterministic, so every repetition
+    /// produces the same counts). Rendered into stores only when
+    /// [`crate::store::StoreMeta::emit_counters`] is set.
+    pub counters: Option<CounterSummary>,
 }
 
 /// Runs one scenario (all repetitions) on `exec`, producing its record.
@@ -91,6 +98,7 @@ pub fn run_point(exec: &mut Executor, sc: &Scenario) -> ScenarioRecord {
                     status: RecordStatus::Unsupported,
                     stats: None,
                     detail: Some(e.to_string()),
+                    counters: None,
                 };
             }
             Err(e) => {
@@ -99,6 +107,7 @@ pub fn run_point(exec: &mut Executor, sc: &Scenario) -> ScenarioRecord {
                     status: RecordStatus::Error,
                     stats: None,
                     detail: Some(e.to_string()),
+                    counters: None,
                 };
             }
         }
@@ -108,6 +117,37 @@ pub fn run_point(exec: &mut Executor, sc: &Scenario) -> ScenarioRecord {
         status: RecordStatus::Ok,
         stats: Some(RepStats::from_values(&values)),
         detail: None,
+        counters: exec.last_capture().map(|c| c.counters.clone()),
+    }
+}
+
+/// A campaign progress callback, invoked with
+/// `(completed_so_far, total, record)` after each scenario completes.
+pub type ScenarioDoneFn<'a> = &'a (dyn Fn(usize, usize, &ScenarioRecord) + Sync);
+
+/// Observability options threaded through a campaign run. The defaults
+/// (`CampaignOptions::default()`) reproduce plain [`run_campaign`]
+/// exactly: no tracing, no progress callbacks, byte-identical records.
+#[derive(Default)]
+pub struct CampaignOptions<'a> {
+    /// When set, every scenario runs with a [`pdceval_simnet::trace::TraceSink`]
+    /// attached, and each completed point's Chrome trace JSON plus
+    /// explain summary are written into this directory (see
+    /// [`crate::explain`]). Tracing is record-only, so the records —
+    /// and any store rendered from them — are unchanged by it.
+    pub trace_dir: Option<&'a Path>,
+    /// Invoked after each scenario completes with
+    /// `(completed_so_far, total, record)`. Completion order is
+    /// scheduling order, not input order, under parallel runs.
+    pub on_scenario_done: Option<ScenarioDoneFn<'a>>,
+}
+
+impl std::fmt::Debug for CampaignOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignOptions")
+            .field("trace_dir", &self.trace_dir)
+            .field("on_scenario_done", &self.on_scenario_done.map(|_| "..."))
+            .finish()
     }
 }
 
@@ -119,12 +159,48 @@ pub fn run_point(exec: &mut Executor, sc: &Scenario) -> ScenarioRecord {
 /// `(platform, nprocs)` pairs it happens to serve. With `workers <= 1`
 /// everything runs on the calling thread.
 pub fn run_campaign(scenarios: &[Scenario], workers: usize) -> Vec<ScenarioRecord> {
+    run_campaign_with(scenarios, workers, &CampaignOptions::default())
+}
+
+/// [`run_campaign`] with observability options: per-scenario trace
+/// export and progress callbacks. Results are byte-identical to a plain
+/// run — tracing records, it never perturbs.
+pub fn run_campaign_with(
+    scenarios: &[Scenario],
+    workers: usize,
+    opts: &CampaignOptions<'_>,
+) -> Vec<ScenarioRecord> {
     let workers = workers.max(1).min(scenarios.len().max(1));
+    let total = scenarios.len();
+    let done = AtomicUsize::new(0);
+    // Shared post-point hook: export the trace files while the capture
+    // is still warm in the executor, then report progress.
+    let finish = |exec: &mut Executor, record: &ScenarioRecord| {
+        if let Some(dir) = opts.trace_dir {
+            if let Some(cap) = exec.take_capture() {
+                if let Err(e) = crate::explain::write_scenario_trace(dir, record, &cap) {
+                    eprintln!(
+                        "warning: cannot write trace for {}: {e}",
+                        record.scenario.key()
+                    );
+                }
+            }
+        }
+        if let Some(cb) = opts.on_scenario_done {
+            let n = done.fetch_add(1, Ordering::SeqCst) + 1;
+            cb(n, total, record);
+        }
+    };
     if workers == 1 {
         let mut exec = Executor::new();
+        exec.set_tracing(opts.trace_dir.is_some());
         return scenarios
             .iter()
-            .map(|sc| run_point(&mut exec, sc))
+            .map(|sc| {
+                let record = run_point(&mut exec, sc);
+                finish(&mut exec, &record);
+                record
+            })
             .collect();
     }
     let next = AtomicUsize::new(0);
@@ -134,10 +210,12 @@ pub fn run_campaign(scenarios: &[Scenario], workers: usize) -> Vec<ScenarioRecor
         for _ in 0..workers {
             scope.spawn(|| {
                 let mut exec = Executor::new();
+                exec.set_tracing(opts.trace_dir.is_some());
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(sc) = scenarios.get(i) else { break };
                     let record = run_point(&mut exec, sc);
+                    finish(&mut exec, &record);
                     *slots[i].lock().expect("result slot poisoned") = Some(record);
                 }
             });

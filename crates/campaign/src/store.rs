@@ -12,6 +12,7 @@
 use crate::json::{escape, parse_object, Json};
 use crate::runner::ScenarioRecord;
 use crate::scenario::{platform_slug, tool_slug};
+use pdceval_simnet::trace::{CounterSummary, LinkClassTotal};
 use std::fmt::Write as _;
 use std::path::Path;
 use std::process::Command;
@@ -23,6 +24,10 @@ pub struct StoreMeta {
     pub git_sha: Option<String>,
     /// Unix timestamp (seconds) of the run, if known.
     pub timestamp: Option<u64>,
+    /// Render engine counter fields on records that carry them. Off by
+    /// default so counter-free stores (and every store written before
+    /// the trace layer existed) stay byte-identical.
+    pub emit_counters: bool,
 }
 
 impl StoreMeta {
@@ -36,6 +41,7 @@ impl StoreMeta {
         StoreMeta {
             git_sha: git_sha(),
             timestamp: Some(unix_timestamp()),
+            emit_counters: false,
         }
     }
 }
@@ -104,6 +110,36 @@ pub fn render_record(r: &ScenarioRecord, meta: &StoreMeta) -> String {
             let _ = write!(out, ", \"detail\": \"{}\"", escape(d));
         }
         None => out.push_str(", \"detail\": null"),
+    }
+    // Counter fields are opt-in: they appear only when the store asked
+    // for them AND the record was produced by a counter-observing run,
+    // so default stores stay byte-identical with or without tracing.
+    if meta.emit_counters {
+        if let Some(c) = &r.counters {
+            let _ = write!(
+                out,
+                ", \"events_scheduled\": {}, \"peak_queue_depth\": {}, \
+                 \"direct_handoffs\": {}, \"inline_resumes\": {}, \
+                 \"mailbox_fast_path_hits\": {}, \"messages_delivered\": {}, \
+                 \"wire_bytes\": {}, \"retransmits\": {}",
+                c.events_scheduled,
+                c.peak_queue_depth,
+                c.direct_handoffs,
+                c.inline_resumes,
+                c.mailbox_fast_path_hits,
+                c.messages_delivered,
+                c.wire_bytes,
+                c.retransmits,
+            );
+            // Per-link-class traffic, flattened to one string field (the
+            // store format is a flat JSON object by design).
+            let links: Vec<String> = c
+                .links
+                .iter()
+                .map(|l| format!("{}:{}:{}", l.class, l.bytes, l.fragments))
+                .collect();
+            let _ = write!(out, ", \"links\": \"{}\"", escape(&links.join(",")));
+        }
     }
     // Perturbed points carry their model and seed; clean records omit
     // both fields entirely so perturbation-free stores stay
@@ -188,6 +224,9 @@ pub struct StoredRecord {
     pub git_sha: Option<String>,
     /// Unix timestamp of the run.
     pub timestamp: Option<u64>,
+    /// Engine counters, for records written with
+    /// [`StoreMeta::emit_counters`] set.
+    pub counters: Option<CounterSummary>,
 }
 
 /// Parses a store's text back into records.
@@ -210,6 +249,21 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<StoredRecord>, String> {
                 .ok_or_else(|| format!("line {}: missing string field '{k}'", lineno + 1))
         };
         let num_field = |k: &str| get(k).and_then(Json::as_f64);
+        let u64_field = |k: &str| num_field(k).map(|v| v as u64);
+        let counters = u64_field("events_scheduled").map(|events_scheduled| CounterSummary {
+            events_scheduled,
+            peak_queue_depth: u64_field("peak_queue_depth").unwrap_or(0),
+            direct_handoffs: u64_field("direct_handoffs").unwrap_or(0),
+            inline_resumes: u64_field("inline_resumes").unwrap_or(0),
+            mailbox_fast_path_hits: u64_field("mailbox_fast_path_hits").unwrap_or(0),
+            messages_delivered: u64_field("messages_delivered").unwrap_or(0),
+            wire_bytes: u64_field("wire_bytes").unwrap_or(0),
+            retransmits: u64_field("retransmits").unwrap_or(0),
+            links: get("links")
+                .and_then(Json::as_str)
+                .map(parse_link_totals)
+                .unwrap_or_default(),
+        });
         out.push(StoredRecord {
             key: str_field("key")?,
             status: str_field("status")?,
@@ -223,9 +277,31 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<StoredRecord>, String> {
             seed: num_field("seed").map(|s| s as u32),
             git_sha: get("git_sha").and_then(Json::as_str).map(str::to_string),
             timestamp: num_field("timestamp").map(|t| t as u64),
+            counters,
         });
     }
     Ok(out)
+}
+
+/// Parses the flattened `"class:bytes:fragments,..."` link-traffic field.
+/// Malformed entries are dropped rather than failing the whole store.
+fn parse_link_totals(s: &str) -> Vec<LinkClassTotal> {
+    s.split(',')
+        .filter(|e| !e.is_empty())
+        .filter_map(|e| {
+            // Split from the right: the class name is free-form, the two
+            // trailing fields are numeric.
+            let mut it = e.rsplitn(3, ':');
+            let fragments = it.next()?.parse().ok()?;
+            let bytes = it.next()?.parse().ok()?;
+            let class = it.next()?.to_string();
+            Some(LinkClassTotal {
+                class,
+                bytes,
+                fragments,
+            })
+        })
+        .collect()
 }
 
 /// Loads a store from disk.
@@ -266,6 +342,7 @@ mod tests {
                 cv: 0.0,
             }),
             detail: None,
+            counters: None,
         }
     }
 
@@ -275,6 +352,7 @@ mod tests {
         let meta = StoreMeta {
             git_sha: Some("abc123def456".to_string()),
             timestamp: Some(1_753_000_000),
+            emit_counters: false,
         };
         let text = render_jsonl(&records, &meta);
         let parsed = parse_jsonl(&text).unwrap();
@@ -314,6 +392,7 @@ mod tests {
             status: RecordStatus::Unsupported,
             stats: None,
             detail: Some("PVM does not support the global sum primitive".to_string()),
+            counters: None,
         };
         let text = render_jsonl(&[r], &StoreMeta::none());
         let parsed = parse_jsonl(&text).unwrap();
@@ -369,6 +448,44 @@ mod tests {
         assert_eq!(parsed[0].min, None);
         assert_eq!(parsed[0].max, Some(3.5));
         assert_eq!(parsed[0].cv, None);
+    }
+
+    #[test]
+    fn counters_render_only_when_asked_and_round_trip() {
+        let mut r = record(1024, 3.5);
+        r.counters = Some(CounterSummary {
+            events_scheduled: 12,
+            peak_queue_depth: 3,
+            direct_handoffs: 5,
+            inline_resumes: 6,
+            mailbox_fast_path_hits: 4,
+            messages_delivered: 8,
+            wire_bytes: 8192,
+            retransmits: 2,
+            links: vec![LinkClassTotal {
+                class: "ether".to_string(),
+                bytes: 8192,
+                fragments: 9,
+            }],
+        });
+
+        // Default meta: counter-carrying records render exactly like
+        // counter-free ones — traced runs cannot disturb clean stores.
+        let plain = render_jsonl(&[record(1024, 3.5)], &StoreMeta::none());
+        let with_counters_off = render_jsonl(std::slice::from_ref(&r), &StoreMeta::none());
+        assert_eq!(plain, with_counters_off);
+
+        let meta = StoreMeta {
+            emit_counters: true,
+            ..StoreMeta::none()
+        };
+        let text = render_jsonl(std::slice::from_ref(&r), &meta);
+        assert!(text.contains("\"events_scheduled\": 12"), "{text}");
+        assert!(text.contains("\"links\": \"ether:8192:9\""), "{text}");
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed[0].counters, r.counters);
+        // Counter-free lines parse to no counters.
+        assert_eq!(parse_jsonl(&plain).unwrap()[0].counters, None);
     }
 
     #[test]

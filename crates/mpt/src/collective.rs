@@ -112,6 +112,7 @@ fn bcast_sequential(
 
 /// Dispatches a broadcast according to the tool's algorithm.
 pub(crate) fn broadcast(node: &mut Node<'_>, root: usize, data: Bytes) -> Result<Bytes, ToolError> {
+    node.trace_collective("broadcast");
     let seq = node.next_coll_seq();
     let tag = coll_tag(OP_BCAST, seq);
     match node.profile().bcast {
@@ -131,6 +132,7 @@ pub(crate) fn barrier(node: &mut Node<'_>) -> Result<(), ToolError> {
     if p == 1 {
         return Ok(());
     }
+    node.trace_collective("barrier");
     let seq = node.next_coll_seq();
     let up = coll_tag(OP_BARRIER_UP, seq);
     let down = coll_tag(OP_BARRIER_DOWN, seq);
@@ -236,6 +238,7 @@ fn global_sum_impl<T: SumElem>(node: &mut Node<'_>, xs: &[T]) -> Result<Vec<T>, 
             })
         }
     };
+    node.trace_collective("global-sum");
     let p = node.nprocs();
     let me = node.rank();
     let seq = node.next_coll_seq();

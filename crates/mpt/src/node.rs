@@ -22,8 +22,9 @@ use pdceval_simnet::perturb::{
 };
 use pdceval_simnet::platform::Platform;
 use pdceval_simnet::time::{SimDuration, SimTime};
+use pdceval_simnet::trace::{SpanPhase, TraceHandle, TraceSink};
 use pdceval_simnet::work::Work;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// User message tags must be below this value; the range above is
 /// reserved for the tool layer's internal collective protocols.
@@ -61,6 +62,10 @@ pub(crate) struct Shared {
     /// random draw ever happens and behaviour is byte-identical to the
     /// pre-perturbation model.
     pub perturb: Option<PerturbConfig>,
+    /// The run's trace sink, if tracing is enabled. Recording is purely
+    /// observational — no event scheduled, no draw taken — so a traced
+    /// run is bit-identical to an untraced one.
+    pub trace: Option<Arc<Mutex<TraceSink>>>,
 }
 
 /// Per-node perturbation state: the spec, this rank's private draw
@@ -72,14 +77,24 @@ struct PerturbState {
     crash_at: Option<SimTime>,
 }
 
+/// What the perturbation layer actually did to one fragment, so the
+/// trace can attribute injected slowdown (zeroed when nothing applied).
+#[derive(Debug, Clone, Copy, Default)]
+struct PerturbApplied {
+    jitter_us: f64,
+    lost: u32,
+}
+
 /// Applies a perturbation to one fragment's fabric stages, in a fixed
 /// draw order (congestion, then jitter, then loss) so the sequence of
 /// RNG draws — and hence replay — depends only on the spec, never on
-/// scheduler interleaving.
+/// scheduler interleaving. `applied` reports what was injected, for
+/// tracing only.
 fn perturb_net_stages(
     state: &mut PerturbState,
     mut net: Vec<Stage>,
     link_latency_us: f64,
+    applied: &mut PerturbApplied,
 ) -> Vec<Stage> {
     if state.spec.congestion > 0.0 {
         // Background traffic inflates both wire occupancy and latency
@@ -99,6 +114,7 @@ fn perturb_net_stages(
     if state.spec.jitter > 0.0 {
         // Extra propagation delay in [0, jitter × link latency].
         let extra = link_latency_us * state.spec.jitter * state.rng.next_f64();
+        applied.jitter_us = extra;
         net.push(Stage::Latency(SimDuration::from_micros_f64(extra)));
     }
     if state.spec.loss > 0.0 {
@@ -110,6 +126,7 @@ fn perturb_net_stages(
         while lost < MAX_RETRANSMITS && state.rng.next_f64() < state.spec.loss {
             lost += 1;
         }
+        applied.lost = lost;
         if lost > 0 {
             let timeout = Stage::Latency(SimDuration::from_micros_f64(state.spec.loss_timeout_us));
             let mut priced = Vec::with_capacity((net.len() + 1) * (lost as usize + 1));
@@ -185,6 +202,7 @@ pub struct Node<'a> {
     coll_seq: u32,
     stats: NodeStats,
     perturb: Option<PerturbState>,
+    trace: Option<TraceHandle>,
 }
 
 impl<'a> Node<'a> {
@@ -197,6 +215,10 @@ impl<'a> Node<'a> {
             rng: cfg.rank_stream(rank),
             crash_at: cfg.crash_point(rank),
         });
+        let trace = shared
+            .trace
+            .as_ref()
+            .map(|sink| TraceHandle::new(Arc::clone(sink), rank));
         Node {
             ctx,
             rank,
@@ -205,6 +227,7 @@ impl<'a> Node<'a> {
             coll_seq: 0,
             stats: NodeStats::default(),
             perturb,
+            trace,
         }
     }
 
@@ -256,7 +279,14 @@ impl<'a> Node<'a> {
     /// this node's host.
     pub fn compute(&mut self, w: Work) {
         self.maybe_crash();
+        let start = self.ctx.now();
         self.ctx.work(w);
+        if let Some(t) = &self.trace {
+            let end = self.ctx.now();
+            if end > start {
+                t.with(|s, r| s.span(r, SpanPhase::Compute, start, end, 0, None));
+            }
+        }
     }
 
     /// Fires the injected rank crash if this rank's crash point has been
@@ -269,6 +299,10 @@ impl<'a> Node<'a> {
         if let Some(state) = &self.perturb {
             if let Some(at) = state.crash_at {
                 if self.ctx.now() >= at {
+                    if let Some(t) = &self.trace {
+                        let now = self.ctx.now();
+                        t.with(|s, r| s.crash(r, now));
+                    }
                     // resume_unwind (not panic!) skips the panic hook: an
                     // injected crash is a modeled fault, not a bug report.
                     std::panic::resume_unwind(Box::new(InjectedCrash { at: self.ctx.now() }));
@@ -344,6 +378,15 @@ impl<'a> Node<'a> {
         s
     }
 
+    /// Marks entry into a collective on this rank's timeline (no-op when
+    /// tracing is off).
+    pub(crate) fn trace_collective(&self, op: &'static str) {
+        if let Some(t) = &self.trace {
+            let at = self.ctx.now();
+            t.with(|s, r| s.collective(r, at, op));
+        }
+    }
+
     pub(crate) fn send_with_costs(
         &mut self,
         dst: usize,
@@ -358,6 +401,7 @@ impl<'a> Node<'a> {
         let len = data.len() as u64;
         let wire_bytes = len + self.profile.header_bytes;
         let frags = self.fragment_sizes(wire_bytes, src_host, dst_host);
+        let send_start = self.ctx.now();
 
         // Synchronous pre-send costs (Express buffer copy + segmentation,
         // PVM pack), paid on the send resource together with the fixed cost.
@@ -381,14 +425,46 @@ impl<'a> Node<'a> {
                 .link_class(src_host, dst_host)
                 .latency
                 .as_micros_f64();
+            let class_name = if self.trace.is_some() {
+                Some(
+                    self.shared
+                        .fabric
+                        .link_class(src_host, dst_host)
+                        .name
+                        .clone(),
+                )
+            } else {
+                None
+            };
             let mut plan_frags = Vec::with_capacity(frags.len());
             for frag in frags {
                 // Only the fabric traversal is perturbed; the endpoint
                 // software costs (beta serve stages) are not network
                 // conditions and stay exact.
                 let mut net = self.shared.fabric.fragment_stages(src_host, dst_host, frag);
+                let mut applied = PerturbApplied::default();
                 if let Some(state) = self.perturb.as_mut() {
-                    net = perturb_net_stages(state, net, link_latency_us);
+                    net = perturb_net_stages(state, net, link_latency_us, &mut applied);
+                }
+                if let Some(t) = &self.trace {
+                    let class = class_name.as_deref().unwrap_or("");
+                    let at = self.ctx.now();
+                    let cost = net
+                        .iter()
+                        .map(|s| match s {
+                            Stage::Latency(d) => *d,
+                            Stage::Serve { service, .. } => *service,
+                        })
+                        .sum();
+                    t.with(|s, r| {
+                        s.link_fragment(r, class, frag, at, cost);
+                        if applied.jitter_us > 0.0 {
+                            s.jitter(r, at, SimDuration::from_micros_f64(applied.jitter_us));
+                        }
+                        if applied.lost > 0 {
+                            s.retransmit(r, at, applied.lost);
+                        }
+                    });
                 }
                 let mut stages = Vec::with_capacity(net.len() + 2);
                 if costs.beta_send_us_per_byte > 0.0 {
@@ -410,6 +486,10 @@ impl<'a> Node<'a> {
         };
 
         self.ctx.transmit(env, plan);
+        if let Some(t) = &self.trace {
+            let end = self.ctx.now();
+            t.with(|s, r| s.span(r, SpanPhase::Send, send_start, end, len, Some(dst)));
+        }
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += len;
         Ok(())
@@ -429,7 +509,14 @@ impl<'a> Node<'a> {
             src: src.map(|s| ProcId(s as u32)),
             tag,
         };
+        let wait_start = self.ctx.now();
         let env = self.ctx.recv(m);
+        if let Some(t) = &self.trace {
+            let end = self.ctx.now();
+            let bytes = env.payload.len() as u64;
+            let peer = env.src.index();
+            t.with(|s, r| s.span(r, SpanPhase::RecvWait, wait_start, end, bytes, Some(peer)));
+        }
         // A blocking receive may return past the crash point: the rank
         // dies before processing the message.
         self.maybe_crash();
@@ -663,6 +750,7 @@ impl<'a> Node<'a> {
         if p == 1 {
             return Ok(data);
         }
+        self.trace_collective("ring-shift");
         let seq = self.next_coll_seq();
         let tag = coll_tag(OP_RING, seq);
         let next = (self.rank + 1) % p;

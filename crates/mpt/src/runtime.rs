@@ -31,6 +31,7 @@ use pdceval_simnet::ids::ResourceId;
 use pdceval_simnet::perturb::PerturbConfig;
 use pdceval_simnet::platform::Platform;
 use pdceval_simnet::time::{SimDuration, SimTime};
+use pdceval_simnet::trace::TraceSink;
 use std::sync::{Arc, Mutex};
 
 /// Configuration of one SPMD run.
@@ -249,6 +250,33 @@ impl SpmdHarness {
         T: Send + 'static,
         F: Fn(&mut Node<'_>) -> T + Send + Sync + 'static,
     {
+        self.run_perturbed_traced(tool, perturb, None, f)
+    }
+
+    /// Runs one SPMD point like [`SpmdHarness::run_perturbed`], recording
+    /// typed per-rank trace events into `trace` when a sink is supplied.
+    ///
+    /// Tracing is purely observational: the sink records what already
+    /// happens, never schedules events and never draws random numbers, so
+    /// a traced run is bit-identical to the same point run untraced. When
+    /// the run fails (deadlock, injected crash) the sink still holds every
+    /// event recorded up to the failure — callers keep their `Arc` and can
+    /// inspect the partial timeline.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`SpmdHarness::run_perturbed`].
+    pub fn run_perturbed_traced<T, F>(
+        &mut self,
+        tool: ToolKind,
+        perturb: Option<&PerturbConfig>,
+        trace: Option<Arc<Mutex<TraceSink>>>,
+        f: F,
+    ) -> Result<SpmdOutcome<T>, RunError>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Node<'_>) -> T + Send + Sync + 'static,
+    {
         if !tool.supports_platform(self.platform) {
             return Err(RunError::PlatformUnsupported {
                 tool,
@@ -280,6 +308,17 @@ impl SpmdHarness {
                 .collect(),
             None => self.hosts.clone(),
         };
+        // Stragglers are a property of the run setup, not of any event the
+        // ranks emit, so the harness stamps them on the timeline up front.
+        if let (Some(sink), Some(cfg)) = (&trace, perturb) {
+            let mut s = sink.lock().expect("trace sink poisoned");
+            for (rank, group) in self.groups.iter().enumerate() {
+                let factor = cfg.straggler_factor(group);
+                if factor > 1.0 {
+                    s.straggler(rank, factor);
+                }
+            }
+        }
         let shared = Arc::new(Shared {
             platform: self.platform,
             tool,
@@ -291,6 +330,7 @@ impl SpmdHarness {
             daemon: self.daemon.clone(),
             nprocs,
             perturb: perturb.cloned(),
+            trace,
         });
 
         let results: Arc<Mutex<Vec<Option<T>>>> =
@@ -768,6 +808,84 @@ mod tests {
             ratio > 2.5 && ratio < 3.5,
             "3x straggler should run ~3x slower, got {ratio}"
         );
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_records_events() {
+        use pdceval_simnet::trace::{SpanPhase, TraceEvent, TraceSink};
+        let app = |node: &mut Node<'_>| {
+            node.compute(pdceval_simnet::work::Work::flops(500_000));
+            let data = Bytes::from(vec![node.rank() as u8; 2048]);
+            let got = node.ring_shift(data).unwrap();
+            node.barrier().unwrap();
+            (got.len(), node.now().as_nanos())
+        };
+        let mut h = SpmdHarness::new(Platform::SUN_ETHERNET, 4).unwrap();
+        let plain = h.run(ToolKind::P4, app).unwrap();
+        let sink = TraceSink::shared(4);
+        let traced = h
+            .run_perturbed_traced(ToolKind::P4, None, Some(Arc::clone(&sink)), app)
+            .unwrap();
+        assert_eq!(plain.results, traced.results);
+        assert_eq!(plain.elapsed, traced.elapsed);
+        assert_eq!(plain.rank_finish, traced.rank_finish);
+
+        let s = sink.lock().unwrap();
+        for rank in 0..4 {
+            let evs = s.rank_events(rank);
+            assert!(
+                evs.iter().any(|e| matches!(
+                    e,
+                    TraceEvent::Span {
+                        phase: SpanPhase::Compute,
+                        ..
+                    }
+                )),
+                "rank {rank} recorded no compute span"
+            );
+            assert!(
+                evs.iter().any(|e| matches!(
+                    e,
+                    TraceEvent::Collective {
+                        op: "ring-shift",
+                        ..
+                    }
+                )),
+                "rank {rank} recorded no ring-shift marker"
+            );
+            assert!(
+                evs.iter()
+                    .any(|e| matches!(e, TraceEvent::LinkFragment { .. })),
+                "rank {rank} recorded no link fragments"
+            );
+        }
+        let summary = s.summary(&traced.rank_finish);
+        assert_eq!(summary.ranks.len(), 4);
+        assert!(summary.crash.is_none());
+    }
+
+    #[test]
+    fn traced_straggler_run_stamps_factors() {
+        use pdceval_simnet::trace::{TraceEvent, TraceSink};
+        let mut spec = pdceval_simnet::perturb::PerturbSpec::quiet("slow-traced");
+        spec.stragglers = vec![("all".to_string(), 2.0)];
+        let cfg = pcfg(spec, 1);
+        let sink = TraceSink::shared(2);
+        let mut h = SpmdHarness::new(Platform::SUN_ETHERNET, 2).unwrap();
+        h.run_perturbed_traced(ToolKind::P4, Some(&cfg), Some(Arc::clone(&sink)), |node| {
+            node.compute(pdceval_simnet::work::Work::flops(100_000));
+        })
+        .unwrap();
+        let s = sink.lock().unwrap();
+        for rank in 0..2 {
+            assert!(
+                matches!(
+                    s.rank_events(rank).first(),
+                    Some(TraceEvent::Straggler { factor }) if *factor == 2.0
+                ),
+                "rank {rank} timeline should start with its straggler stamp"
+            );
+        }
     }
 
     #[test]

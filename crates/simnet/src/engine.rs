@@ -228,6 +228,11 @@ struct Core {
     runnable: VecDeque<(ProcId, ResumeKind)>,
     messages_delivered: u64,
     wire_bytes_delivered: u64,
+    events_scheduled: u64,
+    peak_queue_depth: u64,
+    direct_handoffs: u64,
+    inline_resumes: u64,
+    mailbox_fast_path_hits: u64,
     /// Result recorded by whichever thread ends the run.
     end: Option<Result<SimTime, SimError>>,
 }
@@ -254,6 +259,11 @@ impl Core {
             runnable: VecDeque::new(),
             messages_delivered: 0,
             wire_bytes_delivered: 0,
+            events_scheduled: 0,
+            peak_queue_depth: 0,
+            direct_handoffs: 0,
+            inline_resumes: 0,
+            mailbox_fast_path_hits: 0,
             end: None,
         }
     }
@@ -277,6 +287,11 @@ impl Core {
         self.runnable.clear();
         self.messages_delivered = 0;
         self.wire_bytes_delivered = 0;
+        self.events_scheduled = 0;
+        self.peak_queue_depth = 0;
+        self.direct_handoffs = 0;
+        self.inline_resumes = 0;
+        self.mailbox_fast_path_hits = 0;
         self.end = None;
     }
 
@@ -289,6 +304,11 @@ impl Core {
             seq,
             kind,
         }));
+        self.events_scheduled += 1;
+        let depth = self.heap.len() as u64;
+        if depth > self.peak_queue_depth {
+            self.peak_queue_depth = depth;
+        }
     }
 
     fn alloc_flight(&mut self, flight: Flight) -> usize {
@@ -400,6 +420,7 @@ impl Core {
             // mailbox indexes.
             if m.matches(&env) {
                 mbox.waiting = None;
+                self.mailbox_fast_path_hits += 1;
                 self.runnable.push_back((dst, ResumeKind::Msg(env)));
                 return;
             }
@@ -448,9 +469,11 @@ fn advance(shared: &SimShared, core: &mut Core, me: Option<ProcId>) -> Option<Re
             };
             if Some(pid) == me {
                 // The caller itself is next: continue inline, zero switches.
+                core.inline_resumes += 1;
                 return Some(resume);
             }
             // Direct handoff: resume slot + unpark, baton goes with it.
+            core.direct_handoffs += 1;
             let slot = &core.procs[pid.index()];
             slot.handoff.resume.put(resume);
             slot.worker.unpark();
@@ -914,6 +937,11 @@ impl Simulation {
                 .collect(),
             messages_delivered: core.messages_delivered,
             wire_bytes_delivered: core.wire_bytes_delivered,
+            events_scheduled: core.events_scheduled,
+            peak_queue_depth: core.peak_queue_depth,
+            direct_handoffs: core.direct_handoffs,
+            inline_resumes: core.inline_resumes,
+            mailbox_fast_path_hits: core.mailbox_fast_path_hits,
         })
     }
 }
@@ -980,6 +1008,16 @@ pub struct SimOutcome {
     pub messages_delivered: u64,
     /// Total wire bytes across all delivered messages.
     pub wire_bytes_delivered: u64,
+    /// Events pushed onto the event heap over the run.
+    pub events_scheduled: u64,
+    /// High-water mark of the event heap depth.
+    pub peak_queue_depth: u64,
+    /// Blocking resumes that crossed threads (resume slot + unpark).
+    pub direct_handoffs: u64,
+    /// Blocking resumes serviced inline on the caller's own thread.
+    pub inline_resumes: u64,
+    /// Deliveries handed straight to an already-waiting receiver.
+    pub mailbox_fast_path_hits: u64,
 }
 
 #[cfg(test)]
@@ -1291,6 +1329,38 @@ mod tests {
         let out = sim.run_in_place().unwrap();
         assert_eq!(out.end_time, SimTime::ZERO + us(50));
         assert_eq!(out.resources[0].served, 1);
+    }
+
+    #[test]
+    fn counters_track_scheduling_handoffs_and_fastpath() {
+        let mut sim = Simulation::new();
+        sim.spawn("tx", HostSpec::sun_ipx(), |ctx| {
+            ctx.hold(us(100));
+            let env = Envelope::new(ctx.pid(), ProcId(1), 0, Bytes::new());
+            ctx.transmit(env, TransmitPlan::single(vec![Stage::Latency(us(50))]));
+        });
+        sim.spawn("rx", HostSpec::sun_ipx(), |ctx| {
+            // Blocks before the message exists: the delivery must take the
+            // waiting-receiver fast path.
+            let _ = ctx.recv(Matcher::any());
+        });
+        let out = sim.run().unwrap();
+        // Two Wake events (the hold) never happen — one hold + one flight
+        // stage are scheduled.
+        assert_eq!(out.events_scheduled, 2);
+        assert!(out.peak_queue_depth >= 1);
+        assert_eq!(out.mailbox_fast_path_hits, 1);
+        // Every blocking resume is either inline or a handoff; this run
+        // has at least the two start signals handed off.
+        assert!(out.direct_handoffs >= 2);
+        let resumes = out.direct_handoffs + out.inline_resumes;
+        assert!(resumes >= 3, "resumes = {resumes}");
+        // Counters reset with the core.
+        let mut sim2 = Simulation::new();
+        sim2.spawn("p", HostSpec::sun_ipx(), |_| {});
+        let clean = sim2.run().unwrap();
+        assert_eq!(clean.events_scheduled, 0);
+        assert_eq!(clean.mailbox_fast_path_hits, 0);
     }
 
     #[test]

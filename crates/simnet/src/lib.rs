@@ -75,6 +75,7 @@ pub mod resource;
 mod sched;
 pub mod time;
 pub mod topology;
+pub mod trace;
 pub mod work;
 
 /// Convenient glob-import of the crate's primary types.
@@ -92,5 +93,6 @@ pub mod prelude {
     pub use crate::resource::ResourceStats;
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{HostGroup, Topology};
+    pub use crate::trace::{CounterSummary, TraceHandle, TraceSink};
     pub use crate::work::Work;
 }

@@ -1,0 +1,681 @@
+//! Virtual-time tracing: typed per-rank event timelines and counter
+//! summaries for completed runs.
+//!
+//! A [`TraceSink`] collects what happened *inside* a simulated run — where
+//! each rank spent its virtual time (compute spans, send overheads,
+//! blocked receives), which link classes its fragments traversed, and
+//! every perturbation the fault-injection layer applied (jitter,
+//! retransmits, stragglers, crashes). The runtime layer records into the
+//! sink through cheap [`TraceHandle`]s; recording is strictly
+//! *observational* — no event is ever scheduled, no sequence number drawn,
+//! no ordering changed — so a traced run is bit-identical to an untraced
+//! one (pinned by proptest at the workspace level).
+//!
+//! When tracing is disabled the handle is simply absent
+//! (`Option<TraceHandle>`), so the clean path pays one branch per
+//! recording site and nothing else.
+//!
+//! Two consumers sit on top:
+//!
+//! * [`TraceSink::render_chrome`] exports the timeline as Chrome
+//!   trace-event JSON (loads in Perfetto / `chrome://tracing`; one track
+//!   per rank, spans named and categorized by phase);
+//! * [`TraceSink::summary`] folds the timeline into a [`TraceSummary`] —
+//!   the per-rank compute/blocked/network split and fault tally behind
+//!   `pdceval explain`.
+
+use crate::engine::SimOutcome;
+use crate::time::{SimDuration, SimTime};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// The phase a traced span belongs to (its track color in Perfetto).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanPhase {
+    /// Local computation (`Node::compute` and friends).
+    Compute,
+    /// Send-side software overhead and fragment pricing.
+    Send,
+    /// Blocked in a receive, waiting for a message to arrive.
+    RecvWait,
+}
+
+impl SpanPhase {
+    /// Stable lower-case name used in trace exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanPhase::Compute => "compute",
+            SpanPhase::Send => "send",
+            SpanPhase::RecvWait => "recv-wait",
+        }
+    }
+}
+
+/// One typed, virtual-time-stamped trace event on a rank's timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A closed span of virtual time spent in one phase.
+    Span {
+        /// The phase.
+        phase: SpanPhase,
+        /// Span start (virtual time).
+        start: SimTime,
+        /// Span end (virtual time).
+        end: SimTime,
+        /// Payload bytes involved (0 when not applicable).
+        bytes: u64,
+        /// Peer rank for point-to-point phases (`None` for compute).
+        peer: Option<usize>,
+    },
+    /// One message fragment entering the fabric.
+    LinkFragment {
+        /// Virtual time the fragment was launched.
+        at: SimTime,
+        /// Index into the sink's link-class table.
+        class: u32,
+        /// Fragment wire bytes.
+        bytes: u64,
+        /// Priced serial traversal cost of the fragment's stages.
+        cost: SimDuration,
+    },
+    /// Perturbation: extra latency injected on a fragment.
+    Jitter {
+        /// Virtual time of the affected send.
+        at: SimTime,
+        /// The extra latency added.
+        extra: SimDuration,
+    },
+    /// Perturbation: lost-fragment retransmit attempts priced in.
+    Retransmit {
+        /// Virtual time of the affected send.
+        at: SimTime,
+        /// Number of lost attempts priced before delivery.
+        attempts: u32,
+    },
+    /// A collective operation started on this rank.
+    Collective {
+        /// Virtual time the collective was entered.
+        at: SimTime,
+        /// Operation name (`broadcast`, `global-sum`, ...).
+        op: &'static str,
+    },
+    /// Perturbation: this rank's host group runs slowed by a factor.
+    Straggler {
+        /// The compute slowdown factor (>= 1).
+        factor: f64,
+    },
+    /// Fault injection terminated this rank.
+    Crash {
+        /// Virtual time of the crash.
+        at: SimTime,
+    },
+}
+
+/// Byte/fragment totals for one link class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkClassTotal {
+    /// The link class name (e.g. `Ethernet`).
+    pub class: String,
+    /// Total wire bytes sent over the class.
+    pub bytes: u64,
+    /// Total fragments sent over the class.
+    pub fragments: u64,
+}
+
+/// Cheap monotonic counters describing one completed run: the engine's
+/// scheduling/delivery counters plus (when traced) the fabric and
+/// perturbation totals. Carried on run results and emitted as opt-in
+/// store fields.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CounterSummary {
+    /// Events pushed onto the engine's event heap.
+    pub events_scheduled: u64,
+    /// High-water mark of the event heap depth.
+    pub peak_queue_depth: u64,
+    /// Blocking resumes that crossed threads (resume slot + unpark).
+    pub direct_handoffs: u64,
+    /// Blocking resumes serviced inline on the caller's thread.
+    pub inline_resumes: u64,
+    /// Deliveries that matched an already-waiting receiver (mailbox
+    /// fast path).
+    pub mailbox_fast_path_hits: u64,
+    /// Total messages delivered to mailboxes.
+    pub messages_delivered: u64,
+    /// Total wire bytes across delivered messages.
+    pub wire_bytes: u64,
+    /// Lost-fragment retransmit attempts priced by the perturbation layer
+    /// (0 when untraced or unperturbed).
+    pub retransmits: u64,
+    /// Per-link-class byte/fragment totals (empty when untraced).
+    pub links: Vec<LinkClassTotal>,
+}
+
+impl CounterSummary {
+    /// The engine-side counters of a completed run (no fabric totals).
+    pub fn from_sim(out: &SimOutcome) -> CounterSummary {
+        CounterSummary {
+            events_scheduled: out.events_scheduled,
+            peak_queue_depth: out.peak_queue_depth,
+            direct_handoffs: out.direct_handoffs,
+            inline_resumes: out.inline_resumes,
+            mailbox_fast_path_hits: out.mailbox_fast_path_hits,
+            messages_delivered: out.messages_delivered,
+            wire_bytes: out.wire_bytes_delivered,
+            retransmits: 0,
+            links: Vec::new(),
+        }
+    }
+}
+
+/// Where one rank's virtual time went, folded from its span timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankSummary {
+    /// The rank.
+    pub rank: usize,
+    /// Total time in compute spans.
+    pub compute: SimDuration,
+    /// Total time blocked in receives.
+    pub blocked: SimDuration,
+    /// Total time in send-side overhead spans.
+    pub network: SimDuration,
+    /// The rank's finish time (zero if it never finished, e.g. crashed).
+    pub finish: SimDuration,
+}
+
+/// The folded explanation of a traced run: per-rank time split, link
+/// totals and the injected-fault tally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// One summary per rank, in rank order.
+    pub ranks: Vec<RankSummary>,
+    /// Per-link-class totals, in first-use order.
+    pub links: Vec<LinkClassTotal>,
+    /// Total retransmit attempts priced in.
+    pub retransmits: u64,
+    /// Number of fragments that received injected jitter.
+    pub jitter_events: u64,
+    /// Total injected jitter latency.
+    pub jitter_total: SimDuration,
+    /// The injected crash, if one fired: `(rank, virtual time)`.
+    pub crash: Option<(usize, SimTime)>,
+}
+
+/// Collects the typed timeline of one run, one event vector per rank.
+///
+/// Ranks append through [`TraceHandle`]s under a mutex; because the
+/// engine's baton discipline runs exactly one rank at a time, the lock is
+/// never contended and each rank's own timeline is appended in its
+/// program order — fully deterministic regardless of worker threads.
+#[derive(Debug)]
+pub struct TraceSink {
+    ranks: Vec<Vec<TraceEvent>>,
+    classes: Vec<String>,
+    link_bytes: Vec<u64>,
+    link_frags: Vec<u64>,
+    retransmits: u64,
+    jitter_events: u64,
+    jitter_total: SimDuration,
+    crash: Option<(usize, SimTime)>,
+}
+
+impl TraceSink {
+    /// An empty sink for `nranks` ranks.
+    pub fn new(nranks: usize) -> TraceSink {
+        TraceSink {
+            ranks: vec![Vec::new(); nranks],
+            classes: Vec::new(),
+            link_bytes: Vec::new(),
+            link_frags: Vec::new(),
+            retransmits: 0,
+            jitter_events: 0,
+            jitter_total: SimDuration::ZERO,
+            crash: None,
+        }
+    }
+
+    /// An empty sink wrapped for sharing across rank closures.
+    pub fn shared(nranks: usize) -> Arc<Mutex<TraceSink>> {
+        Arc::new(Mutex::new(TraceSink::new(nranks)))
+    }
+
+    /// Number of ranks the sink was created for.
+    pub fn nranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The recorded timeline of `rank`, in recording order.
+    pub fn rank_events(&self, rank: usize) -> &[TraceEvent] {
+        &self.ranks[rank]
+    }
+
+    /// The link-class name behind a [`TraceEvent::LinkFragment`] index.
+    pub fn class_name(&self, class: u32) -> &str {
+        &self.classes[class as usize]
+    }
+
+    fn class_index(&mut self, name: &str) -> u32 {
+        if let Some(i) = self.classes.iter().position(|c| c == name) {
+            return i as u32;
+        }
+        self.classes.push(name.to_string());
+        self.link_bytes.push(0);
+        self.link_frags.push(0);
+        (self.classes.len() - 1) as u32
+    }
+
+    /// Records a closed span on `rank`'s timeline.
+    pub fn span(
+        &mut self,
+        rank: usize,
+        phase: SpanPhase,
+        start: SimTime,
+        end: SimTime,
+        bytes: u64,
+        peer: Option<usize>,
+    ) {
+        self.ranks[rank].push(TraceEvent::Span {
+            phase,
+            start,
+            end,
+            bytes,
+            peer,
+        });
+    }
+
+    /// Records one fragment entering the fabric and bumps the class totals.
+    pub fn link_fragment(
+        &mut self,
+        rank: usize,
+        class: &str,
+        bytes: u64,
+        at: SimTime,
+        cost: SimDuration,
+    ) {
+        let idx = self.class_index(class);
+        self.link_bytes[idx as usize] += bytes;
+        self.link_frags[idx as usize] += 1;
+        self.ranks[rank].push(TraceEvent::LinkFragment {
+            at,
+            class: idx,
+            bytes,
+            cost,
+        });
+    }
+
+    /// Records injected fragment jitter.
+    pub fn jitter(&mut self, rank: usize, at: SimTime, extra: SimDuration) {
+        self.jitter_events += 1;
+        self.jitter_total += extra;
+        self.ranks[rank].push(TraceEvent::Jitter { at, extra });
+    }
+
+    /// Records priced retransmit attempts for one lost fragment.
+    pub fn retransmit(&mut self, rank: usize, at: SimTime, attempts: u32) {
+        self.retransmits += attempts as u64;
+        self.ranks[rank].push(TraceEvent::Retransmit { at, attempts });
+    }
+
+    /// Records entry into a collective operation.
+    pub fn collective(&mut self, rank: usize, at: SimTime, op: &'static str) {
+        self.ranks[rank].push(TraceEvent::Collective { at, op });
+    }
+
+    /// Records that `rank` runs under a straggler slowdown.
+    pub fn straggler(&mut self, rank: usize, factor: f64) {
+        self.ranks[rank].push(TraceEvent::Straggler { factor });
+    }
+
+    /// Records an injected crash terminating `rank`.
+    pub fn crash(&mut self, rank: usize, at: SimTime) {
+        self.crash = Some((rank, at));
+        self.ranks[rank].push(TraceEvent::Crash { at });
+    }
+
+    /// Folds the engine counters of a completed run together with the
+    /// sink's fabric and perturbation totals.
+    pub fn counter_summary(&self, sim: &SimOutcome) -> CounterSummary {
+        let mut c = CounterSummary::from_sim(sim);
+        c.retransmits = self.retransmits;
+        c.links = self.link_totals();
+        c
+    }
+
+    /// Per-link-class totals, in first-use order.
+    pub fn link_totals(&self) -> Vec<LinkClassTotal> {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, name)| LinkClassTotal {
+                class: name.clone(),
+                bytes: self.link_bytes[i],
+                fragments: self.link_frags[i],
+            })
+            .collect()
+    }
+
+    /// Folds the timeline into the per-rank time split behind
+    /// `pdceval explain`. `rank_finish` is the per-rank finish time of the
+    /// run (missing entries — e.g. a crashed rank — read as zero).
+    pub fn summary(&self, rank_finish: &[SimDuration]) -> TraceSummary {
+        let ranks = self
+            .ranks
+            .iter()
+            .enumerate()
+            .map(|(rank, events)| {
+                let mut compute = SimDuration::ZERO;
+                let mut blocked = SimDuration::ZERO;
+                let mut network = SimDuration::ZERO;
+                for ev in events {
+                    if let TraceEvent::Span {
+                        phase, start, end, ..
+                    } = ev
+                    {
+                        let d = end.since(*start);
+                        match phase {
+                            SpanPhase::Compute => compute += d,
+                            SpanPhase::RecvWait => blocked += d,
+                            SpanPhase::Send => network += d,
+                        }
+                    }
+                }
+                RankSummary {
+                    rank,
+                    compute,
+                    blocked,
+                    network,
+                    finish: rank_finish.get(rank).copied().unwrap_or(SimDuration::ZERO),
+                }
+            })
+            .collect();
+        TraceSummary {
+            ranks,
+            links: self.link_totals(),
+            retransmits: self.retransmits,
+            jitter_events: self.jitter_events,
+            jitter_total: self.jitter_total,
+            crash: self.crash,
+        }
+    }
+
+    /// Renders the timeline as Chrome trace-event JSON: one process
+    /// (`pid` 0) named after `title`, one track (`tid`) per rank, spans as
+    /// complete (`"X"`) events categorized by phase and perturbations as
+    /// instant (`"i"`) events. Timestamps and durations are virtual-time
+    /// microseconds. Loads directly in Perfetto or `chrome://tracing`.
+    pub fn render_chrome(&self, title: &str) -> String {
+        let mut out = String::from("{\"traceEvents\": [\n");
+        let _ = write!(
+            out,
+            "  {{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            escape(title)
+        );
+        for rank in 0..self.ranks.len() {
+            let _ = write!(
+                out,
+                ",\n  {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": {rank}, \
+                 \"args\": {{\"name\": \"rank {rank}\"}}}}"
+            );
+        }
+        for (rank, events) in self.ranks.iter().enumerate() {
+            for ev in events {
+                out.push_str(",\n  ");
+                self.render_event(&mut out, rank, ev);
+            }
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    fn render_event(&self, out: &mut String, rank: usize, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::Span {
+                phase,
+                start,
+                end,
+                bytes,
+                peer,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"pid\": 0, \
+                     \"tid\": {rank}, \"ts\": {}, \"dur\": {}, \"args\": {{\"bytes\": {bytes}",
+                    phase.name(),
+                    phase.name(),
+                    micros(*start),
+                    micros_d(end.since(*start)),
+                );
+                if let Some(p) = peer {
+                    let _ = write!(out, ", \"peer\": {p}");
+                }
+                out.push_str("}}");
+            }
+            TraceEvent::LinkFragment {
+                at,
+                class,
+                bytes,
+                cost,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\": \"link {}\", \"cat\": \"link\", \"ph\": \"i\", \"s\": \"t\", \
+                     \"pid\": 0, \"tid\": {rank}, \"ts\": {}, \
+                     \"args\": {{\"bytes\": {bytes}, \"cost_us\": {}}}}}",
+                    escape(self.class_name(*class)),
+                    micros(*at),
+                    micros_d(*cost),
+                );
+            }
+            TraceEvent::Jitter { at, extra } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\": \"jitter\", \"cat\": \"perturb\", \"ph\": \"i\", \"s\": \"t\", \
+                     \"pid\": 0, \"tid\": {rank}, \"ts\": {}, \
+                     \"args\": {{\"extra_us\": {}}}}}",
+                    micros(*at),
+                    micros_d(*extra),
+                );
+            }
+            TraceEvent::Retransmit { at, attempts } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\": \"retransmit\", \"cat\": \"perturb\", \"ph\": \"i\", \
+                     \"s\": \"t\", \"pid\": 0, \"tid\": {rank}, \"ts\": {}, \
+                     \"args\": {{\"attempts\": {attempts}}}}}",
+                    micros(*at),
+                );
+            }
+            TraceEvent::Collective { at, op } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\": \"{op}\", \"cat\": \"collective\", \"ph\": \"i\", \"s\": \"t\", \
+                     \"pid\": 0, \"tid\": {rank}, \"ts\": {}, \"args\": {{}}}}",
+                    micros(*at),
+                );
+            }
+            TraceEvent::Straggler { factor } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\": \"straggler\", \"cat\": \"perturb\", \"ph\": \"i\", \
+                     \"s\": \"t\", \"pid\": 0, \"tid\": {rank}, \"ts\": 0, \
+                     \"args\": {{\"factor\": {factor}}}}}"
+                );
+            }
+            TraceEvent::Crash { at } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\": \"crash\", \"cat\": \"perturb\", \"ph\": \"i\", \"s\": \"t\", \
+                     \"pid\": 0, \"tid\": {rank}, \"ts\": {}, \"args\": {{}}}}",
+                    micros(*at),
+                );
+            }
+        }
+    }
+}
+
+/// One rank's recording endpoint into a shared [`TraceSink`].
+///
+/// Cloneable and cheap; absent (`Option<TraceHandle>`) when tracing is
+/// off, so untraced runs pay one branch per recording site.
+#[derive(Debug, Clone)]
+pub struct TraceHandle {
+    sink: Arc<Mutex<TraceSink>>,
+    rank: usize,
+}
+
+impl TraceHandle {
+    /// A handle recording as `rank` into `sink`.
+    pub fn new(sink: Arc<Mutex<TraceSink>>, rank: usize) -> TraceHandle {
+        TraceHandle { sink, rank }
+    }
+
+    /// Runs `f` with the locked sink and this handle's rank.
+    #[inline]
+    pub fn with(&self, f: impl FnOnce(&mut TraceSink, usize)) {
+        let mut sink = self.sink.lock().expect("trace sink poisoned");
+        f(&mut sink, self.rank);
+    }
+}
+
+/// Virtual time as trace-export microseconds (fixed 3 decimals, so the
+/// rendering is a pure function of the nanosecond value).
+fn micros(t: SimTime) -> String {
+    format!("{:.3}", t.as_micros_f64())
+}
+
+fn micros_d(d: SimDuration) -> String {
+    format!("{:.3}", d.as_micros_f64())
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    fn at(n: u64) -> SimTime {
+        SimTime::ZERO + us(n)
+    }
+
+    #[test]
+    fn sink_accumulates_per_rank_timelines_and_totals() {
+        let mut sink = TraceSink::new(2);
+        sink.span(0, SpanPhase::Compute, at(0), at(10), 0, None);
+        sink.span(0, SpanPhase::Send, at(10), at(12), 256, Some(1));
+        sink.link_fragment(0, "Ethernet", 256, at(10), us(3));
+        sink.link_fragment(0, "Ethernet", 256, at(11), us(3));
+        sink.link_fragment(0, "ATM WAN", 64, at(11), us(9));
+        sink.span(1, SpanPhase::RecvWait, at(0), at(13), 256, Some(0));
+        sink.jitter(0, at(10), us(2));
+        sink.retransmit(0, at(11), 3);
+        assert_eq!(sink.rank_events(0).len(), 7);
+        assert_eq!(sink.rank_events(1).len(), 1);
+        let links = sink.link_totals();
+        assert_eq!(links.len(), 2);
+        assert_eq!(links[0].class, "Ethernet");
+        assert_eq!(links[0].bytes, 512);
+        assert_eq!(links[0].fragments, 2);
+        assert_eq!(links[1].class, "ATM WAN");
+
+        let summary = sink.summary(&[us(12), us(13)]);
+        assert_eq!(summary.ranks[0].compute, us(10));
+        assert_eq!(summary.ranks[0].network, us(2));
+        assert_eq!(summary.ranks[0].blocked, SimDuration::ZERO);
+        assert_eq!(summary.ranks[1].blocked, us(13));
+        assert_eq!(summary.ranks[1].finish, us(13));
+        assert_eq!(summary.retransmits, 3);
+        assert_eq!(summary.jitter_events, 1);
+        assert_eq!(summary.jitter_total, us(2));
+        assert_eq!(summary.crash, None);
+    }
+
+    #[test]
+    fn crash_is_recorded_on_the_rank_and_the_tally() {
+        let mut sink = TraceSink::new(3);
+        sink.span(1, SpanPhase::Compute, at(0), at(5), 0, None);
+        sink.crash(1, at(5));
+        assert_eq!(sink.summary(&[]).crash, Some((1, at(5))));
+        assert!(matches!(
+            sink.rank_events(1).last(),
+            Some(TraceEvent::Crash { .. })
+        ));
+    }
+
+    #[test]
+    fn chrome_render_is_wellformed_and_deterministic() {
+        let mut sink = TraceSink::new(2);
+        sink.span(0, SpanPhase::Compute, at(0), at(10), 0, None);
+        sink.span(1, SpanPhase::RecvWait, at(0), at(12), 128, Some(0));
+        sink.link_fragment(0, "Ethernet", 128, at(10), us(2));
+        sink.crash(1, at(12));
+        let a = sink.render_chrome("demo/key");
+        let b = sink.render_chrome("demo/key");
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"traceEvents\": ["));
+        assert!(a.trim_end().ends_with("]}"));
+        assert!(a.contains("\"name\": \"rank 1\""));
+        assert!(a.contains("\"cat\": \"compute\""));
+        assert!(a.contains("\"name\": \"link Ethernet\""));
+        assert!(a.contains("\"name\": \"crash\""));
+        assert!(a.contains("\"ts\": 10.000"));
+        // Balanced braces/brackets — cheap structural sanity without a
+        // nested-JSON parser in the workspace.
+        let opens = a.matches('{').count();
+        let closes = a.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(a.matches('[').count(), a.matches(']').count());
+    }
+
+    #[test]
+    fn counter_summary_merges_engine_and_fabric_totals() {
+        use crate::engine::Simulation;
+        use crate::host::HostSpec;
+
+        let mut sim = Simulation::new();
+        sim.spawn("p", HostSpec::sun_ipx(), |ctx| ctx.hold(us(5)));
+        let out = sim.run().unwrap();
+        let mut sink = TraceSink::new(1);
+        sink.link_fragment(0, "Ethernet", 100, at(0), us(1));
+        sink.retransmit(0, at(0), 2);
+        let c = sink.counter_summary(&out);
+        assert_eq!(c.events_scheduled, out.events_scheduled);
+        assert_eq!(c.retransmits, 2);
+        assert_eq!(c.links.len(), 1);
+        assert_eq!(c.links[0].bytes, 100);
+    }
+
+    #[test]
+    fn handles_record_under_their_rank() {
+        let shared = TraceSink::shared(2);
+        let h0 = TraceHandle::new(Arc::clone(&shared), 0);
+        let h1 = TraceHandle::new(Arc::clone(&shared), 1);
+        h0.with(|s, r| s.span(r, SpanPhase::Compute, at(0), at(1), 0, None));
+        h1.with(|s, r| s.collective(r, at(1), "broadcast"));
+        let sink = shared.lock().unwrap();
+        assert_eq!(sink.rank_events(0).len(), 1);
+        assert!(matches!(
+            sink.rank_events(1)[0],
+            TraceEvent::Collective {
+                op: "broadcast",
+                ..
+            }
+        ));
+    }
+}

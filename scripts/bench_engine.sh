@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_engine.json: events/sec of the discrete-event engine on
 # the broadcast / ring / global-sum microbenches (64 procs), with speedups
-# against the recorded seed-engine baseline. The JSON carries the same
-# git_sha/timestamp provenance fields as the campaign results store, so
-# bench output is comparable across PRs.
+# against the recorded seed-engine baseline. Each result also records the
+# engine's scheduler counters — direct handoffs vs inline resumes (handoff
+# ratio) and mailbox fast-path hits (hit rate) — so scheduler-behavior
+# regressions show up even when throughput doesn't move. The JSON carries
+# the same git_sha/timestamp provenance fields as the campaign results
+# store, so bench output is comparable across PRs.
 #
 # Also runs the criterion engine bench group so per-bench wall-clock
 # medians land in the same place (target/criterion_engine.json).

@@ -240,6 +240,7 @@ fn parallel_campaign_stores_are_byte_identical_to_serial() {
     let meta = StoreMeta {
         git_sha: Some("test-sha".to_string()),
         timestamp: Some(1_753_000_000),
+        emit_counters: false,
     };
     let serial = render_jsonl(&run_campaign(&scenarios, 1), &meta);
     let parallel = render_jsonl(&run_campaign(&scenarios, 8), &meta);

@@ -473,6 +473,7 @@ proptest! {
             status: RecordStatus::Ok,
             stats: Some(RepStats { mean, min, max, cv }),
             detail: None,
+            counters: None,
         };
         let text = render_jsonl(&[r], &StoreMeta::none());
         let parsed = parse_jsonl(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
@@ -665,5 +666,45 @@ proptest! {
         let parallel = render_jsonl(&run_campaign(&scenarios, 3), &StoreMeta::none());
         prop_assert_eq!(&serial, &replay);
         prop_assert_eq!(&serial, &parallel);
+    }
+
+    /// Tracing is purely observational: a traced campaign (clean and
+    /// perturbed points alike) renders a byte-identical store to an
+    /// untraced one, on the serial and the parallel runner.
+    #[test]
+    fn traced_stores_are_byte_identical_to_untraced(seed in 1u32..10_000) {
+        use pdc_tool_eval::campaign::{run_campaign, run_campaign_with, CampaignOptions};
+        use pdc_tool_eval::campaign::store::{render_jsonl, StoreMeta};
+        use pdc_tool_eval::campaign::{Kernel, PerturbRun, Scenario};
+        let clean = Scenario {
+            kernel: Kernel::Ring { shifts: 1 },
+            tool: ToolKind::P4,
+            platform: Platform::SUN_ETHERNET,
+            nprocs: 4,
+            size: 4096,
+            reps: 2,
+            perturb: None,
+        };
+        let mut chaotic = clean;
+        chaotic.perturb = Some(PerturbRun { id: perturb_replay::chaos_id(), seed });
+        let mut sendrecv = clean;
+        sendrecv.kernel = Kernel::SendRecv { iters: 2 };
+        let scenarios = vec![clean, chaotic, sendrecv];
+        let untraced = render_jsonl(&run_campaign(&scenarios, 1), &StoreMeta::none());
+        let trace_dir = std::env::temp_dir().join(format!(
+            "pdceval-trace-prop-{}-{seed}",
+            std::process::id()
+        ));
+        let opts = CampaignOptions {
+            trace_dir: Some(trace_dir.as_path()),
+            on_scenario_done: None,
+        };
+        let traced_serial =
+            render_jsonl(&run_campaign_with(&scenarios, 1, &opts), &StoreMeta::none());
+        let traced_parallel =
+            render_jsonl(&run_campaign_with(&scenarios, 3, &opts), &StoreMeta::none());
+        let _ = std::fs::remove_dir_all(&trace_dir);
+        prop_assert_eq!(&untraced, &traced_serial);
+        prop_assert_eq!(&untraced, &traced_parallel);
     }
 }

@@ -1,0 +1,123 @@
+//! Trace-subsystem integration tests.
+//!
+//! The Chrome trace-event export of a small 4-rank send/recv scenario is
+//! pinned byte-for-byte against a committed golden capture (like the
+//! JSONL store goldens in `registry_golden.rs`), and a crash-injected
+//! run's partial trace must end with the crash event on the crashed rank
+//! while the survivors' span timelines stay intact.
+
+use bytes::Bytes;
+use pdc_tool_eval::campaign::{Executor, Kernel, Scenario};
+use pdc_tool_eval::mpt::error::RunError;
+use pdc_tool_eval::mpt::runtime::SpmdHarness;
+use pdc_tool_eval::mpt::ToolKind;
+use pdc_tool_eval::simnet::perturb::{PerturbConfig, PerturbSpec};
+use pdc_tool_eval::simnet::platform::Platform;
+use pdc_tool_eval::simnet::trace::{TraceEvent, TraceSink};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Runs the pinned 4-rank send/recv scenario traced and renders its
+/// Chrome trace-event JSON, titled by the scenario key.
+fn rendered_sendrecv4_trace() -> String {
+    let sc = Scenario {
+        kernel: Kernel::SendRecv { iters: 2 },
+        tool: ToolKind::P4,
+        platform: Platform::SUN_ETHERNET,
+        nprocs: 4,
+        size: 1024,
+        reps: 1,
+        perturb: None,
+    };
+    let mut exec = Executor::new();
+    exec.set_tracing(true);
+    exec.run(&sc).expect("traced send/recv scenario runs");
+    let cap = exec.take_capture().expect("traced run leaves a capture");
+    let sink = cap.sink.expect("tracing was enabled");
+    let sink = sink.lock().expect("trace sink poisoned");
+    sink.render_chrome(&sc.key())
+}
+
+/// The Chrome trace of the 4-rank send/recv scenario is byte-identical
+/// to the committed golden capture. If a *deliberate* model or trace
+/// change moves it, regenerate with
+/// `PDCEVAL_REGEN_TRACE_GOLDEN=1 cargo test --test trace`.
+#[test]
+fn sendrecv4_chrome_trace_matches_golden() {
+    let fresh = rendered_sendrecv4_trace();
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/trace-sendrecv4.json");
+    if std::env::var_os("PDCEVAL_REGEN_TRACE_GOLDEN").is_some() {
+        std::fs::write(&path, &fresh).expect("golden regeneration write");
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    assert!(
+        fresh == golden,
+        "send/recv Chrome trace drifted from its golden capture \
+         ({} fresh vs {} golden lines); first differing line: {:?}",
+        fresh.lines().count(),
+        golden.lines().count(),
+        fresh
+            .lines()
+            .zip(golden.lines())
+            .find(|(f, g)| f != g)
+            .map(|(f, g)| format!("fresh: {f}\ngolden: {g}")),
+    );
+}
+
+/// A crash-injected run leaves a partial trace: the crashed rank's
+/// timeline ends with the crash event, the crash lands in the fault
+/// tally, and every surviving rank keeps its recorded spans (and no
+/// crash). The partial timeline still renders as well-formed Chrome
+/// trace JSON.
+#[test]
+fn crash_trace_ends_with_crash_and_survivors_keep_spans() {
+    let mut spec = PerturbSpec::quiet("trace-crash-test");
+    spec.crash_rank = Some(1);
+    // Deep enough into the run that every survivor has closed spans by
+    // the time the crash aborts the simulation.
+    spec.crash_at_us = Some(50_000.0);
+    let cfg = PerturbConfig {
+        spec: Arc::new(spec),
+        seed: 3,
+    };
+    let nprocs = 4;
+    let mut h = SpmdHarness::new(Platform::SUN_ETHERNET, nprocs).unwrap();
+    let sink = TraceSink::shared(nprocs);
+    let err = h
+        .run_perturbed_traced(ToolKind::P4, Some(&cfg), Some(Arc::clone(&sink)), |node| {
+            // Ring traffic keeps every rank talking past the crash point.
+            for _ in 0..50 {
+                node.ring_shift(Bytes::from(vec![0u8; 2048])).unwrap();
+            }
+        })
+        .unwrap_err();
+    assert!(
+        matches!(err, RunError::RankCrashed { rank: 1, .. }),
+        "expected RankCrashed, got {err:?}"
+    );
+
+    let sink = sink.lock().expect("trace sink poisoned");
+    assert!(
+        matches!(sink.rank_events(1).last(), Some(TraceEvent::Crash { .. })),
+        "crashed rank's timeline must end with the crash event, got {:?}",
+        sink.rank_events(1).last()
+    );
+    let summary = sink.summary(&[]);
+    assert_eq!(summary.crash.map(|(rank, _)| rank), Some(1));
+    for rank in (0..nprocs).filter(|&r| r != 1) {
+        let events = sink.rank_events(rank);
+        assert!(
+            events.iter().any(|e| matches!(e, TraceEvent::Span { .. })),
+            "survivor rank {rank} lost its spans"
+        );
+        assert!(
+            !events.iter().any(|e| matches!(e, TraceEvent::Crash { .. })),
+            "survivor rank {rank} must not record a crash"
+        );
+    }
+    let chrome = sink.render_chrome("crash-demo");
+    assert!(chrome.contains("\"name\": \"crash\""));
+    assert_eq!(chrome.matches('{').count(), chrome.matches('}').count());
+    assert_eq!(chrome.matches('[').count(), chrome.matches(']').count());
+}
