@@ -19,8 +19,15 @@
 //! rework landed. Each result also carries the engine's own counters —
 //! events scheduled, peak queue depth, direct handoffs vs inline
 //! resumes (and their ratio), mailbox fast-path hits (and hit rate) —
-//! so scheduler-behavior regressions are visible even when wall-clock
-//! throughput masks them.
+//! plus the process's peak RSS, so scheduler-behavior regressions are
+//! visible even when wall-clock throughput masks them.
+//!
+//! The million-rank family (`ring-1m`, `broadcast-1m`, `sparse-1m`)
+//! registers 1M ranks of which only 1k are ever active: the calendar
+//! queue plus lazy rank materialization must price these like 1k-rank
+//! scenarios. `--quick` runs the CI perf-smoke subset (one rep of
+//! `ring64` and `sparse-1m`) and fails if `sparse-1m` exceeds ~10× the
+//! 64-rank ring's wall clock.
 
 use bytes::Bytes;
 use pdceval_campaign::store::{git_sha, unix_timestamp};
@@ -35,6 +42,26 @@ use std::time::Instant;
 const NPROCS: usize = 64;
 const ROUNDS: u32 = 400;
 
+/// Registered ranks in the million-rank bench family. Only
+/// [`ACTIVE_1M`] of them (every [`STRIDE_1M`]-th) are ever active; the
+/// rest are lazy registrations that must never materialize, so the
+/// family measures that a 1M-rank scenario with a 1k working set prices
+/// like a 1k-rank one.
+const REG_1M: usize = 1_000_000;
+/// Active working set of the million-rank benches.
+const ACTIVE_1M: usize = 1_000;
+/// Rank-id distance between consecutive active ranks.
+const STRIDE_1M: usize = REG_1M / ACTIVE_1M;
+/// Rounds for the million-rank family in full mode, sized so event
+/// processing (~400k events) dominates the one-time cost of registering
+/// 1M lazy ranks (~0.5 s at ~2M registrations/sec) — the steady-state
+/// events/sec is then comparable with the 64-rank benches.
+const ROUNDS_1M: u32 = 400;
+/// Rounds for `sparse-1m` in `--quick` (CI perf-smoke) mode: one token
+/// lap per round, 25k events total, still enough to materialize every
+/// relay and exercise the steady state.
+const ROUNDS_1M_QUICK: u32 = 25;
+
 /// Seed-engine events/sec recorded before the pooled-scheduler rework
 /// (commit 3f7268b engine: OS thread per process, two crossbeam-channel
 /// hops per simulator call, O(n) mailbox scans). Used to report speedups.
@@ -43,6 +70,16 @@ const ROUNDS: u32 = 400;
 /// PR-2 engine (pooled scheduler + indexed mailboxes) measured on this
 /// machine class immediately before the mailbox head-slot fast path
 /// landed, so its speedup isolates that change.
+///
+/// The 0.81x regression that baseline exposed was diagnosed as the
+/// flight-machinery walk every pure-latency message paid (flight
+/// alloc + stage queue + two dispatch hops per event); the engine's
+/// direct-`Deliver` bypass removed it, measuring +40% on `pingpong64`
+/// and +37% on `ring64` in a same-session A/B. Absolute events/sec
+/// (and so `speedup_vs_baseline`) still swings with ambient host load
+/// by 10-25% between runs — compare `ring64` across committed
+/// snapshots to gauge a run's machine factor before reading meaning
+/// into small ratio drifts.
 const BASELINE: [(&str, f64); 4] = [
     ("broadcast64", 146_005.0),
     ("ring64", 139_214.0),
@@ -166,20 +203,136 @@ fn pingpong(nprocs: usize, rounds: u32) -> SimOutcome {
     sim.run().expect("pingpong sim failed")
 }
 
+/// Ring over the 1k active ranks of a 1M-rank registration: active rank
+/// `k` (rank id `k * STRIDE_1M`) forwards to active rank `k + 1`. The
+/// 999k in-between ranks are lazy and never touched.
+fn ring_1m(rounds: u32) -> SimOutcome {
+    let mut sim = Simulation::new();
+    for r in 0..REG_1M {
+        if r % STRIDE_1M == 0 {
+            let k = r / STRIDE_1M;
+            let next = ProcId((((k + 1) % ACTIVE_1M) * STRIDE_1M) as u32);
+            sim.spawn_indexed("ring", r, HostSpec::sun_ipx(), move |ctx| {
+                for round in 0..rounds {
+                    let env = Envelope::new(ctx.pid(), next, round, Bytes::new());
+                    ctx.transmit(env, lat());
+                    let _ = ctx.recv(Matcher::tagged(round));
+                }
+            });
+        } else {
+            sim.spawn_indexed_lazy("idle", r, HostSpec::sun_ipx(), |_| {});
+        }
+    }
+    sim.run().expect("ring-1m sim failed")
+}
+
+/// Broadcast + ack from one eager root to 999 *lazy* listeners scattered
+/// across the 1M-rank id space: every listener materializes on its first
+/// round-0 delivery, then acks every round.
+fn broadcast_1m(rounds: u32) -> SimOutcome {
+    let mut sim = Simulation::new();
+    sim.spawn_indexed("bcast", 0, HostSpec::sun_ipx(), move |ctx| {
+        for round in 0..rounds {
+            for k in 1..ACTIVE_1M {
+                let dst = ProcId((k * STRIDE_1M) as u32);
+                let env = Envelope::new(ctx.pid(), dst, round, Bytes::new());
+                ctx.transmit(env, lat());
+            }
+            for _ in 1..ACTIVE_1M {
+                let _ = ctx.recv(Matcher::tagged(round));
+            }
+        }
+    });
+    for r in 1..REG_1M {
+        if r % STRIDE_1M == 0 {
+            sim.spawn_indexed_lazy("bcast", r, HostSpec::sun_ipx(), move |ctx| {
+                for round in 0..rounds {
+                    let msg = ctx.recv(Matcher::tagged(round));
+                    let env = Envelope::new(ctx.pid(), msg.src, round, Bytes::new());
+                    ctx.transmit(env, lat());
+                }
+            });
+        } else {
+            sim.spawn_indexed_lazy("idle", r, HostSpec::sun_ipx(), |_| {});
+        }
+    }
+    sim.run().expect("broadcast-1m sim failed")
+}
+
+/// A token lap through 1k lazy relays strung across the 1M-rank id
+/// space: round 0 materializes the relays one hop at a time, later
+/// rounds run the materialized steady state.
+fn sparse_1m(rounds: u32) -> SimOutcome {
+    let mut sim = Simulation::new();
+    sim.spawn_indexed("chain", 0, HostSpec::sun_ipx(), move |ctx| {
+        for round in 0..rounds {
+            let env = Envelope::new(ctx.pid(), ProcId(STRIDE_1M as u32), round, Bytes::new());
+            ctx.transmit(env, lat());
+            let _ = ctx.recv(Matcher::tagged(round));
+        }
+    });
+    for r in 1..REG_1M {
+        if r % STRIDE_1M == 0 {
+            let k = r / STRIDE_1M;
+            let dst = if k + 1 < ACTIVE_1M {
+                ProcId(((k + 1) * STRIDE_1M) as u32)
+            } else {
+                ProcId(0)
+            };
+            sim.spawn_indexed_lazy("chain", r, HostSpec::sun_ipx(), move |ctx| {
+                for round in 0..rounds {
+                    let _ = ctx.recv(Matcher::tagged(round));
+                    let env = Envelope::new(ctx.pid(), dst, round, Bytes::new());
+                    ctx.transmit(env, lat());
+                }
+            });
+        } else {
+            sim.spawn_indexed_lazy("idle", r, HostSpec::sun_ipx(), |_| {});
+        }
+    }
+    sim.run().expect("sparse-1m sim failed")
+}
+
 struct Measurement {
     name: &'static str,
+    nprocs: usize,
     events: u64,
     seconds: f64,
     events_per_sec: f64,
+    peak_rss_kb: Option<u64>,
     outcome: SimOutcome,
 }
 
-fn measure(name: &'static str, f: impl Fn() -> SimOutcome) -> Measurement {
+/// The process's peak resident set in kB (`VmHWM` from
+/// `/proc/self/status`), `None` off Linux. Peak RSS is monotonic across
+/// the process lifetime, so per-bench readings report the high-water
+/// mark *up to and including* that bench.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+fn measure(name: &'static str, nprocs: usize, f: impl Fn() -> SimOutcome) -> Measurement {
+    measure_reps(name, nprocs, 3, f)
+}
+
+fn measure_reps(
+    name: &'static str,
+    nprocs: usize,
+    reps: u32,
+    f: impl Fn() -> SimOutcome,
+) -> Measurement {
     // Warm-up run (also populates the worker pool).
     let outcome = f();
     let events = outcome.messages_delivered;
     let mut best = f64::INFINITY;
-    for _ in 0..3 {
+    for _ in 0..reps {
         let t0 = Instant::now();
         let o = f();
         let dt = t0.elapsed().as_secs_f64();
@@ -191,9 +344,11 @@ fn measure(name: &'static str, f: impl Fn() -> SimOutcome) -> Measurement {
     }
     let m = Measurement {
         name,
+        nprocs,
         events,
         seconds: best,
         events_per_sec: events as f64 / best,
+        peak_rss_kb: peak_rss_kb(),
         outcome,
     };
     println!(
@@ -223,6 +378,28 @@ fn fastpath_hit_rate(o: &SimOutcome) -> f64 {
     }
 }
 
+/// The wall-clock budget the sparse-1m bench must stay inside: ~10× the
+/// 64-rank ring's wall clock normalized to the same event count (the
+/// scheduler prices 1M registered ranks like the active 1k, so the only
+/// extra cost is registration), with a small floor so a fast machine's
+/// timer noise can't fail the check.
+fn assert_sparse_budget(ring64: &Measurement, sparse: &Measurement) {
+    let per_event_budget = 10.0 * ring64.seconds / ring64.events as f64;
+    let budget = (per_event_budget * sparse.events as f64).max(0.5);
+    assert!(
+        sparse.seconds <= budget,
+        "sparse-1m took {:.3}s, over its {:.3}s budget (10x ring64 at {:.0} events/sec): \
+         1M-rank registration no longer prices like its 1k active ranks",
+        sparse.seconds,
+        budget,
+        ring64.events_per_sec
+    );
+    println!(
+        "perf-smoke: sparse-1m {:.3}s within {:.3}s budget",
+        sparse.seconds, budget
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out = args
@@ -230,15 +407,67 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    // Perf-smoke mode for CI: one measured rep of the 64-rank ring and
+    // the sparse million-rank chain, plus the wall-clock budget check.
+    let quick = args.iter().any(|a| a == "--quick");
+    // `--only <name>` (repeatable) restricts the full run to the named
+    // benches — a diagnosis aid for chasing one bench's regression
+    // without paying for (or being perturbed by) the rest of the suite.
+    let only: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--only")
+        .filter_map(|(i, _)| args.get(i + 1))
+        .collect();
+    let want = |name: &str| only.is_empty() || only.iter().any(|o| *o == name);
 
-    let results = [
-        measure("broadcast64", || broadcast(NPROCS, ROUNDS)),
-        measure("ring64", || ring(NPROCS, ROUNDS)),
-        measure("globalsum64", || global_sum(NPROCS, ROUNDS)),
-        measure("pingpong64", || pingpong(NPROCS, ROUNDS)),
-    ];
+    let results: Vec<Measurement> = if quick {
+        let ring64 = measure_reps("ring64", NPROCS, 1, || ring(NPROCS, ROUNDS));
+        let sparse = measure_reps("sparse-1m", REG_1M, 1, || sparse_1m(ROUNDS_1M_QUICK));
+        assert_sparse_budget(&ring64, &sparse);
+        vec![ring64, sparse]
+    } else {
+        let mut all = Vec::new();
+        if want("broadcast64") {
+            all.push(measure("broadcast64", NPROCS, || broadcast(NPROCS, ROUNDS)));
+        }
+        if want("ring64") {
+            all.push(measure("ring64", NPROCS, || ring(NPROCS, ROUNDS)));
+        }
+        if want("globalsum64") {
+            all.push(measure("globalsum64", NPROCS, || {
+                global_sum(NPROCS, ROUNDS)
+            }));
+        }
+        if want("pingpong64") {
+            all.push(measure("pingpong64", NPROCS, || pingpong(NPROCS, ROUNDS)));
+        }
+        if want("ring-1m") {
+            all.push(measure("ring-1m", REG_1M, || ring_1m(ROUNDS_1M)));
+        }
+        if want("broadcast-1m") {
+            // Broadcast delivers two messages per listener per round;
+            // halve the rounds to keep the event total comparable.
+            all.push(measure("broadcast-1m", REG_1M, || {
+                broadcast_1m(ROUNDS_1M / 2)
+            }));
+        }
+        if want("sparse-1m") {
+            all.push(measure("sparse-1m", REG_1M, || sparse_1m(ROUNDS_1M)));
+        }
+        let ring64 = all.iter().find(|m| m.name == "ring64");
+        let sparse = all.iter().find(|m| m.name == "sparse-1m");
+        if let (Some(ring64), Some(sparse)) = (ring64, sparse) {
+            assert_sparse_budget(ring64, sparse);
+        }
+        all
+    };
 
     let mut json = String::from("{\n  \"bench\": \"engine\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
     // Same provenance fields as the campaign results store, so bench JSON
     // is comparable across PRs.
     json.push_str(&format!(
@@ -270,12 +499,14 @@ fn main() {
             .unwrap_or(f64::NAN);
         let speedup = m.events_per_sec / baseline;
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"events\": {}, \"seconds\": {:.6}, \"events_per_sec\": {:.0}, \
+            "    {{\"name\": \"{}\", \"nprocs\": {}, \"events\": {}, \"seconds\": {:.6}, \
+             \"events_per_sec\": {:.0}, \
              \"events_scheduled\": {}, \"peak_queue_depth\": {}, \"direct_handoffs\": {}, \
              \"inline_resumes\": {}, \"handoff_ratio\": {:.4}, \"mailbox_fast_path_hits\": {}, \
-             \"fastpath_hit_rate\": {:.4}, \
+             \"fastpath_hit_rate\": {:.4}, \"peak_rss_kb\": {}, \"rss_bytes_per_rank\": {}, \
              \"baseline_events_per_sec\": {}, \"speedup_vs_baseline\": {}}}{}\n",
             m.name,
+            m.nprocs,
             m.events,
             m.seconds,
             m.events_per_sec,
@@ -286,6 +517,14 @@ fn main() {
             handoff_ratio(&m.outcome),
             m.outcome.mailbox_fast_path_hits,
             fastpath_hit_rate(&m.outcome),
+            match m.peak_rss_kb {
+                Some(kb) => kb.to_string(),
+                None => "null".to_string(),
+            },
+            match m.peak_rss_kb {
+                Some(kb) => format!("{:.0}", kb as f64 * 1024.0 / m.nprocs as f64),
+                None => "null".to_string(),
+            },
             if baseline.is_nan() {
                 "null".to_string()
             } else {

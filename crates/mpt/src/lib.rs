@@ -46,7 +46,7 @@ pub mod tool;
 
 pub use node::{Node, RecvMsg};
 pub use registry::ModelRegistry;
-pub use runtime::{run_spmd, SpmdConfig, SpmdHarness, SpmdOutcome};
+pub use runtime::{run_spmd, SparseOutcome, SpmdConfig, SpmdHarness, SpmdOutcome};
 pub use spec::{CampaignSpec, SpecFile, Support, ToolSpec};
 pub use tool::{Primitive, ToolId, ToolKind};
 
@@ -57,7 +57,7 @@ pub mod prelude {
     pub use crate::node::{Node, RecvMsg};
     pub use crate::profile::ToolProfile;
     pub use crate::registry::ModelRegistry;
-    pub use crate::runtime::{run_spmd, SpmdConfig, SpmdHarness, SpmdOutcome};
+    pub use crate::runtime::{run_spmd, SparseOutcome, SpmdConfig, SpmdHarness, SpmdOutcome};
     pub use crate::spec::{CampaignSpec, SpecFile, Support, ToolSpec};
     pub use crate::tool::{Primitive, ToolId, ToolKind};
     pub use pdceval_simnet::platform::{Platform, PlatformId, PlatformSpec};

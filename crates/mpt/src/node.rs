@@ -14,7 +14,7 @@ use bytes::Bytes;
 use pdceval_simnet::engine::Ctx;
 use pdceval_simnet::envelope::{Envelope, Matcher};
 use pdceval_simnet::fabric::Fabric;
-use pdceval_simnet::flight::{Stage, TransmitPlan};
+use pdceval_simnet::flight::{Stage, Train, TransmitPlan};
 use pdceval_simnet::host::HostSpec;
 use pdceval_simnet::ids::{ProcId, ResourceId, Tag};
 use pdceval_simnet::perturb::{
@@ -66,6 +66,11 @@ pub(crate) struct Shared {
     /// observational — no event scheduled, no draw taken — so a traced
     /// run is bit-identical to an untraced one.
     pub trace: Option<Arc<Mutex<TraceSink>>>,
+    /// Price runs of identical fragments as batched trains (see
+    /// `SpmdHarness::set_batch_trains`). Off by default so contended
+    /// fragment interleaving stays byte-identical to the per-fragment
+    /// model.
+    pub batch_trains: bool,
 }
 
 /// Per-node perturbation state: the spec, this rank's private draw
@@ -436,8 +441,24 @@ impl<'a> Node<'a> {
             } else {
                 None
             };
-            let mut plan_frags = Vec::with_capacity(frags.len());
-            for frag in frags {
+            // Runs of identical fragments (the splitter emits `full`
+            // MTU-sized fragments plus an optional remainder) can be priced
+            // as batched trains: one stage walk per run instead of one
+            // flight per fragment. Opt-in via `Shared::batch_trains`, and
+            // perturbed sends always keep one train per fragment because
+            // perturbation draws are per-fragment.
+            let per_fragment = !self.shared.batch_trains || self.perturb.is_some();
+            let mut trains = Vec::with_capacity(2);
+            let mut i = 0;
+            while i < frags.len() {
+                let frag = frags[i];
+                let mut count = 1u32;
+                if !per_fragment {
+                    while i + (count as usize) < frags.len() && frags[i + count as usize] == frag {
+                        count += 1;
+                    }
+                }
+                i += count as usize;
                 // Only the fabric traversal is perturbed; the endpoint
                 // software costs (beta serve stages) are not network
                 // conditions and stay exact.
@@ -457,7 +478,7 @@ impl<'a> Node<'a> {
                         })
                         .sum();
                     t.with(|s, r| {
-                        s.link_fragment(r, class, frag, at, cost);
+                        s.link_train(r, class, frag, count, at, cost);
                         if applied.jitter_us > 0.0 {
                             s.jitter(r, at, SimDuration::from_micros_f64(applied.jitter_us));
                         }
@@ -480,9 +501,9 @@ impl<'a> Node<'a> {
                         service: self.sw(costs.beta_recv_us_per_byte * frag as f64, dst_host),
                     });
                 }
-                plan_frags.push(stages);
+                trains.push(Train::new(stages, count));
             }
-            TransmitPlan::fragments(plan_frags)
+            TransmitPlan::trains(trains)
         };
 
         self.ctx.transmit(env, plan);

@@ -23,7 +23,7 @@
 use crate::error::RunError;
 use crate::node::{Node, Shared};
 use crate::tool::ToolKind;
-use pdceval_simnet::engine::{SimOutcome, Simulation};
+use pdceval_simnet::engine::{Ctx, SimOutcome, Simulation};
 use pdceval_simnet::error::SimError;
 use pdceval_simnet::fabric::Fabric;
 use pdceval_simnet::host::HostSpec;
@@ -102,6 +102,19 @@ pub struct SpmdOutcome<T> {
     pub sim: SimOutcome,
 }
 
+/// Results of a sparse SPMD run ([`SpmdHarness::run_sparse`]): only the
+/// ranks that actually ran — eagerly active, or materialized by an
+/// incoming message — report results.
+#[derive(Debug, Clone)]
+pub struct SparseOutcome<T> {
+    /// `(rank, result)` for every rank that ran, in rank order.
+    pub results: Vec<(usize, T)>,
+    /// Virtual time to the last running rank's completion.
+    pub elapsed: SimDuration,
+    /// Raw simulation statistics (resource utilization, message counts).
+    pub sim: SimOutcome,
+}
+
 /// A reusable SPMD run skeleton: one simulated cluster (fabric, hosts,
 /// protocol-stack and daemon resources) kept alive across sweep points.
 ///
@@ -146,6 +159,7 @@ pub struct SpmdHarness {
     stack_tx: Vec<ResourceId>,
     stack_rx: Vec<ResourceId>,
     daemon: Vec<ResourceId>,
+    batch_trains: bool,
 }
 
 impl std::fmt::Debug for SpmdHarness {
@@ -198,7 +212,23 @@ impl SpmdHarness {
             stack_tx,
             stack_rx,
             daemon,
+            batch_trains: false,
         })
+    }
+
+    /// Prices runs of identical message fragments as batched trains (one
+    /// engine walk per run instead of one flight per fragment — see
+    /// `pdceval_simnet::flight::Train`).
+    ///
+    /// Off by default: batched trains occupy contended FIFOs contiguously,
+    /// which is exact for uncontended pipelines but suppresses the
+    /// fragment-level interleaving that competing senders produce on a
+    /// shared medium, so heavily contended timings can shift slightly.
+    /// Byte/fragment accounting is identical either way. Enable for large
+    /// sparse scenarios where event count, not interleaving fidelity,
+    /// dominates.
+    pub fn set_batch_trains(&mut self, on: bool) {
+        self.batch_trains = on;
     }
 
     /// The platform this harness simulates.
@@ -331,6 +361,7 @@ impl SpmdHarness {
             nprocs,
             perturb: perturb.cloned(),
             trace,
+            batch_trains: self.batch_trains,
         });
 
         let results: Arc<Mutex<Vec<Option<T>>>> =
@@ -382,6 +413,110 @@ impl SpmdHarness {
             results,
             elapsed,
             rank_finish,
+            sim: sim_outcome,
+        })
+    }
+
+    /// Runs a *sparse* SPMD point: only the ranks listed in `active` are
+    /// spawned eagerly; every other rank is registered lazily
+    /// ([`pdceval_simnet::engine::Simulation::spawn_indexed_lazy`]) and
+    /// materializes — worker, mailbox, node state — only if a message
+    /// reaches it. Ranks nobody messages cost nothing beyond their
+    /// registration slot, so a mostly-idle job prices like a job of its
+    /// active working set.
+    ///
+    /// Every rank, eager or lazy, runs the same `f`; a lazily
+    /// materialized rank starts at the virtual time its first message
+    /// arrives. Perturbation and tracing are not offered on this path —
+    /// sparse runs are a scale vehicle, not a measurement one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an `active` rank is out of range.
+    ///
+    /// # Errors
+    ///
+    /// * [`RunError::PlatformUnsupported`] if `tool` has no port for this
+    ///   harness's platform;
+    /// * [`RunError::Sim`] if the application deadlocks or panics.
+    pub fn run_sparse<T, F>(
+        &mut self,
+        tool: ToolKind,
+        active: &[usize],
+        f: F,
+    ) -> Result<SparseOutcome<T>, RunError>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Node<'_>) -> T + Send + Sync + 'static,
+    {
+        if !tool.supports_platform(self.platform) {
+            return Err(RunError::PlatformUnsupported {
+                tool,
+                platform: self.platform,
+            });
+        }
+        let nprocs = self.nprocs;
+        let mut eager = vec![false; nprocs];
+        for &r in active {
+            assert!(r < nprocs, "active rank {r} out of range ({nprocs} ranks)");
+            eager[r] = true;
+        }
+        let shared = Arc::new(Shared {
+            platform: self.platform,
+            tool,
+            tool_spec: tool.spec(),
+            fabric: self.fabric.clone(),
+            hosts: self.hosts.clone(),
+            stack_tx: self.stack_tx.clone(),
+            stack_rx: self.stack_rx.clone(),
+            daemon: self.daemon.clone(),
+            nprocs,
+            perturb: None,
+            trace: None,
+            batch_trains: self.batch_trains,
+        });
+        let results: Arc<Mutex<Vec<Option<T>>>> =
+            Arc::new(Mutex::new((0..nprocs).map(|_| None).collect()));
+        let f = Arc::new(f);
+
+        for (rank, &eager_rank) in eager.iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let results = Arc::clone(&results);
+            let f = Arc::clone(&f);
+            let host = self.hosts[rank].clone();
+            let body = move |ctx: &Ctx| {
+                let mut node = Node::new(ctx, rank, shared);
+                let r = f(&mut node);
+                results.lock().expect("results mutex poisoned")[rank] = Some(r);
+            };
+            if eager_rank {
+                self.sim.spawn_indexed("rank", rank, host, body);
+            } else {
+                self.sim.spawn_indexed_lazy("rank", rank, host, body);
+            }
+        }
+
+        let sim_outcome = self.sim.run_in_place().map_err(RunError::Sim)?;
+        let elapsed = sim_outcome
+            .proc_finish
+            .iter()
+            .map(|(_, t)| *t - SimTime::ZERO)
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let results = Arc::try_unwrap(results)
+            .map_err(|_| ())
+            .expect("result references leaked")
+            .into_inner()
+            .expect("results mutex poisoned");
+        let results: Vec<(usize, T)> = results
+            .into_iter()
+            .enumerate()
+            .filter_map(|(rank, r)| r.map(|r| (rank, r)))
+            .collect();
+
+        Ok(SparseOutcome {
+            results,
+            elapsed,
             sim: sim_outcome,
         })
     }
@@ -902,5 +1037,100 @@ mod tests {
         })
         .unwrap();
         assert_eq!(out.results[0], 3); // ranks 1 + 2 in either order
+    }
+
+    #[test]
+    fn sparse_run_materializes_only_messaged_ranks() {
+        use pdceval_simnet::host::HostSpec;
+        use pdceval_simnet::net::NetworkKind;
+        use pdceval_simnet::platform::PlatformSpec;
+        // 256 registered ranks, one active: only the two ranks it messages
+        // ever materialize; the other 253 never run and never report.
+        let platform = pdceval_simnet::registry::register_platform(PlatformSpec::homogeneous(
+            "Sparse ATM LAN",
+            "sparse-atm-256",
+            HostSpec::sun_ipx(),
+            NetworkKind::AtmLan.params(),
+            256,
+            false,
+        ))
+        .unwrap();
+        let mut h = SpmdHarness::new(platform, 256).unwrap();
+        let body = |node: &mut Node<'_>| match node.rank() {
+            0 => {
+                node.send(7, 1, Bytes::from_static(b"wake")).unwrap();
+                node.send(200, 1, Bytes::from_static(b"wake")).unwrap();
+                0
+            }
+            r => {
+                let m = node.recv(Some(0), Some(1)).unwrap();
+                m.data.len() + r
+            }
+        };
+        let out = h.run_sparse(ToolKind::P4, &[0], body).unwrap();
+        let ranks: Vec<usize> = out.results.iter().map(|(r, _)| *r).collect();
+        assert_eq!(ranks, vec![0, 7, 200]);
+        assert_eq!(
+            out.sim.proc_finish.len(),
+            3,
+            "only messaged ranks may materialize"
+        );
+        assert!(out.elapsed > SimDuration::ZERO);
+        // The harness stays reusable and sparse runs are deterministic.
+        let again = h.run_sparse(ToolKind::P4, &[0], body).unwrap();
+        assert_eq!(again.elapsed, out.elapsed);
+        assert_eq!(again.results, out.results);
+    }
+
+    #[test]
+    fn all_active_sparse_run_matches_the_dense_harness() {
+        // With every rank active, run_sparse spawns everything eagerly and
+        // must reproduce the dense harness's timing exactly.
+        let ring = |node: &mut Node<'_>| {
+            let next = (node.rank() + 1) % node.nprocs();
+            node.send(next, 5, Bytes::from_static(b"tok")).unwrap();
+            node.recv(None, Some(5)).unwrap().data.len()
+        };
+        let mut dense = SpmdHarness::new(Platform::SUN_ATM_LAN, 4).unwrap();
+        let d = dense.run(ToolKind::P4, ring).unwrap();
+        let mut sparse = SpmdHarness::new(Platform::SUN_ATM_LAN, 4).unwrap();
+        let s = sparse
+            .run_sparse(ToolKind::P4, &[0, 1, 2, 3], ring)
+            .unwrap();
+        assert_eq!(s.elapsed, d.elapsed);
+        assert_eq!(s.results.len(), 4);
+        for (rank, len) in &s.results {
+            assert_eq!(*len, 3, "rank {rank} got a wrong token");
+        }
+    }
+
+    #[test]
+    fn batched_trains_preserve_sparse_ring_timing() {
+        // The opt-in batched-train pricing must agree with the
+        // per-fragment model on an uncontended multi-fragment exchange.
+        let relay = |node: &mut Node<'_>| {
+            if node.rank() == 0 {
+                // ~4 ATM-MTU fragments of payload.
+                node.send(1, 2, Bytes::from(vec![0u8; 36_000])).unwrap();
+                0.0
+            } else {
+                node.recv(Some(0), Some(2)).unwrap();
+                node.now().as_millis_f64()
+            }
+        };
+        let mut plain = SpmdHarness::new(Platform::SUN_ATM_LAN, 2).unwrap();
+        let p = plain.run(ToolKind::P4, relay).unwrap();
+        let mut batched = SpmdHarness::new(Platform::SUN_ATM_LAN, 2).unwrap();
+        batched.set_batch_trains(true);
+        let b = batched.run(ToolKind::P4, relay).unwrap();
+        assert_eq!(b.elapsed, p.elapsed);
+        assert_eq!(b.results, p.results);
+        // Batching must collapse events: fewer scheduled events, same answer.
+        assert!(
+            b.sim.events_scheduled < p.sim.events_scheduled,
+            "batched {} vs per-fragment {}",
+            b.sim.events_scheduled,
+            p.sim.events_scheduled
+        );
     }
 }

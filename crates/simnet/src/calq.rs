@@ -1,0 +1,436 @@
+//! A bucketed calendar queue: the engine's event priority queue.
+//!
+//! The classic binary-heap event queue pays `O(log n)` comparisons plus an
+//! occasional reallocation per scheduled event. A calendar queue (Brown,
+//! CACM 1988) instead hashes each event by time into a circular array of
+//! *day* buckets of power-of-two width, and pops by walking the calendar
+//! from the current day forward. With a bucket width close to the mean
+//! inter-event gap, both `push` and `pop` are `O(1)` amortized, and the
+//! slot arena + free list below makes the steady state allocation-free.
+//!
+//! Ordering is **identical to the heap it replaces**: events pop in
+//! `(time, seq)` order, where `seq` is the caller-assigned insertion
+//! sequence number — same-time events come out FIFO. The engine's
+//! determinism guarantees rest on this, and `tests/proptests.rs` pins the
+//! equivalence against a `BinaryHeap` oracle.
+//!
+//! Internals, briefly:
+//!
+//! * **Arena.** Events live in a `Vec` of slots linked by `u32` indexes;
+//!   retired slots go on an intrusive free list, so pushes after warm-up
+//!   never allocate.
+//! * **Buckets.** Bucket `(t >> shift) & mask` holds every resident event
+//!   whose time maps there, kept sorted by `(time, seq)` with a tail
+//!   pointer: the common monotone append is `O(1)`.
+//! * **Day cursor.** `pop` scans forward from the last popped day; all
+//!   same-day events share one bucket, so the first head matching the
+//!   cursor's day is the global minimum. If a full lap finds nothing
+//!   (sparse far-future events), it jumps straight to the earliest head.
+//! * **Lazy resize.** When residency outgrows the calendar, it is rebuilt
+//!   with twice the buckets and a width re-fitted to the observed event
+//!   span; shrink never happens (peak capacity is retained for reuse).
+
+use crate::time::SimTime;
+
+/// Null link for the intrusive lists.
+const NIL: u32 = u32::MAX;
+
+/// Initial bucket count (power of two).
+const INITIAL_BUCKETS: usize = 16;
+
+/// Initial bucket width exponent: 2^10 ns ≈ 1 µs, the natural grain of
+/// the testbed models (software overheads and wire times are µs-scale).
+const INITIAL_SHIFT: u32 = 10;
+
+/// Bucket width exponent bounds used when a rebuild re-fits the width.
+const MIN_SHIFT: u32 = 4;
+const MAX_SHIFT: u32 = 36;
+
+struct Slot<T> {
+    time: SimTime,
+    seq: u64,
+    next: u32,
+    /// `None` while the slot sits on the free list.
+    value: Option<T>,
+}
+
+#[derive(Clone, Copy)]
+struct Bucket {
+    head: u32,
+    tail: u32,
+}
+
+impl Bucket {
+    const EMPTY: Bucket = Bucket {
+        head: NIL,
+        tail: NIL,
+    };
+}
+
+/// A calendar queue ordered by `(time, seq)`, FIFO within ties.
+///
+/// `seq` is assigned by the caller and must be unique; the engine uses its
+/// global event sequence counter. See the [module docs](self) for the data
+/// structure.
+pub struct CalendarQueue<T> {
+    slots: Vec<Slot<T>>,
+    free: u32,
+    buckets: Vec<Bucket>,
+    /// Bucket width is `1 << shift` nanoseconds.
+    shift: u32,
+    /// `buckets.len() - 1` (bucket count is a power of two).
+    mask: u64,
+    /// The day (`time >> shift`) the next pop starts scanning from.
+    /// Invariant: no resident event's day is earlier than this.
+    day: u64,
+    len: usize,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// Creates an empty queue with the initial calendar geometry.
+    pub fn new() -> CalendarQueue<T> {
+        CalendarQueue {
+            slots: Vec::new(),
+            free: NIL,
+            buckets: vec![Bucket::EMPTY; INITIAL_BUCKETS],
+            shift: INITIAL_SHIFT,
+            mask: (INITIAL_BUCKETS - 1) as u64,
+            day: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of resident events across all buckets.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all events (dropping their values) while keeping the arena
+    /// and calendar capacity for reuse.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free = NIL;
+        for b in &mut self.buckets {
+            *b = Bucket::EMPTY;
+        }
+        self.day = 0;
+        self.len = 0;
+    }
+
+    fn bucket_of(&self, time: SimTime) -> usize {
+        ((time.as_nanos() >> self.shift) & self.mask) as usize
+    }
+
+    fn alloc_slot(&mut self, time: SimTime, seq: u64, value: T) -> u32 {
+        if self.free != NIL {
+            let idx = self.free;
+            let slot = &mut self.slots[idx as usize];
+            self.free = slot.next;
+            slot.time = time;
+            slot.seq = seq;
+            slot.next = NIL;
+            slot.value = Some(value);
+            idx
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(Slot {
+                time,
+                seq,
+                next: NIL,
+                value: Some(value),
+            });
+            idx
+        }
+    }
+
+    /// Schedules `value` at `(time, seq)`.
+    ///
+    /// The caller must keep `seq` globally unique (the engine's sequence
+    /// counter does) and must not schedule before an already-popped time —
+    /// the same contract the engine's heap had.
+    pub fn push(&mut self, time: SimTime, seq: u64, value: T) {
+        if self.len + 1 > self.buckets.len() * 2 {
+            self.grow();
+        }
+        let idx = self.alloc_slot(time, seq, value);
+        self.insert_slot(idx);
+        self.len += 1;
+    }
+
+    /// Links an allocated slot into its bucket, keeping the bucket sorted
+    /// by `(time, seq)`.
+    fn insert_slot(&mut self, idx: u32) {
+        let (time, seq) = {
+            let s = &self.slots[idx as usize];
+            (s.time, s.seq)
+        };
+        let b = self.bucket_of(time);
+        let bucket = self.buckets[b];
+        if bucket.head == NIL {
+            self.buckets[b] = Bucket {
+                head: idx,
+                tail: idx,
+            };
+            return;
+        }
+        // Monotone fast path: at or after the bucket's current maximum.
+        let tail = &self.slots[bucket.tail as usize];
+        if (time, seq) >= (tail.time, tail.seq) {
+            self.slots[bucket.tail as usize].next = idx;
+            self.buckets[b].tail = idx;
+            return;
+        }
+        // Sorted insert (an earlier-epoch event landing in a bucket that
+        // already holds wrapped-around future events, or a same-day event
+        // scheduled behind a later one).
+        let mut prev = NIL;
+        let mut cur = bucket.head;
+        loop {
+            let s = &self.slots[cur as usize];
+            if (time, seq) < (s.time, s.seq) {
+                break;
+            }
+            prev = cur;
+            cur = s.next;
+            debug_assert!(cur != NIL, "tail check should have caught appends");
+        }
+        self.slots[idx as usize].next = cur;
+        if prev == NIL {
+            self.buckets[b].head = idx;
+        } else {
+            self.slots[prev as usize].next = idx;
+        }
+    }
+
+    /// Pops the earliest event in `(time, seq)` order.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        // Scan the calendar one day at a time. Every event of a given day
+        // lives in that day's single bucket (sorted), so the first head
+        // whose day matches the cursor is the global minimum.
+        for _ in 0..self.buckets.len() {
+            let b = (self.day & self.mask) as usize;
+            let head = self.buckets[b].head;
+            if head != NIL {
+                let s = &self.slots[head as usize];
+                if s.time.as_nanos() >> self.shift == self.day {
+                    return Some(self.unlink_head(b));
+                }
+            }
+            self.day += 1;
+        }
+        // A full lap found nothing in its day: the residents are all far
+        // in the future. Jump the cursor to the earliest head directly.
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            if bucket.head == NIL {
+                continue;
+            }
+            let s = &self.slots[bucket.head as usize];
+            if best.is_none_or(|(t, q, _)| (s.time, s.seq) < (t, q)) {
+                best = Some((s.time, s.seq, b));
+            }
+        }
+        let (time, _, b) = best.expect("non-empty queue with no bucket heads");
+        self.day = time.as_nanos() >> self.shift;
+        Some(self.unlink_head(b))
+    }
+
+    fn unlink_head(&mut self, b: usize) -> (SimTime, u64, T) {
+        let idx = self.buckets[b].head;
+        let slot = &mut self.slots[idx as usize];
+        let time = slot.time;
+        let seq = slot.seq;
+        let value = slot.value.take().expect("popping a free slot");
+        let next = slot.next;
+        self.buckets[b].head = next;
+        if next == NIL {
+            self.buckets[b].tail = NIL;
+        }
+        slot.next = self.free;
+        self.free = idx;
+        self.len -= 1;
+        (time, seq, value)
+    }
+
+    /// Doubles the bucket count and re-fits the bucket width to the
+    /// resident events' observed span, then relinks every slot. Amortized
+    /// over the pushes that triggered it.
+    fn grow(&mut self) {
+        // Collect resident slots (those still holding a value), sorted so
+        // re-insertion takes the monotone append path.
+        let mut resident: Vec<u32> = (0..self.slots.len() as u32)
+            .filter(|&i| self.slots[i as usize].value.is_some())
+            .collect();
+        resident.sort_unstable_by_key(|&i| {
+            let s = &self.slots[i as usize];
+            (s.time, s.seq)
+        });
+
+        let nbuckets = (self.buckets.len() * 2).max(INITIAL_BUCKETS);
+        self.buckets.clear();
+        self.buckets.resize(nbuckets, Bucket::EMPTY);
+        self.mask = (nbuckets - 1) as u64;
+
+        // Re-fit the width: aim for roughly one event per day bucket by
+        // matching the mean inter-event gap, clamped to sane widths.
+        if let (Some(&first), Some(&last)) = (resident.first(), resident.last()) {
+            let lo = self.slots[first as usize].time.as_nanos();
+            let hi = self.slots[last as usize].time.as_nanos();
+            let gap = ((hi - lo) / resident.len() as u64).max(1);
+            self.shift = gap.ilog2().clamp(MIN_SHIFT, MAX_SHIFT);
+            // The cursor must not pass the earliest resident's new day.
+            self.day = lo >> self.shift;
+        }
+
+        for idx in resident {
+            self.slots[idx as usize].next = NIL;
+            self.insert_slot(idx);
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for CalendarQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CalendarQueue")
+            .field("len", &self.len)
+            .field("buckets", &self.buckets.len())
+            .field("width_ns", &(1u64 << self.shift))
+            .field("day", &self.day)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::ZERO + crate::time::SimDuration::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new();
+        q.push(t(300), 0, "c");
+        q.push(t(100), 1, "a");
+        q.push(t(200), 2, "b");
+        assert_eq!(q.pop(), Some((t(100), 1, "a")));
+        assert_eq!(q.pop(), Some((t(200), 2, "b")));
+        assert_eq!(q.pop(), Some((t(300), 0, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_time_pops_fifo_by_seq() {
+        let mut q = CalendarQueue::new();
+        for seq in 0..100u64 {
+            q.push(t(5_000), seq, seq);
+        }
+        for seq in 0..100u64 {
+            assert_eq!(q.pop(), Some((t(5_000), seq, seq)));
+        }
+    }
+
+    #[test]
+    fn far_future_event_is_reached() {
+        let mut q = CalendarQueue::new();
+        // Day gap far beyond one calendar lap at the initial width.
+        q.push(t(1_000_000_000_000), 0, "far");
+        q.push(t(10), 1, "near");
+        assert_eq!(q.pop(), Some((t(10), 1, "near")));
+        assert_eq!(q.pop(), Some((t(1_000_000_000_000), 0, "far")));
+    }
+
+    #[test]
+    fn growth_preserves_order() {
+        let mut q = CalendarQueue::new();
+        let mut heap = BinaryHeap::new();
+        // Enough events to force several rebuilds, spread over a wide span
+        // with clusters of ties.
+        let mut seq = 0u64;
+        for i in 0..500u64 {
+            let time = (i * 7919) % 100_000;
+            for _ in 0..1 + (i % 3) {
+                q.push(t(time), seq, seq);
+                heap.push(Reverse((t(time), seq)));
+                seq += 1;
+            }
+        }
+        while let Some(Reverse((time, s))) = heap.pop() {
+            assert_eq!(q.pop(), Some((time, s, s)));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_with_advancing_clock() {
+        // Mirrors the engine's use: pops advance the clock, pushes are
+        // never before it.
+        let mut q = CalendarQueue::new();
+        let mut oracle: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut clock = 0u64;
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        let mut next = |m: u64| {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (rng >> 33) % m
+        };
+        for _ in 0..5_000 {
+            if next(3) > 0 || oracle.is_empty() {
+                let at = clock + next(50_000);
+                q.push(t(at), seq, seq);
+                oracle.push(Reverse((t(at), seq)));
+                seq += 1;
+            } else {
+                let Reverse((time, s)) = oracle.pop().unwrap();
+                assert_eq!(q.pop(), Some((time, s, s)));
+                clock = time.as_nanos();
+            }
+        }
+        while let Some(Reverse((time, s))) = oracle.pop() {
+            assert_eq!(q.pop(), Some((time, s, s)));
+        }
+    }
+
+    #[test]
+    fn clear_resets_for_reuse() {
+        let mut q = CalendarQueue::new();
+        for i in 0..100u64 {
+            q.push(t(i * 1000), i, i);
+        }
+        q.clear();
+        assert!(q.is_empty());
+        q.push(t(5), 0, 42);
+        assert_eq!(q.pop(), Some((t(5), 0, 42)));
+    }
+
+    #[test]
+    fn steady_state_reuses_slots() {
+        let mut q = CalendarQueue::new();
+        for (seq, round) in (0..1_000u64).enumerate() {
+            q.push(t(round * 100), seq as u64, ());
+            q.pop().unwrap();
+        }
+        // One resident event at a time: the arena never grew past the
+        // handful the free list cycles through.
+        assert!(q.slots.len() <= 2, "arena grew to {}", q.slots.len());
+    }
+}

@@ -57,6 +57,7 @@
 //! assert_eq!(outcome.end_time.as_micros_f64(), 100.0);
 //! ```
 
+use crate::calq::CalendarQueue;
 use crate::envelope::{Envelope, Matcher};
 use crate::error::SimError;
 use crate::flight::{Flight, Stage, TransmitPlan};
@@ -68,8 +69,7 @@ use crate::sched::{spawn_job, HandoffSlot, ParkCell};
 use crate::time::{SimDuration, SimTime};
 use crate::work::Work;
 use std::cell::{Cell, UnsafeCell};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -104,34 +104,13 @@ struct SimAborted;
 // ---------------------------------------------------------------------------
 
 #[derive(Debug)]
-struct Event {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
-#[derive(Debug)]
 enum EventKind {
     Wake(ProcId),
     ServiceDone(ResourceId),
     FlightStage(usize),
+    /// Direct delivery of a pure-latency single-fragment transmission
+    /// (flight-machinery bypass); the payload is the pending-slot index.
+    Deliver(usize),
 }
 
 // ---------------------------------------------------------------------------
@@ -199,15 +178,36 @@ impl SimShared {
 
 struct ProcSlot {
     name: LazyName,
-    handoff: Arc<ProcHandoff>,
-    /// The worker thread's wake latch.
-    worker: Arc<ParkCell>,
+    body: ProcBody,
     state: ProcState,
     finished_at: SimTime,
 }
 
+/// How a process slot is backed: lazily-registered ranks carry only their
+/// closure until first touched, materialized ranks own a worker thread.
+enum ProcBody {
+    /// Registered via [`Simulation::spawn_lazy`] and not yet touched: no
+    /// worker thread, no resume slot, no mailbox — just the closure and
+    /// host, boxed so a dormant rank costs a few pointers.
+    Dormant(Option<Box<DeferredSpawn>>),
+    /// A live process: worker thread parked on its resume slot.
+    Live {
+        handoff: Arc<ProcHandoff>,
+        /// The worker thread's wake latch.
+        worker: Arc<ParkCell>,
+    },
+}
+
+/// The deferred payload of a dormant rank.
+struct DeferredSpawn {
+    host: HostSpec,
+    f: Box<dyn FnOnce(&Ctx) + Send + 'static>,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ProcState {
+    /// Lazily registered, never touched; free to the scheduler.
+    Dormant,
     Ready,
     Blocked,
     Finished,
@@ -217,15 +217,26 @@ enum ProcState {
 struct Core {
     resources: Vec<Resource>,
     procs: Vec<ProcSlot>,
-    mailboxes: Vec<Mailbox>,
+    /// One mailbox per *materialized* process; dormant ranks carry `None`
+    /// (a pointer per rank) until their first delivery.
+    mailboxes: Vec<Option<Box<Mailbox>>>,
     flights: Vec<Option<Flight>>,
     free_flights: Vec<usize>,
     pendings: Vec<Option<Pending>>,
     free_pendings: Vec<usize>,
-    heap: BinaryHeap<Reverse<Event>>,
+    queue: CalendarQueue<EventKind>,
     seq: u64,
     clock: SimTime,
     runnable: VecDeque<(ProcId, ResumeKind)>,
+    /// Materialized processes not yet `Finished`. Kept as a counter so the
+    /// per-event completion check is O(1) instead of an O(procs) scan —
+    /// dormant ranks never count (an untouched rank does not hold the run
+    /// open).
+    unfinished: usize,
+    /// In-flight messages addressed to a rank that was dormant at send
+    /// time. Each holds the run open (the rank is *about to* materialize)
+    /// even if every live process has finished. Always 0 in eager runs.
+    dormant_inflight: usize,
     messages_delivered: u64,
     wire_bytes_delivered: u64,
     events_scheduled: u64,
@@ -241,6 +252,8 @@ struct Core {
 struct Pending {
     remaining: usize,
     env: Option<Envelope>,
+    /// Whether this message counted into `dormant_inflight` at send time.
+    to_dormant: bool,
 }
 
 impl Core {
@@ -253,10 +266,12 @@ impl Core {
             free_flights: Vec::new(),
             pendings: Vec::new(),
             free_pendings: Vec::new(),
-            heap: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             seq: 0,
             clock: SimTime::ZERO,
             runnable: VecDeque::new(),
+            unfinished: 0,
+            dormant_inflight: 0,
             messages_delivered: 0,
             wire_bytes_delivered: 0,
             events_scheduled: 0,
@@ -281,10 +296,12 @@ impl Core {
         self.free_flights.clear();
         self.pendings.clear();
         self.free_pendings.clear();
-        self.heap.clear();
+        self.queue.clear();
         self.seq = 0;
         self.clock = SimTime::ZERO;
         self.runnable.clear();
+        self.unfinished = 0;
+        self.dormant_inflight = 0;
         self.messages_delivered = 0;
         self.wire_bytes_delivered = 0;
         self.events_scheduled = 0;
@@ -299,13 +316,9 @@ impl Core {
         debug_assert!(at >= self.clock, "event scheduled in the past");
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Event {
-            time: at,
-            seq,
-            kind,
-        }));
+        self.queue.push(at, seq, kind);
         self.events_scheduled += 1;
-        let depth = self.heap.len() as u64;
+        let depth = self.queue.len() as u64;
         if depth > self.peak_queue_depth {
             self.peak_queue_depth = depth;
         }
@@ -332,48 +345,80 @@ impl Core {
     }
 
     fn all_finished(&self) -> bool {
-        self.procs.iter().all(|p| p.state == ProcState::Finished)
+        self.unfinished == 0 && self.dormant_inflight == 0
     }
 
-    fn start_transmit(&mut self, env: Envelope, plan: TransmitPlan) {
-        let fragments = plan.into_fragments();
-        if fragments.is_empty() {
+    fn start_transmit(&mut self, shared: &Arc<SimShared>, env: Envelope, plan: TransmitPlan) {
+        let to_dormant = self.procs[env.dst.index()].state == ProcState::Dormant;
+        if to_dormant {
+            self.dormant_inflight += 1;
+        }
+        let trains = plan.into_trains();
+        if trains.is_empty() {
             // Instant delivery.
             let pending = self.alloc_pending(Pending {
                 remaining: 1,
                 env: Some(env),
+                to_dormant,
             });
-            self.complete_pending(pending);
+            self.complete_pending(shared, pending);
             return;
         }
         let pending = self.alloc_pending(Pending {
-            remaining: fragments.len(),
+            remaining: trains.len(),
             env: Some(env),
+            to_dormant,
         });
-        for stages in fragments {
+        // Pure-latency single-fragment sends (the dominant shape of
+        // latency-only models and the engine microbenches) skip the
+        // flight machinery: one `Deliver` event lands the envelope
+        // directly, with the same virtual time and event-sequence
+        // behavior the single-stage flight would have had.
+        if trains.len() == 1 && trains[0].count == 1 && trains[0].stages.len() == 1 {
+            if let Stage::Latency(d) = trains[0].stages[0] {
+                if d.is_zero() {
+                    self.complete_pending(shared, pending);
+                } else {
+                    self.schedule(self.clock + d, EventKind::Deliver(pending));
+                }
+                return;
+            }
+        }
+        for train in trains {
             let flight = Flight {
-                stages: stages.into(),
+                stages: train.stages.into(),
                 pending,
+                count: train.count,
+                lag: SimDuration::ZERO,
             };
             let idx = self.alloc_flight(flight);
-            self.advance_flight(idx);
+            self.advance_flight(shared, idx);
         }
     }
 
-    fn advance_flight(&mut self, idx: usize) {
+    fn advance_flight(&mut self, shared: &Arc<SimShared>, idx: usize) {
         loop {
             let flight = self.flights[idx]
                 .as_mut()
                 .expect("advancing a retired flight");
             match flight.stages.pop_front() {
                 None => {
+                    // The head has cleared the last stage. A train's tail
+                    // runs `lag` behind it — delivery is when the tail
+                    // lands, so the flight idles once more for the lag.
+                    if !flight.lag.is_zero() {
+                        let lag = std::mem::replace(&mut flight.lag, SimDuration::ZERO);
+                        self.schedule(self.clock + lag, EventKind::FlightStage(idx));
+                        return;
+                    }
                     let pending = flight.pending;
                     self.flights[idx] = None;
                     self.free_flights.push(idx);
-                    self.complete_pending(pending);
+                    self.complete_pending(shared, pending);
                     return;
                 }
                 Some(Stage::Latency(d)) => {
+                    // Latency shifts head and tail alike: lag is preserved.
                     if d.is_zero() {
                         continue;
                     }
@@ -381,8 +426,31 @@ impl Core {
                     return;
                 }
                 Some(Stage::Serve { resource, service }) => {
-                    let started =
-                        self.resources[resource.index()].enqueue(Waiter::Flight(idx), service);
+                    let started = if flight.count == 1 && flight.lag.is_zero() {
+                        // Plain fragment: the historical fast path.
+                        self.resources[resource.index()].enqueue(Waiter::Flight(idx), service)
+                    } else {
+                        // Batched train: the server releases the head
+                        // after one `service`, then stays occupied while
+                        // the tail clears. The tail leaves `(count-1)`
+                        // services after the head — unless the incoming
+                        // lag is already wider (an upstream bottleneck
+                        // feeds fragments in slower than this server
+                        // drains them, leaving idle gaps), in which case
+                        // the spread carries through unchanged.
+                        let count = flight.count as u64;
+                        let lag_in = flight.lag;
+                        let tail_spread = service * (count - 1);
+                        let lag_out = lag_in.max(tail_spread);
+                        flight.lag = lag_out;
+                        self.resources[resource.index()].enqueue_train(
+                            Waiter::Flight(idx),
+                            service,
+                            lag_out,
+                            service * count,
+                            count,
+                        )
+                    };
                     if let Some(d) = started {
                         self.schedule(self.clock + d, EventKind::ServiceDone(resource));
                     }
@@ -392,7 +460,7 @@ impl Core {
         }
     }
 
-    fn complete_pending(&mut self, idx: usize) {
+    fn complete_pending(&mut self, shared: &Arc<SimShared>, idx: usize) {
         let done = {
             let p = self.pendings[idx].as_mut().expect("retired pending");
             p.remaining -= 1;
@@ -401,17 +469,32 @@ impl Core {
         if done {
             let mut p = self.pendings[idx].take().expect("retired pending");
             self.free_pendings.push(idx);
+            if p.to_dormant {
+                self.dormant_inflight -= 1;
+            }
             let mut env = p.env.take().expect("pending without envelope");
             env.delivered_at = self.clock;
-            self.deliver(env);
+            self.deliver(shared, env);
         }
     }
 
-    fn deliver(&mut self, env: Envelope) {
+    fn deliver(&mut self, shared: &Arc<SimShared>, env: Envelope) {
         self.messages_delivered += 1;
         self.wire_bytes_delivered += env.wire_bytes;
         let dst = env.dst;
-        let mbox = &mut self.mailboxes[dst.index()];
+        if self.procs[dst.index()].state == ProcState::Dormant {
+            // First touch of a lazily-registered rank: materialize it (its
+            // closure starts executing now, at the delivery time) and give
+            // it a mailbox holding this message.
+            materialize(shared, self, dst);
+            let mbox =
+                self.mailboxes[dst.index()].get_or_insert_with(|| Box::new(Mailbox::default()));
+            mbox.push(env);
+            return;
+        }
+        let mbox = self.mailboxes[dst.index()]
+            .as_mut()
+            .expect("live process without a mailbox");
         if let Some(m) = mbox.waiting {
             // Fast path: a receiver is already blocked on this mailbox.
             // When it blocked, nothing queued matched its matcher (or it
@@ -428,7 +511,7 @@ impl Core {
         mbox.push(env);
     }
 
-    fn dispatch(&mut self, kind: EventKind) {
+    fn dispatch(&mut self, shared: &Arc<SimShared>, kind: EventKind) {
         match kind {
             EventKind::Wake(pid) => {
                 self.runnable.push_back((pid, ResumeKind::Ok));
@@ -439,16 +522,22 @@ impl Core {
                     self.schedule(self.clock + d, EventKind::ServiceDone(rid));
                 }
                 match done {
-                    Waiter::Proc(pid) => {
+                    Some(Waiter::Proc(pid)) => {
                         self.runnable.push_back((pid, ResumeKind::Ok));
                     }
-                    Waiter::Flight(idx) => {
-                        self.advance_flight(idx);
+                    Some(Waiter::Flight(idx)) => {
+                        self.advance_flight(shared, idx);
                     }
+                    // A departed train's tail finished draining; the
+                    // server is simply free again.
+                    None => {}
                 }
             }
             EventKind::FlightStage(idx) => {
-                self.advance_flight(idx);
+                self.advance_flight(shared, idx);
+            }
+            EventKind::Deliver(pending) => {
+                self.complete_pending(shared, pending);
             }
         }
     }
@@ -459,7 +548,7 @@ impl Core {
 /// been handed off (to another process, or to `run()` on completion /
 /// deadlock), in which case `None` is returned and the caller must not
 /// touch the core again until re-granted the baton.
-fn advance(shared: &SimShared, core: &mut Core, me: Option<ProcId>) -> Option<Resume> {
+fn advance(shared: &Arc<SimShared>, core: &mut Core, me: Option<ProcId>) -> Option<Resume> {
     loop {
         if let Some((pid, kind)) = core.runnable.pop_front() {
             core.procs[pid.index()].state = ProcState::Ready;
@@ -474,9 +563,11 @@ fn advance(shared: &SimShared, core: &mut Core, me: Option<ProcId>) -> Option<Re
             }
             // Direct handoff: resume slot + unpark, baton goes with it.
             core.direct_handoffs += 1;
-            let slot = &core.procs[pid.index()];
-            slot.handoff.resume.put(resume);
-            slot.worker.unpark();
+            let ProcBody::Live { handoff, worker } = &core.procs[pid.index()].body else {
+                unreachable!("runnable process has no worker");
+            };
+            handoff.resume.put(resume);
+            worker.unpark();
             return None;
         }
         if core.all_finished() {
@@ -489,11 +580,11 @@ fn advance(shared: &SimShared, core: &mut Core, me: Option<ProcId>) -> Option<Re
             shared.finish_run(core, Ok(end));
             return None;
         }
-        match core.heap.pop() {
-            Some(Reverse(ev)) => {
-                debug_assert!(ev.time >= core.clock);
-                core.clock = ev.time;
-                core.dispatch(ev.kind);
+        match core.queue.pop() {
+            Some((time, _seq, kind)) => {
+                debug_assert!(time >= core.clock);
+                core.clock = time;
+                core.dispatch(shared, kind);
             }
             None => {
                 let blocked = core
@@ -511,6 +602,108 @@ fn advance(shared: &SimShared, core: &mut Core, me: Option<ProcId>) -> Option<Re
             }
         }
     }
+}
+
+/// Builds the worker-pool job hosting one simulated process: wait for the
+/// start resume, run the closure, then finish or report the failure. Both
+/// the eager spawn path and lazy materialization go through here.
+fn proc_job(
+    shared: Arc<SimShared>,
+    pid: ProcId,
+    host: HostSpec,
+    handoff: Arc<ProcHandoff>,
+    f: Box<dyn FnOnce(&Ctx) + Send + 'static>,
+) -> crate::sched::Job {
+    shared.live.fetch_add(1, Ordering::Relaxed);
+    Box::new(move |park| {
+        let ctx = Ctx {
+            pid,
+            host,
+            shared: Arc::clone(&shared),
+            handoff,
+            park: Arc::clone(park),
+            now: Cell::new(SimTime::ZERO),
+        };
+        // Wait for the engine's start signal before running user code.
+        let first = ctx.wait_resume();
+        match first.kind {
+            ResumeKind::Abort => {
+                shared.retire();
+                return;
+            }
+            _ => ctx.now.set(first.time),
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+        match result {
+            Ok(()) => {
+                // SAFETY: the finishing process holds the baton.
+                let core = unsafe { shared.core_mut() };
+                let slot = &mut core.procs[pid.index()];
+                slot.state = ProcState::Finished;
+                slot.finished_at = core.clock;
+                core.unfinished -= 1;
+                advance(&shared, core, None);
+            }
+            Err(payload) => {
+                if payload.downcast_ref::<SimAborted>().is_some() {
+                    // Quiet teardown: the engine already gave up on us.
+                } else if let Some(crash) = payload.downcast_ref::<crate::perturb::InjectedCrash>()
+                {
+                    // An injected rank crash is a modeled fault, not a
+                    // bug: end the run with a structured error so no
+                    // surviving rank can deadlock on the dead one.
+                    // SAFETY: the crashing process held the baton.
+                    let core = unsafe { shared.core_mut() };
+                    core.procs[pid.index()].state = ProcState::Finished;
+                    core.unfinished -= 1;
+                    let err = SimError::InjectedCrash {
+                        name: core.procs[pid.index()].name.render(),
+                        at: crash.at,
+                    };
+                    shared.finish_run(core, Err(err));
+                } else {
+                    // SAFETY: the panicking process held the baton.
+                    let core = unsafe { shared.core_mut() };
+                    core.procs[pid.index()].state = ProcState::Finished;
+                    core.unfinished -= 1;
+                    let err = SimError::ProcPanic {
+                        name: core.procs[pid.index()].name.render(),
+                        message: panic_message(payload.as_ref()),
+                    };
+                    shared.finish_run(core, Err(err));
+                }
+            }
+        }
+        drop(ctx); // Captured state is gone before we report retirement.
+        shared.retire();
+    })
+}
+
+/// Materializes a dormant rank on first touch: leases a worker thread for
+/// its closure, creates its resume slot, and queues its start resume so it
+/// begins executing at the current virtual time. Callers must hold the
+/// baton.
+fn materialize(shared: &Arc<SimShared>, core: &mut Core, pid: ProcId) {
+    let spawn = match &mut core.procs[pid.index()].body {
+        ProcBody::Dormant(d) => d.take().expect("materializing a rank twice"),
+        ProcBody::Live { .. } => unreachable!("materializing a live process"),
+    };
+    let handoff = Arc::new(ProcHandoff::default());
+    let lease = spawn_job(proc_job(
+        Arc::clone(shared),
+        pid,
+        spawn.host,
+        Arc::clone(&handoff),
+        spawn.f,
+    ));
+    let slot = &mut core.procs[pid.index()];
+    slot.body = ProcBody::Live {
+        handoff,
+        worker: lease.unparker(),
+    };
+    slot.state = ProcState::Ready;
+    core.unfinished += 1;
+    core.runnable.push_back((pid, ResumeKind::Ok));
 }
 
 // ---------------------------------------------------------------------------
@@ -633,7 +826,7 @@ impl Ctx {
         // SAFETY: the running process holds the baton.
         let core = unsafe { self.shared.core_mut() };
         env.sent_at = core.clock;
-        core.start_transmit(env, plan);
+        core.start_transmit(&self.shared, env, plan);
     }
 
     /// Blocks until a message matching `m` is available, then removes and
@@ -644,10 +837,13 @@ impl Ctx {
         {
             // SAFETY: the running process holds the baton.
             let core = unsafe { self.shared.core_mut() };
-            if let Some(env) = core.mailboxes[self.pid.index()].take_match(&m) {
+            let mbox = core.mailboxes[self.pid.index()]
+                .as_mut()
+                .expect("running process without a mailbox");
+            if let Some(env) = mbox.take_match(&m) {
                 return env;
             }
-            core.mailboxes[self.pid.index()].waiting = Some(m);
+            mbox.waiting = Some(m);
             core.procs[self.pid.index()].state = ProcState::Blocked;
         }
         match self.apply(self.block()) {
@@ -661,7 +857,10 @@ impl Ctx {
     pub fn try_recv(&self, m: Matcher) -> Option<Envelope> {
         // SAFETY: the running process holds the baton.
         let core = unsafe { self.shared.core_mut() };
-        core.mailboxes[self.pid.index()].take_match(&m)
+        core.mailboxes[self.pid.index()]
+            .as_mut()
+            .expect("running process without a mailbox")
+            .take_match(&m)
     }
 }
 
@@ -766,77 +965,79 @@ impl Simulation {
         let pid = ProcId(self.core().procs.len() as u32);
         let handoff = Arc::new(ProcHandoff::default());
         let shared = Arc::clone(&self.shared);
-        shared.live.fetch_add(1, Ordering::Relaxed);
-        let job_handoff = Arc::clone(&handoff);
-        let lease = spawn_job(Box::new(move |park| {
-            let ctx = Ctx {
-                pid,
-                host,
-                shared: Arc::clone(&shared),
-                handoff: job_handoff,
-                park: Arc::clone(park),
-                now: Cell::new(SimTime::ZERO),
-            };
-            // Wait for the engine's start signal before running user code.
-            let first = ctx.wait_resume();
-            match first.kind {
-                ResumeKind::Abort => {
-                    shared.retire();
-                    return;
-                }
-                _ => ctx.now.set(first.time),
-            }
-            let result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
-            match result {
-                Ok(()) => {
-                    // SAFETY: the finishing process holds the baton.
-                    let core = unsafe { shared.core_mut() };
-                    let slot = &mut core.procs[pid.index()];
-                    slot.state = ProcState::Finished;
-                    slot.finished_at = core.clock;
-                    advance(&shared, core, None);
-                }
-                Err(payload) => {
-                    if payload.downcast_ref::<SimAborted>().is_some() {
-                        // Quiet teardown: the engine already gave up on us.
-                    } else if let Some(crash) =
-                        payload.downcast_ref::<crate::perturb::InjectedCrash>()
-                    {
-                        // An injected rank crash is a modeled fault, not a
-                        // bug: end the run with a structured error so no
-                        // surviving rank can deadlock on the dead one.
-                        // SAFETY: the crashing process held the baton.
-                        let core = unsafe { shared.core_mut() };
-                        core.procs[pid.index()].state = ProcState::Finished;
-                        let err = SimError::InjectedCrash {
-                            name: core.procs[pid.index()].name.render(),
-                            at: crash.at,
-                        };
-                        shared.finish_run(core, Err(err));
-                    } else {
-                        // SAFETY: the panicking process held the baton.
-                        let core = unsafe { shared.core_mut() };
-                        core.procs[pid.index()].state = ProcState::Finished;
-                        let err = SimError::ProcPanic {
-                            name: core.procs[pid.index()].name.render(),
-                            message: panic_message(payload.as_ref()),
-                        };
-                        shared.finish_run(core, Err(err));
-                    }
-                }
-            }
-            drop(ctx); // Captured state is gone before we report retirement.
-            shared.retire();
-        }));
+        let lease = spawn_job(proc_job(
+            shared,
+            pid,
+            host,
+            Arc::clone(&handoff),
+            Box::new(f),
+        ));
         let core = self.core();
         core.procs.push(ProcSlot {
             name,
-            handoff,
-            worker: lease.unparker(),
+            body: ProcBody::Live {
+                handoff,
+                worker: lease.unparker(),
+            },
             state: ProcState::Ready,
             finished_at: SimTime::ZERO,
         });
-        core.mailboxes.push(Mailbox::default());
+        core.unfinished += 1;
+        core.mailboxes.push(Some(Box::new(Mailbox::default())));
+        pid
+    }
+
+    /// Registers a process *lazily*: no worker thread, resume slot or
+    /// mailbox is created until the process is first touched by a message
+    /// delivery. A dormant rank costs a name, a boxed closure and two
+    /// pointers — a 10^6-rank scenario in which only 10^3 ranks ever see
+    /// traffic prices like a 10^3-rank one.
+    ///
+    /// Semantics differ from [`Simulation::spawn`] in exactly one way: the
+    /// closure starts executing at the virtual time of its first incoming
+    /// message, not at t = 0. That is the natural shape of a *reactive*
+    /// rank — one whose first action is to block on `recv`. Ranks that act
+    /// spontaneously (send or compute before any receive) must be spawned
+    /// eagerly. A dormant rank that is never messaged never runs: it does
+    /// not hold the run open, is not reported in
+    /// [`SimOutcome::proc_finish`], and costs the scheduler nothing.
+    pub fn spawn_lazy<F>(&mut self, name: &str, host: HostSpec, f: F) -> ProcId
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        self.spawn_lazy_inner(LazyName::Owned(name.into()), host, Box::new(f))
+    }
+
+    /// [`Simulation::spawn_lazy`] with an interned `{prefix}{index}` name:
+    /// the bulk-registration fast path for sparse SPMD topologies.
+    pub fn spawn_indexed_lazy<F>(
+        &mut self,
+        prefix: &'static str,
+        index: usize,
+        host: HostSpec,
+        f: F,
+    ) -> ProcId
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        self.spawn_lazy_inner(LazyName::Indexed(prefix, index as u32), host, Box::new(f))
+    }
+
+    fn spawn_lazy_inner(
+        &mut self,
+        name: LazyName,
+        host: HostSpec,
+        f: Box<dyn FnOnce(&Ctx) + Send + 'static>,
+    ) -> ProcId {
+        let core = self.core();
+        let pid = ProcId(core.procs.len() as u32);
+        core.procs.push(ProcSlot {
+            name,
+            body: ProcBody::Dormant(Some(Box::new(DeferredSpawn { host, f }))),
+            state: ProcState::Dormant,
+            finished_at: SimTime::ZERO,
+        });
+        core.mailboxes.push(None);
         pid
     }
 
@@ -888,9 +1089,12 @@ impl Simulation {
         {
             let shared = Arc::clone(&self.shared);
             let core = self.core();
-            // All processes start ready at t = 0, in spawn order.
+            // All eagerly-spawned processes start ready at t = 0, in spawn
+            // order; dormant ranks wait for their first delivery.
             for i in 0..core.procs.len() {
-                core.runnable.push_back((ProcId(i as u32), ResumeKind::Ok));
+                if core.procs[i].state != ProcState::Dormant {
+                    core.runnable.push_back((ProcId(i as u32), ResumeKind::Ok));
+                }
             }
             advance(&shared, core, None);
         }
@@ -904,15 +1108,7 @@ impl Simulation {
         {
             // SAFETY: the done signal passed the baton back to us.
             let core = unsafe { self.shared.core_mut() };
-            for slot in &core.procs {
-                if slot.state != ProcState::Finished {
-                    slot.handoff.resume.put(Resume {
-                        time: core.clock,
-                        kind: ResumeKind::Abort,
-                    });
-                    slot.worker.unpark();
-                }
-            }
+            abort_unfinished(core);
         }
         // Wait until every job has fully unwound (dropped its closure) —
         // the caller may rely on being the sole owner of captured Arcs.
@@ -924,9 +1120,13 @@ impl Simulation {
         let result = core.end.take().expect("run ended without a result");
         result.map(|end_time| SimOutcome {
             end_time,
+            // Never-materialized ranks never ran and are omitted: a sparse
+            // million-rank run reports only the ranks that took part
+            // (rendering a million names would dwarf the run itself).
             proc_finish: core
                 .procs
                 .iter()
+                .filter(|p| p.state != ProcState::Dormant)
                 .map(|p| (p.name.render(), p.finished_at))
                 .collect(),
             resources: core
@@ -961,19 +1161,30 @@ impl Drop for Simulation {
             // SAFETY: `&mut self` with no run in progress (`run()` consumes
             // the simulation), so this thread holds the baton.
             let core = unsafe { self.shared.core_mut() };
-            for slot in &core.procs {
-                if slot.state != ProcState::Finished {
-                    slot.handoff.resume.put(Resume {
-                        time: core.clock,
-                        kind: ResumeKind::Abort,
-                    });
-                    slot.worker.unpark();
-                }
-            }
+            abort_unfinished(core);
         }
         while self.shared.live.load(Ordering::Acquire) != 0 {
             park.park();
         }
+    }
+}
+
+/// Sends the abort resume to every live-but-unfinished process so its job
+/// unwinds and releases captured state. Dormant ranks have no thread to
+/// abort — their boxed closures simply drop with the core.
+fn abort_unfinished(core: &Core) {
+    for slot in &core.procs {
+        if slot.state == ProcState::Finished || slot.state == ProcState::Dormant {
+            continue;
+        }
+        let ProcBody::Live { handoff, worker } = &slot.body else {
+            continue;
+        };
+        handoff.resume.put(Resume {
+            time: core.clock,
+            kind: ResumeKind::Abort,
+        });
+        worker.unpark();
     }
 }
 
@@ -1008,9 +1219,9 @@ pub struct SimOutcome {
     pub messages_delivered: u64,
     /// Total wire bytes across all delivered messages.
     pub wire_bytes_delivered: u64,
-    /// Events pushed onto the event heap over the run.
+    /// Events pushed onto the calendar queue over the run.
     pub events_scheduled: u64,
-    /// High-water mark of the event heap depth.
+    /// High-water mark of resident events across all calendar buckets.
     pub peak_queue_depth: u64,
     /// Blocking resumes that crossed threads (resume slot + unpark).
     pub direct_handoffs: u64,
@@ -1136,6 +1347,109 @@ mod tests {
             assert_eq!(env.delivered_at, SimTime::ZERO + us(50));
         });
         sim.run().unwrap();
+    }
+
+    #[test]
+    fn batched_train_matches_per_fragment_pipeline() {
+        // The same 4-fragment, two-stage pipeline as
+        // `fragments_pipeline_through_stages`, priced as one batched train:
+        // delivery time and every resource counter must be identical.
+        use crate::flight::Train;
+        let mut sim = Simulation::new();
+        let a = sim.add_resource("stage-a");
+        let b = sim.add_resource("stage-b");
+        sim.spawn("tx", HostSpec::sun_ipx(), move |ctx| {
+            let stages = vec![
+                Stage::Serve {
+                    resource: a,
+                    service: us(10),
+                },
+                Stage::Serve {
+                    resource: b,
+                    service: us(10),
+                },
+            ];
+            let env = Envelope::new(ctx.pid(), ProcId(1), 0, Bytes::new());
+            ctx.transmit(env, TransmitPlan::trains(vec![Train::new(stages, 4)]));
+        });
+        sim.spawn("rx", HostSpec::sun_ipx(), |ctx| {
+            let env = ctx.recv(Matcher::any());
+            assert_eq!(env.delivered_at, SimTime::ZERO + us(50));
+        });
+        let out = sim.run().unwrap();
+        for stats in &out.resources {
+            assert_eq!(stats.served, 4, "{}", stats.name);
+            assert_eq!(stats.busy_time, us(40), "{}", stats.name);
+        }
+    }
+
+    #[test]
+    fn switched_train_delivers_at_k_plus_one_services() {
+        // k fragments over tx-serve + switch latency + rx-serve with equal
+        // service w: pipelined delivery = (k + 1) w + L.
+        use crate::flight::Train;
+        let mut sim = Simulation::new();
+        let tx = sim.add_resource("tx-port");
+        let rx = sim.add_resource("rx-port");
+        sim.spawn("tx", HostSpec::sun_ipx(), move |ctx| {
+            let stages = vec![
+                Stage::Serve {
+                    resource: tx,
+                    service: us(10),
+                },
+                Stage::Latency(us(7)),
+                Stage::Serve {
+                    resource: rx,
+                    service: us(10),
+                },
+            ];
+            let env = Envelope::new(ctx.pid(), ProcId(1), 0, Bytes::new());
+            ctx.transmit(env, TransmitPlan::trains(vec![Train::new(stages, 2)]));
+        });
+        sim.spawn("rx", HostSpec::sun_ipx(), |ctx| {
+            let env = ctx.recv(Matcher::any());
+            // (2 + 1) * 10 + 7
+            assert_eq!(env.delivered_at, SimTime::ZERO + us(37));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn train_drain_holds_the_wire_against_later_traffic() {
+        // A 3-fragment train departs the shared wire head-first at t = 10µs
+        // but keeps the wire busy until its tail clears at 30µs; a competing
+        // single-fragment message queued behind it serves 30→40µs.
+        use crate::flight::Train;
+        let mut sim = Simulation::new();
+        let wire = sim.add_resource("wire");
+        sim.spawn("train-tx", HostSpec::sun_ipx(), move |ctx| {
+            let stages = vec![Stage::Serve {
+                resource: wire,
+                service: us(10),
+            }];
+            let env = Envelope::new(ctx.pid(), ProcId(2), 1, Bytes::new());
+            ctx.transmit(env, TransmitPlan::trains(vec![Train::new(stages, 3)]));
+        });
+        sim.spawn("single-tx", HostSpec::sun_ipx(), move |ctx| {
+            let env = Envelope::new(ctx.pid(), ProcId(2), 2, Bytes::new());
+            ctx.transmit(
+                env,
+                TransmitPlan::single(vec![Stage::Serve {
+                    resource: wire,
+                    service: us(10),
+                }]),
+            );
+        });
+        sim.spawn("rx", HostSpec::sun_ipx(), |ctx| {
+            let train = ctx.recv(Matcher::tagged(1));
+            assert_eq!(train.delivered_at, SimTime::ZERO + us(30));
+            let single = ctx.recv(Matcher::tagged(2));
+            assert_eq!(single.delivered_at, SimTime::ZERO + us(40));
+        });
+        let out = sim.run().unwrap();
+        let wire_stats = &out.resources[0];
+        assert_eq!(wire_stats.served, 4);
+        assert_eq!(wire_stats.busy_time, us(40));
     }
 
     #[test]
@@ -1361,6 +1675,124 @@ mod tests {
         let clean = sim2.run().unwrap();
         assert_eq!(clean.events_scheduled, 0);
         assert_eq!(clean.mailbox_fast_path_hits, 0);
+    }
+
+    #[test]
+    fn lazy_rank_materializes_on_first_delivery() {
+        let mut sim = Simulation::new();
+        sim.spawn("tx", HostSpec::sun_ipx(), |ctx| {
+            ctx.hold(us(100));
+            let env = Envelope::new(ctx.pid(), ProcId(1), 7, Bytes::from_static(b"wake"));
+            ctx.transmit(env, TransmitPlan::single(vec![Stage::Latency(us(50))]));
+        });
+        sim.spawn_lazy("reactor", HostSpec::sun_ipx(), |ctx| {
+            // The closure starts at the delivery time, not t = 0.
+            assert_eq!(ctx.now(), SimTime::ZERO + us(150));
+            let env = ctx.recv(Matcher::tagged(7));
+            assert_eq!(&env.payload[..], b"wake");
+            ctx.hold(us(10));
+        });
+        let out = sim.run().unwrap();
+        assert_eq!(out.end_time, SimTime::ZERO + us(160));
+        let names: Vec<&str> = out.proc_finish.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["tx", "reactor"]);
+    }
+
+    #[test]
+    fn untouched_lazy_ranks_cost_nothing_and_are_omitted() {
+        let mut sim = Simulation::new();
+        sim.spawn("only", HostSpec::sun_ipx(), |ctx| ctx.hold(us(5)));
+        for i in 0..10_000 {
+            sim.spawn_indexed_lazy("idle", i, HostSpec::sun_ipx(), |ctx| {
+                let _ = ctx.recv(Matcher::any());
+                panic!("an untouched rank must never run");
+            });
+        }
+        let out = sim.run().unwrap();
+        assert_eq!(out.end_time, SimTime::ZERO + us(5));
+        assert_eq!(out.proc_finish.len(), 1, "dormant ranks must be omitted");
+        // One start handoff plus the hold's inline resume — the 10k
+        // dormant ranks add nothing.
+        assert_eq!(out.direct_handoffs + out.inline_resumes, 2);
+    }
+
+    #[test]
+    fn lazy_ring_forwards_a_token_through_dormant_ranks() {
+        // One eager rank launches a token; every other rank materializes
+        // only when the token reaches it.
+        const N: usize = 64;
+        let mut sim = Simulation::new();
+        sim.spawn_indexed("r", 0, HostSpec::sun_ipx(), |ctx| {
+            let env = Envelope::new(ctx.pid(), ProcId(1), 0, Bytes::new());
+            ctx.transmit(env, TransmitPlan::single(vec![Stage::Latency(us(10))]));
+            let back = ctx.recv(Matcher::any());
+            assert_eq!(back.src, ProcId((N - 1) as u32));
+            assert_eq!(ctx.now(), SimTime::ZERO + us(10 * N as u64));
+        });
+        for i in 1..N {
+            sim.spawn_indexed_lazy("r", i, HostSpec::sun_ipx(), move |ctx| {
+                let env = ctx.recv(Matcher::any());
+                assert_eq!(env.src, ProcId((i - 1) as u32));
+                let next = ProcId(((i + 1) % N) as u32);
+                let env = Envelope::new(ctx.pid(), next, 0, Bytes::new());
+                ctx.transmit(env, TransmitPlan::single(vec![Stage::Latency(us(10))]));
+            });
+        }
+        let out = sim.run().unwrap();
+        assert_eq!(out.proc_finish.len(), N);
+        assert_eq!(out.messages_delivered, N as u64);
+    }
+
+    #[test]
+    fn lazy_runs_are_deterministic_and_recover_in_place() {
+        let run = |sim: &mut Simulation| {
+            sim.spawn("root", HostSpec::sun_ipx(), |ctx| {
+                for i in 1..4u32 {
+                    let env = Envelope::new(ctx.pid(), ProcId(i), 0, Bytes::new());
+                    ctx.transmit(
+                        env,
+                        TransmitPlan::single(vec![Stage::Latency(us(10 * i as u64))]),
+                    );
+                }
+                for _ in 1..4 {
+                    let _ = ctx.recv(Matcher::any());
+                }
+            });
+            for i in 1..4 {
+                sim.spawn_indexed_lazy("leaf", i, HostSpec::sun_ipx(), |ctx| {
+                    let env = ctx.recv(Matcher::any());
+                    let reply = Envelope::new(ctx.pid(), env.src, 1, Bytes::new());
+                    ctx.transmit(reply, TransmitPlan::single(vec![Stage::Latency(us(5))]));
+                });
+            }
+            sim.run_in_place().unwrap()
+        };
+        let mut sim = Simulation::new();
+        let a = run(&mut sim);
+        let b = run(&mut sim);
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.proc_finish, b.proc_finish);
+        assert_eq!(a.events_scheduled, b.events_scheduled);
+    }
+
+    #[test]
+    fn deadlocked_lazy_run_aborts_materialized_ranks_cleanly() {
+        let mut sim = Simulation::new();
+        sim.spawn("tx", HostSpec::sun_ipx(), |ctx| {
+            let env = Envelope::new(ctx.pid(), ProcId(1), 0, Bytes::new());
+            ctx.transmit(env, TransmitPlan::instant());
+        });
+        sim.spawn_lazy("stuck", HostSpec::sun_ipx(), |ctx| {
+            let _ = ctx.recv(Matcher::any()); // gets the message...
+            let _ = ctx.recv(Matcher::tagged(99)); // ...then waits forever
+        });
+        sim.spawn_lazy("never", HostSpec::sun_ipx(), |_| {});
+        match sim.run() {
+            Err(SimError::Deadlock { blocked, .. }) => {
+                assert_eq!(blocked, vec!["stuck".to_string()]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,12 +1,22 @@
 //! Transmission plans: how a message crosses the simulated fabric.
 //!
 //! A [`TransmitPlan`] describes the journey of one message as one or more
-//! *fragments*, each passing through a pipeline of [`Stage`]s (FIFO
-//! resources and pure latencies). Fragments proceed independently, so a
-//! multi-fragment message naturally *pipelines*: while fragment `k` occupies
-//! the wire, fragment `k+1` can occupy the sender's protocol stack. The
-//! message is delivered to the destination mailbox when its last fragment
-//! completes.
+//! *trains*, each a run of `count` identical fragments passing through a
+//! pipeline of [`Stage`]s (FIFO resources and pure latencies). Fragments
+//! proceed independently, so a multi-fragment message naturally
+//! *pipelines*: while fragment `k` occupies the wire, fragment `k+1` can
+//! occupy the sender's protocol stack. The message is delivered to the
+//! destination mailbox when its last fragment completes.
+//!
+//! A train of `count > 1` equal fragments is priced *in batch*: the engine
+//! walks the stage pipeline once, tracking the head fragment's position
+//! and the head-to-tail lag, instead of walking `count` separate flights.
+//! For fragments that occupy each FIFO contiguously (the clean, uniform
+//! path the fabric emits) the batched walk reproduces the per-fragment
+//! pipeline's delivery time exactly — see `Flight::lag` — while costing
+//! O(stages) events instead of O(count × stages). Per-fragment plans
+//! ([`TransmitPlan::fragments`]) remain available and are what perturbed
+//! paths use, since per-fragment random draws need per-fragment flights.
 //!
 //! This single mechanism reproduces the bandwidth behaviour the paper
 //! measured: effective throughput is set by the slowest pipeline stage
@@ -31,10 +41,34 @@ pub enum Stage {
     },
 }
 
+/// A run of `count` identical fragments traversing `stages` as one unit.
+#[derive(Debug, Clone)]
+pub struct Train {
+    pub(crate) stages: Vec<Stage>,
+    pub(crate) count: u32,
+}
+
+impl Train {
+    /// A train of `count` fragments, each crossing the same `stages`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(stages: Vec<Stage>, count: u32) -> Train {
+        assert!(count > 0, "a train needs at least one fragment");
+        Train { stages, count }
+    }
+
+    /// The number of fragments riding this train.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+}
+
 /// A complete plan for transmitting one message.
 #[derive(Debug, Clone, Default)]
 pub struct TransmitPlan {
-    fragments: Vec<Vec<Stage>>,
+    trains: Vec<Train>,
 }
 
 impl TransmitPlan {
@@ -46,45 +80,74 @@ impl TransmitPlan {
     /// A single-fragment plan.
     pub fn single(stages: Vec<Stage>) -> TransmitPlan {
         TransmitPlan {
-            fragments: vec![stages],
+            trains: vec![Train { stages, count: 1 }],
         }
     }
 
-    /// A multi-fragment (pipelined) plan.
+    /// A multi-fragment (pipelined) plan with one independent flight per
+    /// fragment. Use [`TransmitPlan::trains`] when runs of fragments are
+    /// identical — the engine then prices each run in one batched walk.
     pub fn fragments(fragments: Vec<Vec<Stage>>) -> TransmitPlan {
-        TransmitPlan { fragments }
+        TransmitPlan {
+            trains: fragments
+                .into_iter()
+                .map(|stages| Train { stages, count: 1 })
+                .collect(),
+        }
     }
 
-    /// Number of fragments in the plan.
+    /// A plan of fragment trains (see [`Train`]).
+    pub fn trains(trains: Vec<Train>) -> TransmitPlan {
+        TransmitPlan { trains }
+    }
+
+    /// Total number of fragments in the plan, counting every fragment of
+    /// every train.
     pub fn fragment_count(&self) -> usize {
-        self.fragments.len()
+        self.trains.iter().map(|t| t.count as usize).sum()
     }
 
-    /// Consumes the plan, yielding its fragment stage lists.
-    pub(crate) fn into_fragments(self) -> Vec<Vec<Stage>> {
-        self.fragments
+    /// Consumes the plan, yielding its trains.
+    pub(crate) fn into_trains(self) -> Vec<Train> {
+        self.trains
     }
 
     /// The sum of all stage durations across all fragments, ignoring
     /// queueing and pipelining — a lower-bound sanity metric used in tests.
     pub fn serial_cost(&self) -> SimDuration {
-        self.fragments
+        self.trains
             .iter()
-            .flatten()
-            .map(|s| match s {
-                Stage::Latency(d) => *d,
-                Stage::Serve { service, .. } => *service,
+            .map(|t| {
+                let per_frag: SimDuration = t
+                    .stages
+                    .iter()
+                    .map(|s| match s {
+                        Stage::Latency(d) => *d,
+                        Stage::Serve { service, .. } => *service,
+                    })
+                    .sum();
+                per_frag * t.count as u64
             })
             .sum()
     }
 }
 
-/// An in-flight fragment being walked through its stages by the engine.
+/// An in-flight fragment train being walked through its stages by the
+/// engine. `count == 1` flights behave exactly like the historical
+/// one-flight-per-fragment model.
 #[derive(Debug)]
 pub(crate) struct Flight {
     pub(crate) stages: VecDeque<Stage>,
     /// Index into the engine's pending-delivery table.
     pub(crate) pending: usize,
+    /// Fragments riding this flight as one train.
+    pub(crate) count: u32,
+    /// Current head-to-tail lag: how far behind the head fragment the last
+    /// fragment runs. Grows at serve stages (`max(lag, (count-1)·service)`
+    /// — the tail of a train leaves a FIFO `(count-1)` services after its
+    /// head), is preserved by latency stages, and delays final delivery by
+    /// exactly itself once the head clears the last stage.
+    pub(crate) lag: SimDuration,
 }
 
 #[cfg(test)]
@@ -123,5 +186,25 @@ mod tests {
         let p = TransmitPlan::single(vec![Stage::Latency(us(3))]);
         assert_eq!(p.fragment_count(), 1);
         assert_eq!(p.serial_cost(), us(3));
+    }
+
+    #[test]
+    fn train_plan_counts_every_fragment() {
+        let stages = vec![Stage::Serve {
+            resource: ResourceId(0),
+            service: us(10),
+        }];
+        let p = TransmitPlan::trains(vec![
+            Train::new(stages.clone(), 4),
+            Train::new(vec![Stage::Latency(us(2))], 1),
+        ]);
+        assert_eq!(p.fragment_count(), 5);
+        assert_eq!(p.serial_cost(), us(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one fragment")]
+    fn empty_train_is_rejected() {
+        let _ = Train::new(vec![], 0);
     }
 }

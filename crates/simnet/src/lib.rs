@@ -59,6 +59,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod builtin;
+pub mod calq;
 pub mod engine;
 pub mod envelope;
 pub mod error;
@@ -84,7 +85,7 @@ pub mod prelude {
     pub use crate::envelope::{Envelope, Matcher};
     pub use crate::error::SimError;
     pub use crate::fabric::Fabric;
-    pub use crate::flight::{Stage, TransmitPlan};
+    pub use crate::flight::{Stage, Train, TransmitPlan};
     pub use crate::host::HostSpec;
     pub use crate::ids::{ProcId, ResourceId, Tag};
     pub use crate::net::{LinkParams, NetworkKind};

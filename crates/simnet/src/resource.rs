@@ -21,14 +21,46 @@ pub(crate) enum Waiter {
     Flight(usize),
 }
 
+/// One queued request: a plain fragment/process (`units == 1`,
+/// `drain == 0`) or a batched fragment train occupying the server as one
+/// contiguous unit.
+#[derive(Debug)]
+struct Entry {
+    waiter: Waiter,
+    /// Time until the *head* completes and the waiter is released.
+    head: SimDuration,
+    /// Extra occupancy after the head departs, while the train's tail is
+    /// still clearing the server. The next waiter starts only after it.
+    drain: SimDuration,
+    /// Server busy time this request truthfully accounts for (for a train
+    /// of `k` fragments of service `w`: `k·w`, which can be less than
+    /// `head + drain` when upstream stages feed the tail in slower than
+    /// the server drains it).
+    busy: SimDuration,
+    /// Fragments this request stands for (`served` grows by this).
+    units: u64,
+}
+
+/// What currently holds the server: a request's head in service, or a
+/// departed train's tail still draining.
+#[derive(Debug)]
+struct InService {
+    /// `None` once the head has departed and only the drain remains.
+    waiter: Option<Waiter>,
+    drain: SimDuration,
+    units: u64,
+}
+
 /// Internal state of one FIFO resource. The name is a [`LazyName`]:
 /// indexed names (`stack-tx{i}` and friends from the SPMD harness) are
 /// rendered only when statistics are produced.
 #[derive(Debug)]
 pub(crate) struct Resource {
     name: LazyName,
-    queue: VecDeque<(Waiter, SimDuration)>,
-    in_service: Option<Waiter>,
+    queue: VecDeque<Entry>,
+    /// Fragments waiting in `queue` (trains count all their units).
+    queued_units: usize,
+    in_service: Option<InService>,
     busy_time: SimDuration,
     served: u64,
     max_queue: usize,
@@ -47,6 +79,7 @@ impl Resource {
         Resource {
             name,
             queue: VecDeque::new(),
+            queued_units: 0,
             in_service: None,
             busy_time: SimDuration::ZERO,
             served: 0,
@@ -57,8 +90,42 @@ impl Resource {
     /// Adds a waiter to the queue. Returns the service duration to schedule
     /// if the server was idle and this waiter starts service immediately.
     pub(crate) fn enqueue(&mut self, w: Waiter, service: SimDuration) -> Option<SimDuration> {
-        self.queue.push_back((w, service));
-        let depth = self.queue.len() + usize::from(self.in_service.is_some());
+        self.enqueue_entry(Entry {
+            waiter: w,
+            head: service,
+            drain: SimDuration::ZERO,
+            busy: service,
+            units: 1,
+        })
+    }
+
+    /// Adds a batched fragment train to the queue: the waiter is released
+    /// after `head`, the server then stays occupied for `drain` more while
+    /// the tail clears, `busy`/`units` keep the statistics per-fragment
+    /// truthful. Returns the *head* service duration to schedule if the
+    /// server was idle.
+    pub(crate) fn enqueue_train(
+        &mut self,
+        w: Waiter,
+        head: SimDuration,
+        drain: SimDuration,
+        busy: SimDuration,
+        units: u64,
+    ) -> Option<SimDuration> {
+        self.enqueue_entry(Entry {
+            waiter: w,
+            head,
+            drain,
+            busy,
+            units,
+        })
+    }
+
+    fn enqueue_entry(&mut self, e: Entry) -> Option<SimDuration> {
+        self.queued_units += e.units as usize;
+        self.queue.push_back(e);
+        let in_service_units = self.in_service.as_ref().map_or(0, |s| s.units as usize);
+        let depth = self.queued_units + in_service_units;
         self.max_queue = self.max_queue.max(depth);
         if self.in_service.is_none() {
             self.start_next()
@@ -67,28 +134,51 @@ impl Resource {
         }
     }
 
-    /// Completes the current service. Returns the finished waiter and, if
-    /// another waiter starts service, its service duration.
+    /// Completes the current service interval. Returns the finished waiter
+    /// (`None` when the interval was a departed train's tail draining) and,
+    /// if another interval starts, its duration to schedule.
     ///
     /// # Panics
     ///
     /// Panics if the server was idle (an engine logic error).
-    pub(crate) fn complete(&mut self) -> (Waiter, Option<SimDuration>) {
-        let done = self
+    pub(crate) fn complete(&mut self) -> (Option<Waiter>, Option<SimDuration>) {
+        let mut cur = self
             .in_service
             .take()
             .expect("resource completion with idle server");
-        self.served += 1;
-        let next = self.start_next();
-        (done, next)
+        match cur.waiter.take() {
+            Some(done) => {
+                // Head departure: the waiter is released now. A train's
+                // tail keeps the server for `drain` more.
+                self.served += cur.units;
+                if !cur.drain.is_zero() {
+                    let drain = cur.drain;
+                    self.in_service = Some(InService {
+                        waiter: None,
+                        drain: SimDuration::ZERO,
+                        units: cur.units,
+                    });
+                    (Some(done), Some(drain))
+                } else {
+                    (Some(done), self.start_next())
+                }
+            }
+            // Tail drained: the server frees up for the next waiter.
+            None => (None, self.start_next()),
+        }
     }
 
     fn start_next(&mut self) -> Option<SimDuration> {
         debug_assert!(self.in_service.is_none());
-        if let Some((w, service)) = self.queue.pop_front() {
-            self.in_service = Some(w);
-            self.busy_time += service;
-            Some(service)
+        if let Some(e) = self.queue.pop_front() {
+            self.queued_units -= e.units as usize;
+            self.busy_time += e.busy;
+            self.in_service = Some(InService {
+                waiter: Some(e.waiter),
+                drain: e.drain,
+                units: e.units,
+            });
+            Some(e.head)
         } else {
             None
         }
@@ -100,6 +190,7 @@ impl Resource {
     /// reuse a registered resource skeleton across runs.
     pub(crate) fn reset(&mut self) {
         self.queue.clear();
+        self.queued_units = 0;
         self.in_service = None;
         self.busy_time = SimDuration::ZERO;
         self.served = 0;
@@ -164,10 +255,10 @@ mod tests {
         assert!(r.enqueue(Waiter::Proc(ProcId(0)), us(10)).is_some());
         assert!(r.enqueue(Waiter::Proc(ProcId(1)), us(20)).is_none());
         let (done, next) = r.complete();
-        assert_eq!(done, Waiter::Proc(ProcId(0)));
+        assert_eq!(done, Some(Waiter::Proc(ProcId(0))));
         assert_eq!(next, Some(us(20)));
         let (done, next) = r.complete();
-        assert_eq!(done, Waiter::Proc(ProcId(1)));
+        assert_eq!(done, Some(Waiter::Proc(ProcId(1))));
         assert_eq!(next, None);
     }
 
@@ -180,10 +271,47 @@ mod tests {
         let (a, _) = r.complete();
         let (b, _) = r.complete();
         let (c, next) = r.complete();
-        assert_eq!(a, Waiter::Flight(0));
-        assert_eq!(b, Waiter::Flight(1));
-        assert_eq!(c, Waiter::Flight(2));
+        assert_eq!(a, Some(Waiter::Flight(0)));
+        assert_eq!(b, Some(Waiter::Flight(1)));
+        assert_eq!(c, Some(Waiter::Flight(2)));
         assert_eq!(next, None);
+    }
+
+    #[test]
+    fn train_releases_head_then_drains() {
+        // A 4-fragment train of 10 µs services: head departs after 10 µs,
+        // tail drains 30 µs more, and only then does the next waiter start.
+        let mut r = Resource::new("port".into());
+        let started = r.enqueue_train(Waiter::Flight(0), us(10), us(30), us(40), 4);
+        assert_eq!(started, Some(us(10)));
+        assert!(r.enqueue(Waiter::Proc(ProcId(9)), us(5)).is_none());
+        let (done, next) = r.complete();
+        assert_eq!(done, Some(Waiter::Flight(0)), "head releases the waiter");
+        assert_eq!(next, Some(us(30)), "tail drain keeps the server");
+        let (done, next) = r.complete();
+        assert_eq!(done, None, "drain completion releases no waiter");
+        assert_eq!(next, Some(us(5)), "queued waiter starts after the drain");
+        let (done, next) = r.complete();
+        assert_eq!(done, Some(Waiter::Proc(ProcId(9))));
+        assert_eq!(next, None);
+        let s = r.stats(ResourceId(0), SimTime::from_nanos(45_000));
+        assert_eq!(s.served, 5, "a train counts all its fragments");
+        assert_eq!(s.busy_time, us(45));
+        assert_eq!(s.max_queue, 5, "depth counts train units");
+        assert!((s.utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_drain_train_behaves_like_plain_service() {
+        let mut r = Resource::new("port".into());
+        r.enqueue_train(Waiter::Flight(0), us(10), SimDuration::ZERO, us(10), 1);
+        let (done, next) = r.complete();
+        assert_eq!(done, Some(Waiter::Flight(0)));
+        assert_eq!(next, None);
+        assert_eq!(
+            r.stats(ResourceId(0), SimTime::from_nanos(10_000)).served,
+            1
+        );
     }
 
     #[test]

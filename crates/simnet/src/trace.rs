@@ -67,16 +67,22 @@ pub enum TraceEvent {
         /// Peer rank for point-to-point phases (`None` for compute).
         peer: Option<usize>,
     },
-    /// One message fragment entering the fabric.
+    /// One or more identical message fragments entering the fabric. A
+    /// batched fragment train records a single event with `count > 1`
+    /// rather than `count` separate events; `bytes` and `cost` stay
+    /// per-fragment, and the sink's class totals are bumped by the full
+    /// `count` so byte/fragment accounting is unchanged by batching.
     LinkFragment {
-        /// Virtual time the fragment was launched.
+        /// Virtual time the fragment (train head) was launched.
         at: SimTime,
         /// Index into the sink's link-class table.
         class: u32,
-        /// Fragment wire bytes.
+        /// Wire bytes of one fragment.
         bytes: u64,
-        /// Priced serial traversal cost of the fragment's stages.
+        /// Priced serial traversal cost of one fragment's stages.
         cost: SimDuration,
+        /// Identical fragments this event covers (1 for a lone fragment).
+        count: u32,
     },
     /// Perturbation: extra latency injected on a fragment.
     Jitter {
@@ -291,14 +297,30 @@ impl TraceSink {
         at: SimTime,
         cost: SimDuration,
     ) {
+        self.link_train(rank, class, bytes, 1, at, cost);
+    }
+
+    /// Records a train of `count` identical fragments entering the fabric
+    /// as one coalesced event. `bytes` and `cost` are per-fragment; the
+    /// class totals are bumped by all `count` fragments.
+    pub fn link_train(
+        &mut self,
+        rank: usize,
+        class: &str,
+        bytes: u64,
+        count: u32,
+        at: SimTime,
+        cost: SimDuration,
+    ) {
         let idx = self.class_index(class);
-        self.link_bytes[idx as usize] += bytes;
-        self.link_frags[idx as usize] += 1;
+        self.link_bytes[idx as usize] += bytes * count as u64;
+        self.link_frags[idx as usize] += count as u64;
         self.ranks[rank].push(TraceEvent::LinkFragment {
             at,
             class: idx,
             bytes,
             cost,
+            count,
         });
     }
 
@@ -455,16 +477,21 @@ impl TraceSink {
                 class,
                 bytes,
                 cost,
+                count,
             } => {
                 let _ = write!(
                     out,
                     "{{\"name\": \"link {}\", \"cat\": \"link\", \"ph\": \"i\", \"s\": \"t\", \
                      \"pid\": 0, \"tid\": {rank}, \"ts\": {}, \
-                     \"args\": {{\"bytes\": {bytes}, \"cost_us\": {}}}}}",
+                     \"args\": {{\"bytes\": {bytes}, \"cost_us\": {}",
                     escape(self.class_name(*class)),
                     micros(*at),
                     micros_d(*cost),
                 );
+                if *count > 1 {
+                    let _ = write!(out, ", \"frags\": {count}");
+                }
+                out.push_str("}}");
             }
             TraceEvent::Jitter { at, extra } => {
                 let _ = write!(
@@ -604,6 +631,26 @@ mod tests {
         assert_eq!(summary.jitter_events, 1);
         assert_eq!(summary.jitter_total, us(2));
         assert_eq!(summary.crash, None);
+    }
+
+    #[test]
+    fn link_train_coalesces_but_counts_every_fragment() {
+        // One coalesced train event must bump the class totals exactly as
+        // `count` separate link_fragment calls would, and its rendering
+        // must carry the fragment count.
+        let mut sink = TraceSink::new(1);
+        sink.link_train(0, "Ethernet", 1500, 4, at(10), us(3));
+        sink.link_fragment(0, "Ethernet", 250, at(20), us(1));
+        assert_eq!(sink.rank_events(0).len(), 2);
+        let links = sink.link_totals();
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].bytes, 4 * 1500 + 250);
+        assert_eq!(links[0].fragments, 5);
+        let chrome = sink.render_chrome("demo/train");
+        assert!(chrome.contains("\"frags\": 4"));
+        // Lone fragments render without a frags arg, keeping pre-train
+        // traces byte-identical.
+        assert_eq!(chrome.matches("\"frags\"").count(), 1);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Engine-counter truthfulness regressions.
+//!
+//! The engine's scheduling/delivery counters for a 64-rank scenario are
+//! pinned to the exact values the pre-calendar-queue engine (PR 7:
+//! virtual-time tracing + engine counters) reported, so scheduler
+//! rework — the calendar queue, lazy rank materialization, the
+//! direct-delivery fast path — cannot silently change what the counters
+//! claim. A second test checks that opt-in batched-train pricing keeps
+//! byte/fragment accounting identical to the per-fragment model while
+//! actually collapsing scheduled events.
+
+use bytes::Bytes;
+use pdc_tool_eval::mpt::runtime::SpmdHarness;
+use pdc_tool_eval::mpt::{Node, ToolKind};
+use pdc_tool_eval::simnet::engine::{SimOutcome, Simulation};
+use pdc_tool_eval::simnet::envelope::{Envelope, Matcher};
+use pdc_tool_eval::simnet::flight::{Stage, TransmitPlan};
+use pdc_tool_eval::simnet::host::HostSpec;
+use pdc_tool_eval::simnet::ids::ProcId;
+use pdc_tool_eval::simnet::net::NetworkKind;
+use pdc_tool_eval::simnet::platform::PlatformSpec;
+use pdc_tool_eval::simnet::time::SimDuration;
+use pdc_tool_eval::simnet::trace::{CounterSummary, TraceSink};
+use std::sync::{Arc, Mutex};
+
+/// The 64-proc latency-only ring (the shape of `bench_engine`'s
+/// `ring64`), 10 rounds.
+fn ring64(rounds: u32) -> SimOutcome {
+    const NPROCS: usize = 64;
+    let mut sim = Simulation::new();
+    for r in 0..NPROCS {
+        let next = ProcId(((r + 1) % NPROCS) as u32);
+        sim.spawn_indexed("ring", r, HostSpec::sun_ipx(), move |ctx| {
+            for round in 0..rounds {
+                let env = Envelope::new(ctx.pid(), next, round, Bytes::new());
+                ctx.transmit(
+                    env,
+                    TransmitPlan::single(vec![Stage::Latency(SimDuration::from_micros(10))]),
+                );
+                let _ = ctx.recv(Matcher::tagged(round));
+            }
+        });
+    }
+    sim.run().expect("ring64 deadlocked")
+}
+
+/// Every engine counter for the 64-rank ring, pinned to the values the
+/// PR 7 engine (binary-heap scheduler, per-fragment flights) reported.
+/// One event and one cross-thread resume per message, every delivery on
+/// the mailbox fast path, all 64 in-flight events resident in the queue.
+#[test]
+fn ring64_counters_match_the_pr7_engine() {
+    let out = ring64(10);
+    let c = CounterSummary::from_sim(&out);
+    assert_eq!(c.events_scheduled, 640);
+    assert_eq!(c.peak_queue_depth, 64);
+    // 64 start resumes + one resume per delivered message.
+    assert_eq!(c.direct_handoffs, 704);
+    assert_eq!(c.inline_resumes, 0);
+    assert_eq!(c.mailbox_fast_path_hits, 640);
+    assert_eq!(c.messages_delivered, 640);
+    assert_eq!(c.wire_bytes, 0);
+    assert_eq!(out.end_time.as_micros_f64(), 100.0);
+}
+
+/// Batched trains must report the same per-fragment wire/link traffic as
+/// the per-fragment model on a 64-rank circular shift — identical bytes,
+/// fragments and timing, strictly fewer scheduled events — and the
+/// queue-depth high-water mark stays resident (non-zero) either way.
+#[test]
+fn batched_trains_report_per_fragment_traffic_counters() {
+    let platform = pdc_tool_eval::simnet::registry::register_platform(PlatformSpec::homogeneous(
+        "Counter ATM LAN 64",
+        "counter-atm-64",
+        HostSpec::sun_ipx(),
+        NetworkKind::AtmLan.params(),
+        64,
+        false,
+    ))
+    .unwrap();
+    // ~4 ATM-MTU fragments per rank, all 64 tx links busy at once.
+    let cshift = |node: &mut Node<'_>| {
+        let next = (node.rank() + 1) % node.nprocs();
+        node.send(next, 3, Bytes::from(vec![0u8; 36_000])).unwrap();
+        node.recv(None, Some(3)).unwrap().data.len()
+    };
+
+    let run = |batch: bool| {
+        let mut h = SpmdHarness::new(platform, 64).unwrap();
+        h.set_batch_trains(batch);
+        let sink = Arc::new(Mutex::new(TraceSink::new(64)));
+        let out = h
+            .run_perturbed_traced(ToolKind::P4, None, Some(Arc::clone(&sink)), cshift)
+            .unwrap();
+        let counters = sink.lock().unwrap().counter_summary(&out.sim);
+        (out, counters)
+    };
+
+    let (plain, pc) = run(false);
+    let (batched, bc) = run(true);
+
+    assert_eq!(batched.elapsed, plain.elapsed);
+    assert_eq!(batched.results, plain.results);
+    // Traffic accounting is identical per fragment, batched or not.
+    assert_eq!(bc.wire_bytes, pc.wire_bytes);
+    assert_eq!(bc.messages_delivered, pc.messages_delivered);
+    assert!(!pc.links.is_empty());
+    assert_eq!(bc.links, pc.links);
+    // What batching is allowed to change: the event count (down) — while
+    // the queue-depth high-water mark stays a real resident measurement.
+    assert!(
+        bc.events_scheduled < pc.events_scheduled,
+        "batched {} vs per-fragment {}",
+        bc.events_scheduled,
+        pc.events_scheduled
+    );
+    assert!(pc.peak_queue_depth > 0);
+    assert!(bc.peak_queue_depth > 0);
+}

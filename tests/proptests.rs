@@ -708,3 +708,67 @@ proptest! {
         prop_assert_eq!(&untraced, &traced_parallel);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Calendar-queue equivalence (the engine's event scheduler)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The calendar queue is observationally identical to a sorted
+    /// binary-heap oracle over arbitrary push/pop interleavings: strict
+    /// `(time, seq)` order, FIFO among same-timestamp entries, and
+    /// far-future pushes (which force bucket regrows and full calendar
+    /// laps) included.
+    #[test]
+    fn calendar_queue_matches_binary_heap_oracle(
+        ops in proptest::collection::vec((0u8..6, any::<u64>()), 1..400),
+    ) {
+        use pdc_tool_eval::simnet::calq::CalendarQueue;
+        use pdc_tool_eval::simnet::time::{SimDuration, SimTime};
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut q: CalendarQueue<u64> = CalendarQueue::new();
+        let mut oracle: BinaryHeap<Reverse<(SimTime, u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut clock = SimTime::ZERO;
+        for &(op, raw) in &ops {
+            if op == 5 {
+                // Pop: both sides must agree on the head (or emptiness),
+                // and the clock only moves forward.
+                let got = q.pop();
+                let expect = oracle.pop().map(|Reverse(e)| e);
+                prop_assert_eq!(got, expect);
+                if let Some((t, _, _)) = got {
+                    prop_assert!(t >= clock);
+                    clock = t;
+                }
+            } else {
+                // Push: the engine never schedules before its clock. The
+                // offset mix covers exact ties (FIFO by seq), same-bucket
+                // bursts, day-crossing spreads, and far-future horizons
+                // that force the calendar to resize or lap.
+                let offset = match op {
+                    0 => 0,
+                    1 => raw % 1_000,
+                    2 => raw % 1_000_000,
+                    3 => raw % 4_000_000_000,
+                    _ => 3_600_000_000_000 + raw % 1_000_000_000,
+                };
+                let at = clock + SimDuration::from_nanos(offset);
+                q.push(at, seq, seq);
+                oracle.push(Reverse((at, seq, seq)));
+                seq += 1;
+            }
+            prop_assert_eq!(q.len(), oracle.len());
+        }
+        // Drain: the tails stay in lock-step to emptiness.
+        while let Some(Reverse((t, s, v))) = oracle.pop() {
+            prop_assert_eq!(q.pop(), Some((t, s, v)));
+        }
+        prop_assert!(q.is_empty());
+        prop_assert_eq!(q.pop(), None);
+    }
+}
