@@ -12,6 +12,8 @@
 //! pdceval validate FILE.spec
 //! pdceval snapshot OUT.spec [--spec FILE]
 //! pdceval explain KEY [--trace-dir DIR]
+//! pdceval cache stats|gc|clear [--cache-dir DIR] [--keep N] [--json]
+//! pdceval serve [--addr HOST:PORT] [--socket PATH] [--workers N] [--cache-dir DIR]
 //! ```
 //!
 //! `run` executes the named campaign (default: `quick`) across a worker
@@ -56,6 +58,17 @@
 //! progress line per completed scenario goes to stderr; `--quiet`
 //! suppresses it.
 //!
+//! `run` answers from the content-addressed results cache by default
+//! (`target/campaign/cache`, override with `--cache-dir`): each
+//! scenario's record is addressed by a digest over its key, its
+//! repetition count, the specs it references and the binary's own
+//! content hash, so a warm re-run executes nothing and still writes a
+//! store byte-identical to the cold run's. `--no-cache` opts out;
+//! traced runs bypass the cache automatically. `cache stats|gc|clear`
+//! maintain the directory, and `serve` keeps one cache plus a bounded
+//! executor pool warm behind a TCP/Unix socket answering
+//! newline-delimited JSON queries (see `pdceval_campaign::serve`).
+//!
 //! `bless` promotes a results store to the committed baseline
 //! (default `baselines/quick.jsonl`), refusing stores with error
 //! records; CI diffs every PR's fresh quick campaign against it.
@@ -67,6 +80,7 @@
 //! with `--spec`) back into one spec file for reproducible sharing of a
 //! custom scenario set.
 
+use pdceval_campaign::cache::{run_campaign_cached, CampaignCache, DEFAULT_CACHE_DIR};
 use pdceval_campaign::campaigns;
 use pdceval_campaign::campaigns::Campaign;
 use pdceval_campaign::diff::{degradation_summary, diff_records, render_degradation};
@@ -74,6 +88,7 @@ use pdceval_campaign::runner::{
     run_campaign_with, CampaignOptions, RecordStatus, ScenarioDoneFn, ScenarioRecord,
 };
 use pdceval_campaign::scenario::Scale;
+use pdceval_campaign::serve::{ServeState, Server};
 use pdceval_campaign::store;
 use pdceval_mpt::registry::{LoadedSpecs, ModelRegistry};
 use std::io::IsTerminal;
@@ -84,17 +99,22 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  pdceval list [--quick] [--spec FILE] [--remix G=N,...]\n  pdceval run \
          [--campaign NAME] [--quick] [--workers N] [--out PATH] [--baseline PATH] \
-         [--threshold PCT] [--spec FILE] [--remix G=N,...] [--trace-dir DIR] [--quiet]\n  \
+         [--threshold PCT] [--spec FILE] [--remix G=N,...] [--trace-dir DIR] [--quiet] \
+         [--no-cache] [--cache-dir DIR]\n  \
          pdceval diff BASELINE NEW [--threshold PCT]\n  pdceval bless STORE [--baseline PATH]\n  \
          pdceval validate FILE.spec\n  pdceval snapshot OUT.spec [--spec FILE]\n  \
-         pdceval explain KEY [--trace-dir DIR]"
+         pdceval explain KEY [--trace-dir DIR]\n  \
+         pdceval cache stats|gc|clear [--cache-dir DIR] [--keep N] [--json]\n  \
+         pdceval serve [--addr HOST:PORT] [--socket PATH] [--workers N] [--cache-dir DIR] \
+         [--quick] [--spec FILE] [--remix G=N,...]"
     );
     ExitCode::FAILURE
 }
 
 /// Flags that consume the following token as their value; everything
-/// else (`--quick`) is boolean and must not swallow positionals.
-const VALUE_FLAGS: [&str; 8] = [
+/// else (`--quick`, `--no-cache`, `--json`) is boolean and must not
+/// swallow positionals.
+const VALUE_FLAGS: [&str; 12] = [
     "campaign",
     "workers",
     "out",
@@ -103,6 +123,10 @@ const VALUE_FLAGS: [&str; 8] = [
     "spec",
     "remix",
     "trace-dir",
+    "cache-dir",
+    "addr",
+    "socket",
+    "keep",
 ];
 
 struct Args {
@@ -413,6 +437,28 @@ fn cmd_run(args: &Args) -> ExitCode {
         }
         None => None,
     };
+    // Provenance is captured exactly once per invocation, before
+    // anything runs: the same stamp feeds the store, the cache entries
+    // and the summary line (and `cache::code_fingerprint` memoizes the
+    // binary hash the same way).
+    let mut meta = store::StoreMeta::capture();
+    // Traced runs opt their stores into the counter fields; untraced
+    // stores stay byte-identical to pre-trace-layer ones.
+    meta.emit_counters = trace_dir.is_some();
+    // The cache is on by default; traced runs bypass it (a hit cannot
+    // re-produce trace files or counter fields).
+    let cache_dir = PathBuf::from(args.value("cache-dir").unwrap_or(DEFAULT_CACHE_DIR));
+    let mut cache = if args.has("no-cache") || trace_dir.is_some() {
+        None
+    } else {
+        match CampaignCache::open(&cache_dir) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("warning: {e} — running uncached");
+                None
+            }
+        }
+    };
 
     eprintln!(
         "running campaign '{}' ({} points) on {} worker(s)...",
@@ -437,7 +483,15 @@ fn cmd_run(args: &Args) -> ExitCode {
         trace_dir: trace_dir.as_deref(),
         on_scenario_done: progress.then_some(&on_done as ScenarioDoneFn<'_>),
     };
-    let records = run_campaign_with(&campaign.scenarios, workers, &opts);
+    let records = match cache.as_mut() {
+        Some(cache) => {
+            let (records, report) =
+                run_campaign_cached(&campaign.scenarios, workers, &opts, cache, &meta);
+            eprintln!("cache: {} hit(s) / {} miss(es)", report.hits, report.misses);
+            records
+        }
+        None => run_campaign_with(&campaign.scenarios, workers, &opts),
+    };
     let elapsed = started.elapsed().as_secs_f64();
 
     let ok = records
@@ -458,10 +512,6 @@ fn cmd_run(args: &Args) -> ExitCode {
         .filter(|r| r.status == RecordStatus::Error)
         .count()
         - injected;
-    let mut meta = store::StoreMeta::capture();
-    // Traced runs opt their stores into the counter fields; untraced
-    // stores stay byte-identical to pre-trace-layer ones.
-    meta.emit_counters = trace_dir.is_some();
     if let Err(e) = store::write_jsonl(&out_path, &records, &meta) {
         eprintln!("failed to write {}: {e}", out_path.display());
         return ExitCode::FAILURE;
@@ -937,6 +987,168 @@ fn cmd_bless(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `pdceval cache stats|gc|clear [--cache-dir DIR] [--keep N] [--json]`:
+/// cache maintenance. `stats` scans every bucket; `gc` deletes
+/// stale-fingerprint buckets and compacts the current one (with
+/// `--keep N`, also dropping entries older than N generations);
+/// `clear` wipes the whole directory.
+fn cmd_cache(args: &Args) -> ExitCode {
+    let [action] = args.positional.as_slice() else {
+        return usage();
+    };
+    let dir = PathBuf::from(args.value("cache-dir").unwrap_or(DEFAULT_CACHE_DIR));
+    let mut cache = match CampaignCache::open(&dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match action.as_str() {
+        "stats" => match cache.stats() {
+            Ok(s) => {
+                if args.has("json") {
+                    println!("{}", s.render_json());
+                } else {
+                    print!("{}", s.render_text());
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        "gc" => {
+            let keep = match args.value("keep") {
+                None if args.has("keep") => {
+                    eprintln!("--keep needs a generation count");
+                    return ExitCode::FAILURE;
+                }
+                None => None,
+                Some(raw) => match raw.parse::<u64>() {
+                    Ok(n) => Some(n),
+                    Err(_) => {
+                        eprintln!("bad --keep '{raw}'");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
+            match cache.gc(keep) {
+                Ok(r) => {
+                    eprintln!(
+                        "gc: removed {} stale bucket(s), dropped {} entr{}, kept {}, \
+                         reclaimed {} byte(s)",
+                        r.stale_buckets_removed,
+                        r.entries_dropped,
+                        if r.entries_dropped == 1 { "y" } else { "ies" },
+                        r.entries_kept,
+                        r.bytes_reclaimed,
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "clear" => match cache.clear() {
+            Ok(n) => {
+                eprintln!("cleared {} file(s) from {}", n, dir.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage(),
+    }
+}
+
+/// Default TCP address `pdceval serve` listens on.
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7411";
+
+/// `pdceval serve`: the long-running results service — one shared
+/// cache, one bounded executor pool, newline-delimited JSON over TCP
+/// and/or a Unix socket. See `pdceval_campaign::serve` for the
+/// protocol.
+fn cmd_serve(args: &Args) -> ExitCode {
+    let s = scale(args);
+    let loaded = match load_spec(args) {
+        Ok(l) => l,
+        Err(code) => return code,
+    };
+    let workers = match args.value("workers") {
+        None => default_workers(),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("bad --workers '{raw}'");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let cache_dir = PathBuf::from(args.value("cache-dir").unwrap_or(DEFAULT_CACHE_DIR));
+    let cache = match CampaignCache::open(&cache_dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "cache: {} entr{} at {} (generation {})",
+        cache.len(),
+        if cache.len() == 1 { "y" } else { "ies" },
+        cache_dir.display(),
+        cache.generation(),
+    );
+    let meta = store::StoreMeta::capture();
+    let state = std::sync::Arc::new(ServeState::new(
+        cache,
+        workers,
+        visible_campaigns(s, &loaded),
+        s,
+        meta,
+    ));
+    let mut server = Server::new(state);
+    let socket = args.value("socket").map(PathBuf::from);
+    if args.has("socket") && socket.is_none() {
+        eprintln!("--socket needs a path");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = &socket {
+        if let Err(e) = server.bind_unix(path) {
+            eprintln!("cannot bind unix socket {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("serving on unix socket {}", path.display());
+    }
+    if socket.is_none() || args.has("addr") {
+        let addr = args.value("addr").unwrap_or(DEFAULT_SERVE_ADDR);
+        match server.bind_tcp(addr) {
+            Ok(local) => eprintln!("serving on tcp {local} ({workers} worker(s))"),
+            Err(e) => {
+                eprintln!("cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!("send {{\"op\": \"shutdown\"}} to stop");
+    match server.run() {
+        Ok(()) => {
+            eprintln!("serve: shut down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = raw.first().cloned() else {
@@ -951,6 +1163,8 @@ fn main() -> ExitCode {
         "validate" => cmd_validate(&args),
         "snapshot" => cmd_snapshot(&args),
         "explain" => cmd_explain(&args),
+        "cache" => cmd_cache(&args),
+        "serve" => cmd_serve(&args),
         _ => usage(),
     }
 }

@@ -1,0 +1,1046 @@
+//! The content-addressed campaign results cache.
+//!
+//! The simulator is deterministic: a scenario's record is a pure
+//! function of (a) the scenario itself, (b) the registered model specs
+//! it references, and (c) the code that interprets them. The cache
+//! exploits that by addressing every [`ScenarioRecord`] with a digest
+//! over exactly those three inputs — see [`scenario_digest`] — so
+//! `pdceval run` executes only the points whose digest has never been
+//! seen and splices cached records back in deterministic grid order.
+//! A warm store is **byte-identical** to the cold store that populated
+//! the cache: each entry pins the provenance
+//! ([`crate::store::RecordProvenance`]) of the run that computed it.
+//!
+//! # Invalidation
+//!
+//! Anything that could change a result changes the digest:
+//!
+//! * the scenario key (kernel + parameters, tool, platform + topology
+//!   mix, nprocs, size, perturbation + seed) and its repetition count;
+//! * the canonical stanza rendering of the tool, platform and
+//!   perturbation specs the scenario references (editing any observable
+//!   spec field — a latency, a port rule, a loss rate — re-keys every
+//!   scenario using it, and *only* those);
+//! * the code fingerprint: an FNV-1a hash of the running executable
+//!   ([`code_fingerprint`]), so a rebuild — even from a dirty tree the
+//!   git SHA cannot see — starts a fresh bucket.
+//!
+//! # Disk layout
+//!
+//! ```text
+//! <dir>/MANIFEST.json            {"version": 1, "generation": N}
+//! <dir>/<fingerprint>.jsonl      one bucket per code fingerprint
+//! ```
+//!
+//! Buckets are append-only JSONL (flat objects, same dialect as the
+//! results store); duplicate digests resolve last-wins at load. The
+//! manifest's generation counts cache-writing runs; entries are stamped
+//! with the generation that wrote them, which is what `gc --keep N`
+//! prunes against. Cache hits never refresh an entry's generation.
+//!
+//! Traced runs (`--trace-dir`) bypass the cache entirely: a hit cannot
+//! re-produce trace files, and counter-bearing stores would otherwise
+//! lose their counter fields on warm runs.
+
+use crate::json::{escape, parse_object, Json};
+use crate::runner::{run_campaign_with, CampaignOptions, RecordStatus, RepStats, ScenarioRecord};
+use crate::scenario::Scenario;
+use crate::store::{Appender, RecordProvenance, StoreMeta};
+use pdceval_mpt::hash::{fnv1a_64, hex16, Fnv64};
+use pdceval_mpt::ModelRegistry;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Default cache directory used by the CLI.
+pub const DEFAULT_CACHE_DIR: &str = "target/campaign/cache";
+
+/// Cache format version stamped into the manifest.
+const CACHE_VERSION: u64 = 1;
+
+/// The manifest file name.
+const MANIFEST: &str = "MANIFEST.json";
+
+static FINGERPRINT: OnceLock<u64> = OnceLock::new();
+
+/// The running executable's content fingerprint, computed **once per
+/// invocation** (hashing a multi-megabyte binary per scenario would
+/// dwarf the cache's savings) and shared by every digest.
+///
+/// Hashing the binary itself — rather than trusting the git SHA — means
+/// a rebuild from a dirty tree invalidates correctly: same SHA,
+/// different code, different bucket. When the executable cannot be
+/// read back (some exotic deployments), the git SHA stands in; failing
+/// that, a constant (the cache then only distinguishes specs and
+/// scenarios, never code — still sound within one build, stale across
+/// rebuilds, which is why the fallback chain is ordered this way).
+pub fn code_fingerprint() -> u64 {
+    *FINGERPRINT.get_or_init(|| {
+        let exe_hash = std::env::current_exe()
+            .ok()
+            .and_then(|p| std::fs::read(p).ok())
+            .map(|bytes| fnv1a_64(&bytes));
+        match exe_hash {
+            Some(h) => h,
+            None => fnv1a_64(
+                crate::store::git_sha()
+                    .unwrap_or_else(|| "unknown".to_string())
+                    .as_bytes(),
+            ),
+        }
+    })
+}
+
+/// The content digest addressing one scenario's record.
+///
+/// Mixes, as delimited fields: the scenario key, the repetition count
+/// (the key deliberately ignores `reps`, but a 3-rep mean can differ
+/// from a 1-rep mean in the last ulp), the content hashes of the tool,
+/// platform and (when present) perturbation specs the scenario
+/// references, and the code fingerprint. Registering *unrelated* specs
+/// never re-keys a scenario — only edits to the specs it actually uses
+/// do.
+pub fn scenario_digest(sc: &Scenario) -> u64 {
+    let reg = ModelRegistry::global();
+    let mut h = Fnv64::new();
+    h.write_str(&sc.key());
+    h.write_delimited(&u64::from(sc.reps).to_le_bytes());
+    h.write_delimited(&reg.tool_hash(sc.tool).to_le_bytes());
+    h.write_delimited(&reg.platform_hash(sc.platform).to_le_bytes());
+    if let Some(p) = &sc.perturb {
+        h.write_delimited(&reg.perturb_hash(p.id).to_le_bytes());
+    }
+    h.write_delimited(&code_fingerprint().to_le_bytes());
+    h.finish()
+}
+
+/// One cached result: everything needed to reconstruct the record
+/// byte-for-byte given the scenario it was computed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// The scenario key (collision guard: a digest match with a
+    /// different key is treated as a miss).
+    pub key: String,
+    /// Execution status.
+    pub status: RecordStatus,
+    /// Repetition statistics, for `ok` entries. Non-finite components
+    /// round-trip through `null` exactly as the store renders them.
+    pub stats: Option<RepStats>,
+    /// Failure / unsupported detail, for non-`ok` entries.
+    pub detail: Option<String>,
+    /// Provenance of the run that computed the entry.
+    pub provenance: RecordProvenance,
+    /// Cache generation that wrote the entry.
+    pub generation: u64,
+}
+
+impl CacheEntry {
+    /// Reconstructs the full record for `sc` (which must be the
+    /// scenario this entry was keyed from).
+    pub fn to_record(&self, sc: &Scenario) -> ScenarioRecord {
+        ScenarioRecord {
+            scenario: *sc,
+            status: self.status,
+            stats: self.stats,
+            detail: self.detail.clone(),
+            counters: None,
+            provenance: Some(self.provenance.clone()),
+        }
+    }
+}
+
+fn render_opt_num(out: &mut String, value: Option<f64>) {
+    match value {
+        Some(v) if v.is_finite() => {
+            let _ = write!(out, "{v}");
+        }
+        _ => out.push_str("null"),
+    }
+}
+
+fn render_opt_str(out: &mut String, value: Option<&str>) {
+    match value {
+        Some(s) => {
+            let _ = write!(out, "\"{}\"", escape(s));
+        }
+        None => out.push_str("null"),
+    }
+}
+
+/// Renders one cache line (no trailing newline).
+fn render_entry(digest: u64, e: &CacheEntry) -> String {
+    let mut out = String::with_capacity(192);
+    let _ = write!(
+        out,
+        "{{\"digest\": \"{}\", \"key\": \"{}\", \"status\": \"{}\"",
+        hex16(digest),
+        escape(&e.key),
+        e.status.slug(),
+    );
+    out.push_str(", \"mean\": ");
+    render_opt_num(&mut out, e.stats.map(|s| s.mean));
+    out.push_str(", \"min\": ");
+    render_opt_num(&mut out, e.stats.map(|s| s.min));
+    out.push_str(", \"max\": ");
+    render_opt_num(&mut out, e.stats.map(|s| s.max));
+    out.push_str(", \"cv\": ");
+    render_opt_num(&mut out, e.stats.map(|s| s.cv));
+    out.push_str(", \"detail\": ");
+    render_opt_str(&mut out, e.detail.as_deref());
+    out.push_str(", \"git_sha\": ");
+    render_opt_str(&mut out, e.provenance.git_sha.as_deref());
+    out.push_str(", \"timestamp\": ");
+    match e.provenance.timestamp {
+        Some(t) => {
+            let _ = write!(out, "{t}");
+        }
+        None => out.push_str("null"),
+    }
+    let _ = write!(out, ", \"generation\": {}}}", e.generation);
+    out
+}
+
+/// Parses one cache line back into `(digest, entry)`.
+fn parse_entry(line: &str) -> Result<(u64, CacheEntry), String> {
+    let pairs = parse_object(line)?;
+    let get = |k: &str| pairs.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+    let str_field = |k: &str| -> Result<String, String> {
+        get(k)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing string field '{k}'"))
+    };
+    let num_field = |k: &str| get(k).and_then(Json::as_f64);
+    let digest =
+        u64::from_str_radix(&str_field("digest")?, 16).map_err(|e| format!("bad digest: {e}"))?;
+    let status = match str_field("status")?.as_str() {
+        "ok" => RecordStatus::Ok,
+        "unsupported" => RecordStatus::Unsupported,
+        "error" => RecordStatus::Error,
+        other => return Err(format!("unknown status '{other}'")),
+    };
+    // `ok` records always carry stats; null components were non-finite
+    // values, which NaN re-renders as null — byte-stable either way.
+    let stats = (status == RecordStatus::Ok).then(|| RepStats {
+        mean: num_field("mean").unwrap_or(f64::NAN),
+        min: num_field("min").unwrap_or(f64::NAN),
+        max: num_field("max").unwrap_or(f64::NAN),
+        cv: num_field("cv").unwrap_or(f64::NAN),
+    });
+    Ok((
+        digest,
+        CacheEntry {
+            key: str_field("key")?,
+            status,
+            stats,
+            detail: get("detail").and_then(Json::as_str).map(str::to_string),
+            provenance: RecordProvenance {
+                git_sha: get("git_sha").and_then(Json::as_str).map(str::to_string),
+                timestamp: num_field("timestamp").map(|t| t as u64),
+            },
+            generation: num_field("generation").unwrap_or(0.0) as u64,
+        },
+    ))
+}
+
+/// Aggregate statistics over one bucket file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketStats {
+    /// The bucket's code fingerprint (file stem).
+    pub fingerprint: String,
+    /// Total lines in the file (appends, including superseded ones).
+    pub lines: usize,
+    /// Distinct digests (live entries after last-wins dedup).
+    pub live: usize,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Whether this is the running binary's bucket.
+    pub current: bool,
+}
+
+/// Aggregate statistics over a cache directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Manifest generation counter (cache-writing runs so far).
+    pub generation: u64,
+    /// Per-bucket breakdown, current bucket first.
+    pub buckets: Vec<BucketStats>,
+}
+
+impl CacheStats {
+    /// Total live entries across buckets.
+    pub fn live(&self) -> usize {
+        self.buckets.iter().map(|b| b.live).sum()
+    }
+
+    /// Total bytes across buckets.
+    pub fn bytes(&self) -> u64 {
+        self.buckets.iter().map(|b| b.bytes).sum()
+    }
+
+    /// Renders the stats as one flat JSON object (the `--json` output
+    /// of `pdceval cache stats`, uploaded as a CI artifact).
+    pub fn render_json(&self) -> String {
+        let current = self.buckets.iter().find(|b| b.current);
+        format!(
+            "{{\"version\": {CACHE_VERSION}, \"generation\": {}, \"buckets\": {}, \
+             \"entries\": {}, \"bytes\": {}, \"current_fingerprint\": \"{}\", \
+             \"current_entries\": {}}}",
+            self.generation,
+            self.buckets.len(),
+            self.live(),
+            self.bytes(),
+            hex16(code_fingerprint()),
+            current.map(|b| b.live).unwrap_or(0),
+        )
+    }
+
+    /// Renders the stats as human-readable text.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "generation {} | {} bucket(s) | {} live entr{} | {} byte(s)\n",
+            self.generation,
+            self.buckets.len(),
+            self.live(),
+            if self.live() == 1 { "y" } else { "ies" },
+            self.bytes(),
+        );
+        for b in &self.buckets {
+            let _ = writeln!(
+                out,
+                "  {}{}: {} live / {} line(s), {} byte(s)",
+                b.fingerprint,
+                if b.current { " (current)" } else { " (stale)" },
+                b.live,
+                b.lines,
+                b.bytes,
+            );
+        }
+        out
+    }
+}
+
+/// What `gc` removed and kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcReport {
+    /// Stale-fingerprint bucket files deleted.
+    pub stale_buckets_removed: usize,
+    /// Entries dropped from the current bucket (old generations plus
+    /// superseded duplicate lines compacted away).
+    pub entries_dropped: usize,
+    /// Live entries kept in the current bucket.
+    pub entries_kept: usize,
+    /// Bytes reclaimed across the sweep and the compaction.
+    pub bytes_reclaimed: u64,
+}
+
+/// The on-disk content-addressed cache, loaded for the current code
+/// fingerprint's bucket.
+#[derive(Debug)]
+pub struct CampaignCache {
+    dir: PathBuf,
+    generation: u64,
+    /// Set once this instance has bumped the manifest for its first
+    /// write; hit-only runs never touch the generation counter.
+    run_started: bool,
+    entries: HashMap<u64, CacheEntry>,
+    appender: Option<Appender>,
+}
+
+impl CampaignCache {
+    /// Opens (creating if needed) the cache at `dir` and loads the
+    /// current fingerprint's bucket.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of any I/O or format problem.
+    pub fn open(dir: &Path) -> Result<CampaignCache, String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create cache dir {}: {e}", dir.display()))?;
+        let generation = read_manifest(dir)?;
+        let mut entries = HashMap::new();
+        let bucket = bucket_path(dir, code_fingerprint());
+        if bucket.exists() {
+            let text = std::fs::read_to_string(&bucket)
+                .map_err(|e| format!("cannot read {}: {e}", bucket.display()))?;
+            for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                // Tolerate torn or foreign lines (a killed run's partial
+                // append): a skipped line is just a future miss.
+                if let Ok((digest, entry)) = parse_entry(line) {
+                    entries.insert(digest, entry);
+                }
+            }
+        }
+        Ok(CampaignCache {
+            dir: dir.to_path_buf(),
+            generation,
+            run_started: false,
+            entries,
+            appender: None,
+        })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Live entries loaded for the current fingerprint.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the current bucket holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The manifest's generation counter.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Looks up the cached record for `sc`, reconstructed with its
+    /// original provenance. Hits do not refresh the entry's generation.
+    pub fn lookup(&self, sc: &Scenario) -> Option<ScenarioRecord> {
+        let entry = self.entries.get(&scenario_digest(sc))?;
+        // 64-bit digests make collisions vanishingly rare, not
+        // impossible; the stored key breaks ties safely (miss).
+        (entry.key == sc.key()).then(|| entry.to_record(sc))
+    }
+
+    /// Finds a cached record by scenario key alone (the `serve` `query`
+    /// op). Key lookups cannot reconstruct the scenario coordinates, so
+    /// the rendered store line is returned instead of a record.
+    pub fn find_by_key(&self, key: &str) -> Option<&CacheEntry> {
+        self.entries.values().find(|e| e.key == key)
+    }
+
+    /// Inserts one freshly executed record. The entry's provenance is
+    /// the record's own (for re-inserts of cached records) or `meta`'s
+    /// stamp; its generation is this run's.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of any I/O problem.
+    pub fn insert(&mut self, record: &ScenarioRecord, meta: &StoreMeta) -> Result<(), String> {
+        if !self.run_started {
+            // First write of this invocation: this run gets its own
+            // generation number, persisted before any entry references
+            // it.
+            self.generation += 1;
+            write_manifest(&self.dir, self.generation)?;
+            self.run_started = true;
+        }
+        let digest = scenario_digest(&record.scenario);
+        let entry = CacheEntry {
+            key: record.scenario.key(),
+            status: record.status,
+            stats: record.stats,
+            detail: record.detail.clone(),
+            provenance: record.provenance.clone().unwrap_or(RecordProvenance {
+                git_sha: meta.git_sha.clone(),
+                timestamp: meta.timestamp,
+            }),
+            generation: self.generation,
+        };
+        if self.appender.is_none() {
+            self.appender = Some(
+                Appender::open(&bucket_path(&self.dir, code_fingerprint()))
+                    .map_err(|e| format!("cannot open cache bucket: {e}"))?,
+            );
+        }
+        self.appender
+            .as_mut()
+            .expect("appender just opened")
+            .append_line(&render_entry(digest, &entry))
+            .map_err(|e| format!("cannot append cache entry: {e}"))?;
+        self.entries.insert(digest, entry);
+        Ok(())
+    }
+
+    /// Flushes buffered appends to disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of any I/O problem.
+    pub fn flush(&mut self) -> Result<(), String> {
+        if let Some(a) = self.appender.as_mut() {
+            a.flush().map_err(|e| format!("cannot flush cache: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Scans the cache directory for aggregate statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of any I/O problem.
+    pub fn stats(&self) -> Result<CacheStats, String> {
+        let current = hex16(code_fingerprint());
+        let mut buckets = Vec::new();
+        for path in bucket_files(&self.dir)? {
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default()
+                .to_string();
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let mut digests = std::collections::HashSet::new();
+            let mut lines = 0usize;
+            for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                lines += 1;
+                if let Ok((d, _)) = parse_entry(line) {
+                    digests.insert(d);
+                }
+            }
+            buckets.push(BucketStats {
+                current: stem == current,
+                fingerprint: stem,
+                lines,
+                live: digests.len(),
+                bytes: text.len() as u64,
+            });
+        }
+        buckets.sort_by_key(|b| (!b.current, b.fingerprint.clone()));
+        Ok(CacheStats {
+            generation: self.generation,
+            buckets,
+        })
+    }
+
+    /// Garbage-collects the cache: deletes every stale-fingerprint
+    /// bucket (a rebuild's old results can never hit again), and
+    /// compacts the current bucket — dropping superseded duplicate
+    /// lines, plus entries older than `keep` generations when given
+    /// (`keep = Some(0)` keeps only the latest writing generation).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of any I/O problem.
+    pub fn gc(&mut self, keep: Option<u64>) -> Result<GcReport, String> {
+        self.appender = None; // close the bucket before rewriting it
+        let mut report = GcReport::default();
+        let current = bucket_path(&self.dir, code_fingerprint());
+        for path in bucket_files(&self.dir)? {
+            if path == current {
+                continue;
+            }
+            report.bytes_reclaimed += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            std::fs::remove_file(&path)
+                .map_err(|e| format!("cannot remove {}: {e}", path.display()))?;
+            report.stale_buckets_removed += 1;
+        }
+        let before = std::fs::metadata(&current).map(|m| m.len()).unwrap_or(0);
+        let lines_before = if current.exists() {
+            std::fs::read_to_string(&current)
+                .map(|t| t.lines().filter(|l| !l.trim().is_empty()).count())
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        if let Some(keep) = keep {
+            let floor = self.generation.saturating_sub(keep);
+            self.entries.retain(|_, e| e.generation >= floor);
+        }
+        // Compact: rewrite the live map in digest order (deterministic
+        // bytes for the CI `cmp` after gc).
+        let mut live: Vec<(&u64, &CacheEntry)> = self.entries.iter().collect();
+        live.sort_by_key(|(d, _)| **d);
+        let mut text = String::new();
+        for (d, e) in &live {
+            text.push_str(&render_entry(**d, e));
+            text.push('\n');
+        }
+        if current.exists() || !text.is_empty() {
+            std::fs::write(&current, &text)
+                .map_err(|e| format!("cannot rewrite {}: {e}", current.display()))?;
+        }
+        report.entries_kept = live.len();
+        report.entries_dropped = lines_before.saturating_sub(live.len());
+        report.bytes_reclaimed += before.saturating_sub(text.len() as u64);
+        Ok(report)
+    }
+
+    /// Deletes every bucket and the manifest, returning the number of
+    /// files removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of any I/O problem.
+    pub fn clear(&mut self) -> Result<usize, String> {
+        self.appender = None;
+        let mut removed = 0usize;
+        for path in bucket_files(&self.dir)? {
+            std::fs::remove_file(&path)
+                .map_err(|e| format!("cannot remove {}: {e}", path.display()))?;
+            removed += 1;
+        }
+        let manifest = self.dir.join(MANIFEST);
+        if manifest.exists() {
+            std::fs::remove_file(&manifest)
+                .map_err(|e| format!("cannot remove {}: {e}", manifest.display()))?;
+            removed += 1;
+        }
+        self.entries.clear();
+        self.generation = 0;
+        self.run_started = false;
+        Ok(removed)
+    }
+}
+
+fn bucket_path(dir: &Path, fingerprint: u64) -> PathBuf {
+    dir.join(format!("{}.jsonl", hex16(fingerprint)))
+}
+
+fn bucket_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let rd = match std::fs::read_dir(dir) {
+        Ok(rd) => rd,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(format!("cannot read cache dir {}: {e}", dir.display())),
+    };
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("cannot read cache dir: {e}"))?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("jsonl") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn read_manifest(dir: &Path) -> Result<u64, String> {
+    let path = dir.join(MANIFEST);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    let pairs = parse_object(text.trim()).map_err(|e| format!("{}: {e}", path.display()))?;
+    let get = |k: &str| {
+        pairs
+            .iter()
+            .find(|(key, _)| key == k)
+            .and_then(|(_, v)| v.as_f64())
+    };
+    let version = get("version").unwrap_or(0.0) as u64;
+    if version != CACHE_VERSION {
+        return Err(format!(
+            "{}: cache format version {version} (this build expects {CACHE_VERSION}) — run \
+             `pdceval cache clear`",
+            path.display()
+        ));
+    }
+    Ok(get("generation").unwrap_or(0.0) as u64)
+}
+
+fn write_manifest(dir: &Path, generation: u64) -> Result<(), String> {
+    let path = dir.join(MANIFEST);
+    std::fs::write(
+        &path,
+        format!("{{\"version\": {CACHE_VERSION}, \"generation\": {generation}}}\n"),
+    )
+    .map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Hit/miss accounting of one cached campaign run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheReport {
+    /// Scenarios served from the cache.
+    pub hits: usize,
+    /// Scenarios executed (and inserted).
+    pub misses: usize,
+}
+
+/// [`run_campaign_with`] layered over the cache: looks up every
+/// scenario, executes only the misses (in parallel, with `opts`
+/// observability intact), inserts the fresh records, and splices cached
+/// records back in deterministic grid order. The returned records are
+/// byte-identical — via [`RecordProvenance`] pinning — to what a cold
+/// run over the same grid would produce.
+pub fn run_campaign_cached(
+    scenarios: &[Scenario],
+    workers: usize,
+    opts: &CampaignOptions<'_>,
+    cache: &mut CampaignCache,
+    meta: &StoreMeta,
+) -> (Vec<ScenarioRecord>, CacheReport) {
+    let mut slots: Vec<Option<ScenarioRecord>> = scenarios.iter().map(|_| None).collect();
+    let mut miss_idx = Vec::new();
+    let mut miss_scenarios = Vec::new();
+    for (i, sc) in scenarios.iter().enumerate() {
+        match cache.lookup(sc) {
+            Some(record) => slots[i] = Some(record),
+            None => {
+                miss_idx.push(i);
+                miss_scenarios.push(*sc);
+            }
+        }
+    }
+    let report = CacheReport {
+        hits: scenarios.len() - miss_idx.len(),
+        misses: miss_idx.len(),
+    };
+    let executed = run_campaign_with(&miss_scenarios, workers, opts);
+    for (i, record) in miss_idx.into_iter().zip(executed) {
+        if let Err(e) = cache.insert(&record, meta) {
+            eprintln!("warning: {e}");
+        }
+        slots[i] = Some(record);
+    }
+    if let Err(e) = cache.flush() {
+        eprintln!("warning: {e}");
+    }
+    (
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot is a hit or an executed miss"))
+            .collect(),
+        report,
+    )
+}
+
+/// Per-digest single-flight deduplication for concurrent front ends.
+///
+/// When several `serve` connections request the same uncached scenario
+/// simultaneously, exactly one (the leader) executes it; the rest block
+/// on the flight and receive the leader's record. Distinct digests
+/// never serialize against each other.
+#[derive(Debug, Default)]
+pub struct SingleFlight {
+    inflight: Mutex<HashMap<u64, std::sync::Arc<Flight>>>,
+}
+
+#[derive(Debug, Default)]
+struct Flight {
+    result: Mutex<Option<ScenarioRecord>>,
+    done: Condvar,
+}
+
+/// How a [`SingleFlight::run`] call obtained its record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightOutcome {
+    /// This call executed the scenario.
+    Led,
+    /// This call waited on another call's execution.
+    Joined,
+}
+
+impl SingleFlight {
+    /// A fresh deduplicator with no flights.
+    pub fn new() -> SingleFlight {
+        SingleFlight::default()
+    }
+
+    /// Runs `compute` for `digest` unless an identical flight is
+    /// already in progress, in which case this call blocks and returns
+    /// the leader's record.
+    pub fn run(
+        &self,
+        digest: u64,
+        compute: impl FnOnce() -> ScenarioRecord,
+    ) -> (ScenarioRecord, FlightOutcome) {
+        let (flight, leader) = {
+            let mut inflight = self.inflight.lock().expect("single-flight poisoned");
+            match inflight.get(&digest) {
+                Some(f) => (f.clone(), false),
+                None => {
+                    let f = std::sync::Arc::new(Flight::default());
+                    inflight.insert(digest, f.clone());
+                    (f, true)
+                }
+            }
+        };
+        if leader {
+            let record = compute();
+            *flight.result.lock().expect("flight poisoned") = Some(record.clone());
+            flight.done.notify_all();
+            self.inflight
+                .lock()
+                .expect("single-flight poisoned")
+                .remove(&digest);
+            (record, FlightOutcome::Led)
+        } else {
+            let mut result = flight.result.lock().expect("flight poisoned");
+            while result.is_none() {
+                result = flight.done.wait(result).expect("flight poisoned");
+            }
+            (
+                result.clone().expect("flight resolved while held"),
+                FlightOutcome::Joined,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::ScenarioGrid;
+    use crate::scenario::Kernel;
+    use crate::store::render_jsonl;
+    use pdceval_mpt::ToolKind;
+    use pdceval_simnet::platform::Platform;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pdceval-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_grid() -> Vec<Scenario> {
+        ScenarioGrid::new()
+            .kernels([Kernel::Ring { shifts: 1 }, Kernel::Broadcast])
+            .tools([ToolKind::P4, ToolKind::PVM])
+            .platforms([Platform::SUN_ETHERNET])
+            .nprocs([4])
+            .sizes([0, 4096])
+            .reps(2)
+            .scenarios()
+    }
+
+    fn meta(tag: u64) -> StoreMeta {
+        StoreMeta {
+            git_sha: Some(format!("sha{tag:09}")),
+            timestamp: Some(1_700_000_000 + tag),
+            emit_counters: false,
+        }
+    }
+
+    #[test]
+    fn digests_are_per_scenario_and_collision_guarded() {
+        let grid = small_grid();
+        let digests: std::collections::HashSet<u64> = grid.iter().map(scenario_digest).collect();
+        assert_eq!(
+            digests.len(),
+            grid.len(),
+            "digest collision in a small grid"
+        );
+        // reps participates: same key, different digest.
+        let mut more_reps = grid[0];
+        more_reps.reps += 1;
+        assert_eq!(more_reps.key(), grid[0].key());
+        assert_ne!(scenario_digest(&more_reps), scenario_digest(&grid[0]));
+    }
+
+    #[test]
+    fn entries_round_trip_through_their_line_rendering() {
+        let entries = [
+            CacheEntry {
+                key: "ring-x1/p4/sun-eth/n4/s4096".to_string(),
+                status: RecordStatus::Ok,
+                stats: Some(RepStats {
+                    mean: 3.25,
+                    min: 3.25,
+                    max: 3.25,
+                    cv: 0.0,
+                }),
+                detail: None,
+                provenance: RecordProvenance {
+                    git_sha: Some("abc".to_string()),
+                    timestamp: Some(1_700_000_000),
+                },
+                generation: 3,
+            },
+            CacheEntry {
+                key: "globalsum/pvm/sun-eth/n4/s1000".to_string(),
+                status: RecordStatus::Unsupported,
+                stats: None,
+                detail: Some("PVM does not support \"global sum\"".to_string()),
+                provenance: RecordProvenance::default(),
+                generation: 1,
+            },
+        ];
+        for e in &entries {
+            let line = render_entry(0xdead_beef, e);
+            let (d, back) = parse_entry(&line).unwrap();
+            assert_eq!(d, 0xdead_beef);
+            assert_eq!(&back, e);
+            // And the rendering is a fixpoint.
+            assert_eq!(render_entry(d, &back), line);
+        }
+    }
+
+    #[test]
+    fn non_finite_stats_are_byte_stable_through_the_cache() {
+        let e = CacheEntry {
+            key: "k".to_string(),
+            status: RecordStatus::Ok,
+            stats: Some(RepStats {
+                mean: f64::NAN,
+                min: f64::INFINITY,
+                max: 1.5,
+                cv: f64::NAN,
+            }),
+            detail: None,
+            provenance: RecordProvenance::default(),
+            generation: 1,
+        };
+        let line = render_entry(7, &e);
+        let (_, back) = parse_entry(&line).unwrap();
+        // NaN != NaN, so compare via re-rendering.
+        assert_eq!(render_entry(7, &back), line);
+    }
+
+    #[test]
+    fn warm_runs_are_byte_identical_to_cold_runs() {
+        let dir = temp_dir("warm");
+        let grid = small_grid();
+        let opts = CampaignOptions::default();
+
+        let mut cache = CampaignCache::open(&dir).unwrap();
+        let cold_meta = meta(1);
+        let (cold, r) = run_campaign_cached(&grid, 2, &opts, &mut cache, &cold_meta);
+        assert_eq!((r.hits, r.misses), (0, grid.len()));
+        let cold_store = render_jsonl(&cold, &cold_meta);
+        drop(cache);
+
+        // Fresh open, different store stamp: all hits, identical bytes.
+        let mut cache = CampaignCache::open(&dir).unwrap();
+        let warm_meta = meta(2);
+        let (warm, r) = run_campaign_cached(&grid, 2, &opts, &mut cache, &warm_meta);
+        assert_eq!((r.hits, r.misses), (grid.len(), 0));
+        assert_eq!(render_jsonl(&warm, &warm_meta), cold_store);
+        // Hit-only runs never bump the generation.
+        assert_eq!(cache.generation(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mixed_runs_splice_hits_and_misses_in_grid_order() {
+        let dir = temp_dir("mixed");
+        let grid = small_grid();
+        let opts = CampaignOptions::default();
+        let cold_meta = meta(1);
+
+        // Warm only half the grid (every other point).
+        let half: Vec<Scenario> = grid.iter().copied().step_by(2).collect();
+        let mut cache = CampaignCache::open(&dir).unwrap();
+        let (_, r) = run_campaign_cached(&half, 1, &opts, &mut cache, &cold_meta);
+        assert_eq!(r.misses, half.len());
+        drop(cache);
+
+        let mut cache = CampaignCache::open(&dir).unwrap();
+        let mixed_meta = meta(2);
+        let (mixed, r) = run_campaign_cached(&grid, 2, &opts, &mut cache, &mixed_meta);
+        assert_eq!((r.hits, r.misses), (half.len(), grid.len() - half.len()));
+        // Order and values match a cold run exactly; bytes differ only
+        // where fresh records take the new store stamp — which is what
+        // a cold run under `mixed_meta` would also produce, except the
+        // spliced hits carry their original provenance.
+        let direct = crate::runner::run_campaign(&grid, 2);
+        for (m, d) in mixed.iter().zip(&direct) {
+            assert_eq!(m.scenario, d.scenario);
+            assert_eq!(m.status, d.status);
+            assert_eq!(m.stats, d.stats);
+        }
+        // A further full warm run is byte-stable against itself.
+        drop(cache);
+        let mut cache = CampaignCache::open(&dir).unwrap();
+        let (warm, r) = run_campaign_cached(&grid, 1, &opts, &mut cache, &meta(3));
+        assert_eq!((r.hits, r.misses), (grid.len(), 0));
+        assert_eq!(
+            render_jsonl(&warm, &meta(4)),
+            render_jsonl(&mixed, &mixed_meta)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_sweeps_stale_buckets_and_compacts_generations() {
+        let dir = temp_dir("gc");
+        let grid = small_grid();
+        let mut cache = CampaignCache::open(&dir).unwrap();
+        let (_, _) =
+            run_campaign_cached(&grid, 1, &CampaignOptions::default(), &mut cache, &meta(1));
+        // Plant a stale bucket from a fictitious old build.
+        let stale = bucket_path(&dir, 0x1234_5678_9abc_def0);
+        std::fs::write(&stale, "{\"digest\": \"00000000000000aa\", \"key\": \"old\", \"status\": \"ok\", \"mean\": 1, \"min\": 1, \"max\": 1, \"cv\": 0, \"detail\": null, \"git_sha\": null, \"timestamp\": null, \"generation\": 1}\n").unwrap();
+        let report = cache.gc(None).unwrap();
+        assert_eq!(report.stale_buckets_removed, 1);
+        assert!(!stale.exists());
+        assert_eq!(report.entries_kept, grid.len());
+        // Everything still hits after gc.
+        drop(cache);
+        let cache = CampaignCache::open(&dir).unwrap();
+        assert_eq!(cache.len(), grid.len());
+        assert!(grid.iter().all(|sc| cache.lookup(sc).is_some()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_keep_drops_old_generations() {
+        let dir = temp_dir("gc-keep");
+        let grid = small_grid();
+        let (old_half, new_half) = grid.split_at(grid.len() / 2);
+        let opts = CampaignOptions::default();
+        // Generation 1 writes the first half; generation 2 the second.
+        let mut cache = CampaignCache::open(&dir).unwrap();
+        run_campaign_cached(old_half, 1, &opts, &mut cache, &meta(1));
+        drop(cache);
+        let mut cache = CampaignCache::open(&dir).unwrap();
+        run_campaign_cached(new_half, 1, &opts, &mut cache, &meta(2));
+        assert_eq!(cache.generation(), 2);
+        let report = cache.gc(Some(0)).unwrap();
+        assert_eq!(report.entries_dropped, old_half.len());
+        assert_eq!(report.entries_kept, new_half.len());
+        assert!(new_half.iter().all(|sc| cache.lookup(sc).is_some()));
+        assert!(old_half.iter().all(|sc| cache.lookup(sc).is_none()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let dir = temp_dir("clear");
+        let grid = small_grid();
+        let mut cache = CampaignCache::open(&dir).unwrap();
+        run_campaign_cached(&grid, 1, &CampaignOptions::default(), &mut cache, &meta(1));
+        cache.flush().unwrap();
+        let removed = cache.clear().unwrap();
+        assert_eq!(removed, 2, "one bucket + one manifest");
+        assert!(cache.is_empty());
+        assert_eq!(cache.generation(), 0);
+        assert_eq!(bucket_files(&dir).unwrap().len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn single_flight_executes_once_per_digest() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let flight = SingleFlight::new();
+        let computes = AtomicUsize::new(0);
+        let record = crate::runner::run_campaign(&small_grid()[..1], 1).remove(0);
+        let outcomes: Vec<FlightOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let (flight, computes, record) = (&flight, &computes, &record);
+                    scope.spawn(move || {
+                        let (r, outcome) = flight.run(42, || {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open long enough for
+                            // followers to pile up.
+                            std::thread::sleep(std::time::Duration::from_millis(30));
+                            record.clone()
+                        });
+                        assert_eq!(&r, record);
+                        outcome
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // At least one led; nobody computed twice concurrently. (After
+        // a flight resolves, a *later* call may lead again — that is a
+        // cache-layer concern, not single-flight's.)
+        let led = outcomes
+            .iter()
+            .filter(|o| **o == FlightOutcome::Led)
+            .count();
+        assert_eq!(led, computes.load(Ordering::SeqCst));
+        assert!(led >= 1);
+    }
+}

@@ -70,6 +70,14 @@ pub struct Executor {
     last_capture: Option<RunCapture>,
 }
 
+/// Upper bound on cached skeletons per executor. One-shot sweeps never
+/// get near it; it exists for resident processes (`pdceval serve`)
+/// where clients keep submitting new `(platform, nprocs)` combinations
+/// and the cache would otherwise grow for the life of the server.
+/// Eviction clears the whole map — skeletons are cheap to rebuild, and
+/// reuse or not never changes a measured value.
+const HARNESS_CACHE_MAX: usize = 32;
+
 impl Executor {
     /// Creates an executor with an empty harness cache.
     pub fn new() -> Executor {
@@ -118,7 +126,11 @@ impl Executor {
                 }));
             }
         }
-        let harness = match self.harnesses.entry((sc.platform, sc.nprocs)) {
+        let slot = (sc.platform, sc.nprocs);
+        if !self.harnesses.contains_key(&slot) && self.harnesses.len() >= HARNESS_CACHE_MAX {
+            self.harnesses.clear();
+        }
+        let harness = match self.harnesses.entry(slot) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(e) => {
                 e.insert(SpmdHarness::new(sc.platform, sc.nprocs)?)
@@ -372,6 +384,35 @@ mod tests {
         assert!(out.iter().all(|o| o.value().is_some()));
         // One platform, one nprocs: one skeleton for all three points.
         assert_eq!(exec.harness_count(), 1);
+    }
+
+    #[test]
+    fn harness_cache_is_bounded_for_resident_executors() {
+        let mut exec = Executor::new();
+        // More distinct (platform, nprocs) pairs than the cache holds —
+        // the serve workload shape. The cache must stay bounded and the
+        // post-eviction value must match a fresh executor's.
+        let mut pairs = 0;
+        for platform in Platform::all() {
+            for n in 2..=platform.spec().max_nodes.min(16) {
+                let point = sc(Kernel::Broadcast, ToolKind::P4, platform, n, 64);
+                exec.run(&point).unwrap();
+                assert!(exec.harness_count() <= HARNESS_CACHE_MAX);
+                pairs += 1;
+            }
+        }
+        assert!(pairs > HARNESS_CACHE_MAX, "test must overflow the cache");
+        let point = sc(
+            Kernel::Broadcast,
+            ToolKind::P4,
+            Platform::SUN_ETHERNET,
+            2,
+            64,
+        );
+        assert_eq!(
+            exec.run(&point).unwrap(),
+            Executor::new().run(&point).unwrap()
+        );
     }
 
     #[test]

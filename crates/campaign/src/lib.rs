@@ -15,6 +15,11 @@
 //!   ordering and repetition statistics;
 //! * [`store`] — the JSONL results store (scenario key + git SHA +
 //!   timestamp + mean/min/max/CV);
+//! * [`cache`] — the content-addressed results cache (spec-content +
+//!   code-fingerprint digests, byte-identical warm runs, GC);
+//! * [`serve`] — the long-running query front end (`pdceval serve`):
+//!   newline-delimited JSON over TCP/Unix sockets with single-flight
+//!   dedup over a shared executor pool;
 //! * [`diff`] — baseline comparison and regression gating;
 //! * [`explain`] — virtual-time breakdowns of traced scenarios
 //!   (Chrome trace export, `pdceval explain`);
@@ -52,6 +57,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod campaigns;
 pub mod diff;
 pub mod exec;
@@ -60,12 +66,15 @@ pub mod grid;
 pub mod json;
 pub mod runner;
 pub mod scenario;
+pub mod serve;
 pub mod store;
 
+pub use cache::{run_campaign_cached, CacheReport, CampaignCache, SingleFlight};
 pub use exec::{Executor, PointOutcome, RunCapture};
 pub use grid::ScenarioGrid;
 pub use runner::{
-    run_campaign, run_campaign_with, CampaignOptions, RecordStatus, RepStats, ScenarioDoneFn,
-    ScenarioRecord,
+    run_campaign, run_campaign_with, CampaignOptions, ExecPool, RecordStatus, RepStats,
+    ScenarioDoneFn, ScenarioRecord,
 };
 pub use scenario::{AplApp, Kernel, PerturbRun, Scale, Scenario};
+pub use serve::{ServeState, Server};

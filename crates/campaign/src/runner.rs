@@ -81,6 +81,10 @@ pub struct ScenarioRecord {
     /// produces the same counts). Rendered into stores only when
     /// [`crate::store::StoreMeta::emit_counters`] is set.
     pub counters: Option<CounterSummary>,
+    /// Provenance of the run that *computed* this record, when it was
+    /// served from the campaign cache rather than executed — see
+    /// [`crate::store::RecordProvenance`]. `None` for fresh records.
+    pub provenance: Option<crate::store::RecordProvenance>,
 }
 
 /// Runs one scenario (all repetitions) on `exec`, producing its record.
@@ -99,6 +103,7 @@ pub fn run_point(exec: &mut Executor, sc: &Scenario) -> ScenarioRecord {
                     stats: None,
                     detail: Some(e.to_string()),
                     counters: None,
+                    provenance: None,
                 };
             }
             Err(e) => {
@@ -108,6 +113,7 @@ pub fn run_point(exec: &mut Executor, sc: &Scenario) -> ScenarioRecord {
                     stats: None,
                     detail: Some(e.to_string()),
                     counters: None,
+                    provenance: None,
                 };
             }
         }
@@ -118,6 +124,7 @@ pub fn run_point(exec: &mut Executor, sc: &Scenario) -> ScenarioRecord {
         stats: Some(RepStats::from_values(&values)),
         detail: None,
         counters: exec.last_capture().map(|c| c.counters.clone()),
+        provenance: None,
     }
 }
 
@@ -231,6 +238,70 @@ pub fn run_campaign_with(
         .collect()
 }
 
+/// A shared, bounded pool of [`Executor`]s for long-running services.
+///
+/// [`run_campaign`] builds its workers per call, which is right for a
+/// one-shot CLI run but wrong for `pdceval serve`, where many
+/// connections submit scenarios concurrently and cluster skeletons
+/// should stay warm across requests. The pool holds up to `capacity`
+/// executors; [`ExecPool::run_point`] checks one out (blocking while
+/// all are busy — this is what bounds total simulation concurrency
+/// across every connection), runs the scenario, and returns the
+/// executor with its harness cache intact.
+#[derive(Debug)]
+pub struct ExecPool {
+    idle: Mutex<Vec<Executor>>,
+    returned: std::sync::Condvar,
+    capacity: usize,
+    runs: std::sync::atomic::AtomicU64,
+}
+
+impl ExecPool {
+    /// Creates a pool of `capacity` executors (at least 1).
+    pub fn new(capacity: usize) -> ExecPool {
+        let capacity = capacity.max(1);
+        ExecPool {
+            idle: Mutex::new((0..capacity).map(|_| Executor::new()).collect()),
+            returned: std::sync::Condvar::new(),
+            capacity,
+            runs: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The pool's executor count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total scenario executions completed through this pool — the
+    /// single-flight tests assert on this: N clients sweeping
+    /// overlapping grids must drive it up by the number of *distinct*
+    /// scenarios, not the number of requests.
+    pub fn runs_completed(&self) -> u64 {
+        self.runs.load(Ordering::SeqCst)
+    }
+
+    /// Runs one scenario on a checked-out executor, blocking while the
+    /// whole pool is busy.
+    pub fn run_point(&self, sc: &Scenario) -> ScenarioRecord {
+        let mut exec = {
+            let mut idle = self.idle.lock().expect("executor pool poisoned");
+            while idle.is_empty() {
+                idle = self
+                    .returned
+                    .wait(idle)
+                    .expect("executor pool poisoned while waiting");
+            }
+            idle.pop().expect("non-empty after wait")
+        };
+        let record = run_point(&mut exec, sc);
+        self.runs.fetch_add(1, Ordering::SeqCst);
+        self.idle.lock().expect("executor pool poisoned").push(exec);
+        self.returned.notify_one();
+        record
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,5 +381,32 @@ mod tests {
         assert_eq!(records[0].status, RecordStatus::Error);
         assert!(records[0].detail.as_deref().unwrap().contains("port"));
         assert_eq!(records[1].status, RecordStatus::Ok);
+    }
+
+    #[test]
+    fn exec_pool_matches_per_call_workers_and_counts_runs() {
+        let scenarios = smoke_scenarios();
+        let direct = run_campaign(&scenarios, 1);
+        let pool = ExecPool::new(2);
+        // Hammer the 2-executor pool from 4 threads; checkout blocking
+        // bounds concurrency, and every record is bit-identical to the
+        // per-call-executor path.
+        let pool_ref = &pool;
+        let pooled: Vec<ScenarioRecord> = std::thread::scope(|scope| {
+            let handles: Vec<_> = scenarios
+                .chunks(3)
+                .map(|chunk| {
+                    scope.spawn(move || -> Vec<ScenarioRecord> {
+                        chunk.iter().map(|sc| pool_ref.run_point(sc)).collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("pool worker panicked"))
+                .collect()
+        });
+        assert_eq!(pooled, direct);
+        assert_eq!(pool.runs_completed(), scenarios.len() as u64);
     }
 }

@@ -1,0 +1,478 @@
+//! `pdceval serve`: a long-running campaign-results service.
+//!
+//! The CLI's one-shot `run` pays full price every invocation: process
+//! start, registry setup, cold harness caches. `serve` keeps all of it
+//! warm behind a socket — one [`CampaignCache`], one bounded
+//! [`ExecPool`] of executors, one [`SingleFlight`] table — and answers
+//! newline-delimited JSON requests from any number of concurrent
+//! clients (thread-per-connection; total simulation concurrency is
+//! bounded by the pool, not the client count).
+//!
+//! # Protocol
+//!
+//! One flat JSON object per line in, one or more flat JSON objects per
+//! line out (the store dialect — [`crate::json`] — which has no nested
+//! values; list-valued fields are space-separated strings). Ops:
+//!
+//! ```text
+//! {"op": "ping"}
+//! {"op": "run", "campaign": "quick"}
+//! {"op": "sweep", "kernels": "ring broadcast", "tools": "p4 pvm",
+//!  "platforms": "sun-eth", "nprocs": "2 4", "sizes": "0 4096", "reps": "2"}
+//! {"op": "query", "key": "ring-x1/p4/sun-eth/n4/s4096"}
+//! {"op": "stats"}
+//! {"op": "shutdown"}
+//! ```
+//!
+//! `run` and `sweep` respond with one results-store line per scenario
+//! (identical bytes to what `pdceval run` would write for the same
+//! point) followed by a summary line
+//! `{"done": true, "points": N, "hits": H, "executed": E, "joined": J}`.
+//! Scenarios already cached are **hits**; uncached ones are executed
+//! once — if two clients race on the same scenario, one **executes**
+//! and the other **joins** the in-flight execution. Errors come back as
+//! `{"error": "..."}` without closing the connection.
+
+use crate::cache::{scenario_digest, CampaignCache, FlightOutcome, SingleFlight};
+use crate::campaigns::Campaign;
+use crate::json::{escape, parse_object, Json};
+use crate::runner::{ExecPool, ScenarioRecord};
+use crate::scenario::{Kernel, Scale, Scenario};
+use crate::store::{render_record, StoreMeta};
+use pdceval_mpt::ModelRegistry;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How often the accept loop polls the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Everything a connection needs, shared by all of them.
+#[derive(Debug)]
+pub struct ServeState {
+    cache: Mutex<CampaignCache>,
+    flight: SingleFlight,
+    pool: ExecPool,
+    campaigns: Vec<Campaign>,
+    scale: Scale,
+    meta: StoreMeta,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+}
+
+impl ServeState {
+    /// Builds the shared state: an opened cache, `workers` pooled
+    /// executors, and the campaigns `run` can name.
+    pub fn new(
+        cache: CampaignCache,
+        workers: usize,
+        campaigns: Vec<Campaign>,
+        scale: Scale,
+        meta: StoreMeta,
+    ) -> ServeState {
+        ServeState {
+            cache: Mutex::new(cache),
+            flight: SingleFlight::new(),
+            pool: ExecPool::new(workers),
+            campaigns,
+            scale,
+            meta,
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// Requests shutdown: the accept loop exits after its next poll and
+    /// connections close after their current request.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Total scenario executions since start (cache hits excluded).
+    pub fn executed_total(&self) -> u64 {
+        self.pool.runs_completed()
+    }
+}
+
+/// Serves one connection: reads request lines, writes response lines,
+/// returns when the peer closes or shutdown lands.
+///
+/// # Errors
+///
+/// Returns the first I/O error on the connection.
+pub fn handle_connection(
+    state: &ServeState,
+    reader: impl Read,
+    mut writer: impl Write,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(reader);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        for response in handle_request(state, &line) {
+            writer.write_all(response.as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
+        writer.flush()?;
+        if state.shutting_down() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn err_line(msg: &str) -> Vec<String> {
+    vec![format!("{{\"error\": \"{}\"}}", escape(msg))]
+}
+
+/// Handles one request line, producing the response lines.
+pub fn handle_request(state: &ServeState, line: &str) -> Vec<String> {
+    let pairs = match parse_object(line) {
+        Ok(p) => p,
+        Err(e) => return err_line(&format!("bad request: {e}")),
+    };
+    let get = |k: &str| {
+        pairs
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v): &(String, Json)| v)
+    };
+    let str_of = |k: &str| get(k).and_then(Json::as_str);
+    match str_of("op") {
+        Some("ping") => vec![format!(
+            "{{\"ok\": true, \"op\": \"ping\", \"fingerprint\": \"{}\"}}",
+            pdceval_mpt::hash::hex16(crate::cache::code_fingerprint())
+        )],
+        Some("shutdown") => {
+            state.request_shutdown();
+            vec!["{\"ok\": true, \"op\": \"shutdown\"}".to_string()]
+        }
+        Some("stats") => {
+            let cache = state.cache.lock().expect("serve cache poisoned");
+            match cache.stats() {
+                Ok(s) => {
+                    // Splice serve-level counters into the stats object.
+                    let base = s.render_json();
+                    let base = base.trim_end_matches('}');
+                    vec![format!(
+                        "{base}, \"executed_total\": {}, \"requests\": {}}}",
+                        state.executed_total(),
+                        state.requests.load(Ordering::Relaxed),
+                    )]
+                }
+                Err(e) => err_line(&e),
+            }
+        }
+        Some("query") => {
+            let Some(key) = str_of("key") else {
+                return err_line("query needs a \"key\" field");
+            };
+            let cache = state.cache.lock().expect("serve cache poisoned");
+            match cache.find_by_key(key) {
+                Some(e) => vec![format!(
+                    "{{\"key\": \"{}\", \"status\": \"{}\", \"mean\": {}, \"generation\": {}}}",
+                    escape(&e.key),
+                    e.status.slug(),
+                    e.stats
+                        .map(|s| s.mean)
+                        .filter(|m| m.is_finite())
+                        .map(|m| m.to_string())
+                        .unwrap_or_else(|| "null".to_string()),
+                    e.generation,
+                )],
+                None => err_line(&format!("no cached record for key '{key}'")),
+            }
+        }
+        Some("run") => {
+            let Some(name) = str_of("campaign") else {
+                return err_line("run needs a \"campaign\" field");
+            };
+            let Some(campaign) = state.campaigns.iter().find(|c| c.name == name) else {
+                return err_line(&format!("unknown campaign '{name}'"));
+            };
+            run_scenarios(state, &campaign.scenarios)
+        }
+        Some("sweep") => match sweep_scenarios(state, &pairs) {
+            Ok(scenarios) => run_scenarios(state, &scenarios),
+            Err(e) => err_line(&e),
+        },
+        Some(other) => err_line(&format!("unknown op '{other}'")),
+        None => err_line("request needs an \"op\" field"),
+    }
+}
+
+/// Builds an ad-hoc grid from a sweep request's space-separated fields.
+fn sweep_scenarios(state: &ServeState, pairs: &[(String, Json)]) -> Result<Vec<Scenario>, String> {
+    let str_of = |k: &str| {
+        pairs
+            .iter()
+            .find(|(key, _)| key == k)
+            .and_then(|(_, v)| v.as_str())
+    };
+    let registry = ModelRegistry::global();
+    let kernels: Vec<Kernel> = str_of("kernels")
+        .ok_or("sweep needs a \"kernels\" field (e.g. \"ring broadcast\")")?
+        .split_whitespace()
+        .map(|name| {
+            Kernel::parse_name(name, state.scale).ok_or_else(|| format!("unknown kernel '{name}'"))
+        })
+        .collect::<Result<_, _>>()?;
+    let tools = match str_of("tools") {
+        None => pdceval_mpt::ToolKind::builtin().to_vec(),
+        Some(raw) => raw
+            .split_whitespace()
+            .map(|slug| {
+                registry
+                    .tools()
+                    .into_iter()
+                    .find(|t| t.slug() == slug)
+                    .ok_or_else(|| format!("unknown tool '{slug}'"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let platforms: Vec<pdceval_simnet::platform::Platform> = str_of("platforms")
+        .ok_or("sweep needs a \"platforms\" field (e.g. \"sun-eth\")")?
+        .split_whitespace()
+        .map(|slug| {
+            registry
+                .platforms()
+                .into_iter()
+                .find(|p| p.slug() == slug)
+                .ok_or_else(|| format!("unknown platform '{slug}'"))
+        })
+        .collect::<Result<_, _>>()?;
+    let nums = |field: &str, default: &str| -> Result<Vec<u64>, String> {
+        str_of(field)
+            .unwrap_or(default)
+            .split_whitespace()
+            .map(|n| n.parse().map_err(|_| format!("bad {field} entry '{n}'")))
+            .collect()
+    };
+    let nprocs = nums("nprocs", "4")?;
+    let sizes = nums("sizes", "0")?;
+    let reps: u32 = str_of("reps")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad \"reps\" value".to_string())?;
+    let scenarios = crate::grid::ScenarioGrid::new()
+        .kernels(kernels)
+        .tools(tools)
+        .platforms(platforms)
+        .nprocs(nprocs.iter().map(|&n| n as usize))
+        .sizes(sizes)
+        .reps(reps)
+        .scenarios();
+    if scenarios.is_empty() {
+        return Err("sweep matches no valid scenario".to_string());
+    }
+    Ok(scenarios)
+}
+
+/// Runs a scenario list through cache → single-flight → pool, and
+/// renders the response lines in grid order.
+fn run_scenarios(state: &ServeState, scenarios: &[Scenario]) -> Vec<String> {
+    let mut slots: Vec<Option<ScenarioRecord>> = scenarios.iter().map(|_| None).collect();
+    let mut hits = 0usize;
+    let mut misses = Vec::new();
+    {
+        let cache = state.cache.lock().expect("serve cache poisoned");
+        for (i, sc) in scenarios.iter().enumerate() {
+            match cache.lookup(sc) {
+                Some(r) => {
+                    slots[i] = Some(r);
+                    hits += 1;
+                }
+                None => misses.push(i),
+            }
+        }
+    }
+    let mut executed = 0usize;
+    let mut joined = 0usize;
+    // Misses run concurrently; the pool bounds simulation parallelism
+    // and the flight table dedups races with other connections.
+    let outcomes: Vec<(usize, ScenarioRecord, FlightOutcome)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = misses
+            .iter()
+            .map(|&i| {
+                let sc = &scenarios[i];
+                scope.spawn(move || {
+                    let digest = scenario_digest(sc);
+                    let (record, outcome) = state.flight.run(digest, || {
+                        let record = state.pool.run_point(sc);
+                        let mut cache = state.cache.lock().expect("serve cache poisoned");
+                        if let Err(e) = cache.insert(&record, &state.meta) {
+                            eprintln!("warning: {e}");
+                        }
+                        record
+                    });
+                    (i, record, outcome)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("serve worker panicked"))
+            .collect()
+    });
+    for (i, record, outcome) in outcomes {
+        match outcome {
+            FlightOutcome::Led => executed += 1,
+            FlightOutcome::Joined => joined += 1,
+        }
+        slots[i] = Some(record);
+    }
+    {
+        let mut cache = state.cache.lock().expect("serve cache poisoned");
+        if let Err(e) = cache.flush() {
+            eprintln!("warning: {e}");
+        }
+    }
+    let mut out: Vec<String> = slots
+        .into_iter()
+        .map(|s| {
+            render_record(
+                &s.expect("every slot is a hit or an executed miss"),
+                &state.meta,
+            )
+        })
+        .collect();
+    out.push(format!(
+        "{{\"done\": true, \"points\": {}, \"hits\": {hits}, \"executed\": {executed}, \
+         \"joined\": {joined}}}",
+        scenarios.len(),
+    ));
+    out
+}
+
+/// The listening server: one accept loop, thread-per-connection.
+#[derive(Debug)]
+pub struct Server {
+    state: Arc<ServeState>,
+    tcp: Option<TcpListener>,
+    #[cfg(unix)]
+    unix: Option<(std::os::unix::net::UnixListener, std::path::PathBuf)>,
+}
+
+impl Server {
+    /// Wraps shared state into an unbound server.
+    pub fn new(state: Arc<ServeState>) -> Server {
+        Server {
+            state,
+            tcp: None,
+            #[cfg(unix)]
+            unix: None,
+        }
+    }
+
+    /// The shared state (for shutdown or inspection from another
+    /// thread).
+    pub fn state(&self) -> Arc<ServeState> {
+        self.state.clone()
+    }
+
+    /// Binds a TCP listener, returning the bound address (use port 0
+    /// for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Returns any bind error.
+    pub fn bind_tcp(&mut self, addr: &str) -> std::io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        self.tcp = Some(listener);
+        Ok(local)
+    }
+
+    /// Binds a Unix-domain socket listener at `path` (removing any
+    /// stale socket file first). The file is removed again when
+    /// [`Server::run`] exits.
+    ///
+    /// # Errors
+    ///
+    /// Returns any bind error.
+    #[cfg(unix)]
+    pub fn bind_unix(&mut self, path: &std::path::Path) -> std::io::Result<()> {
+        let _ = std::fs::remove_file(path);
+        let listener = std::os::unix::net::UnixListener::bind(path)?;
+        self.unix = Some((listener, path.to_path_buf()));
+        Ok(())
+    }
+
+    /// Runs the accept loop until shutdown is requested (by a client's
+    /// `shutdown` op or [`ServeState::request_shutdown`]), then joins
+    /// every connection thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns a setup I/O error; per-connection errors only end their
+    /// own connection.
+    pub fn run(self) -> std::io::Result<()> {
+        if let Some(l) = &self.tcp {
+            l.set_nonblocking(true)?;
+        }
+        #[cfg(unix)]
+        if let Some((l, _)) = &self.unix {
+            l.set_nonblocking(true)?;
+        }
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.state.shutting_down() {
+            let mut accepted = false;
+            if let Some(listener) = &self.tcp {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        accepted = true;
+                        stream.set_nonblocking(false)?;
+                        let state = self.state.clone();
+                        let read = stream.try_clone()?;
+                        conns.push(std::thread::spawn(move || {
+                            if let Err(e) = handle_connection(&state, read, stream) {
+                                eprintln!("serve: connection error: {e}");
+                            }
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(e) => eprintln!("serve: accept error: {e}"),
+                }
+            }
+            #[cfg(unix)]
+            if let Some((listener, _)) = &self.unix {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        accepted = true;
+                        stream.set_nonblocking(false)?;
+                        let state = self.state.clone();
+                        let read = stream.try_clone()?;
+                        conns.push(std::thread::spawn(move || {
+                            if let Err(e) = handle_connection(&state, read, stream) {
+                                eprintln!("serve: connection error: {e}");
+                            }
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(e) => eprintln!("serve: accept error: {e}"),
+                }
+            }
+            if !accepted {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+        for handle in conns {
+            let _ = handle.join();
+        }
+        #[cfg(unix)]
+        if let Some((_, path)) = &self.unix {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}

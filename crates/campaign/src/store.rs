@@ -46,6 +46,25 @@ impl StoreMeta {
     }
 }
 
+/// Provenance pinned to one record, overriding the store-wide
+/// [`StoreMeta`] stamp when rendered.
+///
+/// A record served from the campaign cache was *computed* on some
+/// earlier invocation; stamping it with the serving run's SHA and
+/// timestamp would both lie about its origin and make a warm store
+/// differ byte-wise from the cold store that populated the cache. The
+/// cache pins each entry's original provenance here, so cold, warm and
+/// mixed runs render identical stores. Freshly executed records leave
+/// this `None` and inherit the store-wide stamp, exactly as before the
+/// cache existed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordProvenance {
+    /// Commit the record was computed on, if known.
+    pub git_sha: Option<String>,
+    /// Unix timestamp (seconds) of the computation, if known.
+    pub timestamp: Option<u64>,
+}
+
 /// The current commit's abbreviated SHA, if a git repository is present.
 pub fn git_sha() -> Option<String> {
     let out = Command::new("git")
@@ -152,13 +171,19 @@ pub fn render_record(r: &ScenarioRecord, meta: &StoreMeta) -> String {
             p.seed
         );
     }
-    match &meta.git_sha {
+    // Cached records carry the provenance of the run that computed
+    // them; fresh records take the store-wide stamp.
+    let (git_sha, timestamp) = match &r.provenance {
+        Some(p) => (&p.git_sha, p.timestamp),
+        None => (&meta.git_sha, meta.timestamp),
+    };
+    match git_sha {
         Some(sha) => {
             let _ = write!(out, ", \"git_sha\": \"{}\"", escape(sha));
         }
         None => out.push_str(", \"git_sha\": null"),
     }
-    match meta.timestamp {
+    match timestamp {
         Some(t) => {
             let _ = write!(out, ", \"timestamp\": {t}");
         }
@@ -194,6 +219,81 @@ pub fn write_jsonl(
         }
     }
     std::fs::write(path, render_jsonl(records, meta))
+}
+
+/// An incremental JSONL writer: one file handle, buffered, flushed on
+/// drop.
+///
+/// Appending record-by-record through `std::fs::OpenOptions` would
+/// re-open (and re-seek) the file once per record — three syscalls per
+/// line. The appender opens the file once and streams lines through a
+/// `BufWriter`, so appending a thousand cache entries costs one open
+/// and a handful of writes. Dropping the appender flushes whatever is
+/// buffered (errors at drop time are swallowed, as `BufWriter`'s own
+/// drop does — call [`Appender::flush`] to observe them).
+#[derive(Debug)]
+pub struct Appender {
+    w: std::io::BufWriter<std::fs::File>,
+}
+
+impl Appender {
+    /// Opens `path` for appending (creating it, and its parent
+    /// directories, if missing).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error.
+    pub fn open(path: &Path) -> std::io::Result<Appender> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Appender {
+            w: std::io::BufWriter::new(file),
+        })
+    }
+
+    /// Appends one raw JSON line (the trailing newline is added here).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error.
+    pub fn append_line(&mut self, line: &str) -> std::io::Result<()> {
+        use std::io::Write as _;
+        self.w.write_all(line.as_bytes())?;
+        self.w.write_all(b"\n")
+    }
+
+    /// Appends one store record rendered with `meta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error.
+    pub fn append_record(&mut self, r: &ScenarioRecord, meta: &StoreMeta) -> std::io::Result<()> {
+        self.append_line(&render_record(r, meta))
+    }
+
+    /// Flushes buffered lines to the file.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        use std::io::Write as _;
+        self.w.flush()
+    }
+}
+
+impl Drop for Appender {
+    fn drop(&mut self) {
+        use std::io::Write as _;
+        let _ = self.w.flush();
+    }
 }
 
 /// One record as read back from a store — the fields baseline comparison
@@ -343,6 +443,7 @@ mod tests {
             }),
             detail: None,
             counters: None,
+            provenance: None,
         }
     }
 
@@ -393,6 +494,7 @@ mod tests {
             stats: None,
             detail: Some("PVM does not support the global sum primitive".to_string()),
             counters: None,
+            provenance: None,
         };
         let text = render_jsonl(&[r], &StoreMeta::none());
         let parsed = parse_jsonl(&text).unwrap();
@@ -496,6 +598,77 @@ mod tests {
         write_jsonl(&path, &[record(2048, 7.0)], &StoreMeta::none()).unwrap();
         let loaded = load_jsonl(&path).unwrap();
         assert_eq!(loaded[0].mean, Some(7.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_provenance_overrides_the_store_stamp() {
+        let meta = StoreMeta {
+            git_sha: Some("now000000000".to_string()),
+            timestamp: Some(2_000_000_000),
+            emit_counters: false,
+        };
+        let fresh = record(1024, 3.5);
+        let mut cached = record(1024, 3.5);
+        cached.provenance = Some(RecordProvenance {
+            git_sha: Some("then00000000".to_string()),
+            timestamp: Some(1_000_000_000),
+        });
+        let text = render_jsonl(&[fresh, cached], &meta);
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed[0].git_sha.as_deref(), Some("now000000000"));
+        assert_eq!(parsed[0].timestamp, Some(2_000_000_000));
+        assert_eq!(parsed[1].git_sha.as_deref(), Some("then00000000"));
+        assert_eq!(parsed[1].timestamp, Some(1_000_000_000));
+        // The original provenance pins the bytes: re-rendering the
+        // cached record under a *different* store stamp is identical.
+        let other = StoreMeta {
+            git_sha: Some("later0000000".to_string()),
+            timestamp: Some(3_000_000_000),
+            emit_counters: false,
+        };
+        let line = text.lines().nth(1).unwrap();
+        let mut cached2 = record(1024, 3.5);
+        cached2.provenance = Some(RecordProvenance {
+            git_sha: Some("then00000000".to_string()),
+            timestamp: Some(1_000_000_000),
+        });
+        assert_eq!(render_record(&cached2, &other), line);
+    }
+
+    #[test]
+    fn appender_builds_the_same_store_and_flushes_on_drop() {
+        let dir = std::env::temp_dir().join(format!(
+            "pdceval-campaign-appender-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("appended.jsonl");
+        let records = vec![record(1024, 3.5), record(2048, 7.0), record(4096, 9.25)];
+        let meta = StoreMeta {
+            git_sha: Some("abc123def456".to_string()),
+            timestamp: Some(1_753_000_000),
+            emit_counters: false,
+        };
+        {
+            // No explicit flush: dropping the appender must land every
+            // buffered line on disk.
+            let mut a = Appender::open(&path).unwrap();
+            for r in &records {
+                a.append_record(r, &meta).unwrap();
+            }
+        }
+        let appended = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(appended, render_jsonl(&records, &meta));
+        // Re-opening appends after the existing lines.
+        {
+            let mut a = Appender::open(&path).unwrap();
+            a.append_line("{\"key\": \"extra\"}").unwrap();
+            a.flush().unwrap();
+        }
+        let appended = std::fs::read_to_string(&path).unwrap();
+        assert!(appended.ends_with("{\"key\": \"extra\"}\n"));
+        assert_eq!(appended.lines().count(), 4);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

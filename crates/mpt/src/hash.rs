@@ -1,0 +1,106 @@
+//! Hand-rolled content hashing for spec data and cache keys.
+//!
+//! The build environment has no crates.io access, so there is no `sha2`
+//! or `blake3`; content addressing uses 64-bit FNV-1a — a tiny,
+//! well-known, dependency-free hash whose collision probability over
+//! the few thousand distinct spec renderings and scenario keys a cache
+//! ever sees is negligible. The hash is **stable by construction**
+//! (fixed offset basis and prime, byte-serial), so digests written to
+//! disk by one build remain addressable by every later build — unlike
+//! `std::collections::hash_map::DefaultHasher`, whose output is
+//! explicitly unspecified across releases.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a 64-bit hasher.
+///
+/// Field boundaries matter for content hashing: feed multi-part content
+/// through [`Fnv64::write_delimited`] so `("ab", "c")` and `("a", "bc")`
+/// never collide.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Mixes raw bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Mixes a length-prefixed chunk, so concatenation ambiguity between
+    /// adjacent fields cannot produce colliding streams.
+    pub fn write_delimited(&mut self, bytes: &[u8]) {
+        self.write(&(bytes.len() as u64).to_le_bytes());
+        self.write(bytes);
+    }
+
+    /// Mixes a string as a delimited field.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_delimited(s.as_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a 64 over a byte slice.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// The canonical 16-hex-digit rendering of a 64-bit content hash, used
+/// in cache file names and store fields.
+pub fn hex16(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        // Reference values from the FNV specification (Noll's tables).
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn delimited_fields_do_not_collide_on_concatenation() {
+        let mut a = Fnv64::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv64::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex16_is_fixed_width() {
+        assert_eq!(hex16(0), "0000000000000000");
+        assert_eq!(hex16(0xabc), "0000000000000abc");
+        assert_eq!(hex16(u64::MAX).len(), 16);
+    }
+}

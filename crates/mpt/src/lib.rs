@@ -36,6 +36,7 @@
 pub mod builtin;
 pub mod collective;
 pub mod error;
+pub mod hash;
 pub mod message;
 pub mod node;
 pub mod profile;

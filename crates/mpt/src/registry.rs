@@ -150,6 +150,27 @@ pub struct LoadedSpecs {
     pub perturbs: Vec<PerturbId>,
 }
 
+impl LoadedSpecs {
+    /// Combined content hash of every spec this load registered (tool,
+    /// platform and perturbation stanzas in file order; campaign
+    /// stanzas are sweep declarations, not outcome models, and are
+    /// excluded). Two loads of byte-different files that canonicalize
+    /// to the same specs hash equal.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::hash::Fnv64::new();
+        for t in &self.tools {
+            h.write_str(&crate::spec::render_tool(&t.spec()));
+        }
+        for p in &self.platforms {
+            h.write_str(&crate::spec::render_platform(&p.spec()));
+        }
+        for p in &self.perturbs {
+            h.write_str(&crate::spec::render_perturb(&p.spec()));
+        }
+        h.finish()
+    }
+}
+
 /// The combined model registry: every tool and platform the process
 /// knows, built-in or loaded from spec files.
 ///
@@ -241,6 +262,33 @@ impl ModelRegistry {
                 .map(|p| (*p.spec()).clone())
                 .collect(),
         }
+    }
+
+    /// Content hash of the entire registry: FNV-1a over the canonical
+    /// rendering of [`Self::snapshot`]. Because rendering is an exact
+    /// round-trip (`parse ∘ render` is the identity on canonical form),
+    /// the hash is a fixpoint of re-rendering — loading a snapshot into
+    /// a fresh process and hashing again yields the same value — and
+    /// any observable edit to any registered spec changes it.
+    pub fn spec_hash(&self) -> u64 {
+        crate::hash::fnv1a_64(crate::spec::render_spec(&self.snapshot()).as_bytes())
+    }
+
+    /// Content hash of one registered tool's canonical stanza rendering.
+    pub fn tool_hash(&self, id: ToolId) -> u64 {
+        crate::hash::fnv1a_64(crate::spec::render_tool(&id.spec()).as_bytes())
+    }
+
+    /// Content hash of one registered platform's canonical stanza
+    /// rendering (topology, hosts and link classes included).
+    pub fn platform_hash(&self, id: PlatformId) -> u64 {
+        crate::hash::fnv1a_64(crate::spec::render_platform(&id.spec()).as_bytes())
+    }
+
+    /// Content hash of one registered perturbation model's canonical
+    /// stanza rendering.
+    pub fn perturb_hash(&self, id: PerturbId) -> u64 {
+        crate::hash::fnv1a_64(crate::spec::render_perturb(&id.spec()).as_bytes())
     }
 
     /// Registers a perturbation model. See

@@ -1,0 +1,208 @@
+//! Cache-key stability: the content-addressed campaign cache is only
+//! sound if (a) spec hashing is a fixpoint of render∘parse — a snapshot
+//! reloaded into a fresh process addresses the same entries — and
+//! (b) every observable edit to a spec changes its hash, so stale
+//! results can never be served for a changed model.
+
+use pdc_tool_eval::campaign::cache::{run_campaign_cached, scenario_digest, CampaignCache};
+use pdc_tool_eval::campaign::runner::CampaignOptions;
+use pdc_tool_eval::campaign::scenario::Kernel;
+use pdc_tool_eval::campaign::store::{render_jsonl, StoreMeta};
+use pdc_tool_eval::campaign::ScenarioGrid;
+use pdc_tool_eval::mpt::hash::fnv1a_64;
+use pdc_tool_eval::mpt::spec::{
+    parse_spec, render_perturb, render_platform, render_spec, render_tool, PortPolicy, Support,
+};
+use pdc_tool_eval::mpt::{ModelRegistry, ToolKind};
+use pdc_tool_eval::simnet::platform::Platform;
+
+#[test]
+fn spec_hash_is_a_fixpoint_of_render_and_parse() {
+    let registry = ModelRegistry::global();
+    let rendered = render_spec(&registry.snapshot());
+    let reparsed = parse_spec(&rendered).expect("snapshot must re-parse");
+    let rerendered = render_spec(&reparsed);
+    assert_eq!(rendered, rerendered, "render ∘ parse must be the identity");
+    assert_eq!(registry.spec_hash(), fnv1a_64(rerendered.as_bytes()));
+}
+
+#[test]
+fn per_stanza_hashes_are_fixpoints_too() {
+    let registry = ModelRegistry::global();
+    for tool in ToolKind::builtin() {
+        let text = render_tool(&tool.spec());
+        let file = parse_spec(&text).expect("tool stanza must parse");
+        assert_eq!(render_tool(&file.tools[0]), text);
+        assert_eq!(registry.tool_hash(tool), fnv1a_64(text.as_bytes()));
+    }
+    for platform in [Platform::SUN_ETHERNET, Platform::SP1_SWITCH] {
+        let text = render_platform(&platform.spec());
+        let file = parse_spec(&text).expect("platform stanza must parse");
+        assert_eq!(render_platform(&file.platforms[0]), text);
+        assert_eq!(registry.platform_hash(platform), fnv1a_64(text.as_bytes()));
+    }
+}
+
+/// Applies each mutation to a fresh copy of the spec and asserts the
+/// stanza hash moved.
+type Edits<'a, S> = &'a [(&'a str, &'a dyn Fn(&mut S))];
+
+fn assert_edits_rekey<S: Clone>(base: &S, render: impl Fn(&S) -> String, edits: Edits<'_, S>) {
+    let baseline = fnv1a_64(render(base).as_bytes());
+    for (what, edit) in edits {
+        let mut spec = base.clone();
+        edit(&mut spec);
+        assert_ne!(
+            fnv1a_64(render(&spec).as_bytes()),
+            baseline,
+            "editing {what} must change the content hash"
+        );
+    }
+}
+
+#[test]
+fn every_tool_spec_field_edit_changes_the_hash() {
+    let base = ToolKind::P4.spec();
+    assert_edits_rekey(
+        &*base,
+        render_tool,
+        &[
+            ("name", &|s| s.name.push('X')),
+            ("slug", &|s| s.slug.push('x')),
+            ("primitives", &|s| {
+                s.primitives[0] = Some("renamed_send".to_string())
+            }),
+            ("profile.send_alpha_us", &|s| s.profile.send_alpha_us += 1.0),
+            ("profile.header_bytes", &|s| s.profile.header_bytes += 1),
+            ("profile.daemon_routed", &|s| {
+                s.profile.daemon_routed = !s.profile.daemon_routed
+            }),
+            ("direct_profile.recv_beta", &|s| {
+                s.direct_profile.recv_beta_us_per_byte += 0.5
+            }),
+            ("ports", &|s| {
+                s.ports = PortPolicy::Deny(vec!["sun-eth".to_string()])
+            }),
+            ("adl", &|s| s.adl[0] = Support::NotSupported),
+            ("programming_models", &|s| {
+                s.programming_models.push("dataflow".to_string())
+            }),
+        ],
+    );
+}
+
+#[test]
+fn every_platform_spec_field_edit_changes_the_hash() {
+    let base = Platform::SUN_ETHERNET.spec();
+    assert_edits_rekey(
+        &*base,
+        render_platform,
+        &[
+            ("name", &|s| s.name.push('X')),
+            ("slug", &|s| s.slug.push('x')),
+            ("max_nodes", &|s| s.max_nodes += 1),
+            ("wan", &|s| s.wan = !s.wan),
+            ("topology.host mflops", &|s| {
+                s.topology.groups[0].host.mflops += 1.0
+            }),
+            ("topology.link bandwidth", &|s| {
+                s.topology.groups[0].link.bandwidth_mbps *= 2.0
+            }),
+            ("topology.link mtu", &|s| s.topology.groups[0].link.mtu += 8),
+        ],
+    );
+}
+
+#[test]
+fn every_perturb_spec_field_edit_changes_the_hash() {
+    let mut base = pdc_tool_eval::simnet::perturb::PerturbSpec::quiet("cache-rekey-test");
+    base.jitter = 0.1;
+    base.loss = 0.01;
+    base.loss_timeout_us = 500.0;
+    assert_edits_rekey(
+        &base,
+        render_perturb,
+        &[
+            ("slug", &|s| s.slug.push('x')),
+            ("title", &|s| s.title = Some("edited".to_string())),
+            ("jitter", &|s| s.jitter += 0.05),
+            ("congestion", &|s| s.congestion += 0.2),
+            ("stragglers", &|s| {
+                s.stragglers.push(("slow".to_string(), 2.0))
+            }),
+            ("loss", &|s| s.loss += 0.01),
+            ("loss_timeout_us", &|s| s.loss_timeout_us += 100.0),
+            ("crash_rank", &|s| {
+                s.crash_rank = Some(1);
+                s.crash_at_us = Some(10.0);
+            }),
+        ],
+    );
+}
+
+#[test]
+fn digests_ignore_unrelated_registrations() {
+    let sc = ScenarioGrid::new()
+        .kernels([Kernel::Broadcast])
+        .tools([ToolKind::P4])
+        .platforms([Platform::SUN_ETHERNET])
+        .nprocs([4])
+        .sizes([4096])
+        .reps(2)
+        .scenarios()
+        .remove(0);
+    let before = scenario_digest(&sc);
+    // Registering a brand-new perturbation model touches the registry
+    // but not this scenario's inputs: the digest must hold still.
+    let mut spec = pdc_tool_eval::simnet::perturb::PerturbSpec::quiet("cache-unrelated-model");
+    spec.jitter = 0.9;
+    ModelRegistry::global().register_perturb(spec).unwrap();
+    assert_eq!(scenario_digest(&sc), before);
+}
+
+/// End-to-end speedup sanity: a warm run over an application campaign
+/// must be far faster than the cold run that populated the cache. The
+/// assertion is deliberately loose (2×, against a ≥10× typical margin)
+/// so scheduler noise cannot flake it — the CI smoke step checks the
+/// user-visible 100%-hit property separately.
+#[test]
+fn warm_runs_skip_execution_and_are_faster() {
+    let dir = std::env::temp_dir().join(format!("pdceval-cache-speed-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let scenarios = ScenarioGrid::new()
+        .kernels([Kernel::App {
+            app: pdc_tool_eval::campaign::scenario::AplApp::Sorting,
+            scale: pdc_tool_eval::campaign::scenario::Scale::Quick,
+        }])
+        .tools([ToolKind::P4, ToolKind::EXPRESS])
+        .platforms([Platform::ALPHA_FDDI])
+        .nprocs([2, 4, 8])
+        .sizes([0])
+        .reps(2)
+        .scenarios();
+    let meta = StoreMeta::none();
+    let opts = CampaignOptions::default();
+
+    let mut cache = CampaignCache::open(&dir).unwrap();
+    let cold_t = std::time::Instant::now();
+    let (cold, r) = run_campaign_cached(&scenarios, 1, &opts, &mut cache, &meta);
+    let cold_t = cold_t.elapsed();
+    assert_eq!(r.misses, scenarios.len());
+    drop(cache);
+
+    let mut cache = CampaignCache::open(&dir).unwrap();
+    let warm_t = std::time::Instant::now();
+    let (warm, r) = run_campaign_cached(&scenarios, 1, &opts, &mut cache, &meta);
+    let warm_t = warm_t.elapsed();
+    assert_eq!(r.hits, scenarios.len());
+    assert_eq!(
+        render_jsonl(&warm, &meta),
+        render_jsonl(&cold, &meta),
+        "warm store must be byte-identical"
+    );
+    assert!(
+        warm_t < cold_t / 2,
+        "warm run ({warm_t:?}) should be far faster than cold ({cold_t:?})"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

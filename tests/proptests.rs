@@ -474,6 +474,7 @@ proptest! {
             stats: Some(RepStats { mean, min, max, cv }),
             detail: None,
             counters: None,
+            provenance: None,
         };
         let text = render_jsonl(&[r], &StoreMeta::none());
         let parsed = parse_jsonl(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
@@ -770,5 +771,78 @@ proptest! {
         }
         prop_assert!(q.is_empty());
         prop_assert_eq!(q.pop(), None);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The results cache is transparent: for any pre-populated subset of
+    /// a campaign and any serial/parallel worker mix, cold, warm, and
+    /// mixed (hits spliced among misses) runs all render byte-identical
+    /// JSONL stores.
+    #[test]
+    fn cached_runs_are_byte_identical_cold_warm_and_mixed(seed in any::<u64>()) {
+        use pdc_tool_eval::campaign::cache::{run_campaign_cached, CampaignCache};
+        use pdc_tool_eval::campaign::runner::{run_campaign_with, CampaignOptions};
+        use pdc_tool_eval::campaign::scenario::Kernel;
+        use pdc_tool_eval::campaign::store::{render_jsonl, StoreMeta};
+        use pdc_tool_eval::campaign::ScenarioGrid;
+        use proptest::TestRng;
+
+        let mut rng = TestRng::deterministic(&format!("cache-{seed}"));
+        let scenarios = ScenarioGrid::new()
+            .kernels([Kernel::Ring { shifts: 1 }, Kernel::Broadcast])
+            .tools([ToolKind::P4, ToolKind::PVM])
+            .platforms([Platform::SUN_ETHERNET])
+            .nprocs([4])
+            .sizes([0, 4096])
+            .reps(1 + rng.below(2) as u32)
+            .scenarios();
+        let warm = rng.below(3) as usize + 1;
+        let cold = rng.below(3) as usize + 1;
+        let meta = StoreMeta::none();
+        let opts = CampaignOptions::default();
+        let reference = render_jsonl(&run_campaign_with(&scenarios, cold, &opts), &meta);
+
+        let dir = std::env::temp_dir().join(format!(
+            "pdceval-proptest-cache-{}-{seed}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Cold: every point misses and executes.
+        let mut cache = CampaignCache::open(&dir).unwrap();
+        let (records, report) = run_campaign_cached(&scenarios, cold, &opts, &mut cache, &meta);
+        prop_assert_eq!(report.misses, scenarios.len());
+        prop_assert_eq!(render_jsonl(&records, &meta), reference.clone());
+        drop(cache);
+
+        // Warm: every point hits, possibly under a different worker count.
+        let mut cache = CampaignCache::open(&dir).unwrap();
+        let (records, report) = run_campaign_cached(&scenarios, warm, &opts, &mut cache, &meta);
+        prop_assert_eq!(report.hits, scenarios.len());
+        prop_assert_eq!(render_jsonl(&records, &meta), reference.clone());
+        drop(cache);
+
+        // Mixed: evict a random subset by rebuilding the cache from a
+        // partial campaign, then sweep the full grid — hits splice back
+        // among fresh executions in grid order.
+        let keep: Vec<_> = scenarios
+            .iter()
+            .filter(|_| rng.below(2) == 0)
+            .cloned()
+            .collect();
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = CampaignCache::open(&dir).unwrap();
+        let (_, report) = run_campaign_cached(&keep, cold, &opts, &mut cache, &meta);
+        prop_assert_eq!(report.misses, keep.len());
+        drop(cache);
+        let mut cache = CampaignCache::open(&dir).unwrap();
+        let (records, report) = run_campaign_cached(&scenarios, warm, &opts, &mut cache, &meta);
+        prop_assert_eq!(report.hits, keep.len());
+        prop_assert_eq!(report.misses, scenarios.len() - keep.len());
+        prop_assert_eq!(render_jsonl(&records, &meta), reference);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

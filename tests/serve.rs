@@ -1,0 +1,112 @@
+//! `pdceval serve` front-end integration: two concurrent clients with
+//! overlapping sweep grids must each receive complete, byte-identical
+//! results while every distinct scenario executes exactly once —
+//! whichever of the single-flight table or the results cache absorbs
+//! the duplicate, the executor pool never runs a scenario twice.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+
+use pdc_tool_eval::campaign::cache::CampaignCache;
+use pdc_tool_eval::campaign::scenario::Scale;
+use pdc_tool_eval::campaign::store::StoreMeta;
+use pdc_tool_eval::campaign::{ServeState, Server};
+
+/// Sends one request line and collects response lines up to and
+/// including the `"done"` summary (or an error line).
+fn request(addr: std::net::SocketAddr, line: &str) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    writeln!(stream, "{line}").expect("send");
+    stream.flush().expect("flush");
+    let mut lines = Vec::new();
+    for read in BufReader::new(stream).lines() {
+        let read = read.expect("read");
+        let terminal = read.contains("\"done\"") || read.contains("\"error\"");
+        lines.push(read);
+        if terminal {
+            break;
+        }
+    }
+    lines
+}
+
+fn sweep(sizes: &str) -> String {
+    format!(
+        "{{\"op\": \"sweep\", \"kernels\": \"ring\", \"tools\": \"p4 pvm\", \
+         \"platforms\": \"sun-eth\", \"nprocs\": \"4\", \"sizes\": \"{sizes}\", \"reps\": 2}}"
+    )
+}
+
+#[test]
+fn concurrent_overlapping_sweeps_single_flight_and_agree() {
+    let dir = std::env::temp_dir().join(format!("pdceval-serve-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = CampaignCache::open(&dir).expect("open cache");
+    let state = Arc::new(ServeState::new(
+        cache,
+        2,
+        Vec::new(),
+        Scale::Quick,
+        StoreMeta::none(),
+    ));
+    let mut server = Server::new(Arc::clone(&state));
+    let addr = server.bind_tcp("127.0.0.1:0").expect("bind");
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Client A sweeps sizes {0, 4096}; client B sweeps {4096, 16384}.
+    // 2 tools × 3 distinct sizes = 6 distinct scenarios, 2 shared.
+    let start = Arc::new(Barrier::new(2));
+    let spawn_client = |sizes: &'static str| {
+        let start = Arc::clone(&start);
+        std::thread::spawn(move || {
+            start.wait();
+            request(addr, &sweep(sizes))
+        })
+    };
+    let a = spawn_client("0 4096");
+    let b = spawn_client("4096 16384");
+    let a = a.join().expect("client A");
+    let b = b.join().expect("client B");
+
+    for (name, lines) in [("A", &a), ("B", &b)] {
+        assert_eq!(
+            lines.len(),
+            5,
+            "client {name} gets 4 records + done: {lines:?}"
+        );
+        assert!(
+            lines[4].contains("\"done\": true") && lines[4].contains("\"points\": 4"),
+            "client {name} summary: {}",
+            lines[4]
+        );
+    }
+    assert_eq!(
+        state.executed_total(),
+        6,
+        "each distinct scenario must execute exactly once across both clients"
+    );
+
+    // The two shared scenarios (size 4096) must render byte-identically
+    // for both clients — same digest, same entry, same provenance.
+    let shared: Vec<&String> = a[..4].iter().filter(|l| b[..4].contains(l)).collect();
+    assert_eq!(shared.len(), 2, "A and B overlap on exactly two scenarios");
+
+    // A third sweep of the union is all hits: nothing new executes.
+    let all = request(addr, &sweep("0 4096 16384"));
+    assert_eq!(all.len(), 7);
+    assert!(
+        all[6].contains("\"hits\": 6") && all[6].contains("\"executed\": 0"),
+        "union sweep should be served entirely from cache: {}",
+        all[6]
+    );
+    assert_eq!(state.executed_total(), 6);
+
+    let bye = request(addr, "{\"op\": \"shutdown\"}");
+    assert!(bye[0].contains("\"ok\""), "shutdown ack: {bye:?}");
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("server run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
