@@ -22,6 +22,7 @@
 //! comparisons, ray intersections) and advances simulated time through
 //! analytic work models, keeping runs deterministic.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

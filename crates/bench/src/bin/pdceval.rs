@@ -10,6 +10,7 @@
 //! pdceval diff BASELINE NEW [--threshold PCT]
 //! pdceval bless STORE [--baseline PATH]
 //! pdceval validate FILE.spec
+//! pdceval lint FILE.spec... [--deny-warnings]
 //! pdceval snapshot OUT.spec [--spec FILE]
 //! pdceval explain KEY [--trace-dir DIR]
 //! pdceval cache stats|gc|clear [--cache-dir DIR] [--keep N] [--json]
@@ -75,7 +76,16 @@
 //!
 //! `validate` parses and validates a spec file — including resolved
 //! topologies (rank placement per group, link classes) — and prints the
-//! result without registering or running anything. `snapshot`
+//! result without registering or running anything. `lint` runs the
+//! static analyzer from `pdceval_check::lint` over one or more spec
+//! files: beyond validate's selector cross-checks it flags dead models,
+//! unsatisfiable sweep grids, capacity overruns, never-firing perturb
+//! stanzas, slug collisions/shadowing and suspicious unit magnitudes,
+//! each as a coded, located diagnostic (`warning[L0102]: file.spec:12:
+//! ...`; the code index lives in `pdceval_mpt::diag`). Exit-code
+//! contract: `0` clean (or warnings only), `1` warnings under
+//! `--deny-warnings`, `2` any error — the same contract CI uses to gate
+//! the shipped example specs. `snapshot`
 //! serializes the whole live registry (built-ins plus anything loaded
 //! with `--spec`) back into one spec file for reproducible sharing of a
 //! custom scenario set.
@@ -102,7 +112,8 @@ fn usage() -> ExitCode {
          [--threshold PCT] [--spec FILE] [--remix G=N,...] [--trace-dir DIR] [--quiet] \
          [--no-cache] [--cache-dir DIR]\n  \
          pdceval diff BASELINE NEW [--threshold PCT]\n  pdceval bless STORE [--baseline PATH]\n  \
-         pdceval validate FILE.spec\n  pdceval snapshot OUT.spec [--spec FILE]\n  \
+         pdceval validate FILE.spec\n  pdceval lint FILE.spec... [--deny-warnings]\n  \
+         pdceval snapshot OUT.spec [--spec FILE]\n  \
          pdceval explain KEY [--trace-dir DIR]\n  \
          pdceval cache stats|gc|clear [--cache-dir DIR] [--keep N] [--json]\n  \
          pdceval serve [--addr HOST:PORT] [--socket PATH] [--workers N] [--cache-dir DIR] \
@@ -777,83 +788,12 @@ fn cmd_validate(args: &Args) -> ExitCode {
     for c in &file.campaigns {
         print_campaign(c);
     }
-    // Port lists name platform slugs by string; a typo would silently
-    // disable the tool everywhere, so cross-check against the file's
-    // own platforms and everything already registered. Campaign
-    // tool/platform selectors get the same treatment.
-    let known_platforms: std::collections::HashSet<String> = file
-        .platforms
-        .iter()
-        .map(|p| p.slug.clone())
-        .chain(
-            ModelRegistry::global()
-                .platforms()
-                .into_iter()
-                .map(|p| p.slug()),
-        )
-        .collect();
-    let known_tools: std::collections::HashSet<String> = file
-        .tools
-        .iter()
-        .map(|t| t.slug.clone())
-        .chain(
-            ModelRegistry::global()
-                .tools()
-                .into_iter()
-                .map(|t| t.slug()),
-        )
-        .collect();
-    for t in &file.tools {
-        use pdceval_mpt::spec::PortPolicy;
-        let (key, slugs) = match &t.ports {
-            PortPolicy::Allow(s) => ("ports.allow", s),
-            PortPolicy::Deny(s) => ("ports.deny", s),
-            PortPolicy::All { .. } => continue,
-        };
-        for slug in slugs.iter().filter(|s| !known_platforms.contains(*s)) {
-            eprintln!(
-                "warning: tool '{}': {key} names '{slug}', which matches no platform in \
-                 this file or the registry",
-                t.slug
-            );
-        }
-    }
-    // Perturbation selectors resolve against the file's own stanzas,
-    // everything already registered, and the implicit clean slug `none`.
-    let known_perturbs: std::collections::HashSet<String> = file
-        .perturbs
-        .iter()
-        .map(|p| p.slug.clone())
-        .chain(
-            ModelRegistry::global()
-                .perturbs()
-                .into_iter()
-                .map(|p| p.slug()),
-        )
-        .chain(std::iter::once("none".to_string()))
-        .collect();
-    for c in &file.campaigns {
-        for slug in c.tools.iter().filter(|s| !known_tools.contains(*s)) {
-            eprintln!(
-                "warning: campaign '{}': tools names '{slug}', which matches no tool in \
-                 this file or the registry",
-                c.slug
-            );
-        }
-        for slug in c.platforms.iter().filter(|s| !known_platforms.contains(*s)) {
-            eprintln!(
-                "warning: campaign '{}': platforms names '{slug}', which matches no \
-                 platform in this file or the registry",
-                c.slug
-            );
-        }
-        for slug in c.perturbs.iter().filter(|s| !known_perturbs.contains(*s)) {
-            eprintln!(
-                "warning: campaign '{}': perturb names '{slug}', which matches no \
-                 perturbation in this file or the registry",
-                c.slug
-            );
-        }
+    // Selector typos (tool port lists, campaign tool/platform/perturb
+    // selections naming nothing in this file or the registry) would
+    // silently disable models; the shared analyzer owns those checks
+    // now, and `render_bare` keeps the historical output byte-for-byte.
+    for d in pdceval_check::lint::selector_warnings(&file) {
+        eprintln!("{}", d.render_bare());
     }
     eprintln!(
         "{path}: OK ({} tool(s), {} platform(s), {} perturbation(s), {} campaign(s))",
@@ -863,6 +803,46 @@ fn cmd_validate(args: &Args) -> ExitCode {
         file.campaigns.len()
     );
     ExitCode::SUCCESS
+}
+
+/// `pdceval lint FILE.spec... [--deny-warnings]`: run the whole-spec
+/// static analyzer over each file and print coded, located diagnostics.
+///
+/// Exit-code contract (documented in `pdceval_mpt::diag::exit_code`):
+/// `0` when every file is clean or carries only warnings, `1` when any
+/// warning fires under `--deny-warnings`, `2` when any file has an
+/// error (parse failure, unsatisfiable grid, slug shadowing, ...). The
+/// worst code across all files wins.
+fn cmd_lint(args: &Args) -> ExitCode {
+    if args.positional.is_empty() {
+        return usage();
+    }
+    let deny_warnings = args.has("deny-warnings");
+    let mut worst: u8 = 0;
+    for path in &args.positional {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read spec file {path}: {e}");
+                worst = worst.max(2);
+                continue;
+            }
+        };
+        let diags = pdceval_check::lint::lint_text(path, &text);
+        for d in &diags {
+            eprintln!("{}", d.render());
+        }
+        let (errors, warnings) =
+            diags
+                .iter()
+                .fold((0usize, 0usize), |(e, w), d| match d.severity {
+                    pdceval_mpt::diag::Severity::Error => (e + 1, w),
+                    pdceval_mpt::diag::Severity::Warning => (e, w + 1),
+                });
+        eprintln!("{path}: {errors} error(s), {warnings} warning(s)");
+        worst = worst.max(pdceval_mpt::diag::exit_code(&diags, deny_warnings));
+    }
+    ExitCode::from(worst)
 }
 
 /// `pdceval snapshot OUT.spec [--spec FILE]`: serialize the whole live
@@ -1161,6 +1141,7 @@ fn main() -> ExitCode {
         "diff" => cmd_diff(&args),
         "bless" => cmd_bless(&args),
         "validate" => cmd_validate(&args),
+        "lint" => cmd_lint(&args),
         "snapshot" => cmd_snapshot(&args),
         "explain" => cmd_explain(&args),
         "cache" => cmd_cache(&args),

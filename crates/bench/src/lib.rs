@@ -13,6 +13,7 @@
 //! cargo run --release -p pdceval-bench --bin repro -- quick   # reduced scale
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

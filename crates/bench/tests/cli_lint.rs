@@ -1,0 +1,131 @@
+//! End-to-end tests for the `pdceval lint` subcommand and its exit-code
+//! contract, plus the byte-compatibility of `pdceval validate`'s legacy
+//! warning stream after its move onto the shared diagnostic type.
+
+use std::process::{Command, Output};
+
+fn pdceval(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pdceval"))
+        .args(args)
+        .output()
+        .expect("pdceval runs")
+}
+
+fn fixture(name: &str) -> String {
+    format!("{}/../check/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn example(name: &str) -> String {
+    format!("{}/../../examples/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Exit 0: a clean file, and warning-only files without
+/// `--deny-warnings`.
+#[test]
+fn lint_exits_zero_on_clean_and_warning_only_files() {
+    let out = pdceval(&["lint", &fixture("units_clean.spec")]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stderr(&out).contains("0 error(s), 0 warning(s)"));
+
+    let out = pdceval(&["lint", &fixture("units.spec")]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stderr(&out).contains("warning[L0501]"));
+    assert!(stderr(&out).contains("0 error(s), 1 warning(s)"));
+}
+
+/// Exit 1: warnings gate under `--deny-warnings`.
+#[test]
+fn lint_exits_one_on_warnings_under_deny() {
+    let out = pdceval(&["lint", &fixture("units.spec"), "--deny-warnings"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("warning[L0501]"));
+}
+
+/// Exit 2: errors always gate, and the worst code across multiple
+/// files wins (clean + error file => 2).
+#[test]
+fn lint_exits_two_on_errors() {
+    let out = pdceval(&["lint", &fixture("unsat_grid.spec")]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("error[L0201]"));
+
+    let out = pdceval(&[
+        "lint",
+        &fixture("units_clean.spec"),
+        &fixture("unsat_grid.spec"),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+}
+
+/// Diagnostics come out in the coded, located `render` form —
+/// `severity[CODE]: file:line: message` — so findings are clickable.
+#[test]
+fn lint_diagnostics_are_coded_and_located() {
+    let path = fixture("crash_unreachable.spec");
+    let out = pdceval(&["lint", &path]);
+    let err = stderr(&out);
+    // The [perturb doom] stanza header sits on line 4 of the fixture.
+    assert!(
+        err.contains(&format!("warning[L0301]: {path}:4: ")),
+        "missing located diagnostic in:\n{err}"
+    );
+}
+
+/// The shipped example specs are part of the lint-clean corpus even
+/// under `--deny-warnings` — the same invocation CI runs.
+#[test]
+fn lint_is_clean_on_the_shipped_examples() {
+    let out = pdceval(&[
+        "lint",
+        &example("modern.spec"),
+        &example("mixed.spec"),
+        "--deny-warnings",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+}
+
+/// An unreadable path is an error (exit 2), not a silent skip.
+#[test]
+fn lint_treats_unreadable_files_as_errors() {
+    let out = pdceval(&["lint", "no/such/file.spec"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("cannot read spec file"));
+}
+
+/// `validate` kept its historical warning stream byte-for-byte after
+/// moving onto the shared diagnostic type: bare `warning: ...` lines,
+/// no codes or locations, and warnings never gate its exit status.
+#[test]
+fn validate_warning_stream_stays_byte_compatible() {
+    let dir = std::env::temp_dir().join("pdceval-cli-lint-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("badsel.spec");
+    std::fs::write(
+        &path,
+        "[campaign oops]\nkernels = broadcast\nplatforms = no-such-platform\n\
+         nprocs = 2\nsizes = 1024\n",
+    )
+    .expect("write spec");
+    let path = path.to_str().expect("utf8 path");
+    let out = pdceval(&["validate", path]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(
+        err.contains(
+            "warning: campaign 'oops': platforms names 'no-such-platform', \
+             which matches no platform in this file or the registry"
+        ),
+        "legacy warning line changed:\n{err}"
+    );
+    assert!(
+        !err.contains("L00"),
+        "validate must not print codes:\n{err}"
+    );
+    assert!(err.contains(&format!(
+        "{path}: OK (0 tool(s), 0 platform(s), 0 perturbation(s), 1 campaign(s))"
+    )));
+}

@@ -54,6 +54,7 @@
 //! assert!(report.passes());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -64,6 +65,7 @@ pub mod exec;
 pub mod explain;
 pub mod grid;
 pub mod json;
+pub mod reach;
 pub mod runner;
 pub mod scenario;
 pub mod serve;

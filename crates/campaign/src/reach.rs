@@ -1,0 +1,221 @@
+//! Static grid-reachability analysis for campaign stanzas.
+//!
+//! [`crate::campaigns::from_spec`] materializes a campaign by resolving
+//! its selectors against the registry and filtering the full grid with
+//! [`crate::scenario::Scenario::is_valid`]. That only happens at load
+//! time — too late for a linter that must reason about a spec *file*
+//! without registering it. This module mirrors the validity rules over
+//! raw spec data ([`ToolSpec`] / [`PlatformSpec`], no registration) so
+//! `pdceval lint` can report unsatisfiable grids and capacity clipping
+//! statically.
+//!
+//! The mirrored rules are exactly the run-time ones (guarded by
+//! `reach_matches_from_spec` in this module's tests):
+//!
+//! * `nprocs == 0` or `nprocs > platform.max_nodes` never runs
+//!   (`SpmdConfig::validate`'s size check);
+//! * the tool's port policy must admit the platform
+//!   (`ToolKind::supports_platform`);
+//! * `globalsum` needs a tool with a reduce profile
+//!   (`supports_global_ops`);
+//! * `sendrecv` needs at least two ranks.
+
+use pdceval_mpt::spec::{parse_campaign_kernel, CampaignKernel, CampaignSpec, ToolSpec};
+use pdceval_simnet::platform::PlatformSpec;
+
+/// What a campaign's grid statically reaches. All counts include the
+/// `sizes` axis (validity is size-independent, so sizes only scale the
+/// totals) but not perturbation fan-out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridReach {
+    /// All enumerated points: kernels × tools × platforms × nprocs × sizes.
+    pub total: usize,
+    /// Points that survive the validity filter.
+    pub valid: usize,
+    /// `(platform slug, max_nodes, nprocs)` triples where a swept rank
+    /// count exceeds a selected platform's capacity (each combination
+    /// reported once, in selection order).
+    pub capacity_excess: Vec<(String, usize, usize)>,
+}
+
+impl GridReach {
+    /// True when the validity filter leaves nothing to run — the grid
+    /// can never produce a measurement.
+    pub fn is_unsatisfiable(&self) -> bool {
+        self.valid == 0
+    }
+}
+
+/// Mirrors [`crate::scenario::Scenario::is_valid`] over raw spec data.
+fn point_valid(
+    kernel: &CampaignKernel,
+    tool: &ToolSpec,
+    platform: &PlatformSpec,
+    nprocs: usize,
+) -> bool {
+    if nprocs == 0 || nprocs > platform.max_nodes {
+        return false;
+    }
+    if !tool.ports.supports(&platform.slug, platform.wan) {
+        return false;
+    }
+    match kernel {
+        CampaignKernel::GlobalSum => tool.supports_global_ops(),
+        CampaignKernel::SendRecv(_) => nprocs >= 2,
+        _ => true,
+    }
+}
+
+/// Computes what `spec`'s grid statically reaches over the *resolved*
+/// tool and platform selections (the caller applies selector defaulting;
+/// see [`crate::campaigns::from_spec`]).
+///
+/// # Errors
+///
+/// Returns the offending name if a kernel does not parse (the stanza
+/// validator normally rejects this earlier).
+pub fn static_reach(
+    spec: &CampaignSpec,
+    tools: &[&ToolSpec],
+    platforms: &[&PlatformSpec],
+) -> Result<GridReach, String> {
+    let kernels: Vec<CampaignKernel> = spec
+        .kernels
+        .iter()
+        .map(|k| parse_campaign_kernel(k).ok_or_else(|| format!("unknown kernel '{k}'")))
+        .collect::<Result<_, _>>()?;
+
+    let sizes = spec.sizes.len();
+    let mut total = 0usize;
+    let mut valid = 0usize;
+    let mut capacity_excess: Vec<(String, usize, usize)> = Vec::new();
+    for platform in platforms {
+        for &nprocs in &spec.nprocs {
+            if nprocs > platform.max_nodes {
+                let key = (platform.slug.clone(), platform.max_nodes, nprocs);
+                if !capacity_excess.contains(&key) {
+                    capacity_excess.push(key);
+                }
+            }
+            for kernel in &kernels {
+                for tool in tools {
+                    total += sizes;
+                    if point_valid(kernel, tool, platform, nprocs) {
+                        valid += sizes;
+                    }
+                }
+            }
+        }
+    }
+    Ok(GridReach {
+        total,
+        valid,
+        capacity_excess,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaigns::from_spec;
+    use crate::scenario::Scale;
+    use pdceval_mpt::ToolKind;
+    use pdceval_simnet::platform::Platform;
+    use std::sync::Arc;
+
+    fn stanza(
+        kernels: &[&str],
+        nprocs: &[usize],
+        tools: &[&str],
+        platforms: &[&str],
+    ) -> CampaignSpec {
+        CampaignSpec {
+            slug: "reach-test".into(),
+            title: None,
+            kernels: kernels.iter().map(|s| s.to_string()).collect(),
+            nprocs: nprocs.to_vec(),
+            sizes: vec![64, 4096],
+            reps: 1,
+            tools: tools.iter().map(|s| s.to_string()).collect(),
+            platforms: platforms.iter().map(|s| s.to_string()).collect(),
+            perturbs: Vec::new(),
+            seeds: 1,
+        }
+    }
+
+    /// The drift guard: the static mirror must agree with the dynamic
+    /// grid `from_spec` builds, across capability gaps (PVM has no
+    /// global sum), WAN port policies, capacity clipping and the
+    /// two-rank echo rule.
+    #[test]
+    fn reach_matches_from_spec() {
+        let cases = [
+            stanza(&["broadcast", "globalsum"], &[2, 4, 64], &[], &[]),
+            stanza(&["sendrecv"], &[1, 2], &[], &[]),
+            stanza(
+                &["ring-x4", "globalsum", "fft"],
+                &[4, 16, 40],
+                &["pvm", "p4"],
+                &["sun-eth", "sun-atm-wan", "sp1-switch"],
+            ),
+        ];
+        for spec in cases {
+            let built = from_spec(&spec, &[], &[], Scale::Quick).expect("campaign builds");
+            // Resolve selectors exactly as from_spec does (no own models
+            // in these cases, so empty selectors fall back to built-ins).
+            let tools: Vec<Arc<_>> = if spec.tools.is_empty() {
+                ToolKind::builtin().iter().map(|t| t.spec()).collect()
+            } else {
+                spec.tools
+                    .iter()
+                    .map(|s| {
+                        pdceval_mpt::ModelRegistry::global()
+                            .tool_by_slug(s)
+                            .expect("known tool")
+                            .spec()
+                    })
+                    .collect()
+            };
+            let platforms: Vec<Arc<_>> = if spec.platforms.is_empty() {
+                [Platform::SUN_ETHERNET, Platform::SUN_ATM_LAN]
+                    .iter()
+                    .map(|p| p.spec())
+                    .collect()
+            } else {
+                spec.platforms
+                    .iter()
+                    .map(|s| {
+                        pdceval_mpt::ModelRegistry::global()
+                            .platform_by_slug(s)
+                            .expect("known platform")
+                            .spec()
+                    })
+                    .collect()
+            };
+            let tool_refs: Vec<&ToolSpec> = tools.iter().map(Arc::as_ref).collect();
+            let plat_refs: Vec<&PlatformSpec> = platforms.iter().map(Arc::as_ref).collect();
+            let reach = static_reach(&spec, &tool_refs, &plat_refs).expect("kernels parse");
+            assert_eq!(
+                reach.valid,
+                built.scenarios.len(),
+                "static reach diverged from from_spec for '{}'",
+                spec.slug
+            );
+            assert!(reach.total >= reach.valid);
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_grid_is_detected() {
+        // 64 ranks on nothing that large, and globalsum under PVM only:
+        // every point filtered.
+        let spec = stanza(&["globalsum"], &[64], &["pvm"], &["sun-eth"]);
+        let tool = ToolKind::PVM.spec();
+        let platform = Platform::SUN_ETHERNET.spec();
+        let reach = static_reach(&spec, &[tool.as_ref()], &[platform.as_ref()]).unwrap();
+        assert!(reach.is_unsatisfiable());
+        assert_eq!(reach.total, 2);
+        assert_eq!(reach.capacity_excess.len(), 1);
+        assert_eq!(reach.capacity_excess[0].2, 64);
+    }
+}

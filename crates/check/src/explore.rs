@@ -1,0 +1,384 @@
+//! DPOR-lite interleaving exploration over scheduler models.
+//!
+//! [`explore`] enumerates *every* reachable interleaving of a
+//! [`Model`]'s threads by depth-first search over the choice of which
+//! enabled thread steps next, memoized on the exact state encoding
+//! ([`Model::encode`]) so the search walks the state graph rather than
+//! the (exponentially larger) schedule tree. The partial-order
+//! reduction is structural rather than computed: everything executed
+//! under the baton is already collapsed into single atomic steps by the
+//! model, so only genuinely concurrent operations (latch and slot
+//! accesses) branch.
+//!
+//! [`fuzz`] complements exhaustion with bounded random schedules — the
+//! same state space walked with a seeded xorshift scheduler, thousands
+//! of schedules per run, for models too large to exhaust.
+//!
+//! Both report the first [`Violation`] found together with the schedule
+//! (sequence of thread ids) that reproduces it.
+
+use crate::model::{Model, ModelSpec, Violation};
+use std::collections::HashSet;
+
+/// Exploration bounds. Defaults are sized for the small-model library:
+/// exhaustion completes in well under a second per model.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Maximum schedule depth (steps along one path) before the path is
+    /// abandoned as truncated.
+    pub max_depth: usize,
+    /// Maximum distinct states to visit before the search is truncated.
+    pub max_states: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            max_depth: 4_096,
+            max_states: 1_000_000,
+        }
+    }
+}
+
+/// A violation plus the schedule that reproduces it: step the model's
+/// threads in `schedule` order from the initial state.
+#[derive(Debug, Clone)]
+pub struct Found {
+    /// What went wrong.
+    pub violation: Violation,
+    /// Thread ids, in step order, from the initial state to the
+    /// violating step.
+    pub schedule: Vec<usize>,
+}
+
+/// Exploration outcome.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Model name.
+    pub model: String,
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions executed (including revisits).
+    pub transitions: u64,
+    /// The first violation found, if any.
+    pub violation: Option<Found>,
+    /// Whether a bound cut the search short (a clean truncated report
+    /// does NOT prove the model correct).
+    pub truncated: bool,
+}
+
+impl Report {
+    /// True when the search finished with no violation and no
+    /// truncation.
+    pub fn verified(&self) -> bool {
+        self.violation.is_none() && !self.truncated
+    }
+}
+
+struct Frame {
+    model: Model,
+    choices: Vec<usize>,
+    next: usize,
+}
+
+/// Exhaustively explores every interleaving of `spec` within `cfg`'s
+/// bounds.
+pub fn explore(spec: &ModelSpec, cfg: &Config) -> Report {
+    let mut report = Report {
+        model: spec.name.clone(),
+        states: 0,
+        transitions: 0,
+        violation: None,
+        truncated: false,
+    };
+    let root = Model::new(spec.clone());
+    let mut visited: HashSet<Vec<u64>> = HashSet::new();
+    visited.insert(root.encode());
+    report.states = 1;
+    let choices = root.enabled();
+    if choices.is_empty() {
+        report.violation = Some(Found {
+            violation: Violation::Deadlock {
+                blocked: root.blocked_threads(),
+            },
+            schedule: Vec::new(),
+        });
+        return report;
+    }
+    let mut stack = vec![Frame {
+        model: root,
+        choices,
+        next: 0,
+    }];
+
+    while let Some(frame) = stack.last_mut() {
+        if frame.next >= frame.choices.len() {
+            stack.pop();
+            continue;
+        }
+        let tid = frame.choices[frame.next];
+        frame.next += 1;
+        let mut m = frame.model.clone();
+        report.transitions += 1;
+        let schedule = |stack: &[Frame]| -> Vec<usize> {
+            // Each frame's `choices[next - 1]` is the step that led to
+            // the NEXT frame's model; for the top frame it is the step
+            // just taken — together, the full path from the root.
+            stack.iter().map(|f| f.choices[f.next - 1]).collect()
+        };
+        if let Err(violation) = m.step(tid) {
+            report.violation = Some(Found {
+                violation,
+                schedule: schedule(&stack),
+            });
+            return report;
+        }
+        if m.terminal() {
+            if let Err(violation) = m.check_terminal() {
+                report.violation = Some(Found {
+                    violation,
+                    schedule: schedule(&stack),
+                });
+                return report;
+            }
+            continue;
+        }
+        if !visited.insert(m.encode()) {
+            continue; // Reached a state already fully explored.
+        }
+        report.states += 1;
+        if report.states >= cfg.max_states {
+            report.truncated = true;
+            continue;
+        }
+        let choices = m.enabled();
+        if choices.is_empty() {
+            report.violation = Some(Found {
+                violation: Violation::Deadlock {
+                    blocked: m.blocked_threads(),
+                },
+                schedule: schedule(&stack),
+            });
+            return report;
+        }
+        if stack.len() >= cfg.max_depth {
+            report.truncated = true;
+            continue;
+        }
+        stack.push(Frame {
+            model: m,
+            choices,
+            next: 0,
+        });
+    }
+    report
+}
+
+/// A tiny splitmix64 PRNG for schedule selection (self-contained; the
+/// fuzzer must not depend on the engine's perturbation RNG it is meant
+/// to check around).
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Runs `schedules` seeded random interleavings of `spec`, each up to
+/// `cfg.max_depth` steps. Complements [`explore`]: same model, same
+/// violation detection, randomized rather than exhaustive coverage.
+pub fn fuzz(spec: &ModelSpec, seed: u64, schedules: u32, cfg: &Config) -> Report {
+    let mut report = Report {
+        model: spec.name.clone(),
+        states: 0,
+        transitions: 0,
+        violation: None,
+        truncated: false,
+    };
+    for round in 0..schedules {
+        let mut rng = SplitMix64(seed ^ (0x5bd1_e995u64.wrapping_mul(u64::from(round) + 1)));
+        let mut m = Model::new(spec.clone());
+        let mut schedule: Vec<usize> = Vec::new();
+        loop {
+            if m.terminal() {
+                if let Err(violation) = m.check_terminal() {
+                    report.violation = Some(Found {
+                        violation,
+                        schedule,
+                    });
+                    return report;
+                }
+                break;
+            }
+            let enabled = m.enabled();
+            if enabled.is_empty() {
+                report.violation = Some(Found {
+                    violation: Violation::Deadlock {
+                        blocked: m.blocked_threads(),
+                    },
+                    schedule,
+                });
+                return report;
+            }
+            if schedule.len() >= cfg.max_depth {
+                report.truncated = true;
+                break;
+            }
+            let tid = enabled[(rng.next() % enabled.len() as u64) as usize];
+            schedule.push(tid);
+            report.transitions += 1;
+            if let Err(violation) = m.step(tid) {
+                report.violation = Some(Found {
+                    violation,
+                    schedule,
+                });
+                return report;
+            }
+        }
+        report.states += 1; // One completed schedule per round.
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{small_models, Mutation};
+
+    /// Replays a reported schedule on a fresh model and returns the
+    /// violation it reproduces (stepping error, empty-enabled deadlock,
+    /// or terminal-check failure).
+    fn replay(spec: &ModelSpec, schedule: &[usize]) -> Option<Violation> {
+        let mut m = Model::new(spec.clone());
+        for &tid in schedule {
+            if let Err(v) = m.step(tid) {
+                return Some(v);
+            }
+        }
+        if m.terminal() {
+            return m.check_terminal().err();
+        }
+        if m.enabled().is_empty() {
+            return Some(Violation::Deadlock {
+                blocked: m.blocked_threads(),
+            });
+        }
+        None
+    }
+
+    #[test]
+    fn clean_models_verify_exhaustively() {
+        let cfg = Config::default();
+        for spec in small_models() {
+            let report = explore(&spec, &cfg);
+            assert!(
+                report.verified(),
+                "{}: expected clean exhaustive sweep, got {:?} (truncated={})",
+                report.model,
+                report.violation.map(|f| f.violation),
+                report.truncated
+            );
+            assert!(report.states > 1, "{}: search did not move", spec.name);
+        }
+    }
+
+    #[test]
+    fn lost_wakeup_mutant_deadlocks() {
+        let spec = crate::model::pingpong().with_mutation(Mutation::LostWakeup);
+        let report = explore(&spec, &Config::default());
+        let found = report.violation.expect("lost wakeup must be caught");
+        assert!(
+            matches!(found.violation, Violation::Deadlock { .. }),
+            "expected a deadlock, got {}",
+            found.violation
+        );
+        assert_eq!(replay(&spec, &found.schedule), Some(found.violation));
+    }
+
+    #[test]
+    fn dormant_undercount_mutant_underflows_the_counter() {
+        let spec = crate::model::lazy_relay().with_mutation(Mutation::DormantUndercount);
+        let report = explore(&spec, &Config::default());
+        let found = report.violation.expect("dormant undercount must be caught");
+        assert!(
+            matches!(
+                found.violation,
+                Violation::CounterUnderflow | Violation::PrematureCompletion { .. }
+            ),
+            "expected a counter underflow, got {}",
+            found.violation
+        );
+        assert_eq!(replay(&spec, &found.schedule), Some(found.violation));
+    }
+
+    #[test]
+    fn dormant_uncounted_mutant_completes_prematurely() {
+        let spec = crate::model::lazy_fan().with_mutation(Mutation::DormantUncounted);
+        let report = explore(&spec, &Config::default());
+        let found = report.violation.expect("uncounted dormant must be caught");
+        assert!(
+            matches!(found.violation, Violation::PrematureCompletion { .. }),
+            "expected premature completion, got {}",
+            found.violation
+        );
+        assert_eq!(replay(&spec, &found.schedule), Some(found.violation));
+    }
+
+    #[test]
+    fn stale_waiting_mutant_double_resumes() {
+        let spec = crate::model::fanin().with_mutation(Mutation::StaleWaiting);
+        let report = explore(&spec, &Config::default());
+        let found = report.violation.expect("stale waiting must be caught");
+        assert!(
+            matches!(
+                found.violation,
+                Violation::BadResume { .. } | Violation::SlotClobbered { .. }
+            ),
+            "expected a double resume, got {}",
+            found.violation
+        );
+        assert_eq!(replay(&spec, &found.schedule), Some(found.violation));
+    }
+
+    #[test]
+    fn every_mutant_is_caught_on_at_least_one_model() {
+        let cfg = Config::default();
+        for mutation in Mutation::all_mutants() {
+            let caught = small_models().into_iter().any(|m| {
+                explore(&m.with_mutation(mutation), &cfg)
+                    .violation
+                    .is_some()
+            });
+            assert!(
+                caught,
+                "mutant {mutation:?} survived the whole model library"
+            );
+        }
+    }
+
+    #[test]
+    fn fuzz_is_clean_on_correct_models_and_catches_the_lost_wakeup() {
+        let cfg = Config::default();
+        for spec in small_models() {
+            let report = fuzz(&spec, 0xC0FFEE, 200, &cfg);
+            assert!(
+                report.violation.is_none(),
+                "{}: fuzz found a spurious violation",
+                spec.name
+            );
+            assert_eq!(report.states, 200, "{}: schedules truncated", spec.name);
+        }
+        let mutant = crate::model::pingpong().with_mutation(Mutation::LostWakeup);
+        let report = fuzz(&mutant, 0xC0FFEE, 2_000, &cfg);
+        let found = report
+            .violation
+            .expect("fuzz must trip over the lost wakeup");
+        assert_eq!(replay(&mutant, &found.schedule), Some(found.violation));
+    }
+}

@@ -1,0 +1,30 @@
+//! `pdceval-check` — static analysis for the evaluation pipeline.
+//!
+//! Two prongs, both aimed at the same goal: *prove* the properties the
+//! engine's correctness rests on instead of assuming them.
+//!
+//! 1. **Scheduler model checking** ([`model`], [`explore`]). The
+//!    direct-handoff pooled scheduler in `pdceval-simnet` relies on a
+//!    handful of lock-free synchronization points (the one-token park
+//!    latch, the single-value handoff slot, the dormant-inflight
+//!    counter). Those are abstracted behind the `syncpoint` traits;
+//!    here we re-implement them over explored, clonable state and drive
+//!    a DPOR-lite exhaustive interleaving search over small worker/rank
+//!    models, detecting deadlocks, lost wakeups, double resumes, and
+//!    completion-detection races. Seeded mutations
+//!    ([`model::Mutation`]) prove the explorer actually catches the bug
+//!    classes it claims to.
+//!
+//! 2. **Spec/campaign linting ([`lint`]).** A whole-registry static
+//!    analyzer over parsed spec files: dead models, unsatisfiable
+//!    campaign grids, capacity mismatches, never-firing perturbation
+//!    stanzas, slug collisions, and suspicious unit magnitudes. Every
+//!    finding is a [`pdceval_mpt::diag::Diag`] with a stable code — the
+//!    index lives in [`pdceval_mpt::diag`]'s module docs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod lint;
+pub mod model;

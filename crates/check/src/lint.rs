@@ -1,0 +1,652 @@
+//! `pdceval lint` — a whole-registry static analyzer over spec files.
+//!
+//! Where `pdceval validate` checks that a file *parses* and its models
+//! are internally consistent, the lint pass reasons about what the file
+//! would *do*: which declared models can never run, which campaign
+//! grids are statically empty, which perturbation stanzas can never
+//! fire, and which calibrations look like unit mistakes. Every finding
+//! is a [`Diag`] with a stable code — the index lives in
+//! [`pdceval_mpt::diag`]'s module docs.
+//!
+//! The analyzer never registers anything: it resolves selectors the
+//! same way loading would (file-declared models first, then the global
+//! registry's built-ins) but purely by inspection, so linting a broken
+//! file cannot poison the process-global registry.
+
+use pdceval_campaign::campaigns::is_reserved_name;
+use pdceval_campaign::reach::static_reach;
+use pdceval_mpt::diag::Diag;
+use pdceval_mpt::spec::{parse_spec, CampaignSpec, PortPolicy, SpecFile, ToolSpec};
+use pdceval_mpt::{ModelRegistry, ToolKind};
+use pdceval_simnet::net::LinkParams;
+use pdceval_simnet::perturb::PerturbSpec;
+use pdceval_simnet::platform::{Platform, PlatformSpec};
+use std::collections::{BTreeMap, HashSet};
+
+/// Lints a spec file: parses `text` and runs every lint class over it.
+/// `path` is used for diagnostic locations only — the file is never
+/// registered or executed.
+pub fn lint_text(path: &str, text: &str) -> Vec<Diag> {
+    let file = match parse_spec(text) {
+        Ok(f) => f,
+        Err(e) => {
+            let line = (e.line > 0).then_some(e.line);
+            return vec![Diag::error("L0001", e.message).at(path, line)];
+        }
+    };
+    let lines = stanza_lines(text);
+    let at = |d: Diag, kind: &str, slug: &str| -> Diag {
+        let line = lines.get(&(kind.to_string(), slug.to_string())).copied();
+        d.at(path, line)
+    };
+
+    let mut diags: Vec<Diag> = Vec::new();
+    for (d, kind, slug) in selector_warnings_keyed(&file) {
+        diags.push(at(d, kind, &slug));
+    }
+    for (d, kind, slug) in dead_models(&file) {
+        diags.push(at(d, kind, &slug));
+    }
+    for (d, slug) in grid_reach(&file) {
+        diags.push(at(d, "campaign", &slug));
+    }
+    for (d, slug) in perturb_stanzas(&file) {
+        diags.push(at(d, "perturb", &slug));
+    }
+    for (d, kind, slug) in collisions(&file) {
+        diags.push(at(d, kind, &slug));
+    }
+    for (d, slug) in unit_magnitudes(&file) {
+        diags.push(at(d, "platform", &slug));
+    }
+    diags
+}
+
+/// The unknown-selector warning classes (L0011–L0014), with messages
+/// byte-identical to the ones `pdceval validate` has always printed
+/// (via [`Diag::render_bare`]); `pdceval lint` renders the same diags
+/// with codes and locations.
+pub fn selector_warnings(file: &SpecFile) -> Vec<Diag> {
+    selector_warnings_keyed(file)
+        .into_iter()
+        .map(|(d, _, _)| d)
+        .collect()
+}
+
+/// [`selector_warnings`] plus the `(stanza kind, slug)` each diagnostic
+/// anchors to, so `lint_text` can attach source lines.
+fn selector_warnings_keyed(file: &SpecFile) -> Vec<(Diag, &'static str, String)> {
+    let registry = ModelRegistry::global();
+    let known_platforms: HashSet<String> = file
+        .platforms
+        .iter()
+        .map(|p| p.slug.clone())
+        .chain(registry.platforms().into_iter().map(|p| p.slug()))
+        .collect();
+    let known_tools: HashSet<String> = file
+        .tools
+        .iter()
+        .map(|t| t.slug.clone())
+        .chain(registry.tools().into_iter().map(|t| t.slug()))
+        .collect();
+    let known_perturbs: HashSet<String> = file
+        .perturbs
+        .iter()
+        .map(|p| p.slug.clone())
+        .chain(registry.perturbs().into_iter().map(|p| p.slug()))
+        .chain(std::iter::once("none".to_string()))
+        .collect();
+
+    let mut out = Vec::new();
+    for t in &file.tools {
+        let (key, slugs) = match &t.ports {
+            PortPolicy::Allow(s) => ("ports.allow", s),
+            PortPolicy::Deny(s) => ("ports.deny", s),
+            PortPolicy::All { .. } => continue,
+        };
+        for slug in slugs.iter().filter(|s| !known_platforms.contains(*s)) {
+            out.push((
+                Diag::warning(
+                    "L0011",
+                    format!(
+                        "tool '{}': {key} names '{slug}', which matches no platform in \
+                         this file or the registry",
+                        t.slug
+                    ),
+                ),
+                "tool",
+                t.slug.clone(),
+            ));
+        }
+    }
+    for c in &file.campaigns {
+        for slug in c.tools.iter().filter(|s| !known_tools.contains(*s)) {
+            out.push((
+                Diag::warning(
+                    "L0012",
+                    format!(
+                        "campaign '{}': tools names '{slug}', which matches no tool in \
+                         this file or the registry",
+                        c.slug
+                    ),
+                ),
+                "campaign",
+                c.slug.clone(),
+            ));
+        }
+        for slug in c.platforms.iter().filter(|s| !known_platforms.contains(*s)) {
+            out.push((
+                Diag::warning(
+                    "L0013",
+                    format!(
+                        "campaign '{}': platforms names '{slug}', which matches no \
+                         platform in this file or the registry",
+                        c.slug
+                    ),
+                ),
+                "campaign",
+                c.slug.clone(),
+            ));
+        }
+        for slug in c.perturbs.iter().filter(|s| !known_perturbs.contains(*s)) {
+            out.push((
+                Diag::warning(
+                    "L0014",
+                    format!(
+                        "campaign '{}': perturb names '{slug}', which matches no \
+                         perturbation in this file or the registry",
+                        c.slug
+                    ),
+                ),
+                "campaign",
+                c.slug.clone(),
+            ));
+        }
+    }
+    out
+}
+
+/// The tool models one campaign stanza sweeps, resolved the way loading
+/// would: explicit slugs file-first then registry; an empty selector
+/// means the file's own tools, falling back to the built-ins.
+fn resolved_tools(c: &CampaignSpec, file: &SpecFile) -> Vec<ToolSpec> {
+    if c.tools.is_empty() {
+        if file.tools.is_empty() {
+            return ToolKind::builtin()
+                .iter()
+                .map(|t| (*t.spec()).clone())
+                .collect();
+        }
+        return file.tools.clone();
+    }
+    c.tools
+        .iter()
+        .filter_map(|s| {
+            file.tools
+                .iter()
+                .find(|t| &t.slug == s)
+                .cloned()
+                .or_else(|| {
+                    ModelRegistry::global()
+                        .tool_by_slug(s)
+                        .map(|id| (*id.spec()).clone())
+                })
+        })
+        .collect()
+}
+
+/// Platform counterpart of [`resolved_tools`]; the built-in fallback is
+/// the default pair the campaign loader uses.
+fn resolved_platforms(c: &CampaignSpec, file: &SpecFile) -> Vec<PlatformSpec> {
+    if c.platforms.is_empty() {
+        if file.platforms.is_empty() {
+            return [Platform::SUN_ETHERNET, Platform::SUN_ATM_LAN]
+                .iter()
+                .map(|p| (*p.spec()).clone())
+                .collect();
+        }
+        return file.platforms.clone();
+    }
+    c.platforms
+        .iter()
+        .filter_map(|s| {
+            file.platforms
+                .iter()
+                .find(|p| &p.slug == s)
+                .cloned()
+                .or_else(|| {
+                    ModelRegistry::global()
+                        .platform_by_slug(s)
+                        .map(|id| (*id.spec()).clone())
+                })
+        })
+        .collect()
+}
+
+/// L0101–L0103: models the file declares but no campaign in the file
+/// can ever sweep. Only meaningful when the file declares campaigns —
+/// a pure model library legitimately leaves referencing to others.
+fn dead_models(file: &SpecFile) -> Vec<(Diag, &'static str, String)> {
+    if file.campaigns.is_empty() {
+        return Vec::new();
+    }
+    let mut live_tools: HashSet<String> = HashSet::new();
+    let mut live_platforms: HashSet<String> = HashSet::new();
+    let mut live_perturbs: HashSet<String> = HashSet::new();
+    for c in &file.campaigns {
+        live_tools.extend(resolved_tools(c, file).into_iter().map(|t| t.slug));
+        live_platforms.extend(resolved_platforms(c, file).into_iter().map(|p| p.slug));
+        live_perturbs.extend(c.perturbs.iter().cloned());
+    }
+    let mut out = Vec::new();
+    for t in &file.tools {
+        if !live_tools.contains(&t.slug) {
+            out.push((
+                Diag::warning(
+                    "L0101",
+                    format!(
+                        "tool '{}' is declared but swept by no campaign in this file",
+                        t.slug
+                    ),
+                ),
+                "tool",
+                t.slug.clone(),
+            ));
+        }
+    }
+    for p in &file.platforms {
+        if !live_platforms.contains(&p.slug) {
+            out.push((
+                Diag::warning(
+                    "L0102",
+                    format!(
+                        "platform '{}' is declared but swept by no campaign in this file",
+                        p.slug
+                    ),
+                ),
+                "platform",
+                p.slug.clone(),
+            ));
+        }
+    }
+    for p in &file.perturbs {
+        if !live_perturbs.contains(&p.slug) {
+            out.push((
+                Diag::warning(
+                    "L0103",
+                    format!(
+                        "perturbation '{}' is declared but selected by no campaign in \
+                         this file",
+                        p.slug
+                    ),
+                ),
+                "perturb",
+                p.slug.clone(),
+            ));
+        }
+    }
+    out
+}
+
+/// L0201/L0202: per-campaign static grid reachability — an error when
+/// the validity filter leaves nothing to run, a warning for each swept
+/// rank count that exceeds a selected platform's capacity.
+fn grid_reach(file: &SpecFile) -> Vec<(Diag, String)> {
+    let mut out = Vec::new();
+    for c in &file.campaigns {
+        let tools = resolved_tools(c, file);
+        let platforms = resolved_platforms(c, file);
+        let tool_refs: Vec<&ToolSpec> = tools.iter().collect();
+        let plat_refs: Vec<&PlatformSpec> = platforms.iter().collect();
+        let Ok(reach) = static_reach(c, &tool_refs, &plat_refs) else {
+            continue; // unknown kernels are a parse-time error already
+        };
+        if reach.is_unsatisfiable() {
+            out.push((
+                Diag::error(
+                    "L0201",
+                    format!(
+                        "campaign '{}': the validity filter leaves no runnable scenario \
+                         ({} grid point(s) enumerated, 0 valid)",
+                        c.slug, reach.total
+                    ),
+                ),
+                c.slug.clone(),
+            ));
+            continue;
+        }
+        for (platform, max_nodes, nprocs) in &reach.capacity_excess {
+            out.push((
+                Diag::warning(
+                    "L0202",
+                    format!(
+                        "campaign '{}': nprocs {nprocs} exceeds platform '{platform}' \
+                         capacity ({max_nodes} node(s)); those points are skipped",
+                        c.slug
+                    ),
+                ),
+                c.slug.clone(),
+            ));
+        }
+    }
+    out
+}
+
+/// Whether a perturbation draws from its seeded random streams (a crash
+/// or straggler alone is deterministic — every seed produces the same
+/// run).
+fn is_randomized(p: &PerturbSpec) -> bool {
+    p.jitter > 0.0 || p.congestion > 0.0 || p.loss > 0.0
+}
+
+/// L0301/L0302: perturbation stanzas that can never do what they
+/// declare — a crash rank no referencing campaign ever materializes,
+/// and randomized models swept with a single seed.
+fn perturb_stanzas(file: &SpecFile) -> Vec<(Diag, String)> {
+    let mut out = Vec::new();
+    for p in &file.perturbs {
+        let referencing: Vec<&CampaignSpec> = file
+            .campaigns
+            .iter()
+            .filter(|c| c.perturbs.iter().any(|s| s == &p.slug))
+            .collect();
+        if referencing.is_empty() {
+            continue; // dead stanza — L0103's finding, not ours
+        }
+        if let Some(rank) = p.crash_rank {
+            let max_nprocs = referencing
+                .iter()
+                .flat_map(|c| c.nprocs.iter().copied())
+                .max()
+                .unwrap_or(0);
+            if rank >= max_nprocs {
+                out.push((
+                    Diag::warning(
+                        "L0301",
+                        format!(
+                            "perturbation '{}': crash.rank {rank} never exists — the \
+                             campaigns sweeping it stop at nprocs {max_nprocs}",
+                            p.slug
+                        ),
+                    ),
+                    p.slug.clone(),
+                ));
+            }
+        }
+        if is_randomized(p) {
+            for c in referencing.iter().filter(|c| c.seeds == 1) {
+                out.push((
+                    Diag::warning(
+                        "L0302",
+                        format!(
+                            "campaign '{}': sweeps randomized perturbation '{}' with a \
+                             single seed — one sample of a distribution; raise 'seeds'",
+                            c.slug, p.slug
+                        ),
+                    ),
+                    p.slug.clone(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// L0401–L0403: slug collisions. Within the file, one slug naming
+/// stanzas in different namespaces is legal but confusing (L0401);
+/// shadowing an already-registered model with *different* content
+/// (L0402) or colliding with a built-in campaign name (L0403) would
+/// make the load fail, so those are errors. Re-declaring a registered
+/// model byte-identically is the supported idempotent load and stays
+/// silent.
+fn collisions(file: &SpecFile) -> Vec<(Diag, &'static str, String)> {
+    let mut out = Vec::new();
+    let mut seen: BTreeMap<&str, (&'static str, &'static str)> = BTreeMap::new();
+    let namespaces: Vec<(&'static str, Vec<&str>)> = vec![
+        ("tool", file.tools.iter().map(|t| t.slug.as_str()).collect()),
+        (
+            "platform",
+            file.platforms.iter().map(|p| p.slug.as_str()).collect(),
+        ),
+        (
+            "perturb",
+            file.perturbs.iter().map(|p| p.slug.as_str()).collect(),
+        ),
+        (
+            "campaign",
+            file.campaigns.iter().map(|c| c.slug.as_str()).collect(),
+        ),
+    ];
+    for (kind, slugs) in &namespaces {
+        for slug in slugs {
+            match seen.get(slug) {
+                None => {
+                    seen.insert(slug, (kind, kind));
+                }
+                Some((first, _)) => {
+                    out.push((
+                        Diag::warning(
+                            "L0401",
+                            format!(
+                                "slug '{slug}' names both a {first} and a {kind} in this \
+                                 file — scenario keys and selectors will read ambiguously"
+                            ),
+                        ),
+                        *kind,
+                        (*slug).to_string(),
+                    ));
+                }
+            }
+        }
+    }
+
+    let registry = ModelRegistry::global();
+    for t in &file.tools {
+        if let Some(id) = registry.tool_by_slug(&t.slug) {
+            if *id.spec() != *t {
+                out.push((
+                    Diag::error(
+                        "L0402",
+                        format!(
+                            "tool '{}' shadows an already-registered tool with different \
+                             calibration — loading this file would fail",
+                            t.slug
+                        ),
+                    ),
+                    "tool",
+                    t.slug.clone(),
+                ));
+            }
+        }
+    }
+    for p in &file.platforms {
+        if let Some(id) = registry.platform_by_slug(&p.slug) {
+            if *id.spec() != *p {
+                out.push((
+                    Diag::error(
+                        "L0402",
+                        format!(
+                            "platform '{}' shadows an already-registered platform with \
+                             different calibration — loading this file would fail",
+                            p.slug
+                        ),
+                    ),
+                    "platform",
+                    p.slug.clone(),
+                ));
+            }
+        }
+    }
+    for p in &file.perturbs {
+        if let Some(id) = registry.perturb_by_slug(&p.slug) {
+            if *id.spec() != *p {
+                out.push((
+                    Diag::error(
+                        "L0402",
+                        format!(
+                            "perturbation '{}' shadows an already-registered perturbation \
+                             with different knobs — loading this file would fail",
+                            p.slug
+                        ),
+                    ),
+                    "perturb",
+                    p.slug.clone(),
+                ));
+            }
+        }
+    }
+    for c in &file.campaigns {
+        if is_reserved_name(&c.slug) {
+            out.push((
+                Diag::error(
+                    "L0403",
+                    format!(
+                        "campaign '{}' collides with the built-in campaign of the same \
+                         name — loading this file would fail",
+                        c.slug
+                    ),
+                ),
+                "campaign",
+                c.slug.clone(),
+            ));
+        } else if let Some(reg) = registry.campaign_by_slug(&c.slug) {
+            if *reg != *c {
+                out.push((
+                    Diag::error(
+                        "L0403",
+                        format!(
+                            "campaign '{}' collides with an already-registered campaign \
+                             of the same name — loading this file would fail",
+                            c.slug
+                        ),
+                    ),
+                    "campaign",
+                    c.slug.clone(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// How far off (as a ratio) a link calibration may sit from every peer
+/// before it reads as a unit mistake. The built-in 1995 testbeds span
+/// 3.2–127 Mbps and 60–420 µs — a 1000× leave-one-out band around the
+/// declared population keeps legitimately modern fabrics (tens of Gbps,
+/// microsecond latencies) clean while catching ms-vs-µs and
+/// bits-vs-bytes slips.
+const MAGNITUDE_BAND: f64 = 1000.0;
+
+/// Every link calibration a platform declares, flattened:
+/// per-group links plus the optional inter-group class.
+fn platform_links(p: &PlatformSpec) -> Vec<&LinkParams> {
+    p.topology
+        .groups
+        .iter()
+        .map(|g| &g.link)
+        .chain(p.topology.inter.as_ref())
+        .collect()
+}
+
+/// L0501: leave-one-out unit-magnitude screening. Each file-declared
+/// link's bandwidth and latency are compared against every *other*
+/// calibrated link (the rest of the file plus the built-in platforms);
+/// a value ≥1000× above or below the entire peer population is almost
+/// always a unit slip (ms in a µs field, bytes/s in Mbps).
+fn unit_magnitudes(file: &SpecFile) -> Vec<(Diag, String)> {
+    struct Cal {
+        platform: Option<String>, // None = built-in peer
+        link: String,
+        bandwidth_mbps: f64,
+        latency_us: f64,
+    }
+    let mut cals: Vec<Cal> = Vec::new();
+    for p in Platform::all() {
+        let spec = p.spec();
+        for l in platform_links(&spec) {
+            cals.push(Cal {
+                platform: None,
+                link: l.name.clone(),
+                bandwidth_mbps: l.bandwidth_mbps,
+                latency_us: l.latency.as_micros_f64(),
+            });
+        }
+    }
+    for p in &file.platforms {
+        for l in platform_links(p) {
+            cals.push(Cal {
+                platform: Some(p.slug.clone()),
+                link: l.name.clone(),
+                bandwidth_mbps: l.bandwidth_mbps,
+                latency_us: l.latency.as_micros_f64(),
+            });
+        }
+    }
+
+    let mut out = Vec::new();
+    for i in 0..cals.len() {
+        let Some(pslug) = cals[i].platform.clone() else {
+            continue; // built-ins are the reference population, not subjects
+        };
+        for (field, unit, value) in [
+            ("bandwidth", "Mbps", cals[i].bandwidth_mbps),
+            ("latency", "us", cals[i].latency_us),
+        ] {
+            let peers = cals
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, c)| match field {
+                    "bandwidth" => c.bandwidth_mbps,
+                    _ => c.latency_us,
+                })
+                .filter(|v| *v > 0.0);
+            let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+            for v in peers {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi == 0.0 {
+                continue; // no positive peers to compare against
+            }
+            let suspicious =
+                value > hi * MAGNITUDE_BAND || (value > 0.0 && value < lo / MAGNITUDE_BAND);
+            if suspicious {
+                out.push((
+                    Diag::warning(
+                        "L0501",
+                        format!(
+                            "platform '{pslug}': link '{}' {field} {value} {unit} is more \
+                             than 1000x outside every other calibrated link \
+                             ({lo}..{hi} {unit}) — check the units",
+                            cals[i].link
+                        ),
+                    ),
+                    pslug.clone(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Maps each stanza header `[kind slug ...]` to its 1-based line, so
+/// diagnostics computed from parsed specs can point back into the
+/// source. Group/link stanzas attribute to their owning platform's
+/// slug.
+fn stanza_lines(text: &str) -> BTreeMap<(String, String), usize> {
+    let mut map = BTreeMap::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let Some(inner) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) else {
+            continue;
+        };
+        let mut parts = inner.split_whitespace();
+        let (Some(kind), Some(slug)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        map.entry((kind.to_string(), slug.to_string()))
+            .or_insert(i + 1);
+    }
+    map
+}

@@ -1,0 +1,1071 @@
+//! An executable model of the engine's direct-handoff scheduling
+//! protocol.
+//!
+//! The production engine ([`pdceval_simnet`]) runs each simulated
+//! process on a pooled OS thread; exactly one thread runs at a time,
+//! holding the *baton* (exclusive ownership of the simulation core).
+//! The baton is transferred through two primitives only — the
+//! [`SyncPark`] latch and the [`SyncSlot`] resume slot — so the whole
+//! cross-thread protocol can be modeled by treating every latch/slot
+//! operation as one atomic step and everything executed *under* the
+//! baton as one atomic step per advance-loop iteration.
+//!
+//! [`Model`] is that model: a deterministic state machine per thread
+//! (ranks plus the main thread) over a shared world whose park cells and
+//! resume slots implement the very [`SyncPark`]/[`SyncSlot`] traits the
+//! production scheduler runs on. The explorer ([`crate::explore`])
+//! enumerates interleavings by choosing which enabled thread steps next;
+//! [`Mutation`]s re-introduce historic bug classes (lost wakeup,
+//! dormant-count off-by-one, stale waiting flags) that the explorer must
+//! catch.
+//!
+//! What the model covers, mirroring `simnet::engine`:
+//!
+//! * the wait-resume loop: check the resume slot, then spin/park on the
+//!   latch ([`Phase::Wait`] / [`Phase::Park`]);
+//! * direct handoff: deposit a resume, then wake the target
+//!   ([`Phase::PutResume`] / [`Phase::Wake`]);
+//! * the advance loop: runnable queue, event queue with virtual time,
+//!   engine-level deadlock detection, completion detection via
+//!   `unfinished == 0 && dormant_inflight == 0`;
+//! * lazy ranks: dormant until first delivery, materialized with a
+//!   `Start` resume, each in-flight dormant-bound message holding the
+//!   run open;
+//! * teardown: aborting blocked ranks, the live-worker count, and the
+//!   final join.
+
+use pdceval_simnet::syncpoint::{SyncPark, SyncSlot};
+use std::cell::Cell;
+use std::collections::VecDeque;
+
+/// Message delivery latency in model time units.
+const LATENCY: u64 = 1;
+
+/// A seeded protocol bug for mutation testing: the explorer must find a
+/// violation under every non-[`Mutation::None`] variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// The correct protocol.
+    None,
+    /// `deposit_and_wake` wakes the owner but forgets the token — the
+    /// classic lost wakeup. A worker that re-checks and parks again
+    /// sleeps forever; manifests as a protocol-level deadlock.
+    LostWakeup,
+    /// The send path forgets to count a dormant-bound message into
+    /// `dormant_inflight`, while delivery still decrements — the counter
+    /// underflows (the engine guards this with a `debug_assert!`).
+    DormantUndercount,
+    /// Dormant-bound messages are not counted at all (neither increment
+    /// nor decrement): completion detection closes the run while a
+    /// delivery to a never-materialized rank is still in flight.
+    DormantUncounted,
+    /// Delivery to a waiting receiver forgets to clear the waiting flag,
+    /// so a later delivery resumes the rank a second time — a stale
+    /// resume / double-resume hazard.
+    StaleWaiting,
+}
+
+impl Mutation {
+    /// Every seeded mutant (for mutation-test sweeps).
+    pub fn all_mutants() -> [Mutation; 4] {
+        [
+            Mutation::LostWakeup,
+            Mutation::DormantUndercount,
+            Mutation::DormantUncounted,
+            Mutation::StaleWaiting,
+        ]
+    }
+}
+
+/// One scripted action of a rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Send one message to `dst` (non-blocking, delivered after
+    /// [`LATENCY`]).
+    Send(usize),
+    /// Receive one message (any source), blocking until delivery.
+    Recv,
+}
+
+/// A small scheduler model: per-rank scripts plus laziness flags.
+#[derive(Debug, Clone)]
+pub struct ModelSpec {
+    /// Display name (used in reports and test output).
+    pub name: String,
+    /// Per-rank action scripts; a rank finishes after its last action.
+    pub scripts: Vec<Vec<Action>>,
+    /// Ranks registered via `spawn_lazy`: dormant until first delivery.
+    pub lazy: Vec<bool>,
+    /// The seeded bug, if any.
+    pub mutation: Mutation,
+}
+
+impl ModelSpec {
+    /// The same model with a seeded mutation.
+    #[must_use]
+    pub fn with_mutation(mut self, mutation: Mutation) -> ModelSpec {
+        self.mutation = mutation;
+        self
+    }
+
+    fn ranks(&self) -> usize {
+        self.scripts.len()
+    }
+}
+
+/// A resume value handed through a [`SyncSlot`], mirroring
+/// `engine::ResumeKind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resume {
+    /// First activation of a rank.
+    Start,
+    /// A received message from `src` (the engine's fast-path delivery).
+    Msg(usize),
+    /// Teardown: unwind the rank's job.
+    Abort,
+}
+
+fn encode_resume(r: Resume) -> u64 {
+    match r {
+        Resume::Abort => 0,
+        Resume::Start => 1,
+        Resume::Msg(src) => 2 + src as u64,
+    }
+}
+
+/// The model's park latch: the same [`SyncPark`] contract the production
+/// `ParkCell` implements, over explored state instead of atomics.
+#[derive(Debug, Clone, Default)]
+pub struct ModelPark {
+    token: Cell<bool>,
+    /// Whether the owner is OS-parked (blocked; not steppable until a
+    /// wake clears this).
+    parked: Cell<bool>,
+    /// Seeded [`Mutation::LostWakeup`]: wake without depositing.
+    lose_token: Cell<bool>,
+}
+
+impl SyncPark for ModelPark {
+    fn try_consume(&self) -> bool {
+        self.token.replace(false)
+    }
+
+    fn deposit_and_wake(&self) {
+        if !self.lose_token.get() {
+            self.token.set(true);
+        }
+        self.parked.set(false);
+    }
+}
+
+/// The model's resume slot: the same [`SyncSlot`] contract the
+/// production `HandoffSlot` implements.
+#[derive(Debug, Clone, Default)]
+pub struct ModelSlot {
+    full: Cell<bool>,
+    value: Cell<Option<Resume>>,
+}
+
+impl SyncSlot<Resume> for ModelSlot {
+    fn deposit(&self, v: Resume) -> bool {
+        let clean = !self.full.get();
+        self.value.set(Some(v));
+        self.full.set(true);
+        clean
+    }
+
+    fn withdraw(&self) -> Option<Resume> {
+        if self.full.get() {
+            self.full.set(false);
+            self.value.take()
+        } else {
+            None
+        }
+    }
+}
+
+/// A protocol violation found by the explorer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// No thread can make progress and the run has not terminated —
+    /// a lost wakeup or equivalent protocol-level deadlock.
+    Deadlock {
+        /// Human-readable descriptions of the stuck threads.
+        blocked: Vec<String>,
+    },
+    /// A resume was deposited into a slot that still held one
+    /// (double resume).
+    SlotClobbered {
+        /// The rank whose slot was clobbered.
+        rank: usize,
+    },
+    /// A resume was delivered to a rank that cannot accept it (finished,
+    /// retired, or of the wrong kind for what the rank awaits).
+    BadResume {
+        /// The rank that was mis-resumed.
+        rank: usize,
+        /// What happened.
+        detail: String,
+    },
+    /// The run completed while work remained: undelivered messages in
+    /// flight or scripts never executed (completion-detection race).
+    PrematureCompletion {
+        /// What was left behind.
+        detail: String,
+    },
+    /// `dormant_inflight` went negative (the engine `debug_assert!`s
+    /// against exactly this).
+    CounterUnderflow,
+    /// The model engine reported a simulation deadlock on a
+    /// deadlock-free script — completion detection gone wrong.
+    FalseDeadlock,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Deadlock { blocked } => {
+                write!(f, "protocol deadlock; stuck: {}", blocked.join(", "))
+            }
+            Violation::SlotClobbered { rank } => {
+                write!(f, "double resume: rank {rank}'s slot clobbered")
+            }
+            Violation::BadResume { rank, detail } => {
+                write!(f, "bad resume to rank {rank}: {detail}")
+            }
+            Violation::PrematureCompletion { detail } => {
+                write!(f, "premature completion: {detail}")
+            }
+            Violation::CounterUnderflow => write!(f, "dormant-inflight counter underflow"),
+            Violation::FalseDeadlock => {
+                write!(f, "engine reported deadlock on a deadlock-free script")
+            }
+        }
+    }
+}
+
+/// What a thread does after its current advance loop hands the baton
+/// off (the continuation after `advance` returns in the real engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum After {
+    /// A blocked worker returns to its wait-resume loop; on `Msg` it
+    /// continues its script after the blocking action at `pc`.
+    WaitResume { pc: usize },
+    /// A finishing worker retires (releases its pooled thread).
+    Retire,
+    /// Main returns from the boot advance and waits for `done`.
+    MainWait,
+    /// Main continues tearing down ranks from `next`.
+    MainAbort { next: usize },
+}
+
+/// Per-thread control state. Threads `0..ranks` are rank workers;
+/// thread `ranks` is main.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    /// Wait-resume loop: next step checks the resume slot.
+    Wait { start: bool, pc: usize },
+    /// Inside the latch's park loop (after a failed slot check). When
+    /// `parked` is set on the latch the thread is unsteppable.
+    Park { start: bool, pc: usize },
+    /// Running the script at `pc`.
+    Run { pc: usize },
+    /// Driving the advance loop (holds the baton).
+    Adv { after: After },
+    /// Depositing a resume into `pid`'s slot (first half of a handoff).
+    PutResume {
+        pid: usize,
+        resume: Resume,
+        after: After,
+    },
+    /// Waking `pid` (second half of a handoff).
+    Wake { pid: usize, after: After },
+    /// Waking main after `finish_run`.
+    WakeMain { after: After },
+    /// Releasing the worker: decrement `live`, wake main if last.
+    Retire,
+    /// Thread finished (or never existed, for unmaterialized ranks).
+    Gone,
+    /// Main: push eager ranks runnable, then drive the boot advance.
+    MainBoot,
+    /// Main: check `done`, else park.
+    MainWait,
+    /// Main: in the park loop awaiting `done`.
+    MainPark,
+    /// Main: teardown — abort still-running ranks starting at `next`.
+    MainAbort { next: usize },
+    /// Main: await `live == 0`.
+    MainJoin,
+    /// Main: in the park loop awaiting the last retire.
+    MainJoinPark,
+    /// Main finished; the run is over when every thread is Gone.
+    MainGone,
+}
+
+/// Mirror of the engine's `ProcState`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PState {
+    Dormant,
+    Live,
+    Blocked,
+    Finished,
+    Aborted,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    Deliver {
+        dst: usize,
+        src: usize,
+        counted: bool,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum End {
+    Ok,
+    Deadlock,
+}
+
+/// The shared world guarded by the baton, mirroring `engine::Core`.
+#[derive(Debug, Clone)]
+struct Core {
+    runnable: VecDeque<(usize, Resume)>,
+    pstate: Vec<PState>,
+    mailbox: Vec<VecDeque<usize>>,
+    waiting: Vec<bool>,
+    /// Pending events, kept sorted by `(time, seq)`.
+    queue: Vec<(u64, u64, Ev)>,
+    clock: u64,
+    seq: u64,
+    unfinished: usize,
+    dormant_inflight: i64,
+    end: Option<End>,
+}
+
+impl Core {
+    fn all_finished(&self) -> bool {
+        self.unfinished == 0 && self.dormant_inflight == 0
+    }
+
+    fn push_event(&mut self, time: u64, ev: Ev) {
+        let seq = self.seq;
+        self.seq += 1;
+        let pos = self
+            .queue
+            .iter()
+            .position(|&(t, s, _)| (t, s) > (time, seq))
+            .unwrap_or(self.queue.len());
+        self.queue.insert(pos, (time, seq, ev));
+    }
+
+    fn pop_event(&mut self) -> Option<(u64, Ev)> {
+        if self.queue.is_empty() {
+            None
+        } else {
+            let (t, _, ev) = self.queue.remove(0);
+            Some((t, ev))
+        }
+    }
+}
+
+/// One explorable state of the protocol. Cloning is cheap enough for
+/// DFS over small models; [`Model::encode`] provides an exact state key
+/// for memoization.
+#[derive(Debug, Clone)]
+pub struct Model {
+    spec: ModelSpec,
+    parks: Vec<ModelPark>, // 0..ranks = workers, ranks = main
+    slots: Vec<ModelSlot>, // per rank
+    phases: Vec<Phase>,    // 0..ranks = workers, ranks = main
+    core: Core,
+    done: bool,
+    live: usize,
+    /// Messages ever sent to each rank (for terminal-state checks).
+    sent_to: Vec<usize>,
+}
+
+impl Model {
+    /// Builds the initial state: eager ranks have spawned worker threads
+    /// awaiting their `Start` resume, lazy ranks are dormant, main is
+    /// about to boot the run.
+    pub fn new(spec: ModelSpec) -> Model {
+        let n = spec.ranks();
+        assert!(n >= 1, "model needs at least one rank");
+        assert_eq!(spec.lazy.len(), n, "lazy flags must cover every rank");
+        let lose = spec.mutation == Mutation::LostWakeup;
+        let parks: Vec<ModelPark> = (0..=n)
+            .map(|_| {
+                let p = ModelPark::default();
+                p.lose_token.set(lose);
+                p
+            })
+            .collect();
+        let mut phases = Vec::with_capacity(n + 1);
+        let mut pstate = Vec::with_capacity(n);
+        let mut live = 0;
+        for r in 0..n {
+            if spec.lazy[r] {
+                phases.push(Phase::Gone); // no thread until materialized
+                pstate.push(PState::Dormant);
+            } else {
+                phases.push(Phase::Wait { start: true, pc: 0 });
+                pstate.push(PState::Live);
+                live += 1;
+            }
+        }
+        phases.push(Phase::MainBoot);
+        let unfinished = pstate.iter().filter(|&&s| s == PState::Live).count();
+        Model {
+            parks,
+            slots: (0..n).map(|_| ModelSlot::default()).collect(),
+            phases,
+            core: Core {
+                runnable: VecDeque::new(),
+                pstate,
+                mailbox: (0..n).map(|_| VecDeque::new()).collect(),
+                waiting: vec![false; n],
+                queue: Vec::new(),
+                clock: 0,
+                seq: 0,
+                unfinished,
+                dormant_inflight: 0,
+                end: None,
+            },
+            done: false,
+            live,
+            sent_to: vec![0; n],
+            spec,
+        }
+    }
+
+    /// The model's spec.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    fn ranks(&self) -> usize {
+        self.spec.ranks()
+    }
+
+    fn main_tid(&self) -> usize {
+        self.ranks()
+    }
+
+    /// Thread ids that can currently take a step.
+    pub fn enabled(&self) -> Vec<usize> {
+        (0..=self.ranks())
+            .filter(|&tid| self.thread_enabled(tid))
+            .collect()
+    }
+
+    fn thread_enabled(&self, tid: usize) -> bool {
+        match &self.phases[tid] {
+            Phase::Gone | Phase::MainGone => false,
+            Phase::Park { .. } | Phase::MainPark | Phase::MainJoinPark => {
+                !self.parks[tid].parked.get()
+            }
+            _ => true,
+        }
+    }
+
+    /// Whether every thread has finished (the run is over).
+    pub fn terminal(&self) -> bool {
+        self.phases
+            .iter()
+            .all(|p| matches!(p, Phase::Gone | Phase::MainGone))
+    }
+
+    /// Validates a terminal state: the run must have ended cleanly with
+    /// every messaged rank's script fully executed and nothing left in
+    /// flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation when the terminal state is inconsistent.
+    pub fn check_terminal(&self) -> Result<(), Violation> {
+        match &self.core.end {
+            Some(End::Ok) => {}
+            Some(End::Deadlock) => return Err(Violation::FalseDeadlock),
+            None => {
+                return Err(Violation::PrematureCompletion {
+                    detail: "all threads exited without finish_run".to_string(),
+                })
+            }
+        }
+        // The real engine declares completion as soon as
+        // `unfinished == 0 && dormant_inflight == 0`; a delivery still in
+        // flight toward a *finished* rank is then legitimately abandoned.
+        // A delivery still in flight toward a *dormant* rank is not — it
+        // would have materialized the rank and extended the run, so its
+        // presence at completion means the dormant-inflight accounting
+        // lost it.
+        let lost = self
+            .core
+            .queue
+            .iter()
+            .filter(|&&(_, _, Ev::Deliver { dst, .. })| self.core.pstate[dst] == PState::Dormant)
+            .count();
+        if lost > 0 {
+            return Err(Violation::PrematureCompletion {
+                detail: format!("{lost} delivery(ies) to dormant ranks still queued at completion"),
+            });
+        }
+        for r in 0..self.ranks() {
+            let ran = self.core.pstate[r] == PState::Finished;
+            if self.spec.lazy[r] && self.sent_to[r] == 0 {
+                continue; // untouched lazy rank: legitimately never ran
+            }
+            if !ran {
+                return Err(Violation::PrematureCompletion {
+                    detail: format!("rank {r} never completed its script"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Descriptions of unsteppable, unfinished threads (for deadlock
+    /// reports).
+    pub fn blocked_threads(&self) -> Vec<String> {
+        (0..=self.ranks())
+            .filter(|&tid| !self.thread_enabled(tid))
+            .filter(|&tid| !matches!(self.phases[tid], Phase::Gone | Phase::MainGone))
+            .map(|tid| {
+                if tid == self.main_tid() {
+                    format!("main({:?})", self.phases[tid])
+                } else {
+                    format!("rank{tid}({:?})", self.phases[tid])
+                }
+            })
+            .collect()
+    }
+
+    /// Executes one atomic step of thread `tid`. The caller must only
+    /// step enabled threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the protocol violation the step exposed, if any.
+    pub fn step(&mut self, tid: usize) -> Result<(), Violation> {
+        debug_assert!(self.thread_enabled(tid), "stepping a disabled thread");
+        let phase = self.phases[tid].clone();
+        match phase {
+            // -- worker wait/park ------------------------------------------------
+            Phase::Wait { start, pc } => {
+                if let Some(resume) = self.slots[tid].withdraw() {
+                    self.dispatch_resume(tid, resume, start, pc)?;
+                } else {
+                    self.phases[tid] = Phase::Park { start, pc };
+                }
+            }
+            Phase::Park { start, pc } => {
+                if self.parks[tid].try_consume() {
+                    self.phases[tid] = Phase::Wait { start, pc };
+                } else {
+                    // No token: the OS thread blocks. Only a wake makes
+                    // this thread steppable again.
+                    self.parks[tid].parked.set(true);
+                }
+            }
+
+            // -- worker script --------------------------------------------------
+            Phase::Run { pc } => self.run_action(tid, pc),
+
+            // -- advance loop (baton holder) ------------------------------------
+            Phase::Adv { after } => self.advance(tid, after)?,
+            Phase::PutResume { pid, resume, after } => {
+                if matches!(
+                    self.core.pstate[pid],
+                    PState::Finished | PState::Aborted | PState::Dormant
+                ) || matches!(self.phases[pid], Phase::Gone | Phase::Retire)
+                {
+                    return Err(Violation::BadResume {
+                        rank: pid,
+                        detail: format!(
+                            "resume {resume:?} handed to a rank in state {:?}",
+                            self.core.pstate[pid]
+                        ),
+                    });
+                }
+                if !self.slots[pid].deposit(resume) {
+                    return Err(Violation::SlotClobbered { rank: pid });
+                }
+                self.phases[tid] = Phase::Wake { pid, after };
+            }
+            Phase::Wake { pid, after } => {
+                self.parks[pid].deposit_and_wake();
+                self.phases[tid] = self.continue_after(tid, after);
+            }
+            Phase::WakeMain { after } => {
+                let main = self.main_tid();
+                self.parks[main].deposit_and_wake();
+                self.phases[tid] = self.continue_after(tid, after);
+            }
+            Phase::Retire => {
+                self.live -= 1;
+                if self.live == 0 {
+                    let main = self.main_tid();
+                    self.parks[main].deposit_and_wake();
+                }
+                self.phases[tid] = Phase::Gone;
+            }
+
+            // -- main -----------------------------------------------------------
+            Phase::MainBoot => {
+                for r in 0..self.ranks() {
+                    if !self.spec.lazy[r] {
+                        self.core.runnable.push_back((r, Resume::Start));
+                    }
+                }
+                self.phases[tid] = Phase::Adv {
+                    after: After::MainWait,
+                };
+            }
+            Phase::MainWait => {
+                if self.done {
+                    self.phases[tid] = Phase::MainAbort { next: 0 };
+                } else {
+                    self.phases[tid] = Phase::MainPark;
+                }
+            }
+            Phase::MainPark => {
+                if self.parks[tid].try_consume() {
+                    self.phases[tid] = Phase::MainWait;
+                } else {
+                    self.parks[tid].parked.set(true);
+                }
+            }
+            Phase::MainAbort { next } => {
+                match (next..self.ranks())
+                    .find(|&r| matches!(self.core.pstate[r], PState::Live | PState::Blocked))
+                {
+                    Some(r) => {
+                        self.phases[tid] = Phase::PutResume {
+                            pid: r,
+                            resume: Resume::Abort,
+                            after: After::MainAbort { next: r + 1 },
+                        };
+                    }
+                    None => self.phases[tid] = Phase::MainJoin,
+                }
+            }
+            Phase::MainJoin => {
+                if self.live == 0 {
+                    self.phases[tid] = Phase::MainGone;
+                } else {
+                    self.phases[tid] = Phase::MainJoinPark;
+                }
+            }
+            Phase::MainJoinPark => {
+                if self.parks[tid].try_consume() {
+                    self.phases[tid] = Phase::MainJoin;
+                } else {
+                    self.parks[tid].parked.set(true);
+                }
+            }
+
+            Phase::Gone | Phase::MainGone => unreachable!("stepped a finished thread"),
+        }
+        Ok(())
+    }
+
+    /// A worker took `resume` out of its slot (or was resumed inline).
+    fn dispatch_resume(
+        &mut self,
+        tid: usize,
+        resume: Resume,
+        start: bool,
+        pc: usize,
+    ) -> Result<(), Violation> {
+        match (resume, start) {
+            (Resume::Abort, _) => {
+                // Unwind: the rank's job ends without completing.
+                self.core.pstate[tid] = PState::Aborted;
+                self.phases[tid] = Phase::Retire;
+            }
+            (Resume::Start, true) => {
+                self.phases[tid] = Phase::Run { pc: 0 };
+            }
+            (Resume::Msg(_), false) => {
+                // The blocking recv at `pc` completes with the handed
+                // message; continue after it.
+                self.core.pstate[tid] = PState::Live;
+                self.phases[tid] = Phase::Run { pc: pc + 1 };
+            }
+            (got, _) => {
+                return Err(Violation::BadResume {
+                    rank: tid,
+                    detail: format!(
+                        "awaiting {} but got {got:?}",
+                        if start { "Start" } else { "Msg" }
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes the script action at `pc` (the worker holds the baton).
+    fn run_action(&mut self, tid: usize, pc: usize) {
+        let script = &self.spec.scripts[tid];
+        if pc >= script.len() {
+            // Script done: finish the rank, then drive the event loop.
+            self.core.pstate[tid] = PState::Finished;
+            self.core.unfinished -= 1;
+            self.phases[tid] = Phase::Adv {
+                after: After::Retire,
+            };
+            return;
+        }
+        match script[pc] {
+            Action::Send(dst) => {
+                let to_dormant = self.core.pstate[dst] == PState::Dormant;
+                let counted = to_dormant
+                    && !matches!(
+                        self.spec.mutation,
+                        Mutation::DormantUndercount | Mutation::DormantUncounted
+                    );
+                if counted {
+                    self.core.dormant_inflight += 1;
+                }
+                // DormantUndercount: delivery still decrements (the
+                // pending's `to_dormant` flag is set) even though the
+                // send never incremented.
+                let decrements = to_dormant && self.spec.mutation != Mutation::DormantUncounted;
+                self.sent_to[dst] += 1;
+                let at = self.core.clock + LATENCY;
+                self.core.push_event(
+                    at,
+                    Ev::Deliver {
+                        dst,
+                        src: tid,
+                        counted: decrements,
+                    },
+                );
+                self.phases[tid] = Phase::Run { pc: pc + 1 };
+            }
+            Action::Recv => {
+                if let Some(_src) = self.core.mailbox[tid].pop_front() {
+                    self.phases[tid] = Phase::Run { pc: pc + 1 };
+                } else {
+                    self.core.waiting[tid] = true;
+                    self.core.pstate[tid] = PState::Blocked;
+                    self.phases[tid] = Phase::Adv {
+                        after: After::WaitResume { pc },
+                    };
+                }
+            }
+        }
+    }
+
+    /// One iteration of the engine's advance loop (baton held by `tid`).
+    fn advance(&mut self, tid: usize, after: After) -> Result<(), Violation> {
+        if let Some((pid, resume)) = self.core.runnable.pop_front() {
+            if pid == tid {
+                // Inline resume: the engine short-circuits a handoff to
+                // the thread already driving the loop. Only legal while
+                // that thread is blocked in a receive.
+                return match after {
+                    After::WaitResume { pc } => self.dispatch_resume(tid, resume, false, pc),
+                    _ => Err(Violation::BadResume {
+                        rank: tid,
+                        detail: format!("inline {resume:?} outside a blocking wait"),
+                    }),
+                };
+            }
+            self.phases[tid] = Phase::PutResume { pid, resume, after };
+            return Ok(());
+        }
+        if self.core.all_finished() {
+            self.core.end = Some(End::Ok);
+            self.done = true;
+            self.phases[tid] = Phase::WakeMain { after };
+            return Ok(());
+        }
+        if let Some((time, ev)) = self.core.pop_event() {
+            self.core.clock = time;
+            return self.dispatch_event(ev);
+        }
+        // Nothing runnable, nothing queued, not finished: the engine
+        // reports a simulation deadlock.
+        self.core.end = Some(End::Deadlock);
+        self.done = true;
+        self.phases[tid] = Phase::WakeMain { after };
+        Ok(())
+    }
+
+    /// Delivers an event (still under the baton, same atomic step).
+    fn dispatch_event(&mut self, ev: Ev) -> Result<(), Violation> {
+        let Ev::Deliver { dst, src, counted } = ev;
+        if counted {
+            self.core.dormant_inflight -= 1;
+            if self.core.dormant_inflight < 0 {
+                return Err(Violation::CounterUnderflow);
+            }
+        }
+        if self.core.pstate[dst] == PState::Dormant {
+            // Materialize: the rank leases a worker thread and becomes
+            // runnable with a Start resume; the message lands in its
+            // fresh mailbox.
+            self.core.pstate[dst] = PState::Live;
+            self.core.unfinished += 1;
+            self.live += 1;
+            self.phases[dst] = Phase::Wait { start: true, pc: 0 };
+            self.core.runnable.push_back((dst, Resume::Start));
+            self.core.mailbox[dst].push_back(src);
+            return Ok(());
+        }
+        if self.core.waiting[dst] {
+            // Fast path: hand the message straight to the blocked
+            // receiver as its resume.
+            if self.spec.mutation != Mutation::StaleWaiting {
+                self.core.waiting[dst] = false;
+            }
+            self.core.runnable.push_back((dst, Resume::Msg(src)));
+            return Ok(());
+        }
+        self.core.mailbox[dst].push_back(src);
+        Ok(())
+    }
+
+    fn continue_after(&self, tid: usize, after: After) -> Phase {
+        match after {
+            After::WaitResume { pc } => Phase::Wait { start: false, pc },
+            After::Retire => Phase::Retire,
+            After::MainWait => {
+                debug_assert_eq!(tid, self.main_tid());
+                Phase::MainWait
+            }
+            After::MainAbort { next } => Phase::MainAbort { next },
+        }
+    }
+
+    /// Exact state encoding for explorer memoization: two states with
+    /// equal encodings behave identically forever.
+    pub fn encode(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::with_capacity(64);
+        for p in &self.parks {
+            out.push(u64::from(p.token.get()) | (u64::from(p.parked.get()) << 1));
+        }
+        for s in &self.slots {
+            out.push(match (s.full.get(), s.value.get()) {
+                (false, _) => u64::MAX,
+                (true, Some(r)) => encode_resume(r),
+                (true, None) => u64::MAX - 1,
+            });
+        }
+        for ph in &self.phases {
+            encode_phase(ph, &mut out);
+        }
+        let c = &self.core;
+        out.push(c.runnable.len() as u64);
+        for &(pid, r) in &c.runnable {
+            out.push(((pid as u64) << 8) | encode_resume(r));
+        }
+        for &s in &c.pstate {
+            out.push(s as u64);
+        }
+        for mb in &c.mailbox {
+            out.push(mb.len() as u64);
+            for &src in mb {
+                out.push(src as u64);
+            }
+        }
+        for &w in &c.waiting {
+            out.push(u64::from(w));
+        }
+        out.push(c.queue.len() as u64);
+        for &(t, s, ev) in &c.queue {
+            let Ev::Deliver { dst, src, counted } = ev;
+            out.push(t);
+            out.push(s);
+            out.push(((dst as u64) << 32) | ((src as u64) << 1) | u64::from(counted));
+        }
+        out.push(c.clock);
+        out.push(c.unfinished as u64);
+        out.push(c.dormant_inflight as u64);
+        out.push(match c.end {
+            None => 0,
+            Some(End::Ok) => 1,
+            Some(End::Deadlock) => 2,
+        });
+        out.push(u64::from(self.done));
+        out.push(self.live as u64);
+        for &s in &self.sent_to {
+            out.push(s as u64);
+        }
+        out
+    }
+}
+
+fn encode_after(a: After, out: &mut Vec<u64>) {
+    match a {
+        After::WaitResume { pc } => {
+            out.push(0);
+            out.push(pc as u64);
+        }
+        After::Retire => out.push(1),
+        After::MainWait => out.push(2),
+        After::MainAbort { next } => {
+            out.push(3);
+            out.push(next as u64);
+        }
+    }
+}
+
+fn encode_phase(p: &Phase, out: &mut Vec<u64>) {
+    match p {
+        Phase::Wait { start, pc } => {
+            out.push(0);
+            out.push(u64::from(*start));
+            out.push(*pc as u64);
+        }
+        Phase::Park { start, pc } => {
+            out.push(1);
+            out.push(u64::from(*start));
+            out.push(*pc as u64);
+        }
+        Phase::Run { pc } => {
+            out.push(2);
+            out.push(*pc as u64);
+        }
+        Phase::Adv { after } => {
+            out.push(3);
+            encode_after(*after, out);
+        }
+        Phase::PutResume { pid, resume, after } => {
+            out.push(4);
+            out.push(*pid as u64);
+            out.push(encode_resume(*resume));
+            encode_after(*after, out);
+        }
+        Phase::Wake { pid, after } => {
+            out.push(5);
+            out.push(*pid as u64);
+            encode_after(*after, out);
+        }
+        Phase::WakeMain { after } => {
+            out.push(6);
+            encode_after(*after, out);
+        }
+        Phase::Retire => out.push(7),
+        Phase::Gone => out.push(8),
+        Phase::MainBoot => out.push(9),
+        Phase::MainWait => out.push(10),
+        Phase::MainPark => out.push(11),
+        Phase::MainAbort { next } => {
+            out.push(12);
+            out.push(*next as u64);
+        }
+        Phase::MainJoin => out.push(13),
+        Phase::MainJoinPark => out.push(14),
+        Phase::MainGone => out.push(15),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The small-model library
+// ---------------------------------------------------------------------------
+
+fn eager(name: &str, scripts: Vec<Vec<Action>>) -> ModelSpec {
+    let n = scripts.len();
+    ModelSpec {
+        name: name.to_string(),
+        scripts,
+        lazy: vec![false; n],
+        mutation: Mutation::None,
+    }
+}
+
+/// Two eager ranks echoing one message (the paper's send/recv kernel).
+pub fn pingpong() -> ModelSpec {
+    eager(
+        "pingpong",
+        vec![
+            vec![Action::Send(1), Action::Recv],
+            vec![Action::Recv, Action::Send(0)],
+        ],
+    )
+}
+
+/// `n` eager ranks in a ring: everyone sends right, then receives (the
+/// simultaneous-shift kernel).
+pub fn ring(n: usize) -> ModelSpec {
+    let scripts = (0..n)
+        .map(|r| vec![Action::Send((r + 1) % n), Action::Recv])
+        .collect();
+    eager(&format!("ring{n}"), scripts)
+}
+
+/// A double-send into a one-message receiver, with a straggler pair
+/// keeping the run open (gather-style root contention; the
+/// stale-waiting / double-resume hazard lives here). Rank 0 consumes
+/// only the first of rank 1's two messages and finishes; the second
+/// delivery then pops while ranks 2–3 still hold the run open, so it
+/// must buffer — a stale `waiting` flag instead resumes the finished
+/// rank 0.
+pub fn fanin() -> ModelSpec {
+    eager(
+        "fanin4",
+        vec![
+            vec![Action::Recv],
+            vec![Action::Send(0), Action::Send(0)],
+            vec![Action::Recv],
+            vec![Action::Send(2)],
+        ],
+    )
+}
+
+/// An eager root echoing through two lazy ranks and back: exercises
+/// dormant materialization chains and the dormant-inflight hold-open
+/// accounting (the root's blocking receive keeps the run open while
+/// dormant-bound deliveries are in flight).
+pub fn lazy_relay() -> ModelSpec {
+    ModelSpec {
+        name: "lazy-relay".to_string(),
+        scripts: vec![
+            vec![Action::Send(1), Action::Recv],
+            vec![Action::Recv, Action::Send(2)],
+            vec![Action::Recv, Action::Send(0)],
+        ],
+        lazy: vec![false, true, true],
+        mutation: Mutation::None,
+    }
+}
+
+/// An eager root fanning out to five lazy leaves (one never messaged —
+/// it must stay dormant and cost nothing).
+pub fn lazy_fan() -> ModelSpec {
+    ModelSpec {
+        name: "lazy-fan6".to_string(),
+        scripts: vec![
+            vec![
+                Action::Send(1),
+                Action::Send(2),
+                Action::Send(3),
+                Action::Send(4),
+            ],
+            vec![Action::Recv],
+            vec![Action::Recv],
+            vec![Action::Recv],
+            vec![Action::Recv],
+            vec![Action::Recv], // rank 5: never messaged, stays dormant
+        ],
+        lazy: vec![false, true, true, true, true, true],
+        mutation: Mutation::None,
+    }
+}
+
+/// The library of small models the exhaustive explorer sweeps: 2–4
+/// workers eager, up to 6 ranks with lazy materialization.
+pub fn small_models() -> Vec<ModelSpec> {
+    vec![
+        pingpong(),
+        ring(3),
+        ring(4),
+        fanin(),
+        lazy_relay(),
+        lazy_fan(),
+    ]
+}

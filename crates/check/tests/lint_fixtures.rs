@@ -1,0 +1,89 @@
+//! Fixture sweep for the lint pass: every lint class has a triggering
+//! fixture and a clean twin, and the shipped example specs stay clean.
+
+use pdceval_check::lint::lint_text;
+use pdceval_mpt::diag::{exit_code, Diag, Severity};
+
+fn lint_fixture(name: &str) -> Vec<Diag> {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).expect("fixture readable");
+    lint_text(name, &text)
+}
+
+fn codes(diags: &[Diag]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+/// Each `(trigger fixture, expected codes)` pair must produce exactly
+/// those diagnostics, and its `*_clean.spec` twin none at all.
+#[test]
+fn every_lint_class_has_a_trigger_and_a_clean_twin() {
+    let cases: [(&str, &[&str]); 8] = [
+        ("dead_model", &["L0102", "L0103"]),
+        ("unsat_grid", &["L0201"]),
+        ("capacity", &["L0202"]),
+        ("crash_unreachable", &["L0301"]),
+        ("trivial_seeds", &["L0302"]),
+        ("collision", &["L0401"]),
+        ("shadow", &["L0402", "L0403"]),
+        ("units", &["L0501"]),
+    ];
+    for (name, expected) in cases {
+        let diags = lint_fixture(&format!("{name}.spec"));
+        assert_eq!(
+            codes(&diags),
+            *expected,
+            "{name}.spec: unexpected diagnostics {:#?}",
+            diags.iter().map(Diag::render).collect::<Vec<_>>()
+        );
+        let clean = lint_fixture(&format!("{name}_clean.spec"));
+        assert!(
+            clean.is_empty(),
+            "{name}_clean.spec should lint clean, got {:#?}",
+            clean.iter().map(Diag::render).collect::<Vec<_>>()
+        );
+    }
+}
+
+/// The shipped example specs are the reference corpus — they must
+/// never regress into lint findings.
+#[test]
+fn example_specs_lint_clean() {
+    for example in ["modern.spec", "mixed.spec"] {
+        let path = format!("{}/../../examples/{example}", env!("CARGO_MANIFEST_DIR"));
+        let text = std::fs::read_to_string(&path).expect("example readable");
+        let diags = lint_text(example, &text);
+        assert!(
+            diags.is_empty(),
+            "{example} should lint clean, got {:#?}",
+            diags.iter().map(Diag::render).collect::<Vec<_>>()
+        );
+    }
+}
+
+/// A file that fails to parse produces the single L0001 error with the
+/// source line attached, and gates with exit code 2.
+#[test]
+fn parse_failure_is_one_located_error() {
+    let diags = lint_text("broken.spec", "[tool broken]\nname = X\nbogus_line\n");
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, "L0001");
+    assert_eq!(diags[0].severity, Severity::Error);
+    assert_eq!(diags[0].line, Some(3));
+    assert_eq!(exit_code(&diags, false), 2);
+}
+
+/// Diagnostics carry the stanza header's line so `render` output is
+/// clickable, and the exit-code contract holds across the fixture set.
+#[test]
+fn findings_are_located_and_gate_correctly() {
+    let diags = lint_fixture("crash_unreachable.spec");
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].file.as_deref(), Some("crash_unreachable.spec"));
+    // The [perturb doom] header in the fixture.
+    assert_eq!(diags[0].line, Some(4));
+    assert_eq!(exit_code(&diags, false), 0, "warnings pass by default");
+    assert_eq!(exit_code(&diags, true), 1, "warnings gate under deny");
+    let errors = lint_fixture("unsat_grid.spec");
+    assert_eq!(exit_code(&errors, false), 2, "errors always gate");
+}

@@ -38,6 +38,7 @@
 //! assert_eq!(ranked[0].tool, ToolKind::P4);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

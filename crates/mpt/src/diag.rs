@@ -1,0 +1,173 @@
+//! Severity-carrying diagnostics shared by `pdceval validate` and
+//! `pdceval lint`.
+//!
+//! Every diagnostic carries a stable code (`L0xxx`), a severity, an
+//! optional source location, and a human-readable message. Two renderings
+//! exist:
+//!
+//! * [`Diag::render`] — the full form used by `pdceval lint`:
+//!   `warning[L0101]: file.spec:12: message`;
+//! * [`Diag::render_bare`] — the legacy form `warning: message`, kept so
+//!   `pdceval validate`'s pre-existing warning output stays byte-
+//!   compatible.
+//!
+//! # Diagnostic code index
+//!
+//! | Code  | Severity | Meaning |
+//! |-------|----------|---------|
+//! | L0001 | error    | spec failed to parse or validate |
+//! | L0011 | warning  | tool `ports.allow`/`ports.deny` names an unknown platform |
+//! | L0012 | warning  | campaign `tools` selector names an unknown tool |
+//! | L0013 | warning  | campaign `platforms` selector names an unknown platform |
+//! | L0014 | warning  | campaign `perturb` selector names an unknown perturbation |
+//! | L0101 | warning  | dead tool: declared but referenced by no campaign |
+//! | L0102 | warning  | dead platform: declared but referenced by no campaign |
+//! | L0103 | warning  | dead perturbation: declared but referenced by no campaign |
+//! | L0201 | error    | unsatisfiable grid: every scenario point is filtered out |
+//! | L0202 | warning  | `nprocs` exceeds a selected platform's capacity |
+//! | L0301 | warning  | crash perturbation can never fire (`crash.rank` ≥ every campaign's max nprocs) |
+//! | L0302 | warning  | randomized perturbation swept with `seeds = 1` |
+//! | L0401 | warning  | slug collision across namespaces within one file |
+//! | L0402 | error    | slug shadows an already-registered model (load would fail) |
+//! | L0403 | error    | campaign name collides with a built-in campaign |
+//! | L0501 | warning  | link latency/bandwidth orders of magnitude off its peers |
+//!
+//! The exit-code contract for both commands: `0` clean, `1` warnings
+//! under `--deny-warnings`, `2` errors. See [`exit_code`].
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not fatal; gates only under `--deny-warnings`.
+    Warning,
+    /// The spec is wrong or could not be loaded; always gates.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One diagnostic produced by the spec lint or validation pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    /// Stable diagnostic code, e.g. `"L0101"`. Codes are append-only:
+    /// once published they keep their meaning forever.
+    pub code: &'static str,
+    /// How serious the finding is (drives the exit-code contract).
+    pub severity: Severity,
+    /// Source file the diagnostic refers to, when known.
+    pub file: Option<String>,
+    /// 1-based line of the offending stanza header, when known.
+    pub line: Option<usize>,
+    /// Human-readable description of the finding.
+    pub message: String,
+}
+
+impl Diag {
+    /// A warning with no location (attach one with [`Diag::at`]).
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Diag {
+        Diag {
+            code,
+            severity: Severity::Warning,
+            file: None,
+            line: None,
+            message: message.into(),
+        }
+    }
+
+    /// An error with no location (attach one with [`Diag::at`]).
+    pub fn error(code: &'static str, message: impl Into<String>) -> Diag {
+        Diag {
+            code,
+            severity: Severity::Error,
+            file: None,
+            line: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches a source location.
+    #[must_use]
+    pub fn at(mut self, file: impl Into<String>, line: Option<usize>) -> Diag {
+        self.file = Some(file.into());
+        self.line = line;
+        self
+    }
+
+    /// Full rendering with code and location:
+    /// `warning[L0101]: file.spec:12: message`.
+    pub fn render(&self) -> String {
+        match (&self.file, self.line) {
+            (Some(f), Some(l)) => {
+                format!(
+                    "{}[{}]: {}:{}: {}",
+                    self.severity, self.code, f, l, self.message
+                )
+            }
+            (Some(f), None) => format!("{}[{}]: {}: {}", self.severity, self.code, f, self.message),
+            _ => format!("{}[{}]: {}", self.severity, self.code, self.message),
+        }
+    }
+
+    /// Legacy rendering without code or location: `warning: message`.
+    /// `pdceval validate` uses this for its pre-existing warning classes
+    /// so their output stays byte-compatible.
+    pub fn render_bare(&self) -> String {
+        format!("{}: {}", self.severity, self.message)
+    }
+}
+
+/// The most severe level present, if any diagnostics exist.
+pub fn worst(diags: &[Diag]) -> Option<Severity> {
+    diags.iter().map(|d| d.severity).max()
+}
+
+/// The `pdceval lint`/`validate` exit-code contract (matches `diff`'s
+/// gating conventions): `0` clean, `1` warnings under `--deny-warnings`,
+/// `2` errors. Warnings without `--deny-warnings` do not gate.
+pub fn exit_code(diags: &[Diag], deny_warnings: bool) -> u8 {
+    match worst(diags) {
+        Some(Severity::Error) => 2,
+        Some(Severity::Warning) if deny_warnings => 1,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_full_and_bare_forms() {
+        let d = Diag::warning("L0101", "tool 'x' is never referenced").at("a.spec", Some(12));
+        assert_eq!(
+            d.render(),
+            "warning[L0101]: a.spec:12: tool 'x' is never referenced"
+        );
+        assert_eq!(d.render_bare(), "warning: tool 'x' is never referenced");
+        let e = Diag::error("L0201", "no valid points");
+        assert_eq!(e.render(), "error[L0201]: no valid points");
+    }
+
+    #[test]
+    fn exit_codes_follow_the_contract() {
+        let clean: Vec<Diag> = Vec::new();
+        let warn = vec![Diag::warning("L0101", "w")];
+        let err = vec![Diag::warning("L0101", "w"), Diag::error("L0201", "e")];
+        assert_eq!(exit_code(&clean, false), 0);
+        assert_eq!(exit_code(&clean, true), 0);
+        assert_eq!(exit_code(&warn, false), 0);
+        assert_eq!(exit_code(&warn, true), 1);
+        assert_eq!(exit_code(&err, false), 2);
+        assert_eq!(exit_code(&err, true), 2);
+        assert_eq!(worst(&err), Some(Severity::Error));
+    }
+}

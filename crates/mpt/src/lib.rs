@@ -30,11 +30,13 @@
 //! # Ok::<(), pdceval_mpt::error::RunError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod builtin;
 pub mod collective;
+pub mod diag;
 pub mod error;
 pub mod hash;
 pub mod message;

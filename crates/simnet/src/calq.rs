@@ -279,6 +279,11 @@ impl<T> CalendarQueue<T> {
             let s = &self.slots[i as usize];
             (s.time, s.seq)
         });
+        debug_assert_eq!(
+            resident.len(),
+            self.len,
+            "calendar-queue live-entry count diverged from arena occupancy at regrow"
+        );
 
         let nbuckets = (self.buckets.len() * 2).max(INITIAL_BUCKETS);
         self.buckets.clear();
@@ -420,6 +425,36 @@ mod tests {
         assert!(q.is_empty());
         q.push(t(5), 0, 42);
         assert_eq!(q.pop(), Some((t(5), 0, 42)));
+    }
+
+    #[test]
+    fn regrow_occupancy_matches_live_count() {
+        // Interleave pushes and pops so the arena holds freed slots when
+        // rebuilds sweep it; each `grow` runs the occupancy == len
+        // debug_assert with a non-trivial free list.
+        let mut q = CalendarQueue::new();
+        let mut seq = 0u64;
+        let mut pushed = 0usize;
+        let mut popped = 0usize;
+        for round in 0..50u64 {
+            for i in 0..40u64 {
+                q.push(t(round * 100_000 + i * 13), seq, seq);
+                seq += 1;
+                pushed += 1;
+            }
+            for _ in 0..20 {
+                assert!(q.pop().is_some());
+                popped += 1;
+            }
+        }
+        let mut last = (t(0), 0u64);
+        while let Some((time, s, _)) = q.pop() {
+            assert!((time, s) >= last, "order violated after regrow");
+            last = (time, s);
+            popped += 1;
+        }
+        assert_eq!(popped, pushed);
+        assert!(q.is_empty());
     }
 
     #[test]

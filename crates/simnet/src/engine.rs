@@ -470,6 +470,11 @@ impl Core {
             let mut p = self.pendings[idx].take().expect("retired pending");
             self.free_pendings.push(idx);
             if p.to_dormant {
+                debug_assert!(
+                    self.dormant_inflight > 0,
+                    "dormant-inflight underflow: completing a dormant-bound \
+                     message the send path never counted"
+                );
                 self.dormant_inflight -= 1;
             }
             let mut env = p.env.take().expect("pending without envelope");
@@ -1675,6 +1680,32 @@ mod tests {
         let clean = sim2.run().unwrap();
         assert_eq!(clean.events_scheduled, 0);
         assert_eq!(clean.mailbox_fast_path_hits, 0);
+    }
+
+    #[test]
+    fn dormant_inflight_balances_with_multiple_messages_in_flight() {
+        // Three dormant-bound messages are in flight at once: the
+        // dormant-inflight counter must climb to 3 and drain back to 0
+        // through `complete_pending` (whose debug_assert guards the
+        // underflow) for the run to complete at all.
+        let mut sim = Simulation::new();
+        sim.spawn("tx", HostSpec::sun_ipx(), |ctx| {
+            for i in 0..3u32 {
+                let env = Envelope::new(ctx.pid(), ProcId(1), i, Bytes::new());
+                ctx.transmit(
+                    env,
+                    TransmitPlan::single(vec![Stage::Latency(us(50 + u64::from(i)))]),
+                );
+            }
+        });
+        sim.spawn_lazy("rx", HostSpec::sun_ipx(), |ctx| {
+            for i in 0..3u32 {
+                let env = ctx.recv(Matcher::tagged(i));
+                assert_eq!(env.tag, i);
+            }
+        });
+        let out = sim.run().unwrap();
+        assert_eq!(out.proc_finish.len(), 2);
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub mod platform;
 pub mod registry;
 pub mod resource;
 mod sched;
+pub mod syncpoint;
 pub mod time;
 pub mod topology;
 pub mod trace;

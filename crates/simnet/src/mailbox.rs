@@ -193,6 +193,17 @@ impl Mailbox {
     /// Rebuilds every index from the live store in arrival order, dropping
     /// all dead ids. Amortized O(1) per take via the `stale` trigger.
     fn compact(&mut self) {
+        // Lazy deletion leaves tombstones (dead ids) behind in the
+        // indexes, but must never *lose* a live id: every queued envelope
+        // still has its arrival-index entry to rebuild from.
+        #[cfg(debug_assertions)]
+        {
+            let present: std::collections::HashSet<u64> = self.all.iter().copied().collect();
+            debug_assert!(
+                self.store.keys().all(|id| present.contains(id)),
+                "mailbox lazy deletion dropped a live id from the arrival index"
+            );
+        }
         let mut ids: Vec<u64> = self.store.keys().copied().collect();
         ids.sort_unstable();
         self.all.clear();
@@ -207,6 +218,13 @@ impl Mailbox {
             self.by_src[env.src.index()].push_back(id);
         }
         self.stale = 0;
+        debug_assert_eq!(
+            self.all.len()
+                + self.by_tag.values().map(VecDeque::len).sum::<usize>()
+                + self.by_src.iter().map(VecDeque::len).sum::<usize>(),
+            3 * self.store.len(),
+            "mailbox compaction left undrained tombstones"
+        );
     }
 
     /// Total index entries currently held (test aid for compaction bounds).
@@ -373,6 +391,31 @@ mod tests {
             taken += 1;
         }
         assert_eq!(taken, 100);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn compaction_drains_tombstones_with_a_resident_message() {
+        let mut mb = Mailbox::default();
+        // A long-lived message keeps the indexes engaged (the head fast
+        // slot only serves an otherwise-empty mailbox), while churned
+        // tagged messages orphan entries in `all`/`by_src` on every take.
+        mb.push(env(0, 999));
+        for _ in 0..200 {
+            mb.push(env(1, 5));
+            assert!(mb.take_match(&Matcher::tagged(5)).is_some());
+        }
+        // The stale counter (+2 per take, live count ~1) crosses the
+        // compaction threshold every ~33 takes — compact()'s
+        // debug_asserts run on each trigger. Without compaction the
+        // indexes would hold ~400 entries; with it, at most one
+        // threshold's worth of fresh tombstones survives.
+        assert!(
+            mb.index_entries() <= 3 + 2 * 34,
+            "tombstones not drained: {} index entries",
+            mb.index_entries()
+        );
+        assert_eq!(mb.take_match(&Matcher::tagged(999)).unwrap().tag, 999);
         assert!(mb.is_empty());
     }
 }

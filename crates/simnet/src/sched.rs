@@ -28,6 +28,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::{self, Thread};
 
+use crate::syncpoint::{SyncPark, SyncSlot};
+
 /// Idle workers kept parked in the global pool; threads beyond this exit
 /// instead of returning (bounds idle-thread memory under bursty use).
 const MAX_POOLED_WORKERS: usize = 256;
@@ -93,20 +95,34 @@ impl ParkCell {
         for _ in 0..spin_iters() {
             // Cheap relaxed poll; only attempt the exclusive swap once the
             // token is visible, to keep the line shared while spinning.
-            if self.token.load(Ordering::Relaxed) && self.token.swap(false, Ordering::Acquire) {
+            if self.token.load(Ordering::Relaxed) && self.try_consume() {
                 return;
             }
             std::hint::spin_loop();
         }
-        while !self.token.swap(false, Ordering::Acquire) {
+        while !self.try_consume() {
             thread::park();
         }
     }
 
-    /// Deposits a token and wakes the owner. The release store pairs with
-    /// the acquire swap in [`ParkCell::park`], so writes made before
-    /// `unpark` are visible to the owner when it resumes.
+    /// Deposits a token and wakes the owner. See
+    /// [`SyncPark::deposit_and_wake`] for the ordering contract.
     pub(crate) fn unpark(&self) {
+        self.deposit_and_wake();
+    }
+}
+
+impl SyncPark for ParkCell {
+    #[inline]
+    fn try_consume(&self) -> bool {
+        self.token.swap(false, Ordering::Acquire)
+    }
+
+    /// The release store pairs with the acquire swap in
+    /// [`SyncPark::try_consume`], so writes made before the deposit are
+    /// visible to the owner when it resumes.
+    #[inline]
+    fn deposit_and_wake(&self) {
         self.token.store(true, Ordering::Release);
         self.owner.unpark();
     }
@@ -145,16 +161,33 @@ impl<T> Default for HandoffSlot<T> {
 impl<T> HandoffSlot<T> {
     /// Deposits a value. The slot must be empty (protocol invariant).
     pub(crate) fn put(&self, v: T) {
-        debug_assert!(!self.full.load(Ordering::Relaxed), "handoff slot clobbered");
-        // SAFETY: the slot is empty, so the consumer is not reading it.
-        unsafe {
-            *self.value.get() = Some(v);
-        }
-        self.full.store(true, Ordering::Release);
+        let clean = self.deposit(v);
+        debug_assert!(clean, "handoff slot clobbered");
     }
 
     /// Removes the value if one is present.
     pub(crate) fn try_take(&self) -> Option<T> {
+        self.withdraw()
+    }
+}
+
+impl<T> SyncSlot<T> for HandoffSlot<T> {
+    #[inline]
+    fn deposit(&self, v: T) -> bool {
+        let clean = !self.full.load(Ordering::Relaxed);
+        // SAFETY: the slot is empty under the alternation protocol, so
+        // the consumer is not reading it. (If the protocol were violated
+        // the caller debug-asserts; the release store below still keeps
+        // the write itself well-ordered.)
+        unsafe {
+            *self.value.get() = Some(v);
+        }
+        self.full.store(true, Ordering::Release);
+        clean
+    }
+
+    #[inline]
+    fn withdraw(&self) -> Option<T> {
         if self.full.load(Ordering::Acquire) {
             // SAFETY: `full` is true, so the producer's write is complete
             // and it will not write again until we clear the flag.

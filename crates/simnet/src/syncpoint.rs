@@ -1,0 +1,72 @@
+//! Synchronization-point shims for the direct-handoff scheduler.
+//!
+//! The pooled scheduler in [`crate::sched`] rests on exactly two
+//! cross-thread primitives: a one-token park/unpark latch and a
+//! single-value SPSC handoff slot. Everything else in the engine runs
+//! under the *baton* — the exclusive ownership of the simulation core
+//! that those two primitives pass between threads — and is therefore
+//! sequential.
+//!
+//! This module names those primitives as traits so that the scheduling
+//! protocol can be checked *outside* the production code path:
+//!
+//! * The production implementations ([`crate::sched::ParkCell`] /
+//!   `HandoffSlot`) implement the traits over the exact atomics they
+//!   already used; the trait calls inline to the same instructions, so
+//!   the shim is zero-cost in production builds.
+//! * `pdceval-check` implements the same traits over plain explored
+//!   state (`Cell`s inside a cloned world) and drives a DPOR-lite
+//!   exhaustive interleaving explorer through them, detecting deadlock,
+//!   lost wakeup, double-resume, and completion-detection races on small
+//!   scheduler models.
+//!
+//! # Semantics contract
+//!
+//! The traits are deliberately *non-blocking*: blocking is a property of
+//! the production runtime (OS park), not of the protocol. A model
+//! implementation surfaces "would block" by having its scheduler only
+//! step threads whose next operation can make progress.
+//!
+//! * [`SyncPark::try_consume`] atomically takes the wake token if one is
+//!   present. The production `park()` loop is
+//!   `while !try_consume() { thread::park() }` (plus a spin window).
+//! * [`SyncPark::deposit_and_wake`] deposits a token *then* wakes the
+//!   owner. Depositing before waking is what makes the latch race-free:
+//!   a consumer that checked the token just before the deposit will
+//!   either be woken from its OS park or find the token on its next
+//!   `try_consume`. Model mutations that break this ordering (deposit
+//!   without token — the classic lost wakeup) must be caught by the
+//!   explorer as a deadlock.
+//! * [`SyncSlot::deposit`] stores a value and reports whether the slot
+//!   was empty beforehand. The scheduling protocol guarantees strict
+//!   alternation, so a `false` return is a *double-resume* protocol
+//!   violation: production debug-asserts on it, the model checker
+//!   reports it.
+//! * [`SyncSlot::withdraw`] removes the value if one is present, with
+//!   acquire semantics pairing with `deposit`'s release.
+
+/// A one-token park/unpark latch: the consumer side spins/parks until a
+/// token is present; any producer may deposit a token and wake it.
+pub trait SyncPark {
+    /// Atomically consumes the wake token if present. Returns `true` if
+    /// a token was taken (the consumer may proceed).
+    fn try_consume(&self) -> bool;
+
+    /// Deposits a wake token and wakes the owner. Writes made before
+    /// this call must be visible to the owner after its successful
+    /// [`SyncPark::try_consume`] (release/acquire pairing).
+    fn deposit_and_wake(&self);
+}
+
+/// A single-producer/single-consumer, single-value transfer slot with
+/// strict alternation: a side never deposits until the other side has
+/// withdrawn the previous value.
+pub trait SyncSlot<T> {
+    /// Deposits a value. Returns `true` if the slot was empty (the
+    /// protocol invariant); `false` means the previous value was
+    /// clobbered — a double-resume violation.
+    fn deposit(&self, v: T) -> bool;
+
+    /// Withdraws the value if one is present.
+    fn withdraw(&self) -> Option<T>;
+}

@@ -39,6 +39,8 @@
 //! assert!(points[0].millis < points[2].millis);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use pdceval_apps as apps;
 pub use pdceval_campaign as campaign;
 pub use pdceval_core as core;
